@@ -1,0 +1,115 @@
+// ABL-2D (footnote 3 / §6 future work): multi-dimensional interest
+// histograms vs combined 1-D marginals. With two focal points, the 1-D
+// marginals mark the *cross products* of the foci as interesting too — two
+// phantom regions, (ra_A, dec_B) and (ra_B, dec_A), that no query ever
+// touches. The joint 2-D tracker spends that capacity on the real foci.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/bounded_executor.h"
+#include "core/impression_builder.h"
+#include "skyserver/catalog.h"
+#include "skyserver/functions.h"
+
+namespace sciborq {
+namespace {
+
+double FracNear(const Impression& imp, double ra0, double dec0) {
+  const Column* ra = imp.rows().ColumnByName("ra").value();
+  const Column* dec = imp.rows().ColumnByName("dec").value();
+  int64_t n = 0;
+  for (int64_t i = 0; i < imp.size(); ++i) {
+    if (std::abs(ra->GetDouble(i) - ra0) < 5.0 &&
+        std::abs(dec->GetDouble(i) - dec0) < 5.0) {
+      ++n;
+    }
+  }
+  return static_cast<double>(n) / static_cast<double>(imp.size());
+}
+
+}  // namespace
+}  // namespace sciborq
+
+int main() {
+  using namespace sciborq;
+  bench::Header("ABL-2D: joint 2-D interest vs combined 1-D marginals");
+  bench::Expectation(
+      "both concentrate on the true foci; the 1-D marginal design also "
+      "samples the phantom cross-regions; the joint design does not, and "
+      "its focal error is at least as good");
+
+  SkyCatalogConfig config;
+  config.num_rows = 300'000;
+  const SkyCatalog catalog = bench::Unwrap(GenerateSkyCatalog(config, 41));
+
+  // Identical workload fed to both trackers.
+  InterestTracker marginals = bench::MakeRaDecTracker();
+  JointInterestTracker::Spec jspec;
+  jspec.column_x = "ra";
+  jspec.column_y = "dec";
+  jspec.min_x = 120.0;
+  jspec.width_x = 3.0;
+  jspec.bins_x = 40;
+  jspec.min_y = 0.0;
+  jspec.width_y = 1.5;
+  jspec.bins_y = 40;
+  JointInterestTracker joint = bench::Unwrap(JointInterestTracker::Make(jspec));
+  auto gen =
+      bench::Unwrap(ConeWorkloadGenerator::Make(bench::FocusedWorkload(), 41));
+  for (int i = 0; i < 400; ++i) {
+    const AggregateQuery q = gen.Next();
+    marginals.ObserveQuery(q);
+    joint.ObserveQuery(q);
+  }
+
+  ImpressionSpec mspec;
+  mspec.capacity = 10'000;
+  mspec.policy = SamplingPolicy::kBiased;
+  mspec.tracker = &marginals;
+  mspec.seed = 41;
+  auto mb = bench::Unwrap(
+      ImpressionBuilder::Make(catalog.photo_obj_all.schema(), mspec));
+  ImpressionSpec jspec2 = mspec;
+  jspec2.tracker = nullptr;
+  jspec2.joint_tracker = &joint;
+  auto jb = bench::Unwrap(
+      ImpressionBuilder::Make(catalog.photo_obj_all.schema(), jspec2));
+  SCIBORQ_CHECK(mb.IngestBatch(catalog.photo_obj_all).ok());
+  SCIBORQ_CHECK(jb.IngestBatch(catalog.photo_obj_all).ok());
+
+  std::printf("%-28s %12s %12s\n", "region", "marginal_1d", "joint_2d");
+  const struct {
+    const char* label;
+    double ra, dec;
+  } regions[] = {{"focus A (150, 12)", 150, 12},
+                 {"focus B (215, 40)", 215, 40},
+                 {"phantom (150, 40)", 150, 40},
+                 {"phantom (215, 12)", 215, 12}};
+  for (const auto& r : regions) {
+    std::printf("%-28s %12.4f %12.4f\n", r.label,
+                FracNear(mb.impression(), r.ra, r.dec),
+                FracNear(jb.impression(), r.ra, r.dec));
+  }
+
+  // Focal estimation quality under both designs.
+  AggregateQuery q;
+  q.aggregates = {{AggKind::kCount, ""}};
+  q.filter = FGetNearbyObjEq(150.0, 12.0, 3.0);
+  const double truth =
+      RunExact(catalog.photo_obj_all, q).value()[0].values[0];
+  const auto m_est = EstimateOnImpression(mb.impression(), q, 0.95);
+  const auto j_est = EstimateOnImpression(jb.impression(), q, 0.95);
+  const double m_err =
+      m_est.ok() ? std::abs(m_est.value().rows[0].values[0] - truth) / truth
+                 : -1.0;
+  const double j_err =
+      j_est.ok() ? std::abs(j_est.value().rows[0].values[0] - truth) / truth
+                 : -1.0;
+  std::printf("\nfocal COUNT rel_err: marginal=%.4f joint=%.4f (truth %.0f)\n",
+              m_err, j_err, truth);
+  bench::Measured(
+      "phantom-region concentration ≈ 0 for joint_2d, > 0 for marginal_1d; "
+      "focal concentration joint >= marginal");
+  return 0;
+}

@@ -1,0 +1,61 @@
+#ifndef SCIBORQ_BENCH_BENCH_UTIL_H_
+#define SCIBORQ_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/result.h"
+#include "util/string_util.h"
+#include "workload/generator.h"
+#include "workload/interest_tracker.h"
+
+namespace sciborq::bench {
+
+/// Unwraps a Result in bench code, aborting with the error on failure.
+template <typename T>
+T Unwrap(Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench setup failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+inline void Header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Expectation(const std::string& what) {
+  std::printf("paper_expectation= %s\n", what.c_str());
+}
+
+inline void Measured(const std::string& what) {
+  std::printf("measured=          %s\n", what.c_str());
+}
+
+/// The ra/dec interest tracker geometry used across benches (the paper's
+/// attribute pair, §4).
+inline InterestTracker MakeRaDecTracker() {
+  return Unwrap(InterestTracker::Make(
+      {{"ra", 120.0, 3.0, 40}, {"dec", 0.0, 1.5, 40}}));
+}
+
+/// A tightly focused two-spot exploration workload (the fGetNearbyObjEq
+/// regime: focal mass small relative to impression capacity).
+inline ConeWorkloadConfig FocusedWorkload() {
+  ConeWorkloadConfig config;
+  config.focal_points = {FocalPoint{150.0, 12.0, 0.55, 2.0},
+                         FocalPoint{215.0, 40.0, 0.45, 2.0}};
+  return config;
+}
+
+}  // namespace sciborq::bench
+
+#endif  // SCIBORQ_BENCH_BENCH_UTIL_H_

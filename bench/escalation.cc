@@ -1,0 +1,63 @@
+// CLAIM-ESC (§3.2): "if the error bound requested is not met during
+// execution, the query evaluation moves to an impression on a lower level,
+// with a higher level of detail ... ultimately the base columns for a zero
+// error margin". Sweeps the requested error bound and traces which layer of
+// a 4-layer hierarchy answers, the error achieved, and the time spent.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/bounded_executor.h"
+#include "skyserver/catalog.h"
+#include "skyserver/functions.h"
+
+int main() {
+  using namespace sciborq;
+  bench::Header("CLAIM-ESC: layer escalation under tightening error bounds");
+  bench::Expectation(
+      "loose bounds answered by the smallest layer; tightening the bound "
+      "walks up the hierarchy; bound 0 reaches the base with exact answers; "
+      "elapsed time grows with the answering layer");
+
+  SkyCatalogConfig config;
+  config.num_rows = 500'000;
+  const SkyCatalog catalog = bench::Unwrap(GenerateSkyCatalog(config, 17));
+
+  ImpressionSpec spec;
+  spec.seed = 17;
+  auto hierarchy = bench::Unwrap(ImpressionHierarchy::Make(
+      catalog.photo_obj_all.schema(),
+      {{"L0-100k", 100'000}, {"L1-10k", 10'000}, {"L2-1k", 1'000},
+       {"L3-100", 100}},
+      spec));
+  SCIBORQ_CHECK(hierarchy.IngestBatch(catalog.photo_obj_all).ok());
+
+  BoundedExecutor exec(&catalog.photo_obj_all, &hierarchy);
+  AggregateQuery q;
+  q.aggregates = {{AggKind::kCount, ""}, {AggKind::kAvg, "redshift"}};
+  q.filter = FGetNearbyObjEq(160.0, 25.0, 8.0);
+  const auto truth = RunExact(catalog.photo_obj_all, q).value();
+  std::printf("query: %s  (truth: count=%.0f avg=%.4f)\n\n",
+              q.ToString().c_str(), truth[0].values[0], truth[0].values[1]);
+
+  std::printf("%10s | %-9s %9s %12s %12s %10s %8s\n", "bound", "layer",
+              "layers", "count_est", "worst_relerr", "time_ms", "met");
+  for (const double bound_value :
+       {0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.0}) {
+    QualityBound bound;
+    bound.max_relative_error = bound_value;
+    const BoundedAnswer ans = exec.Answer(q, bound).value();
+    double worst = 0.0;
+    for (const auto& row : ans.estimates) {
+      for (const auto& est : row) worst = std::max(worst, est.RelativeError());
+    }
+    std::printf("%10.3f | %-9s %9zu %12.1f %12.5f %10.3f %8s\n", bound_value,
+                ans.answered_by.c_str(), ans.attempts.size(),
+                ans.rows[0].values[0], worst, ans.elapsed_seconds * 1e3,
+                ans.error_bound_met ? "yes" : "no");
+  }
+  bench::Measured(
+      "layer column walks L3-100 -> L2-1k -> L1-10k -> L0-100k -> base as "
+      "the bound tightens; time_ms grows alongside");
+  return 0;
+}

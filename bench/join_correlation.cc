@@ -1,0 +1,108 @@
+// ABL-JOIN (§3.1 "Correlations"): join attributes must stay correlated
+// across sampled relations; the paper adopts the join-synopsis insight that
+// per-table *independent* samples destroy the join. Compares three designs
+// for estimating a fact⋈dimension aggregate:
+//   (a) truth: base PhotoObjAll ⋈ Field;
+//   (b) SciBORQ: fact impression ⋈ full dimension (dimensions are small —
+//       keep them whole, the join-synopsis strategy for FK joins);
+//   (c) naive: independent uniform samples of BOTH tables, joined, scaled
+//       by 1/(pi_fact · pi_dim).
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench/bench_util.h"
+#include "core/impression_builder.h"
+#include "exec/join.h"
+#include "skyserver/catalog.h"
+#include "skyserver/functions.h"
+#include "stats/descriptive.h"
+#include "util/rng.h"
+
+namespace sciborq {
+namespace {
+
+/// AVG(seeing) over fact rows in a cone, via fact ⋈ field.
+Result<double> JoinedAvgSeeing(const Table& fact, const Table& field) {
+  SCIBORQ_ASSIGN_OR_RETURN(Table joined,
+                           HashJoin(fact, "field_id", field, "field_id"));
+  AggregateQuery q;
+  q.aggregates = {{AggKind::kAvg, "seeing"}};
+  q.filter = FGetNearbyObjEq(150.0, 12.0, 6.0);
+  SCIBORQ_ASSIGN_OR_RETURN(auto rows, RunExact(joined, q));
+  return rows[0].values[0];
+}
+
+/// Uniform row sample of a table (Bernoulli p).
+Table BernoulliSample(const Table& table, double p, Rng* rng) {
+  SelectionVector rows;
+  for (int64_t i = 0; i < table.num_rows(); ++i) {
+    if (rng->Bernoulli(p)) rows.push_back(i);
+  }
+  return table.TakeRows(rows);
+}
+
+}  // namespace
+}  // namespace sciborq
+
+int main() {
+  using namespace sciborq;
+  bench::Header("ABL-JOIN: FK-join estimation with and without correlation");
+  bench::Expectation(
+      "fact-impression ⋈ full-dimension tracks the true join aggregate and "
+      "keeps ~p·|join| rows; independently sampling both sides retains only "
+      "~p_f·p_d of the join and its estimate is visibly noisier");
+
+  SkyCatalogConfig config;
+  config.num_rows = 300'000;
+  const SkyCatalog catalog = bench::Unwrap(GenerateSkyCatalog(config, 37));
+  const double truth =
+      bench::Unwrap(JoinedAvgSeeing(catalog.photo_obj_all, catalog.field));
+  std::printf("truth: AVG(seeing) over cone join = %.5f\n\n", truth);
+
+  std::printf("%-34s %10s %12s %12s %10s\n", "design", "trial",
+              "join_rows", "avg_seeing", "rel_err");
+  RunningMoments sciborq_err;
+  RunningMoments naive_err;
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng rng(1000 + static_cast<uint64_t>(trial));
+    // (b) SciBORQ: 5% fact impression, dimension kept whole.
+    ImpressionSpec spec;
+    spec.capacity = 15'000;
+    spec.seed = 2000 + static_cast<uint64_t>(trial);
+    auto builder = bench::Unwrap(
+        ImpressionBuilder::Make(catalog.photo_obj_all.schema(), spec));
+    SCIBORQ_CHECK(builder.IngestBatch(catalog.photo_obj_all).ok());
+    const Table& fact_sample = builder.impression().rows();
+    const Table joined_b = bench::Unwrap(
+        HashJoin(fact_sample, "field_id", catalog.field, "field_id"));
+    const double avg_b =
+        bench::Unwrap(JoinedAvgSeeing(fact_sample, catalog.field));
+    const double err_b = std::abs(avg_b - truth) / truth;
+    sciborq_err.Add(err_b);
+    std::printf("%-34s %10d %12lld %12.5f %10.4f\n",
+                "impression ⋈ full dim", trial,
+                static_cast<long long>(joined_b.num_rows()), avg_b, err_b);
+
+    // (c) naive: independent 5% fact sample and 22% dimension sample — the
+    // combined join survival is ~1.1%.
+    const Table fact_naive =
+        BernoulliSample(catalog.photo_obj_all, 0.05, &rng);
+    const Table dim_naive = BernoulliSample(catalog.field, 0.22, &rng);
+    const Table joined_c =
+        bench::Unwrap(HashJoin(fact_naive, "field_id", dim_naive, "field_id"));
+    const auto avg_c_result = JoinedAvgSeeing(fact_naive, dim_naive);
+    const double avg_c = avg_c_result.ok() ? avg_c_result.value() : 0.0;
+    const double err_c = std::abs(avg_c - truth) / truth;
+    naive_err.Add(err_c);
+    std::printf("%-34s %10d %12lld %12.5f %10.4f\n",
+                "independent samples both sides", trial,
+                static_cast<long long>(joined_c.num_rows()), avg_c, err_c);
+  }
+  std::printf("\nmean rel_err: impression⋈dim=%.4f  independent=%.4f\n",
+              sciborq_err.mean(), naive_err.mean());
+  bench::Measured(StrFormat(
+      "correlated design %.2fx more accurate on average",
+      naive_err.mean() / std::max(1e-9, sciborq_err.mean())));
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Bounded query processing in depth: the same query answered under a range
+// of error bounds and time budgets, showing the escalation trace, grouped
+// estimates, and the MIN/MAX escape hatch (extremes cannot be bounded from a
+// sample, so they fall through to the base data).
+
+#include <cstdio>
+
+#include "core/bounded_executor.h"
+#include "skyserver/catalog.h"
+#include "skyserver/functions.h"
+
+using namespace sciborq;
+
+namespace {
+
+template <typename T>
+T OrDie(Result<T> r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+void Show(const char* label, const BoundedAnswer& ans) {
+  std::printf("\n[%s]\n%s\n", label, ans.ToString().c_str());
+  std::printf("  escalation trace:");
+  for (const auto& attempt : ans.attempts) {
+    std::printf(" %s(%.4f, %.2fms)", attempt.layer_name.c_str(),
+                attempt.worst_relative_error, attempt.elapsed_seconds * 1e3);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  SkyCatalogConfig config;
+  config.num_rows = 400'000;
+  const SkyCatalog catalog = OrDie(GenerateSkyCatalog(config, 99));
+  ImpressionSpec spec;
+  spec.seed = 99;
+  auto hierarchy = OrDie(ImpressionHierarchy::Make(
+      catalog.photo_obj_all.schema(),
+      {{"L0", 40'000}, {"L1", 4'000}, {"L2", 400}}, spec));
+  if (Status st = hierarchy.IngestBatch(catalog.photo_obj_all); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  BoundedExecutor executor(&catalog.photo_obj_all, &hierarchy);
+
+  AggregateQuery q;
+  q.aggregates = {{AggKind::kCount, ""}, {AggKind::kAvg, "r"}};
+  q.filter = FGetNearbyObjEq(170.0, 30.0, 10.0);
+  std::printf("query: %s\n", q.ToString().c_str());
+
+  // (a) Loose error bound: the smallest layer suffices.
+  QualityBound loose;
+  loose.max_relative_error = 0.25;
+  Show("error <= 25%", OrDie(executor.Answer(q, loose)));
+
+  // (b) Tight error bound: escalation up the hierarchy.
+  QualityBound tight;
+  tight.max_relative_error = 0.01;
+  Show("error <= 1%", OrDie(executor.Answer(q, tight)));
+
+  // (c) Time-bounded: "the most representative result within the budget".
+  QualityBound timed;
+  timed.max_relative_error = 1e-6;   // unreachable by sampling
+  timed.time_budget_seconds = 0.002;  // 2 ms
+  Show("2ms budget, unreachable error", OrDie(executor.Answer(q, timed)));
+
+  // (d) Grouped estimates: per-class statistics with per-group intervals.
+  AggregateQuery grouped;
+  grouped.aggregates = {{AggKind::kCount, ""}, {AggKind::kAvg, "redshift"}};
+  grouped.group_by = "obj_class";
+  grouped.filter = FGetNearbyObjEq(170.0, 30.0, 15.0);
+  QualityBound group_bound;
+  group_bound.max_relative_error = 0.15;
+  Show("GROUP BY obj_class, error <= 15%",
+       OrDie(executor.Answer(grouped, group_bound)));
+
+  // (e) MAX cannot be certified from a sample: watch it go to base.
+  AggregateQuery extremes;
+  extremes.aggregates = {{AggKind::kMax, "redshift"}};
+  QualityBound any;
+  any.max_relative_error = 0.5;
+  Show("MAX(redshift) — escalates to base by design",
+       OrDie(executor.Answer(extremes, any)));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: the smallest end-to-end SciBORQ program.
+//
+// 1. Generate a synthetic sky catalog (the base data).
+// 2. Build a two-layer hierarchy of uniform impressions over it.
+// 3. Ask an aggregate question with an error bound and a time budget.
+//
+// Build & run:   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/bounded_executor.h"
+#include "skyserver/catalog.h"
+#include "skyserver/functions.h"
+
+using namespace sciborq;
+
+int main() {
+  // ---- 1. Base data: 500k synthetic PhotoObjAll rows. -------------------
+  SkyCatalogConfig config;
+  config.num_rows = 500'000;
+  Result<SkyCatalog> catalog = GenerateSkyCatalog(config, /*seed=*/42);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "%s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+  const Table& base = catalog->photo_obj_all;
+  std::printf("base data: %lld rows, schema: %s\n",
+              static_cast<long long>(base.num_rows()),
+              base.schema().ToString().c_str());
+
+  // ---- 2. Impressions: a 50k layer and a 5k layer derived from it. ------
+  ImpressionSpec spec;  // default policy: uniform reservoir (Algorithm R)
+  spec.seed = 42;
+  Result<ImpressionHierarchy> hierarchy = ImpressionHierarchy::Make(
+      base.schema(), {{"large", 50'000}, {"small", 5'000}}, spec);
+  if (!hierarchy.ok()) {
+    std::fprintf(stderr, "%s\n", hierarchy.status().ToString().c_str());
+    return 1;
+  }
+  // Impressions are built incrementally as data loads; here one bulk batch.
+  Status st = hierarchy->IngestBatch(base);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n\n", hierarchy->ToString().c_str());
+
+  // ---- 3. A bounded query: COUNT + AVG(redshift) near a sky position. ---
+  AggregateQuery query;
+  query.aggregates = {{AggKind::kCount, ""}, {AggKind::kAvg, "redshift"}};
+  query.filter = FGetNearbyObjEq(/*ra=*/185.0, /*dec=*/30.0, /*radius=*/5.0);
+  std::printf("query: %s\n", query.ToString().c_str());
+
+  BoundedExecutor executor(&base, &hierarchy.value());
+  QualityBound bound;
+  bound.max_relative_error = 0.08;   // accept ±8% at 95% confidence
+  bound.time_budget_seconds = 1.0;   // ... within one second
+  Result<BoundedAnswer> answer = executor.Answer(query, bound);
+  if (!answer.ok()) {
+    std::fprintf(stderr, "%s\n", answer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", answer->ToString().c_str());
+
+  // Compare against the exact answer.
+  Result<std::vector<QueryResultRow>> exact = RunExact(base, query);
+  std::printf("\nexact: count=%.0f avg_redshift=%.4f (full scan of %lld rows)\n",
+              exact->at(0).values[0], exact->at(0).values[1],
+              static_cast<long long>(base.num_rows()));
+  return 0;
+}

@@ -1,0 +1,154 @@
+#include "column/csv.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace sciborq {
+
+namespace {
+
+/// Quotes a cell when it contains the delimiter, quotes, or newlines.
+std::string EscapeCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+/// Splits a CSV line honoring quoted cells.
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  cells.push_back(std::move(cur));
+  return cells;
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError(StrFormat("cannot open '%s' for writing: %s",
+                                     path.c_str(), std::strerror(errno)));
+  }
+  const Schema& schema = table.schema();
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    if (i > 0) out << ',';
+    const Field& f = schema.field(i);
+    out << EscapeCell(StrFormat("%s:%s", f.name.c_str(),
+                                std::string(DataTypeToString(f.type)).c_str()));
+  }
+  out << '\n';
+  for (int64_t row = 0; row < table.num_rows(); ++row) {
+    for (int i = 0; i < table.num_columns(); ++i) {
+      if (i > 0) out << ',';
+      const Column& c = table.column(i);
+      if (c.IsNull(row)) continue;
+      out << EscapeCell(c.GetValue(row).ToString());
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError(StrFormat("write to '%s' failed", path.c_str()));
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError(StrFormat("cannot open '%s' for reading: %s",
+                                     path.c_str(), std::strerror(errno)));
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("empty CSV file: missing header");
+  }
+  std::vector<Field> fields;
+  for (const auto& cell : ParseCsvLine(line)) {
+    const auto parts = Split(cell, ':');
+    if (parts.size() != 2) {
+      return Status::IOError(
+          StrFormat("malformed header cell '%s' (want name:type)", cell.c_str()));
+    }
+    DataType type;
+    if (parts[1] == "int64") {
+      type = DataType::kInt64;
+    } else if (parts[1] == "double") {
+      type = DataType::kDouble;
+    } else if (parts[1] == "string") {
+      type = DataType::kString;
+    } else {
+      return Status::IOError(StrFormat("unknown type '%s'", parts[1].c_str()));
+    }
+    fields.push_back(Field{parts[0], type, /*nullable=*/true});
+  }
+  Table table{Schema(std::move(fields))};
+  int64_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto cells = ParseCsvLine(line);
+    if (static_cast<int>(cells.size()) != table.schema().num_fields()) {
+      return Status::IOError(
+          StrFormat("line %lld: got %zu cells, want %d",
+                    static_cast<long long>(line_no), cells.size(),
+                    table.schema().num_fields()));
+    }
+    std::vector<Value> row;
+    row.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const DataType type = table.schema().field(static_cast<int>(i)).type;
+      if (cells[i].empty() && type != DataType::kString) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      switch (type) {
+        case DataType::kInt64:
+          row.push_back(Value(static_cast<int64_t>(std::stoll(cells[i]))));
+          break;
+        case DataType::kDouble:
+          row.push_back(Value(std::stod(cells[i])));
+          break;
+        case DataType::kString:
+          row.push_back(Value(cells[i]));
+          break;
+      }
+    }
+    SCIBORQ_RETURN_NOT_OK(table.AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace sciborq

@@ -1,0 +1,21 @@
+#ifndef SCIBORQ_COLUMN_CSV_H_
+#define SCIBORQ_COLUMN_CSV_H_
+
+#include <string>
+
+#include "column/table.h"
+#include "util/result.h"
+
+namespace sciborq {
+
+/// Serializes a table to CSV (header row with "name:type" cells, empty cell =
+/// null). The pairing with ReadCsv round-trips exactly for int64/string and to
+/// 17 significant digits for double.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Parses a CSV produced by WriteCsv back into a Table.
+Result<Table> ReadCsv(const std::string& path);
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_COLUMN_CSV_H_

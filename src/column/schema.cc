@@ -1,0 +1,56 @@
+#include "column/schema.h"
+
+#include "util/string_util.h"
+
+namespace sciborq {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(fields_[i].name, static_cast<int>(i));
+  }
+}
+
+Result<int> Schema::FieldIndex(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound(StrFormat("no field named '%s'", name.c_str()));
+  }
+  return it->second;
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+Result<Schema> Schema::Project(const std::vector<std::string>& names) const {
+  std::vector<Field> projected;
+  projected.reserve(names.size());
+  for (const auto& name : names) {
+    SCIBORQ_ASSIGN_OR_RETURN(int idx, FieldIndex(name));
+    projected.push_back(fields_[static_cast<size_t>(idx)]);
+  }
+  return Schema(std::move(projected));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const auto& f : fields_) {
+    parts.push_back(StrFormat("%s:%s", f.name.c_str(),
+                              std::string(DataTypeToString(f.type)).c_str()));
+  }
+  return Join(parts, ", ");
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != other.fields_[i].name ||
+        fields_[i].type != other.fields_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sciborq

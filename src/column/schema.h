@@ -1,0 +1,49 @@
+#ifndef SCIBORQ_COLUMN_SCHEMA_H_
+#define SCIBORQ_COLUMN_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "column/types.h"
+#include "util/result.h"
+
+namespace sciborq {
+
+/// One named, typed attribute of a relation.
+struct Field {
+  std::string name;
+  DataType type;
+  bool nullable = true;
+};
+
+/// An ordered list of fields with O(1) lookup by name.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  const std::vector<Field>& fields() const { return fields_; }
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+
+  /// Index of the field named `name`, or NotFound.
+  Result<int> FieldIndex(const std::string& name) const;
+  bool HasField(const std::string& name) const;
+
+  /// Schema containing only the named fields, in the given order.
+  Result<Schema> Project(const std::vector<std::string>& names) const;
+
+  /// "name:type, name:type, ..." for debugging.
+  std::string ToString() const;
+
+  bool Equals(const Schema& other) const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_COLUMN_SCHEMA_H_

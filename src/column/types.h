@@ -1,0 +1,41 @@
+#ifndef SCIBORQ_COLUMN_TYPES_H_
+#define SCIBORQ_COLUMN_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace sciborq {
+
+/// Physical column types. The science-warehouse workloads SciBORQ targets are
+/// dominated by numeric observation attributes; strings cover identifiers and
+/// class labels.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+inline std::string_view DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+inline bool IsNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDouble;
+}
+
+/// Row indices selected by a filter; shared currency between operators
+/// (MonetDB-style late materialization: operators exchange candidate lists).
+using SelectionVector = std::vector<int64_t>;
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_COLUMN_TYPES_H_

@@ -1,0 +1,14 @@
+#include "column/value.h"
+
+#include "util/string_util.h"
+
+namespace sciborq {
+
+std::string Value::ToString() const {
+  if (is_null()) return "";
+  if (is_int64()) return StrFormat("%lld", static_cast<long long>(int64()));
+  if (is_double()) return StrFormat("%.17g", dbl());
+  return str();
+}
+
+}  // namespace sciborq

@@ -1,0 +1,107 @@
+#ifndef SCIBORQ_CORE_BOUNDED_EXECUTOR_H_
+#define SCIBORQ_CORE_BOUNDED_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "core/impression.h"
+#include "exec/query.h"
+#include "stats/estimators.h"
+#include "util/result.h"
+#include "workload/interest_tracker.h"
+#include "workload/query_log.h"
+
+namespace sciborq {
+
+/// The user's contract with SciBORQ (§1: "complete control over both
+/// resource consumption and query result error bounds").
+struct QualityBound {
+  /// Accept an answer when every aggregate's CI half-width / |estimate| is
+  /// below this. <= 0 demands exact answers (always escalates to base).
+  double max_relative_error = 0.10;
+  double confidence = 0.95;
+  /// Wall-clock budget in seconds; <= 0 means unlimited ("error bound only").
+  double time_budget_seconds = 0.0;
+  /// Permit the final escalation to the base table (zero error, §3.2).
+  bool allow_base_fallback = true;
+};
+
+/// What happened on one layer during escalation.
+struct LayerAttempt {
+  std::string layer_name;
+  int64_t layer_rows = 0;
+  int64_t matching_rows = 0;
+  double elapsed_seconds = 0.0;
+  double worst_relative_error = 0.0;
+  bool met_error_bound = false;
+  bool is_base = false;
+};
+
+/// A bounded answer: point estimates in the shape of RunExact's rows, plus a
+/// parallel matrix of AggregateEstimate (CI, stderr) per row per aggregate,
+/// and the full escalation trace.
+struct BoundedAnswer {
+  std::vector<QueryResultRow> rows;
+  std::vector<std::vector<AggregateEstimate>> estimates;
+  std::string answered_by;      ///< layer name or "base"
+  bool error_bound_met = false;
+  bool deadline_exceeded = false;
+  double elapsed_seconds = 0.0;
+  std::vector<LayerAttempt> attempts;
+
+  std::string ToString() const;
+};
+
+/// Statistical evaluation of an aggregate query against one impression:
+/// Horvitz–Thompson expansion through the impression's inclusion
+/// probabilities (exact-scaling for uniform impressions, weight-aware for
+/// biased ones). MIN/MAX report the sample extreme with an *infinite*
+/// relative error — extremes carry no CLT guarantee, so an error-bounded
+/// query falls through to the base data, which is the correct behaviour.
+Result<BoundedAnswer> EstimateOnImpression(const Impression& impression,
+                                           const AggregateQuery& query,
+                                           double confidence);
+
+/// Multi-layer bounded query processing (§3.2): walk the hierarchy from the
+/// smallest impression upward; accept the first answer within the error
+/// bound; stop early when the time budget would be blown; fall back to the
+/// base columns for a zero error margin.
+/// Tuning knobs for the bounded executor.
+struct BoundedExecutorOptions {
+  /// Record every answered query into the log / interest tracker — the
+  /// adaptive feedback loop of §3.1 ("as a side-effect of query
+  /// processing").
+  bool adapt = true;
+};
+
+class BoundedExecutor {
+ public:
+  using Options = BoundedExecutorOptions;
+
+  /// All pointers non-owning; base/hierarchy required, log/tracker optional.
+  BoundedExecutor(const Table* base, const ImpressionHierarchy* hierarchy,
+                  QueryLog* log = nullptr, InterestTracker* tracker = nullptr,
+                  Options options = BoundedExecutorOptions());
+
+  /// Answers `query` under `bound`. Always returns an answer (the best one
+  /// achievable within the budget); inspect error_bound_met /
+  /// deadline_exceeded for the contract outcome. Fails only on malformed
+  /// queries.
+  Result<BoundedAnswer> Answer(const AggregateQuery& query,
+                               const QualityBound& bound);
+
+ private:
+  const Table* base_;
+  const ImpressionHierarchy* hierarchy_;
+  QueryLog* log_;
+  InterestTracker* tracker_;
+  Options options_;
+  /// Rolling per-row cost estimate (seconds/row) used to predict whether the
+  /// next layer fits the remaining budget.
+  double est_seconds_per_row_ = 0.0;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_CORE_BOUNDED_EXECUTOR_H_

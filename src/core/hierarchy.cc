@@ -1,0 +1,124 @@
+#include "core/hierarchy.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace sciborq {
+
+Result<ImpressionHierarchy> ImpressionHierarchy::Make(
+    const Schema& schema, std::vector<LayerSpec> layers,
+    ImpressionSpec top_spec, Options options) {
+  if (layers.empty()) {
+    return Status::InvalidArgument("hierarchy needs at least one layer");
+  }
+  for (size_t i = 1; i < layers.size(); ++i) {
+    if (layers[i].capacity >= layers[i - 1].capacity) {
+      return Status::InvalidArgument(
+          "layer capacities must be strictly decreasing");
+    }
+  }
+  if (layers[0].capacity <= 0 || layers.back().capacity <= 0) {
+    return Status::InvalidArgument("layer capacities must be positive");
+  }
+  top_spec.name = layers[0].name;
+  top_spec.capacity = layers[0].capacity;
+  const uint64_t derive_seed = top_spec.seed ^ 0xDE51BEDULL;
+  SCIBORQ_ASSIGN_OR_RETURN(ImpressionBuilder top,
+                           ImpressionBuilder::Make(schema, top_spec));
+  ImpressionHierarchy hierarchy(std::move(layers), std::move(top), options,
+                                derive_seed);
+  SCIBORQ_RETURN_NOT_OK(hierarchy.RefreshDerivedLayers());
+  return hierarchy;
+}
+
+Status ImpressionHierarchy::IngestBatch(const Table& batch) {
+  SCIBORQ_RETURN_NOT_OK(top_builder_.IngestBatch(batch));
+  ingested_since_refresh_ += batch.num_rows();
+  if (options_.refresh_interval <= 0 ||
+      ingested_since_refresh_ >= options_.refresh_interval) {
+    SCIBORQ_RETURN_NOT_OK(RefreshDerivedLayers());
+  }
+  return Status::OK();
+}
+
+Result<Impression> ImpressionHierarchy::DeriveLayer(const Impression& parent,
+                                                    const LayerSpec& spec) {
+  const int64_t parent_n = parent.size();
+  const int64_t child_n = std::min(spec.capacity, parent_n);
+  // Partial Fisher-Yates over parent row ids: uniform without replacement.
+  std::vector<int64_t> ids(static_cast<size_t>(parent_n));
+  for (int64_t i = 0; i < parent_n; ++i) ids[static_cast<size_t>(i)] = i;
+  for (int64_t i = 0; i < child_n; ++i) {
+    const int64_t j =
+        i + static_cast<int64_t>(derive_rng_.NextBounded(
+                static_cast<uint64_t>(parent_n - i)));
+    std::swap(ids[static_cast<size_t>(i)], ids[static_cast<size_t>(j)]);
+  }
+  ids.resize(static_cast<size_t>(child_n));
+
+  Impression child(spec.name, parent.rows().schema(), spec.capacity,
+                   parent.policy());
+  std::vector<double> probs;
+  probs.reserve(static_cast<size_t>(child_n));
+  const double ratio = parent_n > 0
+                           ? static_cast<double>(child_n) /
+                                 static_cast<double>(parent_n)
+                           : 1.0;
+  for (const int64_t parent_row : ids) {
+    child.AppendSampledRow(parent.rows(), parent_row,
+                           parent.row_weights()[static_cast<size_t>(parent_row)],
+                           parent.source_ids()[static_cast<size_t>(parent_row)]);
+    probs.push_back(
+        std::min(1.0, parent.InclusionProbability(parent_row) * ratio));
+  }
+  child.set_population_seen(parent.population_seen());
+  child.set_population_weight(parent.population_weight());
+  SCIBORQ_RETURN_NOT_OK(child.SetExplicitInclusionProbabilities(std::move(probs)));
+  return child;
+}
+
+Status ImpressionHierarchy::RefreshDerivedLayers() {
+  derived_.clear();
+  const Impression* parent = &top_builder_.impression();
+  for (size_t i = 1; i < layer_specs_.size(); ++i) {
+    if (parent->size() == 0) {
+      // Nothing ingested yet: keep an empty placeholder so layer() is total.
+      derived_.emplace_back(layer_specs_[i].name,
+                            top_builder_.impression().rows().schema(),
+                            layer_specs_[i].capacity, parent->policy());
+    } else {
+      SCIBORQ_ASSIGN_OR_RETURN(Impression child,
+                               DeriveLayer(*parent, layer_specs_[i]));
+      derived_.push_back(std::move(child));
+    }
+    parent = &derived_.back();
+  }
+  ingested_since_refresh_ = 0;
+  return Status::OK();
+}
+
+const Impression& ImpressionHierarchy::layer(int i) const {
+  SCIBORQ_CHECK(i >= 0 && i < num_layers());
+  if (i == 0) return top_builder_.impression();
+  return derived_[static_cast<size_t>(i - 1)];
+}
+
+std::vector<const Impression*> ImpressionHierarchy::EscalationOrder() const {
+  std::vector<const Impression*> order;
+  for (auto it = derived_.rbegin(); it != derived_.rend(); ++it) {
+    order.push_back(&*it);
+  }
+  order.push_back(&top_builder_.impression());
+  return order;
+}
+
+std::string ImpressionHierarchy::ToString() const {
+  std::string out = "ImpressionHierarchy:";
+  out += "\n  " + top_builder_.impression().ToString();
+  for (const auto& d : derived_) out += "\n  " + d.ToString();
+  return out;
+}
+
+}  // namespace sciborq

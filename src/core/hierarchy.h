@@ -1,0 +1,94 @@
+#ifndef SCIBORQ_CORE_HIERARCHY_H_
+#define SCIBORQ_CORE_HIERARCHY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/impression.h"
+#include "core/impression_builder.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace sciborq {
+
+/// A multi-layer hierarchy of impressions (§3.1 "Layers"): layer 0 is the
+/// largest impression, sampled directly from the base stream; every deeper
+/// layer is *derived* from the layer above it by uniform subsampling, so it
+/// inherits the parent's focal bias ("the focal point of the larger
+/// impression is inherited by the smaller") and its maintenance touches only
+/// the parent, never the base data.
+///
+/// Inclusion probabilities compose multiplicatively down the chain and are
+/// pinned on each derived layer at refresh time, so estimates off any layer
+/// remain unbiased for the base population.
+///
+/// The bounded executor walks layers from the *smallest* upward and falls
+/// back to the base table when even layer 0 misses the error bound.
+/// Tuning knobs for hierarchy maintenance.
+struct HierarchyOptions {
+  /// Derived layers are refreshed after this many newly ingested tuples
+  /// (small layers need "fast reflexes", §3.1). 0 = refresh on every batch.
+  int64_t refresh_interval = 0;
+};
+
+class ImpressionHierarchy {
+ public:
+  struct LayerSpec {
+    std::string name;
+    int64_t capacity = 0;
+  };
+
+  using Options = HierarchyOptions;
+
+  /// `layers` ordered largest to smallest, strictly decreasing capacities.
+  /// The top (largest) layer uses `top_spec` (policy/tracker/seed); its name
+  /// and capacity come from layers[0].
+  static Result<ImpressionHierarchy> Make(const Schema& schema,
+                                          std::vector<LayerSpec> layers,
+                                          ImpressionSpec top_spec,
+                                          Options options = HierarchyOptions());
+
+  /// Feeds one daily-ingest batch to the top layer and refreshes derived
+  /// layers when due.
+  Status IngestBatch(const Table& batch);
+
+  /// Rebuilds all derived layers from the layer above (cheap: touches only
+  /// impressions).
+  Status RefreshDerivedLayers();
+
+  int num_layers() const { return static_cast<int>(layer_specs_.size()); }
+  /// Layer 0 is the largest. Derived layers reflect the last refresh.
+  const Impression& layer(int i) const;
+  /// Layers ordered smallest first — the escalation order.
+  std::vector<const Impression*> EscalationOrder() const;
+
+  int64_t population_seen() const {
+    return top_builder_.impression().population_seen();
+  }
+
+  std::string ToString() const;
+
+ private:
+  ImpressionHierarchy(std::vector<LayerSpec> layer_specs,
+                      ImpressionBuilder top_builder, Options options,
+                      uint64_t derive_seed)
+      : layer_specs_(std::move(layer_specs)),
+        top_builder_(std::move(top_builder)),
+        options_(options),
+        derive_rng_(derive_seed) {}
+
+  /// Uniform without-replacement subsample of `parent` to `capacity`.
+  Result<Impression> DeriveLayer(const Impression& parent,
+                                 const LayerSpec& spec);
+
+  std::vector<LayerSpec> layer_specs_;
+  ImpressionBuilder top_builder_;
+  Options options_;
+  Rng derive_rng_;
+  std::vector<Impression> derived_;  ///< layers 1..L-1
+  int64_t ingested_since_refresh_ = 0;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_CORE_HIERARCHY_H_

@@ -1,0 +1,185 @@
+#include "core/impression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace sciborq {
+
+std::string_view SamplingPolicyToString(SamplingPolicy policy) {
+  switch (policy) {
+    case SamplingPolicy::kUniform:
+      return "uniform";
+    case SamplingPolicy::kLastSeen:
+      return "last-seen";
+    case SamplingPolicy::kBiased:
+      return "biased";
+  }
+  return "unknown";
+}
+
+Impression::Impression(std::string name, Schema schema, int64_t capacity,
+                       SamplingPolicy policy)
+    : name_(std::move(name)),
+      capacity_(capacity),
+      policy_(policy),
+      rows_(std::move(schema)) {
+  rows_.Reserve(capacity);
+  weights_.reserve(static_cast<size_t>(capacity));
+  source_ids_.reserve(static_cast<size_t>(capacity));
+}
+
+void Impression::AppendSampledRow(const Table& src, int64_t src_row,
+                                  double weight, int64_t source_id) {
+  SCIBORQ_DCHECK(size() < capacity_);
+  rows_.AppendRowFrom(src, src_row);
+  weights_.push_back(weight);
+  source_ids_.push_back(source_id);
+}
+
+void Impression::ReplaceSampledRow(int64_t slot, const Table& src,
+                                   int64_t src_row, double weight,
+                                   int64_t source_id) {
+  SCIBORQ_DCHECK(slot >= 0 && slot < size());
+  rows_.SetRowFrom(src, src_row, slot);
+  weights_[static_cast<size_t>(slot)] = weight;
+  source_ids_[static_cast<size_t>(slot)] = source_id;
+}
+
+Status Impression::SetExplicitInclusionProbabilities(
+    std::vector<double> probs) {
+  if (static_cast<int64_t>(probs.size()) != size()) {
+    return Status::InvalidArgument(
+        "inclusion probability vector length must equal impression size");
+  }
+  for (const double p : probs) {
+    if (!(p > 0.0) || p > 1.0) {
+      return Status::InvalidArgument(
+          "explicit inclusion probabilities must be in (0, 1]");
+    }
+  }
+  explicit_probs_ = std::move(probs);
+  return Status::OK();
+}
+
+double Impression::InclusionProbability(int64_t row) const {
+  SCIBORQ_DCHECK(row >= 0 && row < size());
+  if (!explicit_probs_.empty()) {
+    return explicit_probs_[static_cast<size_t>(row)];
+  }
+  const auto n = static_cast<double>(size());
+  switch (policy_) {
+    case SamplingPolicy::kUniform: {
+      if (population_seen_ <= size()) return 1.0;
+      return n / static_cast<double>(population_seen_);
+    }
+    case SamplingPolicy::kBiased: {
+      if (population_seen_ <= size() || population_weight_ <= 0.0) return 1.0;
+      const double w = weights_[static_cast<size_t>(row)];
+      if (!(w > 0.0)) return 1.0 / static_cast<double>(population_seen_);
+      if (has_acceptance_model()) {
+        // First-order retention model (see set_acceptance_model): arrival
+        // position t (1-based), capacity n_cap.
+        const double t =
+            static_cast<double>(source_ids_[static_cast<size_t>(row)] + 1);
+        const auto n_cap = static_cast<double>(capacity_);
+        const double accept =
+            t <= n_cap ? 1.0 : std::min(1.0, n_cap * w / t);
+        const double later = std::max(
+            0.0, static_cast<double>(total_accepted_) - AcceptancesAt(t));
+        const double survival = std::exp(-later / n_cap);
+        return std::clamp(accept * survival, 1e-12, 1.0);
+      }
+      // Fallback without a model: the coarse Σw surrogate.
+      return std::min(1.0, n * w / population_weight_);
+    }
+    case SamplingPolicy::kLastSeen: {
+      // Effective window: the sample refreshes at rate k/D per tuple, so the
+      // resident rows are (approximately) a uniform draw from the most
+      // recent W = n·D/k tuples.
+      if (freshness_k_ <= 0 || expected_ingest_ <= 0) {
+        return population_seen_ <= size()
+                   ? 1.0
+                   : n / static_cast<double>(population_seen_);
+      }
+      const double window =
+          n * static_cast<double>(expected_ingest_) /
+          static_cast<double>(freshness_k_);
+      const double effective =
+          std::min(static_cast<double>(population_seen_), window);
+      if (effective <= n) return 1.0;
+      return n / effective;
+    }
+  }
+  return 1.0;
+}
+
+double Impression::AcceptancesAt(double position) const {
+  if (acceptance_curve_.empty()) {
+    // Single segment: interpolate 0 -> total over (capacity, population].
+    const double span =
+        static_cast<double>(population_seen_ - capacity_);
+    if (span <= 0.0) return 0.0;
+    const double frac =
+        std::clamp((position - static_cast<double>(capacity_)) / span, 0.0, 1.0);
+    return frac * static_cast<double>(total_accepted_);
+  }
+  const auto interval = static_cast<double>(curve_interval_);
+  const double idx = position / interval;  // checkpoints at 1*I, 2*I, ...
+  if (idx <= 1.0) {
+    return idx * static_cast<double>(acceptance_curve_.front());
+  }
+  const auto k = static_cast<size_t>(idx - 1.0);  // checkpoint index below
+  if (k + 1 >= acceptance_curve_.size()) {
+    // Beyond the last checkpoint: interpolate toward the final total.
+    const double last_pos =
+        static_cast<double>(acceptance_curve_.size()) * interval;
+    const double span = static_cast<double>(population_seen_) - last_pos;
+    const auto last_val = static_cast<double>(acceptance_curve_.back());
+    if (span <= 0.0) return last_val;
+    const double frac = std::clamp((position - last_pos) / span, 0.0, 1.0);
+    return last_val + frac * (static_cast<double>(total_accepted_) - last_val);
+  }
+  const auto lo = static_cast<double>(acceptance_curve_[k]);
+  const auto hi = static_cast<double>(acceptance_curve_[k + 1]);
+  const double frac = idx - 1.0 - static_cast<double>(k);
+  return lo + frac * (hi - lo);
+}
+
+Impression Impression::Clone(std::string new_name) const {
+  Impression copy = *this;
+  copy.name_ = std::move(new_name);
+  return copy;
+}
+
+Status Impression::Validate() const {
+  SCIBORQ_RETURN_NOT_OK(rows_.Validate());
+  if (size() > capacity_) {
+    return Status::Internal("impression exceeds its capacity");
+  }
+  if (static_cast<int64_t>(weights_.size()) != size() ||
+      static_cast<int64_t>(source_ids_.size()) != size()) {
+    return Status::Internal("impression parallel arrays out of sync");
+  }
+  if (!explicit_probs_.empty() &&
+      static_cast<int64_t>(explicit_probs_.size()) != size()) {
+    return Status::Internal("explicit probability vector out of sync");
+  }
+  if (population_seen_ < size()) {
+    return Status::Internal("population smaller than sample");
+  }
+  return Status::OK();
+}
+
+std::string Impression::ToString() const {
+  return StrFormat(
+      "Impression('%s', %s, %lld/%lld rows, population=%lld, %lld bytes)",
+      name_.c_str(), std::string(SamplingPolicyToString(policy_)).c_str(),
+      static_cast<long long>(size()), static_cast<long long>(capacity_),
+      static_cast<long long>(population_seen_),
+      static_cast<long long>(MemoryUsageBytes()));
+}
+
+}  // namespace sciborq

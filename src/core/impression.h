@@ -1,0 +1,127 @@
+#ifndef SCIBORQ_CORE_IMPRESSION_H_
+#define SCIBORQ_CORE_IMPRESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "column/table.h"
+#include "util/result.h"
+
+namespace sciborq {
+
+/// How the rows of an impression were selected.
+enum class SamplingPolicy {
+  kUniform,   ///< reservoir Algorithm R (Fig. 2)
+  kLastSeen,  ///< recency-biased fixed-probability reservoir (Fig. 3)
+  kBiased,    ///< workload-biased reservoir steered by f̆ (Fig. 6, §4)
+};
+
+std::string_view SamplingPolicyToString(SamplingPolicy policy);
+
+/// An impression (§3): a bounded, columnar, workload-aware sample of a base
+/// relation that is itself a query target. Beyond the sampled rows it keeps
+/// exactly the bookkeeping the bounded executor needs to turn raw sample
+/// aggregates into population estimates with confidence intervals:
+///
+///  - per-row workload weights (biased policy) or 1.0,
+///  - per-row provenance (position in the base stream),
+///  - the population size streamed past the builder and its total weight,
+///  - optionally, explicit per-row inclusion probabilities (set when an
+///    impression is *derived* from a parent layer, where the chain
+///    π_child = π_parent · n_child / n_parent is pinned at derivation time).
+class Impression {
+ public:
+  Impression(std::string name, Schema schema, int64_t capacity,
+             SamplingPolicy policy);
+
+  const std::string& name() const { return name_; }
+  SamplingPolicy policy() const { return policy_; }
+  int64_t capacity() const { return capacity_; }
+
+  const Table& rows() const { return rows_; }
+  int64_t size() const { return rows_.num_rows(); }
+
+  /// Base tuples streamed past the sampler (cnt in the paper's figures).
+  int64_t population_seen() const { return population_seen_; }
+  /// Σ of workload weights over the streamed population (biased policy).
+  double population_weight() const { return population_weight_; }
+
+  const std::vector<double>& row_weights() const { return weights_; }
+  const std::vector<int64_t>& source_ids() const { return source_ids_; }
+
+  /// First-order inclusion probability of stored row `row`:
+  ///  - explicit probabilities, when set (derived impressions);
+  ///  - uniform: n / cnt;
+  ///  - biased: min(1, n · w_row / Σw) — the conditioned-Poisson surrogate;
+  ///  - last-seen: n / min(cnt, W) where W = n·D/k is the effective recency
+  ///    window the sample turns over (estimates then speak about the recent
+  ///    window rather than the full history — by design, §3.3).
+  double InclusionProbability(int64_t row) const;
+
+  /// Memory footprint of the sampled rows (the §3.1 size knob).
+  int64_t MemoryUsageBytes() const { return rows_.MemoryUsageBytes(); }
+
+  /// Deep copy with a new name (layer derivation, snapshotting).
+  Impression Clone(std::string new_name) const;
+
+  /// Checks the parallel arrays and table agree.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+  // -- Mutation interface used by builders/derivation (not user code). --
+
+  /// Appends `src_row` of `src` with the given weight/provenance.
+  void AppendSampledRow(const Table& src, int64_t src_row, double weight,
+                        int64_t source_id);
+  /// Overwrites slot `slot` (reservoir eviction).
+  void ReplaceSampledRow(int64_t slot, const Table& src, int64_t src_row,
+                         double weight, int64_t source_id);
+  void set_population_seen(int64_t n) { population_seen_ = n; }
+  void set_population_weight(double w) { population_weight_ = w; }
+  /// Pins explicit inclusion probabilities (derived impressions). Length
+  /// must equal size().
+  Status SetExplicitInclusionProbabilities(std::vector<double> probs);
+  /// Last-seen parameters, needed for the effective-window semantics.
+  void set_last_seen_params(int64_t k, int64_t expected_ingest) {
+    freshness_k_ = k;
+    expected_ingest_ = expected_ingest;
+  }
+
+  /// Retention model for biased impressions: the sampler's acceptance curve
+  /// (cumulative post-fill acceptances every `interval` offers) plus the
+  /// final total. With it, a row that arrived at position t with weight w
+  /// has π ≈ min(1, n·w/t) · exp(-(A(T) − A(t)) / n). Updated by the builder
+  /// after every batch.
+  void set_acceptance_model(std::vector<int64_t> curve, int64_t interval,
+                            int64_t total_accepted) {
+    acceptance_curve_ = std::move(curve);
+    curve_interval_ = interval;
+    total_accepted_ = total_accepted;
+  }
+  bool has_acceptance_model() const { return curve_interval_ > 0; }
+
+ private:
+  std::string name_;
+  int64_t capacity_;
+  SamplingPolicy policy_;
+  Table rows_;
+  std::vector<double> weights_;
+  std::vector<int64_t> source_ids_;
+  std::vector<double> explicit_probs_;  ///< empty unless derived
+  int64_t population_seen_ = 0;
+  double population_weight_ = 0.0;
+  int64_t freshness_k_ = 0;
+  int64_t expected_ingest_ = 0;
+  std::vector<int64_t> acceptance_curve_;
+  int64_t curve_interval_ = 0;
+  int64_t total_accepted_ = 0;
+
+  /// Interpolated cumulative post-fill acceptances after `position` offers.
+  double AcceptancesAt(double position) const;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_CORE_IMPRESSION_H_

@@ -1,0 +1,107 @@
+#include "core/impression_builder.h"
+
+#include "util/string_util.h"
+
+namespace sciborq {
+
+Result<ImpressionBuilder> ImpressionBuilder::Make(const Schema& schema,
+                                                  ImpressionSpec spec) {
+  if (spec.capacity <= 0) {
+    return Status::InvalidArgument("impression capacity must be positive");
+  }
+  Impression impression(spec.name, schema, spec.capacity, spec.policy);
+  ImpressionBuilder builder(spec, std::move(impression));
+  switch (spec.policy) {
+    case SamplingPolicy::kUniform: {
+      SCIBORQ_ASSIGN_OR_RETURN(ReservoirSampler s,
+                               ReservoirSampler::Make(spec.capacity, spec.seed));
+      builder.uniform_ = std::move(s);
+      break;
+    }
+    case SamplingPolicy::kLastSeen: {
+      const int64_t k = spec.freshness_k > 0 ? spec.freshness_k : spec.capacity;
+      if (spec.expected_ingest <= 0) {
+        return Status::InvalidArgument(
+            "last-seen impressions need expected_ingest (D)");
+      }
+      SCIBORQ_ASSIGN_OR_RETURN(
+          LastSeenSampler s,
+          LastSeenSampler::Make(spec.capacity, k, spec.expected_ingest,
+                                spec.seed, spec.paper_faithful));
+      builder.last_seen_ = std::move(s);
+      builder.impression_.set_last_seen_params(k, spec.expected_ingest);
+      break;
+    }
+    case SamplingPolicy::kBiased: {
+      if (spec.tracker == nullptr && spec.joint_tracker == nullptr) {
+        return Status::InvalidArgument(
+            "biased impressions need an InterestTracker or a "
+            "JointInterestTracker");
+      }
+      SCIBORQ_ASSIGN_OR_RETURN(
+          BiasedReservoirSampler s,
+          BiasedReservoirSampler::Make(spec.capacity, spec.seed,
+                                       spec.paper_faithful));
+      builder.biased_ = std::move(s);
+      break;
+    }
+  }
+  return builder;
+}
+
+Status ImpressionBuilder::IngestBatch(const Table& batch) {
+  if (!batch.schema().Equals(impression_.rows().schema())) {
+    return Status::InvalidArgument(
+        "batch schema does not match the impression schema");
+  }
+  std::vector<int> bound;
+  if (spec_.policy == SamplingPolicy::kBiased) {
+    bound = spec_.joint_tracker != nullptr
+                ? spec_.joint_tracker->BindColumns(batch.schema())
+                : spec_.tracker->BindColumns(batch.schema());
+  }
+  for (int64_t row = 0; row < batch.num_rows(); ++row) {
+    double weight = 1.0;
+    ReservoirDecision decision;
+    switch (spec_.policy) {
+      case SamplingPolicy::kUniform:
+        decision = uniform_->Offer();
+        break;
+      case SamplingPolicy::kLastSeen:
+        decision = last_seen_->Offer();
+        break;
+      case SamplingPolicy::kBiased:
+        weight = spec_.joint_tracker != nullptr
+                     ? spec_.joint_tracker->TupleWeight(batch, bound, row)
+                     : spec_.tracker->TupleWeight(batch, bound, row);
+        decision = biased_->Offer(weight);
+        break;
+    }
+    if (decision.accepted) {
+      // Source id: the global position of the tuple in the base stream.
+      const int64_t source_id = impression_.population_seen();
+      if (decision.slot < impression_.size()) {
+        impression_.ReplaceSampledRow(decision.slot, batch, row, weight,
+                                      source_id);
+      } else {
+        impression_.AppendSampledRow(batch, row, weight, source_id);
+      }
+    }
+    impression_.set_population_seen(impression_.population_seen() + 1);
+    if (spec_.policy == SamplingPolicy::kBiased) {
+      impression_.set_population_weight(biased_->total_weight());
+    }
+  }
+  if (spec_.policy == SamplingPolicy::kBiased) {
+    impression_.set_acceptance_model(biased_->acceptance_curve(),
+                                     biased_->curve_interval(),
+                                     biased_->accepted_post_fill());
+  }
+  return Status::OK();
+}
+
+Impression ImpressionBuilder::Snapshot(const std::string& name) const {
+  return impression_.Clone(name);
+}
+
+}  // namespace sciborq

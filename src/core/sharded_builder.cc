@@ -1,0 +1,109 @@
+#include "core/sharded_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sampling/weighted_ares.h"
+#include "util/rng.h"
+
+namespace sciborq {
+
+Result<ShardedImpressionBuilder> ShardedImpressionBuilder::Make(
+    const Schema& schema, ImpressionSpec spec, int num_shards) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("need at least one shard");
+  }
+  std::vector<ImpressionBuilder> shards;
+  shards.reserve(static_cast<size_t>(num_shards));
+  Rng seeder(spec.seed);
+  for (int s = 0; s < num_shards; ++s) {
+    ImpressionSpec shard_spec = spec;
+    shard_spec.seed = seeder.NextUint64();
+    shard_spec.name = spec.name + "/shard" + std::to_string(s);
+    // Each shard keeps the full target capacity so the merged sample never
+    // starves a shard that saw more data than the others.
+    SCIBORQ_ASSIGN_OR_RETURN(ImpressionBuilder b,
+                             ImpressionBuilder::Make(schema, shard_spec));
+    shards.push_back(std::move(b));
+  }
+  return ShardedImpressionBuilder(std::move(spec), std::move(shards));
+}
+
+Result<Impression> ShardedImpressionBuilder::Merge() const {
+  // Candidate pool: every resident row of every shard, tagged with a merge
+  // weight. Uniform/last-seen rows represent population/n rows each; biased
+  // rows carry their workload weight.
+  int64_t total_population = 0;
+  double total_weight = 0.0;
+  for (const auto& shard : shards_) {
+    total_population += shard.impression().population_seen();
+    total_weight += shard.impression().population_weight();
+  }
+
+  Impression merged(spec_.name, shards_[0].impression().rows().schema(),
+                    spec_.capacity, spec_.policy);
+  SCIBORQ_ASSIGN_OR_RETURN(
+      WeightedAResSampler sampler,
+      WeightedAResSampler::Make(spec_.capacity, spec_.seed ^ 0x4E26EULL));
+
+  struct Candidate {
+    const Impression* source;
+    int64_t row;
+    double weight;      // workload weight stored with the row
+    double merge_key;   // A-Res weight for the merge draw
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& shard : shards_) {
+    const Impression& imp = shard.impression();
+    for (int64_t row = 0; row < imp.size(); ++row) {
+      Candidate c;
+      c.source = &imp;
+      c.row = row;
+      c.weight = imp.row_weights()[static_cast<size_t>(row)];
+      // Target design: final inclusion ∝ workload weight w (∝ 1 for the
+      // uniform policies). A candidate is already present with probability
+      // π_row, so the merge draw must weight it w/π to land on the target:
+      // P(in merged) = π · n'·(w/π)/Σv ∝ w.
+      const double pi = imp.InclusionProbability(row);
+      const double w = c.weight > 0.0 ? c.weight : 1e-12;
+      c.merge_key = pi > 0.0 ? w / pi : w;
+      candidates.push_back(c);
+    }
+  }
+
+  // Stream the candidates through the exact weighted sampler; decisions give
+  // reservoir slots directly.
+  std::vector<const Candidate*> slots(
+      static_cast<size_t>(std::min<int64_t>(spec_.capacity,
+                                            static_cast<int64_t>(
+                                                candidates.size()))),
+      nullptr);
+  for (const auto& c : candidates) {
+    const ReservoirDecision d = sampler.Offer(c.merge_key);
+    if (d.accepted) slots[static_cast<size_t>(d.slot)] = &c;
+  }
+  double sum_keys = 0.0;
+  for (const auto& c : candidates) sum_keys += c.merge_key;
+  std::vector<double> probs;
+  for (const Candidate* c : slots) {
+    if (c == nullptr) continue;
+    merged.AppendSampledRow(c->source->rows(), c->row, c->weight,
+                            c->source->source_ids()[static_cast<size_t>(c->row)]);
+    // Chained inclusion: shard design π times the merge draw's first-order
+    // inclusion n'·v/Σv.
+    const double pi_shard = c->source->InclusionProbability(c->row);
+    const double pi_merge =
+        sum_keys > 0.0
+            ? std::min(1.0, static_cast<double>(merged.capacity()) *
+                                c->merge_key / sum_keys)
+            : 1.0;
+    probs.push_back(std::clamp(pi_shard * pi_merge, 1e-12, 1.0));
+  }
+  merged.set_population_seen(total_population);
+  merged.set_population_weight(total_weight);
+  SCIBORQ_RETURN_NOT_OK(
+      merged.SetExplicitInclusionProbabilities(std::move(probs)));
+  return merged;
+}
+
+}  // namespace sciborq

@@ -1,0 +1,47 @@
+#ifndef SCIBORQ_CORE_SHARDED_BUILDER_H_
+#define SCIBORQ_CORE_SHARDED_BUILDER_H_
+
+#include <vector>
+
+#include "core/impression.h"
+#include "core/impression_builder.h"
+#include "util/result.h"
+
+namespace sciborq {
+
+/// Parallel-load construction (§1: impressions are "created and updated
+/// incrementally during parallel database loads"). Each load worker owns one
+/// shard builder fed from its slice of the stream; Merge() combines the
+/// shard impressions into a single impression of the configured capacity by
+/// weighted resampling, preserving each policy's design:
+///  - uniform shards merge by population-proportional subsampling,
+///  - biased shards merge by workload-weight-proportional subsampling
+///    (A-Res keys), keeping π_i ∝ w_i.
+class ShardedImpressionBuilder {
+ public:
+  /// InvalidArgument when num_shards < 1 or the spec is invalid. Shards get
+  /// derived seeds so results are deterministic but decorrelated.
+  static Result<ShardedImpressionBuilder> Make(const Schema& schema,
+                                               ImpressionSpec spec,
+                                               int num_shards);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// The shard builders, to be driven from load threads (one thread per
+  /// shard; builders are single-writer).
+  ImpressionBuilder& shard(int i) { return shards_[static_cast<size_t>(i)]; }
+
+  /// Combines all shards into one impression named `spec.name`.
+  Result<Impression> Merge() const;
+
+ private:
+  ShardedImpressionBuilder(ImpressionSpec spec,
+                           std::vector<ImpressionBuilder> shards)
+      : spec_(std::move(spec)), shards_(std::move(shards)) {}
+
+  ImpressionSpec spec_;
+  std::vector<ImpressionBuilder> shards_;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_CORE_SHARDED_BUILDER_H_

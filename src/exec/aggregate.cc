@@ -1,0 +1,193 @@
+#include "exec/aggregate.h"
+
+#include <limits>
+#include <unordered_map>
+
+#include "stats/descriptive.h"
+#include "util/string_util.h"
+
+namespace sciborq {
+
+std::string_view AggKindToString(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kAvg:
+      return "AVG";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+    case AggKind::kVariance:
+      return "VAR";
+  }
+  return "?";
+}
+
+std::string AggregateSpec::ToString() const {
+  if (kind == AggKind::kCount && column.empty()) return "COUNT(*)";
+  return StrFormat("%s(%s)", std::string(AggKindToString(kind)).c_str(),
+                   column.c_str());
+}
+
+namespace {
+
+Result<const Column*> NumericColumn(const Table& table,
+                                    const std::string& name) {
+  SCIBORQ_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(name));
+  if (!IsNumeric(col->type())) {
+    return Status::InvalidArgument(
+        StrFormat("aggregate requires numeric column, got '%s'", name.c_str()));
+  }
+  return col;
+}
+
+/// Accumulates one aggregate over a stream of values.
+class AggAccumulator {
+ public:
+  explicit AggAccumulator(AggKind kind) : kind_(kind) {}
+
+  void Add(double v) {
+    moments_.Add(v);
+  }
+  void AddRowOnly() { ++count_only_; }
+
+  Result<double> Finish() const {
+    switch (kind_) {
+      case AggKind::kCount:
+        return static_cast<double>(count_only_ + moments_.count());
+      case AggKind::kSum:
+        return moments_.mean() * static_cast<double>(moments_.count());
+      case AggKind::kAvg:
+        if (moments_.count() == 0) {
+          return Status::InvalidArgument("AVG over zero rows");
+        }
+        return moments_.mean();
+      case AggKind::kMin:
+        if (moments_.count() == 0) {
+          return Status::InvalidArgument("MIN over zero rows");
+        }
+        return moments_.min();
+      case AggKind::kMax:
+        if (moments_.count() == 0) {
+          return Status::InvalidArgument("MAX over zero rows");
+        }
+        return moments_.max();
+      case AggKind::kVariance:
+        if (moments_.count() < 2) {
+          return Status::InvalidArgument("VAR needs at least two rows");
+        }
+        return moments_.variance();
+    }
+    return Status::Internal("unreachable aggregate kind");
+  }
+
+ private:
+  AggKind kind_;
+  RunningMoments moments_;
+  int64_t count_only_ = 0;
+};
+
+}  // namespace
+
+Result<double> ComputeAggregate(const Table& table, const SelectionVector& rows,
+                                const AggregateSpec& spec) {
+  AggAccumulator acc(spec.kind);
+  if (spec.kind == AggKind::kCount && spec.column.empty()) {
+    return static_cast<double>(rows.size());
+  }
+  SCIBORQ_ASSIGN_OR_RETURN(const Column* col, NumericColumn(table, spec.column));
+  for (const int64_t row : rows) {
+    if (col->IsNull(row)) continue;
+    acc.Add(col->NumericAt(row));
+  }
+  return acc.Finish();
+}
+
+Result<std::vector<double>> GatherNumeric(const Table& table,
+                                          const SelectionVector& rows,
+                                          const std::string& column) {
+  SCIBORQ_ASSIGN_OR_RETURN(const Column* col, NumericColumn(table, column));
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const int64_t row : rows) {
+    if (col->IsNull(row)) continue;
+    out.push_back(col->NumericAt(row));
+  }
+  return out;
+}
+
+Result<std::vector<GroupRow>> ComputeGroupedAggregates(
+    const Table& table, const SelectionVector& rows,
+    const std::string& group_column, const std::vector<AggregateSpec>& specs) {
+  SCIBORQ_ASSIGN_OR_RETURN(const Column* key_col,
+                           table.ColumnByName(group_column));
+  if (key_col->type() == DataType::kDouble) {
+    return Status::InvalidArgument(
+        "grouping on double columns is not supported (bin them first)");
+  }
+
+  // Pre-resolve aggregate input columns once.
+  std::vector<const Column*> inputs(specs.size(), nullptr);
+  for (size_t s = 0; s < specs.size(); ++s) {
+    if (specs[s].kind == AggKind::kCount && specs[s].column.empty()) continue;
+    SCIBORQ_ASSIGN_OR_RETURN(inputs[s], NumericColumn(table, specs[s].column));
+  }
+
+  std::vector<GroupRow> out;
+  std::vector<std::vector<AggAccumulator>> accs;
+  std::unordered_map<int64_t, size_t> int_groups;
+  std::unordered_map<std::string, size_t> str_groups;
+
+  const auto group_index = [&](int64_t row) -> size_t {
+    size_t idx = 0;
+    if (key_col->type() == DataType::kInt64) {
+      const auto [it, inserted] =
+          int_groups.emplace(key_col->GetInt64(row), accs.size());
+      idx = it->second;
+      if (inserted) {
+        out.push_back(GroupRow{Value(key_col->GetInt64(row)), {}, 0});
+      }
+    } else {
+      const auto [it, inserted] =
+          str_groups.emplace(key_col->GetString(row), accs.size());
+      idx = it->second;
+      if (inserted) {
+        out.push_back(GroupRow{Value(key_col->GetString(row)), {}, 0});
+      }
+    }
+    if (idx == accs.size()) {
+      std::vector<AggAccumulator> group_accs;
+      group_accs.reserve(specs.size());
+      for (const auto& spec : specs) group_accs.emplace_back(spec.kind);
+      accs.push_back(std::move(group_accs));
+    }
+    return idx;
+  };
+
+  for (const int64_t row : rows) {
+    if (key_col->IsNull(row)) continue;  // SQL semantics: NULL keys dropped
+    const size_t g = group_index(row);
+    ++out[g].group_rows;
+    for (size_t s = 0; s < specs.size(); ++s) {
+      if (inputs[s] == nullptr) {
+        accs[g][s].AddRowOnly();
+      } else if (!inputs[s]->IsNull(row)) {
+        accs[g][s].Add(inputs[s]->NumericAt(row));
+      }
+    }
+  }
+
+  for (size_t g = 0; g < accs.size(); ++g) {
+    out[g].aggregates.reserve(specs.size());
+    for (size_t s = 0; s < specs.size(); ++s) {
+      SCIBORQ_ASSIGN_OR_RETURN(double v, accs[g][s].Finish());
+      out[g].aggregates.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace sciborq

@@ -1,0 +1,56 @@
+#ifndef SCIBORQ_EXEC_AGGREGATE_H_
+#define SCIBORQ_EXEC_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "column/table.h"
+#include "column/types.h"
+#include "util/result.h"
+
+namespace sciborq {
+
+/// Aggregate functions supported by the bounded executor. COUNT ignores its
+/// column; the others require a numeric column and skip nulls.
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax, kVariance };
+
+std::string_view AggKindToString(AggKind kind);
+
+/// One aggregate to compute, e.g. {kAvg, "redshift"}.
+struct AggregateSpec {
+  AggKind kind = AggKind::kCount;
+  std::string column;  ///< empty for COUNT(*)
+
+  std::string ToString() const;
+};
+
+/// Exact aggregate over the selected rows of a table. This is both the
+/// base-data truth path and the per-impression raw statistic (the bounded
+/// executor scales raw sample statistics into population estimates).
+Result<double> ComputeAggregate(const Table& table,
+                                const SelectionVector& rows,
+                                const AggregateSpec& spec);
+
+/// Gathers the non-null numeric values of `column` at `rows` — the sample
+/// vector handed to the statistical estimators.
+Result<std::vector<double>> GatherNumeric(const Table& table,
+                                          const SelectionVector& rows,
+                                          const std::string& column);
+
+/// One output row of a grouped aggregation.
+struct GroupRow {
+  Value key;
+  std::vector<double> aggregates;  ///< one per spec, in input order
+  int64_t group_rows = 0;          ///< selected rows in this group
+};
+
+/// Exact hash group-by over the selected rows: groups on `group_column`
+/// (int64 or string) and computes every spec per group. Output is ordered by
+/// first appearance of the group in `rows`.
+Result<std::vector<GroupRow>> ComputeGroupedAggregates(
+    const Table& table, const SelectionVector& rows,
+    const std::string& group_column, const std::vector<AggregateSpec>& specs);
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_EXEC_AGGREGATE_H_

@@ -1,0 +1,495 @@
+#include "exec/expr.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace sciborq {
+
+Result<SelectionVector> SelectAll(const Table& table, const Predicate& pred) {
+  SCIBORQ_RETURN_NOT_OK(pred.Validate(table.schema()));
+  SelectionVector candidates(static_cast<size_t>(table.num_rows()));
+  for (int64_t i = 0; i < table.num_rows(); ++i) {
+    candidates[static_cast<size_t>(i)] = i;
+  }
+  SelectionVector out;
+  SCIBORQ_RETURN_NOT_OK(pred.Select(table, candidates, &out));
+  return out;
+}
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+/// column <op> literal. Numeric literals compare against any numeric column;
+/// string literals require a string column.
+class ComparePredicate final : public Predicate {
+ public:
+  ComparePredicate(std::string column, CompareOp op, Value literal)
+      : column_(std::move(column)), op_(op), literal_(std::move(literal)) {}
+
+  Status Validate(const Schema& schema) const override {
+    SCIBORQ_ASSIGN_OR_RETURN(int idx, schema.FieldIndex(column_));
+    const DataType type = schema.field(idx).type;
+    if (literal_.is_string() != (type == DataType::kString)) {
+      return Status::InvalidArgument(
+          StrFormat("predicate on '%s': literal/column type mismatch",
+                    column_.c_str()));
+    }
+    if (literal_.is_null()) {
+      return Status::InvalidArgument("comparisons against NULL never match");
+    }
+    return Status::OK();
+  }
+
+  Status Select(const Table& table, const SelectionVector& candidates,
+                SelectionVector* out) const override {
+    out->clear();
+    SCIBORQ_RETURN_NOT_OK(Validate(table.schema()));
+    SCIBORQ_ASSIGN_OR_RETURN(const Column* col,
+                             table.ColumnByName(column_));
+    if (col->type() == DataType::kString) {
+      const std::string& want = literal_.str();
+      for (const int64_t row : candidates) {
+        if (col->IsNull(row)) continue;
+        if (MatchesOrdering(col->GetString(row).compare(want))) {
+          out->push_back(row);
+        }
+      }
+      return Status::OK();
+    }
+    const double want = literal_.AsDouble();
+    for (const int64_t row : candidates) {
+      if (col->IsNull(row)) continue;
+      const double v = col->NumericAt(row);
+      if (MatchesValue(v, want)) out->push_back(row);
+    }
+    return Status::OK();
+  }
+
+  bool Matches(const Table& table, int64_t row) const override {
+    const Column* col = table.ColumnByName(column_).value_or(nullptr);
+    if (col == nullptr || col->IsNull(row)) return false;
+    if (col->type() == DataType::kString) {
+      return MatchesOrdering(col->GetString(row).compare(literal_.str()));
+    }
+    return MatchesValue(col->NumericAt(row), literal_.AsDouble());
+  }
+
+  void CollectPredicatePoints(
+      std::vector<PredicatePoint>* points) const override {
+    if (!literal_.is_string() && !literal_.is_null()) {
+      points->push_back(PredicatePoint{column_, literal_.AsDouble()});
+    }
+  }
+
+  std::string ToString() const override {
+    return StrFormat("%s %s %s", column_.c_str(),
+                     std::string(CompareOpToString(op_)).c_str(),
+                     literal_.is_string()
+                         ? ("'" + literal_.str() + "'").c_str()
+                         : literal_.ToString().c_str());
+  }
+
+  std::unique_ptr<Predicate> Clone() const override {
+    return std::make_unique<ComparePredicate>(column_, op_, literal_);
+  }
+
+ private:
+  bool MatchesValue(double v, double want) const {
+    switch (op_) {
+      case CompareOp::kEq:
+        return v == want;
+      case CompareOp::kNe:
+        return v != want;
+      case CompareOp::kLt:
+        return v < want;
+      case CompareOp::kLe:
+        return v <= want;
+      case CompareOp::kGt:
+        return v > want;
+      case CompareOp::kGe:
+        return v >= want;
+    }
+    return false;
+  }
+  bool MatchesOrdering(int cmp) const {
+    switch (op_) {
+      case CompareOp::kEq:
+        return cmp == 0;
+      case CompareOp::kNe:
+        return cmp != 0;
+      case CompareOp::kLt:
+        return cmp < 0;
+      case CompareOp::kLe:
+        return cmp <= 0;
+      case CompareOp::kGt:
+        return cmp > 0;
+      case CompareOp::kGe:
+        return cmp >= 0;
+    }
+    return false;
+  }
+
+  std::string column_;
+  CompareOp op_;
+  Value literal_;
+};
+
+/// lo <= column <= hi over numeric columns.
+class BetweenPredicate final : public Predicate {
+ public:
+  BetweenPredicate(std::string column, double lo, double hi)
+      : column_(std::move(column)), lo_(lo), hi_(hi) {}
+
+  Status Validate(const Schema& schema) const override {
+    SCIBORQ_ASSIGN_OR_RETURN(int idx, schema.FieldIndex(column_));
+    if (!IsNumeric(schema.field(idx).type)) {
+      return Status::InvalidArgument(
+          StrFormat("BETWEEN requires numeric column, got '%s'",
+                    column_.c_str()));
+    }
+    return Status::OK();
+  }
+
+  Status Select(const Table& table, const SelectionVector& candidates,
+                SelectionVector* out) const override {
+    out->clear();
+    SCIBORQ_RETURN_NOT_OK(Validate(table.schema()));
+    SCIBORQ_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column_));
+    for (const int64_t row : candidates) {
+      if (col->IsNull(row)) continue;
+      const double v = col->NumericAt(row);
+      if (v >= lo_ && v <= hi_) out->push_back(row);
+    }
+    return Status::OK();
+  }
+
+  bool Matches(const Table& table, int64_t row) const override {
+    const Column* col = table.ColumnByName(column_).value_or(nullptr);
+    if (col == nullptr || col->IsNull(row)) return false;
+    const double v = col->NumericAt(row);
+    return v >= lo_ && v <= hi_;
+  }
+
+  void CollectPredicatePoints(
+      std::vector<PredicatePoint>* points) const override {
+    // A range request expresses interest in its whole extent; its midpoint is
+    // the single best stand-in for the requested region.
+    points->push_back(PredicatePoint{column_, 0.5 * (lo_ + hi_)});
+  }
+
+  std::string ToString() const override {
+    return StrFormat("%s BETWEEN %g AND %g", column_.c_str(), lo_, hi_);
+  }
+
+  std::unique_ptr<Predicate> Clone() const override {
+    return std::make_unique<BetweenPredicate>(column_, lo_, hi_);
+  }
+
+ private:
+  std::string column_;
+  double lo_;
+  double hi_;
+};
+
+/// (x - x0)^2 + (y - y0)^2 <= r^2 — the fGetNearbyObjEq shape.
+class ConePredicate final : public Predicate {
+ public:
+  ConePredicate(std::string cx, std::string cy, double x0, double y0, double r)
+      : cx_(std::move(cx)), cy_(std::move(cy)), x0_(x0), y0_(y0), r_(r) {}
+
+  Status Validate(const Schema& schema) const override {
+    for (const auto* name : {&cx_, &cy_}) {
+      SCIBORQ_ASSIGN_OR_RETURN(int idx, schema.FieldIndex(*name));
+      if (!IsNumeric(schema.field(idx).type)) {
+        return Status::InvalidArgument(
+            StrFormat("cone requires numeric column, got '%s'", name->c_str()));
+      }
+    }
+    if (!(r_ >= 0.0)) return Status::InvalidArgument("cone radius must be >= 0");
+    return Status::OK();
+  }
+
+  Status Select(const Table& table, const SelectionVector& candidates,
+                SelectionVector* out) const override {
+    out->clear();
+    SCIBORQ_RETURN_NOT_OK(Validate(table.schema()));
+    SCIBORQ_ASSIGN_OR_RETURN(const Column* colx, table.ColumnByName(cx_));
+    SCIBORQ_ASSIGN_OR_RETURN(const Column* coly, table.ColumnByName(cy_));
+    const double r2 = r_ * r_;
+    for (const int64_t row : candidates) {
+      if (colx->IsNull(row) || coly->IsNull(row)) continue;
+      const double dx = colx->NumericAt(row) - x0_;
+      const double dy = coly->NumericAt(row) - y0_;
+      if (dx * dx + dy * dy <= r2) out->push_back(row);
+    }
+    return Status::OK();
+  }
+
+  bool Matches(const Table& table, int64_t row) const override {
+    const Column* colx = table.ColumnByName(cx_).value_or(nullptr);
+    const Column* coly = table.ColumnByName(cy_).value_or(nullptr);
+    if (colx == nullptr || coly == nullptr) return false;
+    if (colx->IsNull(row) || coly->IsNull(row)) return false;
+    const double dx = colx->NumericAt(row) - x0_;
+    const double dy = coly->NumericAt(row) - y0_;
+    return dx * dx + dy * dy <= r_ * r_;
+  }
+
+  void CollectPredicatePoints(
+      std::vector<PredicatePoint>* points) const override {
+    // fGetNearbyObjEq(ra, dec, r): the center is the focal point (§4).
+    points->push_back(PredicatePoint{cx_, x0_});
+    points->push_back(PredicatePoint{cy_, y0_});
+  }
+
+  void CollectPredicatePairs(
+      std::vector<PredicatePair>* pairs) const override {
+    pairs->push_back(PredicatePair{cx_, cy_, x0_, y0_});
+  }
+
+  std::string ToString() const override {
+    return StrFormat("cone(%s, %s; %g, %g; r=%g)", cx_.c_str(), cy_.c_str(),
+                     x0_, y0_, r_);
+  }
+
+  std::unique_ptr<Predicate> Clone() const override {
+    return std::make_unique<ConePredicate>(cx_, cy_, x0_, y0_, r_);
+  }
+
+ private:
+  std::string cx_;
+  std::string cy_;
+  double x0_;
+  double y0_;
+  double r_;
+};
+
+class NotPredicate final : public Predicate {
+ public:
+  explicit NotPredicate(PredicatePtr child) : child_(std::move(child)) {}
+
+  Status Validate(const Schema& schema) const override {
+    return child_->Validate(schema);
+  }
+
+  Status Select(const Table& table, const SelectionVector& candidates,
+                SelectionVector* out) const override {
+    out->clear();
+    SelectionVector matched;
+    SCIBORQ_RETURN_NOT_OK(child_->Select(table, candidates, &matched));
+    // candidates and matched are both ascending; emit the set difference.
+    size_t m = 0;
+    for (const int64_t row : candidates) {
+      if (m < matched.size() && matched[m] == row) {
+        ++m;
+      } else {
+        out->push_back(row);
+      }
+    }
+    return Status::OK();
+  }
+
+  bool Matches(const Table& table, int64_t row) const override {
+    return !child_->Matches(table, row);
+  }
+
+  void CollectPredicatePoints(
+      std::vector<PredicatePoint>* points) const override {
+    child_->CollectPredicatePoints(points);
+  }
+
+  void CollectPredicatePairs(
+      std::vector<PredicatePair>* pairs) const override {
+    child_->CollectPredicatePairs(pairs);
+  }
+
+  std::string ToString() const override {
+    return "NOT (" + child_->ToString() + ")";
+  }
+
+  std::unique_ptr<Predicate> Clone() const override {
+    return std::make_unique<NotPredicate>(child_->Clone());
+  }
+
+ private:
+  PredicatePtr child_;
+};
+
+class AndPredicate final : public Predicate {
+ public:
+  explicit AndPredicate(std::vector<PredicatePtr> children)
+      : children_(std::move(children)) {}
+
+  Status Validate(const Schema& schema) const override {
+    for (const auto& c : children_) SCIBORQ_RETURN_NOT_OK(c->Validate(schema));
+    return Status::OK();
+  }
+
+  Status Select(const Table& table, const SelectionVector& candidates,
+                SelectionVector* out) const override {
+    // Conjunction = successive narrowing of the candidate list.
+    SelectionVector current = candidates;
+    SelectionVector next;
+    for (const auto& c : children_) {
+      SCIBORQ_RETURN_NOT_OK(c->Select(table, current, &next));
+      current.swap(next);
+    }
+    *out = std::move(current);
+    return Status::OK();
+  }
+
+  bool Matches(const Table& table, int64_t row) const override {
+    for (const auto& c : children_) {
+      if (!c->Matches(table, row)) return false;
+    }
+    return true;
+  }
+
+  void CollectPredicatePoints(
+      std::vector<PredicatePoint>* points) const override {
+    for (const auto& c : children_) c->CollectPredicatePoints(points);
+  }
+
+  void CollectPredicatePairs(
+      std::vector<PredicatePair>* pairs) const override {
+    for (const auto& c : children_) c->CollectPredicatePairs(pairs);
+  }
+
+  std::string ToString() const override {
+    std::vector<std::string> parts;
+    parts.reserve(children_.size());
+    for (const auto& c : children_) parts.push_back("(" + c->ToString() + ")");
+    return Join(parts, " AND ");
+  }
+
+  std::unique_ptr<Predicate> Clone() const override {
+    std::vector<PredicatePtr> copies;
+    copies.reserve(children_.size());
+    for (const auto& c : children_) copies.push_back(c->Clone());
+    return std::make_unique<AndPredicate>(std::move(copies));
+  }
+
+ private:
+  std::vector<PredicatePtr> children_;
+};
+
+class OrPredicate final : public Predicate {
+ public:
+  explicit OrPredicate(std::vector<PredicatePtr> children)
+      : children_(std::move(children)) {}
+
+  Status Validate(const Schema& schema) const override {
+    for (const auto& c : children_) SCIBORQ_RETURN_NOT_OK(c->Validate(schema));
+    return Status::OK();
+  }
+
+  Status Select(const Table& table, const SelectionVector& candidates,
+                SelectionVector* out) const override {
+    out->clear();
+    SCIBORQ_RETURN_NOT_OK(Validate(table.schema()));
+    for (const int64_t row : candidates) {
+      if (Matches(table, row)) out->push_back(row);
+    }
+    return Status::OK();
+  }
+
+  bool Matches(const Table& table, int64_t row) const override {
+    for (const auto& c : children_) {
+      if (c->Matches(table, row)) return true;
+    }
+    return false;
+  }
+
+  void CollectPredicatePoints(
+      std::vector<PredicatePoint>* points) const override {
+    for (const auto& c : children_) c->CollectPredicatePoints(points);
+  }
+
+  void CollectPredicatePairs(
+      std::vector<PredicatePair>* pairs) const override {
+    for (const auto& c : children_) c->CollectPredicatePairs(pairs);
+  }
+
+  std::string ToString() const override {
+    std::vector<std::string> parts;
+    parts.reserve(children_.size());
+    for (const auto& c : children_) parts.push_back("(" + c->ToString() + ")");
+    return Join(parts, " OR ");
+  }
+
+  std::unique_ptr<Predicate> Clone() const override {
+    std::vector<PredicatePtr> copies;
+    copies.reserve(children_.size());
+    for (const auto& c : children_) copies.push_back(c->Clone());
+    return std::make_unique<OrPredicate>(std::move(copies));
+  }
+
+ private:
+  std::vector<PredicatePtr> children_;
+};
+
+}  // namespace
+
+PredicatePtr Compare(std::string column, CompareOp op, Value literal) {
+  return std::make_unique<ComparePredicate>(std::move(column), op,
+                                            std::move(literal));
+}
+PredicatePtr Eq(std::string column, Value literal) {
+  return Compare(std::move(column), CompareOp::kEq, std::move(literal));
+}
+PredicatePtr Ne(std::string column, Value literal) {
+  return Compare(std::move(column), CompareOp::kNe, std::move(literal));
+}
+PredicatePtr Lt(std::string column, Value literal) {
+  return Compare(std::move(column), CompareOp::kLt, std::move(literal));
+}
+PredicatePtr Le(std::string column, Value literal) {
+  return Compare(std::move(column), CompareOp::kLe, std::move(literal));
+}
+PredicatePtr Gt(std::string column, Value literal) {
+  return Compare(std::move(column), CompareOp::kGt, std::move(literal));
+}
+PredicatePtr Ge(std::string column, Value literal) {
+  return Compare(std::move(column), CompareOp::kGe, std::move(literal));
+}
+
+PredicatePtr Between(std::string column, double lo, double hi) {
+  return std::make_unique<BetweenPredicate>(std::move(column), lo, hi);
+}
+
+PredicatePtr Cone(std::string column_x, std::string column_y, double x0,
+                  double y0, double radius) {
+  return std::make_unique<ConePredicate>(std::move(column_x),
+                                         std::move(column_y), x0, y0, radius);
+}
+
+PredicatePtr Not(PredicatePtr child) {
+  return std::make_unique<NotPredicate>(std::move(child));
+}
+PredicatePtr And(std::vector<PredicatePtr> children) {
+  return std::make_unique<AndPredicate>(std::move(children));
+}
+PredicatePtr Or(std::vector<PredicatePtr> children) {
+  return std::make_unique<OrPredicate>(std::move(children));
+}
+
+}  // namespace sciborq

@@ -1,0 +1,121 @@
+#ifndef SCIBORQ_EXEC_EXPR_H_
+#define SCIBORQ_EXEC_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "column/table.h"
+#include "column/types.h"
+#include "column/value.h"
+#include "util/result.h"
+
+namespace sciborq {
+
+/// One scalar value requested by a query predicate on one attribute — the
+/// atoms of the paper's *predicate set* (§4). The workload tracker folds
+/// these into per-attribute histograms that steer the sampling bias.
+struct PredicatePoint {
+  std::string column;
+  double value;
+};
+
+/// A *correlated* pair of requested values on two attributes — emitted by
+/// predicates that constrain two attributes jointly (the cone shape of
+/// fGetNearbyObjEq). Feeds the 2-D joint interest histograms (the paper's
+/// footnote-3 / §6 multi-dimensional extension).
+struct PredicatePair {
+  std::string column_x;
+  std::string column_y;
+  double x;
+  double y;
+};
+
+/// A boolean filter over table rows. Implementations are vectorized: Select()
+/// intersects a candidate list in one pass, MonetDB-style. Predicates are
+/// immutable after construction and shared between base tables and
+/// impressions (identical schemas).
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+
+  /// Narrows `candidates` to the rows satisfying the predicate, appending to
+  /// `out` (which is cleared first). Error when a referenced column is
+  /// missing or mistyped.
+  virtual Status Select(const Table& table, const SelectionVector& candidates,
+                        SelectionVector* out) const = 0;
+
+  /// Row-at-a-time evaluation for streaming paths. Precondition: the schema
+  /// was validated by a prior Select or Validate call.
+  virtual bool Matches(const Table& table, int64_t row) const = 0;
+
+  /// Checks column references/types against a schema without running.
+  virtual Status Validate(const Schema& schema) const = 0;
+
+  /// Contributes this predicate's requested values (see PredicatePoint).
+  virtual void CollectPredicatePoints(
+      std::vector<PredicatePoint>* points) const = 0;
+
+  /// Contributes correlated attribute pairs (see PredicatePair). Default:
+  /// none — only jointly-constraining predicates (cones) emit pairs;
+  /// boolean combinators forward to their children.
+  virtual void CollectPredicatePairs(std::vector<PredicatePair>*) const {}
+
+  /// SQL-ish rendering for logs and debugging.
+  virtual std::string ToString() const = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<Predicate> Clone() const = 0;
+};
+
+using PredicatePtr = std::unique_ptr<Predicate>;
+
+/// Runs a predicate against all rows of a table (convenience wrapper that
+/// builds the full candidate list).
+Result<SelectionVector> SelectAll(const Table& table, const Predicate& pred);
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+std::string_view CompareOpToString(CompareOp op);
+
+// ---------------------------------------------------------------------------
+// Factory functions — the public way to build predicate trees:
+//   auto p = And(Ge("ra", 180.0), Le("ra", 190.0), Eq("class", "GALAXY"));
+// ---------------------------------------------------------------------------
+
+PredicatePtr Compare(std::string column, CompareOp op, Value literal);
+PredicatePtr Eq(std::string column, Value literal);
+PredicatePtr Ne(std::string column, Value literal);
+PredicatePtr Lt(std::string column, Value literal);
+PredicatePtr Le(std::string column, Value literal);
+PredicatePtr Gt(std::string column, Value literal);
+PredicatePtr Ge(std::string column, Value literal);
+
+/// lo <= column <= hi (numeric).
+PredicatePtr Between(std::string column, double lo, double hi);
+
+/// Euclidean cone in two attributes (the SkyServer fGetNearbyObjEq shape):
+/// (c1 - x0)^2 + (c2 - y0)^2 <= radius^2. The paper's focal-point queries.
+PredicatePtr Cone(std::string column_x, std::string column_y, double x0,
+                  double y0, double radius);
+
+PredicatePtr Not(PredicatePtr child);
+PredicatePtr And(std::vector<PredicatePtr> children);
+PredicatePtr Or(std::vector<PredicatePtr> children);
+
+/// Variadic conveniences.
+template <typename... Ps>
+PredicatePtr And(Ps... preds) {
+  std::vector<PredicatePtr> children;
+  (children.push_back(std::move(preds)), ...);
+  return And(std::move(children));
+}
+template <typename... Ps>
+PredicatePtr Or(Ps... preds) {
+  std::vector<PredicatePtr> children;
+  (children.push_back(std::move(preds)), ...);
+  return Or(std::move(children));
+}
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_EXEC_EXPR_H_

@@ -1,0 +1,95 @@
+#include "exec/join.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace sciborq {
+
+namespace {
+
+Result<const Column*> Int64Key(const Table& table, const std::string& name) {
+  SCIBORQ_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(name));
+  if (col->type() != DataType::kInt64) {
+    return Status::InvalidArgument(
+        StrFormat("join key '%s' must be int64", name.c_str()));
+  }
+  return col;
+}
+
+}  // namespace
+
+Result<Table> HashJoin(const Table& left, const std::string& left_key,
+                       const Table& right, const std::string& right_key) {
+  SCIBORQ_ASSIGN_OR_RETURN(const Column* lk, Int64Key(left, left_key));
+  SCIBORQ_ASSIGN_OR_RETURN(const Column* rk, Int64Key(right, right_key));
+
+  // Build: key -> right row ids (multimap shape via bucket vectors).
+  std::unordered_map<int64_t, std::vector<int64_t>> build;
+  build.reserve(static_cast<size_t>(right.num_rows()));
+  for (int64_t row = 0; row < right.num_rows(); ++row) {
+    if (rk->IsNull(row)) continue;
+    build[rk->GetInt64(row)].push_back(row);
+  }
+
+  // Output schema: left fields + right fields (minus right key, clash-prefixed).
+  std::vector<Field> fields = left.schema().fields();
+  std::vector<int> right_cols;
+  for (int i = 0; i < right.schema().num_fields(); ++i) {
+    const Field& f = right.schema().field(i);
+    if (f.name == right_key) continue;
+    Field out = f;
+    if (left.schema().HasField(out.name)) out.name = "right_" + out.name;
+    fields.push_back(out);
+    right_cols.push_back(i);
+  }
+  Schema out_schema(std::move(fields));
+
+  // Probe.
+  SelectionVector left_matches;
+  SelectionVector right_matches;
+  for (int64_t row = 0; row < left.num_rows(); ++row) {
+    if (lk->IsNull(row)) continue;
+    const auto it = build.find(lk->GetInt64(row));
+    if (it == build.end()) continue;
+    for (const int64_t rrow : it->second) {
+      left_matches.push_back(row);
+      right_matches.push_back(rrow);
+    }
+  }
+
+  // Materialize column-at-a-time.
+  std::vector<Column> columns;
+  columns.reserve(static_cast<size_t>(out_schema.num_fields()));
+  for (int i = 0; i < left.num_columns(); ++i) {
+    columns.push_back(left.column(i).Take(left_matches));
+  }
+  for (const int rcol : right_cols) {
+    columns.push_back(right.column(rcol).Take(right_matches));
+  }
+  return Table::FromColumns(std::move(out_schema), std::move(columns));
+}
+
+Result<int64_t> CountJoinMatches(const Table& left, const std::string& left_key,
+                                 const SelectionVector& left_rows,
+                                 const Table& right,
+                                 const std::string& right_key) {
+  SCIBORQ_ASSIGN_OR_RETURN(const Column* lk, Int64Key(left, left_key));
+  SCIBORQ_ASSIGN_OR_RETURN(const Column* rk, Int64Key(right, right_key));
+  std::unordered_map<int64_t, int64_t> counts;
+  counts.reserve(static_cast<size_t>(right.num_rows()));
+  for (int64_t row = 0; row < right.num_rows(); ++row) {
+    if (rk->IsNull(row)) continue;
+    ++counts[rk->GetInt64(row)];
+  }
+  int64_t total = 0;
+  for (const int64_t row : left_rows) {
+    if (lk->IsNull(row)) continue;
+    const auto it = counts.find(lk->GetInt64(row));
+    if (it != counts.end()) total += it->second;
+  }
+  return total;
+}
+
+}  // namespace sciborq

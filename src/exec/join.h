@@ -1,0 +1,28 @@
+#ifndef SCIBORQ_EXEC_JOIN_H_
+#define SCIBORQ_EXEC_JOIN_H_
+
+#include <string>
+
+#include "column/table.h"
+#include "util/result.h"
+
+namespace sciborq {
+
+/// Inner hash join on int64 key columns (the foreign-key shape of the
+/// SkyServer schema: PhotoObjAll.field_id = Field.field_id). Builds on the
+/// right (dimension) side, probes with the left (fact) side. Output schema is
+/// the left schema followed by the right schema minus its key column; right
+/// columns clashing with a left name get a "right_" prefix.
+Result<Table> HashJoin(const Table& left, const std::string& left_key,
+                       const Table& right, const std::string& right_key);
+
+/// Join selectivity helper: for each selected left row, how many right rows
+/// share its key (used by the join-correlation bench without materializing).
+Result<int64_t> CountJoinMatches(const Table& left, const std::string& left_key,
+                                 const SelectionVector& left_rows,
+                                 const Table& right,
+                                 const std::string& right_key);
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_EXEC_JOIN_H_

@@ -1,0 +1,357 @@
+#include "exec/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace sciborq {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,    // bare word (also keywords; matched case-insensitively)
+  kNumber,
+  kString,   // 'quoted'
+  kSymbol,   // one of ( ) , ; * = and the comparison operators
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier/symbol text, or string contents
+  double number = 0.0;
+  bool number_is_int = false;
+  size_t offset = 0;  // for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespace();
+      Token token;
+      token.offset = pos_;
+      if (pos_ >= text_.size()) {
+        token.kind = TokenKind::kEnd;
+        out.push_back(token);
+        return out;
+      }
+      const char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        token.kind = TokenKind::kIdent;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          token.text += text_[pos_++];
+        }
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+                 ((c == '-' || c == '+') && pos_ + 1 < text_.size() &&
+                  (std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])) ||
+                   text_[pos_ + 1] == '.'))) {
+        token.kind = TokenKind::kNumber;
+        const size_t start = pos_;
+        char* end = nullptr;
+        token.number = std::strtod(text_.c_str() + start, &end);
+        pos_ = static_cast<size_t>(end - text_.c_str());
+        const std::string slice = text_.substr(start, pos_ - start);
+        token.number_is_int =
+            slice.find_first_of(".eE") == std::string::npos;
+        token.text = slice;
+      } else if (c == '\'') {
+        token.kind = TokenKind::kString;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '\'') {
+          token.text += text_[pos_++];
+        }
+        if (pos_ >= text_.size()) {
+          return Status::InvalidArgument(
+              StrFormat("unterminated string literal at offset %zu",
+                        token.offset));
+        }
+        ++pos_;  // closing quote
+      } else if (c == '<' || c == '>') {
+        token.kind = TokenKind::kSymbol;
+        token.text += text_[pos_++];
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '=' || (c == '<' && text_[pos_] == '>'))) {
+          token.text += text_[pos_++];
+        }
+      } else if (c == '(' || c == ')' || c == ',' || c == ';' || c == '*' ||
+                 c == '=') {
+        token.kind = TokenKind::kSymbol;
+        token.text = std::string(1, c);
+        ++pos_;
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("unexpected character '%c' at offset %zu", c, pos_));
+      }
+      out.push_back(std::move(token));
+    }
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string Lowered(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<AggregateQuery> ParseQueryText() {
+    AggregateQuery query;
+    SCIBORQ_RETURN_NOT_OK(ExpectKeyword("select"));
+    SCIBORQ_ASSIGN_OR_RETURN(AggregateSpec first, ParseAggregate());
+    query.aggregates.push_back(std::move(first));
+    while (AcceptSymbol(",")) {
+      SCIBORQ_ASSIGN_OR_RETURN(AggregateSpec next, ParseAggregate());
+      query.aggregates.push_back(std::move(next));
+    }
+    if (AcceptKeyword("where")) {
+      SCIBORQ_ASSIGN_OR_RETURN(query.filter, ParseOr());
+    }
+    if (AcceptKeyword("group")) {
+      SCIBORQ_RETURN_NOT_OK(ExpectKeyword("by"));
+      SCIBORQ_ASSIGN_OR_RETURN(query.group_by, ExpectIdent());
+    }
+    SCIBORQ_RETURN_NOT_OK(ExpectEnd());
+    return query;
+  }
+
+  Result<PredicatePtr> ParsePredicateText() {
+    SCIBORQ_ASSIGN_OR_RETURN(PredicatePtr pred, ParseOr());
+    SCIBORQ_RETURN_NOT_OK(ExpectEnd());
+    return pred;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  const Token& Advance() { return tokens_[index_++]; }
+
+  bool AcceptKeyword(const std::string& word) {
+    if (Peek().kind == TokenKind::kIdent && Lowered(Peek().text) == word) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& word) {
+    if (!AcceptKeyword(word)) {
+      return Status::InvalidArgument(
+          StrFormat("expected '%s' at offset %zu", word.c_str(),
+                    Peek().offset));
+    }
+    return Status::OK();
+  }
+  bool AcceptSymbol(const std::string& symbol) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == symbol) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(const std::string& symbol) {
+    if (!AcceptSymbol(symbol)) {
+      return Status::InvalidArgument(StrFormat(
+          "expected '%s' at offset %zu", symbol.c_str(), Peek().offset));
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument(
+          StrFormat("expected identifier at offset %zu", Peek().offset));
+    }
+    return Advance().text;
+  }
+  Result<double> ExpectNumber() {
+    if (Peek().kind != TokenKind::kNumber) {
+      return Status::InvalidArgument(
+          StrFormat("expected number at offset %zu", Peek().offset));
+    }
+    return Advance().number;
+  }
+  Status ExpectEnd() {
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::InvalidArgument(StrFormat(
+          "unexpected trailing input at offset %zu", Peek().offset));
+    }
+    return Status::OK();
+  }
+
+  Result<AggregateSpec> ParseAggregate() {
+    SCIBORQ_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+    const std::string fn = Lowered(name);
+    AggregateSpec spec;
+    if (fn == "count") {
+      spec.kind = AggKind::kCount;
+    } else if (fn == "sum") {
+      spec.kind = AggKind::kSum;
+    } else if (fn == "avg") {
+      spec.kind = AggKind::kAvg;
+    } else if (fn == "min") {
+      spec.kind = AggKind::kMin;
+    } else if (fn == "max") {
+      spec.kind = AggKind::kMax;
+    } else if (fn == "var" || fn == "variance") {
+      spec.kind = AggKind::kVariance;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unknown aggregate '%s'", name.c_str()));
+    }
+    SCIBORQ_RETURN_NOT_OK(ExpectSymbol("("));
+    if (AcceptSymbol("*")) {
+      if (spec.kind != AggKind::kCount) {
+        return Status::InvalidArgument("only COUNT accepts '*'");
+      }
+    } else {
+      SCIBORQ_ASSIGN_OR_RETURN(spec.column, ExpectIdent());
+    }
+    SCIBORQ_RETURN_NOT_OK(ExpectSymbol(")"));
+    return spec;
+  }
+
+  Result<PredicatePtr> ParseOr() {
+    SCIBORQ_ASSIGN_OR_RETURN(PredicatePtr first, ParseAnd());
+    std::vector<PredicatePtr> children;
+    children.push_back(std::move(first));
+    while (AcceptKeyword("or")) {
+      SCIBORQ_ASSIGN_OR_RETURN(PredicatePtr next, ParseAnd());
+      children.push_back(std::move(next));
+    }
+    if (children.size() == 1) return std::move(children[0]);
+    return Or(std::move(children));
+  }
+
+  Result<PredicatePtr> ParseAnd() {
+    SCIBORQ_ASSIGN_OR_RETURN(PredicatePtr first, ParseUnary());
+    std::vector<PredicatePtr> children;
+    children.push_back(std::move(first));
+    while (AcceptKeyword("and")) {
+      SCIBORQ_ASSIGN_OR_RETURN(PredicatePtr next, ParseUnary());
+      children.push_back(std::move(next));
+    }
+    if (children.size() == 1) return std::move(children[0]);
+    return And(std::move(children));
+  }
+
+  Result<PredicatePtr> ParseUnary() {
+    if (AcceptKeyword("not")) {
+      SCIBORQ_ASSIGN_OR_RETURN(PredicatePtr child, ParseUnary());
+      return Not(std::move(child));
+    }
+    if (AcceptKeyword("cone")) return ParseCone();
+    if (AcceptSymbol("(")) {
+      SCIBORQ_ASSIGN_OR_RETURN(PredicatePtr inner, ParseOr());
+      SCIBORQ_RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  Result<PredicatePtr> ParseCone() {
+    // cone(col_x, col_y; x, y; [r=]radius) — ',' accepted for ';'.
+    SCIBORQ_RETURN_NOT_OK(ExpectSymbol("("));
+    SCIBORQ_ASSIGN_OR_RETURN(std::string cx, ExpectIdent());
+    SCIBORQ_RETURN_NOT_OK(ExpectSymbol(","));
+    SCIBORQ_ASSIGN_OR_RETURN(std::string cy, ExpectIdent());
+    SCIBORQ_RETURN_NOT_OK(ExpectSeparator());
+    SCIBORQ_ASSIGN_OR_RETURN(double x0, ExpectNumber());
+    SCIBORQ_RETURN_NOT_OK(ExpectSymbol(","));
+    SCIBORQ_ASSIGN_OR_RETURN(double y0, ExpectNumber());
+    SCIBORQ_RETURN_NOT_OK(ExpectSeparator());
+    if (AcceptKeyword("r")) SCIBORQ_RETURN_NOT_OK(ExpectSymbol("="));
+    SCIBORQ_ASSIGN_OR_RETURN(double radius, ExpectNumber());
+    SCIBORQ_RETURN_NOT_OK(ExpectSymbol(")"));
+    return Cone(std::move(cx), std::move(cy), x0, y0, radius);
+  }
+
+  Status ExpectSeparator() {
+    if (AcceptSymbol(";") || AcceptSymbol(",")) return Status::OK();
+    return Status::InvalidArgument(
+        StrFormat("expected ';' or ',' at offset %zu", Peek().offset));
+  }
+
+  Result<PredicatePtr> ParseComparison() {
+    SCIBORQ_ASSIGN_OR_RETURN(std::string column, ExpectIdent());
+    if (AcceptKeyword("between")) {
+      SCIBORQ_ASSIGN_OR_RETURN(double lo, ExpectNumber());
+      SCIBORQ_RETURN_NOT_OK(ExpectKeyword("and"));
+      SCIBORQ_ASSIGN_OR_RETURN(double hi, ExpectNumber());
+      return Between(std::move(column), lo, hi);
+    }
+    if (Peek().kind != TokenKind::kSymbol) {
+      return Status::InvalidArgument(StrFormat(
+          "expected comparison operator at offset %zu", Peek().offset));
+    }
+    const std::string op_text = Advance().text;
+    CompareOp op;
+    if (op_text == "=") {
+      op = CompareOp::kEq;
+    } else if (op_text == "<>") {
+      op = CompareOp::kNe;
+    } else if (op_text == "<") {
+      op = CompareOp::kLt;
+    } else if (op_text == "<=") {
+      op = CompareOp::kLe;
+    } else if (op_text == ">") {
+      op = CompareOp::kGt;
+    } else if (op_text == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unknown operator '%s'", op_text.c_str()));
+    }
+    Value literal;
+    if (Peek().kind == TokenKind::kString) {
+      literal = Value(Advance().text);
+    } else if (Peek().kind == TokenKind::kNumber) {
+      const Token& t = Advance();
+      literal = t.number_is_int ? Value(static_cast<int64_t>(t.number))
+                                : Value(t.number);
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("expected literal at offset %zu", Peek().offset));
+    }
+    return Compare(std::move(column), op, std::move(literal));
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<AggregateQuery> ParseQuery(const std::string& text) {
+  Lexer lexer(text);
+  SCIBORQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseQueryText();
+}
+
+Result<PredicatePtr> ParsePredicate(const std::string& text) {
+  Lexer lexer(text);
+  SCIBORQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParsePredicateText();
+}
+
+}  // namespace sciborq

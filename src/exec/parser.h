@@ -1,0 +1,42 @@
+#ifndef SCIBORQ_EXEC_PARSER_H_
+#define SCIBORQ_EXEC_PARSER_H_
+
+#include <string>
+
+#include "exec/query.h"
+#include "util/result.h"
+
+namespace sciborq {
+
+/// Parses the SQL-ish aggregate dialect that AggregateQuery::ToString emits,
+/// so textual query logs (the raw material of the paper's workload mining,
+/// §2.1) can be replayed into a QueryLog / InterestTracker:
+///
+///   SELECT COUNT(*), AVG(redshift)
+///   WHERE (obj_class = 'GALAXY') AND (cone(ra, dec; 185, 0; r=3))
+///   GROUP BY obj_class
+///
+/// Grammar (case-insensitive keywords):
+///   query    := SELECT agg (',' agg)* [WHERE or_expr] [GROUP BY ident]
+///   agg      := (COUNT|SUM|AVG|MIN|MAX|VAR) '(' ('*' | ident) ')'
+///   or_expr  := and_expr (OR and_expr)*
+///   and_expr := unary (AND unary)*
+///   unary    := NOT unary | '(' or_expr ')' | primary
+///   primary  := ident op literal
+///             | ident BETWEEN number AND number
+///             | CONE '(' ident ',' ident ';' number ',' number ';'
+///               ['r' '='] number ')'
+///   op       := '=' | '<>' | '<' | '<=' | '>' | '>='
+///   literal  := number | "'" chars "'"
+/// Integer-looking numbers become int64 literals, others double.
+///
+/// Round-trip guarantee: ParseQuery(q.ToString()) produces a query whose
+/// ToString() equals the original (tested in tests/parser_test.cc).
+Result<AggregateQuery> ParseQuery(const std::string& text);
+
+/// Parses only a predicate expression (the or_expr production).
+Result<PredicatePtr> ParsePredicate(const std::string& text);
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_EXEC_PARSER_H_

@@ -1,0 +1,80 @@
+#include "exec/query.h"
+
+#include "util/string_util.h"
+
+namespace sciborq {
+
+AggregateQuery AggregateQuery::Clone() const {
+  AggregateQuery out;
+  out.aggregates = aggregates;
+  out.filter = filter ? filter->Clone() : nullptr;
+  out.group_by = group_by;
+  return out;
+}
+
+std::vector<PredicatePoint> AggregateQuery::PredicatePoints() const {
+  std::vector<PredicatePoint> points;
+  if (filter) filter->CollectPredicatePoints(&points);
+  return points;
+}
+
+std::vector<PredicatePair> AggregateQuery::PredicatePairs() const {
+  std::vector<PredicatePair> pairs;
+  if (filter) filter->CollectPredicatePairs(&pairs);
+  return pairs;
+}
+
+std::string AggregateQuery::ToString() const {
+  std::vector<std::string> aggs;
+  aggs.reserve(aggregates.size());
+  for (const auto& a : aggregates) aggs.push_back(a.ToString());
+  std::string out = "SELECT " + Join(aggs, ", ");
+  if (filter) out += " WHERE " + filter->ToString();
+  if (!group_by.empty()) out += " GROUP BY " + group_by;
+  return out;
+}
+
+Result<std::vector<QueryResultRow>> RunExact(const Table& table,
+                                             const AggregateQuery& query) {
+  if (query.aggregates.empty()) {
+    return Status::InvalidArgument("query has no aggregates");
+  }
+  SelectionVector rows;
+  if (query.filter) {
+    SCIBORQ_ASSIGN_OR_RETURN(rows, SelectAll(table, *query.filter));
+  } else {
+    rows.resize(static_cast<size_t>(table.num_rows()));
+    for (int64_t i = 0; i < table.num_rows(); ++i) {
+      rows[static_cast<size_t>(i)] = i;
+    }
+  }
+
+  std::vector<QueryResultRow> out;
+  if (query.group_by.empty()) {
+    QueryResultRow row;
+    row.group_key = Value::Null();
+    row.input_rows = static_cast<int64_t>(rows.size());
+    row.values.reserve(query.aggregates.size());
+    for (const auto& spec : query.aggregates) {
+      SCIBORQ_ASSIGN_OR_RETURN(double v, ComputeAggregate(table, rows, spec));
+      row.values.push_back(v);
+    }
+    out.push_back(std::move(row));
+    return out;
+  }
+
+  SCIBORQ_ASSIGN_OR_RETURN(
+      std::vector<GroupRow> groups,
+      ComputeGroupedAggregates(table, rows, query.group_by, query.aggregates));
+  out.reserve(groups.size());
+  for (auto& g : groups) {
+    QueryResultRow row;
+    row.group_key = std::move(g.key);
+    row.values = std::move(g.aggregates);
+    row.input_rows = g.group_rows;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace sciborq

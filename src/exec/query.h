@@ -1,0 +1,56 @@
+#ifndef SCIBORQ_EXEC_QUERY_H_
+#define SCIBORQ_EXEC_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "column/table.h"
+#include "exec/aggregate.h"
+#include "exec/expr.h"
+#include "util/result.h"
+
+namespace sciborq {
+
+/// A declarative aggregate query — the unit of work SciBORQ answers with
+/// bounds. SELECT <aggregates> FROM t [WHERE filter] [GROUP BY group_by].
+/// The same descriptor runs exactly on base data (RunExact) or approximately
+/// on an impression (core/bounded_executor.h), and is what the workload log
+/// records to extract the predicate set.
+struct AggregateQuery {
+  std::vector<AggregateSpec> aggregates;
+  PredicatePtr filter;    ///< null = no WHERE clause
+  std::string group_by;   ///< empty = ungrouped
+
+  AggregateQuery() = default;
+  AggregateQuery(AggregateQuery&&) = default;
+  AggregateQuery& operator=(AggregateQuery&&) = default;
+
+  /// Deep copy (predicates are unique_ptr-owned).
+  AggregateQuery Clone() const;
+
+  /// The requested values of every predicate in the query (§4).
+  std::vector<PredicatePoint> PredicatePoints() const;
+
+  /// Correlated attribute pairs requested by joint predicates (cones).
+  std::vector<PredicatePair> PredicatePairs() const;
+
+  /// SQL-ish rendering for logs.
+  std::string ToString() const;
+};
+
+/// One result row: the group key (null Value for ungrouped queries) plus one
+/// value per aggregate, and the number of input rows that fed the group.
+struct QueryResultRow {
+  Value group_key;
+  std::vector<double> values;
+  int64_t input_rows = 0;
+};
+
+/// Exact evaluation against any table (base data or a materialized sample).
+/// Ungrouped queries yield exactly one row.
+Result<std::vector<QueryResultRow>> RunExact(const Table& table,
+                                             const AggregateQuery& query);
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_EXEC_QUERY_H_

@@ -1,0 +1,91 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace sciborq {
+
+namespace {
+
+/// Builds a three-way comparator over rows of `col`; nulls sort last.
+template <typename Less>
+Result<SelectionVector> OrderImpl(const Table& table, const std::string& name,
+                                  Less less_fn, bool partial, int64_t k) {
+  SCIBORQ_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(name));
+  SelectionVector order(static_cast<size_t>(table.num_rows()));
+  for (int64_t i = 0; i < table.num_rows(); ++i) {
+    order[static_cast<size_t>(i)] = i;
+  }
+  const auto cmp = [col, &less_fn](int64_t a, int64_t b) {
+    const bool an = col->IsNull(a);
+    const bool bn = col->IsNull(b);
+    if (an || bn) return bn && !an;  // nulls last
+    return less_fn(*col, a, b);
+  };
+  if (partial && k < table.num_rows()) {
+    std::partial_sort(order.begin(), order.begin() + static_cast<size_t>(k),
+                      order.end(), cmp);
+    order.resize(static_cast<size_t>(k));
+  } else {
+    std::stable_sort(order.begin(), order.end(), cmp);
+  }
+  return order;
+}
+
+Result<SelectionVector> Order(const Table& table, const std::string& name,
+                              bool ascending, bool partial, int64_t k) {
+  SCIBORQ_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(name));
+  if (col->type() == DataType::kString) {
+    if (ascending) {
+      return OrderImpl(
+          table, name,
+          [](const Column& c, int64_t a, int64_t b) {
+            return c.GetString(a) < c.GetString(b);
+          },
+          partial, k);
+    }
+    return OrderImpl(
+        table, name,
+        [](const Column& c, int64_t a, int64_t b) {
+          return c.GetString(a) > c.GetString(b);
+        },
+        partial, k);
+  }
+  if (ascending) {
+    return OrderImpl(
+        table, name,
+        [](const Column& c, int64_t a, int64_t b) {
+          return c.NumericAt(a) < c.NumericAt(b);
+        },
+        partial, k);
+  }
+  return OrderImpl(
+      table, name,
+      [](const Column& c, int64_t a, int64_t b) {
+        return c.NumericAt(a) > c.NumericAt(b);
+      },
+      partial, k);
+}
+
+}  // namespace
+
+Result<SelectionVector> SortedOrder(const Table& table,
+                                    const std::string& column, bool ascending) {
+  return Order(table, column, ascending, /*partial=*/false, /*k=*/0);
+}
+
+Result<Table> SortTable(const Table& table, const std::string& column,
+                        bool ascending) {
+  SCIBORQ_ASSIGN_OR_RETURN(SelectionVector order,
+                           SortedOrder(table, column, ascending));
+  return table.TakeRows(order);
+}
+
+Result<SelectionVector> TopK(const Table& table, const std::string& column,
+                             int64_t k, bool ascending) {
+  if (k < 0) return Status::InvalidArgument("TopK: k must be >= 0");
+  return Order(table, column, ascending, /*partial=*/true, k);
+}
+
+}  // namespace sciborq

@@ -1,0 +1,29 @@
+#ifndef SCIBORQ_EXEC_SORT_H_
+#define SCIBORQ_EXEC_SORT_H_
+
+#include <string>
+
+#include "column/table.h"
+#include "util/result.h"
+
+namespace sciborq {
+
+/// Returns the row ids of `table` ordered by `column` (nulls last). This is a
+/// *blocking* operator — the paper's §3.2 point that blocking operators make
+/// pipeline-cutting time bounds unsound is exactly why impressions bound time
+/// by input size instead.
+Result<SelectionVector> SortedOrder(const Table& table,
+                                    const std::string& column,
+                                    bool ascending = true);
+
+/// Materializes the sorted table.
+Result<Table> SortTable(const Table& table, const std::string& column,
+                        bool ascending = true);
+
+/// The first k row ids in sorted order (partial sort; O(n log k)).
+Result<SelectionVector> TopK(const Table& table, const std::string& column,
+                             int64_t k, bool ascending = true);
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_EXEC_SORT_H_

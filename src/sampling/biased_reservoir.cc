@@ -1,0 +1,50 @@
+#include "sampling/biased_reservoir.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sciborq {
+
+Result<BiasedReservoirSampler> BiasedReservoirSampler::Make(
+    int64_t capacity, uint64_t seed, bool paper_faithful) {
+  if (capacity <= 0) {
+    return Status::InvalidArgument("biased reservoir capacity must be positive");
+  }
+  return BiasedReservoirSampler(capacity, seed, paper_faithful);
+}
+
+ReservoirDecision BiasedReservoirSampler::Offer(double weight) {
+  if (!(weight > 0.0) || !std::isfinite(weight)) weight = 0.0;
+  ++seen_;
+  total_weight_ += weight;
+  if (seen_ % curve_interval_ == 0) curve_.push_back(accepted_post_fill_);
+  if (seen_ <= capacity_) {
+    // Fig. 6: "populate the sample smp with the first n tuples".
+    return ReservoirDecision{true, seen_ - 1};
+  }
+  const double rnd = rng_.NextDouble();
+  // Fig. 6: accept iff cnt * rnd < n * N * f̆(tpl); `weight` = N * f̆(tpl).
+  const double threshold = static_cast<double>(capacity_) * weight /
+                           static_cast<double>(seen_);
+  if (rnd >= threshold) return ReservoirDecision{false, -1};
+  ++accepted_post_fill_;
+  int64_t slot = 0;
+  if (paper_faithful_) {
+    // Verbatim Fig. 6: smp[floor(rnd * n)].
+    slot = static_cast<int64_t>(
+        std::floor(rnd * static_cast<double>(capacity_)));
+    slot = std::clamp<int64_t>(slot, 0, capacity_ - 1);
+  } else {
+    slot = static_cast<int64_t>(
+        rng_.NextBounded(static_cast<uint64_t>(capacity_)));
+  }
+  return ReservoirDecision{true, slot};
+}
+
+double BiasedReservoirSampler::InclusionProbability(double weight) const {
+  if (!(weight > 0.0) || total_weight_ <= 0.0) return 0.0;
+  if (seen_ <= capacity_) return 1.0;
+  return std::min(1.0, static_cast<double>(capacity_) * weight / total_weight_);
+}
+
+}  // namespace sciborq

@@ -1,0 +1,21 @@
+#ifndef SCIBORQ_SAMPLING_DECISION_H_
+#define SCIBORQ_SAMPLING_DECISION_H_
+
+#include <cstdint>
+
+namespace sciborq {
+
+/// The outcome of offering one streaming tuple to a reservoir-style sampler.
+/// Samplers only decide; the caller owns the storage (an Impression stores
+/// whole rows column-wise) and applies the decision:
+///   if (d.accepted) storage[d.slot] = tuple;   // slot < capacity
+/// Slots are dense: while the reservoir is filling, slot == number of rows
+/// stored so far; afterwards it names the victim row to overwrite.
+struct ReservoirDecision {
+  bool accepted = false;
+  int64_t slot = -1;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_SAMPLING_DECISION_H_

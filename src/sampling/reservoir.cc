@@ -1,0 +1,56 @@
+#include "sampling/reservoir.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sciborq {
+
+Result<ReservoirSampler> ReservoirSampler::Make(int64_t capacity,
+                                                uint64_t seed) {
+  if (capacity <= 0) {
+    return Status::InvalidArgument("reservoir capacity must be positive");
+  }
+  return ReservoirSampler(capacity, seed);
+}
+
+ReservoirDecision ReservoirSampler::Offer() {
+  ++seen_;
+  if (seen_ <= capacity_) {
+    // Fig. 2: "populate the sample smp with the first n tuples".
+    return ReservoirDecision{true, seen_ - 1};
+  }
+  // Fig. 2: rnd := floor(cnt * random()); accept iff rnd < n.
+  const auto rnd = static_cast<int64_t>(rng_.NextBounded(
+      static_cast<uint64_t>(seen_)));
+  if (rnd < capacity_) return ReservoirDecision{true, rnd};
+  return ReservoirDecision{false, -1};
+}
+
+ReservoirSampler::SkipDecision ReservoirSampler::OfferWithSkip() {
+  SCIBORQ_CHECK(full());
+  // P(skip >= s) = Π_{i=1..s} (1 - n/(cnt+i)); invert by sequential search on
+  // the product — expected O(cnt/n) iterations, amortized constant for the
+  // bulk-load pattern. (A full Algorithm Z would jump in O(1); sequential
+  // inversion keeps the arithmetic exact and is fast enough at our scales.)
+  const double u = rng_.NextDouble();
+  double prod = 1.0;
+  int64_t skip = 0;
+  while (true) {
+    prod *= 1.0 -
+            static_cast<double>(capacity_) / static_cast<double>(seen_ + skip + 1);
+    if (prod <= u || prod <= 0.0) break;
+    ++skip;
+  }
+  seen_ += skip + 1;  // the skipped tuples plus the accepted one
+  const auto slot = static_cast<int64_t>(
+      rng_.NextBounded(static_cast<uint64_t>(capacity_)));
+  return SkipDecision{skip, slot};
+}
+
+double ReservoirSampler::InclusionProbability() const {
+  if (seen_ <= capacity_) return 1.0;
+  return static_cast<double>(capacity_) / static_cast<double>(seen_);
+}
+
+}  // namespace sciborq

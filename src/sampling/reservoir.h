@@ -1,0 +1,60 @@
+#ifndef SCIBORQ_SAMPLING_RESERVOIR_H_
+#define SCIBORQ_SAMPLING_RESERVOIR_H_
+
+#include <cstdint>
+
+#include "sampling/decision.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace sciborq {
+
+/// Vitter's reservoir Algorithm R, exactly the paper's Figure 2: tuple number
+/// cnt (1-based) is accepted with probability n/cnt and evicts a uniformly
+/// random victim. After any prefix of the stream, every seen tuple is in the
+/// sample with equal probability n/cnt — the uniform baseline against which
+/// biased impressions are compared.
+class ReservoirSampler {
+ public:
+  /// InvalidArgument when capacity <= 0.
+  static Result<ReservoirSampler> Make(int64_t capacity, uint64_t seed);
+
+  /// Decides about the next stream tuple.
+  ReservoirDecision Offer();
+
+  /// Bulk-load decision in the style of Vitter's Algorithm X: how many
+  /// upcoming tuples to reject outright, then which slot the tuple after them
+  /// occupies. The sampler accounts for all skip+1 tuples internally. Caller
+  /// pattern:
+  ///   auto [skip, slot] = sampler.OfferWithSkip();
+  ///   stream.Advance(skip);
+  ///   if (!stream.Done()) store(slot, stream.Current());
+  /// Only valid once the reservoir is full (use Offer() while filling).
+  struct SkipDecision {
+    int64_t skip = 0;
+    int64_t slot = -1;
+  };
+  SkipDecision OfferWithSkip();
+
+  int64_t capacity() const { return capacity_; }
+  /// Tuples offered so far (cnt in the paper).
+  int64_t seen() const { return seen_; }
+  /// Rows currently held (min(seen, capacity)).
+  int64_t size() const { return seen_ < capacity_ ? seen_ : capacity_; }
+  bool full() const { return seen_ >= capacity_; }
+
+  /// Uniform inclusion probability n/cnt of any seen tuple (1 while filling).
+  double InclusionProbability() const;
+
+ private:
+  ReservoirSampler(int64_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {}
+
+  int64_t capacity_;
+  int64_t seen_ = 0;
+  Rng rng_;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_SAMPLING_RESERVOIR_H_

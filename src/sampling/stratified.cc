@@ -1,0 +1,49 @@
+#include "sampling/stratified.h"
+
+namespace sciborq {
+
+Result<StratifiedSampler> StratifiedSampler::Make(int64_t capacity,
+                                                  int max_strata,
+                                                  uint64_t seed) {
+  if (max_strata < 1) {
+    return Status::InvalidArgument("need at least one stratum");
+  }
+  if (capacity < max_strata) {
+    return Status::InvalidArgument("capacity must cover one row per stratum");
+  }
+  return StratifiedSampler(capacity / max_strata, max_strata, seed);
+}
+
+ReservoirDecision StratifiedSampler::Offer(int64_t stratum) {
+  ++seen_;
+  int64_t key = stratum % max_strata_;
+  if (key < 0) key += max_strata_;
+  auto it = strata_.find(key);
+  if (it == strata_.end()) {
+    if (static_cast<int>(strata_.size()) >= max_strata_) {
+      // All stratum indices taken; fold into the densest existing bucket.
+      it = strata_.begin();
+    } else {
+      const int index = static_cast<int>(strata_.size());
+      auto sampler = ReservoirSampler::Make(
+          per_stratum_, seed_ ^ (0x9E3779B97F4A7C15ULL * (key + 1)));
+      it = strata_
+               .emplace(key, std::make_pair(index, std::move(sampler).value()))
+               .first;
+    }
+  }
+  const ReservoirDecision local = it->second.second.Offer();
+  if (!local.accepted) return local;
+  return ReservoirDecision{
+      true, static_cast<int64_t>(it->second.first) * per_stratum_ + local.slot};
+}
+
+double StratifiedSampler::InclusionProbability(int64_t stratum) const {
+  int64_t key = stratum % max_strata_;
+  if (key < 0) key += max_strata_;
+  const auto it = strata_.find(key);
+  if (it == strata_.end()) return 1.0;
+  return it->second.second.InclusionProbability();
+}
+
+}  // namespace sciborq

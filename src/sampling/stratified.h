@@ -1,0 +1,52 @@
+#ifndef SCIBORQ_SAMPLING_STRATIFIED_H_
+#define SCIBORQ_SAMPLING_STRATIFIED_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sampling/decision.h"
+#include "sampling/reservoir.h"
+#include "util/result.h"
+
+namespace sciborq {
+
+/// Per-stratum uniform reservoirs with a shared slot space — the classical
+/// AQUA-style baseline (congressional/stratified sampling) the related-work
+/// section positions SciBORQ against. The caller assigns each tuple a stratum
+/// id (e.g. its focal-region bucket); each stratum gets an equal share of the
+/// capacity, created lazily up to `max_strata`.
+class StratifiedSampler {
+ public:
+  /// InvalidArgument unless capacity >= max_strata >= 1.
+  static Result<StratifiedSampler> Make(int64_t capacity, int max_strata,
+                                        uint64_t seed);
+
+  /// Offers a tuple belonging to `stratum`. Unknown strata beyond max_strata
+  /// are folded into stratum (id mod max_strata). Returned slots are global:
+  /// stratum_index * per_stratum_capacity + local_slot.
+  ReservoirDecision Offer(int64_t stratum);
+
+  int64_t capacity() const { return per_stratum_ * max_strata_; }
+  int64_t per_stratum_capacity() const { return per_stratum_; }
+  int64_t seen() const { return seen_; }
+  int num_active_strata() const { return static_cast<int>(strata_.size()); }
+
+  /// Uniform inclusion probability within stratum `stratum` (1 while filling).
+  double InclusionProbability(int64_t stratum) const;
+
+ private:
+  StratifiedSampler(int64_t per_stratum, int max_strata, uint64_t seed)
+      : per_stratum_(per_stratum), max_strata_(max_strata), seed_(seed) {}
+
+  int64_t per_stratum_;
+  int max_strata_;
+  uint64_t seed_;
+  int64_t seen_ = 0;
+  /// stratum id -> (dense stratum index, sampler)
+  std::unordered_map<int64_t, std::pair<int, ReservoirSampler>> strata_;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_SAMPLING_STRATIFIED_H_

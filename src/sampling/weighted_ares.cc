@@ -1,0 +1,63 @@
+#include "sampling/weighted_ares.h"
+
+#include <cmath>
+
+namespace sciborq {
+
+Result<WeightedAResSampler> WeightedAResSampler::Make(int64_t capacity,
+                                                      uint64_t seed) {
+  if (capacity <= 0) {
+    return Status::InvalidArgument("A-Res capacity must be positive");
+  }
+  return WeightedAResSampler(capacity, seed);
+}
+
+void WeightedAResSampler::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  while (true) {
+    const size_t l = 2 * i + 1;
+    const size_t r = 2 * i + 2;
+    size_t smallest = i;
+    if (l < n && heap_[l].key < heap_[smallest].key) smallest = l;
+    if (r < n && heap_[r].key < heap_[smallest].key) smallest = r;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+void WeightedAResSampler::SiftUp(size_t i) {
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (heap_[parent].key <= heap_[i].key) return;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+ReservoirDecision WeightedAResSampler::Offer(double weight) {
+  ++seen_;
+  if (!(weight > 0.0) || !std::isfinite(weight)) {
+    // Zero-weight tuples only enter while the reservoir is filling — and even
+    // then with the weakest possible key so they are evicted first.
+    weight = 1e-300;
+  }
+  // key = u^(1/w) computed in log space: log key = log(u)/w.
+  double u = rng_.NextDouble();
+  if (u <= 1e-300) u = 1e-300;
+  const double log_key = std::log(u) / weight;
+
+  if (!full()) {
+    const auto slot = static_cast<int64_t>(heap_.size());
+    heap_.push_back(Entry{log_key, slot});
+    SiftUp(heap_.size() - 1);
+    return ReservoirDecision{true, slot};
+  }
+  if (log_key <= heap_[0].key) return ReservoirDecision{false, -1};
+  const int64_t slot = heap_[0].slot;
+  heap_[0] = Entry{log_key, slot};
+  SiftDown(0);
+  return ReservoirDecision{true, slot};
+}
+
+}  // namespace sciborq

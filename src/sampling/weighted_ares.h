@@ -1,0 +1,52 @@
+#ifndef SCIBORQ_SAMPLING_WEIGHTED_ARES_H_
+#define SCIBORQ_SAMPLING_WEIGHTED_ARES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sampling/decision.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace sciborq {
+
+/// Weighted reservoir sampling *without* replacement by exponential keys
+/// (Efraimidis & Spirakis A-Res). Each tuple draws key = u^(1/w); the
+/// reservoir keeps the n largest keys. This is the statistically exact
+/// counterpart to the paper's heuristic Fig. 6 scheme and serves as the gold
+/// baseline in tests and the ablation bench: inclusion probabilities follow
+/// the weighted-without-replacement design precisely.
+class WeightedAResSampler {
+ public:
+  /// InvalidArgument when capacity <= 0.
+  static Result<WeightedAResSampler> Make(int64_t capacity, uint64_t seed);
+
+  /// Offers a tuple with weight w > 0 (w <= 0 is never sampled once full).
+  ReservoirDecision Offer(double weight);
+
+  int64_t capacity() const { return capacity_; }
+  int64_t seen() const { return seen_; }
+  int64_t size() const { return static_cast<int64_t>(heap_.size()); }
+  bool full() const { return size() >= capacity_; }
+
+ private:
+  WeightedAResSampler(int64_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {}
+
+  struct Entry {
+    double key;
+    int64_t slot;
+  };
+  /// Min-heap on key: heap_[0] is the weakest resident.
+  void SiftDown(size_t i);
+  void SiftUp(size_t i);
+
+  int64_t capacity_;
+  int64_t seen_ = 0;
+  std::vector<Entry> heap_;
+  Rng rng_;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_SAMPLING_WEIGHTED_ARES_H_

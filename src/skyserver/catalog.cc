@@ -1,0 +1,178 @@
+#include "skyserver/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/expr.h"
+#include "util/string_util.h"
+
+namespace sciborq {
+
+Schema PhotoObjSchema() {
+  return Schema({
+      Field{"objid", DataType::kInt64, false},
+      Field{"field_id", DataType::kInt64, false},
+      Field{"ra", DataType::kDouble, false},
+      Field{"dec", DataType::kDouble, false},
+      Field{"u", DataType::kDouble, false},
+      Field{"g", DataType::kDouble, false},
+      Field{"r", DataType::kDouble, false},
+      Field{"i", DataType::kDouble, false},
+      Field{"z", DataType::kDouble, false},
+      Field{"redshift", DataType::kDouble, false},
+      Field{"obj_class", DataType::kString, false},
+  });
+}
+
+SkyStream::SkyStream(const SkyCatalogConfig& config, uint64_t seed)
+    : config_(config), rng_(seed), schema_(PhotoObjSchema()) {
+  // Cluster centers: fixed for the stream's lifetime so that every daily
+  // batch draws from the same (non-uniform) sky.
+  cluster_ra_.reserve(static_cast<size_t>(config_.num_clusters));
+  cluster_dec_.reserve(static_cast<size_t>(config_.num_clusters));
+  for (int c = 0; c < config_.num_clusters; ++c) {
+    cluster_ra_.push_back(rng_.Uniform(config_.ra_min, config_.ra_max));
+    cluster_dec_.push_back(rng_.Uniform(config_.dec_min, config_.dec_max));
+  }
+}
+
+void SkyStream::AppendRow(Table* table) {
+  double ra = 0.0;
+  double dec = 0.0;
+  if (rng_.NextDouble() < config_.background_fraction ||
+      cluster_ra_.empty()) {
+    ra = rng_.Uniform(config_.ra_min, config_.ra_max);
+    dec = rng_.Uniform(config_.dec_min, config_.dec_max);
+  } else {
+    const auto c = static_cast<size_t>(
+        rng_.NextBounded(cluster_ra_.size()));
+    ra = std::clamp(rng_.Gaussian(cluster_ra_[c], config_.cluster_sd),
+                    config_.ra_min, config_.ra_max);
+    dec = std::clamp(rng_.Gaussian(cluster_dec_[c], config_.cluster_sd),
+                     config_.dec_min, config_.dec_max);
+  }
+
+  // Field id: equi-sized sky tiles.
+  const int fpa = std::max(1, config_.fields_per_axis);
+  const double fx = (ra - config_.ra_min) / (config_.ra_max - config_.ra_min);
+  const double fy =
+      (dec - config_.dec_min) / (config_.dec_max - config_.dec_min);
+  const int64_t field_x = std::clamp<int64_t>(
+      static_cast<int64_t>(fx * fpa), 0, fpa - 1);
+  const int64_t field_y = std::clamp<int64_t>(
+      static_cast<int64_t>(fy * fpa), 0, fpa - 1);
+  const int64_t field_id = field_y * fpa + field_x;
+
+  // Object class mix and photometry. Redshift correlates with class
+  // (quasars far, stars at ~0) so aggregates differ between sky regions.
+  const double class_draw = rng_.NextDouble();
+  std::string obj_class;
+  double redshift = 0.0;
+  if (class_draw < 0.62) {
+    obj_class = "GALAXY";
+    redshift = std::max(0.0, rng_.Gaussian(config_.redshift_mean,
+                                           config_.redshift_sd));
+  } else if (class_draw < 0.92) {
+    obj_class = "STAR";
+    redshift = std::abs(rng_.Gaussian(0.0, 1e-4));
+  } else {
+    obj_class = "QSO";
+    redshift = std::max(0.0, rng_.Gaussian(1.4, 0.6));
+  }
+  // Magnitudes: a crude color model around an r-band base.
+  const double r_mag = rng_.Uniform(14.0, 24.0);
+  const double g_r = rng_.Gaussian(0.6, 0.3);
+  const double u_g = rng_.Gaussian(1.1, 0.4);
+  const double r_i = rng_.Gaussian(0.3, 0.2);
+  const double i_z = rng_.Gaussian(0.2, 0.2);
+
+  const int64_t objid = ++produced_;
+  Column& objid_col = table->column(0);
+  (void)objid_col;
+  // Columns: objid, field_id, ra, dec, u, g, r, i, z, redshift, obj_class.
+  table->column(0).AppendInt64(objid);
+  table->column(1).AppendInt64(field_id);
+  table->column(2).AppendDouble(ra);
+  table->column(3).AppendDouble(dec);
+  table->column(4).AppendDouble(r_mag + g_r + u_g);
+  table->column(5).AppendDouble(r_mag + g_r);
+  table->column(6).AppendDouble(r_mag);
+  table->column(7).AppendDouble(r_mag - r_i);
+  table->column(8).AppendDouble(r_mag - r_i - i_z);
+  table->column(9).AppendDouble(redshift);
+  table->column(10).AppendString(obj_class);
+}
+
+Table SkyStream::NextBatch(int64_t batch_rows) {
+  Table batch(schema_);
+  batch.Reserve(batch_rows);
+  const int64_t before = produced_;
+  while (produced_ - before < batch_rows) AppendRow(&batch);
+  // AppendRow fills columns directly; rebuild the row count via FromColumns.
+  std::vector<Column> columns;
+  columns.reserve(static_cast<size_t>(batch.num_columns()));
+  for (int i = 0; i < batch.num_columns(); ++i) {
+    columns.push_back(std::move(batch.column(i)));
+  }
+  return Table::FromColumns(schema_, std::move(columns)).value();
+}
+
+Result<SkyCatalog> GenerateSkyCatalog(const SkyCatalogConfig& config,
+                                      uint64_t seed) {
+  if (config.num_rows <= 0) {
+    return Status::InvalidArgument("catalog needs a positive row count");
+  }
+  if (!(config.ra_max > config.ra_min) || !(config.dec_max > config.dec_min)) {
+    return Status::InvalidArgument("empty sky extent");
+  }
+  SkyCatalog catalog;
+  SkyStream stream(config, seed);
+  catalog.photo_obj_all = stream.NextBatch(config.num_rows);
+
+  // Field dimension: one row per sky tile.
+  const int fpa = std::max(1, config.fields_per_axis);
+  Table field{Schema({
+      Field{"field_id", DataType::kInt64, false},
+      Field{"ra_center", DataType::kDouble, false},
+      Field{"dec_center", DataType::kDouble, false},
+      Field{"seeing", DataType::kDouble, false},
+      Field{"airmass", DataType::kDouble, false},
+  })};
+  Rng dim_rng(seed ^ 0xF1E1DULL);
+  const double ra_step = (config.ra_max - config.ra_min) / fpa;
+  const double dec_step = (config.dec_max - config.dec_min) / fpa;
+  for (int y = 0; y < fpa; ++y) {
+    for (int x = 0; x < fpa; ++x) {
+      SCIBORQ_RETURN_NOT_OK(field.AppendRow({
+          Value(static_cast<int64_t>(y) * fpa + x),
+          Value(config.ra_min + (x + 0.5) * ra_step),
+          Value(config.dec_min + (y + 0.5) * dec_step),
+          Value(dim_rng.Uniform(0.8, 2.2)),
+          Value(dim_rng.Uniform(1.0, 1.8)),
+      }));
+    }
+  }
+  catalog.field = std::move(field);
+
+  Table tag{Schema({
+      Field{"obj_class", DataType::kString, false},
+      Field{"description", DataType::kString, false},
+  })};
+  SCIBORQ_RETURN_NOT_OK(
+      tag.AppendRow({Value("GALAXY"), Value("extended extragalactic source")}));
+  SCIBORQ_RETURN_NOT_OK(
+      tag.AppendRow({Value("STAR"), Value("point source, galactic")}));
+  SCIBORQ_RETURN_NOT_OK(
+      tag.AppendRow({Value("QSO"), Value("quasi-stellar object")}));
+  catalog.photo_tag = std::move(tag);
+  return catalog;
+}
+
+Result<Table> SkyCatalog::GalaxyView() const {
+  const PredicatePtr pred = Eq("obj_class", Value("GALAXY"));
+  SCIBORQ_ASSIGN_OR_RETURN(SelectionVector rows,
+                           SelectAll(photo_obj_all, *pred));
+  return photo_obj_all.TakeRows(rows);
+}
+
+}  // namespace sciborq

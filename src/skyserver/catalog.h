@@ -1,0 +1,86 @@
+#ifndef SCIBORQ_SKYSERVER_CATALOG_H_
+#define SCIBORQ_SKYSERVER_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "column/table.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace sciborq {
+
+/// A synthetic stand-in for the SDSS SkyServer warehouse (§2.1). The paper's
+/// experiments need (a) a PhotoObjAll-shaped fact table whose spatial
+/// distribution is non-uniform and differs from where the workload looks,
+/// and (b) dimension tables reachable by foreign keys. The generator
+/// reproduces both at laptop scale, fully seeded.
+///
+/// PhotoObjAll schema:
+///   objid:int64, field_id:int64, ra:double, dec:double,
+///   u,g,r,i,z:double (magnitudes), redshift:double, obj_class:string
+///   {GALAXY, STAR, QSO}
+struct SkyCatalogConfig {
+  int64_t num_rows = 600'000;  ///< the paper's Fig. 7 base is >600k tuples
+  double ra_min = 120.0;
+  double ra_max = 240.0;
+  double dec_min = 0.0;
+  double dec_max = 60.0;
+  /// Galactic structure: dense clusters over a uniform background.
+  int num_clusters = 24;
+  double cluster_sd = 4.0;
+  double background_fraction = 0.35;
+  /// Dimension sizing: sky fields (images) of roughly uniform footprint.
+  int fields_per_axis = 16;
+  /// Magnitude/redshift model parameters.
+  double redshift_mean = 0.12;
+  double redshift_sd = 0.08;
+};
+
+/// The generated warehouse: the fact table plus its dimensions.
+struct SkyCatalog {
+  Table photo_obj_all;
+  Table field;      ///< field_id:int64, ra_center:double, dec_center:double,
+                    ///< seeing:double, airmass:double
+  Table photo_tag;  ///< obj_class:string, description:string
+
+  /// Convenience: an astronomer's Galaxy view — PhotoObjAll restricted to
+  /// obj_class = 'GALAXY' (§2.1: "Table Galaxy is a view of PhotoObjAll").
+  Result<Table> GalaxyView() const;
+};
+
+/// Generates the synthetic warehouse. Deterministic for a given seed.
+Result<SkyCatalog> GenerateSkyCatalog(const SkyCatalogConfig& config,
+                                      uint64_t seed);
+
+/// Generates only the fact table rows in `count` batches, invoking `sink`
+/// after each batch — the incremental daily-ingest shape of §3.3 that
+/// impression builders consume. Batches share the clustered sky model.
+class SkyStream {
+ public:
+  SkyStream(const SkyCatalogConfig& config, uint64_t seed);
+
+  /// Next batch of `batch_rows` fact rows (schema identical to PhotoObjAll).
+  Table NextBatch(int64_t batch_rows);
+
+  const Schema& schema() const { return schema_; }
+  int64_t produced() const { return produced_; }
+
+ private:
+  void AppendRow(Table* table);
+
+  SkyCatalogConfig config_;
+  Rng rng_;
+  Schema schema_;
+  std::vector<double> cluster_ra_;
+  std::vector<double> cluster_dec_;
+  int64_t produced_ = 0;
+};
+
+/// The PhotoObjAll schema shared by generator and tests.
+Schema PhotoObjSchema();
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_SKYSERVER_CATALOG_H_

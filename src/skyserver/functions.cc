@@ -1,0 +1,18 @@
+#include "skyserver/functions.h"
+
+namespace sciborq {
+
+PredicatePtr FGetNearbyObjEq(double ra, double dec, double radius_deg) {
+  return Cone("ra", "dec", ra, dec, radius_deg);
+}
+
+AggregateQuery NearbyGalaxiesQuery(double ra, double dec, double radius_deg) {
+  AggregateQuery q;
+  q.aggregates.push_back(AggregateSpec{AggKind::kCount, ""});
+  q.aggregates.push_back(AggregateSpec{AggKind::kAvg, "redshift"});
+  q.filter = And(Eq("obj_class", Value("GALAXY")),
+                 FGetNearbyObjEq(ra, dec, radius_deg));
+  return q;
+}
+
+}  // namespace sciborq

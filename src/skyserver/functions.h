@@ -1,0 +1,22 @@
+#ifndef SCIBORQ_SKYSERVER_FUNCTIONS_H_
+#define SCIBORQ_SKYSERVER_FUNCTIONS_H_
+
+#include "exec/expr.h"
+#include "exec/query.h"
+
+namespace sciborq {
+
+/// The SkyServer table-valued function fGetNearbyObjEq(ra, dec, r) as a
+/// predicate over PhotoObjAll: all objects within `radius_deg` of the given
+/// equatorial position (planar approximation, adequate at survey latitudes
+/// and the few-degree radii of the workload).
+PredicatePtr FGetNearbyObjEq(double ra, double dec, double radius_deg);
+
+/// The canonical §2.1 query — "select * from Galaxy G, fGetNearbyObjEq(185,
+/// 0, 3) N where G.objID = N.objID" — recast as the aggregate form SciBORQ
+/// answers with bounds: COUNT(*) and AVG(redshift) of galaxies in the cone.
+AggregateQuery NearbyGalaxiesQuery(double ra, double dec, double radius_deg);
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_SKYSERVER_FUNCTIONS_H_

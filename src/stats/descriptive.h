@@ -1,0 +1,48 @@
+#ifndef SCIBORQ_STATS_DESCRIPTIVE_H_
+#define SCIBORQ_STATS_DESCRIPTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sciborq {
+
+/// Single-pass mean/variance accumulator (Welford). Mergeable, so parallel
+/// load shards can combine their statistics.
+class RunningMoments {
+ public:
+  void Add(double value);
+  void Merge(const RunningMoments& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 values.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolation quantile of already-sorted data; q in [0, 1].
+/// Precondition: `sorted` non-empty and ascending.
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+/// Bins `data` into `num_bins` equi-width counts over [lo, hi); out-of-range
+/// values are clamped into the edge bins. The raw material of Figure 7.
+std::vector<int64_t> BinCounts(const std::vector<double>& data, double lo,
+                               double hi, int num_bins);
+
+/// Mean absolute / root-mean-square difference between two equal-length
+/// series (used to compare f̂ and f̆ curves for Figure 4).
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b);
+double L2Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_STATS_DESCRIPTIVE_H_

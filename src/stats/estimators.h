@@ -1,0 +1,91 @@
+#ifndef SCIBORQ_STATS_ESTIMATORS_H_
+#define SCIBORQ_STATS_ESTIMATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sciborq {
+
+/// The quantile function of the standard normal (inverse CDF), via Acklam's
+/// rational approximation (|relative error| < 1.15e-9). Domain: (0, 1).
+double NormalQuantile(double p);
+
+/// A point estimate with its sampling uncertainty, as returned to the user by
+/// bounded query processing. `relative_error` is the half-width of the
+/// confidence interval divided by |estimate| (infinite when estimate == 0 and
+/// the half-width is positive); this is the quantity checked against the
+/// user's error bound.
+struct AggregateEstimate {
+  double estimate = 0.0;
+  double std_error = 0.0;
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+  double confidence = 0.95;
+  int64_t sample_rows = 0;   ///< rows that contributed to the estimate
+  bool exact = false;        ///< true when computed on the full base data
+
+  /// CI half-width / |estimate|; +inf for a zero estimate with positive CI.
+  double RelativeError() const;
+
+  std::string ToString() const;
+};
+
+/// Finite population correction sqrt((N - n) / (N - 1)); 1 when N <= 1.
+double FinitePopulationCorrection(int64_t sample_n, int64_t population_n);
+
+// ---------------------------------------------------------------------------
+// Uniform (simple random sample) estimators — classic survey statistics with
+// CLT confidence intervals and finite-population correction.
+// ---------------------------------------------------------------------------
+
+/// Estimates the population mean from a uniform sample of `values` drawn from
+/// a population of `population_n` rows.
+Result<AggregateEstimate> EstimateMeanUniform(const std::vector<double>& values,
+                                              int64_t population_n,
+                                              double confidence = 0.95);
+
+/// Estimates the population sum (N * sample mean).
+Result<AggregateEstimate> EstimateSumUniform(const std::vector<double>& values,
+                                             int64_t population_n,
+                                             double confidence = 0.95);
+
+/// Estimates the number of population rows satisfying a predicate, given that
+/// `matching` of `sample_n` sampled rows match.
+Result<AggregateEstimate> EstimateCountUniform(int64_t matching,
+                                               int64_t sample_n,
+                                               int64_t population_n,
+                                               double confidence = 0.95);
+
+// ---------------------------------------------------------------------------
+// Horvitz–Thompson estimators for biased (unequal-probability) samples.
+// Each sampled row carries its inclusion probability pi_i; the HT estimator
+//   sum = Σ y_i / pi_i
+// is unbiased for any probability design. Variance uses the Poisson-design
+// approximation Σ (1 - pi_i) (y_i / pi_i)^2, which is the standard surrogate
+// when joint inclusion probabilities are unavailable (Fog's Fisher model is
+// exactly the conditioned-Poisson design).
+// ---------------------------------------------------------------------------
+
+/// HT estimate of the population sum of y over rows matching a predicate.
+/// `values[i]` and `inclusion_probs[i]` describe the i-th *matching* sampled
+/// row. Rows with pi <= 0 are InvalidArgument.
+Result<AggregateEstimate> EstimateSumHorvitzThompson(
+    const std::vector<double>& values,
+    const std::vector<double>& inclusion_probs, double confidence = 0.95);
+
+/// HT (Hájek ratio) estimate of the population mean of y over matching rows:
+/// HT-sum(y) / HT-sum(1), with a linearized variance.
+Result<AggregateEstimate> EstimateMeanHorvitzThompson(
+    const std::vector<double>& values,
+    const std::vector<double>& inclusion_probs, double confidence = 0.95);
+
+/// HT estimate of the population count of matching rows: Σ 1 / pi_i.
+Result<AggregateEstimate> EstimateCountHorvitzThompson(
+    const std::vector<double>& inclusion_probs, double confidence = 0.95);
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_STATS_ESTIMATORS_H_

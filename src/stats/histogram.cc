@@ -1,0 +1,106 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace sciborq {
+
+Result<StreamingHistogram> StreamingHistogram::Make(double domain_min,
+                                                    double bin_width,
+                                                    int num_bins) {
+  if (num_bins <= 0) {
+    return Status::InvalidArgument("histogram needs at least one bin");
+  }
+  if (!(bin_width > 0.0) || !std::isfinite(bin_width)) {
+    return Status::InvalidArgument("bin width must be positive and finite");
+  }
+  if (!std::isfinite(domain_min)) {
+    return Status::InvalidArgument("domain min must be finite");
+  }
+  return StreamingHistogram(domain_min, bin_width, num_bins);
+}
+
+int StreamingHistogram::BinIndex(double value) const {
+  const double raw = (value - domain_min_) / bin_width_;
+  if (raw < 0.0) return 0;
+  const int idx = static_cast<int>(raw);
+  if (idx >= num_bins()) return num_bins() - 1;
+  return idx;
+}
+
+void StreamingHistogram::Observe(double value) {
+  const double raw = (value - domain_min_) / bin_width_;
+  if (raw < 0.0 || raw >= static_cast<double>(num_bins())) ++clamped_count_;
+  BinStats& b = bins_[static_cast<size_t>(BinIndex(value))];
+  // Fig. 5: hs[i].m = (hs[i].m * (hs[i].c - 1) + v) / hs[i].c  after c++.
+  b.count += 1.0;
+  b.mean += (value - b.mean) / b.count;
+  ++total_count_;
+  weighted_total_ += 1.0;
+}
+
+void StreamingHistogram::Decay(double factor, double prune_below) {
+  if (factor >= 1.0) return;
+  weighted_total_ = 0.0;
+  for (auto& b : bins_) {
+    b.count *= factor;
+    if (b.count < prune_below) {
+      b.count = 0.0;
+      b.mean = 0.0;
+    }
+    weighted_total_ += b.count;
+  }
+}
+
+Status StreamingHistogram::Merge(const StreamingHistogram& other) {
+  if (other.num_bins() != num_bins() || other.bin_width_ != bin_width_ ||
+      other.domain_min_ != domain_min_) {
+    return Status::InvalidArgument("cannot merge histograms with different geometry");
+  }
+  for (int i = 0; i < num_bins(); ++i) {
+    BinStats& a = bins_[static_cast<size_t>(i)];
+    const BinStats& b = other.bins_[static_cast<size_t>(i)];
+    const double total = a.count + b.count;
+    if (total > 0.0) {
+      a.mean = (a.mean * a.count + b.mean * b.count) / total;
+    }
+    a.count = total;
+  }
+  total_count_ += other.total_count_;
+  clamped_count_ += other.clamped_count_;
+  weighted_total_ += other.weighted_total_;
+  return Status::OK();
+}
+
+void StreamingHistogram::Reset() {
+  for (auto& b : bins_) b = BinStats{};
+  total_count_ = 0;
+  clamped_count_ = 0;
+  weighted_total_ = 0.0;
+}
+
+std::vector<double> StreamingHistogram::NormalizedDensities() const {
+  if (weighted_total_ <= 0.0) return {};
+  std::vector<double> out(static_cast<size_t>(num_bins()));
+  for (int i = 0; i < num_bins(); ++i) {
+    out[static_cast<size_t>(i)] =
+        bins_[static_cast<size_t>(i)].count / (weighted_total_ * bin_width_);
+  }
+  return out;
+}
+
+std::string StreamingHistogram::ToString() const {
+  std::string out = StrFormat("StreamingHistogram(beta=%d, w=%.6g, N=%lld)",
+                              num_bins(), bin_width_,
+                              static_cast<long long>(total_count_));
+  for (int i = 0; i < num_bins(); ++i) {
+    const BinStats& b = bins_[static_cast<size_t>(i)];
+    if (b.count <= 0.0) continue;
+    out += StrFormat("\n  [%g, %g): c=%.3f m=%.6g", BinLeftEdge(i),
+                     BinLeftEdge(i) + bin_width_, b.count, b.mean);
+  }
+  return out;
+}
+
+}  // namespace sciborq

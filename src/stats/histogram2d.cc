@@ -1,0 +1,126 @@
+#include "stats/histogram2d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/kde.h"
+#include "util/string_util.h"
+
+namespace sciborq {
+
+Result<StreamingHistogram2D> StreamingHistogram2D::Make(
+    double min_x, double width_x, int bins_x, double min_y, double width_y,
+    int bins_y) {
+  if (bins_x <= 0 || bins_y <= 0) {
+    return Status::InvalidArgument("2-D histogram needs positive bin counts");
+  }
+  if (!(width_x > 0.0) || !(width_y > 0.0) || !std::isfinite(width_x) ||
+      !std::isfinite(width_y)) {
+    return Status::InvalidArgument("2-D histogram widths must be positive");
+  }
+  if (!std::isfinite(min_x) || !std::isfinite(min_y)) {
+    return Status::InvalidArgument("2-D histogram origin must be finite");
+  }
+  return StreamingHistogram2D(min_x, width_x, bins_x, min_y, width_y, bins_y);
+}
+
+int StreamingHistogram2D::CellIndexX(double x) const {
+  const double raw = (x - min_x_) / width_x_;
+  if (raw < 0.0) return 0;
+  const int idx = static_cast<int>(raw);
+  return idx >= bins_x_ ? bins_x_ - 1 : idx;
+}
+
+int StreamingHistogram2D::CellIndexY(double y) const {
+  const double raw = (y - min_y_) / width_y_;
+  if (raw < 0.0) return 0;
+  const int idx = static_cast<int>(raw);
+  return idx >= bins_y_ ? bins_y_ - 1 : idx;
+}
+
+void StreamingHistogram2D::Observe(double x, double y) {
+  const double rx = (x - min_x_) / width_x_;
+  const double ry = (y - min_y_) / width_y_;
+  if (rx < 0.0 || rx >= bins_x_ || ry < 0.0 || ry >= bins_y_) {
+    ++clamped_count_;
+  }
+  CellStats& c =
+      cells_[static_cast<size_t>(CellIndexY(y)) * static_cast<size_t>(bins_x_) +
+             static_cast<size_t>(CellIndexX(x))];
+  c.count += 1.0;
+  c.mean_x += (x - c.mean_x) / c.count;
+  c.mean_y += (y - c.mean_y) / c.count;
+  ++total_count_;
+  weighted_total_ += 1.0;
+}
+
+void StreamingHistogram2D::Decay(double factor, double prune_below) {
+  if (factor >= 1.0) return;
+  weighted_total_ = 0.0;
+  for (auto& c : cells_) {
+    c.count *= factor;
+    if (c.count < prune_below) c = CellStats{};
+    weighted_total_ += c.count;
+  }
+}
+
+Status StreamingHistogram2D::Merge(const StreamingHistogram2D& other) {
+  if (other.bins_x_ != bins_x_ || other.bins_y_ != bins_y_ ||
+      other.width_x_ != width_x_ || other.width_y_ != width_y_ ||
+      other.min_x_ != min_x_ || other.min_y_ != min_y_) {
+    return Status::InvalidArgument(
+        "cannot merge 2-D histograms with different geometry");
+  }
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    CellStats& a = cells_[i];
+    const CellStats& b = other.cells_[i];
+    const double total = a.count + b.count;
+    if (total > 0.0) {
+      a.mean_x = (a.mean_x * a.count + b.mean_x * b.count) / total;
+      a.mean_y = (a.mean_y * a.count + b.mean_y * b.count) / total;
+    }
+    a.count = total;
+  }
+  total_count_ += other.total_count_;
+  clamped_count_ += other.clamped_count_;
+  weighted_total_ += other.weighted_total_;
+  return Status::OK();
+}
+
+void StreamingHistogram2D::Reset() {
+  for (auto& c : cells_) c = CellStats{};
+  total_count_ = 0;
+  clamped_count_ = 0;
+  weighted_total_ = 0.0;
+}
+
+std::string StreamingHistogram2D::ToString() const {
+  std::string out = StrFormat(
+      "StreamingHistogram2D(%dx%d cells, wx=%.4g, wy=%.4g, N=%lld)", bins_x_,
+      bins_y_, width_x_, width_y_, static_cast<long long>(total_count_));
+  for (int j = 0; j < bins_y_; ++j) {
+    for (int i = 0; i < bins_x_; ++i) {
+      const CellStats& c = cell(i, j);
+      if (c.count <= 0.0) continue;
+      out += StrFormat("\n  cell(%d,%d): c=%.3f m=(%.4g, %.4g)", i, j, c.count,
+                       c.mean_x, c.mean_y);
+    }
+  }
+  return out;
+}
+
+double BinnedKde2D::Evaluate(double x, double y) const {
+  const double n = hist_->weighted_total();
+  if (n <= 0.0) return 0.0;
+  const double wx = hist_->width_x();
+  const double wy = hist_->width_y();
+  double acc = 0.0;
+  for (const auto& c : hist_->cells()) {
+    if (c.count <= 0.0) continue;
+    acc += c.count * KernelValue(KernelType::kGaussian, (x - c.mean_x) / wx) *
+           KernelValue(KernelType::kGaussian, (y - c.mean_y) / wy);
+  }
+  return acc / (n * wx * wy);
+}
+
+}  // namespace sciborq

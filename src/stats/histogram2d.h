@@ -1,0 +1,112 @@
+#ifndef SCIBORQ_STATS_HISTOGRAM2D_H_
+#define SCIBORQ_STATS_HISTOGRAM2D_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sciborq {
+
+/// Two-dimensional streaming equi-width histogram: the multi-dimensional
+/// generalization of Fig. 5 that the paper flags as "more attractive"
+/// (footnote 3) and lists as future work (§6). Each grid cell keeps a count
+/// and the running mean of both coordinates, so the joint binned density
+/// estimator (stats/kde2d.h) can center its kernels on the observed mass
+/// rather than cell centers — the same trick as the 1-D f̆.
+///
+/// The joint histogram captures the *correlation* between predicate
+/// attributes: a workload touching (ra≈150, dec≈12) and (ra≈215, dec≈40)
+/// has mass in exactly those two cells, whereas independent 1-D marginals
+/// also light up the phantom combinations (150, 40) and (215, 12).
+class StreamingHistogram2D {
+ public:
+  struct CellStats {
+    double count = 0.0;  ///< fractional under Decay()
+    double mean_x = 0.0;
+    double mean_y = 0.0;
+  };
+
+  /// Grid over [min_x, min_x + bins_x*width_x) × [min_y, ...). Returns
+  /// InvalidArgument for non-positive widths/bin counts.
+  static Result<StreamingHistogram2D> Make(double min_x, double width_x,
+                                           int bins_x, double min_y,
+                                           double width_y, int bins_y);
+
+  /// Folds one observed predicate pair into its cell.
+  void Observe(double x, double y);
+
+  int64_t total_count() const { return total_count_; }
+  double weighted_total() const { return weighted_total_; }
+  int64_t clamped_count() const { return clamped_count_; }
+
+  int bins_x() const { return bins_x_; }
+  int bins_y() const { return bins_y_; }
+  double width_x() const { return width_x_; }
+  double width_y() const { return width_y_; }
+  double min_x() const { return min_x_; }
+  double min_y() const { return min_y_; }
+
+  /// Cell (i, j) with i indexing x and j indexing y; both clamped.
+  const CellStats& cell(int i, int j) const {
+    return cells_[static_cast<size_t>(j) * static_cast<size_t>(bins_x_) +
+                  static_cast<size_t>(i)];
+  }
+  const std::vector<CellStats>& cells() const { return cells_; }
+
+  int CellIndexX(double x) const;
+  int CellIndexY(double y) const;
+
+  /// Geometric aging of all cell counts (see StreamingHistogram::Decay).
+  void Decay(double factor, double prune_below = 1e-6);
+
+  /// Combines a shard histogram with identical geometry.
+  Status Merge(const StreamingHistogram2D& other);
+
+  void Reset();
+
+  std::string ToString() const;
+
+ private:
+  StreamingHistogram2D(double min_x, double width_x, int bins_x, double min_y,
+                       double width_y, int bins_y)
+      : min_x_(min_x),
+        width_x_(width_x),
+        bins_x_(bins_x),
+        min_y_(min_y),
+        width_y_(width_y),
+        bins_y_(bins_y),
+        cells_(static_cast<size_t>(bins_x) * static_cast<size_t>(bins_y)) {}
+
+  double min_x_;
+  double width_x_;
+  int bins_x_;
+  double min_y_;
+  double width_y_;
+  int bins_y_;
+  std::vector<CellStats> cells_;
+  int64_t total_count_ = 0;
+  int64_t clamped_count_ = 0;
+  double weighted_total_ = 0.0;
+};
+
+/// The joint binned density estimator: the 2-D analogue of f̆,
+///   f̆₂(x, y) = 1/(N·wx·wy) Σ_ij c_ij · K((x − mx_ij)/wx) · K((y − my_ij)/wy)
+/// — O(bins_x · bins_y) per evaluation, independent of the workload size,
+/// and ∫∫ f̆₂ = 1 by the same argument as the paper's 1-D derivation.
+/// Non-owning; the histogram must outlive the estimator.
+class BinnedKde2D {
+ public:
+  explicit BinnedKde2D(const StreamingHistogram2D* hist) : hist_(hist) {}
+
+  double Evaluate(double x, double y) const;
+  double total_weight() const { return hist_->weighted_total(); }
+
+ private:
+  const StreamingHistogram2D* hist_;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_STATS_HISTOGRAM2D_H_

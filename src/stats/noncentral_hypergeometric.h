@@ -1,0 +1,83 @@
+#ifndef SCIBORQ_STATS_NONCENTRAL_HYPERGEOMETRIC_H_
+#define SCIBORQ_STATS_NONCENTRAL_HYPERGEOMETRIC_H_
+
+#include <cstdint>
+
+#include "util/result.h"
+
+namespace sciborq {
+
+/// Fisher's noncentral hypergeometric distribution (Fog 2008, the paper's
+/// reference [6] for the error theory of biased samples).
+///
+/// Model: a population of m1 "interesting" and m2 "other" items; each
+/// interesting item is sampled with odds `omega` relative to the others,
+/// independently, conditioned on a total draw of n items. X = number of
+/// interesting items in the sample. omega = 1 recovers the central
+/// hypergeometric of uniform sampling.
+///
+/// SciBORQ uses this to bound the error of estimates computed on a biased
+/// impression: the count of focal-area rows in an impression of size n is
+/// Fisher-NCH distributed, and its variance drives the confidence interval.
+///
+/// Moments are computed exactly by summing the probability mass outward from
+/// the mode with the pmf ratio recurrence, which is numerically robust and
+/// costs O(effective support width) — fast even for n in the millions because
+/// the mass concentrates in O(sqrt(variance)) terms.
+class FisherNoncentralHypergeometric {
+ public:
+  /// InvalidArgument unless m1, m2 >= 0, 0 <= n <= m1 + m2 and omega > 0.
+  static Result<FisherNoncentralHypergeometric> Make(int64_t m1, int64_t m2,
+                                                     int64_t n, double omega);
+
+  int64_t m1() const { return m1_; }
+  int64_t m2() const { return m2_; }
+  int64_t n() const { return n_; }
+  double omega() const { return omega_; }
+
+  /// Support bounds: x in [support_min, support_max].
+  int64_t support_min() const { return support_min_; }
+  int64_t support_max() const { return support_max_; }
+
+  /// The most probable value of X.
+  int64_t Mode() const;
+
+  /// Exact mean / variance by mode-centered summation.
+  double Mean() const;
+  double Variance() const;
+
+  /// Closed-form approximation of the mean: the fixed point of
+  ///   x (m2 - n + x) = omega (m1 - x)(n - x)
+  /// clamped into the support — O(1), used on hot paths.
+  double ApproxMean() const;
+
+  /// P(X = x); 0 outside the support.
+  double Pmf(int64_t x) const;
+
+  /// P(X <= x).
+  double Cdf(int64_t x) const;
+
+ private:
+  FisherNoncentralHypergeometric(int64_t m1, int64_t m2, int64_t n,
+                                 double omega);
+
+  /// log of the unnormalized mass C(m1,x) C(m2,n-x) omega^x.
+  double LogUnnormalized(int64_t x) const;
+  /// pmf(x+1)/pmf(x).
+  double Ratio(int64_t x) const;
+  /// Sums g(x) * pmf(x) over the support for g in {1, x, x^2}; the results
+  /// are reported normalized. Also accumulates mass below `cdf_limit` when
+  /// `cdf_mass` is non-null.
+  void Moments(double* mean, double* variance) const;
+
+  int64_t m1_;
+  int64_t m2_;
+  int64_t n_;
+  double omega_;
+  int64_t support_min_;
+  int64_t support_max_;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_STATS_NONCENTRAL_HYPERGEOMETRIC_H_

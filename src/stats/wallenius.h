@@ -1,0 +1,63 @@
+#ifndef SCIBORQ_STATS_WALLENIUS_H_
+#define SCIBORQ_STATS_WALLENIUS_H_
+
+#include <cstdint>
+
+#include "util/result.h"
+
+namespace sciborq {
+
+/// Wallenius' noncentral hypergeometric distribution — the *competitive*
+/// biased-urn model of the paper's reference [6] (Fog 2008 treats Wallenius
+/// and Fisher side by side). Items are drawn one at a time without
+/// replacement, each draw picking an interesting item with probability
+/// proportional to omega times the remaining interesting mass. This is the
+/// exact model of sequential biased eviction, whereas Fisher's variant
+/// (stats/noncentral_hypergeometric.h) models independent inclusion
+/// conditioned on the total — the two agree as the sampling fraction
+/// vanishes and bracket the reservoir behaviour in between.
+class WalleniusNoncentralHypergeometric {
+ public:
+  /// InvalidArgument unless m1, m2 >= 0, 0 <= n <= m1 + m2, omega > 0.
+  static Result<WalleniusNoncentralHypergeometric> Make(int64_t m1, int64_t m2,
+                                                        int64_t n,
+                                                        double omega);
+
+  int64_t m1() const { return m1_; }
+  int64_t m2() const { return m2_; }
+  int64_t n() const { return n_; }
+  double omega() const { return omega_; }
+  int64_t support_min() const { return support_min_; }
+  int64_t support_max() const { return support_max_; }
+
+  /// P(X = x) via the Wallenius integral
+  ///   C(m1,x) C(m2,n-x) ∫₀¹ (1 − t^{ω/D})^x (1 − t^{1/D})^{n−x} dt,
+  ///   D = ω(m1−x) + (m2−n+x),
+  /// evaluated with an adaptive Simpson rule. Intended for moderate n
+  /// (the support scan of Mean() costs O(n) integrals).
+  double Pmf(int64_t x) const;
+
+  /// Exact-by-summation mean/variance over the support (uses Pmf).
+  double Mean() const;
+  double Variance() const;
+
+  /// Fog's implicit-equation approximation of the mean: the root of
+  ///   (1 − μ/m1)^{1/ω} = 1 − (n−μ)/m2,
+  /// found by bisection — O(log(1/eps)), no integrals.
+  double ApproxMean() const;
+
+ private:
+  WalleniusNoncentralHypergeometric(int64_t m1, int64_t m2, int64_t n,
+                                    double omega);
+
+  int64_t m1_;
+  int64_t m2_;
+  int64_t n_;
+  double omega_;
+  int64_t support_min_;
+  int64_t support_max_;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_STATS_WALLENIUS_H_

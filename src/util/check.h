@@ -1,0 +1,26 @@
+#ifndef SCIBORQ_UTIL_CHECK_H_
+#define SCIBORQ_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal invariant check: aborts with location info when `cond` is false.
+/// Used for programming errors (API misuse is reported via Status instead).
+#define SCIBORQ_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "SCIBORQ_CHECK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, #cond);                            \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define SCIBORQ_DCHECK(cond) \
+  do {                       \
+  } while (false)
+#else
+#define SCIBORQ_DCHECK(cond) SCIBORQ_CHECK(cond)
+#endif
+
+#endif  // SCIBORQ_UTIL_CHECK_H_

@@ -1,0 +1,101 @@
+#ifndef SCIBORQ_UTIL_RESULT_H_
+#define SCIBORQ_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace sciborq {
+
+/// A value-or-error holder: either a T or a non-OK Status. The library's
+/// equivalent of arrow::Result / absl::StatusOr.
+///
+/// Usage:
+///   Result<Table> t = LoadTable(path);
+///   if (!t.ok()) return t.status();
+///   Use(t.value());
+///
+/// or with the macro:
+///   SCIBORQ_ASSIGN_OR_RETURN(Table t, LoadTable(path));
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a success value.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. Aborts if `status` is OK: an OK Result
+  /// must carry a value.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    SCIBORQ_CHECK(!std::get<Status>(payload_).ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns OK when a value is held, the error otherwise.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    SCIBORQ_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    SCIBORQ_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    SCIBORQ_CHECK(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(payload_);
+    return fallback;
+  }
+
+ private:
+  std::variant<Status, T> payload_;
+};
+
+}  // namespace sciborq
+
+/// Propagates a non-OK Status from an expression evaluating to Status.
+#define SCIBORQ_RETURN_NOT_OK(expr)                   \
+  do {                                                \
+    ::sciborq::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                        \
+  } while (false)
+
+#define SCIBORQ_CONCAT_IMPL(x, y) x##y
+#define SCIBORQ_CONCAT(x, y) SCIBORQ_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Result<T>; on success binds the value to
+/// `lhs`, on failure returns the error status from the enclosing function.
+#define SCIBORQ_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  SCIBORQ_ASSIGN_OR_RETURN_IMPL(                                    \
+      SCIBORQ_CONCAT(_sciborq_result_, __LINE__), lhs, rexpr)
+
+#define SCIBORQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#endif  // SCIBORQ_UTIL_RESULT_H_

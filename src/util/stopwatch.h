@@ -1,0 +1,66 @@
+#ifndef SCIBORQ_UTIL_STOPWATCH_H_
+#define SCIBORQ_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace sciborq {
+
+/// Monotonic wall-clock stopwatch for latency measurement.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock budget, e.g. "answer within 50ms". An infinite deadline is
+/// represented by a non-positive budget.
+class Deadline {
+ public:
+  /// Unlimited deadline.
+  Deadline() = default;
+
+  static Deadline AfterSeconds(double seconds) {
+    Deadline d;
+    d.limited_ = true;
+    d.expiry_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    return d;
+  }
+  static Deadline Unlimited() { return Deadline(); }
+
+  bool limited() const { return limited_; }
+
+  bool Expired() const { return limited_ && Clock::now() >= expiry_; }
+
+  /// Seconds until expiry; +infinity for unlimited, <= 0 when expired.
+  double RemainingSeconds() const {
+    if (!limited_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(expiry_ - Clock::now()).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool limited_ = false;
+  Clock::time_point expiry_{};
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_UTIL_STOPWATCH_H_

@@ -1,0 +1,28 @@
+#ifndef SCIBORQ_UTIL_STRING_UTIL_H_
+#define SCIBORQ_UTIL_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sciborq {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Human-readable quantity, e.g. 1536 -> "1.5K", 2500000 -> "2.5M".
+std::string HumanCount(double n);
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_UTIL_STRING_UTIL_H_

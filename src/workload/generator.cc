@@ -1,0 +1,95 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sciborq {
+
+Result<ConeWorkloadGenerator> ConeWorkloadGenerator::Make(
+    ConeWorkloadConfig config, uint64_t seed) {
+  if (config.focal_points.empty()) {
+    return Status::InvalidArgument("workload needs at least one focal point");
+  }
+  for (const auto& fp : config.focal_points) {
+    if (!(fp.weight > 0.0)) {
+      return Status::InvalidArgument("focal point weights must be positive");
+    }
+  }
+  if (!(config.min_radius > 0.0)) {
+    return Status::InvalidArgument("min radius must be positive");
+  }
+  return ConeWorkloadGenerator(std::move(config), seed);
+}
+
+const FocalPoint& ConeWorkloadGenerator::PickFocalPoint() {
+  double total = 0.0;
+  for (const auto& fp : config_.focal_points) total += fp.weight;
+  double pick = rng_.NextDouble() * total;
+  for (const auto& fp : config_.focal_points) {
+    pick -= fp.weight;
+    if (pick <= 0.0) return fp;
+  }
+  return config_.focal_points.back();
+}
+
+AggregateQuery ConeWorkloadGenerator::Next() {
+  ++generated_;
+  const FocalPoint& fp = PickFocalPoint();
+  const double ra = rng_.Gaussian(fp.ra, fp.jitter_sd);
+  const double dec = rng_.Gaussian(fp.dec, fp.jitter_sd);
+  const double radius =
+      std::max(config_.min_radius, rng_.Gaussian(config_.radius_mean,
+                                                 config_.radius_sd));
+  AggregateQuery q;
+  q.aggregates.push_back(AggregateSpec{AggKind::kCount, ""});
+  q.aggregates.push_back(AggregateSpec{AggKind::kAvg, config_.measure_column});
+  q.filter = Cone(config_.ra_column, config_.dec_column, ra, dec, radius);
+  return q;
+}
+
+Result<ShiftingWorkloadGenerator> ShiftingWorkloadGenerator::Make(
+    std::vector<ConeWorkloadConfig> phases, int64_t queries_per_phase,
+    uint64_t seed) {
+  if (phases.empty()) {
+    return Status::InvalidArgument("need at least one workload phase");
+  }
+  if (queries_per_phase <= 0) {
+    return Status::InvalidArgument("queries per phase must be positive");
+  }
+  std::vector<ConeWorkloadGenerator> generators;
+  generators.reserve(phases.size());
+  Rng seeder(seed);
+  for (auto& phase : phases) {
+    SCIBORQ_ASSIGN_OR_RETURN(
+        ConeWorkloadGenerator gen,
+        ConeWorkloadGenerator::Make(std::move(phase), seeder.NextUint64()));
+    generators.push_back(std::move(gen));
+  }
+  return ShiftingWorkloadGenerator(std::move(generators), queries_per_phase);
+}
+
+AggregateQuery ShiftingWorkloadGenerator::Next() {
+  phase_ = static_cast<int>(
+      std::min<int64_t>(generated_ / queries_per_phase_,
+                        static_cast<int64_t>(generators_.size()) - 1));
+  ++generated_;
+  return generators_[static_cast<size_t>(phase_)].Next();
+}
+
+ConeWorkloadConfig PaperFigure4WorkloadConfig() {
+  ConeWorkloadConfig config;
+  // Bimodal interest on both attributes, matching the shapes of Figure 4:
+  // ra over [120, 240] peaking near 150 and 215; dec over [0, 60] peaking
+  // near 12 and 40.
+  config.focal_points = {
+      FocalPoint{150.0, 12.0, 0.55, 6.0},
+      FocalPoint{215.0, 40.0, 0.45, 6.0},
+  };
+  config.radius_mean = 2.0;
+  config.radius_sd = 0.5;
+  return config;
+}
+
+}  // namespace sciborq

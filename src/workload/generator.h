@@ -1,0 +1,96 @@
+#ifndef SCIBORQ_WORKLOAD_GENERATOR_H_
+#define SCIBORQ_WORKLOAD_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/query.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace sciborq {
+
+/// One center of scientific attention on the sky, with the spread of queries
+/// around it. Weights give the relative share of queries per focal point.
+struct FocalPoint {
+  double ra = 0.0;
+  double dec = 0.0;
+  double weight = 1.0;
+  double jitter_sd = 3.0;  ///< degrees; how tightly queries cluster
+};
+
+/// Configuration of a cone-query workload in the shape of the SkyServer logs
+/// (§2.1: "select * from Galaxy G, fGetNearbyObjEq(185, 0, 3) N ..."):
+/// each query picks a focal point, jitters the center, draws a radius, and
+/// aggregates over the matching objects.
+struct ConeWorkloadConfig {
+  std::vector<FocalPoint> focal_points;
+  double radius_mean = 2.0;
+  double radius_sd = 0.5;
+  double min_radius = 0.25;
+  std::string ra_column = "ra";
+  std::string dec_column = "dec";
+  /// Numeric measure aggregated by the queries (AVG + COUNT are generated).
+  std::string measure_column = "redshift";
+};
+
+/// Generates an endless stream of cone aggregate queries around fixed focal
+/// points. Deterministic given the seed.
+class ConeWorkloadGenerator {
+ public:
+  /// InvalidArgument when no focal points or non-positive weights.
+  static Result<ConeWorkloadGenerator> Make(ConeWorkloadConfig config,
+                                            uint64_t seed);
+
+  AggregateQuery Next();
+
+  const ConeWorkloadConfig& config() const { return config_; }
+  int64_t generated() const { return generated_; }
+
+ private:
+  ConeWorkloadGenerator(ConeWorkloadConfig config, uint64_t seed)
+      : config_(std::move(config)), rng_(seed) {}
+
+  const FocalPoint& PickFocalPoint();
+
+  ConeWorkloadConfig config_;
+  Rng rng_;
+  int64_t generated_ = 0;
+};
+
+/// A workload whose focus *moves*: a sequence of phases, each a full cone
+/// workload, switched after `queries_per_phase` queries. Drives the
+/// adaptivity experiment (paper §3.1: impressions "adapt to query workload
+/// shifts").
+class ShiftingWorkloadGenerator {
+ public:
+  static Result<ShiftingWorkloadGenerator> Make(
+      std::vector<ConeWorkloadConfig> phases, int64_t queries_per_phase,
+      uint64_t seed);
+
+  AggregateQuery Next();
+
+  int current_phase() const { return phase_; }
+  int num_phases() const { return static_cast<int>(generators_.size()); }
+  int64_t generated() const { return generated_; }
+
+ private:
+  ShiftingWorkloadGenerator(std::vector<ConeWorkloadGenerator> generators,
+                            int64_t queries_per_phase)
+      : generators_(std::move(generators)),
+        queries_per_phase_(queries_per_phase) {}
+
+  std::vector<ConeWorkloadGenerator> generators_;
+  int64_t queries_per_phase_;
+  int64_t generated_ = 0;
+  int phase_ = 0;
+};
+
+/// The workload behind the paper's Figure 4: ~400 predicate values on ra and
+/// dec, bimodal on both attributes (ra peaks near 150/215 over [120, 240],
+/// dec peaks near 12/40 over [0, 60]).
+ConeWorkloadConfig PaperFigure4WorkloadConfig();
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_WORKLOAD_GENERATOR_H_

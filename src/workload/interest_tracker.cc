@@ -1,0 +1,127 @@
+#include "workload/interest_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace sciborq {
+
+Result<InterestTracker> InterestTracker::Make(
+    std::vector<AttributeSpec> attributes, CombineMode mode) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("tracker needs at least one attribute");
+  }
+  std::vector<TrackedAttribute> attrs;
+  attrs.reserve(attributes.size());
+  for (const auto& spec : attributes) {
+    SCIBORQ_ASSIGN_OR_RETURN(
+        StreamingHistogram hist,
+        StreamingHistogram::Make(spec.domain_min, spec.bin_width,
+                                 spec.num_bins));
+    attrs.push_back(TrackedAttribute{spec.column, std::move(hist)});
+  }
+  InterestTracker tracker(std::move(attrs), mode);
+  for (size_t i = 0; i < tracker.attrs_.size(); ++i) {
+    const auto [it, inserted] =
+        tracker.index_.emplace(tracker.attrs_[i].column, static_cast<int>(i));
+    (void)it;
+    if (!inserted) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate tracked attribute '%s'",
+                    tracker.attrs_[i].column.c_str()));
+    }
+  }
+  return tracker;
+}
+
+void InterestTracker::ObserveQuery(const AggregateQuery& query) {
+  for (const auto& point : query.PredicatePoints()) {
+    ObserveValue(point.column, point.value);
+  }
+}
+
+void InterestTracker::ObserveValue(const std::string& column, double value) {
+  const auto it = index_.find(column);
+  if (it == index_.end()) return;
+  attrs_[static_cast<size_t>(it->second)].hist.Observe(value);
+  ++observed_points_;
+}
+
+std::vector<int> InterestTracker::BindColumns(const Schema& schema) const {
+  std::vector<int> bound;
+  bound.reserve(attrs_.size());
+  for (const auto& attr : attrs_) {
+    const auto idx = schema.FieldIndex(attr.column);
+    bound.push_back(idx.ok() ? idx.value() : -1);
+  }
+  return bound;
+}
+
+double InterestTracker::TupleWeight(const Table& table,
+                                    const std::vector<int>& bound_columns,
+                                    int64_t row) const {
+  if (observed_points_ == 0) return 1.0;
+  double combined = 0.0;
+  int used = 0;
+  bool first = true;
+  for (size_t a = 0; a < attrs_.size(); ++a) {
+    const int col_idx = bound_columns[a];
+    if (col_idx < 0) continue;
+    const Column& col = table.column(col_idx);
+    if (col.IsNull(row)) continue;
+    const StreamingHistogram& hist = attrs_[a].hist;
+    if (hist.weighted_total() <= 0.0) continue;
+    const BinnedKde kde(&hist);
+    // w_a = f̆_a(v) * N_a  (§4: probability proportional to f̆(t_new) × N).
+    const double w = kde.Evaluate(col.NumericAt(row)) * hist.weighted_total();
+    ++used;
+    switch (mode_) {
+      case CombineMode::kGeometricMean:
+      case CombineMode::kProduct:
+        combined = first ? w : combined * w;
+        break;
+      case CombineMode::kSum:
+        combined = first ? w : combined + w;
+        break;
+      case CombineMode::kMax:
+        combined = first ? w : std::max(combined, w);
+        break;
+    }
+    first = false;
+  }
+  if (used == 0) return 1.0;
+  switch (mode_) {
+    case CombineMode::kGeometricMean:
+      return std::pow(std::max(combined, 0.0), 1.0 / used);
+    case CombineMode::kSum:
+      return combined / used;
+    case CombineMode::kProduct:
+    case CombineMode::kMax:
+      return combined;
+  }
+  return combined;
+}
+
+void InterestTracker::Decay(double factor) {
+  for (auto& attr : attrs_) attr.hist.Decay(factor);
+}
+
+Result<const StreamingHistogram*> InterestTracker::HistogramFor(
+    const std::string& column) const {
+  const auto it = index_.find(column);
+  if (it == index_.end()) {
+    return Status::NotFound(
+        StrFormat("attribute '%s' is not tracked", column.c_str()));
+  }
+  return &attrs_[static_cast<size_t>(it->second)].hist;
+}
+
+std::vector<FrozenBinnedKde> InterestTracker::FreezeEstimators() const {
+  std::vector<FrozenBinnedKde> out;
+  out.reserve(attrs_.size());
+  for (const auto& attr : attrs_) out.emplace_back(attr.hist);
+  return out;
+}
+
+}  // namespace sciborq

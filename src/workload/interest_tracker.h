@@ -1,0 +1,103 @@
+#ifndef SCIBORQ_WORKLOAD_INTEREST_TRACKER_H_
+#define SCIBORQ_WORKLOAD_INTEREST_TRACKER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "column/table.h"
+#include "exec/query.h"
+#include "stats/histogram.h"
+#include "stats/kde.h"
+#include "util/result.h"
+
+namespace sciborq {
+
+/// How per-attribute weights combine into one tuple weight when several
+/// attributes of interest are configured (paper §4, footnote 4: "a combine
+/// function c(t) = f̆(t.att1) ∘ ... ∘ f̆(t.attm)").
+enum class CombineMode {
+  kGeometricMean,  ///< (Π w_a)^(1/m): scale-compatible with one attribute
+  kProduct,        ///< Π w_a: sharpest focus, penalizes any off-focus attribute
+  kSum,            ///< Σ w_a / m: union of interests
+  kMax,            ///< max_a w_a: a tuple interesting on any axis is kept
+};
+
+/// Tracks the focal points of the exploration: one streaming predicate-set
+/// histogram (Fig. 5) per attribute of interest, each exposing the paper's
+/// constant-time binned density estimate f̆ (§4). Impression builders query
+/// TupleWeight() for each ingested tuple; the bounded executor calls
+/// ObserveQuery() after every execution, closing the adaptive loop of §3.1.
+class InterestTracker {
+ public:
+  /// Geometry of one tracked attribute's histogram.
+  struct AttributeSpec {
+    std::string column;
+    double domain_min = 0.0;
+    double bin_width = 1.0;
+    int num_bins = 64;
+  };
+
+  /// InvalidArgument on duplicate columns or bad geometry.
+  static Result<InterestTracker> Make(std::vector<AttributeSpec> attributes,
+                                      CombineMode mode = CombineMode::kGeometricMean);
+
+  /// Folds every predicate point of `query` into the matching histograms.
+  /// Points on untracked columns are ignored.
+  void ObserveQuery(const AggregateQuery& query);
+
+  /// Folds one raw predicate value for `column` (used when replaying logs).
+  void ObserveValue(const std::string& column, double value);
+
+  /// The workload weight of a tuple, combining w_a = f̆_a(v_a) · N_a over all
+  /// tracked attributes present in the row. Tuples are addressed positionally
+  /// through pre-resolved bindings — see BindColumns().
+  ///
+  /// Returns 1.0 for every tuple until any query has been observed, so a cold
+  /// tracker degrades the biased reservoir to Algorithm R exactly.
+  double TupleWeight(const Table& table,
+                     const std::vector<int>& bound_columns, int64_t row) const;
+
+  /// Resolves the tracked attributes against a schema once per batch;
+  /// returns one column index per tracked attribute (-1 if absent).
+  std::vector<int> BindColumns(const Schema& schema) const;
+
+  /// Ages every histogram (counts *= factor); see StreamingHistogram::Decay.
+  void Decay(double factor);
+
+  /// Total number of predicate values observed across all attributes.
+  int64_t observed_points() const { return observed_points_; }
+
+  int num_attributes() const { return static_cast<int>(attrs_.size()); }
+  const std::string& attribute_name(int i) const {
+    return attrs_[static_cast<size_t>(i)].column;
+  }
+
+  /// The live histogram of one tracked column (NotFound if untracked).
+  Result<const StreamingHistogram*> HistogramFor(const std::string& column) const;
+
+  /// Frozen copies of all f̆ estimators (used when deriving a layer whose
+  /// bias must be pinned).
+  std::vector<FrozenBinnedKde> FreezeEstimators() const;
+
+  CombineMode combine_mode() const { return mode_; }
+
+ private:
+  struct TrackedAttribute {
+    std::string column;
+    StreamingHistogram hist;
+  };
+
+  InterestTracker(std::vector<TrackedAttribute> attrs, CombineMode mode)
+      : attrs_(std::move(attrs)), mode_(mode) {}
+
+  std::vector<TrackedAttribute> attrs_;
+  std::unordered_map<std::string, int> index_;
+  CombineMode mode_;
+  int64_t observed_points_ = 0;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_WORKLOAD_INTEREST_TRACKER_H_

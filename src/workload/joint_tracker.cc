@@ -1,0 +1,56 @@
+#include "workload/joint_tracker.h"
+
+namespace sciborq {
+
+Result<JointInterestTracker> JointInterestTracker::Make(Spec spec) {
+  if (spec.column_x.empty() || spec.column_y.empty() ||
+      spec.column_x == spec.column_y) {
+    return Status::InvalidArgument(
+        "joint tracker needs two distinct column names");
+  }
+  SCIBORQ_ASSIGN_OR_RETURN(
+      StreamingHistogram2D hist,
+      StreamingHistogram2D::Make(spec.min_x, spec.width_x, spec.bins_x,
+                                 spec.min_y, spec.width_y, spec.bins_y));
+  return JointInterestTracker(std::move(spec), std::move(hist));
+}
+
+void JointInterestTracker::ObserveQuery(const AggregateQuery& query) {
+  for (const auto& pair : query.PredicatePairs()) {
+    if (pair.column_x == spec_.column_x && pair.column_y == spec_.column_y) {
+      ObservePair(pair.x, pair.y);
+    } else if (pair.column_x == spec_.column_y &&
+               pair.column_y == spec_.column_x) {
+      ObservePair(pair.y, pair.x);
+    }
+  }
+}
+
+void JointInterestTracker::ObservePair(double x, double y) {
+  hist_.Observe(x, y);
+}
+
+std::vector<int> JointInterestTracker::BindColumns(const Schema& schema) const {
+  const auto x = schema.FieldIndex(spec_.column_x);
+  const auto y = schema.FieldIndex(spec_.column_y);
+  return {x.ok() ? x.value() : -1, y.ok() ? y.value() : -1};
+}
+
+double JointInterestTracker::TupleWeight(const Table& table,
+                                         const std::vector<int>& bound_columns,
+                                         int64_t row) const {
+  if (hist_.total_count() == 0) return 1.0;
+  if (bound_columns.size() != 2 || bound_columns[0] < 0 ||
+      bound_columns[1] < 0) {
+    return 1.0;
+  }
+  const Column& cx = table.column(bound_columns[0]);
+  const Column& cy = table.column(bound_columns[1]);
+  if (cx.IsNull(row) || cy.IsNull(row)) return 1.0;
+  const BinnedKde2D kde(&hist_);
+  // w = f̆₂(x, y) · N — the 2-D analogue of §4's f̆(t)·N.
+  return kde.Evaluate(cx.NumericAt(row), cy.NumericAt(row)) *
+         hist_.weighted_total();
+}
+
+}  // namespace sciborq

@@ -1,0 +1,68 @@
+#ifndef SCIBORQ_WORKLOAD_JOINT_TRACKER_H_
+#define SCIBORQ_WORKLOAD_JOINT_TRACKER_H_
+
+#include <string>
+#include <vector>
+
+#include "column/table.h"
+#include "exec/query.h"
+#include "stats/histogram2d.h"
+#include "util/result.h"
+
+namespace sciborq {
+
+/// The multi-dimensional interest tracker the paper sketches as future work
+/// (footnote 3, §6): one *joint* 2-D histogram over an attribute pair
+/// instead of two independent marginals. The joint f̆₂ weights capture the
+/// correlation of the workload's focal points — independent marginals also
+/// assign high weight to the phantom cross-combinations (focus-A's ra with
+/// focus-B's dec), wasting impression capacity on never-queried sky.
+///
+/// Drop-in alternative weight source for ImpressionBuilder (see
+/// ImpressionSpec::joint_tracker).
+class JointInterestTracker {
+ public:
+  /// Grid geometry over the (column_x, column_y) plane.
+  struct Spec {
+    std::string column_x;
+    std::string column_y;
+    double min_x = 0.0;
+    double width_x = 1.0;
+    int bins_x = 32;
+    double min_y = 0.0;
+    double width_y = 1.0;
+    int bins_y = 32;
+  };
+
+  static Result<JointInterestTracker> Make(Spec spec);
+
+  /// Folds every predicate *pair* of the query matching the tracked columns
+  /// (either order) into the joint histogram.
+  void ObserveQuery(const AggregateQuery& query);
+  void ObservePair(double x, double y);
+
+  /// Tuple weight w = f̆₂(x, y) · N; 1.0 while cold (degrades to Algorithm R).
+  double TupleWeight(const Table& table, const std::vector<int>& bound_columns,
+                     int64_t row) const;
+
+  /// Resolves {column_x, column_y} against a schema (-1 when absent).
+  std::vector<int> BindColumns(const Schema& schema) const;
+
+  void Decay(double factor) { hist_.Decay(factor); }
+
+  int64_t observed_pairs() const { return hist_.total_count(); }
+  const StreamingHistogram2D& histogram() const { return hist_; }
+  const std::string& column_x() const { return spec_.column_x; }
+  const std::string& column_y() const { return spec_.column_y; }
+
+ private:
+  JointInterestTracker(Spec spec, StreamingHistogram2D hist)
+      : spec_(std::move(spec)), hist_(std::move(hist)) {}
+
+  Spec spec_;
+  StreamingHistogram2D hist_;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_WORKLOAD_JOINT_TRACKER_H_

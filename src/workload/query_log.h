@@ -1,0 +1,55 @@
+#ifndef SCIBORQ_WORKLOAD_QUERY_LOG_H_
+#define SCIBORQ_WORKLOAD_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "exec/query.h"
+#include "util/result.h"
+
+namespace sciborq {
+
+/// One executed query with its position in the workload. The SkyServer query
+/// logs the paper mines are modeled by this in-process log.
+struct LoggedQuery {
+  int64_t sequence = 0;
+  AggregateQuery query;
+};
+
+/// A bounded in-memory log of executed queries. The window size bounds both
+/// memory and how far back the "interest" definition reaches — the paper
+/// defines the predicate set "over a period of time or over a predefined
+/// number of queries" (§4); the window is that predefined number.
+class QueryLog {
+ public:
+  /// window_size <= 0 means unbounded.
+  explicit QueryLog(int64_t window_size = 0) : window_size_(window_size) {}
+
+  /// Records a deep copy of the query.
+  void Record(const AggregateQuery& query);
+
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t total_recorded() const { return next_sequence_; }
+  const std::deque<LoggedQuery>& entries() const { return entries_; }
+
+  /// The predicate set of one attribute: every value of `column` requested by
+  /// any predicate of any logged query, in log order. (§4: "the set of all
+  /// values of the interesting attributes that are requested".)
+  std::vector<double> PredicateSet(const std::string& column) const;
+
+  /// Attribute names that appear in at least one predicate, sorted.
+  std::vector<std::string> PredicateColumns() const;
+
+  void Clear();
+
+ private:
+  int64_t window_size_;
+  int64_t next_sequence_ = 0;
+  std::deque<LoggedQuery> entries_;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_WORKLOAD_QUERY_LOG_H_

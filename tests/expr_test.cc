@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "column/table.h"
+#include "exec/expr.h"
+
+namespace sciborq {
+namespace {
+
+Table ObjTable() {
+  Table t{Schema({Field{"id", DataType::kInt64, false},
+                  Field{"ra", DataType::kDouble, true},
+                  Field{"dec", DataType::kDouble, true},
+                  Field{"cls", DataType::kString, true}})};
+  auto add = [&t](int64_t id, Value ra, Value dec, Value cls) {
+    ASSERT_TRUE(t.AppendRow({Value(id), std::move(ra), std::move(dec),
+                             std::move(cls)})
+                    .ok());
+  };
+  add(0, Value(150.0), Value(10.0), Value("GALAXY"));
+  add(1, Value(185.0), Value(0.5), Value("STAR"));
+  add(2, Value(186.0), Value(1.0), Value("GALAXY"));
+  add(3, Value(240.0), Value(55.0), Value("QSO"));
+  add(4, Value::Null(), Value(2.0), Value("GALAXY"));
+  add(5, Value(185.5), Value::Null(), Value::Null());
+  return t;
+}
+
+SelectionVector Sel(const Table& t, const Predicate& p) {
+  auto r = SelectAll(t, p);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.value() : SelectionVector{};
+}
+
+TEST(ExprTest, CompareOps) {
+  const Table t = ObjTable();
+  EXPECT_EQ(Sel(t, *Eq("id", Value(int64_t{2}))), (SelectionVector{2}));
+  EXPECT_EQ(Sel(t, *Ne("id", Value(int64_t{2}))),
+            (SelectionVector{0, 1, 3, 4, 5}));
+  EXPECT_EQ(Sel(t, *Lt("ra", Value(160.0))), (SelectionVector{0}));
+  EXPECT_EQ(Sel(t, *Le("ra", Value(185.0))), (SelectionVector{0, 1}));
+  EXPECT_EQ(Sel(t, *Gt("ra", Value(186.0))), (SelectionVector{3}));
+  EXPECT_EQ(Sel(t, *Ge("ra", Value(186.0))), (SelectionVector{2, 3}));
+}
+
+TEST(ExprTest, IntLiteralComparesAgainstDoubleColumn) {
+  const Table t = ObjTable();
+  EXPECT_EQ(Sel(t, *Lt("ra", Value(int64_t{160}))), (SelectionVector{0}));
+}
+
+TEST(ExprTest, StringComparisons) {
+  const Table t = ObjTable();
+  EXPECT_EQ(Sel(t, *Eq("cls", Value("GALAXY"))), (SelectionVector{0, 2, 4}));
+  EXPECT_EQ(Sel(t, *Ne("cls", Value("GALAXY"))), (SelectionVector{1, 3}));
+  EXPECT_EQ(Sel(t, *Lt("cls", Value("QSO"))), (SelectionVector{0, 2, 4}));
+}
+
+TEST(ExprTest, NullsNeverMatch) {
+  const Table t = ObjTable();
+  // Row 4 has null ra; row 5 has null cls.
+  EXPECT_EQ(Sel(t, *Ge("ra", Value(0.0))), (SelectionVector{0, 1, 2, 3, 5}));
+  EXPECT_EQ(Sel(t, *Ne("cls", Value("NOPE"))), (SelectionVector{0, 1, 2, 3, 4}));
+}
+
+TEST(ExprTest, ValidationErrors) {
+  const Table t = ObjTable();
+  EXPECT_FALSE(Eq("missing", Value(1.0))->Validate(t.schema()).ok());
+  EXPECT_FALSE(Eq("ra", Value("text"))->Validate(t.schema()).ok());
+  EXPECT_FALSE(Eq("cls", Value(1.0))->Validate(t.schema()).ok());
+  EXPECT_FALSE(Eq("ra", Value::Null())->Validate(t.schema()).ok());
+  EXPECT_TRUE(Eq("ra", Value(1.0))->Validate(t.schema()).ok());
+}
+
+TEST(ExprTest, Between) {
+  const Table t = ObjTable();
+  EXPECT_EQ(Sel(t, *Between("ra", 185.0, 186.0)), (SelectionVector{1, 2, 5}));
+  EXPECT_FALSE(Between("cls", 0.0, 1.0)->Validate(t.schema()).ok());
+}
+
+TEST(ExprTest, ConeSelectsByDistance) {
+  const Table t = ObjTable();
+  // Cone at (185, 0.5) with radius 1.2 catches rows 1 (dist 0) and 2
+  // (dist sqrt(1+0.25) ≈ 1.118); row 5 has null dec.
+  EXPECT_EQ(Sel(t, *Cone("ra", "dec", 185.0, 0.5, 1.2)),
+            (SelectionVector{1, 2}));
+  EXPECT_EQ(Sel(t, *Cone("ra", "dec", 185.0, 0.5, 0.5)), (SelectionVector{1}));
+}
+
+TEST(ExprTest, ConeValidation) {
+  const Table t = ObjTable();
+  EXPECT_FALSE(Cone("cls", "dec", 0, 0, 1)->Validate(t.schema()).ok());
+  EXPECT_FALSE(Cone("ra", "dec", 0, 0, -1)->Validate(t.schema()).ok());
+  EXPECT_TRUE(Cone("ra", "dec", 0, 0, 0)->Validate(t.schema()).ok());
+}
+
+TEST(ExprTest, NotComplementsWithinCandidates) {
+  const Table t = ObjTable();
+  EXPECT_EQ(Sel(t, *Not(Eq("cls", Value("GALAXY")))),
+            (SelectionVector{1, 3, 5}));  // nulls match NOT(eq) per complement
+}
+
+TEST(ExprTest, AndNarrows) {
+  const Table t = ObjTable();
+  EXPECT_EQ(Sel(t, *And(Eq("cls", Value("GALAXY")), Ge("ra", Value(180.0)))),
+            (SelectionVector{2}));
+}
+
+TEST(ExprTest, OrUnions) {
+  const Table t = ObjTable();
+  EXPECT_EQ(Sel(t, *Or(Eq("id", Value(int64_t{0})), Eq("id", Value(int64_t{3})))),
+            (SelectionVector{0, 3}));
+}
+
+TEST(ExprTest, NestedBooleanTree) {
+  const Table t = ObjTable();
+  auto p = And(Or(Eq("cls", Value("GALAXY")), Eq("cls", Value("QSO"))),
+               Not(Lt("ra", Value(160.0))));
+  // Row 4 (null ra) passes NOT(ra < 160): NOT is the complement of the
+  // child's matches, and a null never matches the child comparison.
+  EXPECT_EQ(Sel(t, *p), (SelectionVector{2, 3, 4}));
+}
+
+TEST(ExprTest, MatchesRowwise) {
+  const Table t = ObjTable();
+  const auto p = Cone("ra", "dec", 185.0, 0.5, 1.2);
+  EXPECT_FALSE(p->Matches(t, 0));
+  EXPECT_TRUE(p->Matches(t, 1));
+  EXPECT_FALSE(p->Matches(t, 5));  // null dec
+}
+
+TEST(ExprTest, PredicatePointsCollectRequestedValues) {
+  auto p = And(Cone("ra", "dec", 185.0, 0.5, 3.0), Between("z", 0.1, 0.3),
+               Eq("cls", Value("GALAXY")), Gt("mag", Value(21.5)));
+  std::vector<PredicatePoint> points;
+  p->CollectPredicatePoints(&points);
+  ASSERT_EQ(points.size(), 4u);  // ra, dec, z midpoint, mag; strings skipped
+  EXPECT_EQ(points[0].column, "ra");
+  EXPECT_DOUBLE_EQ(points[0].value, 185.0);
+  EXPECT_EQ(points[1].column, "dec");
+  EXPECT_DOUBLE_EQ(points[1].value, 0.5);
+  EXPECT_EQ(points[2].column, "z");
+  EXPECT_DOUBLE_EQ(points[2].value, 0.2);
+  EXPECT_EQ(points[3].column, "mag");
+  EXPECT_DOUBLE_EQ(points[3].value, 21.5);
+}
+
+TEST(ExprTest, CloneIsDeepAndEquivalent) {
+  const Table t = ObjTable();
+  auto p = And(Eq("cls", Value("GALAXY")), Cone("ra", "dec", 185, 0.5, 2.0));
+  auto c = p->Clone();
+  p.reset();
+  EXPECT_EQ(Sel(t, *c), (SelectionVector{2}));
+}
+
+TEST(ExprTest, ToStringRendering) {
+  EXPECT_EQ(Eq("x", Value(1.5))->ToString(), "x = 1.5");
+  EXPECT_EQ(Eq("s", Value("hi"))->ToString(), "s = 'hi'");
+  EXPECT_EQ(Between("x", 1.0, 2.0)->ToString(), "x BETWEEN 1 AND 2");
+  EXPECT_EQ(Cone("a", "b", 1, 2, 3)->ToString(), "cone(a, b; 1, 2; r=3)");
+  EXPECT_EQ(Not(Eq("x", Value(1.0)))->ToString(), "NOT (x = 1)");
+  EXPECT_EQ(And(Eq("x", Value(1.0)), Eq("y", Value(2.0)))->ToString(),
+            "(x = 1) AND (y = 2)");
+}
+
+TEST(ExprTest, SelectOnEmptyCandidates) {
+  const Table t = ObjTable();
+  SelectionVector out;
+  ASSERT_TRUE(Eq("id", Value(int64_t{1}))->Select(t, {}, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ExprTest, SelectRespectsCandidateSubset) {
+  const Table t = ObjTable();
+  SelectionVector out;
+  ASSERT_TRUE(
+      Eq("cls", Value("GALAXY"))->Select(t, {0, 1}, &out).ok());
+  EXPECT_EQ(out, (SelectionVector{0}));
+}
+
+}  // namespace
+}  // namespace sciborq

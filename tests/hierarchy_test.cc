@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+
+#include "core/hierarchy.h"
+#include "skyserver/catalog.h"
+#include "workload/interest_tracker.h"
+
+namespace sciborq {
+namespace {
+
+using LayerSpec = ImpressionHierarchy::LayerSpec;
+
+SkyCatalogConfig StreamConfig() {
+  SkyCatalogConfig config;
+  config.num_rows = 50'000;
+  return config;
+}
+
+std::vector<LayerSpec> ThreeLayers() {
+  return {{"L0", 10'000}, {"L1", 1'000}, {"L2", 100}};
+}
+
+TEST(HierarchyTest, MakeValidation) {
+  const Schema schema = PhotoObjSchema();
+  ImpressionSpec spec;
+  EXPECT_FALSE(ImpressionHierarchy::Make(schema, {}, spec).ok());
+  EXPECT_FALSE(
+      ImpressionHierarchy::Make(schema, {{"a", 100}, {"b", 100}}, spec).ok());
+  EXPECT_FALSE(
+      ImpressionHierarchy::Make(schema, {{"a", 100}, {"b", 200}}, spec).ok());
+  EXPECT_FALSE(ImpressionHierarchy::Make(schema, {{"a", 0}}, spec).ok());
+  EXPECT_TRUE(ImpressionHierarchy::Make(schema, ThreeLayers(), spec).ok());
+}
+
+TEST(HierarchyTest, LayerSizesAfterIngest) {
+  SkyStream stream(StreamConfig(), 1);
+  ImpressionSpec spec;
+  spec.seed = 1;
+  auto h = ImpressionHierarchy::Make(stream.schema(), ThreeLayers(), spec)
+               .value();
+  ASSERT_TRUE(h.IngestBatch(stream.NextBatch(30'000)).ok());
+  EXPECT_EQ(h.num_layers(), 3);
+  EXPECT_EQ(h.layer(0).size(), 10'000);
+  EXPECT_EQ(h.layer(1).size(), 1'000);
+  EXPECT_EQ(h.layer(2).size(), 100);
+  EXPECT_EQ(h.population_seen(), 30'000);
+  EXPECT_EQ(h.layer(0).name(), "L0");
+  EXPECT_EQ(h.layer(2).name(), "L2");
+}
+
+TEST(HierarchyTest, SmallStreamsPropagatePartially) {
+  SkyStream stream(StreamConfig(), 2);
+  ImpressionSpec spec;
+  auto h = ImpressionHierarchy::Make(stream.schema(), ThreeLayers(), spec)
+               .value();
+  ASSERT_TRUE(h.IngestBatch(stream.NextBatch(500)).ok());
+  EXPECT_EQ(h.layer(0).size(), 500);
+  EXPECT_EQ(h.layer(1).size(), 500);  // capped by parent content
+  EXPECT_EQ(h.layer(2).size(), 100);
+}
+
+TEST(HierarchyTest, EscalationOrderSmallestFirst) {
+  SkyStream stream(StreamConfig(), 3);
+  ImpressionSpec spec;
+  auto h = ImpressionHierarchy::Make(stream.schema(), ThreeLayers(), spec)
+               .value();
+  ASSERT_TRUE(h.IngestBatch(stream.NextBatch(20'000)).ok());
+  const auto order = h.EscalationOrder();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0]->name(), "L2");
+  EXPECT_EQ(order[1]->name(), "L1");
+  EXPECT_EQ(order[2]->name(), "L0");
+}
+
+TEST(HierarchyTest, DerivedInclusionProbabilitiesCompose) {
+  SkyStream stream(StreamConfig(), 4);
+  ImpressionSpec spec;
+  spec.seed = 4;
+  auto h = ImpressionHierarchy::Make(stream.schema(), ThreeLayers(), spec)
+               .value();
+  ASSERT_TRUE(h.IngestBatch(stream.NextBatch(40'000)).ok());
+  // Layer 0: pi = 10000/40000 = 0.25. Layer 1: 0.25 * 1000/10000 = 0.025.
+  // Layer 2: 0.025 * 100/1000 = 0.0025.
+  EXPECT_DOUBLE_EQ(h.layer(0).InclusionProbability(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.layer(1).InclusionProbability(0), 0.025);
+  EXPECT_DOUBLE_EQ(h.layer(2).InclusionProbability(0), 0.0025);
+}
+
+TEST(HierarchyTest, DerivedRowsComeFromParent) {
+  SkyStream stream(StreamConfig(), 5);
+  ImpressionSpec spec;
+  spec.seed = 5;
+  auto h = ImpressionHierarchy::Make(stream.schema(), ThreeLayers(), spec)
+               .value();
+  ASSERT_TRUE(h.IngestBatch(stream.NextBatch(20'000)).ok());
+  // Every objid in L1 must exist in L0 (derivation subsamples the parent).
+  std::set<int64_t> parent_ids;
+  const Column* l0 = h.layer(0).rows().ColumnByName("objid").value();
+  for (int64_t i = 0; i < l0->size(); ++i) parent_ids.insert(l0->GetInt64(i));
+  const Column* l1 = h.layer(1).rows().ColumnByName("objid").value();
+  for (int64_t i = 0; i < l1->size(); ++i) {
+    EXPECT_TRUE(parent_ids.count(l1->GetInt64(i)) > 0);
+  }
+}
+
+TEST(HierarchyTest, DerivedLayerHasNoDuplicates) {
+  SkyStream stream(StreamConfig(), 6);
+  ImpressionSpec spec;
+  spec.seed = 6;
+  auto h = ImpressionHierarchy::Make(stream.schema(), ThreeLayers(), spec)
+               .value();
+  ASSERT_TRUE(h.IngestBatch(stream.NextBatch(20'000)).ok());
+  std::set<int64_t> ids;
+  const Column* l1 = h.layer(1).rows().ColumnByName("objid").value();
+  for (int64_t i = 0; i < l1->size(); ++i) ids.insert(l1->GetInt64(i));
+  EXPECT_EQ(ids.size(), static_cast<size_t>(l1->size()));
+}
+
+TEST(HierarchyTest, BiasInheritedByDerivedLayers) {
+  SkyStream stream(StreamConfig(), 7);
+  InterestTracker tracker =
+      InterestTracker::Make({{"ra", 120.0, 3.0, 40}, {"dec", 0.0, 1.5, 40}})
+          .value();
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    tracker.ObserveValue("ra", rng.Gaussian(150.0, 2.0));
+    tracker.ObserveValue("dec", rng.Gaussian(12.0, 1.5));
+  }
+  ImpressionSpec spec;
+  spec.policy = SamplingPolicy::kBiased;
+  spec.tracker = &tracker;
+  spec.seed = 7;
+  // Small layers relative to the stream: bias needs turnover (cnt >> n)
+  // before the focal concentration dominates the unconditional initial fill.
+  auto h = ImpressionHierarchy::Make(
+               stream.schema(), {{"L0", 2000}, {"L1", 400}, {"L2", 50}}, spec)
+               .value();
+  for (int b = 0; b < 10; ++b) {
+    ASSERT_TRUE(h.IngestBatch(stream.NextBatch(10'000)).ok());
+  }
+  const auto focal_fraction = [](const Impression& imp) {
+    const Column* ra = imp.rows().ColumnByName("ra").value();
+    int64_t focal = 0;
+    for (int64_t i = 0; i < imp.size(); ++i) {
+      if (std::abs(ra->GetDouble(i) - 150.0) < 6.0) ++focal;
+    }
+    return static_cast<double>(focal) / static_cast<double>(imp.size());
+  };
+  // The smallest layer inherits the parent's concentration (within noise).
+  const double f0 = focal_fraction(h.layer(0));
+  const double f2 = focal_fraction(h.layer(2));
+  EXPECT_GT(f0, 0.2);
+  EXPECT_GT(f2, f0 * 0.5);
+}
+
+TEST(HierarchyTest, RefreshIntervalDefersDerivation) {
+  SkyStream stream(StreamConfig(), 8);
+  ImpressionSpec spec;
+  spec.seed = 8;
+  HierarchyOptions options;
+  options.refresh_interval = 10'000;
+  auto h = ImpressionHierarchy::Make(stream.schema(), ThreeLayers(), spec,
+                                     options)
+               .value();
+  ASSERT_TRUE(h.IngestBatch(stream.NextBatch(3000)).ok());
+  // Below the interval: derived layers still reflect the initial (empty)
+  // refresh... but Make() refreshes once, so they are empty.
+  EXPECT_EQ(h.layer(0).size(), 3000);
+  const int64_t l1_before = h.layer(1).size();
+  ASSERT_TRUE(h.IngestBatch(stream.NextBatch(8000)).ok());  // crosses 10k
+  EXPECT_EQ(h.layer(1).size(), 1000);
+  EXPECT_GE(h.layer(1).size(), l1_before);
+}
+
+TEST(HierarchyTest, ManualRefreshAlwaysWorks) {
+  SkyStream stream(StreamConfig(), 9);
+  ImpressionSpec spec;
+  HierarchyOptions options;
+  options.refresh_interval = 1'000'000;  // effectively never
+  auto h = ImpressionHierarchy::Make(stream.schema(), ThreeLayers(), spec,
+                                     options)
+               .value();
+  ASSERT_TRUE(h.IngestBatch(stream.NextBatch(5000)).ok());
+  EXPECT_EQ(h.layer(1).size(), 0);  // not refreshed yet
+  ASSERT_TRUE(h.RefreshDerivedLayers().ok());
+  EXPECT_EQ(h.layer(1).size(), 1000);
+}
+
+TEST(HierarchyTest, ToStringListsLayers) {
+  SkyStream stream(StreamConfig(), 10);
+  ImpressionSpec spec;
+  auto h = ImpressionHierarchy::Make(stream.schema(), ThreeLayers(), spec)
+               .value();
+  ASSERT_TRUE(h.IngestBatch(stream.NextBatch(1000)).ok());
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("L0"), std::string::npos);
+  EXPECT_NE(s.find("L2"), std::string::npos);
+}
+
+// Sweep: derivation keeps probabilities in (0, 1] for any layer shape.
+class HierarchyShapeSweep
+    : public ::testing::TestWithParam<std::vector<int64_t>> {};
+
+TEST_P(HierarchyShapeSweep, ProbabilitiesValid) {
+  SkyStream stream(StreamConfig(), 11);
+  std::vector<LayerSpec> layers;
+  int i = 0;
+  for (const int64_t cap : GetParam()) {
+    layers.push_back({"L" + std::to_string(i++), cap});
+  }
+  ImpressionSpec spec;
+  spec.seed = 11;
+  auto h =
+      ImpressionHierarchy::Make(stream.schema(), std::move(layers), spec)
+          .value();
+  ASSERT_TRUE(h.IngestBatch(stream.NextBatch(25'000)).ok());
+  for (int layer = 0; layer < h.num_layers(); ++layer) {
+    const Impression& imp = h.layer(layer);
+    for (int64_t row = 0; row < imp.size(); ++row) {
+      const double p = imp.InclusionProbability(row);
+      EXPECT_GT(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+    EXPECT_TRUE(imp.Validate().ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HierarchyShapeSweep,
+    ::testing::Values(std::vector<int64_t>{20'000},
+                      std::vector<int64_t>{20'000, 500},
+                      std::vector<int64_t>{20'000, 2000, 200, 20},
+                      std::vector<int64_t>{1000, 999, 998}));
+
+}  // namespace
+}  // namespace sciborq

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exec/parser.h"
+#include "stats/histogram2d.h"
+#include "stats/kde.h"
+#include "util/rng.h"
+#include "workload/joint_tracker.h"
+
+namespace sciborq {
+namespace {
+
+StreamingHistogram2D MakeGrid() {
+  return StreamingHistogram2D::Make(0.0, 10.0, 10, 0.0, 5.0, 8).value();
+}
+
+TEST(Histogram2DTest, MakeValidation) {
+  EXPECT_FALSE(StreamingHistogram2D::Make(0, 1, 0, 0, 1, 4).ok());
+  EXPECT_FALSE(StreamingHistogram2D::Make(0, 1, 4, 0, 0.0, 4).ok());
+  EXPECT_FALSE(StreamingHistogram2D::Make(NAN, 1, 4, 0, 1, 4).ok());
+  EXPECT_TRUE(StreamingHistogram2D::Make(-5, 1, 4, -5, 1, 4).ok());
+}
+
+TEST(Histogram2DTest, ObserveTracksCellCountAndMeans) {
+  StreamingHistogram2D h = MakeGrid();
+  h.Observe(12.0, 7.0);
+  h.Observe(18.0, 9.0);
+  const auto& c = h.cell(1, 1);
+  EXPECT_DOUBLE_EQ(c.count, 2.0);
+  EXPECT_DOUBLE_EQ(c.mean_x, 15.0);
+  EXPECT_DOUBLE_EQ(c.mean_y, 8.0);
+  EXPECT_EQ(h.total_count(), 2);
+}
+
+TEST(Histogram2DTest, ClampingAtEdges) {
+  StreamingHistogram2D h = MakeGrid();
+  h.Observe(-100.0, -100.0);
+  h.Observe(1e6, 1e6);
+  EXPECT_EQ(h.clamped_count(), 2);
+  EXPECT_DOUBLE_EQ(h.cell(0, 0).count, 1.0);
+  EXPECT_DOUBLE_EQ(h.cell(9, 7).count, 1.0);
+}
+
+TEST(Histogram2DTest, DecayAndReset) {
+  StreamingHistogram2D h = MakeGrid();
+  for (int i = 0; i < 8; ++i) h.Observe(5.0, 2.0);
+  h.Decay(0.25);
+  EXPECT_DOUBLE_EQ(h.cell(0, 0).count, 2.0);
+  EXPECT_DOUBLE_EQ(h.weighted_total(), 2.0);
+  h.Reset();
+  EXPECT_DOUBLE_EQ(h.cell(0, 0).count, 0.0);
+  EXPECT_EQ(h.total_count(), 0);
+}
+
+TEST(Histogram2DTest, MergeMatchesUnion) {
+  StreamingHistogram2D whole = MakeGrid();
+  StreamingHistogram2D a = MakeGrid();
+  StreamingHistogram2D b = MakeGrid();
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(0, 100);
+    const double y = rng.Uniform(0, 40);
+    whole.Observe(x, y);
+    (i % 2 ? a : b).Observe(x, y);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_DOUBLE_EQ(a.cell(i, j).count, whole.cell(i, j).count);
+      EXPECT_NEAR(a.cell(i, j).mean_x, whole.cell(i, j).mean_x, 1e-9);
+    }
+  }
+  StreamingHistogram2D other =
+      StreamingHistogram2D::Make(0, 10, 10, 0, 5, 9).value();
+  EXPECT_FALSE(a.Merge(other).ok());
+}
+
+TEST(BinnedKde2DTest, IntegratesToOne) {
+  StreamingHistogram2D h =
+      StreamingHistogram2D::Make(120, 7.5, 16, 0, 3.75, 16).value();
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    if (rng.Bernoulli(0.5)) {
+      h.Observe(rng.Gaussian(150, 3), rng.Gaussian(12, 2));
+    } else {
+      h.Observe(rng.Gaussian(215, 3), rng.Gaussian(40, 2));
+    }
+  }
+  const BinnedKde2D kde(&h);
+  // 2-D Simpson via iterated 1-D integration.
+  const auto inner = [&](double x) {
+    return IntegrateDensity([&](double y) { return kde.Evaluate(x, y); },
+                            -40.0, 100.0, 400);
+  };
+  const double integral = IntegrateDensity(inner, 60.0, 300.0, 400);
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(BinnedKde2DTest, JointDensityKillsPhantomCombinations) {
+  // Foci at (150,12) and (215,40). The joint density must be high at the
+  // true foci and near-zero at the phantom cross-products (150,40), (215,12)
+  // — which independent marginals cannot distinguish.
+  StreamingHistogram2D h =
+      StreamingHistogram2D::Make(120, 3.0, 40, 0, 1.5, 40).value();
+  Rng rng(9);
+  for (int i = 0; i < 400; ++i) {
+    if (rng.Bernoulli(0.5)) {
+      h.Observe(rng.Gaussian(150, 2), rng.Gaussian(12, 1.5));
+    } else {
+      h.Observe(rng.Gaussian(215, 2), rng.Gaussian(40, 1.5));
+    }
+  }
+  const BinnedKde2D kde(&h);
+  const double real1 = kde.Evaluate(150, 12);
+  const double real2 = kde.Evaluate(215, 40);
+  const double phantom1 = kde.Evaluate(150, 40);
+  const double phantom2 = kde.Evaluate(215, 12);
+  EXPECT_GT(real1, 100.0 * phantom1);
+  EXPECT_GT(real2, 100.0 * phantom2);
+}
+
+TEST(JointTrackerTest, MakeValidation) {
+  JointInterestTracker::Spec spec;
+  spec.column_x = "ra";
+  spec.column_y = "ra";
+  EXPECT_FALSE(JointInterestTracker::Make(spec).ok());
+  spec.column_y = "dec";
+  spec.bins_x = 0;
+  EXPECT_FALSE(JointInterestTracker::Make(spec).ok());
+}
+
+JointInterestTracker MakeRaDecJoint() {
+  JointInterestTracker::Spec spec;
+  spec.column_x = "ra";
+  spec.column_y = "dec";
+  spec.min_x = 120.0;
+  spec.width_x = 3.0;
+  spec.bins_x = 40;
+  spec.min_y = 0.0;
+  spec.width_y = 1.5;
+  spec.bins_y = 40;
+  return JointInterestTracker::Make(spec).value();
+}
+
+TEST(JointTrackerTest, ObservesConePairsFromQueries) {
+  JointInterestTracker tracker = MakeRaDecJoint();
+  const AggregateQuery q =
+      ParseQuery("SELECT COUNT(*) WHERE cone(ra, dec; 150, 12; r=3)").value();
+  tracker.ObserveQuery(q);
+  EXPECT_EQ(tracker.observed_pairs(), 1);
+  // Swapped column order is normalized.
+  const AggregateQuery swapped =
+      ParseQuery("SELECT COUNT(*) WHERE cone(dec, ra; 12, 150; r=3)").value();
+  tracker.ObserveQuery(swapped);
+  EXPECT_EQ(tracker.observed_pairs(), 2);
+  EXPECT_DOUBLE_EQ(tracker.histogram().cell(10, 8).count, 2.0);
+}
+
+TEST(JointTrackerTest, TupleWeightsFavorJointFocus) {
+  JointInterestTracker tracker = MakeRaDecJoint();
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    if (rng.Bernoulli(0.5)) {
+      tracker.ObservePair(rng.Gaussian(150, 2), rng.Gaussian(12, 1.5));
+    } else {
+      tracker.ObservePair(rng.Gaussian(215, 2), rng.Gaussian(40, 1.5));
+    }
+  }
+  Table rows{Schema({Field{"ra", DataType::kDouble, false},
+                     Field{"dec", DataType::kDouble, false}})};
+  rows.AppendNumericRow({150.0, 12.0});  // true focus
+  rows.AppendNumericRow({150.0, 40.0});  // phantom cross-product
+  rows.AppendNumericRow({180.0, 25.0});  // nowhere
+  const auto bound = tracker.BindColumns(rows.schema());
+  const double w_real = tracker.TupleWeight(rows, bound, 0);
+  const double w_phantom = tracker.TupleWeight(rows, bound, 1);
+  const double w_far = tracker.TupleWeight(rows, bound, 2);
+  EXPECT_GT(w_real, 50.0 * w_phantom);
+  EXPECT_GT(w_real, 50.0 * w_far);
+}
+
+TEST(JointTrackerTest, ColdTrackerIsNeutral) {
+  JointInterestTracker tracker = MakeRaDecJoint();
+  Table rows{Schema({Field{"ra", DataType::kDouble, false},
+                     Field{"dec", DataType::kDouble, false}})};
+  rows.AppendNumericRow({150.0, 12.0});
+  const auto bound = tracker.BindColumns(rows.schema());
+  EXPECT_DOUBLE_EQ(tracker.TupleWeight(rows, bound, 0), 1.0);
+}
+
+TEST(JointTrackerTest, MissingColumnsAreNeutral) {
+  JointInterestTracker tracker = MakeRaDecJoint();
+  tracker.ObservePair(150.0, 12.0);
+  Table rows{Schema({Field{"ra", DataType::kDouble, false}})};  // no dec
+  rows.AppendNumericRow({150.0});
+  const auto bound = tracker.BindColumns(rows.schema());
+  EXPECT_DOUBLE_EQ(tracker.TupleWeight(rows, bound, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace sciborq

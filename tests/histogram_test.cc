@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/histogram.h"
+#include "util/rng.h"
+
+namespace sciborq {
+namespace {
+
+StreamingHistogram MakeHist(double lo = 0.0, double w = 10.0, int bins = 10) {
+  return StreamingHistogram::Make(lo, w, bins).value();
+}
+
+TEST(HistogramTest, MakeRejectsBadGeometry) {
+  EXPECT_FALSE(StreamingHistogram::Make(0, 1.0, 0).ok());
+  EXPECT_FALSE(StreamingHistogram::Make(0, 0.0, 4).ok());
+  EXPECT_FALSE(StreamingHistogram::Make(0, -1.0, 4).ok());
+  EXPECT_FALSE(StreamingHistogram::Make(NAN, 1.0, 4).ok());
+  EXPECT_TRUE(StreamingHistogram::Make(-10, 0.5, 4).ok());
+}
+
+TEST(HistogramTest, Fig5CountAndMeanPerBin) {
+  // Fig. 5 maintains exactly (count, mean) per bin.
+  StreamingHistogram h = MakeHist();
+  h.Observe(12.0);
+  h.Observe(18.0);
+  h.Observe(15.0);
+  const auto& bin = h.bin(1);
+  EXPECT_DOUBLE_EQ(bin.count, 3.0);
+  EXPECT_DOUBLE_EQ(bin.mean, 15.0);
+  EXPECT_EQ(h.total_count(), 3);
+}
+
+TEST(HistogramTest, BinIndexMath) {
+  StreamingHistogram h = MakeHist(100.0, 5.0, 4);  // [100, 120)
+  EXPECT_EQ(h.BinIndex(100.0), 0);
+  EXPECT_EQ(h.BinIndex(104.999), 0);
+  EXPECT_EQ(h.BinIndex(105.0), 1);
+  EXPECT_EQ(h.BinIndex(119.9), 3);
+  EXPECT_EQ(h.BinIndex(99.0), 0);    // clamped
+  EXPECT_EQ(h.BinIndex(500.0), 3);   // clamped
+  EXPECT_DOUBLE_EQ(h.domain_max(), 120.0);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 102.5);
+  EXPECT_DOUBLE_EQ(h.BinLeftEdge(2), 110.0);
+}
+
+TEST(HistogramTest, OutOfDomainValuesClampAndAreCounted) {
+  StreamingHistogram h = MakeHist(0.0, 1.0, 4);
+  h.Observe(-5.0);
+  h.Observe(10.0);
+  h.Observe(2.5);
+  EXPECT_EQ(h.clamped_count(), 2);
+  EXPECT_DOUBLE_EQ(h.bin(0).count, 1.0);  // -5 clamped into the first bin
+  EXPECT_DOUBLE_EQ(h.bin(2).count, 1.0);  // 2.5 lands in [2, 3)
+  EXPECT_DOUBLE_EQ(h.bin(3).count, 1.0);  // 10 clamped into the last bin
+}
+
+TEST(HistogramTest, MeanIsIncrementalAndExact) {
+  StreamingHistogram h = MakeHist(0.0, 100.0, 1);
+  double expected_sum = 0.0;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(0.0, 100.0);
+    expected_sum += v;
+    h.Observe(v);
+  }
+  EXPECT_NEAR(h.bin(0).mean, expected_sum / 1000.0, 1e-9);
+}
+
+TEST(HistogramTest, MergeCombinesCountsAndMeans) {
+  StreamingHistogram a = MakeHist();
+  StreamingHistogram b = MakeHist();
+  a.Observe(12.0);
+  b.Observe(18.0);
+  b.Observe(14.0);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_DOUBLE_EQ(a.bin(1).count, 3.0);
+  EXPECT_NEAR(a.bin(1).mean, (12.0 + 18.0 + 14.0) / 3.0, 1e-12);
+  EXPECT_EQ(a.total_count(), 3);
+}
+
+TEST(HistogramTest, MergeRejectsDifferentGeometry) {
+  StreamingHistogram a = MakeHist(0, 10, 10);
+  StreamingHistogram b = MakeHist(0, 10, 5);
+  EXPECT_FALSE(a.Merge(b).ok());
+  StreamingHistogram c = MakeHist(1, 10, 10);
+  EXPECT_FALSE(a.Merge(c).ok());
+}
+
+TEST(HistogramTest, DecayAgesCounts) {
+  StreamingHistogram h = MakeHist();
+  for (int i = 0; i < 10; ++i) h.Observe(5.0);
+  h.Decay(0.5);
+  EXPECT_DOUBLE_EQ(h.bin(0).count, 5.0);
+  EXPECT_DOUBLE_EQ(h.weighted_total(), 5.0);
+  // total_count (observations) unchanged; weighted mass halved.
+  EXPECT_EQ(h.total_count(), 10);
+}
+
+TEST(HistogramTest, DecayPrunesTinyBins) {
+  StreamingHistogram h = MakeHist();
+  h.Observe(5.0);
+  h.Decay(1e-9, /*prune_below=*/1e-6);
+  EXPECT_DOUBLE_EQ(h.bin(0).count, 0.0);
+  EXPECT_DOUBLE_EQ(h.bin(0).mean, 0.0);
+}
+
+TEST(HistogramTest, DecayFactorOneIsNoop) {
+  StreamingHistogram h = MakeHist();
+  h.Observe(5.0);
+  h.Decay(1.0);
+  EXPECT_DOUBLE_EQ(h.bin(0).count, 1.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  StreamingHistogram h = MakeHist();
+  h.Observe(5.0);
+  h.Observe(-100.0);
+  h.Reset();
+  EXPECT_EQ(h.total_count(), 0);
+  EXPECT_EQ(h.clamped_count(), 0);
+  EXPECT_DOUBLE_EQ(h.weighted_total(), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin(0).count, 0.0);
+}
+
+TEST(HistogramTest, NormalizedDensitiesIntegrateToOne) {
+  StreamingHistogram h = MakeHist(0.0, 2.0, 50);
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) h.Observe(rng.Uniform(0.0, 100.0));
+  const auto dens = h.NormalizedDensities();
+  ASSERT_EQ(dens.size(), 50u);
+  double integral = 0.0;
+  for (const double d : dens) integral += d * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, NormalizedDensitiesEmptyWhenNoData) {
+  StreamingHistogram h = MakeHist();
+  EXPECT_TRUE(h.NormalizedDensities().empty());
+}
+
+// Property: for in-domain observations, every bin mean lies inside its bin.
+TEST(HistogramTest, PropertyBinMeansStayInsideBins) {
+  StreamingHistogram h = MakeHist(0.0, 1.0, 100);
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) h.Observe(rng.Uniform(0.0, 100.0));
+  for (int i = 0; i < h.num_bins(); ++i) {
+    if (h.bin(i).count == 0.0) continue;
+    EXPECT_GE(h.bin(i).mean, h.BinLeftEdge(i));
+    EXPECT_LT(h.bin(i).mean, h.BinLeftEdge(i) + h.bin_width());
+  }
+}
+
+// Property: merging shards is equivalent to observing the union stream.
+TEST(HistogramTest, PropertyMergeEquivalentToUnion) {
+  StreamingHistogram whole = MakeHist(0.0, 5.0, 20);
+  StreamingHistogram s1 = MakeHist(0.0, 5.0, 20);
+  StreamingHistogram s2 = MakeHist(0.0, 5.0, 20);
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.Uniform(0.0, 100.0);
+    whole.Observe(v);
+    (i % 2 == 0 ? s1 : s2).Observe(v);
+  }
+  ASSERT_TRUE(s1.Merge(s2).ok());
+  for (int i = 0; i < whole.num_bins(); ++i) {
+    EXPECT_DOUBLE_EQ(s1.bin(i).count, whole.bin(i).count);
+    EXPECT_NEAR(s1.bin(i).mean, whole.bin(i).mean, 1e-9);
+  }
+}
+
+// Parameterized sweep over bin counts: geometry invariants hold for any beta.
+class HistogramBetaSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramBetaSweep, CountsSumToObservations) {
+  const int beta = GetParam();
+  StreamingHistogram h =
+      StreamingHistogram::Make(0.0, 100.0 / beta, beta).value();
+  Rng rng(beta);
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) h.Observe(rng.Uniform(0.0, 100.0));
+  double total = 0.0;
+  for (int i = 0; i < h.num_bins(); ++i) total += h.bin(i).count;
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(n));
+  EXPECT_EQ(h.total_count(), n);
+  EXPECT_EQ(h.clamped_count(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, HistogramBetaSweep,
+                         ::testing::Values(1, 2, 8, 32, 64, 128, 509));
+
+}  // namespace
+}  // namespace sciborq

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "column/table.h"
+#include "exec/join.h"
+#include "exec/sort.h"
+
+namespace sciborq {
+namespace {
+
+Table FactTable() {
+  Table t{Schema({Field{"id", DataType::kInt64, false},
+                  Field{"fk", DataType::kInt64, true},
+                  Field{"x", DataType::kDouble, false}})};
+  auto add = [&t](int64_t id, Value fk, double x) {
+    ASSERT_TRUE(t.AppendRow({Value(id), std::move(fk), Value(x)}).ok());
+  };
+  add(0, Value(int64_t{10}), 1.0);
+  add(1, Value(int64_t{20}), 2.0);
+  add(2, Value(int64_t{10}), 3.0);
+  add(3, Value(int64_t{99}), 4.0);  // dangling key
+  add(4, Value::Null(), 5.0);       // null key never joins
+  return t;
+}
+
+Table DimTable() {
+  Table t{Schema({Field{"key", DataType::kInt64, false},
+                  Field{"x", DataType::kDouble, false},  // clashes with fact x
+                  Field{"label", DataType::kString, false}})};
+  auto add = [&t](int64_t key, double x, const char* label) {
+    ASSERT_TRUE(t.AppendRow({Value(key), Value(x), Value(label)}).ok());
+  };
+  add(10, 100.0, "ten");
+  add(20, 200.0, "twenty");
+  add(30, 300.0, "thirty");
+  return t;
+}
+
+TEST(HashJoinTest, InnerJoinBasics) {
+  const Table joined = HashJoin(FactTable(), "fk", DimTable(), "key").value();
+  EXPECT_EQ(joined.num_rows(), 3);  // ids 0, 1, 2
+  // Output schema: fact columns + dim minus key, with clash prefix.
+  EXPECT_TRUE(joined.schema().HasField("right_x"));
+  EXPECT_TRUE(joined.schema().HasField("label"));
+  EXPECT_FALSE(joined.schema().HasField("key"));
+  EXPECT_EQ(joined.GetCell(0, "label").value().str(), "ten");
+  EXPECT_DOUBLE_EQ(joined.GetCell(0, "right_x").value().dbl(), 100.0);
+  EXPECT_EQ(joined.GetCell(1, "label").value().str(), "twenty");
+  EXPECT_TRUE(joined.Validate().ok());
+}
+
+TEST(HashJoinTest, OneToManyDuplicates) {
+  // Two dim rows with the same key -> fact rows fan out.
+  Table dim = DimTable();
+  ASSERT_TRUE(
+      dim.AppendRow({Value(int64_t{10}), Value(101.0), Value("ten-b")}).ok());
+  const Table joined = HashJoin(FactTable(), "fk", dim, "key").value();
+  // Fact ids {0, 2} match key 10 twice each; id 1 matches once.
+  EXPECT_EQ(joined.num_rows(), 5);
+}
+
+TEST(HashJoinTest, EmptyProbe) {
+  Table empty_fact{FactTable().schema()};
+  const Table joined = HashJoin(empty_fact, "fk", DimTable(), "key").value();
+  EXPECT_EQ(joined.num_rows(), 0);
+}
+
+TEST(HashJoinTest, KeyTypeValidation) {
+  EXPECT_FALSE(HashJoin(FactTable(), "x", DimTable(), "key").ok());
+  EXPECT_FALSE(HashJoin(FactTable(), "fk", DimTable(), "label").ok());
+  EXPECT_FALSE(HashJoin(FactTable(), "nope", DimTable(), "key").ok());
+}
+
+TEST(CountJoinMatchesTest, CountsWithoutMaterializing) {
+  const Table fact = FactTable();
+  const Table dim = DimTable();
+  EXPECT_EQ(CountJoinMatches(fact, "fk", {0, 1, 2, 3, 4}, dim, "key").value(),
+            3);
+  EXPECT_EQ(CountJoinMatches(fact, "fk", {3, 4}, dim, "key").value(), 0);
+  EXPECT_EQ(CountJoinMatches(fact, "fk", {0}, dim, "key").value(), 1);
+}
+
+TEST(SortTest, AscendingNumeric) {
+  const Table t = FactTable();
+  const Table sorted = SortTable(t, "x", /*ascending=*/false).value();
+  EXPECT_DOUBLE_EQ(sorted.GetCell(0, "x").value().dbl(), 5.0);
+  EXPECT_DOUBLE_EQ(sorted.GetCell(4, "x").value().dbl(), 1.0);
+}
+
+TEST(SortTest, NullsSortLast) {
+  const Table t = FactTable();
+  const SelectionVector order = SortedOrder(t, "fk").value();
+  EXPECT_EQ(order.back(), 4);  // the null-fk row
+  EXPECT_EQ(order.front(), 0);  // fk 10, first appearance (stable)
+}
+
+TEST(SortTest, StringOrder) {
+  const Table t = DimTable();
+  const SelectionVector order = SortedOrder(t, "label").value();
+  EXPECT_EQ(order, (SelectionVector{0, 2, 1}));  // ten, thirty, twenty
+}
+
+TEST(SortTest, StableForTies) {
+  const Table t = FactTable();
+  const SelectionVector order = SortedOrder(t, "fk").value();
+  // fk values: 10(id0), 20(id1), 10(id2), 99(id3), null(id4).
+  EXPECT_EQ(order, (SelectionVector{0, 2, 1, 3, 4}));
+}
+
+TEST(TopKTest, PartialSort) {
+  const Table t = FactTable();
+  const SelectionVector top2 = TopK(t, "x", 2, /*ascending=*/false).value();
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], 4);
+  EXPECT_EQ(top2[1], 3);
+}
+
+TEST(TopKTest, KLargerThanTable) {
+  const Table t = FactTable();
+  EXPECT_EQ(TopK(t, "x", 100).value().size(), 5u);
+  EXPECT_FALSE(TopK(t, "x", -1).ok());
+}
+
+TEST(SortTest, MissingColumn) {
+  EXPECT_FALSE(SortedOrder(FactTable(), "nope").ok());
+}
+
+}  // namespace
+}  // namespace sciborq

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/noncentral_hypergeometric.h"
+
+namespace sciborq {
+namespace {
+
+using FNCH = FisherNoncentralHypergeometric;
+
+TEST(FnchTest, MakeValidation) {
+  EXPECT_FALSE(FNCH::Make(-1, 10, 5, 1.0).ok());
+  EXPECT_FALSE(FNCH::Make(10, -1, 5, 1.0).ok());
+  EXPECT_FALSE(FNCH::Make(10, 10, 21, 1.0).ok());
+  EXPECT_FALSE(FNCH::Make(10, 10, -1, 1.0).ok());
+  EXPECT_FALSE(FNCH::Make(10, 10, 5, 0.0).ok());
+  EXPECT_FALSE(FNCH::Make(10, 10, 5, -2.0).ok());
+  EXPECT_TRUE(FNCH::Make(10, 10, 5, 1.0).ok());
+}
+
+TEST(FnchTest, SupportBounds) {
+  const FNCH d = FNCH::Make(6, 4, 8, 1.0).value();
+  EXPECT_EQ(d.support_min(), 4);  // n - m2 = 8 - 4
+  EXPECT_EQ(d.support_max(), 6);  // min(n, m1)
+}
+
+TEST(FnchTest, CentralCaseMatchesHypergeometric) {
+  // omega = 1 is the central hypergeometric: mean = n*m1/(m1+m2),
+  // var = n * (m1/N) * (m2/N) * (N-n)/(N-1).
+  const int64_t m1 = 30;
+  const int64_t m2 = 70;
+  const int64_t n = 20;
+  const FNCH d = FNCH::Make(m1, m2, n, 1.0).value();
+  const double N = 100.0;
+  const double expected_mean = n * m1 / N;
+  const double expected_var =
+      n * (m1 / N) * (m2 / N) * (N - n) / (N - 1.0);
+  EXPECT_NEAR(d.Mean(), expected_mean, 1e-9);
+  EXPECT_NEAR(d.Variance(), expected_var, 1e-9);
+}
+
+TEST(FnchTest, PmfSumsToOne) {
+  const FNCH d = FNCH::Make(15, 25, 12, 2.5).value();
+  double total = 0.0;
+  for (int64_t x = d.support_min(); x <= d.support_max(); ++x) {
+    total += d.Pmf(x);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(FnchTest, PmfZeroOutsideSupport) {
+  const FNCH d = FNCH::Make(5, 5, 4, 1.5).value();
+  EXPECT_DOUBLE_EQ(d.Pmf(-1), 0.0);
+  EXPECT_DOUBLE_EQ(d.Pmf(5), 0.0);
+}
+
+TEST(FnchTest, ModeIsArgmax) {
+  const FNCH d = FNCH::Make(20, 30, 15, 3.0).value();
+  const int64_t mode = d.Mode();
+  const double p_mode = d.Pmf(mode);
+  for (int64_t x = d.support_min(); x <= d.support_max(); ++x) {
+    EXPECT_LE(d.Pmf(x), p_mode + 1e-12);
+  }
+}
+
+TEST(FnchTest, LargerOddsShiftMeanUp) {
+  const FNCH low = FNCH::Make(50, 50, 30, 0.5).value();
+  const FNCH mid = FNCH::Make(50, 50, 30, 1.0).value();
+  const FNCH high = FNCH::Make(50, 50, 30, 4.0).value();
+  EXPECT_LT(low.Mean(), mid.Mean());
+  EXPECT_LT(mid.Mean(), high.Mean());
+}
+
+TEST(FnchTest, ExtremeOddsSaturateSupport) {
+  const FNCH high = FNCH::Make(10, 90, 10, 1e6).value();
+  EXPECT_NEAR(high.Mean(), 10.0, 0.01);
+  const FNCH low = FNCH::Make(10, 90, 10, 1e-6).value();
+  EXPECT_NEAR(low.Mean(), 0.0, 0.01);
+}
+
+TEST(FnchTest, SymmetryUnderGroupSwap) {
+  // X ~ FNCH(m1, m2, n, w)  <=>  n - X ~ FNCH(m2, m1, n, 1/w).
+  const FNCH d = FNCH::Make(12, 20, 10, 2.0).value();
+  const FNCH swapped = FNCH::Make(20, 12, 10, 0.5).value();
+  EXPECT_NEAR(d.Mean() + swapped.Mean(), 10.0, 1e-9);
+  EXPECT_NEAR(d.Variance(), swapped.Variance(), 1e-9);
+  for (int64_t x = d.support_min(); x <= d.support_max(); ++x) {
+    EXPECT_NEAR(d.Pmf(x), swapped.Pmf(10 - x), 1e-12);
+  }
+}
+
+TEST(FnchTest, CdfMonotoneAndBounded) {
+  const FNCH d = FNCH::Make(18, 22, 14, 1.7).value();
+  double prev = 0.0;
+  for (int64_t x = d.support_min(); x <= d.support_max(); ++x) {
+    const double c = d.Cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(d.Cdf(d.support_min() - 1), 0.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(d.support_max()), 1.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(d.support_max() + 5), 1.0);
+}
+
+TEST(FnchTest, ApproxMeanTracksExactMean) {
+  for (const double omega : {0.25, 0.5, 1.0, 2.0, 5.0}) {
+    const FNCH d = FNCH::Make(200, 300, 100, omega).value();
+    EXPECT_NEAR(d.ApproxMean(), d.Mean(), 1.0)
+        << "omega=" << omega;
+  }
+}
+
+TEST(FnchTest, LargePopulationIsFast) {
+  // The SciBORQ use case: impression of 100k rows from 10M tuples, focal
+  // region of 1M tuples, odds 3. Moment computation must stay exact but
+  // cheap (mode-centered summation, not full-support scan).
+  const FNCH d = FNCH::Make(1'000'000, 9'000'000, 100'000, 3.0).value();
+  const double mean = d.Mean();
+  // Expected share of focal rows in the sample well above the uniform 10%.
+  EXPECT_GT(mean, 100'000 * 0.20);
+  EXPECT_LT(mean, 100'000 * 0.40);
+  EXPECT_GT(d.Variance(), 0.0);
+}
+
+TEST(FnchTest, DegenerateSampleSizes) {
+  const FNCH none = FNCH::Make(5, 5, 0, 2.0).value();
+  EXPECT_DOUBLE_EQ(none.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(none.Variance(), 0.0);
+  const FNCH all = FNCH::Make(5, 5, 10, 2.0).value();
+  EXPECT_DOUBLE_EQ(all.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(all.Variance(), 0.0);
+}
+
+TEST(FnchTest, OneSidedSupport) {
+  const FNCH d = FNCH::Make(3, 0, 2, 4.0).value();
+  EXPECT_EQ(d.support_min(), 2);
+  EXPECT_EQ(d.support_max(), 2);
+  EXPECT_DOUBLE_EQ(d.Pmf(2), 1.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 2.0);
+}
+
+// Sweep over odds: mean within support, variance non-negative, pmf sums to 1.
+class FnchOmegaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FnchOmegaSweep, BasicInvariants) {
+  const double omega = GetParam();
+  const FNCH d = FNCH::Make(40, 60, 30, omega).value();
+  const double mean = d.Mean();
+  EXPECT_GE(mean, static_cast<double>(d.support_min()));
+  EXPECT_LE(mean, static_cast<double>(d.support_max()));
+  EXPECT_GE(d.Variance(), 0.0);
+  double total = 0.0;
+  for (int64_t x = d.support_min(); x <= d.support_max(); ++x) {
+    total += d.Pmf(x);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Omegas, FnchOmegaSweep,
+                         ::testing::Values(0.01, 0.1, 0.5, 1.0, 1.5, 3.0, 10.0,
+                                           100.0));
+
+}  // namespace
+}  // namespace sciborq

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "exec/parser.h"
+
+namespace sciborq {
+namespace {
+
+TEST(ParserTest, MinimalQuery) {
+  const AggregateQuery q = ParseQuery("SELECT COUNT(*)").value();
+  ASSERT_EQ(q.aggregates.size(), 1u);
+  EXPECT_EQ(q.aggregates[0].kind, AggKind::kCount);
+  EXPECT_TRUE(q.aggregates[0].column.empty());
+  EXPECT_EQ(q.filter, nullptr);
+  EXPECT_TRUE(q.group_by.empty());
+}
+
+TEST(ParserTest, AllAggregateKinds) {
+  const AggregateQuery q =
+      ParseQuery("SELECT COUNT(*), SUM(a), AVG(b), MIN(c), MAX(d), VAR(e)")
+          .value();
+  ASSERT_EQ(q.aggregates.size(), 6u);
+  EXPECT_EQ(q.aggregates[1].kind, AggKind::kSum);
+  EXPECT_EQ(q.aggregates[2].kind, AggKind::kAvg);
+  EXPECT_EQ(q.aggregates[3].kind, AggKind::kMin);
+  EXPECT_EQ(q.aggregates[4].kind, AggKind::kMax);
+  EXPECT_EQ(q.aggregates[5].kind, AggKind::kVariance);
+  EXPECT_EQ(q.aggregates[5].column, "e");
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  EXPECT_TRUE(ParseQuery("select count(*) where x = 1 group by g").ok());
+  EXPECT_TRUE(ParseQuery("SELECT Count(*) WHERE x = 1 GROUP BY g").ok());
+}
+
+TEST(ParserTest, Comparisons) {
+  for (const char* op : {"=", "<>", "<", "<=", ">", ">="}) {
+    const std::string text = std::string("SELECT COUNT(*) WHERE x ") + op + " 5";
+    const AggregateQuery q = ParseQuery(text).value();
+    ASSERT_NE(q.filter, nullptr) << text;
+  }
+}
+
+TEST(ParserTest, LiteralTypes) {
+  const auto int_q = ParseQuery("SELECT COUNT(*) WHERE x = 5").value();
+  EXPECT_EQ(int_q.filter->ToString(), "x = 5");
+  const auto dbl_q = ParseQuery("SELECT COUNT(*) WHERE x = 5.5").value();
+  EXPECT_EQ(dbl_q.filter->ToString(), "x = 5.5");
+  const auto neg_q = ParseQuery("SELECT COUNT(*) WHERE x < -2.5").value();
+  EXPECT_EQ(neg_q.filter->ToString(), "x < -2.5");
+  const auto str_q =
+      ParseQuery("SELECT COUNT(*) WHERE cls = 'GALAXY'").value();
+  EXPECT_EQ(str_q.filter->ToString(), "cls = 'GALAXY'");
+}
+
+TEST(ParserTest, BetweenAndCone) {
+  const auto q = ParseQuery(
+                     "SELECT AVG(z) WHERE ra BETWEEN 150 AND 160 AND "
+                     "cone(ra, dec; 185, 0; r=3)")
+                     .value();
+  const auto points = q.PredicatePoints();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].value, 155.0);  // between midpoint
+  EXPECT_DOUBLE_EQ(points[1].value, 185.0);
+  const auto pairs = q.PredicatePairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(pairs[0].x, 185.0);
+}
+
+TEST(ParserTest, ConeAcceptsCommaSeparatorsAndNoRPrefix) {
+  EXPECT_TRUE(ParsePredicate("cone(ra, dec, 185, 0, 3)").ok());
+  EXPECT_TRUE(ParsePredicate("CONE(ra, dec; 185, 0; 3)").ok());
+}
+
+TEST(ParserTest, BooleanStructure) {
+  const auto p = ParsePredicate(
+                     "NOT (a = 1) AND (b = 2 OR c = 3)")
+                     .value();
+  EXPECT_EQ(p->ToString(), "(NOT (a = 1)) AND ((b = 2) OR (c = 3))");
+}
+
+TEST(ParserTest, OperatorPrecedenceAndBindsTighter) {
+  const auto p = ParsePredicate("a = 1 OR b = 2 AND c = 3").value();
+  EXPECT_EQ(p->ToString(), "(a = 1) OR ((b = 2) AND (c = 3))");
+}
+
+TEST(ParserTest, GroupBy) {
+  const auto q = ParseQuery("SELECT COUNT(*) GROUP BY obj_class").value();
+  EXPECT_EQ(q.group_by, "obj_class");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("COUNT(*)").ok());                   // missing SELECT
+  EXPECT_FALSE(ParseQuery("SELECT FROB(x)").ok());             // unknown agg
+  EXPECT_FALSE(ParseQuery("SELECT SUM(*)").ok());              // * not for SUM
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) WHERE").ok());      // empty pred
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) WHERE x =").ok());  // no literal
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) WHERE x = 'a").ok());  // unterminated
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) GROUP x").ok());    // missing BY
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) trailing junk").ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) WHERE x ~ 3").ok());  // bad char
+}
+
+// The round-trip guarantee: parse(ToString(q)).ToString() == q.ToString().
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, ToStringIsStable) {
+  const AggregateQuery original = ParseQuery(GetParam()).value();
+  const std::string rendered = original.ToString();
+  const AggregateQuery reparsed = ParseQuery(rendered).value();
+  EXPECT_EQ(reparsed.ToString(), rendered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, RoundTrip,
+    ::testing::Values(
+        "SELECT COUNT(*)",
+        "SELECT COUNT(*), AVG(redshift) WHERE cone(ra, dec; 185, 0; r=3)",
+        "SELECT SUM(r) WHERE (obj_class = 'GALAXY') AND (ra BETWEEN 150 AND "
+        "160)",
+        "SELECT MIN(u), MAX(u) WHERE NOT (dec < 0) GROUP BY obj_class",
+        "SELECT VAR(z) WHERE (a = 1) OR (b <> 2.5) OR (c >= -3)"));
+
+}  // namespace
+}  // namespace sciborq

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "exec/query.h"
+
+namespace sciborq {
+namespace {
+
+Table ObsTable() {
+  Table t{Schema({Field{"ra", DataType::kDouble, false},
+                  Field{"dec", DataType::kDouble, false},
+                  Field{"z", DataType::kDouble, false},
+                  Field{"cls", DataType::kString, false}})};
+  auto add = [&t](double ra, double dec, double z, const char* cls) {
+    ASSERT_TRUE(
+        t.AppendRow({Value(ra), Value(dec), Value(z), Value(cls)}).ok());
+  };
+  add(185.0, 0.1, 0.10, "GALAXY");
+  add(185.2, 0.2, 0.20, "GALAXY");
+  add(185.4, -0.1, 0.30, "STAR");
+  add(200.0, 30.0, 0.40, "GALAXY");
+  add(201.0, 31.0, 0.50, "QSO");
+  return t;
+}
+
+AggregateQuery CountAvgNear185() {
+  AggregateQuery q;
+  q.aggregates = {{AggKind::kCount, ""}, {AggKind::kAvg, "z"}};
+  q.filter = Cone("ra", "dec", 185.2, 0.0, 1.0);
+  return q;
+}
+
+TEST(QueryTest, RunExactUngrouped) {
+  const auto rows = RunExact(ObsTable(), CountAvgNear185()).value();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].group_key.is_null());
+  EXPECT_EQ(rows[0].input_rows, 3);
+  EXPECT_DOUBLE_EQ(rows[0].values[0], 3.0);
+  EXPECT_NEAR(rows[0].values[1], 0.2, 1e-12);
+}
+
+TEST(QueryTest, RunExactNoFilter) {
+  AggregateQuery q;
+  q.aggregates = {{AggKind::kCount, ""}};
+  const auto rows = RunExact(ObsTable(), q).value();
+  EXPECT_DOUBLE_EQ(rows[0].values[0], 5.0);
+}
+
+TEST(QueryTest, RunExactGrouped) {
+  AggregateQuery q;
+  q.aggregates = {{AggKind::kCount, ""}, {AggKind::kAvg, "z"}};
+  q.group_by = "cls";
+  const auto rows = RunExact(ObsTable(), q).value();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].group_key.str(), "GALAXY");
+  EXPECT_DOUBLE_EQ(rows[0].values[0], 3.0);
+  EXPECT_NEAR(rows[0].values[1], (0.1 + 0.2 + 0.4) / 3.0, 1e-12);
+  EXPECT_EQ(rows[1].group_key.str(), "STAR");
+  EXPECT_EQ(rows[2].group_key.str(), "QSO");
+}
+
+TEST(QueryTest, RunExactGroupedWithFilter) {
+  AggregateQuery q;
+  q.aggregates = {{AggKind::kCount, ""}};
+  q.group_by = "cls";
+  q.filter = Ge("ra", Value(190.0));
+  const auto rows = RunExact(ObsTable(), q).value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].group_key.str(), "GALAXY");
+  EXPECT_DOUBLE_EQ(rows[0].values[0], 1.0);
+}
+
+TEST(QueryTest, EmptyAggregatesRejected) {
+  AggregateQuery q;
+  EXPECT_FALSE(RunExact(ObsTable(), q).ok());
+}
+
+TEST(QueryTest, CloneIsDeep) {
+  AggregateQuery q = CountAvgNear185();
+  AggregateQuery c = q.Clone();
+  q.filter.reset();
+  ASSERT_NE(c.filter, nullptr);
+  const auto rows = RunExact(ObsTable(), c).value();
+  EXPECT_DOUBLE_EQ(rows[0].values[0], 3.0);
+}
+
+TEST(QueryTest, CloneWithoutFilter) {
+  AggregateQuery q;
+  q.aggregates = {{AggKind::kCount, ""}};
+  const AggregateQuery c = q.Clone();
+  EXPECT_EQ(c.filter, nullptr);
+}
+
+TEST(QueryTest, PredicatePoints) {
+  const AggregateQuery q = CountAvgNear185();
+  const auto points = q.PredicatePoints();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].column, "ra");
+  EXPECT_DOUBLE_EQ(points[0].value, 185.2);
+  EXPECT_EQ(points[1].column, "dec");
+  EXPECT_DOUBLE_EQ(points[1].value, 0.0);
+  AggregateQuery no_filter;
+  EXPECT_TRUE(no_filter.PredicatePoints().empty());
+}
+
+TEST(QueryTest, ToStringRendersSqlish) {
+  AggregateQuery q = CountAvgNear185();
+  q.group_by = "cls";
+  const std::string s = q.ToString();
+  EXPECT_NE(s.find("SELECT COUNT(*), AVG(z)"), std::string::npos);
+  EXPECT_NE(s.find("WHERE cone(ra, dec; 185.2, 0; r=1)"), std::string::npos);
+  EXPECT_NE(s.find("GROUP BY cls"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sciborq

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "stats/noncentral_hypergeometric.h"
+#include "stats/wallenius.h"
+
+namespace sciborq {
+namespace {
+
+using Wallenius = WalleniusNoncentralHypergeometric;
+using Fisher = FisherNoncentralHypergeometric;
+
+TEST(WalleniusTest, MakeValidation) {
+  EXPECT_FALSE(Wallenius::Make(-1, 10, 5, 1.0).ok());
+  EXPECT_FALSE(Wallenius::Make(10, 10, 21, 1.0).ok());
+  EXPECT_FALSE(Wallenius::Make(10, 10, 5, 0.0).ok());
+  EXPECT_TRUE(Wallenius::Make(10, 10, 5, 2.0).ok());
+}
+
+TEST(WalleniusTest, CentralCaseMatchesHypergeometric) {
+  const Wallenius d = Wallenius::Make(30, 70, 20, 1.0).value();
+  const double N = 100.0;
+  EXPECT_NEAR(d.Mean(), 20.0 * 30.0 / N, 1e-6);
+  EXPECT_NEAR(d.Variance(),
+              20.0 * (30.0 / N) * (70.0 / N) * (N - 20.0) / (N - 1.0), 1e-4);
+}
+
+TEST(WalleniusTest, PmfSumsToOne) {
+  const Wallenius d = Wallenius::Make(15, 25, 12, 2.5).value();
+  double total = 0.0;
+  for (int64_t x = d.support_min(); x <= d.support_max(); ++x) {
+    total += d.Pmf(x);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(WalleniusTest, PmfZeroOutsideSupport) {
+  const Wallenius d = Wallenius::Make(5, 5, 4, 1.5).value();
+  EXPECT_DOUBLE_EQ(d.Pmf(-1), 0.0);
+  EXPECT_DOUBLE_EQ(d.Pmf(5), 0.0);
+}
+
+TEST(WalleniusTest, OddsShiftMean) {
+  const Wallenius low = Wallenius::Make(50, 50, 30, 0.5).value();
+  const Wallenius mid = Wallenius::Make(50, 50, 30, 1.0).value();
+  const Wallenius high = Wallenius::Make(50, 50, 30, 4.0).value();
+  EXPECT_LT(low.Mean(), mid.Mean());
+  EXPECT_LT(mid.Mean(), high.Mean());
+}
+
+TEST(WalleniusTest, ApproxMeanTracksExact) {
+  for (const double omega : {0.5, 1.0, 2.0, 4.0}) {
+    const Wallenius d = Wallenius::Make(40, 60, 25, omega).value();
+    EXPECT_NEAR(d.ApproxMean(), d.Mean(), 0.6) << "omega=" << omega;
+  }
+}
+
+TEST(WalleniusTest, DegenerateCases) {
+  const Wallenius none = Wallenius::Make(5, 5, 0, 2.0).value();
+  EXPECT_DOUBLE_EQ(none.Pmf(0), 1.0);
+  const Wallenius all = Wallenius::Make(5, 5, 10, 2.0).value();
+  EXPECT_EQ(all.support_min(), 5);
+  EXPECT_EQ(all.support_max(), 5);
+  EXPECT_NEAR(all.ApproxMean(), 5.0, 1e-9);
+}
+
+// Fog 2008's qualitative distinction: the two models differ visibly at large
+// sampling fractions — for omega > 1 the sequential (Wallenius) draw gives
+// the favored group a compounding advantage, so its mean exceeds Fisher's —
+// and they converge as the sampling fraction vanishes.
+TEST(WalleniusTest, RelationToFisher) {
+  const Wallenius w_big = Wallenius::Make(50, 50, 50, 3.0).value();
+  const Fisher f_big = Fisher::Make(50, 50, 50, 3.0).value();
+  EXPECT_GT(w_big.Mean(), f_big.Mean() + 1.0);
+
+  const Wallenius w_small = Wallenius::Make(500, 500, 10, 3.0).value();
+  const Fisher f_small = Fisher::Make(500, 500, 10, 3.0).value();
+  EXPECT_NEAR(w_small.Mean(), f_small.Mean(), 0.12);
+}
+
+// Sweep over odds: mass sums to 1, mean inside support.
+class WalleniusOmegaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WalleniusOmegaSweep, BasicInvariants) {
+  const Wallenius d = Wallenius::Make(20, 30, 15, GetParam()).value();
+  double total = 0.0;
+  for (int64_t x = d.support_min(); x <= d.support_max(); ++x) {
+    const double p = d.Pmf(x);
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  const double mean = d.Mean();
+  EXPECT_GE(mean, static_cast<double>(d.support_min()));
+  EXPECT_LE(mean, static_cast<double>(d.support_max()));
+  EXPECT_GE(d.Variance(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Omegas, WalleniusOmegaSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 5.0, 20.0));
+
+}  // namespace
+}  // namespace sciborq
