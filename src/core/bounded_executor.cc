@@ -147,7 +147,8 @@ double WorstRelativeError(const BoundedAnswer& answer) {
 
 Result<BoundedAnswer> EstimateOnImpression(const Impression& impression,
                                            const AggregateQuery& query,
-                                           double confidence) {
+                                           double confidence,
+                                           ThreadPool* pool) {
   if (query.aggregates.empty()) {
     return Status::InvalidArgument("query has no aggregates");
   }
@@ -157,7 +158,7 @@ Result<BoundedAnswer> EstimateOnImpression(const Impression& impression,
   const Table& sample = impression.rows();
   SelectionVector matching;
   if (query.filter) {
-    SCIBORQ_ASSIGN_OR_RETURN(matching, SelectAll(sample, *query.filter));
+    SCIBORQ_ASSIGN_OR_RETURN(matching, SelectAll(sample, *query.filter, pool));
   } else {
     matching.resize(static_cast<size_t>(sample.num_rows()));
     for (int64_t i = 0; i < sample.num_rows(); ++i) {
@@ -254,6 +255,8 @@ BoundedExecutor::BoundedExecutor(const Table* base,
       options_(options) {
   SCIBORQ_CHECK(base_ != nullptr);
   SCIBORQ_CHECK(hierarchy_ != nullptr);
+  const int threads = ThreadPool::ResolveThreadCount(options_.num_threads);
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
 }
 
 Result<BoundedAnswer> BoundedExecutor::Answer(const AggregateQuery& query,
@@ -297,7 +300,7 @@ Result<BoundedAnswer> BoundedExecutor::Answer(const AggregateQuery& query,
     }
     Stopwatch layer_watch;
     Result<BoundedAnswer> attempt =
-        EstimateOnImpression(*layer, query, bound.confidence);
+        EstimateOnImpression(*layer, query, bound.confidence, pool_.get());
     const double elapsed = layer_watch.ElapsedSeconds();
     if (layer->size() > 0) {
       const double per_row = elapsed / static_cast<double>(layer->size());
@@ -335,12 +338,27 @@ Result<BoundedAnswer> BoundedExecutor::Answer(const AggregateQuery& query,
   }
 
   // Final escalation: the base columns, "for a zero error margin" (§3.2) —
-  // unless forbidden or the clock ran out.
-  if (bound.allow_base_fallback && !best.deadline_exceeded &&
-      !deadline.Expired()) {
+  // unless forbidden, the clock ran out, or the predicted full-scan cost
+  // cannot fit the remaining budget. Predictive admission applies to the
+  // base table exactly as to impression layers: a 10 ms budget must never
+  // launch an unbounded base scan just because the deadline has not expired
+  // *yet*. With no layer answer at all, the scan proceeds regardless —
+  // "always return the best answer obtained so far" requires obtaining one.
+  bool base_admitted = bound.allow_base_fallback && !best.deadline_exceeded &&
+                       !deadline.Expired();
+  if (base_admitted && deadline.limited() && have_answer &&
+      est_seconds_per_row_ > 0.0) {
+    const double predicted =
+        est_seconds_per_row_ * static_cast<double>(base_->num_rows());
+    if (predicted > deadline.RemainingSeconds()) {
+      base_admitted = false;
+      best.deadline_exceeded = true;
+    }
+  }
+  if (base_admitted) {
     Stopwatch base_watch;
     SCIBORQ_ASSIGN_OR_RETURN(std::vector<QueryResultRow> exact_rows,
-                             RunExact(*base_, query));
+                             RunExact(*base_, query, pool_.get()));
     BoundedAnswer exact;
     exact.rows = std::move(exact_rows);
     exact.answered_by = "base";

@@ -1,6 +1,7 @@
 #ifndef SCIBORQ_CORE_BOUNDED_EXECUTOR_H_
 #define SCIBORQ_CORE_BOUNDED_EXECUTOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "exec/query.h"
 #include "stats/estimators.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 #include "workload/interest_tracker.h"
 #include "workload/query_log.h"
 
@@ -59,9 +61,12 @@ struct BoundedAnswer {
 /// biased ones). MIN/MAX report the sample extreme with an *infinite*
 /// relative error — extremes carry no CLT guarantee, so an error-bounded
 /// query falls through to the base data, which is the correct behaviour.
+/// With a pool, the filter scan over the sampled rows runs morsel-parallel;
+/// estimates are bit-identical to the serial path at any thread count.
 Result<BoundedAnswer> EstimateOnImpression(const Impression& impression,
                                            const AggregateQuery& query,
-                                           double confidence);
+                                           double confidence,
+                                           ThreadPool* pool = nullptr);
 
 /// Multi-layer bounded query processing (§3.2): walk the hierarchy from the
 /// smallest impression upward; accept the first answer within the error
@@ -73,6 +78,11 @@ struct BoundedExecutorOptions {
   /// adaptive feedback loop of §3.1 ("as a side-effect of query
   /// processing").
   bool adapt = true;
+  /// Worker threads for the executor's scans (layer estimation and the base
+  /// fallback): 0 = hardware concurrency, 1 = serial (the default — callers
+  /// that pin exact latencies keep single-threaded determinism; results are
+  /// bit-identical either way).
+  int num_threads = 1;
 };
 
 class BoundedExecutor {
@@ -97,6 +107,9 @@ class BoundedExecutor {
   QueryLog* log_;
   InterestTracker* tracker_;
   Options options_;
+  /// Worker pool for parallel scans; null when options_.num_threads resolves
+  /// to 1.
+  std::unique_ptr<ThreadPool> pool_;
   /// Rolling per-row cost estimate (seconds/row) used to predict whether the
   /// next layer fits the remaining budget.
   double est_seconds_per_row_ = 0.0;

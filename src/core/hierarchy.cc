@@ -4,6 +4,7 @@
 
 #include "util/check.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace sciborq {
 
@@ -25,16 +26,33 @@ Result<ImpressionHierarchy> ImpressionHierarchy::Make(
   top_spec.name = layers[0].name;
   top_spec.capacity = layers[0].capacity;
   const uint64_t derive_seed = top_spec.seed ^ 0xDE51BEDULL;
-  SCIBORQ_ASSIGN_OR_RETURN(ImpressionBuilder top,
-                           ImpressionBuilder::Make(schema, top_spec));
-  ImpressionHierarchy hierarchy(std::move(layers), std::move(top), options,
-                                derive_seed);
+  if (options.load_shards < 0) {
+    return Status::InvalidArgument("load_shards must be >= 0");
+  }
+  const int shards = options.load_shards == 1
+                         ? 1
+                         : ThreadPool::ResolveThreadCount(options.load_shards);
+  ImpressionHierarchy hierarchy(std::move(layers), options, derive_seed);
+  if (shards > 1) {
+    SCIBORQ_ASSIGN_OR_RETURN(
+        ShardedImpressionBuilder top,
+        ShardedImpressionBuilder::Make(schema, top_spec, shards));
+    hierarchy.sharded_top_.emplace(std::move(top));
+  } else {
+    SCIBORQ_ASSIGN_OR_RETURN(ImpressionBuilder top,
+                             ImpressionBuilder::Make(schema, top_spec));
+    hierarchy.top_builder_.emplace(std::move(top));
+  }
   SCIBORQ_RETURN_NOT_OK(hierarchy.RefreshDerivedLayers());
   return hierarchy;
 }
 
 Status ImpressionHierarchy::IngestBatch(const Table& batch) {
-  SCIBORQ_RETURN_NOT_OK(top_builder_.IngestBatch(batch));
+  if (sharded_top_) {
+    SCIBORQ_RETURN_NOT_OK(sharded_top_->IngestBatchParallel(batch));
+  } else {
+    SCIBORQ_RETURN_NOT_OK(top_builder_->IngestBatch(batch));
+  }
   ingested_since_refresh_ += batch.num_rows();
   if (options_.refresh_interval <= 0 ||
       ingested_since_refresh_ >= options_.refresh_interval) {
@@ -80,13 +98,19 @@ Result<Impression> ImpressionHierarchy::DeriveLayer(const Impression& parent,
 }
 
 Status ImpressionHierarchy::RefreshDerivedLayers() {
+  if (sharded_top_) {
+    // Materialize the queryable top layer from the load shards first; the
+    // derived layers subsample this merge.
+    SCIBORQ_ASSIGN_OR_RETURN(Impression merged, sharded_top_->Merge());
+    merged_top_.emplace(std::move(merged));
+  }
   derived_.clear();
-  const Impression* parent = &top_builder_.impression();
+  const Impression* parent = &top_impression();
   for (size_t i = 1; i < layer_specs_.size(); ++i) {
     if (parent->size() == 0) {
       // Nothing ingested yet: keep an empty placeholder so layer() is total.
       derived_.emplace_back(layer_specs_[i].name,
-                            top_builder_.impression().rows().schema(),
+                            top_impression().rows().schema(),
                             layer_specs_[i].capacity, parent->policy());
     } else {
       SCIBORQ_ASSIGN_OR_RETURN(Impression child,
@@ -101,7 +125,7 @@ Status ImpressionHierarchy::RefreshDerivedLayers() {
 
 const Impression& ImpressionHierarchy::layer(int i) const {
   SCIBORQ_CHECK(i >= 0 && i < num_layers());
-  if (i == 0) return top_builder_.impression();
+  if (i == 0) return top_impression();
   return derived_[static_cast<size_t>(i - 1)];
 }
 
@@ -110,13 +134,13 @@ std::vector<const Impression*> ImpressionHierarchy::EscalationOrder() const {
   for (auto it = derived_.rbegin(); it != derived_.rend(); ++it) {
     order.push_back(&*it);
   }
-  order.push_back(&top_builder_.impression());
+  order.push_back(&top_impression());
   return order;
 }
 
 std::string ImpressionHierarchy::ToString() const {
   std::string out = "ImpressionHierarchy:";
-  out += "\n  " + top_builder_.impression().ToString();
+  out += "\n  " + top_impression().ToString();
   for (const auto& d : derived_) out += "\n  " + d.ToString();
   return out;
 }

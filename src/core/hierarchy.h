@@ -1,11 +1,13 @@
 #ifndef SCIBORQ_CORE_HIERARCHY_H_
 #define SCIBORQ_CORE_HIERARCHY_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/impression.h"
 #include "core/impression_builder.h"
+#include "core/sharded_builder.h"
 #include "util/result.h"
 #include "util/rng.h"
 
@@ -29,6 +31,21 @@ struct HierarchyOptions {
   /// Derived layers are refreshed after this many newly ingested tuples
   /// (small layers need "fast reflexes", §3.1). 0 = refresh on every batch.
   int64_t refresh_interval = 0;
+  /// Parallel database loads (§1): with more than one shard, the top layer
+  /// is maintained by a ShardedImpressionBuilder whose shards each consume a
+  /// contiguous slice of every ingest batch from their own load thread, and
+  /// the queryable top impression is their weighted merge (materialized at
+  /// refresh time). 1 = single serial builder (default), 0 = one shard per
+  /// hardware thread, n = n shards. Deterministic for any fixed value.
+  ///
+  /// Two consequences of merge-at-refresh to plan around:
+  ///  - each refresh pays an O(shards · capacity) merge pass on top of layer
+  ///    derivation, so for high-frequency small batches set refresh_interval
+  ///    well above the batch size (the default 0 re-merges every batch);
+  ///  - between refreshes layer(0) serves the last merged snapshot (it lags
+  ///    live ingest by up to refresh_interval tuples), whereas the serial
+  ///    top layer is always live. population_seen() is live in both modes.
+  int load_shards = 1;
 };
 
 class ImpressionHierarchy {
@@ -62,27 +79,39 @@ class ImpressionHierarchy {
   /// Layers ordered smallest first — the escalation order.
   std::vector<const Impression*> EscalationOrder() const;
 
+  /// Live count of base tuples streamed into the top layer (across all load
+  /// shards when loads are parallel).
   int64_t population_seen() const {
-    return top_builder_.impression().population_seen();
+    return sharded_top_ ? sharded_top_->population_seen()
+                        : top_builder_->impression().population_seen();
   }
 
   std::string ToString() const;
 
  private:
-  ImpressionHierarchy(std::vector<LayerSpec> layer_specs,
-                      ImpressionBuilder top_builder, Options options,
+  ImpressionHierarchy(std::vector<LayerSpec> layer_specs, Options options,
                       uint64_t derive_seed)
       : layer_specs_(std::move(layer_specs)),
-        top_builder_(std::move(top_builder)),
         options_(options),
         derive_rng_(derive_seed) {}
+
+  /// The queryable top impression: the serial builder's live impression, or
+  /// the materialized shard merge under parallel loads.
+  const Impression& top_impression() const {
+    return sharded_top_ ? *merged_top_ : top_builder_->impression();
+  }
 
   /// Uniform without-replacement subsample of `parent` to `capacity`.
   Result<Impression> DeriveLayer(const Impression& parent,
                                  const LayerSpec& spec);
 
   std::vector<LayerSpec> layer_specs_;
-  ImpressionBuilder top_builder_;
+  /// Exactly one of the two builders is engaged (load_shards == 1 vs > 1).
+  std::optional<ImpressionBuilder> top_builder_;
+  std::optional<ShardedImpressionBuilder> sharded_top_;
+  /// Shard merge backing layer 0 under parallel loads; refreshed with the
+  /// derived layers.
+  std::optional<Impression> merged_top_;
   Options options_;
   Rng derive_rng_;
   std::vector<Impression> derived_;  ///< layers 1..L-1

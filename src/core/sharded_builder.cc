@@ -29,6 +29,42 @@ Result<ShardedImpressionBuilder> ShardedImpressionBuilder::Make(
   return ShardedImpressionBuilder(std::move(spec), std::move(shards));
 }
 
+Status ShardedImpressionBuilder::IngestBatchParallel(const Table& batch) {
+  const int shards = num_shards();
+  if (loaders_ == nullptr) {
+    loaders_ = std::make_unique<ThreadPool>(shards);
+  }
+  // Contiguous zero-copy slicing: shard s owns rows [s*per + min(s, rem),
+  // ...), so every shard sees a fixed substream of the load regardless of
+  // thread scheduling. One pool worker per shard; the pool persists across
+  // batches so streaming ingest never re-spawns OS threads.
+  const int64_t per = batch.num_rows() / shards;
+  const int64_t rem = batch.num_rows() % shards;
+  std::vector<Status> results(static_cast<size_t>(shards));
+  int64_t begin = 0;
+  for (int s = 0; s < shards; ++s) {
+    const int64_t end = begin + per + (s < rem ? 1 : 0);
+    if (end > begin) {
+      loaders_->Submit([this, s, &batch, &results, begin, end] {
+        results[static_cast<size_t>(s)] =
+            shards_[static_cast<size_t>(s)].IngestRows(batch, begin, end);
+      });
+    }
+    begin = end;
+  }
+  loaders_->Wait();
+  for (const Status& st : results) SCIBORQ_RETURN_NOT_OK(st);
+  return Status::OK();
+}
+
+int64_t ShardedImpressionBuilder::population_seen() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.impression().population_seen();
+  }
+  return total;
+}
+
 Result<Impression> ShardedImpressionBuilder::Merge() const {
   // Candidate pool: every resident row of every shard, tagged with a merge
   // weight. Uniform/last-seen rows represent population/n rows each; biased

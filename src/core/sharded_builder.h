@@ -1,11 +1,13 @@
 #ifndef SCIBORQ_CORE_SHARDED_BUILDER_H_
 #define SCIBORQ_CORE_SHARDED_BUILDER_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/impression.h"
 #include "core/impression_builder.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace sciborq {
 
@@ -30,6 +32,17 @@ class ShardedImpressionBuilder {
   /// shard; builders are single-writer).
   ImpressionBuilder& shard(int i) { return shards_[static_cast<size_t>(i)]; }
 
+  /// The parallel-load driver: splits `batch` into num_shards() contiguous
+  /// slices and feeds each shard from its own load thread (one thread per
+  /// shard, the builders being single-writer). Every shard consumes a
+  /// deterministic slice with its own seeded sampler, so the outcome is
+  /// independent of thread scheduling — identical to feeding the same slices
+  /// serially. Returns the first shard's error, if any.
+  Status IngestBatchParallel(const Table& batch);
+
+  /// Total base tuples streamed past all shards (live, pre-merge).
+  int64_t population_seen() const;
+
   /// Combines all shards into one impression named `spec.name`.
   Result<Impression> Merge() const;
 
@@ -40,6 +53,10 @@ class ShardedImpressionBuilder {
 
   ImpressionSpec spec_;
   std::vector<ImpressionBuilder> shards_;
+  /// Persistent load workers (one per shard), created lazily on the first
+  /// IngestBatchParallel so streaming ingest does not spawn OS threads per
+  /// batch.
+  std::unique_ptr<ThreadPool> loaders_;
 };
 
 }  // namespace sciborq

@@ -54,6 +54,12 @@ class AggAccumulator {
   }
   void AddRowOnly() { ++count_only_; }
 
+  /// Folds another accumulator's state in (parallel partial aggregates).
+  void Merge(const AggAccumulator& other) {
+    moments_.Merge(other.moments_);
+    count_only_ += other.count_only_;
+  }
+
   Result<double> Finish() const {
     switch (kind_) {
       case AggKind::kCount:
@@ -93,16 +99,27 @@ class AggAccumulator {
 }  // namespace
 
 Result<double> ComputeAggregate(const Table& table, const SelectionVector& rows,
-                                const AggregateSpec& spec) {
-  AggAccumulator acc(spec.kind);
+                                const AggregateSpec& spec, ThreadPool* pool) {
   if (spec.kind == AggKind::kCount && spec.column.empty()) {
     return static_cast<double>(rows.size());
   }
   SCIBORQ_ASSIGN_OR_RETURN(const Column* col, NumericColumn(table, spec.column));
-  for (const int64_t row : rows) {
-    if (col->IsNull(row)) continue;
-    acc.Add(col->NumericAt(row));
-  }
+  // Morsel-parallel scan: per-morsel partial accumulators merged in morsel
+  // order. The serial path folds the identical sequence, so results match
+  // bit-for-bit at any thread count.
+  AggAccumulator acc(spec.kind);
+  ParallelMorselReduce<AggAccumulator>(
+      pool, static_cast<int64_t>(rows.size()), kDefaultMorselRows,
+      [&rows, col, &spec](int64_t begin, int64_t end) {
+        AggAccumulator partial(spec.kind);
+        for (int64_t i = begin; i < end; ++i) {
+          const int64_t row = rows[static_cast<size_t>(i)];
+          if (col->IsNull(row)) continue;
+          partial.Add(col->NumericAt(row));
+        }
+        return partial;
+      },
+      [&acc](AggAccumulator&& partial) { acc.Merge(partial); });
   return acc.Finish();
 }
 
@@ -119,9 +136,85 @@ Result<std::vector<double>> GatherNumeric(const Table& table,
   return out;
 }
 
+namespace {
+
+/// Hash aggregation state over one stream of selected rows: group keys in
+/// first-appearance order plus one accumulator per spec per group. Serves
+/// both as the per-morsel partial of the parallel scan and as the global fold
+/// target.
+struct GroupSet {
+  const Column* key_col = nullptr;
+  const std::vector<const Column*>* inputs = nullptr;
+  const std::vector<AggregateSpec>* specs = nullptr;
+
+  std::vector<Value> keys;
+  std::vector<int64_t> group_rows;
+  std::vector<std::vector<AggAccumulator>> accs;
+  std::unordered_map<int64_t, size_t> int_groups;
+  std::unordered_map<std::string, size_t> str_groups;
+
+  size_t AppendGroup(Value key) {
+    keys.push_back(std::move(key));
+    std::vector<AggAccumulator> group_accs;
+    group_accs.reserve(specs->size());
+    for (const auto& spec : *specs) group_accs.emplace_back(spec.kind);
+    accs.push_back(std::move(group_accs));
+    group_rows.push_back(0);
+    return accs.size() - 1;
+  }
+
+  size_t GroupIndexForKey(const Value& key) {
+    if (key.is_int64()) {
+      const auto [it, inserted] = int_groups.emplace(key.int64(), accs.size());
+      return inserted ? AppendGroup(key) : it->second;
+    }
+    const auto [it, inserted] = str_groups.emplace(key.str(), accs.size());
+    return inserted ? AppendGroup(key) : it->second;
+  }
+
+  void AbsorbRow(int64_t row) {
+    if (key_col->IsNull(row)) return;  // SQL semantics: NULL keys dropped
+    // Boxing the key into a Value is deferred to first appearance so the
+    // per-row path costs one hash probe, not a string copy.
+    size_t g = 0;
+    if (key_col->type() == DataType::kInt64) {
+      const int64_t key = key_col->GetInt64(row);
+      const auto [it, inserted] = int_groups.emplace(key, accs.size());
+      g = inserted ? AppendGroup(Value(key)) : it->second;
+    } else {
+      const auto [it, inserted] =
+          str_groups.emplace(key_col->GetString(row), accs.size());
+      g = inserted ? AppendGroup(Value(it->first)) : it->second;
+    }
+    ++group_rows[g];
+    for (size_t s = 0; s < specs->size(); ++s) {
+      if ((*inputs)[s] == nullptr) {
+        accs[g][s].AddRowOnly();
+      } else if (!(*inputs)[s]->IsNull(row)) {
+        accs[g][s].Add((*inputs)[s]->NumericAt(row));
+      }
+    }
+  }
+
+  /// Folds a partial in: partial groups merge in their first-appearance
+  /// order, so the global group order equals the serial scan's order.
+  void MergePartial(const GroupSet& partial) {
+    for (size_t pg = 0; pg < partial.keys.size(); ++pg) {
+      const size_t g = GroupIndexForKey(partial.keys[pg]);
+      group_rows[g] += partial.group_rows[pg];
+      for (size_t s = 0; s < specs->size(); ++s) {
+        accs[g][s].Merge(partial.accs[pg][s]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
 Result<std::vector<GroupRow>> ComputeGroupedAggregates(
     const Table& table, const SelectionVector& rows,
-    const std::string& group_column, const std::vector<AggregateSpec>& specs) {
+    const std::string& group_column, const std::vector<AggregateSpec>& specs,
+    ThreadPool* pool) {
   SCIBORQ_ASSIGN_OR_RETURN(const Column* key_col,
                            table.ColumnByName(group_column));
   if (key_col->type() == DataType::kDouble) {
@@ -136,56 +229,34 @@ Result<std::vector<GroupRow>> ComputeGroupedAggregates(
     SCIBORQ_ASSIGN_OR_RETURN(inputs[s], NumericColumn(table, specs[s].column));
   }
 
+  GroupSet global;
+  global.key_col = key_col;
+  global.inputs = &inputs;
+  global.specs = &specs;
+  ParallelMorselReduce<GroupSet>(
+      pool, static_cast<int64_t>(rows.size()), kDefaultMorselRows,
+      [&rows, key_col, &inputs, &specs](int64_t begin, int64_t end) {
+        GroupSet partial;
+        partial.key_col = key_col;
+        partial.inputs = &inputs;
+        partial.specs = &specs;
+        for (int64_t i = begin; i < end; ++i) {
+          partial.AbsorbRow(rows[static_cast<size_t>(i)]);
+        }
+        return partial;
+      },
+      [&global](GroupSet&& partial) { global.MergePartial(partial); });
+
   std::vector<GroupRow> out;
-  std::vector<std::vector<AggAccumulator>> accs;
-  std::unordered_map<int64_t, size_t> int_groups;
-  std::unordered_map<std::string, size_t> str_groups;
-
-  const auto group_index = [&](int64_t row) -> size_t {
-    size_t idx = 0;
-    if (key_col->type() == DataType::kInt64) {
-      const auto [it, inserted] =
-          int_groups.emplace(key_col->GetInt64(row), accs.size());
-      idx = it->second;
-      if (inserted) {
-        out.push_back(GroupRow{Value(key_col->GetInt64(row)), {}, 0});
-      }
-    } else {
-      const auto [it, inserted] =
-          str_groups.emplace(key_col->GetString(row), accs.size());
-      idx = it->second;
-      if (inserted) {
-        out.push_back(GroupRow{Value(key_col->GetString(row)), {}, 0});
-      }
-    }
-    if (idx == accs.size()) {
-      std::vector<AggAccumulator> group_accs;
-      group_accs.reserve(specs.size());
-      for (const auto& spec : specs) group_accs.emplace_back(spec.kind);
-      accs.push_back(std::move(group_accs));
-    }
-    return idx;
-  };
-
-  for (const int64_t row : rows) {
-    if (key_col->IsNull(row)) continue;  // SQL semantics: NULL keys dropped
-    const size_t g = group_index(row);
-    ++out[g].group_rows;
+  out.reserve(global.keys.size());
+  for (size_t g = 0; g < global.keys.size(); ++g) {
+    GroupRow group_row{std::move(global.keys[g]), {}, global.group_rows[g]};
+    group_row.aggregates.reserve(specs.size());
     for (size_t s = 0; s < specs.size(); ++s) {
-      if (inputs[s] == nullptr) {
-        accs[g][s].AddRowOnly();
-      } else if (!inputs[s]->IsNull(row)) {
-        accs[g][s].Add(inputs[s]->NumericAt(row));
-      }
+      SCIBORQ_ASSIGN_OR_RETURN(double v, global.accs[g][s].Finish());
+      group_row.aggregates.push_back(v);
     }
-  }
-
-  for (size_t g = 0; g < accs.size(); ++g) {
-    out[g].aggregates.reserve(specs.size());
-    for (size_t s = 0; s < specs.size(); ++s) {
-      SCIBORQ_ASSIGN_OR_RETURN(double v, accs[g][s].Finish());
-      out[g].aggregates.push_back(v);
-    }
+    out.push_back(std::move(group_row));
   }
   return out;
 }

@@ -7,6 +7,7 @@
 #include "column/table.h"
 #include "column/types.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace sciborq {
 
@@ -27,9 +28,14 @@ struct AggregateSpec {
 /// Exact aggregate over the selected rows of a table. This is both the
 /// base-data truth path and the per-impression raw statistic (the bounded
 /// executor scales raw sample statistics into population estimates).
+///
+/// With a pool, the scan is morsel-parallel: per-morsel partial accumulators
+/// merge in morsel order, so the result is bit-identical to the serial scan
+/// at any thread count.
 Result<double> ComputeAggregate(const Table& table,
                                 const SelectionVector& rows,
-                                const AggregateSpec& spec);
+                                const AggregateSpec& spec,
+                                ThreadPool* pool = nullptr);
 
 /// Gathers the non-null numeric values of `column` at `rows` — the sample
 /// vector handed to the statistical estimators.
@@ -46,10 +52,13 @@ struct GroupRow {
 
 /// Exact hash group-by over the selected rows: groups on `group_column`
 /// (int64 or string) and computes every spec per group. Output is ordered by
-/// first appearance of the group in `rows`.
+/// first appearance of the group in `rows` — also under a pool, where
+/// per-morsel group tables merge in morsel order (deterministic, identical
+/// to serial).
 Result<std::vector<GroupRow>> ComputeGroupedAggregates(
     const Table& table, const SelectionVector& rows,
-    const std::string& group_column, const std::vector<AggregateSpec>& specs);
+    const std::string& group_column, const std::vector<AggregateSpec>& specs,
+    ThreadPool* pool = nullptr);
 
 }  // namespace sciborq
 

@@ -7,14 +7,35 @@
 
 namespace sciborq {
 
-Result<SelectionVector> SelectAll(const Table& table, const Predicate& pred) {
+Result<SelectionVector> SelectAll(const Table& table, const Predicate& pred,
+                                  ThreadPool* pool) {
   SCIBORQ_RETURN_NOT_OK(pred.Validate(table.schema()));
-  SelectionVector candidates(static_cast<size_t>(table.num_rows()));
-  for (int64_t i = 0; i < table.num_rows(); ++i) {
-    candidates[static_cast<size_t>(i)] = i;
-  }
+  // Morsel-driven scan: each morsel filters its contiguous row range into a
+  // private selection, and the partials concatenate in morsel order — the
+  // result is the exact selection the one-shot serial scan produces,
+  // regardless of thread count.
   SelectionVector out;
-  SCIBORQ_RETURN_NOT_OK(pred.Select(table, candidates, &out));
+  Status first_error = Status::OK();
+  ParallelMorselReduce<Result<SelectionVector>>(
+      pool, table.num_rows(), kDefaultMorselRows,
+      [&table, &pred](int64_t begin, int64_t end) -> Result<SelectionVector> {
+        SelectionVector candidates(static_cast<size_t>(end - begin));
+        for (int64_t i = begin; i < end; ++i) {
+          candidates[static_cast<size_t>(i - begin)] = i;
+        }
+        SelectionVector selected;
+        SCIBORQ_RETURN_NOT_OK(pred.Select(table, candidates, &selected));
+        return selected;
+      },
+      [&out, &first_error](Result<SelectionVector>&& partial) {
+        if (!partial.ok()) {
+          if (first_error.ok()) first_error = partial.status();
+          return;
+        }
+        const SelectionVector& selected = partial.value();
+        out.insert(out.end(), selected.begin(), selected.end());
+      });
+  SCIBORQ_RETURN_NOT_OK(first_error);
   return out;
 }
 

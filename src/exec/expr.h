@@ -9,6 +9,7 @@
 #include "column/types.h"
 #include "column/value.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace sciborq {
 
@@ -71,8 +72,12 @@ class Predicate {
 using PredicatePtr = std::unique_ptr<Predicate>;
 
 /// Runs a predicate against all rows of a table (convenience wrapper that
-/// builds the full candidate list).
-Result<SelectionVector> SelectAll(const Table& table, const Predicate& pred);
+/// builds the full candidate list). With a pool, the scan is morsel-parallel:
+/// contiguous morsels filter on the pool's workers and the per-morsel
+/// selections concatenate in morsel order, so the result is identical to the
+/// serial scan. A null or single-threaded pool runs serially.
+Result<SelectionVector> SelectAll(const Table& table, const Predicate& pred,
+                                  ThreadPool* pool = nullptr);
 
 enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
 std::string_view CompareOpToString(CompareOp op);

@@ -35,13 +35,14 @@ std::string AggregateQuery::ToString() const {
 }
 
 Result<std::vector<QueryResultRow>> RunExact(const Table& table,
-                                             const AggregateQuery& query) {
+                                             const AggregateQuery& query,
+                                             ThreadPool* pool) {
   if (query.aggregates.empty()) {
     return Status::InvalidArgument("query has no aggregates");
   }
   SelectionVector rows;
   if (query.filter) {
-    SCIBORQ_ASSIGN_OR_RETURN(rows, SelectAll(table, *query.filter));
+    SCIBORQ_ASSIGN_OR_RETURN(rows, SelectAll(table, *query.filter, pool));
   } else {
     rows.resize(static_cast<size_t>(table.num_rows()));
     for (int64_t i = 0; i < table.num_rows(); ++i) {
@@ -56,7 +57,8 @@ Result<std::vector<QueryResultRow>> RunExact(const Table& table,
     row.input_rows = static_cast<int64_t>(rows.size());
     row.values.reserve(query.aggregates.size());
     for (const auto& spec : query.aggregates) {
-      SCIBORQ_ASSIGN_OR_RETURN(double v, ComputeAggregate(table, rows, spec));
+      SCIBORQ_ASSIGN_OR_RETURN(double v,
+                               ComputeAggregate(table, rows, spec, pool));
       row.values.push_back(v);
     }
     out.push_back(std::move(row));
@@ -65,7 +67,8 @@ Result<std::vector<QueryResultRow>> RunExact(const Table& table,
 
   SCIBORQ_ASSIGN_OR_RETURN(
       std::vector<GroupRow> groups,
-      ComputeGroupedAggregates(table, rows, query.group_by, query.aggregates));
+      ComputeGroupedAggregates(table, rows, query.group_by, query.aggregates,
+                               pool));
   out.reserve(groups.size());
   for (auto& g : groups) {
     QueryResultRow row;

@@ -47,9 +47,12 @@ struct QueryResultRow {
 };
 
 /// Exact evaluation against any table (base data or a materialized sample).
-/// Ungrouped queries yield exactly one row.
+/// Ungrouped queries yield exactly one row. With a pool, the filter and
+/// aggregation scans run morsel-parallel and produce results bit-identical
+/// to the serial path (deterministic merges in morsel order).
 Result<std::vector<QueryResultRow>> RunExact(const Table& table,
-                                             const AggregateQuery& query);
+                                             const AggregateQuery& query,
+                                             ThreadPool* pool = nullptr);
 
 }  // namespace sciborq
 

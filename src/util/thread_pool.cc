@@ -1,0 +1,111 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+namespace sciborq {
+
+int ThreadPool::ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  if (requested < 0) return 1;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(ResolveThreadCount(num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown with a drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+int64_t NumMorsels(int64_t total, int64_t morsel_rows) {
+  if (total <= 0) return 0;
+  return (total + morsel_rows - 1) / morsel_rows;
+}
+
+void ParallelFor(ThreadPool* pool, int64_t total, int64_t morsel_rows,
+                 const std::function<void(int64_t morsel, int64_t begin,
+                                          int64_t end)>& body) {
+  const int64_t num_morsels = NumMorsels(total, morsel_rows);
+  if (num_morsels == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1 || num_morsels <= 1) {
+    for (int64_t m = 0; m < num_morsels; ++m) {
+      body(m, m * morsel_rows, std::min(total, (m + 1) * morsel_rows));
+    }
+    return;
+  }
+
+  // Dynamic morsel claiming: each worker task drains the shared counter, so
+  // skewed morsels cannot serialize the scan. Completion is tracked with a
+  // dedicated latch rather than ThreadPool::Wait() so concurrent ParallelFor
+  // calls on one pool do not wait on each other's tasks.
+  struct SharedState {
+    std::atomic<int64_t> next{0};
+    std::mutex mu;
+    std::condition_variable done;
+    int64_t live_tasks = 0;
+  };
+  auto state = std::make_shared<SharedState>();
+  const int64_t num_tasks =
+      std::min<int64_t>(pool->num_threads(), num_morsels);
+  state->live_tasks = num_tasks;
+  for (int64_t t = 0; t < num_tasks; ++t) {
+    pool->Submit([state, total, morsel_rows, num_morsels, &body] {
+      for (;;) {
+        const int64_t m =
+            state->next.fetch_add(1, std::memory_order_relaxed);
+        if (m >= num_morsels) break;
+        body(m, m * morsel_rows, std::min(total, (m + 1) * morsel_rows));
+      }
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (--state->live_tasks == 0) state->done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&state] { return state->live_tasks == 0; });
+}
+
+}  // namespace sciborq

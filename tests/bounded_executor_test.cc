@@ -5,6 +5,7 @@
 #include "core/bounded_executor.h"
 #include "skyserver/catalog.h"
 #include "skyserver/functions.h"
+#include "util/stopwatch.h"
 
 namespace sciborq {
 namespace {
@@ -232,6 +233,45 @@ TEST_F(BoundedExecutorTest, AnswerToStringIsInformative) {
   const std::string s = ans.ToString();
   EXPECT_NE(s.find("error_bound_met=yes"), std::string::npos);
   EXPECT_NE(s.find("L2"), std::string::npos);
+}
+
+TEST_F(BoundedExecutorTest, TinyBudgetNeverTriggersBaseScan) {
+  // Predictive admission for the base fallback: once a layer answer exists,
+  // a budget that clearly cannot fit a full base scan must not launch one —
+  // even if the deadline has not expired yet when the layers finish.
+  BoundedExecutor exec(&catalog_->photo_obj_all, hierarchy_);
+  QualityBound bound;
+  bound.max_relative_error = 1e-12;  // unreachable by sampling -> wants base
+  bound.allow_base_fallback = true;
+  // Budget chosen so the smallest layers can answer but a 100k-row base scan
+  // predictably cannot fit. Warm the executor's per-row cost model first.
+  QualityBound warm;
+  warm.max_relative_error = 0.5;
+  ASSERT_TRUE(exec.Answer(WholeSkyAvg(), warm).ok());
+  Stopwatch base_clock;
+  ASSERT_TRUE(RunExact(catalog_->photo_obj_all, WholeSkyAvg()).ok());
+  const double base_seconds = base_clock.ElapsedSeconds();
+  bound.time_budget_seconds = base_seconds * 0.05;
+  const BoundedAnswer ans = exec.Answer(WholeSkyAvg(), bound).value();
+  EXPECT_NE(ans.answered_by, "base");
+  EXPECT_FALSE(ans.error_bound_met);
+  EXPECT_TRUE(ans.deadline_exceeded);
+  ASSERT_FALSE(ans.rows.empty());  // best layer answer still returned
+  for (const auto& attempt : ans.attempts) {
+    EXPECT_FALSE(attempt.is_base);
+  }
+}
+
+TEST_F(BoundedExecutorTest, UnlimitedBudgetStillReachesBase) {
+  // The admission gate must not block the base fallback when the budget is
+  // unlimited (the ZeroBoundGoesToBase contract, re-checked next to the
+  // gate's test for contrast).
+  BoundedExecutor exec(&catalog_->photo_obj_all, hierarchy_);
+  QualityBound bound;
+  bound.max_relative_error = 1e-12;
+  const BoundedAnswer ans = exec.Answer(WholeSkyAvg(), bound).value();
+  EXPECT_EQ(ans.answered_by, "base");
+  EXPECT_TRUE(ans.error_bound_met);
 }
 
 // ------------------------------------------------- EstimateOnImpression ---

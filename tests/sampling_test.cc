@@ -50,7 +50,9 @@ TEST(ReservoirTest, SizeNeverExceedsCapacity) {
   ReservoirSampler s = ReservoirSampler::Make(10, 3).value();
   for (int i = 0; i < 1000; ++i) {
     const ReservoirDecision d = s.Offer();
-    if (d.accepted) EXPECT_LT(d.slot, 10);
+    if (d.accepted) {
+      EXPECT_LT(d.slot, 10);
+    }
   }
   EXPECT_EQ(s.size(), 10);
   EXPECT_EQ(s.seen(), 1000);
@@ -382,7 +384,9 @@ TEST(StratifiedTest, NegativeStrataFoldSafely) {
   StratifiedSampler s = StratifiedSampler::Make(10, 5, 47).value();
   for (int64_t i = 0; i < 100; ++i) {
     const ReservoirDecision d = s.Offer(-i);
-    if (d.accepted) EXPECT_GE(d.slot, 0);
+    if (d.accepted) {
+      EXPECT_GE(d.slot, 0);
+    }
   }
 }
 

@@ -1,0 +1,135 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace sciborq {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1);  // hardware concurrency
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(7), 7);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(-3), 1);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(NumMorselsTest, Geometry) {
+  EXPECT_EQ(NumMorsels(0, 100), 0);
+  EXPECT_EQ(NumMorsels(1, 100), 1);
+  EXPECT_EQ(NumMorsels(100, 100), 1);
+  EXPECT_EQ(NumMorsels(101, 100), 2);
+  EXPECT_EQ(NumMorsels(1000, 100), 10);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const int64_t total = 10'000;
+  std::vector<int> hits(static_cast<size_t>(total), 0);
+  ParallelFor(&pool, total, 128, [&hits](int64_t, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsSerially) {
+  const int64_t total = 1000;
+  std::vector<int64_t> order;
+  ParallelFor(nullptr, total, 100,
+              [&order](int64_t m, int64_t, int64_t) { order.push_back(m); });
+  ASSERT_EQ(order.size(), 10u);
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int64_t>(i));  // morsel order
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(&pool, 0, 128,
+              [&calls](int64_t, int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelMorselReduceTest, SumMatchesSerialBitForBit) {
+  ThreadPool pool(4);
+  const int64_t total = 100'000;
+  std::vector<double> data(static_cast<size_t>(total));
+  for (int64_t i = 0; i < total; ++i) {
+    data[static_cast<size_t>(i)] = 1.0 / static_cast<double>(i + 1);
+  }
+  const auto map = [&data](int64_t begin, int64_t end) {
+    double sum = 0.0;
+    for (int64_t i = begin; i < end; ++i) sum += data[static_cast<size_t>(i)];
+    return sum;
+  };
+  double serial = 0.0;
+  ParallelMorselReduce<double>(nullptr, total, 4096, map,
+                               [&serial](double&& s) { serial += s; });
+  double parallel = 0.0;
+  ParallelMorselReduce<double>(&pool, total, 4096, map,
+                               [&parallel](double&& s) { parallel += s; });
+  // Deterministic fold order => exactly equal, not just close.
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelMorselReduceTest, FoldRunsInMorselOrder) {
+  ThreadPool pool(4);
+  std::vector<int64_t> fold_order;
+  ParallelMorselReduce<int64_t>(
+      &pool, 5000, 100, [](int64_t begin, int64_t) { return begin / 100; },
+      [&fold_order](int64_t&& m) { fold_order.push_back(m); });
+  ASSERT_EQ(fold_order.size(), 50u);
+  for (size_t i = 0; i < fold_order.size(); ++i) {
+    EXPECT_EQ(fold_order[i], static_cast<int64_t>(i));
+  }
+}
+
+TEST(ParallelForTest, ConcurrentParallelForsOnOnePool) {
+  // Two ParallelFor calls from different threads sharing one pool must not
+  // deadlock or wait on each other's completion.
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  std::thread other([&pool, &total] {
+    ParallelFor(&pool, 4096, 64, [&total](int64_t, int64_t begin, int64_t end) {
+      total.fetch_add(end - begin);
+    });
+  });
+  ParallelFor(&pool, 4096, 64, [&total](int64_t, int64_t begin, int64_t end) {
+    total.fetch_add(end - begin);
+  });
+  other.join();
+  EXPECT_EQ(total.load(), 2 * 4096);
+}
+
+}  // namespace
+}  // namespace sciborq

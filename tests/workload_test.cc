@@ -236,7 +236,9 @@ TEST(ShiftingGeneratorTest, PhasesSwitch) {
       ShiftingWorkloadGenerator::Make({phase1, phase2}, 10, 11).value();
   QueryLog log;
   for (int i = 0; i < 20; ++i) {
-    if (i < 10) EXPECT_EQ(gen.current_phase(), 0);
+    if (i < 10) {
+      EXPECT_EQ(gen.current_phase(), 0);
+    }
     log.Record(gen.Next());
   }
   EXPECT_EQ(gen.current_phase(), 1);
