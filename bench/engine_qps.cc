@@ -1,0 +1,126 @@
+// End-to-end engine throughput: N client threads hammering Engine::Query
+// with bounded SQL (parse -> catalog lookup -> escalation -> workload
+// side-effects), then the same with a concurrent ingest stream — the
+// serve-heavy-traffic shape the facade exists for.
+//
+// This dev container may have few cores; thread scaling is best read on
+// multicore hardware. Text-parsing cost is included deliberately: QPS here
+// is what a network front end would see.
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "bench/bench_util.h"
+#include "skyserver/catalog.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+using namespace sciborq;
+using sciborq::bench::Header;
+using sciborq::bench::Unwrap;
+
+namespace {
+
+constexpr int64_t kBaseRows = 200'000;
+constexpr int kQueriesPerThread = 200;
+
+std::string MakeSql(int index) {
+  // Jittered cone centers over the catalog's sky footprint; every statement
+  // carries its contract in-SQL.
+  const double ra = 130.0 + 10.0 * (index % 10);
+  const double dec = 5.0 + 5.0 * (index % 11);
+  return StrFormat(
+      "SELECT COUNT(*), AVG(r) FROM photo_obj_all "
+      "WHERE cone(ra, dec; %g, %g; r=8) ERROR 25%%",
+      ra, dec);
+}
+
+/// Runs `threads` clients, each issuing kQueriesPerThread bounded queries.
+/// Returns achieved QPS; counts failures (expected: none).
+double RunClients(Engine* engine, int threads, int64_t* failures) {
+  std::atomic<int64_t> failed{0};
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(threads));
+  Stopwatch watch;
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([engine, t, &failed] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const Result<QueryOutcome> outcome =
+            engine->Query(MakeSql(t * kQueriesPerThread + i));
+        if (!outcome.ok()) failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  const double seconds = watch.ElapsedSeconds();
+  *failures = failed.load();
+  const int64_t total = static_cast<int64_t>(threads) * kQueriesPerThread;
+  return static_cast<double>(total) / seconds;
+}
+
+}  // namespace
+
+int main() {
+  Header("engine_qps: multi-threaded bounded SQL through sciborq::Engine");
+
+  SkyCatalogConfig config;
+  config.num_rows = kBaseRows;
+  const SkyCatalog catalog = Unwrap(GenerateSkyCatalog(config, 11));
+
+  Engine engine;
+  TableOptions table_options;
+  table_options.layers = {{"l0", 20'000}, {"l1", 2'000}};
+  table_options.seed = 11;
+  if (Status st = engine.CreateTable("photo_obj_all",
+                                     catalog.photo_obj_all.schema(),
+                                     table_options);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (Status st = engine.IngestBatch("photo_obj_all", catalog.photo_obj_all);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("base: %lld rows, %d hardware threads\n\n",
+              static_cast<long long>(kBaseRows),
+              static_cast<int>(std::thread::hardware_concurrency()));
+
+  std::printf("%-10s %12s %10s\n", "clients", "qps", "failures");
+  for (const int threads : {1, 2, 4, 8}) {
+    int64_t failures = 0;
+    const double qps = RunClients(&engine, threads, &failures);
+    std::printf("%-10d %12.0f %10lld\n", threads, qps,
+                static_cast<long long>(failures));
+  }
+
+  // Mixed phase: 4 query clients racing one ingest stream (the shared-mutex
+  // per table at work: readers share, each daily batch briefly excludes).
+  Header("mixed: 4 query clients + concurrent ingest");
+  SkyStream stream(config, 12);
+  std::atomic<bool> stop{false};
+  std::thread ingester([&engine, &stream, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Table batch = stream.NextBatch(10'000);
+      if (Status st = engine.IngestBatch("photo_obj_all", batch); !st.ok()) {
+        std::fprintf(stderr, "ingest: %s\n", st.ToString().c_str());
+        return;
+      }
+    }
+  });
+  int64_t failures = 0;
+  const double qps = RunClients(&engine, 4, &failures);
+  stop.store(true);
+  ingester.join();
+  std::printf("4 clients under ingest: %.0f qps, %lld failures, base now "
+              "%lld rows\n",
+              qps, static_cast<long long>(failures),
+              static_cast<long long>(*engine.TableRows("photo_obj_all")));
+  return 0;
+}

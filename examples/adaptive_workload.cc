@@ -1,19 +1,18 @@
-// Adaptive impressions under a moving workload: the executor's feedback loop
-// (every answered query updates the interest tracker) plus histogram decay
-// keep the impression aligned with where the scientist is *now* looking —
-// §3.1's "constantly adapts towards the shifting focal points".
+// Adaptive impressions under a moving workload, through the Engine facade:
+// every answered query feeds the per-table interest tracker as a side-effect
+// of Engine::Query, and DecayInterest forgets stale focal points — §3.1's
+// "constantly adapts towards the shifting focal points".
 //
 // The program runs two exploration sessions on different sky regions with
 // daily ingests in between, printing the impression's concentration and the
 // answer quality for the current region after every day.
 
+#include <cmath>
 #include <cstdio>
 
-#include "core/bounded_executor.h"
+#include "api/engine.h"
 #include "skyserver/catalog.h"
-#include "skyserver/functions.h"
-#include "util/rng.h"
-#include "workload/generator.h"
+#include "util/string_util.h"
 
 using namespace sciborq;
 
@@ -28,18 +27,19 @@ T OrDie(Result<T> r) {
   return std::move(r).value();
 }
 
-double FracNear(const Impression& imp, double ra0, double dec0) {
-  const Column* ra = imp.rows().ColumnByName("ra").value();
-  const Column* dec = imp.rows().ColumnByName("dec").value();
+/// Fraction of the sampled rows within a 6x6 degree box of (ra0, dec0).
+double FracNear(const Table& sample, double ra0, double dec0) {
+  const Column* ra = sample.ColumnByName("ra").value();
+  const Column* dec = sample.ColumnByName("dec").value();
   int64_t n = 0;
-  for (int64_t i = 0; i < imp.size(); ++i) {
+  for (int64_t i = 0; i < sample.num_rows(); ++i) {
     if (std::abs(ra->GetDouble(i) - ra0) < 6.0 &&
         std::abs(dec->GetDouble(i) - dec0) < 6.0) {
       ++n;
     }
   }
-  return imp.size() > 0
-             ? static_cast<double>(n) / static_cast<double>(imp.size())
+  return sample.num_rows() > 0
+             ? static_cast<double>(n) / static_cast<double>(sample.num_rows())
              : 0.0;
 }
 
@@ -50,67 +50,76 @@ int main() {
   config.num_rows = 50'000;  // per daily ingest
   SkyStream stream(config, 2026);
 
-  InterestTracker tracker = OrDie(InterestTracker::Make(
-      {{"ra", 120.0, 3.0, 40}, {"dec", 0.0, 1.5, 40}}));
-  ImpressionSpec spec;
-  spec.policy = SamplingPolicy::kBiased;
-  spec.tracker = &tracker;
-  spec.capacity = 3'000;
-  spec.seed = 2026;
-  auto builder = OrDie(ImpressionBuilder::Make(stream.schema(), spec));
+  Engine engine;
+  TableOptions table_options;
+  table_options.layers = {{"live", 3'000}};
+  table_options.tracked_attributes = {{"ra", 120.0, 3.0, 40},
+                                      {"dec", 0.0, 1.5, 40}};
+  table_options.seed = 2026;
+  if (Status st = engine.CreateTable("sky", stream.schema(), table_options);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
 
-  // Accumulate the full history as "base" so bounded answers stay possible.
-  Table base(stream.schema());
-
-  Rng rng(2026);
-  const struct Session {
+  const struct ExplorationPhase {
     const char* name;
     double ra, dec;
     int days;
-  } sessions[] = {{"session A: cluster at (150, 12)", 150.0, 12.0, 5},
-                  {"session B: moved to (215, 40)", 215.0, 40.0, 10}};
+  } phases[] = {{"session A: cluster at (150, 12)", 150.0, 12.0, 5},
+                {"session B: moved to (215, 40)", 215.0, 40.0, 10}};
 
   std::printf("%-4s %-34s %10s %10s %12s\n", "day", "workload", "frac@A",
               "frac@B", "relerr@focus");
   int day = 0;
-  for (const auto& session : sessions) {
+  for (const auto& phase : phases) {
     if (day > 0) {
       // The focus moved: decay the old interest so the impression re-aims.
-      tracker.Decay(0.1);
-    }
-    for (int d = 0; d < session.days; ++d, ++day) {
-      // Morning: 40 cone queries around today's focus refresh the tracker.
-      for (int i = 0; i < 40; ++i) {
-        tracker.ObserveValue("ra", rng.Gaussian(session.ra, 2.0));
-        tracker.ObserveValue("dec", rng.Gaussian(session.dec, 2.0));
-      }
-      // Daily ingest: the impression updates as the data loads.
-      const Table batch = stream.NextBatch(config.num_rows);
-      if (Status st = builder.IngestBatch(batch); !st.ok()) {
+      if (Status st = engine.DecayInterest("sky", 0.1); !st.ok()) {
         std::fprintf(stderr, "%s\n", st.ToString().c_str());
         return 1;
       }
-      for (int64_t r = 0; r < batch.num_rows(); ++r) base.AppendRowFrom(batch, r);
+    }
+    for (int d = 0; d < phase.days; ++d, ++day) {
+      // Morning: 40 cone queries around today's focus. Answering them (with
+      // a loose bound) is itself what refreshes the tracker — the adaptive
+      // loop needs no side channel.
+      const std::string sql = StrFormat(
+          "SELECT COUNT(*) FROM sky WHERE cone(ra, dec; %g, %g; r=4) "
+          "ERROR 75%%",
+          phase.ra, phase.dec);
+      for (int i = 0; i < 40; ++i) OrDie(engine.Query(sql));
+
+      // Daily ingest: the impression updates as the data loads.
+      const Table batch = stream.NextBatch(config.num_rows);
+      if (Status st = engine.IngestBatch("sky", batch); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
 
       // Evening: how well does the impression answer today's question?
-      AggregateQuery q;
-      q.aggregates = {{AggKind::kCount, ""}};
-      q.filter = FGetNearbyObjEq(session.ra, session.dec, 4.0);
-      const auto est = EstimateOnImpression(builder.impression(), q, 0.95);
-      const auto truth = OrDie(RunExact(base, q));
+      const QueryOutcome est = OrDie(engine.Query(
+          StrFormat("SELECT COUNT(*) FROM sky "
+                    "WHERE cone(ra, dec; %g, %g; r=4) ERROR 75%%",
+                    phase.ra, phase.dec)));
+      const QueryOutcome truth = OrDie(engine.Query(
+          StrFormat("SELECT COUNT(*) FROM sky "
+                    "WHERE cone(ra, dec; %g, %g; r=4) EXACT",
+                    phase.ra, phase.dec)));
       double rel_err = -1.0;
-      if (est.ok() && truth[0].values[0] > 0) {
-        rel_err = std::abs(est.value().rows[0].values[0] - truth[0].values[0]) /
-                  truth[0].values[0];
+      if (!est.exact && truth.rows[0].values[0] > 0) {
+        rel_err = std::abs(est.rows[0].values[0] - truth.rows[0].values[0]) /
+                  truth.rows[0].values[0];
       }
-      std::printf("%-4d %-34s %10.4f %10.4f %12.4f\n", day, session.name,
-                  FracNear(builder.impression(), 150.0, 12.0),
-                  FracNear(builder.impression(), 215.0, 40.0), rel_err);
+      const Table sample = OrDie(engine.LayerSnapshot("sky", 0));
+      std::printf("%-4d %-34s %10.4f %10.4f %12.4f\n", day, phase.name,
+                  FracNear(sample, 150.0, 12.0), FracNear(sample, 215.0, 40.0),
+                  rel_err);
     }
   }
   std::printf(
       "\nThe impression followed the exploration: after the shift, region-B "
       "concentration rises day by day and the focal error falls with it "
-      "(decay controls how fast the old focus is forgotten).\n");
+      "(DecayInterest controls how fast the old focus is forgotten).\n");
   return 0;
 }

@@ -1,13 +1,13 @@
-// Bounded query processing in depth: the same query answered under a range
-// of error bounds and time budgets, showing the escalation trace, grouped
-// estimates, and the MIN/MAX escape hatch (extremes cannot be bounded from a
-// sample, so they fall through to the base data).
+// Bounded query processing in depth: the same question answered under a
+// range of in-SQL contracts — loose and tight error bounds, a hard time
+// budget, grouped estimates, and the MIN/MAX escape hatch (extremes cannot
+// be bounded from a sample, so they fall through to the base data). All of
+// it through the Engine facade: the contract is part of the SQL text.
 
 #include <cstdio>
 
-#include "core/bounded_executor.h"
+#include "api/engine.h"
 #include "skyserver/catalog.h"
-#include "skyserver/functions.h"
 
 using namespace sciborq;
 
@@ -22,14 +22,8 @@ T OrDie(Result<T> r) {
   return std::move(r).value();
 }
 
-void Show(const char* label, const BoundedAnswer& ans) {
-  std::printf("\n[%s]\n%s\n", label, ans.ToString().c_str());
-  std::printf("  escalation trace:");
-  for (const auto& attempt : ans.attempts) {
-    std::printf(" %s(%.4f, %.2fms)", attempt.layer_name.c_str(),
-                attempt.worst_relative_error, attempt.elapsed_seconds * 1e3);
-  }
-  std::printf("\n");
+void Show(const char* label, const QueryOutcome& outcome) {
+  std::printf("\n[%s]\n%s\n", label, outcome.ToString().c_str());
 }
 
 }  // namespace
@@ -38,54 +32,51 @@ int main() {
   SkyCatalogConfig config;
   config.num_rows = 400'000;
   const SkyCatalog catalog = OrDie(GenerateSkyCatalog(config, 99));
-  ImpressionSpec spec;
-  spec.seed = 99;
-  auto hierarchy = OrDie(ImpressionHierarchy::Make(
-      catalog.photo_obj_all.schema(),
-      {{"L0", 40'000}, {"L1", 4'000}, {"L2", 400}}, spec));
-  if (Status st = hierarchy.IngestBatch(catalog.photo_obj_all); !st.ok()) {
+
+  Engine engine;
+  TableOptions table_options;
+  table_options.layers = {{"L0", 40'000}, {"L1", 4'000}, {"L2", 400}};
+  table_options.seed = 99;
+  if (Status st = engine.CreateTable("photo_obj_all",
+                                     catalog.photo_obj_all.schema(),
+                                     table_options);
+      !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  BoundedExecutor executor(&catalog.photo_obj_all, &hierarchy);
+  if (Status st = engine.IngestBatch("photo_obj_all", catalog.photo_obj_all);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
 
-  AggregateQuery q;
-  q.aggregates = {{AggKind::kCount, ""}, {AggKind::kAvg, "r"}};
-  q.filter = FGetNearbyObjEq(170.0, 30.0, 10.0);
-  std::printf("query: %s\n", q.ToString().c_str());
+  const std::string select =
+      "SELECT COUNT(*), AVG(r) FROM photo_obj_all "
+      "WHERE cone(ra, dec; 170, 30; r=10) ";
 
   // (a) Loose error bound: the smallest layer suffices.
-  QualityBound loose;
-  loose.max_relative_error = 0.25;
-  Show("error <= 25%", OrDie(executor.Answer(q, loose)));
+  Show("error <= 25%", OrDie(engine.Query(select + "ERROR 25%")));
 
   // (b) Tight error bound: escalation up the hierarchy.
-  QualityBound tight;
-  tight.max_relative_error = 0.01;
-  Show("error <= 1%", OrDie(executor.Answer(q, tight)));
+  Show("error <= 1%", OrDie(engine.Query(select + "ERROR 1%")));
 
   // (c) Time-bounded: "the most representative result within the budget".
-  QualityBound timed;
-  timed.max_relative_error = 1e-6;   // unreachable by sampling
-  timed.time_budget_seconds = 0.002;  // 2 ms
-  Show("2ms budget, unreachable error", OrDie(executor.Answer(q, timed)));
+  Show("2ms budget, unreachable error",
+       OrDie(engine.Query(select + "WITHIN 2 MS ERROR 0.0001%")));
 
   // (d) Grouped estimates: per-class statistics with per-group intervals.
-  AggregateQuery grouped;
-  grouped.aggregates = {{AggKind::kCount, ""}, {AggKind::kAvg, "redshift"}};
-  grouped.group_by = "obj_class";
-  grouped.filter = FGetNearbyObjEq(170.0, 30.0, 15.0);
-  QualityBound group_bound;
-  group_bound.max_relative_error = 0.15;
   Show("GROUP BY obj_class, error <= 15%",
-       OrDie(executor.Answer(grouped, group_bound)));
+       OrDie(engine.Query(
+           "SELECT COUNT(*), AVG(redshift) FROM photo_obj_all "
+           "WHERE cone(ra, dec; 170, 30; r=15) GROUP BY obj_class "
+           "ERROR 15%")));
 
   // (e) MAX cannot be certified from a sample: watch it go to base.
-  AggregateQuery extremes;
-  extremes.aggregates = {{AggKind::kMax, "redshift"}};
-  QualityBound any;
-  any.max_relative_error = 0.5;
   Show("MAX(redshift) — escalates to base by design",
-       OrDie(executor.Answer(extremes, any)));
+       OrDie(engine.Query(
+           "SELECT MAX(redshift) FROM photo_obj_all ERROR 50%")));
+
+  // (f) EXACT: the zero-error contract, straight to the base columns.
+  Show("EXACT", OrDie(engine.Query(select + "EXACT")));
   return 0;
 }

@@ -1,71 +1,68 @@
-// Quickstart: the smallest end-to-end SciBORQ program.
+// Quickstart: the smallest end-to-end SciBORQ program — CSV to bounded
+// answer in five lines through the sciborq::Engine facade.
 //
-// 1. Generate a synthetic sky catalog (the base data).
-// 2. Build a two-layer hierarchy of uniform impressions over it.
-// 3. Ask an aggregate question with an error bound and a time budget.
+// 1. Generate a synthetic sky catalog and write it to CSV (stand-in for
+//    your data file).
+// 2. Register it with the engine: base columns, impression hierarchy, query
+//    log all come up automatically.
+// 3. Ask an aggregate question in SQL; the runtime/quality contract lives
+//    in the SQL itself (WITHIN ... MS ERROR ... %).
 //
-// Build & run:   ./build/examples/quickstart
+// Build & run:   ./build/example_quickstart
 
 #include <cstdio>
 
-#include "core/bounded_executor.h"
+#include "api/engine.h"
+#include "column/csv.h"
 #include "skyserver/catalog.h"
-#include "skyserver/functions.h"
 
 using namespace sciborq;
 
 int main() {
-  // ---- 1. Base data: 500k synthetic PhotoObjAll rows. -------------------
+  // ---- 0. Fake a data file: 200k synthetic PhotoObjAll rows as CSV. -----
   SkyCatalogConfig config;
-  config.num_rows = 500'000;
+  config.num_rows = 200'000;
   Result<SkyCatalog> catalog = GenerateSkyCatalog(config, /*seed=*/42);
   if (!catalog.ok()) {
     std::fprintf(stderr, "%s\n", catalog.status().ToString().c_str());
     return 1;
   }
-  const Table& base = catalog->photo_obj_all;
-  std::printf("base data: %lld rows, schema: %s\n",
-              static_cast<long long>(base.num_rows()),
-              base.schema().ToString().c_str());
-
-  // ---- 2. Impressions: a 50k layer and a 5k layer derived from it. ------
-  ImpressionSpec spec;  // default policy: uniform reservoir (Algorithm R)
-  spec.seed = 42;
-  Result<ImpressionHierarchy> hierarchy = ImpressionHierarchy::Make(
-      base.schema(), {{"large", 50'000}, {"small", 5'000}}, spec);
-  if (!hierarchy.ok()) {
-    std::fprintf(stderr, "%s\n", hierarchy.status().ToString().c_str());
-    return 1;
-  }
-  // Impressions are built incrementally as data loads; here one bulk batch.
-  Status st = hierarchy->IngestBatch(base);
-  if (!st.ok()) {
+  const std::string csv_path = "/tmp/sciborq_quickstart.csv";
+  if (Status st = WriteCsv(catalog->photo_obj_all, csv_path); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("%s\n\n", hierarchy->ToString().c_str());
 
-  // ---- 3. A bounded query: COUNT + AVG(redshift) near a sky position. ---
-  AggregateQuery query;
-  query.aggregates = {{AggKind::kCount, ""}, {AggKind::kAvg, "redshift"}};
-  query.filter = FGetNearbyObjEq(/*ra=*/185.0, /*dec=*/30.0, /*radius=*/5.0);
-  std::printf("query: %s\n", query.ToString().c_str());
-
-  BoundedExecutor executor(&base, &hierarchy.value());
-  QualityBound bound;
-  bound.max_relative_error = 0.08;   // accept ±8% at 95% confidence
-  bound.time_budget_seconds = 1.0;   // ... within one second
-  Result<BoundedAnswer> answer = executor.Answer(query, bound);
-  if (!answer.ok()) {
-    std::fprintf(stderr, "%s\n", answer.status().ToString().c_str());
+  // ---- The five lines: CSV to bounded answer. ---------------------------
+  Engine engine;
+  Result<int64_t> loaded = engine.RegisterCsv("photo_obj_all", csv_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s\n", answer->ToString().c_str());
+  Result<QueryOutcome> outcome = engine.Query(
+      "SELECT COUNT(*), AVG(redshift) FROM photo_obj_all "
+      "WHERE cone(ra, dec; 185, 30; r=5) WITHIN 1000 MS ERROR 8%");
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
 
-  // Compare against the exact answer.
-  Result<std::vector<QueryResultRow>> exact = RunExact(base, query);
-  std::printf("\nexact: count=%.0f avg_redshift=%.4f (full scan of %lld rows)\n",
-              exact->at(0).values[0], exact->at(0).values[1],
-              static_cast<long long>(base.num_rows()));
+  std::printf("loaded %lld rows\n%s\n\n",
+              static_cast<long long>(*loaded),
+              engine.DescribeTable("photo_obj_all")->c_str());
+  std::printf("%s\n", outcome->ToString().c_str());
+
+  // Compare against the exact answer — same SQL, EXACT contract.
+  Result<QueryOutcome> exact = engine.Query(
+      "SELECT COUNT(*), AVG(redshift) FROM photo_obj_all "
+      "WHERE cone(ra, dec; 185, 30; r=5) EXACT");
+  if (!exact.ok()) {
+    std::fprintf(stderr, "%s\n", exact.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nexact: count=%.0f avg_redshift=%.4f (full scan, %.1f ms)\n",
+              exact->rows[0].values[0], exact->rows[0].values[1],
+              exact->elapsed_seconds * 1e3);
   return 0;
 }

@@ -1,0 +1,343 @@
+#include "api/engine.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "column/csv.h"
+#include "exec/parser.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace sciborq {
+
+namespace {
+
+/// The default impression geometry for tables registered without explicit
+/// layers: three layers spanning two orders of magnitude, the shape of the
+/// paper's hierarchy experiments.
+std::vector<ImpressionHierarchy::LayerSpec> DefaultLayers() {
+  return {{"l0", 64 * 1024}, {"l1", 8 * 1024}, {"l2", 1024}};
+}
+
+/// Degenerate (zero-width, exact=true) intervals for a base-data answer —
+/// the shape BoundedExecutor emits for its own base fallback, so EXACT
+/// queries and escalated ones are indistinguishable downstream.
+std::vector<std::vector<AggregateEstimate>> ExactEstimates(
+    const std::vector<QueryResultRow>& rows, double confidence) {
+  std::vector<std::vector<AggregateEstimate>> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<AggregateEstimate> ests;
+    ests.reserve(row.values.size());
+    for (const double v : row.values) {
+      AggregateEstimate est;
+      est.estimate = v;
+      est.ci_lo = v;
+      est.ci_hi = v;
+      est.confidence = confidence;
+      est.sample_rows = row.input_rows;
+      est.exact = true;
+      ests.push_back(est);
+    }
+    out.push_back(std::move(ests));
+  }
+  return out;
+}
+
+}  // namespace
+
+/// One catalog table: base columns + impression hierarchy + workload state.
+///
+/// Locking: data_mu is the data plane (shared for Query/introspection,
+/// exclusive for IngestBatch, which both appends to `base` and reads
+/// `tracker` while re-sampling). workload_mu serializes mutation of `log`
+/// and `tracker` by concurrent queries, which hold only the *shared* data
+/// lock; it is always acquired while holding data_mu (shared), so tracker
+/// writers and the ingest-time tracker reader still exclude each other
+/// through data_mu.
+struct Engine::TableEntry {
+  explicit TableEntry(int64_t log_window) : log(log_window) {}
+
+  std::string name;
+  mutable std::shared_mutex data_mu;
+  Table base;
+  std::optional<InterestTracker> tracker;
+  std::optional<ImpressionHierarchy> hierarchy;
+  mutable std::mutex workload_mu;
+  QueryLog log;
+};
+
+Engine::Engine(EngineOptions options) : options_(options) {
+  const int threads = ThreadPool::ResolveThreadCount(options_.query_threads);
+  if (threads > 1) query_pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+Engine::~Engine() = default;
+
+Status Engine::CreateTable(const std::string& name, const Schema& schema,
+                           TableOptions options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  if (tables_.find(name) != tables_.end()) {
+    return Status::AlreadyExists(
+        StrFormat("table '%s' is already registered", name.c_str()));
+  }
+  return CreateTableLocked(name, schema, std::move(options));
+}
+
+Status Engine::CreateTableLocked(const std::string& name, const Schema& schema,
+                                 TableOptions options) {
+  auto entry = std::make_unique<TableEntry>(options_.query_log_window);
+  entry->name = name;
+  entry->base = Table(schema);
+
+  ImpressionSpec spec;
+  spec.seed = options.seed;
+  if (!options.tracked_attributes.empty()) {
+    SCIBORQ_ASSIGN_OR_RETURN(
+        InterestTracker tracker,
+        InterestTracker::Make(options.tracked_attributes));
+    entry->tracker.emplace(std::move(tracker));
+    spec.policy = SamplingPolicy::kBiased;
+    spec.tracker = &*entry->tracker;  // stable: entry is heap-allocated
+  }
+
+  HierarchyOptions hierarchy_options;
+  hierarchy_options.refresh_interval = options.refresh_interval;
+  hierarchy_options.load_shards = options_.load_shards;
+  SCIBORQ_ASSIGN_OR_RETURN(
+      ImpressionHierarchy hierarchy,
+      ImpressionHierarchy::Make(
+          schema,
+          options.layers.empty() ? DefaultLayers() : std::move(options.layers),
+          spec, hierarchy_options));
+  entry->hierarchy.emplace(std::move(hierarchy));
+
+  tables_.emplace(name, std::move(entry));
+  return Status::OK();
+}
+
+Result<int64_t> Engine::RegisterCsv(const std::string& name,
+                                    const std::string& path,
+                                    TableOptions options) {
+  SCIBORQ_ASSIGN_OR_RETURN(Table data, ReadCsv(path));
+  SCIBORQ_RETURN_NOT_OK(CreateTable(name, data.schema(), std::move(options)));
+  SCIBORQ_RETURN_NOT_OK(IngestBatch(name, data));
+  return data.num_rows();
+}
+
+Result<Engine::TableEntry*> Engine::FindTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    std::vector<std::string> names;
+    names.reserve(tables_.size());
+    for (const auto& [table_name, entry] : tables_) names.push_back(table_name);
+    std::sort(names.begin(), names.end());
+    return Status::NotFound(StrFormat(
+        "unknown table '%s' (registered: %s)", name.c_str(),
+        names.empty() ? "<none>" : Join(names, ", ").c_str()));
+  }
+  return it->second.get();
+}
+
+Status Engine::IngestBatch(const std::string& table, const Table& batch) {
+  SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
+  std::unique_lock<std::shared_mutex> lock(entry->data_mu);
+  if (!batch.schema().Equals(entry->base.schema())) {
+    return Status::InvalidArgument(StrFormat(
+        "batch schema %s does not match table '%s' schema %s",
+        batch.schema().ToString().c_str(), table.c_str(),
+        entry->base.schema().ToString().c_str()));
+  }
+  SCIBORQ_RETURN_NOT_OK(entry->hierarchy->IngestBatch(batch));
+  entry->base.Reserve(entry->base.num_rows() + batch.num_rows());
+  for (int64_t row = 0; row < batch.num_rows(); ++row) {
+    entry->base.AppendRowFrom(batch, row);
+  }
+  return Status::OK();
+}
+
+Result<QueryOutcome> Engine::Query(std::string_view sql) {
+  SCIBORQ_ASSIGN_OR_RETURN(BoundedQuery bounded,
+                           ParseBoundedQuery(std::string(sql)));
+  return Query(bounded);
+}
+
+Result<QueryOutcome> Engine::Query(const BoundedQuery& bounded) {
+  const AggregateQuery& query = bounded.query;
+  if (query.table.empty()) {
+    return Status::InvalidArgument(
+        "query names no table: add a FROM clause (or route through a Session "
+        "with a default table)");
+  }
+  SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(query.table));
+  const QualityBound bound = bounded.bounds.Resolve(options_.default_bound);
+
+  Stopwatch watch;
+  QueryOutcome outcome;
+  outcome.table = query.table;
+  outcome.sql = bounded.ToString();
+
+  {
+    std::shared_lock<std::shared_mutex> data_lock(entry->data_mu);
+    BoundedAnswer answer;
+    if (bounded.bounds.exact) {
+      // EXACT short-circuits the escalation walk: no sample can serve the
+      // zero-error contract, so go straight to the base columns.
+      Stopwatch base_watch;
+      SCIBORQ_ASSIGN_OR_RETURN(answer.rows,
+                               RunExact(entry->base, query, query_pool_.get()));
+      answer.estimates = ExactEstimates(answer.rows, bound.confidence);
+      answer.answered_by = "base";
+      answer.error_bound_met = true;
+      LayerAttempt trace;
+      trace.layer_name = "base";
+      trace.layer_rows = entry->base.num_rows();
+      trace.matching_rows = answer.rows.empty() ? 0 : answer.rows[0].input_rows;
+      trace.elapsed_seconds = base_watch.ElapsedSeconds();
+      trace.met_error_bound = true;
+      trace.is_base = true;
+      answer.attempts.push_back(std::move(trace));
+      answer.deadline_exceeded = bound.time_budget_seconds > 0.0 &&
+                                 base_watch.ElapsedSeconds() >
+                                     bound.time_budget_seconds;
+    } else {
+      BoundedExecutorOptions exec_options;
+      exec_options.adapt = false;  // the engine owns the feedback loop
+      exec_options.shared_pool = query_pool_.get();
+      BoundedExecutor executor(&entry->base, &*entry->hierarchy,
+                               /*log=*/nullptr, /*tracker=*/nullptr,
+                               exec_options);
+      SCIBORQ_ASSIGN_OR_RETURN(answer, executor.Answer(query, bound));
+    }
+
+    // The adaptive side-effect (§3.1): serialized against other queries via
+    // workload_mu, against ingest's tracker reads via the data lock held
+    // above. Deliberately after execution so a query never observes its own
+    // interest update.
+    {
+      std::lock_guard<std::mutex> workload_lock(entry->workload_mu);
+      entry->log.Record(bounded);
+      if (entry->tracker) entry->tracker->ObserveQuery(query);
+    }
+
+    outcome.rows = std::move(answer.rows);
+    outcome.estimates = std::move(answer.estimates);
+    outcome.answered_by = std::move(answer.answered_by);
+    outcome.error_bound_met = answer.error_bound_met;
+    outcome.deadline_exceeded = answer.deadline_exceeded;
+    outcome.attempts = std::move(answer.attempts);
+  }
+  outcome.exact = outcome.answered_by == "base";
+  outcome.elapsed_seconds = watch.ElapsedSeconds();
+  return outcome;
+}
+
+Status Engine::RecordWorkload(const std::string& table,
+                              const AggregateQuery& query) {
+  SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
+  std::shared_lock<std::shared_mutex> data_lock(entry->data_mu);
+  std::lock_guard<std::mutex> workload_lock(entry->workload_mu);
+  entry->log.Record(query);
+  if (entry->tracker) entry->tracker->ObserveQuery(query);
+  return Status::OK();
+}
+
+Status Engine::DecayInterest(const std::string& table, double factor) {
+  SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
+  std::shared_lock<std::shared_mutex> data_lock(entry->data_mu);
+  std::lock_guard<std::mutex> workload_lock(entry->workload_mu);
+  if (!entry->tracker) {
+    return Status::FailedPrecondition(StrFormat(
+        "table '%s' has no interest tracker (no tracked_attributes)",
+        table.c_str()));
+  }
+  entry->tracker->Decay(factor);
+  return Status::OK();
+}
+
+std::vector<std::string> Engine::TableNames() const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<int64_t> Engine::TableRows(const std::string& table) const {
+  SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
+  std::shared_lock<std::shared_mutex> lock(entry->data_mu);
+  return entry->base.num_rows();
+}
+
+Result<std::string> Engine::DescribeTable(const std::string& table) const {
+  SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
+  std::shared_lock<std::shared_mutex> lock(entry->data_mu);
+  std::string out = StrFormat(
+      "table '%s': %lld rows, schema %s\n%s", table.c_str(),
+      static_cast<long long>(entry->base.num_rows()),
+      entry->base.schema().ToString().c_str(),
+      entry->hierarchy->ToString().c_str());
+  {
+    std::lock_guard<std::mutex> workload_lock(entry->workload_mu);
+    out += StrFormat("\n  query log: %lld recorded, window of %lld held",
+                     static_cast<long long>(entry->log.total_recorded()),
+                     static_cast<long long>(entry->log.size()));
+  }
+  return out;
+}
+
+Result<Table> Engine::LayerSnapshot(const std::string& table,
+                                    int layer) const {
+  SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
+  std::shared_lock<std::shared_mutex> lock(entry->data_mu);
+  if (layer < 0 || layer >= entry->hierarchy->num_layers()) {
+    return Status::OutOfRange(StrFormat(
+        "layer %d out of range: table '%s' has %d layers", layer,
+        table.c_str(), entry->hierarchy->num_layers()));
+  }
+  return entry->hierarchy->layer(layer).rows();
+}
+
+Result<std::vector<std::string>> Engine::LoggedSql(
+    const std::string& table) const {
+  SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
+  std::lock_guard<std::mutex> workload_lock(entry->workload_mu);
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(entry->log.size()));
+  for (const auto& logged : entry->log.entries()) out.push_back(logged.Sql());
+  return out;
+}
+
+std::string QueryOutcome::ToString() const {
+  std::string out = StrFormat(
+      "QueryOutcome(table=%s, by=%s%s, error_bound_met=%s, "
+      "deadline_exceeded=%s, %.3fms, %zu row(s))",
+      table.c_str(), answered_by.c_str(), exact ? " [exact]" : "",
+      error_bound_met ? "yes" : "no", deadline_exceeded ? "yes" : "no",
+      elapsed_seconds * 1e3, rows.size());
+  out += "\n  sql: " + sql;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (!rows[r].group_key.is_null()) {
+      out += "\n  group " + rows[r].group_key.ToString() + ":";
+    }
+    for (const auto& est : estimates[r]) out += "\n    " + est.ToString();
+  }
+  if (!attempts.empty()) {
+    out += "\n  escalation:";
+    for (const auto& attempt : attempts) {
+      out += StrFormat(" %s(err=%.4f, %.2fms)", attempt.layer_name.c_str(),
+                       attempt.worst_relative_error,
+                       attempt.elapsed_seconds * 1e3);
+    }
+  }
+  return out;
+}
+
+}  // namespace sciborq

@@ -1,0 +1,182 @@
+#ifndef SCIBORQ_API_ENGINE_H_
+#define SCIBORQ_API_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bounded_executor.h"
+#include "core/hierarchy.h"
+#include "exec/query.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+#include "workload/interest_tracker.h"
+#include "workload/query_log.h"
+
+namespace sciborq {
+
+/// Per-table configuration supplied at registration time. The defaults give
+/// a three-layer uniform hierarchy; naming attributes of interest switches
+/// the table to workload-biased sampling steered by a per-table
+/// InterestTracker (every answered query feeds it — the adaptive loop of
+/// §3.1 closes without any caller involvement).
+struct TableOptions {
+  /// Impression layers, largest first with strictly decreasing capacities.
+  /// Empty = the default geometry {64Ki, 8Ki, 1Ki}.
+  std::vector<ImpressionHierarchy::LayerSpec> layers;
+  /// Attributes tracked by the interest histograms (column + bin geometry).
+  /// Non-empty enables biased sampling; empty keeps uniform reservoirs.
+  std::vector<InterestTracker::AttributeSpec> tracked_attributes;
+  /// Seed for all of the table's samplers (deterministic per table).
+  uint64_t seed = 42;
+  /// Derived layers refresh after this many ingested tuples (0 = every
+  /// batch); see HierarchyOptions::refresh_interval.
+  int64_t refresh_interval = 0;
+};
+
+/// Engine-wide knobs.
+struct EngineOptions {
+  /// Bounds applied to queries whose SQL specifies no bounds clause (and the
+  /// fallback for individual unspecified terms).
+  QualityBound default_bound;
+  /// Per-table query-log window (<= 0 = unbounded), the paper's "predefined
+  /// number of queries" over which interest is defined (§4).
+  int64_t query_log_window = 0;
+  /// Worker threads shared by all queries' scans: 0 = hardware concurrency,
+  /// 1 = serial per query (the default — per-query determinism; concurrency
+  /// then comes from many client threads, the server shape).
+  int query_threads = 1;
+  /// Parallel-load shards per table (HierarchyOptions::load_shards).
+  int load_shards = 1;
+};
+
+/// The answer to one SQL query — the union of what BoundedExecutor::Answer
+/// and RunExact used to return through different types: point estimates in
+/// result-row shape, per-aggregate confidence intervals (degenerate when
+/// exact), the escalation trace, and timing.
+struct QueryOutcome {
+  std::string table;  ///< catalog table that answered
+  std::string sql;    ///< normalized SQL (parse -> ToString round trip)
+  std::vector<QueryResultRow> rows;
+  /// One AggregateEstimate per row per aggregate. Exact answers carry
+  /// zero-width intervals with exact=true.
+  std::vector<std::vector<AggregateEstimate>> estimates;
+  std::string answered_by;  ///< layer name or "base"
+  bool exact = false;       ///< answered from the base data (zero error)
+  bool error_bound_met = false;
+  bool deadline_exceeded = false;
+  double elapsed_seconds = 0.0;
+  std::vector<LayerAttempt> attempts;  ///< the escalation trace
+
+  std::string ToString() const;
+};
+
+/// The one thread-safe front door to SciBORQ (§1: the user states a
+/// runtime/quality contract, the system does the rest). An Engine owns a
+/// catalog of named tables, each with its base columns, an auto-managed
+/// impression hierarchy, a query log, and (optionally) an interest tracker;
+/// one call answers SQL text whose contract lives in the SQL itself:
+///
+///   Engine engine;
+///   engine.RegisterCsv("photo_obj_all", "sky.csv");
+///   auto outcome = engine.Query(
+///       "SELECT COUNT(*), AVG(r) FROM photo_obj_all "
+///       "WHERE cone(ra, dec; 170, 30; r=10) WITHIN 50 MS ERROR 5%");
+///
+/// Concurrency contract: every public method is safe to call from any
+/// thread. Per table, queries run under a shared lock and ingest under an
+/// exclusive lock, so readers never observe a half-ingested batch; the
+/// workload side-effects of concurrent queries (log + tracker updates) are
+/// serialized separately so they never perturb answers. With the default
+/// query_threads = 1 a query's execution is fully deterministic: concurrent
+/// and serial runs of the same SQL against the same table state produce
+/// bit-identical answers (tested in tests/engine_test.cc).
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = EngineOptions());
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers an empty table under `name`. AlreadyExists on duplicates;
+  /// InvalidArgument on bad layer/tracker geometry.
+  Status CreateTable(const std::string& name, const Schema& schema,
+                     TableOptions options = TableOptions());
+
+  /// Reads a CSV (column/csv.h format) and registers it as `name`, ingesting
+  /// every row. Returns the number of rows loaded.
+  Result<int64_t> RegisterCsv(const std::string& name, const std::string& path,
+                              TableOptions options = TableOptions());
+
+  /// Appends a batch to `table`'s base data and streams it through the
+  /// impression hierarchy (the daily-ingest path, §3.3). Exclusive per
+  /// table: concurrent queries on the same table wait, other tables don't.
+  Status IngestBatch(const std::string& table, const Table& batch);
+
+  /// Parses and answers one SQL statement. The FROM clause names the table;
+  /// the optional bounds clause (WITHIN/ERROR/CONFIDENCE/EXACT) overrides
+  /// the engine's default bound term by term. Errors: InvalidArgument on
+  /// unparsable SQL or a missing FROM clause, NotFound on unknown tables.
+  Result<QueryOutcome> Query(std::string_view sql);
+
+  /// Same, for an already-parsed query (the Session / replay path).
+  Result<QueryOutcome> Query(const BoundedQuery& query);
+
+  /// Folds a query into `table`'s log and interest tracker *without*
+  /// executing it — replaying a historical workload trace so the next ingest
+  /// builds impressions biased toward it (the paper's SkyServer log mining,
+  /// §2.1).
+  Status RecordWorkload(const std::string& table, const AggregateQuery& query);
+
+  /// Ages `table`'s interest histograms (counts *= factor) so old focal
+  /// points fade — the forgetting half of "adapts towards the shifting
+  /// focal points" (§3.1).
+  Status DecayInterest(const std::string& table, double factor);
+
+  // -- Introspection --------------------------------------------------------
+
+  /// Registered table names, sorted.
+  std::vector<std::string> TableNames() const;
+
+  /// Rows in the table's base data.
+  Result<int64_t> TableRows(const std::string& table) const;
+
+  /// Human-readable description: schema, row count, hierarchy layers.
+  Result<std::string> DescribeTable(const std::string& table) const;
+
+  /// A consistent deep copy of one impression layer's rows (0 = largest) —
+  /// for diagnostics and offline analysis; the engine keeps ownership of the
+  /// live impression.
+  Result<Table> LayerSnapshot(const std::string& table, int layer) const;
+
+  /// The replayable SQL of every logged query on `table` (query + bounds),
+  /// oldest first within the log window.
+  Result<std::vector<std::string>> LoggedSql(const std::string& table) const;
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct TableEntry;
+
+  /// Catalog lookup under a shared lock; the returned pointer stays valid
+  /// for the engine's lifetime (entries are heap-allocated and never erased).
+  Result<TableEntry*> FindTable(const std::string& name) const;
+
+  Status CreateTableLocked(const std::string& name, const Schema& schema,
+                           TableOptions options);
+
+  EngineOptions options_;
+  /// Scan pool shared by all queries; null when query_threads resolves to 1.
+  std::unique_ptr<ThreadPool> query_pool_;
+  mutable std::shared_mutex catalog_mu_;
+  std::unordered_map<std::string, std::unique_ptr<TableEntry>> tables_;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_API_ENGINE_H_

@@ -1,0 +1,37 @@
+#include "api/session.h"
+
+#include "exec/parser.h"
+#include "util/check.h"
+
+namespace sciborq {
+
+Session::Session(Engine* engine) : engine_(engine) {
+  SCIBORQ_CHECK(engine_ != nullptr);
+}
+
+Status Session::Use(const std::string& table) {
+  SCIBORQ_ASSIGN_OR_RETURN(const int64_t rows, engine_->TableRows(table));
+  (void)rows;  // existence check only
+  table_ = table;
+  return Status::OK();
+}
+
+Result<QueryOutcome> Session::Query(std::string_view sql) {
+  SCIBORQ_ASSIGN_OR_RETURN(BoundedQuery bounded,
+                           ParseBoundedQuery(std::string(sql)));
+  if (bounded.query.table.empty()) {
+    if (table_.empty()) {
+      return Status::InvalidArgument(
+          "SQL has no FROM clause and the session has no default table: "
+          "call Use() first");
+    }
+    bounded.query.table = table_;
+  }
+  if (!bounded.bounds.any()) bounded.bounds = bounds_;
+  SCIBORQ_ASSIGN_OR_RETURN(QueryOutcome outcome, engine_->Query(bounded));
+  ++queries_run_;
+  total_seconds_ += outcome.elapsed_seconds;
+  return outcome;
+}
+
+}  // namespace sciborq

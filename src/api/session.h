@@ -1,0 +1,52 @@
+#ifndef SCIBORQ_API_SESSION_H_
+#define SCIBORQ_API_SESSION_H_
+
+#include <string>
+#include <string_view>
+
+#include "api/engine.h"
+#include "util/result.h"
+
+namespace sciborq {
+
+/// A lightweight per-client handle over the Engine: carries the client's
+/// default table (Use) and default bounds, so interactive SQL can stay bare
+/// — "SELECT COUNT(*) WHERE ..." instead of repeating the FROM clause and
+/// the contract on every statement — and keeps per-session statistics.
+///
+/// Sessions are intentionally NOT thread-safe: create one per client thread.
+/// The Engine underneath is the thread-safe front door; any number of
+/// sessions can run concurrently against it.
+class Session {
+ public:
+  /// `engine` is non-owning and must outlive the session.
+  explicit Session(Engine* engine);
+
+  /// Sets the default table substituted into FROM-less SQL. NotFound when
+  /// no such table is registered.
+  Status Use(const std::string& table);
+  const std::string& current_table() const { return table_; }
+
+  /// Bounds applied when the SQL carries no bounds clause at all (individual
+  /// unspecified terms still fall back to the engine default).
+  void set_default_bounds(const QueryBounds& bounds) { bounds_ = bounds; }
+  const QueryBounds& default_bounds() const { return bounds_; }
+
+  /// Parses and answers `sql`, filling in the session's table and bounds
+  /// where the text leaves them out.
+  Result<QueryOutcome> Query(std::string_view sql);
+
+  int64_t queries_run() const { return queries_run_; }
+  double total_seconds() const { return total_seconds_; }
+
+ private:
+  Engine* engine_;
+  std::string table_;
+  QueryBounds bounds_;
+  int64_t queries_run_ = 0;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_API_SESSION_H_

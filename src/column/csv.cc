@@ -1,7 +1,9 @@
 #include "column/csv.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -55,6 +57,34 @@ std::vector<std::string> ParseCsvLine(const std::string& line) {
   return cells;
 }
 
+/// Parses a whole cell as int64; fails on empty, trailing junk, or overflow.
+bool ParseInt64Cell(const std::string& cell, int64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(cell.c_str(), &end, 10);
+  if (errno == ERANGE || end == cell.c_str() ||
+      end != cell.c_str() + cell.size()) {
+    return false;
+  }
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+/// Parses a whole cell as double; fails on empty, trailing junk, overflow,
+/// or non-finite values ('inf'/'nan' cells would silently poison SUM/AVG
+/// and the relative-error test downstream).
+bool ParseDoubleCell(const std::string& cell, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (errno == ERANGE || end == cell.c_str() ||
+      end != cell.c_str() + cell.size() || !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
 }  // namespace
 
 Status WriteCsv(const Table& table, const std::string& path) {
@@ -99,8 +129,9 @@ Result<Table> ReadCsv(const std::string& path) {
   for (const auto& cell : ParseCsvLine(line)) {
     const auto parts = Split(cell, ':');
     if (parts.size() != 2) {
-      return Status::IOError(
-          StrFormat("malformed header cell '%s' (want name:type)", cell.c_str()));
+      return Status::IOError(StrFormat(
+          "line 1: malformed header cell '%s' (want name:type)",
+          cell.c_str()));
     }
     DataType type;
     if (parts[1] == "int64") {
@@ -110,7 +141,9 @@ Result<Table> ReadCsv(const std::string& path) {
     } else if (parts[1] == "string") {
       type = DataType::kString;
     } else {
-      return Status::IOError(StrFormat("unknown type '%s'", parts[1].c_str()));
+      return Status::IOError(
+          StrFormat("line 1, column '%s': unknown type '%s'",
+                    parts[0].c_str(), parts[1].c_str()));
     }
     fields.push_back(Field{parts[0], type, /*nullable=*/true});
   }
@@ -129,18 +162,34 @@ Result<Table> ReadCsv(const std::string& path) {
     std::vector<Value> row;
     row.reserve(cells.size());
     for (size_t i = 0; i < cells.size(); ++i) {
-      const DataType type = table.schema().field(static_cast<int>(i)).type;
-      if (cells[i].empty() && type != DataType::kString) {
+      const Field& field = table.schema().field(static_cast<int>(i));
+      if (cells[i].empty() && field.type != DataType::kString) {
         row.push_back(Value::Null());
         continue;
       }
-      switch (type) {
-        case DataType::kInt64:
-          row.push_back(Value(static_cast<int64_t>(std::stoll(cells[i]))));
+      switch (field.type) {
+        case DataType::kInt64: {
+          int64_t v = 0;
+          if (!ParseInt64Cell(cells[i], &v)) {
+            return Status::IOError(StrFormat(
+                "line %lld, column '%s': cannot parse '%s' as int64",
+                static_cast<long long>(line_no), field.name.c_str(),
+                cells[i].c_str()));
+          }
+          row.push_back(Value(v));
           break;
-        case DataType::kDouble:
-          row.push_back(Value(std::stod(cells[i])));
+        }
+        case DataType::kDouble: {
+          double v = 0.0;
+          if (!ParseDoubleCell(cells[i], &v)) {
+            return Status::IOError(StrFormat(
+                "line %lld, column '%s': cannot parse '%s' as double",
+                static_cast<long long>(line_no), field.name.c_str(),
+                cells[i].c_str()));
+          }
+          row.push_back(Value(v));
           break;
+        }
         case DataType::kString:
           row.push_back(Value(cells[i]));
           break;

@@ -255,8 +255,15 @@ BoundedExecutor::BoundedExecutor(const Table* base,
       options_(options) {
   SCIBORQ_CHECK(base_ != nullptr);
   SCIBORQ_CHECK(hierarchy_ != nullptr);
-  const int threads = ThreadPool::ResolveThreadCount(options_.num_threads);
-  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  if (options_.shared_pool != nullptr) {
+    pool_ = options_.shared_pool;
+  } else {
+    const int threads = ThreadPool::ResolveThreadCount(options_.num_threads);
+    if (threads > 1) {
+      owned_pool_ = std::make_unique<ThreadPool>(threads);
+      pool_ = owned_pool_.get();
+    }
+  }
 }
 
 Result<BoundedAnswer> BoundedExecutor::Answer(const AggregateQuery& query,
@@ -300,7 +307,7 @@ Result<BoundedAnswer> BoundedExecutor::Answer(const AggregateQuery& query,
     }
     Stopwatch layer_watch;
     Result<BoundedAnswer> attempt =
-        EstimateOnImpression(*layer, query, bound.confidence, pool_.get());
+        EstimateOnImpression(*layer, query, bound.confidence, pool_);
     const double elapsed = layer_watch.ElapsedSeconds();
     if (layer->size() > 0) {
       const double per_row = elapsed / static_cast<double>(layer->size());
@@ -358,7 +365,7 @@ Result<BoundedAnswer> BoundedExecutor::Answer(const AggregateQuery& query,
   if (base_admitted) {
     Stopwatch base_watch;
     SCIBORQ_ASSIGN_OR_RETURN(std::vector<QueryResultRow> exact_rows,
-                             RunExact(*base_, query, pool_.get()));
+                             RunExact(*base_, query, pool_));
     BoundedAnswer exact;
     exact.rows = std::move(exact_rows);
     exact.answered_by = "base";

@@ -16,18 +16,8 @@
 
 namespace sciborq {
 
-/// The user's contract with SciBORQ (§1: "complete control over both
-/// resource consumption and query result error bounds").
-struct QualityBound {
-  /// Accept an answer when every aggregate's CI half-width / |estimate| is
-  /// below this. <= 0 demands exact answers (always escalates to base).
-  double max_relative_error = 0.10;
-  double confidence = 0.95;
-  /// Wall-clock budget in seconds; <= 0 means unlimited ("error bound only").
-  double time_budget_seconds = 0.0;
-  /// Permit the final escalation to the base table (zero error, §3.2).
-  bool allow_base_fallback = true;
-};
+// QualityBound lives in exec/query.h (included above): the contract is part
+// of the query dialect now that bounds are stated in the SQL text.
 
 /// What happened on one layer during escalation.
 struct LayerAttempt {
@@ -83,6 +73,11 @@ struct BoundedExecutorOptions {
   /// that pin exact latencies keep single-threaded determinism; results are
   /// bit-identical either way).
   int num_threads = 1;
+  /// Non-owning pool to run scans on instead of spawning one per executor;
+  /// takes precedence over num_threads. ParallelFor tracks completion per
+  /// call, so many executors (the Engine's concurrent queries) can share one
+  /// pool without waiting on each other's work.
+  ThreadPool* shared_pool = nullptr;
 };
 
 class BoundedExecutor {
@@ -107,9 +102,11 @@ class BoundedExecutor {
   QueryLog* log_;
   InterestTracker* tracker_;
   Options options_;
-  /// Worker pool for parallel scans; null when options_.num_threads resolves
-  /// to 1.
-  std::unique_ptr<ThreadPool> pool_;
+  /// Owned worker pool; null when a shared pool is configured or
+  /// options_.num_threads resolves to 1.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  /// The pool scans actually run on (owned or shared); null = serial.
+  ThreadPool* pool_ = nullptr;
   /// Rolling per-row cost estimate (seconds/row) used to predict whether the
   /// next layer fits the remaining budget.
   double est_seconds_per_row_ = 0.0;

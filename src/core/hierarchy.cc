@@ -1,6 +1,7 @@
 #include "core/hierarchy.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "util/check.h"
 #include "util/string_util.h"
@@ -22,6 +23,20 @@ Result<ImpressionHierarchy> ImpressionHierarchy::Make(
   }
   if (layers[0].capacity <= 0 || layers.back().capacity <= 0) {
     return Status::InvalidArgument("layer capacities must be positive");
+  }
+  std::unordered_set<std::string> names;
+  for (const auto& layer : layers) {
+    if (layer.name == "base") {
+      return Status::InvalidArgument(
+          "layer name 'base' is reserved for the base-table fallback "
+          "(BoundedAnswer::answered_by distinguishes layers from it by name)");
+    }
+    if (!names.insert(layer.name).second) {
+      return Status::InvalidArgument(StrFormat(
+          "duplicate layer name '%s': layer names must be unique so that "
+          "name-based lookups are unambiguous",
+          layer.name.c_str()));
+    }
   }
   top_spec.name = layers[0].name;
   top_spec.capacity = layers[0].capacity;

@@ -82,7 +82,7 @@ class Lexer {
           token.text += text_[pos_++];
         }
       } else if (c == '(' || c == ')' || c == ',' || c == ';' || c == '*' ||
-                 c == '=') {
+                 c == '=' || c == '%') {
         token.kind = TokenKind::kSymbol;
         token.text = std::string(1, c);
         ++pos_;
@@ -117,13 +117,26 @@ class Parser {
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   Result<AggregateQuery> ParseQueryText() {
-    AggregateQuery query;
+    SCIBORQ_ASSIGN_OR_RETURN(BoundedQuery bounded, ParseBoundedQueryText());
+    if (bounded.bounds.any()) {
+      return Status::InvalidArgument(
+          "query carries a bounds clause; use ParseBoundedQuery");
+    }
+    return std::move(bounded.query);
+  }
+
+  Result<BoundedQuery> ParseBoundedQueryText() {
+    BoundedQuery bounded;
+    AggregateQuery& query = bounded.query;
     SCIBORQ_RETURN_NOT_OK(ExpectKeyword("select"));
     SCIBORQ_ASSIGN_OR_RETURN(AggregateSpec first, ParseAggregate());
     query.aggregates.push_back(std::move(first));
     while (AcceptSymbol(",")) {
       SCIBORQ_ASSIGN_OR_RETURN(AggregateSpec next, ParseAggregate());
       query.aggregates.push_back(std::move(next));
+    }
+    if (AcceptKeyword("from")) {
+      SCIBORQ_ASSIGN_OR_RETURN(query.table, ExpectIdent());
     }
     if (AcceptKeyword("where")) {
       SCIBORQ_ASSIGN_OR_RETURN(query.filter, ParseOr());
@@ -132,8 +145,9 @@ class Parser {
       SCIBORQ_RETURN_NOT_OK(ExpectKeyword("by"));
       SCIBORQ_ASSIGN_OR_RETURN(query.group_by, ExpectIdent());
     }
+    SCIBORQ_RETURN_NOT_OK(ParseBounds(&bounded.bounds));
     SCIBORQ_RETURN_NOT_OK(ExpectEnd());
-    return query;
+    return bounded;
   }
 
   Result<PredicatePtr> ParsePredicateText() {
@@ -227,6 +241,45 @@ class Parser {
     }
     SCIBORQ_RETURN_NOT_OK(ExpectSymbol(")"));
     return spec;
+  }
+
+  /// bounds := [WITHIN number MS] [ERROR number '%'] [CONFIDENCE number '%']
+  ///           [EXACT] — every term optional, fixed order.
+  Status ParseBounds(QueryBounds* bounds) {
+    if (AcceptKeyword("within")) {
+      const size_t at = Peek().offset;
+      SCIBORQ_ASSIGN_OR_RETURN(double ms, ExpectNumber());
+      SCIBORQ_RETURN_NOT_OK(ExpectKeyword("ms"));
+      if (ms <= 0.0) {
+        return Status::InvalidArgument(StrFormat(
+            "WITHIN budget must be positive, got %g (offset %zu)", ms, at));
+      }
+      bounds->time_budget_ms = ms;
+    }
+    if (AcceptKeyword("error")) {
+      const size_t at = Peek().offset;
+      SCIBORQ_ASSIGN_OR_RETURN(double pct, ExpectNumber());
+      SCIBORQ_RETURN_NOT_OK(ExpectSymbol("%"));
+      if (pct < 0.0) {
+        return Status::InvalidArgument(StrFormat(
+            "ERROR bound must be non-negative, got %g%% (offset %zu)", pct,
+            at));
+      }
+      bounds->max_relative_error = pct / 100.0;
+    }
+    if (AcceptKeyword("confidence")) {
+      const size_t at = Peek().offset;
+      SCIBORQ_ASSIGN_OR_RETURN(double pct, ExpectNumber());
+      SCIBORQ_RETURN_NOT_OK(ExpectSymbol("%"));
+      if (pct <= 0.0 || pct >= 100.0) {
+        return Status::InvalidArgument(StrFormat(
+            "CONFIDENCE must be in (0, 100)%%, got %g%% (offset %zu)", pct,
+            at));
+      }
+      bounds->confidence = pct / 100.0;
+    }
+    if (AcceptKeyword("exact")) bounds->exact = true;
+    return Status::OK();
   }
 
   Result<PredicatePtr> ParseOr() {
@@ -345,6 +398,13 @@ Result<AggregateQuery> ParseQuery(const std::string& text) {
   SCIBORQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
   Parser parser(std::move(tokens));
   return parser.ParseQueryText();
+}
+
+Result<BoundedQuery> ParseBoundedQuery(const std::string& text) {
+  Lexer lexer(text);
+  SCIBORQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseBoundedQueryText();
 }
 
 Result<PredicatePtr> ParsePredicate(const std::string& text) {

@@ -8,16 +8,22 @@
 
 namespace sciborq {
 
-/// Parses the SQL-ish aggregate dialect that AggregateQuery::ToString emits,
-/// so textual query logs (the raw material of the paper's workload mining,
-/// §2.1) can be replayed into a QueryLog / InterestTracker:
+/// Parses the SQL-ish aggregate dialect that AggregateQuery::ToString /
+/// BoundedQuery::ToString emit, so textual query logs (the raw material of
+/// the paper's workload mining, §2.1) can be replayed into a QueryLog /
+/// InterestTracker — and, via the bounds clause, re-executed under their
+/// original resource/quality contract:
 ///
-///   SELECT COUNT(*), AVG(redshift)
+///   SELECT COUNT(*), AVG(redshift) FROM photo_obj_all
 ///   WHERE (obj_class = 'GALAXY') AND (cone(ra, dec; 185, 0; r=3))
-///   GROUP BY obj_class
+///   GROUP BY obj_class WITHIN 50 MS ERROR 5% CONFIDENCE 99%
 ///
 /// Grammar (case-insensitive keywords):
-///   query    := SELECT agg (',' agg)* [WHERE or_expr] [GROUP BY ident]
+///   bounded  := query [bounds]
+///   query    := SELECT agg (',' agg)* [FROM ident] [WHERE or_expr]
+///               [GROUP BY ident]
+///   bounds   := [WITHIN number MS] [ERROR number '%']
+///               [CONFIDENCE number '%'] [EXACT]   (at least one term)
 ///   agg      := (COUNT|SUM|AVG|MIN|MAX|VAR) '(' ('*' | ident) ')'
 ///   or_expr  := and_expr (OR and_expr)*
 ///   and_expr := unary (AND unary)*
@@ -29,9 +35,17 @@ namespace sciborq {
 ///   op       := '=' | '<>' | '<' | '<=' | '>' | '>='
 ///   literal  := number | "'" chars "'"
 /// Integer-looking numbers become int64 literals, others double.
+/// Bounds validation: WITHIN budget must be positive, ERROR non-negative,
+/// CONFIDENCE strictly inside (0, 100)%.
 ///
-/// Round-trip guarantee: ParseQuery(q.ToString()) produces a query whose
+/// Round-trip guarantee: parsing q.ToString() produces a query whose
 /// ToString() equals the original (tested in tests/parser_test.cc).
+
+/// Full dialect: query plus the optional in-SQL bounds clause.
+Result<BoundedQuery> ParseBoundedQuery(const std::string& text);
+
+/// Query only; fails with InvalidArgument when a bounds clause is present
+/// (callers that cannot honor bounds must not silently drop them).
 Result<AggregateQuery> ParseQuery(const std::string& text);
 
 /// Parses only a predicate expression (the or_expr production).

@@ -7,8 +7,49 @@ namespace sciborq {
 AggregateQuery AggregateQuery::Clone() const {
   AggregateQuery out;
   out.aggregates = aggregates;
+  out.table = table;
   out.filter = filter ? filter->Clone() : nullptr;
   out.group_by = group_by;
+  return out;
+}
+
+QualityBound QueryBounds::Resolve(const QualityBound& defaults) const {
+  QualityBound bound = defaults;
+  if (time_budget_ms >= 0.0) bound.time_budget_seconds = time_budget_ms / 1e3;
+  if (max_relative_error >= 0.0) bound.max_relative_error = max_relative_error;
+  if (confidence >= 0.0) bound.confidence = confidence;
+  if (exact) bound.max_relative_error = 0.0;
+  return bound;
+}
+
+std::string QueryBounds::ToString() const {
+  std::vector<std::string> terms;
+  if (time_budget_ms >= 0.0) {
+    terms.push_back(StrFormat("WITHIN %g MS", time_budget_ms));
+  }
+  if (max_relative_error >= 0.0) {
+    terms.push_back(StrFormat("ERROR %g%%", max_relative_error * 100.0));
+  }
+  if (confidence >= 0.0) {
+    terms.push_back(StrFormat("CONFIDENCE %g%%", confidence * 100.0));
+  }
+  if (exact) terms.push_back("EXACT");
+  return Join(terms, " ");
+}
+
+BoundedQuery BoundedQuery::Clone() const {
+  BoundedQuery out;
+  out.query = query.Clone();
+  out.bounds = bounds;
+  return out;
+}
+
+std::string BoundedQuery::ToString() const { return RenderSql(query, bounds); }
+
+std::string RenderSql(const AggregateQuery& query, const QueryBounds& bounds) {
+  std::string out = query.ToString();
+  const std::string clause = bounds.ToString();
+  if (!clause.empty()) out += " " + clause;
   return out;
 }
 
@@ -29,6 +70,7 @@ std::string AggregateQuery::ToString() const {
   aggs.reserve(aggregates.size());
   for (const auto& a : aggregates) aggs.push_back(a.ToString());
   std::string out = "SELECT " + Join(aggs, ", ");
+  if (!table.empty()) out += " FROM " + table;
   if (filter) out += " WHERE " + filter->ToString();
   if (!group_by.empty()) out += " GROUP BY " + group_by;
   return out;

@@ -11,13 +11,29 @@
 
 namespace sciborq {
 
+/// The user's contract with SciBORQ (§1: "complete control over both
+/// resource consumption and query result error bounds"). In the SQL dialect
+/// this is the bounds clause (WITHIN ... MS ERROR ... %); programmatic
+/// callers fill it directly.
+struct QualityBound {
+  /// Accept an answer when every aggregate's CI half-width / |estimate| is
+  /// below this. <= 0 demands exact answers (always escalates to base).
+  double max_relative_error = 0.10;
+  double confidence = 0.95;
+  /// Wall-clock budget in seconds; <= 0 means unlimited ("error bound only").
+  double time_budget_seconds = 0.0;
+  /// Permit the final escalation to the base table (zero error, §3.2).
+  bool allow_base_fallback = true;
+};
+
 /// A declarative aggregate query — the unit of work SciBORQ answers with
-/// bounds. SELECT <aggregates> FROM t [WHERE filter] [GROUP BY group_by].
-/// The same descriptor runs exactly on base data (RunExact) or approximately
-/// on an impression (core/bounded_executor.h), and is what the workload log
-/// records to extract the predicate set.
+/// bounds. SELECT <aggregates> [FROM table] [WHERE filter]
+/// [GROUP BY group_by]. The same descriptor runs exactly on base data
+/// (RunExact) or approximately on an impression (core/bounded_executor.h),
+/// and is what the workload log records to extract the predicate set.
 struct AggregateQuery {
   std::vector<AggregateSpec> aggregates;
+  std::string table;      ///< FROM clause: catalog table name; empty = unbound
   PredicatePtr filter;    ///< null = no WHERE clause
   std::string group_by;   ///< empty = ungrouped
 
@@ -37,6 +53,55 @@ struct AggregateQuery {
   /// SQL-ish rendering for logs.
   std::string ToString() const;
 };
+
+/// The optional bounds clause of the SQL dialect:
+///   [WITHIN <n> MS] [ERROR <pct> %] [CONFIDENCE <pct> %] [EXACT]
+/// Each term is independent; unspecified terms fall back to the caller's
+/// defaults when resolved into a QualityBound. Percentages are stored as
+/// fractions (ERROR 5% -> 0.05).
+struct QueryBounds {
+  double time_budget_ms = -1.0;     ///< < 0 = unspecified
+  double max_relative_error = -1.0; ///< fraction; < 0 = unspecified
+  double confidence = -1.0;         ///< fraction; < 0 = unspecified
+  bool exact = false;               ///< EXACT: demand the zero-error answer
+
+  /// True when any term was specified.
+  bool any() const {
+    return time_budget_ms >= 0.0 || max_relative_error >= 0.0 ||
+           confidence >= 0.0 || exact;
+  }
+
+  /// Overlays the specified terms onto `defaults`. EXACT forces
+  /// max_relative_error to 0 (the executor then escalates to the base data).
+  QualityBound Resolve(const QualityBound& defaults) const;
+
+  /// The bounds clause as SQL, e.g. "WITHIN 50 MS ERROR 5% CONFIDENCE 99%";
+  /// empty when no term is specified.
+  std::string ToString() const;
+};
+
+/// A query together with its in-SQL contract — what ParseBoundedQuery
+/// produces and what the query log replays, so a logged query re-executes
+/// under the bounds it originally ran with.
+struct BoundedQuery {
+  AggregateQuery query;
+  QueryBounds bounds;
+
+  BoundedQuery() = default;
+  BoundedQuery(BoundedQuery&&) = default;
+  BoundedQuery& operator=(BoundedQuery&&) = default;
+
+  BoundedQuery Clone() const;
+
+  /// query.ToString() plus the bounds clause. Round-trips through
+  /// ParseBoundedQuery (tested in tests/parser_test.cc).
+  std::string ToString() const;
+};
+
+/// The one SQL rendering of a query + bounds pair — BoundedQuery::ToString
+/// and the query log's replayable Sql() both delegate here so the round-trip
+/// guarantee has a single source of truth.
+std::string RenderSql(const AggregateQuery& query, const QueryBounds& bounds);
 
 /// One result row: the group key (null Value for ungrouped queries) plus one
 /// value per aggregate, and the number of input rows that fed the group.

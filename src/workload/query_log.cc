@@ -16,6 +16,13 @@ void QueryLog::Record(const AggregateQuery& query) {
   }
 }
 
+void QueryLog::Record(const BoundedQuery& query) {
+  Record(query.query);
+  entries_.back().bounds = query.bounds;
+}
+
+std::string LoggedQuery::Sql() const { return RenderSql(query, bounds); }
+
 std::vector<double> QueryLog::PredicateSet(const std::string& column) const {
   std::vector<double> out;
   for (const auto& entry : entries_) {

@@ -11,11 +11,17 @@
 
 namespace sciborq {
 
-/// One executed query with its position in the workload. The SkyServer query
-/// logs the paper mines are modeled by this in-process log.
+/// One executed query with its position in the workload and the bounds it
+/// ran under. The SkyServer query logs the paper mines are modeled by this
+/// in-process log.
 struct LoggedQuery {
   int64_t sequence = 0;
   AggregateQuery query;
+  QueryBounds bounds;  ///< default-constructed when recorded without bounds
+
+  /// The replayable SQL text: query + bounds clause. ParseBoundedQuery(Sql())
+  /// reproduces both (round-trip tested in tests/engine_test.cc).
+  std::string Sql() const;
 };
 
 /// A bounded in-memory log of executed queries. The window size bounds both
@@ -29,6 +35,10 @@ class QueryLog {
 
   /// Records a deep copy of the query.
   void Record(const AggregateQuery& query);
+
+  /// Records a deep copy of the query together with its bounds clause, so
+  /// the log replays with the original contract.
+  void Record(const BoundedQuery& query);
 
   int64_t size() const { return static_cast<int64_t>(entries_.size()); }
   int64_t total_recorded() const { return next_sequence_; }

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "column/column.h"
 #include "column/csv.h"
@@ -336,6 +337,58 @@ TEST(CsvTest, DoublePrecisionPreserved) {
 
 TEST(CsvTest, MissingFileFails) {
   EXPECT_FALSE(ReadCsv("/nonexistent/sciborq.csv").ok());
+}
+
+namespace {
+
+/// Writes `content` to a temp CSV and returns the ReadCsv error message.
+std::string CsvErrorFor(const std::string& name, const std::string& content) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << content;
+  out.close();
+  const Result<Table> r = ReadCsv(path);
+  std::remove(path.c_str());
+  EXPECT_FALSE(r.ok()) << "expected parse failure for:\n" << content;
+  return r.ok() ? "" : r.status().message();
+}
+
+}  // namespace
+
+TEST(CsvTest, ParseErrorsNameLineAndColumn) {
+  // Bad int64 cell on (1-based) line 3, column 'id'.
+  const std::string bad_int =
+      CsvErrorFor("sciborq_badint.csv", "id:int64,x:double\n1,2.5\nseven,3\n");
+  EXPECT_NE(bad_int.find("line 3"), std::string::npos) << bad_int;
+  EXPECT_NE(bad_int.find("column 'id'"), std::string::npos) << bad_int;
+  EXPECT_NE(bad_int.find("'seven'"), std::string::npos) << bad_int;
+
+  // Bad double cell: trailing junk is not silently truncated.
+  const std::string bad_double = CsvErrorFor(
+      "sciborq_baddouble.csv", "id:int64,x:double\n1,2.5abc\n");
+  EXPECT_NE(bad_double.find("line 2"), std::string::npos) << bad_double;
+  EXPECT_NE(bad_double.find("column 'x'"), std::string::npos) << bad_double;
+
+  // Int cells must be fully numeric too.
+  const std::string trailing_int = CsvErrorFor(
+      "sciborq_trailint.csv", "id:int64\n12junk\n");
+  EXPECT_NE(trailing_int.find("column 'id'"), std::string::npos)
+      << trailing_int;
+
+  // Overflowing and non-finite doubles are rejected, not loaded as inf/NaN.
+  const std::string overflow = CsvErrorFor(
+      "sciborq_overflow.csv", "x:double\n1e999\n");
+  EXPECT_NE(overflow.find("column 'x'"), std::string::npos) << overflow;
+  const std::string nan_cell = CsvErrorFor(
+      "sciborq_nan.csv", "x:double\nnan\n");
+  EXPECT_NE(nan_cell.find("line 2"), std::string::npos) << nan_cell;
+  CsvErrorFor("sciborq_inf.csv", "x:double\ninf\n");
+
+  // Header errors carry position context as well.
+  const std::string bad_header =
+      CsvErrorFor("sciborq_badheader.csv", "id:int64,x:float\n1,2\n");
+  EXPECT_NE(bad_header.find("line 1"), std::string::npos) << bad_header;
+  EXPECT_NE(bad_header.find("'float'"), std::string::npos) << bad_header;
 }
 
 }  // namespace

@@ -36,6 +36,28 @@ TEST(HierarchyTest, MakeValidation) {
   EXPECT_TRUE(ImpressionHierarchy::Make(schema, ThreeLayers(), spec).ok());
 }
 
+TEST(HierarchyTest, RejectsDuplicateLayerNames) {
+  const Schema schema = PhotoObjSchema();
+  ImpressionSpec spec;
+  const auto result = ImpressionHierarchy::Make(
+      schema, {{"L0", 10'000}, {"mid", 1'000}, {"L0", 100}}, spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // The offending name is in the message so the caller can fix the spec.
+  EXPECT_NE(result.status().message().find("'L0'"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(HierarchyTest, RejectsReservedLayerNameBase) {
+  // "base" would collide with BoundedAnswer::answered_by's base-table
+  // sentinel, making an approximate answer look exact.
+  ImpressionSpec spec;
+  const auto result = ImpressionHierarchy::Make(
+      PhotoObjSchema(), {{"base", 10'000}, {"L1", 1'000}}, spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(HierarchyTest, LayerSizesAfterIngest) {
   SkyStream stream(StreamConfig(), 1);
   ImpressionSpec spec;

@@ -88,6 +88,87 @@ TEST(ParserTest, GroupBy) {
   EXPECT_EQ(q.group_by, "obj_class");
 }
 
+TEST(ParserTest, FromClause) {
+  const auto q =
+      ParseQuery("SELECT COUNT(*) FROM photo_obj_all WHERE x = 1").value();
+  EXPECT_EQ(q.table, "photo_obj_all");
+  EXPECT_EQ(q.ToString(), "SELECT COUNT(*) FROM photo_obj_all WHERE x = 1");
+  EXPECT_TRUE(ParseQuery("SELECT COUNT(*)").value().table.empty());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM").ok());  // missing ident
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM 5").ok());
+}
+
+TEST(ParserTest, BoundsClause) {
+  const auto bq = ParseBoundedQuery(
+                      "SELECT COUNT(*), AVG(r) FROM photo_obj_all "
+                      "WHERE cone(ra, dec; 170, 30; r=10) "
+                      "WITHIN 50 MS ERROR 5% CONFIDENCE 99%")
+                      .value();
+  EXPECT_EQ(bq.query.table, "photo_obj_all");
+  EXPECT_TRUE(bq.bounds.any());
+  EXPECT_DOUBLE_EQ(bq.bounds.time_budget_ms, 50.0);
+  EXPECT_DOUBLE_EQ(bq.bounds.max_relative_error, 0.05);
+  EXPECT_DOUBLE_EQ(bq.bounds.confidence, 0.99);
+  EXPECT_FALSE(bq.bounds.exact);
+}
+
+TEST(ParserTest, BoundsTermsAreIndividuallyOptional) {
+  EXPECT_TRUE(ParseBoundedQuery("SELECT COUNT(*) WITHIN 10 MS").ok());
+  EXPECT_TRUE(ParseBoundedQuery("SELECT COUNT(*) ERROR 2.5%").ok());
+  EXPECT_TRUE(ParseBoundedQuery("SELECT COUNT(*) CONFIDENCE 90%").ok());
+  EXPECT_TRUE(ParseBoundedQuery("SELECT COUNT(*) EXACT").ok());
+  const auto bare = ParseBoundedQuery("SELECT COUNT(*)").value();
+  EXPECT_FALSE(bare.bounds.any());
+}
+
+TEST(ParserTest, ExactFlag) {
+  const auto bq =
+      ParseBoundedQuery("SELECT COUNT(*) FROM t EXACT").value();
+  EXPECT_TRUE(bq.bounds.exact);
+  // EXACT resolves to a zero error demand regardless of defaults.
+  QualityBound defaults;
+  defaults.max_relative_error = 0.10;
+  EXPECT_DOUBLE_EQ(bq.bounds.Resolve(defaults).max_relative_error, 0.0);
+}
+
+TEST(ParserTest, BoundsResolveOverlaysDefaults) {
+  const auto bq =
+      ParseBoundedQuery("SELECT COUNT(*) WITHIN 250 MS").value();
+  QualityBound defaults;
+  defaults.max_relative_error = 0.07;
+  defaults.confidence = 0.9;
+  const QualityBound bound = bq.bounds.Resolve(defaults);
+  EXPECT_DOUBLE_EQ(bound.time_budget_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(bound.max_relative_error, 0.07);  // untouched default
+  EXPECT_DOUBLE_EQ(bound.confidence, 0.9);
+}
+
+TEST(ParserTest, MalformedBoundsRejected) {
+  // Negative / zero budgets.
+  EXPECT_FALSE(ParseBoundedQuery("SELECT COUNT(*) WITHIN -5 MS").ok());
+  EXPECT_FALSE(ParseBoundedQuery("SELECT COUNT(*) WITHIN 0 MS").ok());
+  // Missing units / percent signs.
+  EXPECT_FALSE(ParseBoundedQuery("SELECT COUNT(*) WITHIN 5").ok());
+  EXPECT_FALSE(ParseBoundedQuery("SELECT COUNT(*) ERROR 5").ok());
+  EXPECT_FALSE(ParseBoundedQuery("SELECT COUNT(*) CONFIDENCE 95").ok());
+  // Out-of-range percentages.
+  EXPECT_FALSE(ParseBoundedQuery("SELECT COUNT(*) ERROR -1%").ok());
+  EXPECT_FALSE(ParseBoundedQuery("SELECT COUNT(*) CONFIDENCE 150%").ok());
+  EXPECT_FALSE(ParseBoundedQuery("SELECT COUNT(*) CONFIDENCE 100%").ok());
+  EXPECT_FALSE(ParseBoundedQuery("SELECT COUNT(*) CONFIDENCE 0%").ok());
+  // Terms out of order or duplicated read as trailing junk.
+  EXPECT_FALSE(
+      ParseBoundedQuery("SELECT COUNT(*) ERROR 5% WITHIN 10 MS").ok());
+  EXPECT_FALSE(ParseBoundedQuery("SELECT COUNT(*) EXACT EXACT").ok());
+}
+
+TEST(ParserTest, ParseQueryRejectsBoundsClause) {
+  // Callers that cannot honor bounds must not silently drop them.
+  const auto r = ParseQuery("SELECT COUNT(*) WITHIN 50 MS");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(ParserTest, Errors) {
   EXPECT_FALSE(ParseQuery("").ok());
   EXPECT_FALSE(ParseQuery("COUNT(*)").ok());                   // missing SELECT
@@ -119,7 +200,30 @@ INSTANTIATE_TEST_SUITE_P(
         "SELECT SUM(r) WHERE (obj_class = 'GALAXY') AND (ra BETWEEN 150 AND "
         "160)",
         "SELECT MIN(u), MAX(u) WHERE NOT (dec < 0) GROUP BY obj_class",
-        "SELECT VAR(z) WHERE (a = 1) OR (b <> 2.5) OR (c >= -3)"));
+        "SELECT VAR(z) WHERE (a = 1) OR (b <> 2.5) OR (c >= -3)",
+        "SELECT COUNT(*) FROM photo_obj_all WHERE ra BETWEEN 150 AND 160"));
+
+// The same guarantee for the full dialect: query + bounds clause.
+class BoundedRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BoundedRoundTrip, ToStringIsStable) {
+  const BoundedQuery original = ParseBoundedQuery(GetParam()).value();
+  const std::string rendered = original.ToString();
+  const BoundedQuery reparsed = ParseBoundedQuery(rendered).value();
+  EXPECT_EQ(reparsed.ToString(), rendered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BoundedQueries, BoundedRoundTrip,
+    ::testing::Values(
+        "SELECT COUNT(*), AVG(r) FROM photo_obj_all "
+        "WHERE cone(ra, dec; 170, 30; r=10) WITHIN 50 MS ERROR 5%",
+        "SELECT COUNT(*) FROM t WITHIN 12.5 MS",
+        "SELECT AVG(z) FROM t ERROR 2.5% CONFIDENCE 99%",
+        "SELECT SUM(r) FROM t WHERE x < 3 GROUP BY g "
+        "WITHIN 100 MS ERROR 1% CONFIDENCE 90%",
+        "SELECT COUNT(*) FROM t EXACT",
+        "SELECT COUNT(*) FROM t WITHIN 50 MS EXACT"));
 
 }  // namespace
 }  // namespace sciborq
