@@ -2,6 +2,7 @@
 #define SCIBORQ_BENCH_BENCH_UTIL_H_
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -39,6 +40,49 @@ inline void Expectation(const std::string& what) {
 inline void Measured(const std::string& what) {
   std::printf("measured=          %s\n", what.c_str());
 }
+
+/// Machine-readable bench output: one `BENCH_JSON {...}` line per
+/// measurement, grep-able from CI logs so the perf trajectory across PRs has
+/// data points. Keys are emitted in insertion order; values are JSON
+/// numbers/strings/bools.
+///
+///   JsonLine("server_qps").Int("clients", 4).Num("qps", qps).Emit();
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) { Str("bench", bench); }
+
+  JsonLine& Num(const std::string& key, double v) {
+    // JSON has no Inf/NaN; encode them as strings.
+    if (std::isfinite(v)) return Field(key, StrFormat("%.6g", v));
+    return Str(key, v != v ? "nan" : (v > 0 ? "inf" : "-inf"));
+  }
+  JsonLine& Int(const std::string& key, int64_t v) {
+    return Field(key, StrFormat("%lld", static_cast<long long>(v)));
+  }
+  JsonLine& Flag(const std::string& key, bool v) {
+    return Field(key, v ? "true" : "false");
+  }
+  JsonLine& Str(const std::string& key, const std::string& v) {
+    std::string escaped = "\"";
+    for (const char c : v) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    escaped += '"';
+    return Field(key, escaped);
+  }
+
+  void Emit() const { std::printf("BENCH_JSON {%s}\n", fields_.c_str()); }
+
+ private:
+  JsonLine& Field(const std::string& key, const std::string& rendered) {
+    if (!fields_.empty()) fields_ += ", ";
+    fields_ += StrFormat("\"%s\": %s", key.c_str(), rendered.c_str());
+    return *this;
+  }
+
+  std::string fields_;
+};
 
 /// The ra/dec interest tracker geometry used across benches (the paper's
 /// attribute pair, §4).

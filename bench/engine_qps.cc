@@ -98,6 +98,12 @@ int main() {
     const double qps = RunClients(&engine, threads, &failures);
     std::printf("%-10d %12.0f %10lld\n", threads, qps,
                 static_cast<long long>(failures));
+    sciborq::bench::JsonLine("engine_qps")
+        .Int("clients", threads)
+        .Num("qps", qps)
+        .Int("failures", failures)
+        .Int("base_rows", kBaseRows)
+        .Emit();
   }
 
   // Mixed phase: 4 query clients racing one ingest stream (the shared-mutex
@@ -122,5 +128,11 @@ int main() {
               "%lld rows\n",
               qps, static_cast<long long>(failures),
               static_cast<long long>(*engine.TableRows("photo_obj_all")));
+  sciborq::bench::JsonLine("engine_qps_under_ingest")
+      .Int("clients", 4)
+      .Num("qps", qps)
+      .Int("failures", failures)
+      .Int("base_rows_final", *engine.TableRows("photo_obj_all"))
+      .Emit();
   return 0;
 }

@@ -1,0 +1,196 @@
+// Socket-path throughput: N remote clients hammering sciborq over the wire
+// (encode -> TCP loopback -> frame decode -> parse -> escalation -> encode
+// -> decode) vs the same workload calling Engine::Query in-process. The gap
+// between the two is the cost of the network face; the acceptance bar is ≥ 4
+// concurrent clients with zero protocol errors and remote answers
+// bit-identical to in-process ones.
+//
+// Emits BENCH_JSON lines for the perf trajectory. Exits non-zero on any
+// protocol error or a remote/in-process answer mismatch, so CI can run it
+// as a correctness smoke as well as a perf probe.
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "bench/bench_util.h"
+#include "client/client.h"
+#include "server/server.h"
+#include "skyserver/catalog.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+using namespace sciborq;
+using sciborq::bench::Header;
+using sciborq::bench::JsonLine;
+using sciborq::bench::Unwrap;
+
+namespace {
+
+constexpr int64_t kBaseRows = 100'000;
+constexpr int kQueriesPerClient = 200;
+
+std::string MakeSql(int index) {
+  const double ra = 130.0 + 10.0 * (index % 10);
+  const double dec = 5.0 + 5.0 * (index % 11);
+  return StrFormat(
+      "SELECT COUNT(*), AVG(r) FROM photo_obj_all "
+      "WHERE cone(ra, dec; %g, %g; r=8) ERROR 25%%",
+      ra, dec);
+}
+
+/// N in-process client threads (the PR-2 baseline shape).
+double RunInProcess(Engine* engine, int threads, int64_t* failures) {
+  std::atomic<int64_t> failed{0};
+  std::vector<std::thread> clients;
+  Stopwatch watch;
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([engine, t, &failed] {
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        if (!engine->Query(MakeSql(t * kQueriesPerClient + i)).ok()) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  const double seconds = watch.ElapsedSeconds();
+  *failures = failed.load();
+  return static_cast<double>(threads) * kQueriesPerClient / seconds;
+}
+
+/// N remote clients, each with its own TCP connection.
+double RunRemote(int port, int threads, int64_t* failures) {
+  std::atomic<int64_t> failed{0};
+  std::vector<std::thread> clients;
+  Stopwatch watch;
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([port, t, &failed] {
+      Result<SciborqClient> client = SciborqClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        failed.fetch_add(kQueriesPerClient, std::memory_order_relaxed);
+        return;
+      }
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        if (!client->Query(MakeSql(t * kQueriesPerClient + i)).ok()) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  const double seconds = watch.ElapsedSeconds();
+  *failures = failed.load();
+  return static_cast<double>(threads) * kQueriesPerClient / seconds;
+}
+
+}  // namespace
+
+int main() {
+  Header("server_qps: bounded SQL over TCP loopback vs in-process");
+
+  SkyCatalogConfig config;
+  config.num_rows = kBaseRows;
+  const SkyCatalog catalog = Unwrap(GenerateSkyCatalog(config, 11));
+
+  Engine engine;
+  TableOptions table_options;
+  table_options.layers = {{"l0", 20'000}, {"l1", 2'000}};
+  table_options.seed = 11;
+  if (Status st = engine.CreateTable("photo_obj_all",
+                                     catalog.photo_obj_all.schema(),
+                                     table_options);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (Status st = engine.IngestBatch("photo_obj_all", catalog.photo_obj_all);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  ServerOptions server_options;
+  server_options.port = 0;  // any free port
+  server_options.max_connections = 16;
+  SciborqServer server(&engine, server_options);
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "server start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("base: %lld rows; server on port %d; %d hw threads\n\n",
+              static_cast<long long>(kBaseRows), server.port(),
+              static_cast<int>(std::thread::hardware_concurrency()));
+
+  // Correctness gate first: a remote bounded query must return the same
+  // answer (estimates, answered_by, escalation trace) as Engine::Query for
+  // the same SQL on the same table state.
+  {
+    const std::string sql = MakeSql(3);
+    Result<SciborqClient> client =
+        SciborqClient::Connect("127.0.0.1", server.port());
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+      return 1;
+    }
+    const Result<QueryOutcome> remote = client->Query(sql);
+    const Result<QueryOutcome> local = engine.Query(sql);
+    if (!remote.ok() || !local.ok()) {
+      std::fprintf(stderr, "equivalence probe failed: remote=%s local=%s\n",
+                   remote.status().ToString().c_str(),
+                   local.status().ToString().c_str());
+      return 1;
+    }
+    if (!EquivalentAnswers(*remote, *local)) {
+      std::fprintf(stderr, "MISMATCH: remote answer differs from in-process\n"
+                           "remote: %s\nlocal:  %s\n",
+                   remote->ToString().c_str(), local->ToString().c_str());
+      return 1;
+    }
+    std::printf("equivalence: remote == in-process (answered_by=%s) ✓\n\n",
+                remote->answered_by.c_str());
+  }
+
+  std::printf("%-14s %-10s %12s %10s\n", "path", "clients", "qps", "failures");
+  bool any_failures = false;
+  for (const int threads : {1, 2, 4, 8}) {
+    int64_t failures = 0;
+    const double qps = RunInProcess(&engine, threads, &failures);
+    std::printf("%-14s %-10d %12.0f %10lld\n", "in-process", threads, qps,
+                static_cast<long long>(failures));
+    JsonLine("server_qps_baseline")
+        .Int("clients", threads)
+        .Num("qps", qps)
+        .Int("failures", failures)
+        .Emit();
+    any_failures = any_failures || failures != 0;
+  }
+  for (const int threads : {1, 2, 4, 8}) {
+    int64_t failures = 0;
+    const double qps = RunRemote(server.port(), threads, &failures);
+    std::printf("%-14s %-10d %12.0f %10lld\n", "tcp-loopback", threads, qps,
+                static_cast<long long>(failures));
+    JsonLine("server_qps")
+        .Int("clients", threads)
+        .Num("qps", qps)
+        .Int("failures", failures)
+        .Int("base_rows", kBaseRows)
+        .Emit();
+    any_failures = any_failures || failures != 0;
+  }
+
+  server.Stop();
+  std::printf("\nserver totals: %lld queries, %lld connections, %lld protocol "
+              "errors\n",
+              static_cast<long long>(server.queries_served()),
+              static_cast<long long>(server.connections_accepted()),
+              static_cast<long long>(server.protocol_errors()));
+  if (any_failures || server.protocol_errors() != 0) {
+    std::fprintf(stderr, "FAILED: query failures or protocol errors\n");
+    return 1;
+  }
+  return 0;
+}

@@ -270,6 +270,42 @@ std::vector<std::string> Engine::TableNames() const {
   return names;
 }
 
+std::vector<TableInfo> Engine::ListTables() const {
+  std::vector<TableInfo> out;
+  for (const std::string& name : TableNames()) {
+    Result<TableInfo> info = GetTableInfo(name);
+    // Tables are never erased, so the lookup can only succeed.
+    if (info.ok()) out.push_back(std::move(info).value());
+  }
+  return out;
+}
+
+Result<TableInfo> Engine::GetTableInfo(const std::string& table) const {
+  SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
+  std::shared_lock<std::shared_mutex> lock(entry->data_mu);
+  TableInfo info;
+  info.name = table;
+  info.rows = entry->base.num_rows();
+  info.schema = entry->base.schema();
+  info.population_seen = entry->hierarchy->population_seen();
+  info.biased = entry->tracker.has_value();
+  info.layers.reserve(static_cast<size_t>(entry->hierarchy->num_layers()));
+  for (int i = 0; i < entry->hierarchy->num_layers(); ++i) {
+    const Impression& layer = entry->hierarchy->layer(i);
+    LayerSummary summary;
+    summary.name = layer.name();
+    summary.capacity = layer.capacity();
+    summary.rows = layer.size();
+    summary.policy = std::string(SamplingPolicyToString(layer.policy()));
+    info.layers.push_back(std::move(summary));
+  }
+  {
+    std::lock_guard<std::mutex> workload_lock(entry->workload_mu);
+    info.logged_queries = entry->log.size();
+  }
+  return info;
+}
+
 Result<int64_t> Engine::TableRows(const std::string& table) const {
   SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
   std::shared_lock<std::shared_mutex> lock(entry->data_mu);
@@ -313,6 +349,53 @@ Result<std::vector<std::string>> Engine::LoggedSql(
   out.reserve(static_cast<size_t>(entry->log.size()));
   for (const auto& logged : entry->log.entries()) out.push_back(logged.Sql());
   return out;
+}
+
+std::string TableInfo::ToString() const {
+  std::string out = StrFormat(
+      "%s: %lld rows (%lld seen), schema %s, %s sampling, %lld logged",
+      name.c_str(), static_cast<long long>(rows),
+      static_cast<long long>(population_seen), schema.ToString().c_str(),
+      biased ? "biased" : "uniform", static_cast<long long>(logged_queries));
+  for (const auto& layer : layers) {
+    out += StrFormat("\n  layer %s [%s]: %lld / %lld rows", layer.name.c_str(),
+                     layer.policy.c_str(), static_cast<long long>(layer.rows),
+                     static_cast<long long>(layer.capacity));
+  }
+  return out;
+}
+
+bool EquivalentAnswers(const QueryOutcome& a, const QueryOutcome& b) {
+  if (a.table != b.table || a.sql != b.sql || a.answered_by != b.answered_by ||
+      a.exact != b.exact || a.error_bound_met != b.error_bound_met) {
+    return false;
+  }
+  if (a.rows.size() != b.rows.size() ||
+      a.estimates.size() != b.estimates.size() ||
+      a.attempts.size() != b.attempts.size()) {
+    return false;
+  }
+  for (size_t r = 0; r < a.rows.size(); ++r) {
+    if (!(a.rows[r] == b.rows[r])) return false;
+  }
+  for (size_t r = 0; r < a.estimates.size(); ++r) {
+    if (a.estimates[r].size() != b.estimates[r].size()) return false;
+    for (size_t e = 0; e < a.estimates[r].size(); ++e) {
+      if (!(a.estimates[r][e] == b.estimates[r][e])) return false;
+    }
+  }
+  for (size_t i = 0; i < a.attempts.size(); ++i) {
+    const LayerAttempt& x = a.attempts[i];
+    const LayerAttempt& y = b.attempts[i];
+    // elapsed_seconds is timing, not answer — deliberately not compared.
+    if (x.layer_name != y.layer_name || x.layer_rows != y.layer_rows ||
+        x.matching_rows != y.matching_rows ||
+        !BitIdentical(x.worst_relative_error, y.worst_relative_error) ||
+        x.met_error_bound != y.met_error_bound || x.is_base != y.is_base) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::string QueryOutcome::ToString() const {

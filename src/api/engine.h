@@ -75,6 +75,37 @@ struct QueryOutcome {
   std::string ToString() const;
 };
 
+/// One impression layer as seen through the catalog: its geometry plus how
+/// full it currently is.
+struct LayerSummary {
+  std::string name;
+  int64_t capacity = 0;
+  int64_t rows = 0;     ///< rows currently sampled into the layer
+  std::string policy;   ///< "uniform", "last-seen", or "biased"
+};
+
+/// Structured metadata for one registered table — what the network catalog
+/// opcode ships to remote clients and `sciborq_cli \tables` renders.
+struct TableInfo {
+  std::string name;
+  int64_t rows = 0;  ///< base-data rows
+  Schema schema;
+  std::vector<LayerSummary> layers;  ///< largest first
+  int64_t population_seen = 0;  ///< tuples streamed past the top sampler
+  bool biased = false;          ///< interest-tracked (workload-biased) sampling
+  int64_t logged_queries = 0;   ///< log entries currently held in the window
+
+  std::string ToString() const;
+};
+
+/// True when two outcomes carry the same *answer*: identical rows, estimates,
+/// answered_by, contract flags, and escalation shape. Timing fields
+/// (elapsed_seconds, per-attempt elapsed) are ignored — they legitimately
+/// differ between runs. Doubles compare bit-for-bit: execution is
+/// deterministic for a fixed table state, so any drift is a bug (this is what
+/// lets tests assert that a remote query equals the in-process one).
+bool EquivalentAnswers(const QueryOutcome& a, const QueryOutcome& b);
+
 /// The one thread-safe front door to SciBORQ (§1: the user states a
 /// runtime/quality contract, the system does the rest). An Engine owns a
 /// catalog of named tables, each with its base columns, an auto-managed
@@ -142,6 +173,14 @@ class Engine {
 
   /// Registered table names, sorted.
   std::vector<std::string> TableNames() const;
+
+  /// Structured metadata for every registered table, sorted by name — the
+  /// catalog listing served to remote clients.
+  std::vector<TableInfo> ListTables() const;
+
+  /// Structured metadata for one table: row count, schema, per-layer
+  /// impression summary, workload-log depth.
+  Result<TableInfo> GetTableInfo(const std::string& table) const;
 
   /// Rows in the table's base data.
   Result<int64_t> TableRows(const std::string& table) const;

@@ -7,9 +7,13 @@ namespace sciborq {
 
 Session::Session(Engine* engine) : engine_(engine) {
   SCIBORQ_CHECK(engine_ != nullptr);
+#ifndef NDEBUG
+  owner_thread_ = std::this_thread::get_id();
+#endif
 }
 
 Status Session::Use(const std::string& table) {
+  CheckOwningThread();
   SCIBORQ_ASSIGN_OR_RETURN(const int64_t rows, engine_->TableRows(table));
   (void)rows;  // existence check only
   table_ = table;
@@ -17,6 +21,7 @@ Status Session::Use(const std::string& table) {
 }
 
 Result<QueryOutcome> Session::Query(std::string_view sql) {
+  CheckOwningThread();
   SCIBORQ_ASSIGN_OR_RETURN(BoundedQuery bounded,
                            ParseBoundedQuery(std::string(sql)));
   if (bounded.query.table.empty()) {

@@ -3,8 +3,10 @@
 
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include "api/engine.h"
+#include "util/check.h"
 #include "util/result.h"
 
 namespace sciborq {
@@ -14,12 +16,17 @@ namespace sciborq {
 /// — "SELECT COUNT(*) WHERE ..." instead of repeating the FROM clause and
 /// the contract on every statement — and keeps per-session statistics.
 ///
-/// Sessions are intentionally NOT thread-safe: create one per client thread.
-/// The Engine underneath is the thread-safe front door; any number of
-/// sessions can run concurrently against it.
+/// Sessions are intentionally NOT thread-safe: a session is owned by the
+/// thread that constructed it, and debug builds abort (SCIBORQ_DCHECK) if
+/// any other thread calls a mutating method. Create one session per client
+/// thread — the Engine underneath is the thread-safe front door, and any
+/// number of sessions can run concurrently against it. The network server
+/// satisfies this by construction: each connection's session lives entirely
+/// on that connection's handler thread.
 class Session {
  public:
-  /// `engine` is non-owning and must outlive the session.
+  /// `engine` is non-owning and must outlive the session. The constructing
+  /// thread becomes the owner.
   explicit Session(Engine* engine);
 
   /// Sets the default table substituted into FROM-less SQL. NotFound when
@@ -29,7 +36,10 @@ class Session {
 
   /// Bounds applied when the SQL carries no bounds clause at all (individual
   /// unspecified terms still fall back to the engine default).
-  void set_default_bounds(const QueryBounds& bounds) { bounds_ = bounds; }
+  void set_default_bounds(const QueryBounds& bounds) {
+    CheckOwningThread();
+    bounds_ = bounds;
+  }
   const QueryBounds& default_bounds() const { return bounds_; }
 
   /// Parses and answers `sql`, filling in the session's table and bounds
@@ -40,11 +50,24 @@ class Session {
   double total_seconds() const { return total_seconds_; }
 
  private:
+  /// Debug-mode enforcement of the single-thread ownership contract; free
+  /// in release builds.
+  void CheckOwningThread() const {
+#ifndef NDEBUG
+    SCIBORQ_DCHECK(std::this_thread::get_id() == owner_thread_ &&
+                   "Session used from a thread other than its owner; "
+                   "create one Session per client thread");
+#endif
+  }
+
   Engine* engine_;
   std::string table_;
   QueryBounds bounds_;
   int64_t queries_run_ = 0;
   double total_seconds_ = 0.0;
+#ifndef NDEBUG
+  std::thread::id owner_thread_;
+#endif
 };
 
 }  // namespace sciborq

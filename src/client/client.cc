@@ -1,0 +1,100 @@
+#include "client/client.h"
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace sciborq {
+
+Result<SciborqClient> SciborqClient::Connect(const std::string& host, int port,
+                                             ClientOptions options) {
+  SCIBORQ_ASSIGN_OR_RETURN(TcpConn conn, TcpConn::Connect(host, port));
+  return SciborqClient(std::move(conn), options);
+}
+
+Result<std::string> SciborqClient::RoundTrip(Opcode op,
+                                             std::string_view payload) {
+  if (!conn_.valid()) {
+    return Status::FailedPrecondition("client is not connected");
+  }
+  if (Status st = conn_.SendFrame(EncodeRequest(op, payload)); !st.ok()) {
+    conn_.Close();
+    return st;
+  }
+  Result<std::optional<std::string>> frame =
+      conn_.RecvFrame(options_.max_frame_bytes);
+  if (!frame.ok()) {
+    // Frame-level failure (oversized response, mid-frame EOF): unread bytes
+    // may remain in the stream, so it cannot be resynchronized — hang up
+    // rather than let the next round-trip read garbage.
+    conn_.Close();
+    return frame.status();
+  }
+  if (!frame->has_value()) {
+    conn_.Close();
+    return Status::IOError("server closed the connection before responding");
+  }
+  Result<ResponseFrame> decoded = DecodeResponse(**frame);
+  if (!decoded.ok()) {
+    conn_.Close();  // the server speaks something we don't understand
+    return decoded.status();
+  }
+  ResponseFrame& response = *decoded;
+  if (response.opcode == Opcode::kInvalid) {
+    // The server rejected the stream at frame level; it will hang up next.
+    conn_.Close();
+    return response.status.ok()
+               ? Status::Internal("server sent an OK kInvalid response")
+               : response.status;
+  }
+  if (response.opcode != op) {
+    conn_.Close();
+    return Status::Internal(StrFormat(
+        "server echoed opcode %u for a %u request — stream out of sync",
+        static_cast<unsigned>(response.opcode), static_cast<unsigned>(op)));
+  }
+  if (!response.status.ok()) return response.status;
+  return std::move(response.payload);
+}
+
+Result<QueryOutcome> SciborqClient::Query(std::string_view sql) {
+  WireWriter w;
+  w.PutString(sql);
+  SCIBORQ_ASSIGN_OR_RETURN(const std::string payload,
+                           RoundTrip(Opcode::kQuery, w.buffer()));
+  WireReader r(payload);
+  SCIBORQ_ASSIGN_OR_RETURN(QueryOutcome outcome, DecodeOutcome(&r));
+  SCIBORQ_RETURN_NOT_OK(r.ExpectEnd());
+  return outcome;
+}
+
+Status SciborqClient::Use(const std::string& table) {
+  WireWriter w;
+  w.PutString(table);
+  return RoundTrip(Opcode::kUse, w.buffer()).status();
+}
+
+Status SciborqClient::SetDefaultBounds(const QueryBounds& bounds) {
+  WireWriter w;
+  EncodeBounds(bounds, &w);
+  return RoundTrip(Opcode::kSetBounds, w.buffer()).status();
+}
+
+Result<std::vector<TableInfo>> SciborqClient::ListTables() {
+  SCIBORQ_ASSIGN_OR_RETURN(const std::string payload,
+                           RoundTrip(Opcode::kCatalog, ""));
+  WireReader r(payload);
+  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t n, r.ReadU32());
+  std::vector<TableInfo> tables;
+  tables.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SCIBORQ_ASSIGN_OR_RETURN(TableInfo info, DecodeTableInfo(&r));
+    tables.push_back(std::move(info));
+  }
+  SCIBORQ_RETURN_NOT_OK(r.ExpectEnd());
+  return tables;
+}
+
+Status SciborqClient::Ping() { return RoundTrip(Opcode::kPing, "").status(); }
+
+}  // namespace sciborq

@@ -1,0 +1,76 @@
+#ifndef SCIBORQ_CLIENT_CLIENT_H_
+#define SCIBORQ_CLIENT_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/engine.h"
+#include "server/socket.h"
+#include "server/wire.h"
+
+namespace sciborq {
+
+struct ClientOptions {
+  /// Ceiling for one response frame (a hostile or buggy server cannot make
+  /// the client allocate more than this).
+  int64_t max_frame_bytes = kMaxFrameBytes;
+};
+
+/// Synchronous client for a SciborqServer: one TCP connection, one
+/// request/response in flight. The server pairs the connection with a
+/// Session, so Use() and SetDefaultBounds() persist for subsequent bare SQL
+/// exactly as they would with a local api/Session. Query() returns the full
+/// QueryOutcome — estimates with confidence intervals, the escalation
+/// trace, answered_by — decoded bit-identically to what Engine::Query
+/// produced on the server (the wire tests' round-trip guarantee).
+///
+/// Not thread-safe: one client per thread, like Session. Any number of
+/// clients can talk to one server concurrently.
+class SciborqClient {
+ public:
+  /// Connects and returns a ready client. IOError on refusal/resolution.
+  static Result<SciborqClient> Connect(const std::string& host, int port,
+                                       ClientOptions options = ClientOptions());
+
+  SciborqClient(SciborqClient&&) = default;
+  SciborqClient& operator=(SciborqClient&&) = default;
+
+  /// Ships the SQL (with optional in-SQL bounds clause) and decodes the
+  /// outcome. Engine-side errors (unknown table, parse errors) come back as
+  /// the original Status code and message.
+  Result<QueryOutcome> Query(std::string_view sql);
+
+  /// Sets the connection's default table for FROM-less SQL.
+  Status Use(const std::string& table);
+
+  /// Sets the connection's default bounds for SQL without a bounds clause.
+  Status SetDefaultBounds(const QueryBounds& bounds);
+
+  /// Catalog listing: every registered table with row count, schema, and
+  /// impression-layer summary.
+  Result<std::vector<TableInfo>> ListTables();
+
+  /// Round-trip liveness check.
+  Status Ping();
+
+  bool connected() const { return conn_.valid(); }
+  void Close() { conn_.Close(); }
+
+ private:
+  SciborqClient(TcpConn conn, ClientOptions options)
+      : conn_(std::move(conn)), options_(options) {}
+
+  /// Sends one request frame and decodes the response envelope: checks the
+  /// version, the echoed opcode, and the embedded status; returns the
+  /// payload bytes on success.
+  Result<std::string> RoundTrip(Opcode op, std::string_view payload);
+
+  TcpConn conn_;
+  ClientOptions options_;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_CLIENT_CLIENT_H_

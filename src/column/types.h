@@ -2,6 +2,7 @@
 #define SCIBORQ_COLUMN_TYPES_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string_view>
 #include <vector>
 
@@ -35,6 +36,16 @@ inline bool IsNumeric(DataType t) {
 /// Row indices selected by a filter; shared currency between operators
 /// (MonetDB-style late materialization: operators exchange candidate lists).
 using SelectionVector = std::vector<int64_t>;
+
+/// Bit-pattern equality for doubles — the right equality for "same
+/// deterministic answer" checks and wire round-trips, where operator==
+/// would wrongly reject NaN == NaN (and conflate +0.0 with -0.0).
+inline bool BitIdentical(double a, double b) {
+  uint64_t a_bits, b_bits;
+  std::memcpy(&a_bits, &a, sizeof(a_bits));
+  std::memcpy(&b_bits, &b, sizeof(b_bits));
+  return a_bits == b_bits;
+}
 
 }  // namespace sciborq
 

@@ -111,6 +111,20 @@ struct QueryResultRow {
   int64_t input_rows = 0;
 };
 
+/// Exact (bit-for-bit on doubles, so NaN == NaN) equality — execution is
+/// deterministic for a fixed table state, so result rows that should agree
+/// agree exactly.
+inline bool operator==(const QueryResultRow& a, const QueryResultRow& b) {
+  if (!(a.group_key == b.group_key) || a.input_rows != b.input_rows ||
+      a.values.size() != b.values.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.values.size(); ++i) {
+    if (!BitIdentical(a.values[i], b.values[i])) return false;
+  }
+  return true;
+}
+
 /// Exact evaluation against any table (base data or a materialized sample).
 /// Ungrouped queries yield exactly one row. With a pool, the filter and
 /// aggregation scans run morsel-parallel and produce results bit-identical

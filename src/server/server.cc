@@ -1,0 +1,173 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "api/session.h"
+
+namespace sciborq {
+
+SciborqServer::SciborqServer(Engine* engine, ServerOptions options)
+    : engine_(engine), options_(options) {
+  SCIBORQ_CHECK(engine_ != nullptr);
+}
+
+SciborqServer::~SciborqServer() { Stop(); }
+
+Status SciborqServer::Start() {
+  if (started_.load()) {
+    return Status::FailedPrecondition("server already started");
+  }
+  SCIBORQ_ASSIGN_OR_RETURN(TcpListener listener,
+                           TcpListener::Bind(options_.port));
+  port_ = listener.port();
+  listener_.emplace(std::move(listener));
+  handler_pool_ =
+      std::make_unique<ThreadPool>(std::max(1, options_.max_connections));
+  started_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void SciborqServer::Stop() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+  // 1. No new connections: wake and join the accept thread.
+  listener_->Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // 2. Drain: half-close every live connection's read side. A handler busy
+  //    with a query finishes it, sends the response over the still-open
+  //    write side, then reads a clean EOF and exits; idle and queued
+  //    connections see the EOF immediately.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, conn] : active_conns_) conn->ShutdownRead();
+  }
+  // 3. Join the handlers.
+  if (handler_pool_) {
+    handler_pool_->Wait();
+    handler_pool_.reset();
+  }
+  listener_->Close();
+}
+
+void SciborqServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Result<TcpConn> accepted = listener_->Accept();
+    if (!accepted.ok()) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      // Transient accept failure (e.g. fd pressure): back off briefly
+      // rather than spinning.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<TcpConn>(std::move(accepted).value());
+    int64_t id;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      id = next_conn_id_++;
+      active_conns_.emplace(id, conn.get());
+    }
+    handler_pool_->Submit([this, id, conn]() mutable {
+      HandleConnection(conn);
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      active_conns_.erase(id);
+    });
+  }
+}
+
+void SciborqServer::HandleConnection(std::shared_ptr<TcpConn> conn) {
+  // The connection's whole life runs on this one pool worker, so the
+  // session's single-thread ownership contract holds by construction.
+  Session session(engine_);
+  for (;;) {
+    Result<std::optional<std::string>> frame =
+        conn->RecvFrame(options_.max_frame_bytes);
+    if (!frame.ok()) {
+      // Framing is broken (oversized/truncated prefix): report best-effort
+      // and close — the stream can't be resynchronized.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      (void)conn->SendFrame(
+          EncodeResponse(Opcode::kInvalid, frame.status(), ""));
+      break;
+    }
+    if (!frame->has_value()) break;  // peer closed cleanly between frames
+    Result<RequestFrame> request = DecodeRequest(**frame);
+    if (!request.ok()) {
+      // Bad version or opcode: the peer speaks something else; answer once
+      // and hang up.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      (void)conn->SendFrame(
+          EncodeResponse(Opcode::kInvalid, request.status(), ""));
+      break;
+    }
+    const std::string response = HandleRequest(*request, &session);
+    if (!conn->SendFrame(response).ok()) break;
+  }
+}
+
+std::string SciborqServer::HandleRequest(const RequestFrame& request,
+                                         Session* session) {
+  WireReader payload(request.payload);
+  switch (request.opcode) {
+    case Opcode::kQuery: {
+      Result<std::string> sql = payload.ReadString();
+      if (!sql.ok()) return EncodeResponse(request.opcode, sql.status(), "");
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "");
+      }
+      queries_served_.fetch_add(1, std::memory_order_relaxed);
+      Result<QueryOutcome> outcome = session->Query(*sql);
+      if (!outcome.ok()) {
+        return EncodeResponse(request.opcode, outcome.status(), "");
+      }
+      WireWriter w;
+      EncodeOutcome(*outcome, &w);
+      return EncodeResponse(request.opcode, Status::OK(), w.buffer());
+    }
+    case Opcode::kUse: {
+      Result<std::string> table = payload.ReadString();
+      if (!table.ok()) {
+        return EncodeResponse(request.opcode, table.status(), "");
+      }
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "");
+      }
+      return EncodeResponse(request.opcode, session->Use(*table), "");
+    }
+    case Opcode::kSetBounds: {
+      Result<QueryBounds> bounds = DecodeBounds(&payload);
+      if (!bounds.ok()) {
+        return EncodeResponse(request.opcode, bounds.status(), "");
+      }
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "");
+      }
+      session->set_default_bounds(*bounds);
+      return EncodeResponse(request.opcode, Status::OK(), "");
+    }
+    case Opcode::kCatalog: {
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "");
+      }
+      const std::vector<TableInfo> tables = engine_->ListTables();
+      WireWriter w;
+      w.PutU32(static_cast<uint32_t>(tables.size()));
+      for (const TableInfo& info : tables) EncodeTableInfo(info, &w);
+      return EncodeResponse(request.opcode, Status::OK(), w.buffer());
+    }
+    case Opcode::kPing: {
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "");
+      }
+      return EncodeResponse(request.opcode, Status::OK(), "");
+    }
+    case Opcode::kInvalid:
+      break;  // DecodeRequest never produces it
+  }
+  return EncodeResponse(Opcode::kInvalid,
+                        Status::Internal("unhandled opcode"), "");
+}
+
+}  // namespace sciborq

@@ -1,0 +1,99 @@
+#ifndef SCIBORQ_SERVER_SERVER_H_
+#define SCIBORQ_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+
+#include "api/engine.h"
+#include "server/socket.h"
+#include "server/wire.h"
+#include "util/thread_pool.h"
+
+namespace sciborq {
+
+class Session;
+
+struct ServerOptions {
+  /// TCP port to listen on; 0 picks a free ephemeral port (port() reports
+  /// the bound one — the tests' and benches' no-conflict mode).
+  int port = 0;
+  /// Concurrent connections served at once: the size of the handler
+  /// ThreadPool, one (blocking) handler per connection. Further accepted
+  /// connections queue in the pool until a worker frees up.
+  int max_connections = 8;
+  /// Per-frame ceiling enforced before a request body is read.
+  int64_t max_frame_bytes = kMaxFrameBytes;
+};
+
+/// The network face of an Engine: a blocking-socket TCP server speaking the
+/// length-prefixed protocol of server/wire.h, thread-per-connection over the
+/// library's ThreadPool. Each connection owns one api/Session, so `USE` and
+/// default bounds persist per client while every query still flows through
+/// the one thread-safe Engine — N connections are just N concurrent callers
+/// of Engine::Query, the shape engine_test already proves deterministic.
+///
+/// Lifecycle: Start() binds and returns; Stop() is graceful — it stops
+/// accepting, half-closes every connection's read side so handlers finish
+/// the request in flight (response included), then joins. The destructor
+/// calls Stop().
+class SciborqServer {
+ public:
+  /// `engine` is non-owning and must outlive the server.
+  SciborqServer(Engine* engine, ServerOptions options = ServerOptions());
+  ~SciborqServer();
+
+  SciborqServer(const SciborqServer&) = delete;
+  SciborqServer& operator=(const SciborqServer&) = delete;
+
+  /// Binds the listener and starts the accept thread. FailedPrecondition if
+  /// already started.
+  Status Start();
+
+  /// Graceful shutdown: drains in-flight requests, then joins all threads.
+  /// Idempotent; no-op when never started.
+  void Stop();
+
+  /// The bound port (valid after a successful Start).
+  int port() const { return port_; }
+  bool running() const { return started_.load() && !stopping_.load(); }
+
+  int64_t connections_accepted() const { return connections_accepted_.load(); }
+  int64_t queries_served() const { return queries_served_.load(); }
+  int64_t protocol_errors() const { return protocol_errors_.load(); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(std::shared_ptr<TcpConn> conn);
+  /// Dispatches one decoded request to the connection's session; returns the
+  /// response body to send.
+  std::string HandleRequest(const RequestFrame& request, Session* session);
+
+  Engine* engine_;
+  ServerOptions options_;
+  int port_ = -1;
+
+  std::optional<TcpListener> listener_;
+  std::unique_ptr<ThreadPool> handler_pool_;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  /// Live connections, for Stop() to half-close. Handlers register on entry
+  /// and deregister (under the same lock) before destroying the conn.
+  std::mutex conns_mu_;
+  std::unordered_map<int64_t, TcpConn*> active_conns_;
+  int64_t next_conn_id_ = 0;
+
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> queries_served_{0};
+  std::atomic<int64_t> protocol_errors_{0};
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_SERVER_SERVER_H_

@@ -1,0 +1,244 @@
+#include "server/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace sciborq {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+// -- TcpConn ----------------------------------------------------------------
+
+TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<TcpConn> TcpConn::Connect(const std::string& host, int port) {
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument(StrFormat("bad port %d", port));
+  }
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string port_str = StrFormat("%d", port);
+  const int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::IOError(StrFormat("resolve '%s': %s", host.c_str(),
+                                     ::gai_strerror(rc)));
+  }
+  Status last = Status::IOError(StrFormat("no addresses for '%s'", host.c_str()));
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+      last = Errno("connect");
+      ::close(fd);
+      continue;
+    }
+    SetNoDelay(fd);
+    ::freeaddrinfo(res);
+    return TcpConn(fd);
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+TcpConn TcpConn::Adopt(int fd) {
+  SetNoDelay(fd);
+  return TcpConn(fd);
+}
+
+Status TcpConn::SendAll(const char* data, size_t len) {
+  if (!valid()) return Status::FailedPrecondition("send on closed connection");
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status TcpConn::RecvAll(char* data, size_t len, bool* clean_eof) {
+  *clean_eof = false;
+  if (!valid()) return Status::FailedPrecondition("recv on closed connection");
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd_, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0) {
+        *clean_eof = true;
+        return Status::OK();
+      }
+      return Status::IOError(StrFormat(
+          "connection closed mid-frame (%zu of %zu bytes)", got, len));
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status TcpConn::SendRaw(std::string_view bytes) {
+  return SendAll(bytes.data(), bytes.size());
+}
+
+Status TcpConn::SendFrame(std::string_view body) {
+  char prefix[4];
+  const uint32_t len = static_cast<uint32_t>(body.size());
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+  // One send for prefix+body keeps a frame in as few packets as possible.
+  std::string framed;
+  framed.reserve(4 + body.size());
+  framed.append(prefix, 4);
+  framed.append(body.data(), body.size());
+  return SendAll(framed.data(), framed.size());
+}
+
+Result<std::optional<std::string>> TcpConn::RecvFrame(int64_t max_frame_bytes) {
+  char prefix[4];
+  bool clean_eof = false;
+  SCIBORQ_RETURN_NOT_OK(RecvAll(prefix, 4, &clean_eof));
+  if (clean_eof) return std::optional<std::string>();
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(prefix[i])) << (8 * i);
+  }
+  if (len == 0) {
+    return Status::InvalidArgument("frame: zero-length body");
+  }
+  if (static_cast<int64_t>(len) > max_frame_bytes) {
+    return Status::ResourceExhausted(
+        StrFormat("frame: %u bytes exceeds the %lld-byte frame limit", len,
+                  static_cast<long long>(max_frame_bytes)));
+  }
+  std::string body(len, '\0');
+  SCIBORQ_RETURN_NOT_OK(RecvAll(body.data(), body.size(), &clean_eof));
+  if (clean_eof) {
+    return Status::IOError("connection closed before the frame body");
+  }
+  return std::optional<std::string>(std::move(body));
+}
+
+void TcpConn::ShutdownRead() {
+  if (valid()) ::shutdown(fd_, SHUT_RD);
+}
+
+void TcpConn::Shutdown() {
+  if (valid()) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpConn::Close() {
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// -- TcpListener ------------------------------------------------------------
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<TcpListener> TcpListener::Bind(int port, int backlog) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument(StrFormat("bad port %d", port));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Errno("bind");
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &addr_len) !=
+      0) {
+    const Status st = Errno("getsockname");
+    ::close(fd);
+    return st;
+  }
+  return TcpListener(fd, static_cast<int>(ntohs(addr.sin_port)));
+}
+
+Result<TcpConn> TcpListener::Accept() {
+  if (!valid()) return Status::FailedPrecondition("accept on closed listener");
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return TcpConn::Adopt(fd);
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+void TcpListener::Shutdown() {
+  if (valid()) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpListener::Close() {
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace sciborq

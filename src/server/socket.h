@@ -1,0 +1,109 @@
+#ifndef SCIBORQ_SERVER_SOCKET_H_
+#define SCIBORQ_SERVER_SOCKET_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "server/wire.h"
+#include "util/result.h"
+
+namespace sciborq {
+
+/// A connected TCP stream (RAII over the fd, move-only) that speaks the
+/// frame layer of the wire protocol: SendFrame prepends the u32 length,
+/// RecvFrame enforces the receiver's frame ceiling *before* reading the
+/// body, so a hostile length prefix costs nothing.
+///
+/// Blocking I/O by design — the server runs thread-per-connection and the
+/// client is synchronous request/response. Writes use MSG_NOSIGNAL so a
+/// vanished peer surfaces as a Status, not SIGPIPE.
+class TcpConn {
+ public:
+  TcpConn() = default;
+  ~TcpConn() { Close(); }
+
+  TcpConn(TcpConn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpConn& operator=(TcpConn&& other) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  /// Connects to host:port (numeric IP or hostname) with TCP_NODELAY set —
+  /// request/response frames are small and latency-bound.
+  static Result<TcpConn> Connect(const std::string& host, int port);
+
+  /// Adopts an already-connected fd (the accept path).
+  static TcpConn Adopt(int fd);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// One frame: u32 little-endian length + body.
+  Status SendFrame(std::string_view body);
+
+  /// Unframed bytes on the wire — the escape hatch protocol tests use to
+  /// speak deliberately malformed frames (hostile length prefixes,
+  /// truncations). Production code always goes through SendFrame.
+  Status SendRaw(std::string_view bytes);
+
+  /// Receives one frame body. nullopt = the peer closed cleanly between
+  /// frames; IOError on mid-frame EOF; InvalidArgument on a zero-length or
+  /// over-limit length prefix (the body is never read in that case).
+  Result<std::optional<std::string>> RecvFrame(int64_t max_frame_bytes);
+
+  /// Half-closes the read side, waking a thread blocked in RecvFrame with a
+  /// clean EOF while letting an in-flight response drain — the graceful
+  /// shutdown primitive.
+  void ShutdownRead();
+  /// Full shutdown (both directions).
+  void Shutdown();
+  void Close();
+
+ private:
+  explicit TcpConn(int fd) : fd_(fd) {}
+
+  Status SendAll(const char* data, size_t len);
+  /// Reads exactly `len` bytes. `*clean_eof` is set when zero bytes were
+  /// read before EOF (only possible at a frame boundary by our callers).
+  Status RecvAll(char* data, size_t len, bool* clean_eof);
+
+  int fd_ = -1;
+};
+
+/// A listening TCP socket (all interfaces). Port 0 picks a free ephemeral
+/// port; port() reports the bound one. Shutdown() wakes a thread blocked in
+/// Accept (the stop path).
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { Close(); }
+
+  TcpListener(TcpListener&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  static Result<TcpListener> Bind(int port, int backlog = 64);
+
+  int port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Blocks for the next connection (TCP_NODELAY pre-set). Fails once the
+  /// listener is shut down.
+  Result<TcpConn> Accept();
+
+  void Shutdown();
+  void Close();
+
+ private:
+  TcpListener(int fd, int port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  int port_ = -1;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_SERVER_SOCKET_H_

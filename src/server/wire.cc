@@ -1,0 +1,512 @@
+#include "server/wire.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace sciborq {
+
+namespace {
+
+/// Highest StatusCode value, for validating codes off the wire. Keep in sync
+/// with util/status.h (the enum is append-only).
+constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kInternal);
+
+constexpr uint8_t kValueTagNull = 0;
+constexpr uint8_t kValueTagInt64 = 1;
+constexpr uint8_t kValueTagDouble = 2;
+constexpr uint8_t kValueTagString = 3;
+
+Result<DataType> DataTypeFromWire(uint8_t tag) {
+  switch (tag) {
+    case 0:
+      return DataType::kInt64;
+    case 1:
+      return DataType::kDouble;
+    case 2:
+      return DataType::kString;
+    default:
+      return Status::InvalidArgument(
+          StrFormat("wire: unknown data type tag %u", tag));
+  }
+}
+
+uint8_t DataTypeToWire(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return 0;
+    case DataType::kDouble:
+      return 1;
+    case DataType::kString:
+      return 2;
+  }
+  return 0;  // unreachable: enum is exhaustive
+}
+
+Result<Opcode> OpcodeFromWire(uint8_t op) {
+  if (op < static_cast<uint8_t>(Opcode::kQuery) ||
+      op > static_cast<uint8_t>(Opcode::kPing)) {
+    return Status::InvalidArgument(StrFormat("wire: unknown opcode %u", op));
+  }
+  return static_cast<Opcode>(op);
+}
+
+Status CheckVersion(uint8_t version) {
+  if (version != kWireVersion) {
+    return Status::InvalidArgument(
+        StrFormat("wire: protocol version %u not supported (this side speaks "
+                  "v%u)",
+                  version, kWireVersion));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view OpcodeToString(Opcode op) {
+  switch (op) {
+    case Opcode::kInvalid:
+      return "invalid";
+    case Opcode::kQuery:
+      return "query";
+    case Opcode::kUse:
+      return "use";
+    case Opcode::kSetBounds:
+      return "set_bounds";
+    case Opcode::kCatalog:
+      return "catalog";
+    case Opcode::kPing:
+      return "ping";
+  }
+  return "unknown";
+}
+
+// -- WireWriter -------------------------------------------------------------
+
+void WireWriter::PutU32(uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(bytes, 4);
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(bytes, 8);
+}
+
+void WireWriter::PutF64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+// -- WireReader -------------------------------------------------------------
+
+Result<uint8_t> WireReader::ReadU8() {
+  if (remaining() < 1) {
+    return Status::InvalidArgument("wire: truncated message (need 1 byte)");
+  }
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<bool> WireReader::ReadBool() {
+  SCIBORQ_ASSIGN_OR_RETURN(const uint8_t b, ReadU8());
+  if (b > 1) {
+    return Status::InvalidArgument(
+        StrFormat("wire: bool byte must be 0/1, got %u", b));
+  }
+  return b == 1;
+}
+
+Result<uint32_t> WireReader::ReadU32() {
+  if (remaining() < 4) {
+    return Status::InvalidArgument("wire: truncated message (need 4 bytes)");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> WireReader::ReadU64() {
+  if (remaining() < 8) {
+    return Status::InvalidArgument("wire: truncated message (need 8 bytes)");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> WireReader::ReadI64() {
+  SCIBORQ_ASSIGN_OR_RETURN(const uint64_t v, ReadU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> WireReader::ReadF64() {
+  SCIBORQ_ASSIGN_OR_RETURN(const uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> WireReader::ReadString() {
+  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t len, ReadU32());
+  if (static_cast<int64_t>(len) > remaining()) {
+    return Status::InvalidArgument(
+        StrFormat("wire: string length %u exceeds the %lld remaining bytes",
+                  len, static_cast<long long>(remaining())));
+  }
+  std::string out(data_.substr(pos_, len));
+  pos_ += len;
+  return out;
+}
+
+Status WireReader::ExpectEnd() const {
+  if (remaining() != 0) {
+    return Status::InvalidArgument(
+        StrFormat("wire: %lld trailing byte(s) after message",
+                  static_cast<long long>(remaining())));
+  }
+  return Status::OK();
+}
+
+// -- Value ------------------------------------------------------------------
+
+void EncodeValue(const Value& v, WireWriter* w) {
+  if (v.is_null()) {
+    w->PutU8(kValueTagNull);
+  } else if (v.is_int64()) {
+    w->PutU8(kValueTagInt64);
+    w->PutI64(v.int64());
+  } else if (v.is_double()) {
+    w->PutU8(kValueTagDouble);
+    w->PutF64(v.dbl());
+  } else {
+    w->PutU8(kValueTagString);
+    w->PutString(v.str());
+  }
+}
+
+Result<Value> DecodeValue(WireReader* r) {
+  SCIBORQ_ASSIGN_OR_RETURN(const uint8_t tag, r->ReadU8());
+  switch (tag) {
+    case kValueTagNull:
+      return Value::Null();
+    case kValueTagInt64: {
+      SCIBORQ_ASSIGN_OR_RETURN(const int64_t v, r->ReadI64());
+      return Value(v);
+    }
+    case kValueTagDouble: {
+      SCIBORQ_ASSIGN_OR_RETURN(const double v, r->ReadF64());
+      return Value(v);
+    }
+    case kValueTagString: {
+      SCIBORQ_ASSIGN_OR_RETURN(std::string v, r->ReadString());
+      return Value(std::move(v));
+    }
+    default:
+      return Status::InvalidArgument(
+          StrFormat("wire: unknown value tag %u", tag));
+  }
+}
+
+// -- Schema -----------------------------------------------------------------
+
+void EncodeSchema(const Schema& schema, WireWriter* w) {
+  w->PutU32(static_cast<uint32_t>(schema.num_fields()));
+  for (const Field& field : schema.fields()) {
+    w->PutString(field.name);
+    w->PutU8(DataTypeToWire(field.type));
+    w->PutBool(field.nullable);
+  }
+}
+
+Result<Schema> DecodeSchema(WireReader* r) {
+  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t n, r->ReadU32());
+  std::vector<Field> fields;
+  fields.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Field field;
+    SCIBORQ_ASSIGN_OR_RETURN(field.name, r->ReadString());
+    SCIBORQ_ASSIGN_OR_RETURN(const uint8_t tag, r->ReadU8());
+    SCIBORQ_ASSIGN_OR_RETURN(field.type, DataTypeFromWire(tag));
+    SCIBORQ_ASSIGN_OR_RETURN(field.nullable, r->ReadBool());
+    fields.push_back(std::move(field));
+  }
+  return Schema(std::move(fields));
+}
+
+// -- QueryBounds ------------------------------------------------------------
+
+void EncodeBounds(const QueryBounds& bounds, WireWriter* w) {
+  w->PutF64(bounds.time_budget_ms);
+  w->PutF64(bounds.max_relative_error);
+  w->PutF64(bounds.confidence);
+  w->PutBool(bounds.exact);
+}
+
+Result<QueryBounds> DecodeBounds(WireReader* r) {
+  QueryBounds bounds;
+  SCIBORQ_ASSIGN_OR_RETURN(bounds.time_budget_ms, r->ReadF64());
+  SCIBORQ_ASSIGN_OR_RETURN(bounds.max_relative_error, r->ReadF64());
+  SCIBORQ_ASSIGN_OR_RETURN(bounds.confidence, r->ReadF64());
+  SCIBORQ_ASSIGN_OR_RETURN(bounds.exact, r->ReadBool());
+  return bounds;
+}
+
+// -- Status -----------------------------------------------------------------
+
+void EncodeStatus(const Status& status, WireWriter* w) {
+  w->PutU8(static_cast<uint8_t>(status.code()));
+  w->PutString(status.message());
+}
+
+Status DecodeStatus(WireReader* r, Status* decoded) {
+  SCIBORQ_ASSIGN_OR_RETURN(const uint8_t code, r->ReadU8());
+  if (code > kMaxStatusCode) {
+    return Status::InvalidArgument(
+        StrFormat("wire: unknown status code %u", code));
+  }
+  SCIBORQ_ASSIGN_OR_RETURN(std::string message, r->ReadString());
+  if (code == 0 && !message.empty()) {
+    return Status::InvalidArgument("wire: OK status carries a message");
+  }
+  *decoded = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+// -- AggregateEstimate ------------------------------------------------------
+
+void EncodeEstimate(const AggregateEstimate& est, WireWriter* w) {
+  w->PutF64(est.estimate);
+  w->PutF64(est.std_error);
+  w->PutF64(est.ci_lo);
+  w->PutF64(est.ci_hi);
+  w->PutF64(est.confidence);
+  w->PutI64(est.sample_rows);
+  w->PutBool(est.exact);
+}
+
+Result<AggregateEstimate> DecodeEstimate(WireReader* r) {
+  AggregateEstimate est;
+  SCIBORQ_ASSIGN_OR_RETURN(est.estimate, r->ReadF64());
+  SCIBORQ_ASSIGN_OR_RETURN(est.std_error, r->ReadF64());
+  SCIBORQ_ASSIGN_OR_RETURN(est.ci_lo, r->ReadF64());
+  SCIBORQ_ASSIGN_OR_RETURN(est.ci_hi, r->ReadF64());
+  SCIBORQ_ASSIGN_OR_RETURN(est.confidence, r->ReadF64());
+  SCIBORQ_ASSIGN_OR_RETURN(est.sample_rows, r->ReadI64());
+  SCIBORQ_ASSIGN_OR_RETURN(est.exact, r->ReadBool());
+  return est;
+}
+
+// -- LayerAttempt -----------------------------------------------------------
+
+void EncodeAttempt(const LayerAttempt& attempt, WireWriter* w) {
+  w->PutString(attempt.layer_name);
+  w->PutI64(attempt.layer_rows);
+  w->PutI64(attempt.matching_rows);
+  w->PutF64(attempt.elapsed_seconds);
+  w->PutF64(attempt.worst_relative_error);
+  w->PutBool(attempt.met_error_bound);
+  w->PutBool(attempt.is_base);
+}
+
+Result<LayerAttempt> DecodeAttempt(WireReader* r) {
+  LayerAttempt attempt;
+  SCIBORQ_ASSIGN_OR_RETURN(attempt.layer_name, r->ReadString());
+  SCIBORQ_ASSIGN_OR_RETURN(attempt.layer_rows, r->ReadI64());
+  SCIBORQ_ASSIGN_OR_RETURN(attempt.matching_rows, r->ReadI64());
+  SCIBORQ_ASSIGN_OR_RETURN(attempt.elapsed_seconds, r->ReadF64());
+  SCIBORQ_ASSIGN_OR_RETURN(attempt.worst_relative_error, r->ReadF64());
+  SCIBORQ_ASSIGN_OR_RETURN(attempt.met_error_bound, r->ReadBool());
+  SCIBORQ_ASSIGN_OR_RETURN(attempt.is_base, r->ReadBool());
+  return attempt;
+}
+
+// -- QueryResultRow ---------------------------------------------------------
+
+void EncodeResultRow(const QueryResultRow& row, WireWriter* w) {
+  EncodeValue(row.group_key, w);
+  w->PutU32(static_cast<uint32_t>(row.values.size()));
+  for (const double v : row.values) w->PutF64(v);
+  w->PutI64(row.input_rows);
+}
+
+Result<QueryResultRow> DecodeResultRow(WireReader* r) {
+  QueryResultRow row;
+  SCIBORQ_ASSIGN_OR_RETURN(row.group_key, DecodeValue(r));
+  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t n, r->ReadU32());
+  row.values.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SCIBORQ_ASSIGN_OR_RETURN(const double v, r->ReadF64());
+    row.values.push_back(v);
+  }
+  SCIBORQ_ASSIGN_OR_RETURN(row.input_rows, r->ReadI64());
+  return row;
+}
+
+// -- QueryOutcome -----------------------------------------------------------
+
+void EncodeOutcome(const QueryOutcome& outcome, WireWriter* w) {
+  w->PutString(outcome.table);
+  w->PutString(outcome.sql);
+  w->PutString(outcome.answered_by);
+  w->PutBool(outcome.exact);
+  w->PutBool(outcome.error_bound_met);
+  w->PutBool(outcome.deadline_exceeded);
+  w->PutF64(outcome.elapsed_seconds);
+  w->PutU32(static_cast<uint32_t>(outcome.rows.size()));
+  for (const QueryResultRow& row : outcome.rows) EncodeResultRow(row, w);
+  w->PutU32(static_cast<uint32_t>(outcome.estimates.size()));
+  for (const auto& row_ests : outcome.estimates) {
+    w->PutU32(static_cast<uint32_t>(row_ests.size()));
+    for (const AggregateEstimate& est : row_ests) EncodeEstimate(est, w);
+  }
+  w->PutU32(static_cast<uint32_t>(outcome.attempts.size()));
+  for (const LayerAttempt& attempt : outcome.attempts) EncodeAttempt(attempt, w);
+}
+
+Result<QueryOutcome> DecodeOutcome(WireReader* r) {
+  QueryOutcome outcome;
+  SCIBORQ_ASSIGN_OR_RETURN(outcome.table, r->ReadString());
+  SCIBORQ_ASSIGN_OR_RETURN(outcome.sql, r->ReadString());
+  SCIBORQ_ASSIGN_OR_RETURN(outcome.answered_by, r->ReadString());
+  SCIBORQ_ASSIGN_OR_RETURN(outcome.exact, r->ReadBool());
+  SCIBORQ_ASSIGN_OR_RETURN(outcome.error_bound_met, r->ReadBool());
+  SCIBORQ_ASSIGN_OR_RETURN(outcome.deadline_exceeded, r->ReadBool());
+  SCIBORQ_ASSIGN_OR_RETURN(outcome.elapsed_seconds, r->ReadF64());
+  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t num_rows, r->ReadU32());
+  outcome.rows.reserve(num_rows);
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    SCIBORQ_ASSIGN_OR_RETURN(QueryResultRow row, DecodeResultRow(r));
+    outcome.rows.push_back(std::move(row));
+  }
+  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t num_est_rows, r->ReadU32());
+  outcome.estimates.reserve(num_est_rows);
+  for (uint32_t i = 0; i < num_est_rows; ++i) {
+    SCIBORQ_ASSIGN_OR_RETURN(const uint32_t n, r->ReadU32());
+    std::vector<AggregateEstimate> row_ests;
+    row_ests.reserve(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      SCIBORQ_ASSIGN_OR_RETURN(AggregateEstimate est, DecodeEstimate(r));
+      row_ests.push_back(est);
+    }
+    outcome.estimates.push_back(std::move(row_ests));
+  }
+  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t num_attempts, r->ReadU32());
+  outcome.attempts.reserve(num_attempts);
+  for (uint32_t i = 0; i < num_attempts; ++i) {
+    SCIBORQ_ASSIGN_OR_RETURN(LayerAttempt attempt, DecodeAttempt(r));
+    outcome.attempts.push_back(std::move(attempt));
+  }
+  return outcome;
+}
+
+// -- TableInfo --------------------------------------------------------------
+
+void EncodeTableInfo(const TableInfo& info, WireWriter* w) {
+  w->PutString(info.name);
+  w->PutI64(info.rows);
+  EncodeSchema(info.schema, w);
+  w->PutU32(static_cast<uint32_t>(info.layers.size()));
+  for (const LayerSummary& layer : info.layers) {
+    w->PutString(layer.name);
+    w->PutI64(layer.capacity);
+    w->PutI64(layer.rows);
+    w->PutString(layer.policy);
+  }
+  w->PutI64(info.population_seen);
+  w->PutBool(info.biased);
+  w->PutI64(info.logged_queries);
+}
+
+Result<TableInfo> DecodeTableInfo(WireReader* r) {
+  TableInfo info;
+  SCIBORQ_ASSIGN_OR_RETURN(info.name, r->ReadString());
+  SCIBORQ_ASSIGN_OR_RETURN(info.rows, r->ReadI64());
+  SCIBORQ_ASSIGN_OR_RETURN(info.schema, DecodeSchema(r));
+  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t num_layers, r->ReadU32());
+  info.layers.reserve(num_layers);
+  for (uint32_t i = 0; i < num_layers; ++i) {
+    LayerSummary layer;
+    SCIBORQ_ASSIGN_OR_RETURN(layer.name, r->ReadString());
+    SCIBORQ_ASSIGN_OR_RETURN(layer.capacity, r->ReadI64());
+    SCIBORQ_ASSIGN_OR_RETURN(layer.rows, r->ReadI64());
+    SCIBORQ_ASSIGN_OR_RETURN(layer.policy, r->ReadString());
+    info.layers.push_back(std::move(layer));
+  }
+  SCIBORQ_ASSIGN_OR_RETURN(info.population_seen, r->ReadI64());
+  SCIBORQ_ASSIGN_OR_RETURN(info.biased, r->ReadBool());
+  SCIBORQ_ASSIGN_OR_RETURN(info.logged_queries, r->ReadI64());
+  return info;
+}
+
+// -- Envelopes --------------------------------------------------------------
+
+std::string EncodeRequest(Opcode op, std::string_view payload) {
+  WireWriter w;
+  w.PutU8(kWireVersion);
+  w.PutU8(static_cast<uint8_t>(op));
+  std::string body = w.Take();
+  body.append(payload.data(), payload.size());
+  return body;
+}
+
+Result<RequestFrame> DecodeRequest(std::string_view body) {
+  WireReader r(body);
+  SCIBORQ_ASSIGN_OR_RETURN(const uint8_t version, r.ReadU8());
+  SCIBORQ_RETURN_NOT_OK(CheckVersion(version));
+  SCIBORQ_ASSIGN_OR_RETURN(const uint8_t op, r.ReadU8());
+  RequestFrame frame;
+  SCIBORQ_ASSIGN_OR_RETURN(frame.opcode, OpcodeFromWire(op));
+  frame.payload = std::string(body.substr(2));
+  return frame;
+}
+
+std::string EncodeResponse(Opcode op, const Status& status,
+                           std::string_view payload) {
+  WireWriter w;
+  w.PutU8(kWireVersion);
+  w.PutU8(static_cast<uint8_t>(op));
+  EncodeStatus(status, &w);
+  std::string body = w.Take();
+  if (status.ok()) body.append(payload.data(), payload.size());
+  return body;
+}
+
+Result<ResponseFrame> DecodeResponse(std::string_view body) {
+  WireReader r(body);
+  SCIBORQ_ASSIGN_OR_RETURN(const uint8_t version, r.ReadU8());
+  SCIBORQ_RETURN_NOT_OK(CheckVersion(version));
+  SCIBORQ_ASSIGN_OR_RETURN(const uint8_t op, r.ReadU8());
+  ResponseFrame frame;
+  if (op != static_cast<uint8_t>(Opcode::kInvalid)) {
+    SCIBORQ_ASSIGN_OR_RETURN(frame.opcode, OpcodeFromWire(op));
+  }
+  SCIBORQ_RETURN_NOT_OK(DecodeStatus(&r, &frame.status));
+  const size_t consumed = body.size() - static_cast<size_t>(r.remaining());
+  if (frame.status.ok()) {
+    frame.payload = std::string(body.substr(consumed));
+  } else if (r.remaining() != 0) {
+    return Status::InvalidArgument(
+        "wire: error response carries a payload");
+  }
+  return frame;
+}
+
+}  // namespace sciborq

@@ -1,0 +1,166 @@
+#ifndef SCIBORQ_SERVER_WIRE_H_
+#define SCIBORQ_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/engine.h"
+#include "column/value.h"
+#include "exec/query.h"
+#include "util/result.h"
+
+namespace sciborq {
+
+// ---------------------------------------------------------------------------
+// SciBORQ wire protocol v1 — the network face of the bounded-query contract.
+//
+// Every message travels in one *frame*:
+//
+//   u32 length (little-endian) | body (`length` bytes)
+//
+// where body = u8 version (kWireVersion) | u8 opcode | payload. Frames larger
+// than the receiver's max_frame_bytes are rejected without being read.
+//
+// Requests (client -> server):
+//   kQuery     payload = string sql         (session table/bounds fill gaps)
+//   kUse       payload = string table       (sets the session default table)
+//   kSetBounds payload = QueryBounds        (session defaults for bare SQL)
+//   kCatalog   payload = (empty)            (list tables + metadata)
+//   kPing      payload = (empty)
+//
+// Responses (server -> client) echo the request opcode and carry
+//   u8 status_code | string status_message | payload-if-OK
+// with payload: kQuery -> QueryOutcome, kCatalog -> u32 n + n TableInfo,
+// others empty. Frame-level failures (oversized/undecodable request) are
+// reported with opcode kInvalid and the connection is closed.
+//
+// All integers are little-endian and fixed-width; doubles are IEEE-754 bit
+// patterns (NaN/Inf round-trip exactly); strings are u32 length + raw bytes.
+// The encoding is bijective: encode(decode(encode(x))) == encode(x), which
+// the wire tests assert byte-for-byte.
+// ---------------------------------------------------------------------------
+
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Default ceiling for one frame. Generous for result batches (a row of
+/// doubles is tens of bytes) while bounding a malicious length prefix.
+inline constexpr int64_t kMaxFrameBytes = 64ll * 1024 * 1024;
+
+enum class Opcode : uint8_t {
+  kInvalid = 0,  ///< response-only: frame-level protocol failure
+  kQuery = 1,
+  kUse = 2,
+  kSetBounds = 3,
+  kCatalog = 4,
+  kPing = 5,
+};
+
+std::string_view OpcodeToString(Opcode op);
+
+/// Appends primitive values to a growing byte buffer.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutF64(double v);
+  /// u32 length + raw bytes (embedded NULs are fine).
+  void PutString(std::string_view s);
+
+  const std::string& buffer() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked sequential reads over one decoded frame body. Every read
+/// fails with InvalidArgument instead of walking off the end, so truncated
+/// or hostile frames surface as Status, never as UB.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> ReadU8();
+  Result<bool> ReadBool();  ///< rejects bytes other than 0/1
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadF64();
+  Result<std::string> ReadString();
+
+  int64_t remaining() const {
+    return static_cast<int64_t>(data_.size() - pos_);
+  }
+  /// InvalidArgument unless the whole body was consumed — trailing garbage
+  /// means a framing bug or a tampered message.
+  Status ExpectEnd() const;
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// -- Typed encode/decode pairs ----------------------------------------------
+
+void EncodeValue(const Value& v, WireWriter* w);
+Result<Value> DecodeValue(WireReader* r);
+
+void EncodeSchema(const Schema& schema, WireWriter* w);
+Result<Schema> DecodeSchema(WireReader* r);
+
+void EncodeBounds(const QueryBounds& bounds, WireWriter* w);
+Result<QueryBounds> DecodeBounds(WireReader* r);
+
+void EncodeStatus(const Status& status, WireWriter* w);
+/// The return value reports wire-decoding success; `*decoded` receives the
+/// transported status (which may itself be any code, including OK).
+Status DecodeStatus(WireReader* r, Status* decoded);
+
+void EncodeEstimate(const AggregateEstimate& est, WireWriter* w);
+Result<AggregateEstimate> DecodeEstimate(WireReader* r);
+
+void EncodeAttempt(const LayerAttempt& attempt, WireWriter* w);
+Result<LayerAttempt> DecodeAttempt(WireReader* r);
+
+void EncodeResultRow(const QueryResultRow& row, WireWriter* w);
+Result<QueryResultRow> DecodeResultRow(WireReader* r);
+
+void EncodeOutcome(const QueryOutcome& outcome, WireWriter* w);
+Result<QueryOutcome> DecodeOutcome(WireReader* r);
+
+void EncodeTableInfo(const TableInfo& info, WireWriter* w);
+Result<TableInfo> DecodeTableInfo(WireReader* r);
+
+// -- Message envelopes ------------------------------------------------------
+
+/// A decoded request: opcode plus its payload reader (positioned after the
+/// envelope; the handler decodes the op-specific payload).
+struct RequestFrame {
+  Opcode opcode = Opcode::kInvalid;
+  std::string payload;  ///< op-specific bytes
+};
+
+/// version | opcode | payload.
+std::string EncodeRequest(Opcode op, std::string_view payload);
+/// Rejects unknown versions and opcodes.
+Result<RequestFrame> DecodeRequest(std::string_view body);
+
+/// version | opcode | status | payload (payload only meaningful when OK).
+std::string EncodeResponse(Opcode op, const Status& status,
+                           std::string_view payload);
+
+struct ResponseFrame {
+  Opcode opcode = Opcode::kInvalid;
+  Status status;
+  std::string payload;  ///< empty unless status.ok()
+};
+Result<ResponseFrame> DecodeResponse(std::string_view body);
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_SERVER_WIRE_H_

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "column/types.h"
 #include "util/result.h"
 
 namespace sciborq {
@@ -32,6 +33,16 @@ struct AggregateEstimate {
 
   std::string ToString() const;
 };
+
+/// Exact field-wise equality, doubles bit-for-bit (so NaN == NaN, matching
+/// the wire layer's bit-exact round-trip guarantee).
+inline bool operator==(const AggregateEstimate& a, const AggregateEstimate& b) {
+  return BitIdentical(a.estimate, b.estimate) &&
+         BitIdentical(a.std_error, b.std_error) &&
+         BitIdentical(a.ci_lo, b.ci_lo) && BitIdentical(a.ci_hi, b.ci_hi) &&
+         BitIdentical(a.confidence, b.confidence) &&
+         a.sample_rows == b.sample_rows && a.exact == b.exact;
+}
 
 /// Finite population correction sqrt((N - n) / (N - 1)); 1 when N <= 1.
 double FinitePopulationCorrection(int64_t sample_n, int64_t population_n);

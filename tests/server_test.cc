@@ -1,0 +1,275 @@
+// End-to-end tests for the TCP subsystem: a real SciborqServer on an
+// ephemeral loopback port, real SciborqClients, and — for the malformed
+// frame cases — a raw TcpConn speaking deliberately broken bytes.
+
+#include "server/server.h"
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "client/client.h"
+#include "server/socket.h"
+#include "server/wire.h"
+#include "skyserver/catalog.h"
+#include "util/string_util.h"
+
+namespace sciborq {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SkyCatalogConfig config;
+    config.num_rows = 20'000;
+    Result<SkyCatalog> catalog = GenerateSkyCatalog(config, 7);
+    ASSERT_TRUE(catalog.ok());
+    TableOptions options;
+    options.layers = {{"l0", 4096}, {"l1", 512}};
+    options.seed = 7;
+    ASSERT_TRUE(engine_
+                    .CreateTable("photo_obj_all",
+                                 catalog->photo_obj_all.schema(), options)
+                    .ok());
+    ASSERT_TRUE(
+        engine_.IngestBatch("photo_obj_all", catalog->photo_obj_all).ok());
+
+    ServerOptions server_options;
+    server_options.port = 0;  // ephemeral: tests never collide
+    server_options.max_connections = 8;
+    server_.emplace(&engine_, server_options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (server_) server_->Stop();
+  }
+
+  Result<SciborqClient> Connect() {
+    return SciborqClient::Connect("127.0.0.1", server_->port());
+  }
+
+  Engine engine_;
+  std::optional<SciborqServer> server_;
+};
+
+constexpr char kBoundedSql[] =
+    "SELECT COUNT(*), AVG(r) FROM photo_obj_all "
+    "WHERE cone(ra, dec; 170, 30; r=10) ERROR 25%";
+
+TEST_F(ServerTest, PingAndCatalog) {
+  Result<SciborqClient> client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE(client->Ping().ok());
+
+  Result<std::vector<TableInfo>> tables = client->ListTables();
+  ASSERT_TRUE(tables.ok()) << tables.status().ToString();
+  ASSERT_EQ(1u, tables->size());
+  const TableInfo& info = (*tables)[0];
+  EXPECT_EQ("photo_obj_all", info.name);
+  EXPECT_EQ(20'000, info.rows);
+  EXPECT_EQ(20'000, info.population_seen);
+  EXPECT_FALSE(info.biased);
+  EXPECT_TRUE(info.schema.HasField("ra"));
+  ASSERT_EQ(2u, info.layers.size());
+  EXPECT_EQ("l0", info.layers[0].name);
+  EXPECT_EQ(4096, info.layers[0].capacity);
+  EXPECT_EQ(4096, info.layers[0].rows);
+  EXPECT_EQ("uniform", info.layers[0].policy);
+}
+
+TEST_F(ServerTest, RemoteBoundedQueryEqualsInProcess) {
+  Result<SciborqClient> client = Connect();
+  ASSERT_TRUE(client.ok());
+  Result<QueryOutcome> remote = client->Query(kBoundedSql);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  Result<QueryOutcome> local = engine_.Query(kBoundedSql);
+  ASSERT_TRUE(local.ok());
+  EXPECT_TRUE(EquivalentAnswers(*remote, *local))
+      << "remote: " << remote->ToString() << "\nlocal: " << local->ToString();
+  EXPECT_FALSE(remote->answered_by.empty());
+  ASSERT_FALSE(remote->estimates.empty());
+  ASSERT_FALSE(remote->estimates[0].empty());
+  EXPECT_GT(remote->estimates[0][0].sample_rows, 0);
+  EXPECT_FALSE(remote->attempts.empty());
+}
+
+TEST_F(ServerTest, ExactQueryOverTheWire) {
+  Result<SciborqClient> client = Connect();
+  ASSERT_TRUE(client.ok());
+  Result<QueryOutcome> remote =
+      client->Query("SELECT COUNT(*) FROM photo_obj_all EXACT");
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  EXPECT_TRUE(remote->exact);
+  EXPECT_EQ("base", remote->answered_by);
+  ASSERT_EQ(1u, remote->rows.size());
+  EXPECT_EQ(20'000.0, remote->rows[0].values[0]);
+}
+
+TEST_F(ServerTest, SessionStatePersistsPerConnection) {
+  Result<SciborqClient> a = Connect();
+  Result<SciborqClient> b = Connect();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  // Client A: USE + default bounds make bare SQL answerable.
+  ASSERT_TRUE(a->Use("photo_obj_all").ok());
+  QueryBounds bounds;
+  bounds.exact = true;
+  ASSERT_TRUE(a->SetDefaultBounds(bounds).ok());
+  Result<QueryOutcome> outcome = a->Query("SELECT COUNT(*)");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ("base", outcome->answered_by);  // EXACT default applied
+  EXPECT_TRUE(outcome->exact);
+
+  // Client B shares none of A's session state.
+  Result<QueryOutcome> unbound = b->Query("SELECT COUNT(*)");
+  ASSERT_FALSE(unbound.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, unbound.status().code());
+
+  // Unknown table: the engine's NotFound travels back code-intact.
+  EXPECT_EQ(StatusCode::kNotFound, a->Use("nope").code());
+}
+
+TEST_F(ServerTest, EngineErrorsTravelBack) {
+  Result<SciborqClient> client = Connect();
+  ASSERT_TRUE(client.ok());
+  Result<QueryOutcome> bad_sql = client->Query("SELEKT banana");
+  ASSERT_FALSE(bad_sql.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, bad_sql.status().code());
+  Result<QueryOutcome> bad_table =
+      client->Query("SELECT COUNT(*) FROM missing ERROR 5%");
+  ASSERT_FALSE(bad_table.ok());
+  EXPECT_EQ(StatusCode::kNotFound, bad_table.status().code());
+  // The connection survives engine-level errors.
+  EXPECT_TRUE(client->Ping().ok());
+}
+
+TEST_F(ServerTest, FourConcurrentClientsZeroProtocolErrors) {
+  // The acceptance bar: ≥ 4 concurrent clients, zero protocol errors, every
+  // remote answer equal to the in-process answer for the same SQL.
+  Result<QueryOutcome> expected = engine_.Query(kBoundedSql);
+  ASSERT_TRUE(expected.ok());
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesEach = 25;
+  std::atomic<int> failures{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      Result<SciborqClient> client =
+          SciborqClient::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        failures.fetch_add(kQueriesEach);
+        return;
+      }
+      for (int i = 0; i < kQueriesEach; ++i) {
+        Result<QueryOutcome> outcome = client->Query(kBoundedSql);
+        if (!outcome.ok()) {
+          failures.fetch_add(1);
+        } else if (!EquivalentAnswers(*outcome, *expected)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(0, failures.load());
+  EXPECT_EQ(0, mismatches.load());
+  EXPECT_EQ(0, server_->protocol_errors());
+  EXPECT_GE(server_->queries_served(), kClients * kQueriesEach);
+}
+
+TEST_F(ServerTest, OversizedFrameRejected) {
+  // A raw peer claims a 256 MiB frame; the server must refuse before
+  // reading (let alone allocating) the body, answer with ResourceExhausted,
+  // and hang up.
+  Result<TcpConn> conn = TcpConn::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  const uint32_t huge = 256u * 1024 * 1024;
+  std::string prefix(4, '\0');
+  for (int i = 0; i < 4; ++i) {
+    prefix[static_cast<size_t>(i)] = static_cast<char>((huge >> (8 * i)) & 0xff);
+  }
+  ASSERT_TRUE(conn->SendRaw(prefix).ok());
+
+  Result<std::optional<std::string>> frame = conn->RecvFrame(kMaxFrameBytes);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_TRUE(frame->has_value());  // the error response, not an EOF
+  Result<ResponseFrame> response = DecodeResponse(**frame);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(Opcode::kInvalid, response->opcode);
+  EXPECT_EQ(StatusCode::kResourceExhausted, response->status.code());
+
+  // ... and the server hung up: the next read is a clean EOF.
+  Result<std::optional<std::string>> eof = conn->RecvFrame(kMaxFrameBytes);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_FALSE(eof->has_value());
+  EXPECT_GE(server_->protocol_errors(), 1);
+}
+
+TEST_F(ServerTest, TruncatedFrameClosesConnectionCleanly) {
+  // Two bytes of a length prefix, then the peer vanishes: the server must
+  // treat the mid-prefix EOF as a protocol error and close, not crash.
+  Result<TcpConn> conn = TcpConn::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->SendRaw(std::string("\x08\x00", 2)).ok());
+  conn->Shutdown();
+  // Wait for the server to notice and finish the handler.
+  for (int i = 0; i < 100 && server_->protocol_errors() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server_->protocol_errors(), 1);
+  // The server stays healthy for new clients.
+  Result<SciborqClient> client = Connect();
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client->Ping().ok());
+}
+
+TEST_F(ServerTest, GarbageEnvelopeAnsweredThenClosed) {
+  // A well-framed body whose version byte is from the future: the server
+  // answers with kInvalid/InvalidArgument, then hangs up.
+  Result<TcpConn> conn = TcpConn::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  std::string body = EncodeRequest(Opcode::kPing, "");
+  body[0] = 42;
+  ASSERT_TRUE(conn->SendFrame(body).ok());
+  Result<std::optional<std::string>> frame = conn->RecvFrame(kMaxFrameBytes);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->has_value());
+  Result<ResponseFrame> response = DecodeResponse(**frame);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(Opcode::kInvalid, response->opcode);
+  EXPECT_EQ(StatusCode::kInvalidArgument, response->status.code());
+  Result<std::optional<std::string>> eof = conn->RecvFrame(kMaxFrameBytes);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_FALSE(eof->has_value());
+}
+
+TEST_F(ServerTest, GracefulStopDrainsAndRefusesNewConnections) {
+  Result<SciborqClient> client = Connect();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping().ok());
+  const int port = server_->port();
+  server_->Stop();
+  // Existing connection: server has hung up; next round-trip fails cleanly.
+  EXPECT_FALSE(client->Ping().ok());
+  // New connections are refused (or reset) after Stop.
+  Result<TcpConn> fresh = TcpConn::Connect("127.0.0.1", port);
+  if (fresh.ok()) {
+    // Connected before the OS tore the socket down — the first read fails.
+    Result<std::optional<std::string>> frame = fresh->RecvFrame(kMaxFrameBytes);
+    EXPECT_TRUE(!frame.ok() || !frame->has_value());
+  }
+  EXPECT_FALSE(server_->running());
+}
+
+}  // namespace
+}  // namespace sciborq

@@ -1,0 +1,433 @@
+// Wire-protocol round-trips: every QueryOutcome shape the engine can
+// produce must encode/decode bit-identically (asserted by re-encoding and
+// comparing bytes), and malformed bytes — truncations at every offset,
+// hostile lengths, trailing garbage — must surface as Status, never as
+// crashes or wrong data.
+
+#include "server/wire.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+
+namespace sciborq {
+namespace {
+
+std::string EncodedOutcome(const QueryOutcome& outcome) {
+  WireWriter w;
+  EncodeOutcome(outcome, &w);
+  return w.Take();
+}
+
+/// encode -> decode -> re-encode must reproduce the original bytes: the
+/// protocol is bijective, so "bit-identical round trip" is a byte equality.
+void ExpectOutcomeRoundTripsBitIdentically(const QueryOutcome& outcome) {
+  const std::string bytes = EncodedOutcome(outcome);
+  WireReader r(bytes);
+  Result<QueryOutcome> decoded = DecodeOutcome(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(r.ExpectEnd().ok());
+  EXPECT_EQ(bytes, EncodedOutcome(*decoded));
+  EXPECT_TRUE(EquivalentAnswers(outcome, *decoded));
+  // Timing survives too (EquivalentAnswers deliberately ignores it).
+  EXPECT_EQ(outcome.elapsed_seconds, decoded->elapsed_seconds);
+}
+
+AggregateEstimate MakeEstimate(double est, double half_width, bool exact,
+                               int64_t n) {
+  AggregateEstimate e;
+  e.estimate = est;
+  e.std_error = half_width / 1.96;
+  e.ci_lo = est - half_width;
+  e.ci_hi = est + half_width;
+  e.confidence = 0.95;
+  e.sample_rows = n;
+  e.exact = exact;
+  return e;
+}
+
+TEST(WireWriterReaderTest, PrimitivesRoundTrip) {
+  WireWriter w;
+  w.PutU8(0);
+  w.PutU8(255);
+  w.PutBool(true);
+  w.PutBool(false);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefull);
+  w.PutI64(-42);
+  w.PutF64(3.14159);
+  w.PutF64(-0.0);
+  w.PutF64(std::numeric_limits<double>::infinity());
+  w.PutF64(std::numeric_limits<double>::quiet_NaN());
+  w.PutString("hello");
+  w.PutString("");
+  w.PutString(std::string("nul\0byte", 8));
+
+  WireReader r(w.buffer());
+  EXPECT_EQ(0u, *r.ReadU8());
+  EXPECT_EQ(255u, *r.ReadU8());
+  EXPECT_TRUE(*r.ReadBool());
+  EXPECT_FALSE(*r.ReadBool());
+  EXPECT_EQ(0xdeadbeefu, *r.ReadU32());
+  EXPECT_EQ(0x0123456789abcdefull, *r.ReadU64());
+  EXPECT_EQ(-42, *r.ReadI64());
+  EXPECT_EQ(3.14159, *r.ReadF64());
+  const double neg_zero = *r.ReadF64();
+  EXPECT_EQ(0.0, neg_zero);
+  EXPECT_TRUE(std::signbit(neg_zero));  // bit pattern, not just value
+  EXPECT_TRUE(std::isinf(*r.ReadF64()));
+  EXPECT_TRUE(std::isnan(*r.ReadF64()));
+  EXPECT_EQ("hello", *r.ReadString());
+  EXPECT_EQ("", *r.ReadString());
+  EXPECT_EQ(std::string("nul\0byte", 8), *r.ReadString());
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(WireWriterReaderTest, ReadsPastEndFail) {
+  WireReader r("");
+  EXPECT_FALSE(r.ReadU8().ok());
+  EXPECT_FALSE(r.ReadU32().ok());
+  EXPECT_FALSE(r.ReadU64().ok());
+  EXPECT_FALSE(r.ReadF64().ok());
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+TEST(WireWriterReaderTest, BoolRejectsNonBinaryBytes) {
+  WireReader r("\x02");
+  EXPECT_FALSE(r.ReadBool().ok());
+}
+
+TEST(WireWriterReaderTest, HostileStringLengthRejected) {
+  // Claims 1 GiB of string payload with 3 bytes behind it.
+  WireWriter w;
+  w.PutU32(1u << 30);
+  std::string bytes = w.Take() + "abc";
+  WireReader r(bytes);
+  const Result<std::string> s = r.ReadString();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, s.status().code());
+}
+
+TEST(WireWriterReaderTest, TrailingGarbageDetected) {
+  WireWriter w;
+  w.PutU32(7);
+  std::string bytes = w.Take() + "x";
+  WireReader r(bytes);
+  ASSERT_TRUE(r.ReadU32().ok());
+  EXPECT_FALSE(r.ExpectEnd().ok());
+}
+
+TEST(WireValueTest, AllTagsRoundTrip) {
+  const std::vector<Value> values = {Value::Null(), Value(int64_t{-7}),
+                                     Value(2.5), Value("GALAXY"), Value("")};
+  for (const Value& v : values) {
+    WireWriter w;
+    EncodeValue(v, &w);
+    WireReader r(w.buffer());
+    Result<Value> decoded = DecodeValue(&r);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(v == *decoded);
+    EXPECT_TRUE(r.ExpectEnd().ok());
+  }
+}
+
+TEST(WireValueTest, UnknownTagRejected) {
+  WireReader r("\x09");
+  EXPECT_FALSE(DecodeValue(&r).ok());
+}
+
+TEST(WireBoundsTest, RoundTrip) {
+  QueryBounds bounds;
+  bounds.time_budget_ms = 50.0;
+  bounds.max_relative_error = 0.05;
+  bounds.confidence = 0.99;
+  bounds.exact = true;
+  WireWriter w;
+  EncodeBounds(bounds, &w);
+  WireReader r(w.buffer());
+  Result<QueryBounds> decoded = DecodeBounds(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(bounds.time_budget_ms, decoded->time_budget_ms);
+  EXPECT_EQ(bounds.max_relative_error, decoded->max_relative_error);
+  EXPECT_EQ(bounds.confidence, decoded->confidence);
+  EXPECT_EQ(bounds.exact, decoded->exact);
+}
+
+TEST(WireStatusTest, EveryCodeRoundTrips) {
+  const std::vector<Status> statuses = {
+      Status::OK(),
+      Status::InvalidArgument("bad sql"),
+      Status::OutOfRange("layer 9"),
+      Status::NotFound("unknown table 'x'"),
+      Status::AlreadyExists("dup"),
+      Status::FailedPrecondition("no tracker"),
+      Status::ResourceExhausted("frame too big"),
+      Status::DeadlineExceeded("50ms"),
+      Status::QualityBoundExceeded("5%"),
+      Status::NotImplemented("soon"),
+      Status::IOError("recv"),
+      Status::Internal("bug")};
+  for (const Status& st : statuses) {
+    WireWriter w;
+    EncodeStatus(st, &w);
+    WireReader r(w.buffer());
+    Status decoded;
+    ASSERT_TRUE(DecodeStatus(&r, &decoded).ok());
+    EXPECT_TRUE(st == decoded) << st.ToString();
+  }
+}
+
+TEST(WireStatusTest, UnknownCodeRejected) {
+  WireWriter w;
+  w.PutU8(200);
+  w.PutString("???");
+  WireReader r(w.buffer());
+  Status decoded;
+  EXPECT_FALSE(DecodeStatus(&r, &decoded).ok());
+}
+
+// -- QueryOutcome shapes ----------------------------------------------------
+
+TEST(WireOutcomeTest, ExactUngroupedAnswer) {
+  QueryOutcome outcome;
+  outcome.table = "photo_obj_all";
+  outcome.sql = "SELECT COUNT(*) FROM photo_obj_all EXACT";
+  outcome.answered_by = "base";
+  outcome.exact = true;
+  outcome.error_bound_met = true;
+  outcome.elapsed_seconds = 0.0125;
+  QueryResultRow row;
+  row.group_key = Value::Null();
+  row.values = {600000.0};
+  row.input_rows = 600000;
+  outcome.rows.push_back(row);
+  outcome.estimates = {{MakeEstimate(600000.0, 0.0, /*exact=*/true, 600000)}};
+  LayerAttempt base;
+  base.layer_name = "base";
+  base.layer_rows = 600000;
+  base.matching_rows = 600000;
+  base.met_error_bound = true;
+  base.is_base = true;
+  outcome.attempts.push_back(base);
+  ExpectOutcomeRoundTripsBitIdentically(outcome);
+}
+
+TEST(WireOutcomeTest, EstimateWithCiAndEscalationTrace) {
+  QueryOutcome outcome;
+  outcome.table = "photo_obj_all";
+  outcome.sql = "SELECT COUNT(*), AVG(r) FROM photo_obj_all ERROR 5%";
+  outcome.answered_by = "l0";
+  outcome.exact = false;
+  outcome.error_bound_met = true;
+  outcome.elapsed_seconds = 0.0021;
+  QueryResultRow row;
+  row.values = {21484.4, 30.26};
+  row.input_rows = 440;
+  outcome.rows.push_back(row);
+  outcome.estimates = {{MakeEstimate(21484.4, 1986.8, false, 440),
+                        MakeEstimate(30.26, 1.08, false, 440)}};
+  // Two failed layers then success — the full escalation trace, including
+  // an infinite relative error (MIN/MAX-style) which must survive the trip.
+  for (const char* name : {"l2", "l1"}) {
+    LayerAttempt attempt;
+    attempt.layer_name = name;
+    attempt.layer_rows = name[1] == '2' ? 1024 : 8192;
+    attempt.matching_rows = 17;
+    attempt.elapsed_seconds = 0.0004;
+    attempt.worst_relative_error = std::numeric_limits<double>::infinity();
+    attempt.met_error_bound = false;
+    outcome.attempts.push_back(attempt);
+  }
+  LayerAttempt success;
+  success.layer_name = "l0";
+  success.layer_rows = 65536;
+  success.matching_rows = 440;
+  success.worst_relative_error = 0.0925;
+  success.met_error_bound = true;
+  outcome.attempts.push_back(success);
+  ExpectOutcomeRoundTripsBitIdentically(outcome);
+}
+
+TEST(WireOutcomeTest, GroupedRowsWithTypedKeys) {
+  QueryOutcome outcome;
+  outcome.table = "t";
+  outcome.sql = "SELECT SUM(r) FROM t GROUP BY obj_class ERROR 10%";
+  outcome.answered_by = "l1";
+  QueryResultRow galaxy;
+  galaxy.group_key = Value("GALAXY");
+  galaxy.values = {123.5};
+  galaxy.input_rows = 99;
+  QueryResultRow star;
+  star.group_key = Value(int64_t{3});
+  star.values = {-7.25};
+  star.input_rows = 12;
+  QueryResultRow qso;
+  qso.group_key = Value(2.5);
+  qso.values = {0.0};
+  qso.input_rows = 0;
+  outcome.rows = {galaxy, star, qso};
+  outcome.estimates = {{MakeEstimate(123.5, 4.0, false, 99)},
+                       {MakeEstimate(-7.25, 0.5, false, 12)},
+                       {MakeEstimate(0.0, 0.0, false, 0)}};
+  ExpectOutcomeRoundTripsBitIdentically(outcome);
+}
+
+TEST(WireOutcomeTest, EmptyOutcomeRoundTrips) {
+  QueryOutcome outcome;  // no rows, no estimates, no attempts
+  ExpectOutcomeRoundTripsBitIdentically(outcome);
+}
+
+TEST(WireOutcomeTest, NanValuesSurviveAndCompareEqual) {
+  // A NaN in the data (e.g. AVG over a column holding NaN doubles) must
+  // round-trip bit-exactly AND still satisfy EquivalentAnswers — plain
+  // double == would wrongly report a mismatch for identical answers.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  QueryOutcome outcome;
+  outcome.table = "t";
+  outcome.sql = "SELECT AVG(x) FROM t EXACT";
+  outcome.answered_by = "base";
+  outcome.exact = true;
+  QueryResultRow row;
+  row.values = {nan};
+  row.input_rows = 3;
+  outcome.rows.push_back(row);
+  outcome.estimates = {{MakeEstimate(nan, 0.0, /*exact=*/true, 3)}};
+  LayerAttempt attempt;
+  attempt.layer_name = "base";
+  attempt.worst_relative_error = nan;
+  attempt.is_base = true;
+  outcome.attempts.push_back(attempt);
+  ExpectOutcomeRoundTripsBitIdentically(outcome);
+  EXPECT_TRUE(EquivalentAnswers(outcome, outcome));
+}
+
+/// Satellite requirement: decoding any truncation of a valid message fails
+/// cleanly (never crashes, never "succeeds" on partial data).
+TEST(WireOutcomeTest, EveryTruncationFailsCleanly) {
+  QueryOutcome outcome;
+  outcome.table = "t";
+  outcome.sql = "SELECT COUNT(*) FROM t ERROR 5%";
+  outcome.answered_by = "l0";
+  QueryResultRow row;
+  row.group_key = Value("key");
+  row.values = {1.0, 2.0};
+  row.input_rows = 5;
+  outcome.rows.push_back(row);
+  outcome.estimates = {{MakeEstimate(1.0, 0.1, false, 5),
+                        MakeEstimate(2.0, 0.2, false, 5)}};
+  LayerAttempt attempt;
+  attempt.layer_name = "l0";
+  outcome.attempts.push_back(attempt);
+
+  const std::string bytes = EncodedOutcome(outcome);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WireReader r(std::string_view(bytes.data(), len));
+    const Result<QueryOutcome> decoded = DecodeOutcome(&r);
+    // Prefixes that happen to parse (e.g. cutting only trailing attempts
+    // would not — counts are encoded up front, so every cut is detected).
+    EXPECT_FALSE(decoded.ok() && r.ExpectEnd().ok())
+        << "truncation to " << len << " bytes decoded successfully";
+  }
+}
+
+TEST(WireTableInfoTest, RoundTrip) {
+  TableInfo info;
+  info.name = "photo_obj_all";
+  info.rows = 600000;
+  info.schema = Schema({{"objid", DataType::kInt64, false},
+                        {"ra", DataType::kDouble, true},
+                        {"obj_class", DataType::kString, true}});
+  info.layers = {{"l0", 65536, 65536, "biased"}, {"l1", 8192, 8192, "uniform"}};
+  info.population_seen = 600000;
+  info.biased = true;
+  info.logged_queries = 17;
+
+  WireWriter w;
+  EncodeTableInfo(info, &w);
+  const std::string bytes = w.Take();
+  WireReader r(bytes);
+  Result<TableInfo> decoded = DecodeTableInfo(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(r.ExpectEnd().ok());
+  WireWriter w2;
+  EncodeTableInfo(*decoded, &w2);
+  EXPECT_EQ(bytes, w2.buffer());
+  EXPECT_EQ("photo_obj_all", decoded->name);
+  EXPECT_EQ(3, decoded->schema.num_fields());
+  EXPECT_EQ(DataType::kDouble, decoded->schema.field(1).type);
+  EXPECT_FALSE(decoded->schema.field(0).nullable);
+  ASSERT_EQ(2u, decoded->layers.size());
+  EXPECT_EQ("biased", decoded->layers[0].policy);
+}
+
+// -- Envelopes --------------------------------------------------------------
+
+TEST(WireEnvelopeTest, RequestRoundTrip) {
+  WireWriter payload;
+  payload.PutString("SELECT COUNT(*) FROM t");
+  const std::string body = EncodeRequest(Opcode::kQuery, payload.buffer());
+  Result<RequestFrame> decoded = DecodeRequest(body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(Opcode::kQuery, decoded->opcode);
+  WireReader r(decoded->payload);
+  EXPECT_EQ("SELECT COUNT(*) FROM t", *r.ReadString());
+}
+
+TEST(WireEnvelopeTest, WrongVersionRejected) {
+  std::string body = EncodeRequest(Opcode::kPing, "");
+  body[0] = 9;  // future protocol version
+  EXPECT_FALSE(DecodeRequest(body).ok());
+  std::string resp = EncodeResponse(Opcode::kPing, Status::OK(), "");
+  resp[0] = 9;
+  EXPECT_FALSE(DecodeResponse(resp).ok());
+}
+
+TEST(WireEnvelopeTest, UnknownOpcodeRejected) {
+  std::string body = EncodeRequest(Opcode::kPing, "");
+  body[1] = 99;
+  EXPECT_FALSE(DecodeRequest(body).ok());
+}
+
+TEST(WireEnvelopeTest, ErrorResponseRoundTripsAndDropsPayload) {
+  const Status err = Status::NotFound("unknown table 'xyz'");
+  // Payload is ignored for error responses (never encoded).
+  const std::string body = EncodeResponse(Opcode::kQuery, err, "IGNORED");
+  Result<ResponseFrame> decoded = DecodeResponse(body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(Opcode::kQuery, decoded->opcode);
+  EXPECT_TRUE(err == decoded->status);
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(WireEnvelopeTest, OkResponseCarriesPayload) {
+  WireWriter payload;
+  payload.PutU32(4);
+  const std::string body =
+      EncodeResponse(Opcode::kCatalog, Status::OK(), payload.buffer());
+  Result<ResponseFrame> decoded = DecodeResponse(body);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->status.ok());
+  WireReader r(decoded->payload);
+  EXPECT_EQ(4u, *r.ReadU32());
+}
+
+TEST(WireEnvelopeTest, ResponseTruncationsFailCleanly) {
+  WireWriter payload;
+  payload.PutString("x");
+  const std::string body =
+      EncodeResponse(Opcode::kQuery, Status::OK(), payload.buffer());
+  // The envelope header (version, opcode, status) must detect every cut;
+  // the payload's own truncations are the op decoder's job (tested above).
+  for (size_t len = 0; len < 7 && len < body.size(); ++len) {
+    EXPECT_FALSE(DecodeResponse(body.substr(0, len)).ok())
+        << "envelope truncated to " << len << " bytes decoded";
+  }
+}
+
+}  // namespace
+}  // namespace sciborq

@@ -1,0 +1,140 @@
+// sciborq_cli — interactive shell and one-shot client for sciborq_server.
+//
+//   sciborq_cli [--host 127.0.0.1] [--port 4242]            # REPL
+//   sciborq_cli --port 4242 -e "SELECT COUNT(*) FROM sky ERROR 5%"
+//
+// REPL commands (everything else is shipped as SQL):
+//   \tables        catalog listing (schema + impression layers)
+//   \use TABLE     default table for FROM-less SQL
+//   \ping          round-trip liveness check
+//   \q             quit
+//
+// One-shot mode (-e) prints the outcome and exits non-zero if the
+// connection or the query failed — scriptable for smoke tests.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "client/client.h"
+#include "util/string_util.h"
+
+using namespace sciborq;
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host HOST] [--port N] [-e \"SQL\"]\n"
+               "  --host HOST  server host (default 127.0.0.1)\n"
+               "  --port N     server port (default 4242)\n"
+               "  -e SQL       run one statement, print the outcome, exit\n",
+               argv0);
+}
+
+/// Executes one REPL line; returns false when the session should end.
+bool HandleLine(SciborqClient* client, const std::string& line) {
+  const std::string_view trimmed = StripWhitespace(line);
+  if (trimmed.empty()) return true;
+  if (trimmed == "\\q" || trimmed == "\\quit" || trimmed == "exit") {
+    return false;
+  }
+  if (trimmed == "\\ping") {
+    const Status st = client->Ping();
+    std::printf("%s\n", st.ok() ? "pong" : st.ToString().c_str());
+    return true;
+  }
+  if (trimmed == "\\tables") {
+    const Result<std::vector<TableInfo>> tables = client->ListTables();
+    if (!tables.ok()) {
+      std::printf("error: %s\n", tables.status().ToString().c_str());
+      return true;
+    }
+    if (tables->empty()) std::printf("(no tables registered)\n");
+    for (const TableInfo& info : *tables) {
+      std::printf("%s\n", info.ToString().c_str());
+    }
+    return true;
+  }
+  if (trimmed == "\\use" ||
+      (trimmed.rfind("\\use", 0) == 0 && trimmed.size() > 4 &&
+       (trimmed[4] == ' ' || trimmed[4] == '\t'))) {
+    const std::string table(
+        trimmed == "\\use" ? "" : StripWhitespace(trimmed.substr(4)));
+    if (table.empty()) {
+      std::printf("usage: \\use TABLE\n");
+      return true;
+    }
+    const Status st = client->Use(table);
+    std::printf("%s\n", st.ok() ? StrFormat("using '%s'", table.c_str()).c_str()
+                                : st.ToString().c_str());
+    return true;
+  }
+  const Result<QueryOutcome> outcome = client->Query(trimmed);
+  if (!outcome.ok()) {
+    std::printf("error: %s\n", outcome.status().ToString().c_str());
+    return true;
+  }
+  std::printf("%s\n", outcome->ToString().c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 4242;
+  std::string one_shot;
+  bool has_one_shot = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--host" && has_value) {
+      host = argv[++i];
+    } else if (arg == "--port" && has_value) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "-e" && has_value) {
+      one_shot = argv[++i];
+      has_one_shot = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  Result<SciborqClient> client = SciborqClient::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect %s:%d failed: %s\n", host.c_str(), port,
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (has_one_shot) {
+    const Result<QueryOutcome> outcome = client->Query(one_shot);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "error: %s\n", outcome.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", outcome->ToString().c_str());
+    return 0;
+  }
+
+  std::printf("connected to %s:%d — \\tables, \\use TABLE, \\ping, \\q; "
+              "anything else is SQL\n",
+              host.c_str(), port);
+  std::string line;
+  for (;;) {
+    std::printf("sciborq> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (!HandleLine(&*client, line)) break;
+  }
+  return 0;
+}

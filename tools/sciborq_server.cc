@@ -1,0 +1,160 @@
+// sciborq_server — the SciBORQ network daemon.
+//
+//   sciborq_server --data-dir data/ [--port 4242] [--max-connections 8]
+//                  [--query-threads 1]
+//
+// Every *.csv under --data-dir is registered as a table named by its file
+// stem (data/sky.csv -> table "sky") with the default impression hierarchy,
+// then the server accepts remote clients speaking the length-prefixed
+// protocol (see src/server/wire.h; `sciborq_cli` is the reference client).
+// SIGINT/SIGTERM shut down gracefully: in-flight queries finish and their
+// responses are delivered before the process exits.
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "server/server.h"
+
+using namespace sciborq;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int /*signum*/) { g_stop = 1; }
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --data-dir DIR [--port N] [--max-connections N]\n"
+      "          [--query-threads N]\n"
+      "  --data-dir DIR        register every *.csv in DIR as a table\n"
+      "                        (table name = file stem)\n"
+      "  --port N              TCP port (default 4242; 0 = pick a free one)\n"
+      "  --max-connections N   concurrent connections served (default 8)\n"
+      "  --query-threads N     scan threads per query (default 1 = serial)\n",
+      argv0);
+}
+
+bool ParseIntFlag(const char* value, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0') return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string data_dir;
+  int port = 4242;
+  int max_connections = 8;
+  int query_threads = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--data-dir" && has_value) {
+      data_dir = argv[++i];
+    } else if (arg == "--port" && has_value) {
+      if (!ParseIntFlag(argv[++i], &port)) {
+        std::fprintf(stderr, "bad --port value '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--max-connections" && has_value) {
+      if (!ParseIntFlag(argv[++i], &max_connections)) {
+        std::fprintf(stderr, "bad --max-connections value '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--query-threads" && has_value) {
+      if (!ParseIntFlag(argv[++i], &query_threads)) {
+        std::fprintf(stderr, "bad --query-threads value '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (data_dir.empty()) {
+    std::fprintf(stderr, "--data-dir is required\n");
+    Usage(argv[0]);
+    return 2;
+  }
+
+  EngineOptions engine_options;
+  engine_options.query_threads = query_threads;
+  Engine engine(engine_options);
+
+  // Register the data directory's CSVs in sorted order (deterministic boot).
+  std::error_code ec;
+  std::vector<std::filesystem::path> csvs;
+  for (const auto& entry : std::filesystem::directory_iterator(data_dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+      csvs.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "cannot read --data-dir '%s': %s\n", data_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  std::sort(csvs.begin(), csvs.end());
+  for (const auto& path : csvs) {
+    const std::string table = path.stem().string();
+    const Result<int64_t> rows = engine.RegisterCsv(table, path.string());
+    if (!rows.ok()) {
+      std::fprintf(stderr, "failed to register '%s': %s\n",
+                   path.string().c_str(), rows.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("registered table '%s' (%lld rows) from %s\n", table.c_str(),
+                static_cast<long long>(*rows), path.string().c_str());
+  }
+  if (csvs.empty()) {
+    std::printf("warning: no *.csv files in '%s' — serving an empty catalog\n",
+                data_dir.c_str());
+  }
+
+  ServerOptions server_options;
+  server_options.port = port;
+  server_options.max_connections = max_connections;
+  SciborqServer server(&engine, server_options);
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("sciborq_server listening on port %d (%d connection slots)\n",
+              server.port(), max_connections);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("shutting down: draining in-flight queries...\n");
+  std::fflush(stdout);
+  server.Stop();
+  std::printf("served %lld queries over %lld connections (%lld protocol "
+              "errors); bye\n",
+              static_cast<long long>(server.queries_served()),
+              static_cast<long long>(server.connections_accepted()),
+              static_cast<long long>(server.protocol_errors()));
+  return 0;
+}
