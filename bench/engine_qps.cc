@@ -39,6 +39,31 @@ std::string MakeSql(int index) {
       ra, dec);
 }
 
+// The SkyServer template shape (§2.1): one statement, shifting focal-point
+// constants. The reparse path renders + parses the full SQL per call (what a
+// string-templating client does); the prepared path binds the same constants
+// into a cached plan.
+constexpr char kBoxTemplate[] =
+    "SELECT COUNT(*) FROM photo_obj_all "
+    "WHERE ra >= ? AND ra <= ? AND dec >= ? AND dec <= ? ERROR 25%";
+
+std::vector<Value> BoxParams(int index) {
+  const double ra = 130.0 + 10.0 * (index % 10);
+  const double dec = 5.0 + 5.0 * (index % 11);
+  return {Value(ra - 20.0), Value(ra + 20.0), Value(dec - 20.0),
+          Value(dec + 20.0)};
+}
+
+std::string BoxSql(int index) {
+  const double ra = 130.0 + 10.0 * (index % 10);
+  const double dec = 5.0 + 5.0 * (index % 11);
+  return StrFormat(
+      "SELECT COUNT(*) FROM photo_obj_all "
+      "WHERE ra >= %.17g AND ra <= %.17g AND dec >= %.17g AND dec <= %.17g "
+      "ERROR 25%%",
+      ra - 20.0, ra + 20.0, dec - 20.0, dec + 20.0);
+}
+
 /// Runs `threads` clients, each issuing kQueriesPerThread bounded queries.
 /// Returns achieved QPS; counts failures (expected: none).
 double RunClients(Engine* engine, int threads, int64_t* failures) {
@@ -104,6 +129,68 @@ int main() {
         .Int("failures", failures)
         .Int("base_rows", kBaseRows)
         .Emit();
+  }
+
+  // Prepared vs reparse: the template-heavy SkyServer shape. Same work, same
+  // answers — the gap is pure front-end cost (render + lex + parse + plan
+  // per call vs bind into a cached template).
+  Header("prepared vs reparse: one box template, shifting focal points");
+  {
+    constexpr int kWarmup = 200;
+    constexpr int kIters = 3000;
+    const Result<StatementHandle> handle = engine.Prepare(kBoxTemplate);
+    if (!handle.ok()) {
+      std::fprintf(stderr, "prepare: %s\n",
+                   handle.status().ToString().c_str());
+      return 1;
+    }
+    // Correctness gate: bound execution must equal the fully-rendered SQL.
+    for (int i = 0; i < 7; ++i) {
+      const Result<QueryOutcome> bound = engine.Execute(*handle, BoxParams(i));
+      const Result<QueryOutcome> rendered = engine.Query(BoxSql(i));
+      if (!bound.ok() || !rendered.ok() ||
+          !EquivalentAnswers(*bound, *rendered)) {
+        std::fprintf(stderr,
+                     "MISMATCH: Execute(handle, params) != Query(rendered "
+                     "sql) at i=%d\n",
+                     i);
+        return 1;
+      }
+    }
+    for (int i = 0; i < kWarmup; ++i) {
+      (void)engine.Query(BoxSql(i));
+      (void)engine.Execute(*handle, BoxParams(i));
+    }
+    Stopwatch reparse_watch;
+    for (int i = 0; i < kIters; ++i) {
+      if (!engine.Query(BoxSql(i)).ok()) {
+        std::fprintf(stderr, "reparse query failed at i=%d\n", i);
+        return 1;
+      }
+    }
+    const double reparse_qps = kIters / reparse_watch.ElapsedSeconds();
+    Stopwatch prepared_watch;
+    for (int i = 0; i < kIters; ++i) {
+      if (!engine.Execute(*handle, BoxParams(i)).ok()) {
+        std::fprintf(stderr, "prepared execute failed at i=%d\n", i);
+        return 1;
+      }
+    }
+    const double prepared_qps = kIters / prepared_watch.ElapsedSeconds();
+    std::printf("reparse:  %10.0f qps (render + parse every call)\n"
+                "prepared: %10.0f qps (bind into cached template)\n"
+                "speedup:  %10.2fx\n",
+                reparse_qps, prepared_qps, prepared_qps / reparse_qps);
+    sciborq::bench::JsonLine("engine_prepared_vs_reparse")
+        .Num("prepared_qps", prepared_qps)
+        .Num("reparse_qps", reparse_qps)
+        .Num("speedup", prepared_qps / reparse_qps)
+        .Int("iters", kIters)
+        .Emit();
+    if (Status st = engine.CloseStatement(*handle); !st.ok()) {
+      std::fprintf(stderr, "close: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
 
   // Mixed phase: 4 query clients racing one ingest stream (the shared-mutex

@@ -42,6 +42,28 @@ std::string MakeSql(int index) {
       ra, dec);
 }
 
+// Template-heavy remote workload: same box query, shifting focal points.
+constexpr char kBoxTemplate[] =
+    "SELECT COUNT(*) FROM photo_obj_all "
+    "WHERE ra >= ? AND ra <= ? AND dec >= ? AND dec <= ? ERROR 25%";
+
+std::vector<Value> BoxParams(int index) {
+  const double ra = 130.0 + 10.0 * (index % 10);
+  const double dec = 5.0 + 5.0 * (index % 11);
+  return {Value(ra - 20.0), Value(ra + 20.0), Value(dec - 20.0),
+          Value(dec + 20.0)};
+}
+
+std::string BoxSql(int index) {
+  const double ra = 130.0 + 10.0 * (index % 10);
+  const double dec = 5.0 + 5.0 * (index % 11);
+  return StrFormat(
+      "SELECT COUNT(*) FROM photo_obj_all "
+      "WHERE ra >= %.17g AND ra <= %.17g AND dec >= %.17g AND dec <= %.17g "
+      "ERROR 25%%",
+      ra - 20.0, ra + 20.0, dec - 20.0, dec + 20.0);
+}
+
 /// N in-process client threads (the PR-2 baseline shape).
 double RunInProcess(Engine* engine, int threads, int64_t* failures) {
   std::atomic<int64_t> failed{0};
@@ -180,6 +202,75 @@ int main() {
         .Int("base_rows", kBaseRows)
         .Emit();
     any_failures = any_failures || failures != 0;
+  }
+
+  // Prepared vs reparse over the wire: one connection, the SQL string per
+  // call vs a bound handle. Both pay the same round trip and execution; the
+  // prepared path ships a smaller payload and skips server-side parsing.
+  Header("remote prepared vs reparse: one box template");
+  {
+    constexpr int kWarmup = 100;
+    constexpr int kIters = 1500;
+    Result<SciborqClient> client =
+        SciborqClient::Connect("127.0.0.1", server.port());
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+      return 1;
+    }
+    const Result<StatementInfo> stmt = client->Prepare(kBoxTemplate);
+    if (!stmt.ok()) {
+      std::fprintf(stderr, "prepare: %s\n", stmt.status().ToString().c_str());
+      return 1;
+    }
+    // Correctness gate: the remote bound execution must carry the same
+    // answer as the in-process fully-rendered query.
+    for (int i = 0; i < 5; ++i) {
+      const Result<QueryOutcome> remote =
+          client->Execute(stmt->handle, BoxParams(i));
+      const Result<QueryOutcome> local = engine.Query(BoxSql(i));
+      if (!remote.ok() || !local.ok() ||
+          !EquivalentAnswers(*remote, *local)) {
+        std::fprintf(stderr,
+                     "MISMATCH: remote Execute != in-process Query(rendered) "
+                     "at i=%d\n",
+                     i);
+        return 1;
+      }
+    }
+    for (int i = 0; i < kWarmup; ++i) {
+      (void)client->Query(BoxSql(i));
+      (void)client->Execute(stmt->handle, BoxParams(i));
+    }
+    Stopwatch reparse_watch;
+    for (int i = 0; i < kIters; ++i) {
+      if (!client->Query(BoxSql(i)).ok()) {
+        std::fprintf(stderr, "remote reparse query failed at i=%d\n", i);
+        return 1;
+      }
+    }
+    const double reparse_qps = kIters / reparse_watch.ElapsedSeconds();
+    Stopwatch prepared_watch;
+    for (int i = 0; i < kIters; ++i) {
+      if (!client->Execute(stmt->handle, BoxParams(i)).ok()) {
+        std::fprintf(stderr, "remote execute failed at i=%d\n", i);
+        return 1;
+      }
+    }
+    const double prepared_qps = kIters / prepared_watch.ElapsedSeconds();
+    std::printf("reparse:  %10.0f qps (SQL string per call)\n"
+                "prepared: %10.0f qps (bound handle per call)\n"
+                "speedup:  %10.2fx\n",
+                reparse_qps, prepared_qps, prepared_qps / reparse_qps);
+    JsonLine("server_prepared_vs_reparse")
+        .Num("prepared_qps", prepared_qps)
+        .Num("reparse_qps", reparse_qps)
+        .Num("speedup", prepared_qps / reparse_qps)
+        .Int("iters", kIters)
+        .Emit();
+    if (Status st = client->CloseStatement(stmt->handle); !st.ok()) {
+      std::fprintf(stderr, "close: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
 
   server.Stop();

@@ -238,6 +238,102 @@ Result<QueryOutcome> Engine::Query(const BoundedQuery& bounded) {
   return outcome;
 }
 
+/// One cached statement template. Immutable after registration — Execute
+/// clones it with parameters substituted, never mutates it — so concurrent
+/// Executes of one handle need no per-statement lock.
+struct Engine::PreparedStatement {
+  StatementHandle handle;
+  PreparedQuery prepared;
+  std::string sql;  ///< normalized template (prepared.ToString())
+};
+
+Result<StatementHandle> Engine::Prepare(std::string_view sql) {
+  SCIBORQ_ASSIGN_OR_RETURN(PreparedQuery prepared,
+                           ParsePreparedQuery(std::string(sql)));
+  return Prepare(std::move(prepared));
+}
+
+Result<StatementHandle> Engine::Prepare(PreparedQuery prepared) {
+  if (prepared.query.table.empty()) {
+    return Status::InvalidArgument(
+        "statement names no table: add a FROM clause (or route through a "
+        "Session with a default table)");
+  }
+  if (prepared.query.aggregates.empty()) {
+    return Status::InvalidArgument("statement has no aggregates");
+  }
+  // Fail at prepare time, not on the Nth execute: the table must exist
+  // (entries are never erased, so the check stays true for the handle's
+  // whole life).
+  SCIBORQ_RETURN_NOT_OK(FindTable(prepared.query.table).status());
+  auto statement = std::make_shared<PreparedStatement>();
+  statement->sql = prepared.ToString();
+  statement->prepared = std::move(prepared);
+  std::lock_guard<std::mutex> lock(statements_mu_);
+  statement->handle.id = next_statement_id_++;
+  statements_.emplace(statement->handle.id, statement);
+  return statement->handle;
+}
+
+Result<std::shared_ptr<const Engine::PreparedStatement>>
+Engine::FindStatement(StatementHandle handle) const {
+  std::lock_guard<std::mutex> lock(statements_mu_);
+  const auto it = statements_.find(handle.id);
+  if (it == statements_.end()) {
+    return Status::NotFound(StrFormat(
+        "unknown statement handle %lld (never prepared, or already closed)",
+        static_cast<long long>(handle.id)));
+  }
+  return it->second;
+}
+
+Result<QueryOutcome> Engine::Execute(StatementHandle handle,
+                                     const std::vector<Value>& params) {
+  SCIBORQ_ASSIGN_OR_RETURN(
+      const std::shared_ptr<const PreparedStatement> statement,
+      FindStatement(handle));
+  // The whole hot path: substitute constants into a deep clone of the cached
+  // template — no lexing or parsing — then execute like any parsed query.
+  // Query() records the *bound* statement into the log/interest tracker, so
+  // workload-biased sampling sees the true focal points.
+  SCIBORQ_ASSIGN_OR_RETURN(BoundedQuery bound,
+                           BindParams(statement->prepared, params));
+  return Query(bound);
+}
+
+Status Engine::CloseStatement(StatementHandle handle) {
+  std::lock_guard<std::mutex> lock(statements_mu_);
+  if (statements_.erase(handle.id) == 0) {
+    return Status::NotFound(StrFormat(
+        "unknown statement handle %lld (never prepared, or already closed)",
+        static_cast<long long>(handle.id)));
+  }
+  return Status::OK();
+}
+
+Result<StatementInfo> Engine::GetStatement(StatementHandle handle) const {
+  SCIBORQ_ASSIGN_OR_RETURN(
+      const std::shared_ptr<const PreparedStatement> statement,
+      FindStatement(handle));
+  StatementInfo info;
+  info.handle = statement->handle;
+  info.table = statement->prepared.query.table;
+  info.sql = statement->sql;
+  info.num_params = statement->prepared.num_params();
+  return info;
+}
+
+int64_t Engine::open_statements() const {
+  std::lock_guard<std::mutex> lock(statements_mu_);
+  return static_cast<int64_t>(statements_.size());
+}
+
+std::string StatementInfo::ToString() const {
+  return StrFormat("statement #%lld on '%s' (%zu param%s): %s",
+                   static_cast<long long>(handle.id), table.c_str(),
+                   num_params, num_params == 1 ? "" : "s", sql.c_str());
+}
+
 Status Engine::RecordWorkload(const std::string& table,
                               const AggregateQuery& query) {
   SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));

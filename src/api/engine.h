@@ -98,6 +98,24 @@ struct TableInfo {
   std::string ToString() const;
 };
 
+/// Opaque handle to a statement prepared on an Engine (parse once, execute
+/// many). Handles are engine-wide ids; Session scopes them per client.
+struct StatementHandle {
+  int64_t id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+/// Introspection for one prepared statement: the normalized `?` template,
+/// the table it targets, and how many parameters an Execute must bind.
+struct StatementInfo {
+  StatementHandle handle;
+  std::string table;
+  std::string sql;  ///< template SQL with `?` placeholders (normalized)
+  size_t num_params = 0;
+
+  std::string ToString() const;
+};
+
 /// True when two outcomes carry the same *answer*: identical rows, estimates,
 /// answered_by, contract flags, and escalation shape. Timing fields
 /// (elapsed_seconds, per-attempt elapsed) are ignored — they legitimately
@@ -158,6 +176,42 @@ class Engine {
   /// Same, for an already-parsed query (the Session / replay path).
   Result<QueryOutcome> Query(const BoundedQuery& query);
 
+  // -- Prepared statements ---------------------------------------------------
+  //
+  // The parse-once / execute-many API for template-heavy workloads (the
+  // SkyServer shape, §2.1: the same cone query with shifting focal points).
+  // Prepare parses SQL with `?` placeholders into a cached template; Execute
+  // binds parameters by deep-cloning the template with constants substituted
+  // — no lexing, parsing, or planning on the hot path — and then runs
+  // exactly like Query, so the query log and interest tracker observe the
+  // *bound* statement (workload-biased sampling sees true focal points).
+
+  /// Parses `sql` (which may contain `?` placeholders) and caches the
+  /// template. The FROM table must exist at prepare time (NotFound
+  /// otherwise); InvalidArgument on unparsable SQL or a missing FROM clause.
+  Result<StatementHandle> Prepare(std::string_view sql);
+
+  /// Registers an already-parsed template (the Session path, which fills in
+  /// per-client defaults before registering).
+  Result<StatementHandle> Prepare(PreparedQuery prepared);
+
+  /// Binds `params` (one Value per `?`, in text order) and answers the
+  /// statement. InvalidArgument on arity or type mismatch; NotFound for
+  /// unknown/closed handles. The outcome is EquivalentAnswers-equal to
+  /// Query() of the equivalent fully-bound SQL.
+  Result<QueryOutcome> Execute(StatementHandle handle,
+                               const std::vector<Value>& params);
+
+  /// Frees the cached template. NotFound when the handle is unknown or
+  /// already closed.
+  Status CloseStatement(StatementHandle handle);
+
+  /// Template SQL, target table, and parameter count for a live handle.
+  Result<StatementInfo> GetStatement(StatementHandle handle) const;
+
+  /// Statements currently held in the registry (for leak checks).
+  int64_t open_statements() const;
+
   /// Folds a query into `table`'s log and interest tracker *without*
   /// executing it — replaying a historical workload trace so the next ingest
   /// builds impressions biased toward it (the paper's SkyServer log mining,
@@ -201,6 +255,7 @@ class Engine {
 
  private:
   struct TableEntry;
+  struct PreparedStatement;
 
   /// Catalog lookup under a shared lock; the returned pointer stays valid
   /// for the engine's lifetime (entries are heap-allocated and never erased).
@@ -209,11 +264,24 @@ class Engine {
   Status CreateTableLocked(const std::string& name, const Schema& schema,
                            TableOptions options);
 
+  /// Registry lookup; the shared_ptr keeps the statement alive across a
+  /// concurrent CloseStatement.
+  Result<std::shared_ptr<const PreparedStatement>> FindStatement(
+      StatementHandle handle) const;
+
   EngineOptions options_;
   /// Scan pool shared by all queries; null when query_threads resolves to 1.
   std::unique_ptr<ThreadPool> query_pool_;
   mutable std::shared_mutex catalog_mu_;
   std::unordered_map<std::string, std::unique_ptr<TableEntry>> tables_;
+
+  /// Prepared-statement registry: id-keyed, mutex-guarded. Statements are
+  /// immutable after registration, so Execute only holds the mutex for the
+  /// lookup.
+  mutable std::mutex statements_mu_;
+  int64_t next_statement_id_ = 1;
+  std::unordered_map<int64_t, std::shared_ptr<const PreparedStatement>>
+      statements_;
 };
 
 }  // namespace sciborq

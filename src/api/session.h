@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
 #include "api/engine.h"
 #include "util/check.h"
@@ -29,6 +30,13 @@ class Session {
   /// thread becomes the owner.
   explicit Session(Engine* engine);
 
+  /// Closes every statement still prepared on this session, so a departing
+  /// client (e.g. a dropped server connection) never leaks registry entries.
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
   /// Sets the default table substituted into FROM-less SQL. NotFound when
   /// no such table is registered.
   Status Use(const std::string& table);
@@ -46,6 +54,29 @@ class Session {
   /// where the text leaves them out.
   Result<QueryOutcome> Query(std::string_view sql);
 
+  // -- Prepared statements ---------------------------------------------------
+
+  /// Parses a `?` template and registers it with the engine, filling in the
+  /// session's default table (when the SQL has no FROM clause) and default
+  /// bounds (when it carries no bounds clause, literal or placeholder) at
+  /// prepare time. The handle is scoped to this session: only this session
+  /// can Execute or close it, and any still open are closed on destruction.
+  Result<StatementInfo> Prepare(std::string_view sql);
+
+  /// Binds and runs one of this session's statements. NotFound when the
+  /// handle was not prepared here (other sessions' handles are invisible —
+  /// the per-connection isolation the server relies on).
+  Result<QueryOutcome> Execute(StatementHandle handle,
+                               const std::vector<Value>& params);
+
+  /// Closes one of this session's statements.
+  Status CloseStatement(StatementHandle handle);
+
+  /// Statements this session currently holds open.
+  int64_t open_statements() const {
+    return static_cast<int64_t>(statements_.size());
+  }
+
   int64_t queries_run() const { return queries_run_; }
   double total_seconds() const { return total_seconds_; }
 
@@ -60,9 +91,13 @@ class Session {
 #endif
   }
 
+  /// True when `handle` was prepared on this session.
+  bool OwnsStatement(StatementHandle handle) const;
+
   Engine* engine_;
   std::string table_;
   QueryBounds bounds_;
+  std::vector<StatementHandle> statements_;  ///< handles prepared here
   int64_t queries_run_ = 0;
   double total_seconds_ = 0.0;
 #ifndef NDEBUG

@@ -68,6 +68,36 @@ Result<QueryOutcome> SciborqClient::Query(std::string_view sql) {
   return outcome;
 }
 
+Result<StatementInfo> SciborqClient::Prepare(std::string_view sql) {
+  WireWriter w;
+  w.PutString(sql);
+  SCIBORQ_ASSIGN_OR_RETURN(const std::string payload,
+                           RoundTrip(Opcode::kPrepare, w.buffer()));
+  WireReader r(payload);
+  SCIBORQ_ASSIGN_OR_RETURN(StatementInfo info, DecodeStatementInfo(&r));
+  SCIBORQ_RETURN_NOT_OK(r.ExpectEnd());
+  return info;
+}
+
+Result<QueryOutcome> SciborqClient::Execute(StatementHandle handle,
+                                            const std::vector<Value>& params) {
+  WireWriter w;
+  w.PutI64(handle.id);
+  EncodeParams(params, &w);
+  SCIBORQ_ASSIGN_OR_RETURN(const std::string payload,
+                           RoundTrip(Opcode::kExecute, w.buffer()));
+  WireReader r(payload);
+  SCIBORQ_ASSIGN_OR_RETURN(QueryOutcome outcome, DecodeOutcome(&r));
+  SCIBORQ_RETURN_NOT_OK(r.ExpectEnd());
+  return outcome;
+}
+
+Status SciborqClient::CloseStatement(StatementHandle handle) {
+  WireWriter w;
+  w.PutI64(handle.id);
+  return RoundTrip(Opcode::kCloseStmt, w.buffer()).status();
+}
+
 Status SciborqClient::Use(const std::string& table) {
   WireWriter w;
   w.PutString(table);

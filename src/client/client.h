@@ -42,6 +42,21 @@ class SciborqClient {
   /// the original Status code and message.
   Result<QueryOutcome> Query(std::string_view sql);
 
+  /// Prepares a `?` template on the server (parsed once, server-side). The
+  /// returned info carries the handle id, the normalized template SQL, and
+  /// the parameter count the server will enforce. Handles are scoped to
+  /// this connection's session and die with it.
+  Result<StatementInfo> Prepare(std::string_view sql);
+
+  /// Binds `params` (one per `?`, in text order) and executes a statement
+  /// prepared on this connection — no SQL travels, no parsing server-side.
+  /// Arity/type mismatches come back as InvalidArgument, code-intact.
+  Result<QueryOutcome> Execute(StatementHandle handle,
+                               const std::vector<Value>& params);
+
+  /// Frees a statement prepared on this connection.
+  Status CloseStatement(StatementHandle handle);
+
   /// Sets the connection's default table for FROM-less SQL.
   Status Use(const std::string& table);
 

@@ -39,6 +39,12 @@ Result<SelectionVector> SelectAll(const Table& table, const Predicate& pred,
   return out;
 }
 
+Result<std::unique_ptr<Predicate>> Predicate::BindParams(
+    const std::vector<Value>& params) const {
+  (void)params;
+  return Clone();
+}
+
 std::string_view CompareOpToString(CompareOp op) {
   switch (op) {
     case CompareOp::kEq:
@@ -304,6 +310,69 @@ class ConePredicate final : public Predicate {
   double r_;
 };
 
+/// `column <op> ?` — an unbound parameter slot. Never executes: it exists
+/// only inside a PreparedQuery template, and BindParams turns it into a
+/// ComparePredicate carrying the bound value.
+class ParamPredicate final : public Predicate {
+ public:
+  ParamPredicate(std::string column, CompareOp op, size_t slot)
+      : column_(std::move(column)), op_(op), slot_(slot) {}
+
+  Status Validate(const Schema&) const override { return Unbound(); }
+
+  Status Select(const Table&, const SelectionVector&,
+                SelectionVector* out) const override {
+    out->clear();
+    return Unbound();
+  }
+
+  bool Matches(const Table&, int64_t) const override { return false; }
+
+  void CollectPredicatePoints(std::vector<PredicatePoint>*) const override {
+    // No value requested yet; the bound clone contributes the focal point.
+  }
+
+  std::string ToString() const override {
+    return StrFormat("%s %s ?", column_.c_str(),
+                     std::string(CompareOpToString(op_)).c_str());
+  }
+
+  std::unique_ptr<Predicate> Clone() const override {
+    return std::make_unique<ParamPredicate>(column_, op_, slot_);
+  }
+
+  Result<std::unique_ptr<Predicate>> BindParams(
+      const std::vector<Value>& params) const override {
+    if (slot_ >= params.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "parameter slot %zu (column '%s') has no bound value (%zu "
+          "parameter(s) given)",
+          slot_, column_.c_str(), params.size()));
+    }
+    if (params[slot_].is_null()) {
+      return Status::InvalidArgument(StrFormat(
+          "parameter %zu (column '%s'): cannot bind NULL — comparisons "
+          "against NULL never match",
+          slot_, column_.c_str()));
+    }
+    return Compare(column_, op_, params[slot_]);
+  }
+
+  bool HasUnboundParams() const override { return true; }
+
+ private:
+  Status Unbound() const {
+    return Status::FailedPrecondition(StrFormat(
+        "predicate on '%s' holds an unbound '?' placeholder (slot %zu); "
+        "bind parameters via Execute before running",
+        column_.c_str(), slot_));
+  }
+
+  std::string column_;
+  CompareOp op_;
+  size_t slot_;
+};
+
 class NotPredicate final : public Predicate {
  public:
   explicit NotPredicate(PredicatePtr child) : child_(std::move(child)) {}
@@ -349,6 +418,16 @@ class NotPredicate final : public Predicate {
 
   std::unique_ptr<Predicate> Clone() const override {
     return std::make_unique<NotPredicate>(child_->Clone());
+  }
+
+  Result<std::unique_ptr<Predicate>> BindParams(
+      const std::vector<Value>& params) const override {
+    SCIBORQ_ASSIGN_OR_RETURN(PredicatePtr bound, child_->BindParams(params));
+    return PredicatePtr(std::make_unique<NotPredicate>(std::move(bound)));
+  }
+
+  bool HasUnboundParams() const override {
+    return child_->HasUnboundParams();
   }
 
  private:
@@ -409,6 +488,24 @@ class AndPredicate final : public Predicate {
     return std::make_unique<AndPredicate>(std::move(copies));
   }
 
+  Result<std::unique_ptr<Predicate>> BindParams(
+      const std::vector<Value>& params) const override {
+    std::vector<PredicatePtr> bound;
+    bound.reserve(children_.size());
+    for (const auto& c : children_) {
+      SCIBORQ_ASSIGN_OR_RETURN(PredicatePtr b, c->BindParams(params));
+      bound.push_back(std::move(b));
+    }
+    return PredicatePtr(std::make_unique<AndPredicate>(std::move(bound)));
+  }
+
+  bool HasUnboundParams() const override {
+    for (const auto& c : children_) {
+      if (c->HasUnboundParams()) return true;
+    }
+    return false;
+  }
+
  private:
   std::vector<PredicatePtr> children_;
 };
@@ -464,6 +561,24 @@ class OrPredicate final : public Predicate {
     return std::make_unique<OrPredicate>(std::move(copies));
   }
 
+  Result<std::unique_ptr<Predicate>> BindParams(
+      const std::vector<Value>& params) const override {
+    std::vector<PredicatePtr> bound;
+    bound.reserve(children_.size());
+    for (const auto& c : children_) {
+      SCIBORQ_ASSIGN_OR_RETURN(PredicatePtr b, c->BindParams(params));
+      bound.push_back(std::move(b));
+    }
+    return PredicatePtr(std::make_unique<OrPredicate>(std::move(bound)));
+  }
+
+  bool HasUnboundParams() const override {
+    for (const auto& c : children_) {
+      if (c->HasUnboundParams()) return true;
+    }
+    return false;
+  }
+
  private:
   std::vector<PredicatePtr> children_;
 };
@@ -501,6 +616,10 @@ PredicatePtr Cone(std::string column_x, std::string column_y, double x0,
                   double y0, double radius) {
   return std::make_unique<ConePredicate>(std::move(column_x),
                                          std::move(column_y), x0, y0, radius);
+}
+
+PredicatePtr Param(std::string column, CompareOp op, size_t slot) {
+  return std::make_unique<ParamPredicate>(std::move(column), op, slot);
 }
 
 PredicatePtr Not(PredicatePtr child) {

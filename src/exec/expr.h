@@ -67,6 +67,17 @@ class Predicate {
 
   /// Deep copy.
   virtual std::unique_ptr<Predicate> Clone() const = 0;
+
+  /// Deep copy with every `?` parameter placeholder replaced by its bound
+  /// value (`params` is indexed by slot). Placeholder-free predicates just
+  /// Clone; combinators rebind their children. InvalidArgument when a
+  /// parameter is unbindable (out-of-range slot, NULL value).
+  virtual Result<std::unique_ptr<Predicate>> BindParams(
+      const std::vector<Value>& params) const;
+
+  /// True when the tree still contains unbound `?` placeholders — such a
+  /// tree renders and clones but refuses to execute.
+  virtual bool HasUnboundParams() const { return false; }
 };
 
 using PredicatePtr = std::unique_ptr<Predicate>;
@@ -106,6 +117,13 @@ PredicatePtr Cone(std::string column_x, std::string column_y, double x0,
 PredicatePtr Not(PredicatePtr child);
 PredicatePtr And(std::vector<PredicatePtr> children);
 PredicatePtr Or(std::vector<PredicatePtr> children);
+
+/// A `?` parameter placeholder in comparison position: `column <op> ?`,
+/// the building block of prepared statements (exec/parser.h's
+/// ParsePreparedQuery). Renders as "column <op> ?"; Select/Validate fail
+/// with FailedPrecondition until BindParams substitutes params[slot],
+/// producing a plain comparison.
+PredicatePtr Param(std::string column, CompareOp op, size_t slot);
 
 /// Variadic conveniences.
 template <typename... Ps>

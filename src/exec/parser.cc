@@ -1,5 +1,6 @@
 #include "exec/parser.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <vector>
@@ -14,7 +15,7 @@ enum class TokenKind {
   kIdent,    // bare word (also keywords; matched case-insensitively)
   kNumber,
   kString,   // 'quoted'
-  kSymbol,   // one of ( ) , ; * = and the comparison operators
+  kSymbol,   // one of ( ) , ; * = ? % and the comparison operators
   kEnd,
 };
 
@@ -25,6 +26,33 @@ struct Token {
   bool number_is_int = false;
   size_t offset = 0;  // for error messages
 };
+
+/// Every parse error names the byte offset and shows a caret excerpt of the
+/// surrounding text, so the offending token is visible without counting
+/// characters:
+///
+///   expected 'ms' at offset 30
+///     ...ELECT COUNT(*) WITHIN 50 SEC...
+///                                 ^
+Status ParseErrorAt(const std::string& text, size_t offset,
+                    const std::string& message) {
+  constexpr size_t kContext = 26;
+  const size_t at = std::min(offset, text.size());
+  const size_t begin = at > kContext ? at - kContext : 0;
+  const size_t end = std::min(text.size(), at + kContext);
+  std::string excerpt = text.substr(begin, end - begin);
+  // Whitespace runs render as single spaces so the caret column is exact.
+  for (char& c : excerpt) {
+    if (c == '\n' || c == '\r' || c == '\t') c = ' ';
+  }
+  const std::string lead = begin > 0 ? "..." : "";
+  const std::string trail = end < text.size() ? "..." : "";
+  const size_t caret = lead.size() + (at - begin);
+  return Status::InvalidArgument(
+      StrFormat("%s at offset %zu\n  %s%s%s\n  %s^", message.c_str(), offset,
+                lead.c_str(), excerpt.c_str(), trail.c_str(),
+                std::string(caret, ' ').c_str()));
+}
 
 class Lexer {
  public:
@@ -69,9 +97,8 @@ class Lexer {
           token.text += text_[pos_++];
         }
         if (pos_ >= text_.size()) {
-          return Status::InvalidArgument(
-              StrFormat("unterminated string literal at offset %zu",
-                        token.offset));
+          return ParseErrorAt(text_, token.offset,
+                              "unterminated string literal");
         }
         ++pos_;  // closing quote
       } else if (c == '<' || c == '>') {
@@ -82,13 +109,13 @@ class Lexer {
           token.text += text_[pos_++];
         }
       } else if (c == '(' || c == ')' || c == ',' || c == ';' || c == '*' ||
-                 c == '=' || c == '%') {
+                 c == '=' || c == '%' || c == '?') {
         token.kind = TokenKind::kSymbol;
         token.text = std::string(1, c);
         ++pos_;
       } else {
-        return Status::InvalidArgument(
-            StrFormat("unexpected character '%c' at offset %zu", c, pos_));
+        return ParseErrorAt(text_, pos_,
+                            StrFormat("unexpected character '%c'", c));
       }
       out.push_back(std::move(token));
     }
@@ -114,7 +141,10 @@ std::string Lowered(const std::string& s) {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  /// `allow_params` enables `?` placeholders (the ParsePreparedQuery mode);
+  /// `text` is kept for caret excerpts in error messages.
+  Parser(std::vector<Token> tokens, const std::string& text, bool allow_params)
+      : tokens_(std::move(tokens)), text_(text), allow_params_(allow_params) {}
 
   Result<AggregateQuery> ParseQueryText() {
     SCIBORQ_ASSIGN_OR_RETURN(BoundedQuery bounded, ParseBoundedQueryText());
@@ -150,6 +180,17 @@ class Parser {
     return bounded;
   }
 
+  Result<PreparedQuery> ParsePreparedQueryText() {
+    SCIBORQ_ASSIGN_OR_RETURN(BoundedQuery bounded, ParseBoundedQueryText());
+    PreparedQuery prepared;
+    prepared.query = std::move(bounded.query);
+    prepared.bounds = bounded.bounds;
+    prepared.slots = std::move(slots_);
+    prepared.time_budget_slot = within_slot_;
+    prepared.error_slot = error_slot_;
+    return prepared;
+  }
+
   Result<PredicatePtr> ParsePredicateText() {
     SCIBORQ_ASSIGN_OR_RETURN(PredicatePtr pred, ParseOr());
     SCIBORQ_RETURN_NOT_OK(ExpectEnd());
@@ -160,6 +201,10 @@ class Parser {
   const Token& Peek() const { return tokens_[index_]; }
   const Token& Advance() { return tokens_[index_++]; }
 
+  Status ErrorHere(const std::string& message) const {
+    return ParseErrorAt(text_, Peek().offset, message);
+  }
+
   bool AcceptKeyword(const std::string& word) {
     if (Peek().kind == TokenKind::kIdent && Lowered(Peek().text) == word) {
       ++index_;
@@ -169,9 +214,7 @@ class Parser {
   }
   Status ExpectKeyword(const std::string& word) {
     if (!AcceptKeyword(word)) {
-      return Status::InvalidArgument(
-          StrFormat("expected '%s' at offset %zu", word.c_str(),
-                    Peek().offset));
+      return ErrorHere(StrFormat("expected '%s'", word.c_str()));
     }
     return Status::OK();
   }
@@ -184,34 +227,50 @@ class Parser {
   }
   Status ExpectSymbol(const std::string& symbol) {
     if (!AcceptSymbol(symbol)) {
-      return Status::InvalidArgument(StrFormat(
-          "expected '%s' at offset %zu", symbol.c_str(), Peek().offset));
+      return ErrorHere(StrFormat("expected '%s'", symbol.c_str()));
     }
     return Status::OK();
   }
   Result<std::string> ExpectIdent() {
     if (Peek().kind != TokenKind::kIdent) {
-      return Status::InvalidArgument(
-          StrFormat("expected identifier at offset %zu", Peek().offset));
+      return ErrorHere("expected identifier");
     }
     return Advance().text;
   }
   Result<double> ExpectNumber() {
     if (Peek().kind != TokenKind::kNumber) {
-      return Status::InvalidArgument(
-          StrFormat("expected number at offset %zu", Peek().offset));
+      return ErrorHere("expected number");
     }
     return Advance().number;
   }
   Status ExpectEnd() {
     if (Peek().kind != TokenKind::kEnd) {
-      return Status::InvalidArgument(StrFormat(
-          "unexpected trailing input at offset %zu", Peek().offset));
+      return ErrorHere("unexpected trailing input");
     }
     return Status::OK();
   }
 
+  bool AtPlaceholder() const {
+    return Peek().kind == TokenKind::kSymbol && Peek().text == "?";
+  }
+
+  Status PlaceholdersNotAllowed() const {
+    return ErrorHere(
+        "'?' placeholders are only valid in prepared statements "
+        "(ParsePreparedQuery / Engine::Prepare)");
+  }
+
+  /// Consumes the `?` at the cursor and records its slot. Precondition:
+  /// AtPlaceholder() and allow_params_.
+  size_t TakeSlot(ParamKind kind, std::string column) {
+    const Token& mark = Advance();
+    const size_t slot = slots_.size();
+    slots_.push_back(ParamSlot{kind, std::move(column), mark.offset});
+    return slot;
+  }
+
   Result<AggregateSpec> ParseAggregate() {
+    const size_t name_at = Peek().offset;
     SCIBORQ_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
     const std::string fn = Lowered(name);
     AggregateSpec spec;
@@ -228,13 +287,14 @@ class Parser {
     } else if (fn == "var" || fn == "variance") {
       spec.kind = AggKind::kVariance;
     } else {
-      return Status::InvalidArgument(
-          StrFormat("unknown aggregate '%s'", name.c_str()));
+      return ParseErrorAt(text_, name_at,
+                          StrFormat("unknown aggregate '%s'", name.c_str()));
     }
     SCIBORQ_RETURN_NOT_OK(ExpectSymbol("("));
+    const size_t star_at = Peek().offset;
     if (AcceptSymbol("*")) {
       if (spec.kind != AggKind::kCount) {
-        return Status::InvalidArgument("only COUNT accepts '*'");
+        return ParseErrorAt(text_, star_at, "only COUNT accepts '*'");
       }
     } else {
       SCIBORQ_ASSIGN_OR_RETURN(spec.column, ExpectIdent());
@@ -244,37 +304,51 @@ class Parser {
   }
 
   /// bounds := [WITHIN number MS] [ERROR number '%'] [CONFIDENCE number '%']
-  ///           [EXACT] — every term optional, fixed order.
+  ///           [EXACT] — every term optional, fixed order. In prepared mode
+  ///   the WITHIN and ERROR numbers may each be a `?` placeholder.
   Status ParseBounds(QueryBounds* bounds) {
     if (AcceptKeyword("within")) {
-      const size_t at = Peek().offset;
-      SCIBORQ_ASSIGN_OR_RETURN(double ms, ExpectNumber());
-      SCIBORQ_RETURN_NOT_OK(ExpectKeyword("ms"));
-      if (ms <= 0.0) {
-        return Status::InvalidArgument(StrFormat(
-            "WITHIN budget must be positive, got %g (offset %zu)", ms, at));
+      if (AtPlaceholder()) {
+        if (!allow_params_) return PlaceholdersNotAllowed();
+        within_slot_ = static_cast<int>(TakeSlot(ParamKind::kWithinMs, ""));
+        SCIBORQ_RETURN_NOT_OK(ExpectKeyword("ms"));
+      } else {
+        const size_t at = Peek().offset;
+        SCIBORQ_ASSIGN_OR_RETURN(double ms, ExpectNumber());
+        SCIBORQ_RETURN_NOT_OK(ExpectKeyword("ms"));
+        if (ms <= 0.0) {
+          return ParseErrorAt(
+              text_, at,
+              StrFormat("WITHIN budget must be positive, got %g", ms));
+        }
+        bounds->time_budget_ms = ms;
       }
-      bounds->time_budget_ms = ms;
     }
     if (AcceptKeyword("error")) {
-      const size_t at = Peek().offset;
-      SCIBORQ_ASSIGN_OR_RETURN(double pct, ExpectNumber());
-      SCIBORQ_RETURN_NOT_OK(ExpectSymbol("%"));
-      if (pct < 0.0) {
-        return Status::InvalidArgument(StrFormat(
-            "ERROR bound must be non-negative, got %g%% (offset %zu)", pct,
-            at));
+      if (AtPlaceholder()) {
+        if (!allow_params_) return PlaceholdersNotAllowed();
+        error_slot_ = static_cast<int>(TakeSlot(ParamKind::kErrorPct, ""));
+        SCIBORQ_RETURN_NOT_OK(ExpectSymbol("%"));
+      } else {
+        const size_t at = Peek().offset;
+        SCIBORQ_ASSIGN_OR_RETURN(double pct, ExpectNumber());
+        SCIBORQ_RETURN_NOT_OK(ExpectSymbol("%"));
+        if (pct < 0.0) {
+          return ParseErrorAt(
+              text_, at,
+              StrFormat("ERROR bound must be non-negative, got %g%%", pct));
+        }
+        bounds->max_relative_error = pct / 100.0;
       }
-      bounds->max_relative_error = pct / 100.0;
     }
     if (AcceptKeyword("confidence")) {
       const size_t at = Peek().offset;
       SCIBORQ_ASSIGN_OR_RETURN(double pct, ExpectNumber());
       SCIBORQ_RETURN_NOT_OK(ExpectSymbol("%"));
       if (pct <= 0.0 || pct >= 100.0) {
-        return Status::InvalidArgument(StrFormat(
-            "CONFIDENCE must be in (0, 100)%%, got %g%% (offset %zu)", pct,
-            at));
+        return ParseErrorAt(
+            text_, at,
+            StrFormat("CONFIDENCE must be in (0, 100)%%, got %g%%", pct));
       }
       bounds->confidence = pct / 100.0;
     }
@@ -339,8 +413,7 @@ class Parser {
 
   Status ExpectSeparator() {
     if (AcceptSymbol(";") || AcceptSymbol(",")) return Status::OK();
-    return Status::InvalidArgument(
-        StrFormat("expected ';' or ',' at offset %zu", Peek().offset));
+    return ErrorHere("expected ';' or ','");
   }
 
   Result<PredicatePtr> ParseComparison() {
@@ -352,9 +425,9 @@ class Parser {
       return Between(std::move(column), lo, hi);
     }
     if (Peek().kind != TokenKind::kSymbol) {
-      return Status::InvalidArgument(StrFormat(
-          "expected comparison operator at offset %zu", Peek().offset));
+      return ErrorHere("expected comparison operator");
     }
+    const size_t op_at = Peek().offset;
     const std::string op_text = Advance().text;
     CompareOp op;
     if (op_text == "=") {
@@ -370,8 +443,13 @@ class Parser {
     } else if (op_text == ">=") {
       op = CompareOp::kGe;
     } else {
-      return Status::InvalidArgument(
-          StrFormat("unknown operator '%s'", op_text.c_str()));
+      return ParseErrorAt(
+          text_, op_at, StrFormat("unknown operator '%s'", op_text.c_str()));
+    }
+    if (AtPlaceholder()) {
+      if (!allow_params_) return PlaceholdersNotAllowed();
+      const size_t slot = TakeSlot(ParamKind::kCompareLiteral, column);
+      return Param(std::move(column), op, slot);
     }
     Value literal;
     if (Peek().kind == TokenKind::kString) {
@@ -381,14 +459,18 @@ class Parser {
       literal = t.number_is_int ? Value(static_cast<int64_t>(t.number))
                                 : Value(t.number);
     } else {
-      return Status::InvalidArgument(
-          StrFormat("expected literal at offset %zu", Peek().offset));
+      return ErrorHere("expected literal");
     }
     return Compare(std::move(column), op, std::move(literal));
   }
 
   std::vector<Token> tokens_;
+  const std::string& text_;
+  bool allow_params_;
   size_t index_ = 0;
+  std::vector<ParamSlot> slots_;
+  int within_slot_ = -1;
+  int error_slot_ = -1;
 };
 
 }  // namespace
@@ -396,21 +478,28 @@ class Parser {
 Result<AggregateQuery> ParseQuery(const std::string& text) {
   Lexer lexer(text);
   SCIBORQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  Parser parser(std::move(tokens));
+  Parser parser(std::move(tokens), text, /*allow_params=*/false);
   return parser.ParseQueryText();
 }
 
 Result<BoundedQuery> ParseBoundedQuery(const std::string& text) {
   Lexer lexer(text);
   SCIBORQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  Parser parser(std::move(tokens));
+  Parser parser(std::move(tokens), text, /*allow_params=*/false);
   return parser.ParseBoundedQueryText();
+}
+
+Result<PreparedQuery> ParsePreparedQuery(const std::string& text) {
+  Lexer lexer(text);
+  SCIBORQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens), text, /*allow_params=*/true);
+  return parser.ParsePreparedQueryText();
 }
 
 Result<PredicatePtr> ParsePredicate(const std::string& text) {
   Lexer lexer(text);
   SCIBORQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  Parser parser(std::move(tokens));
+  Parser parser(std::move(tokens), text, /*allow_params=*/false);
   return parser.ParsePredicateText();
 }
 

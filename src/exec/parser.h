@@ -38,11 +38,30 @@ namespace sciborq {
 /// Bounds validation: WITHIN budget must be positive, ERROR non-negative,
 /// CONFIDENCE strictly inside (0, 100)%.
 ///
+/// Prepared statements (ParsePreparedQuery only) additionally accept a `?`
+/// parameter placeholder in the comparison-literal position (`ident op ?`)
+/// and in the numeric position of `WITHIN ? MS` / `ERROR ? %`; each `?`
+/// becomes a ParamSlot of the returned PreparedQuery, in text order.
+/// ParseQuery/ParseBoundedQuery reject `?` with a pointer at Engine::Prepare.
+///
+/// Errors name the byte offset of the offending token and carry a short
+/// caret excerpt of the surrounding text:
+///
+///   expected 'ms' at offset 30
+///     ...ELECT COUNT(*) WITHIN 50 SEC...
+///                                 ^
+///
 /// Round-trip guarantee: parsing q.ToString() produces a query whose
-/// ToString() equals the original (tested in tests/parser_test.cc).
+/// ToString() equals the original, and ParsePreparedQuery round-trips
+/// PreparedQuery::ToString templates (tested in tests/parser_test.cc).
 
 /// Full dialect: query plus the optional in-SQL bounds clause.
 Result<BoundedQuery> ParseBoundedQuery(const std::string& text);
+
+/// Full dialect plus `?` parameter placeholders — the parse-once half of the
+/// prepared-statement API. Bind with BindParams (exec/query.h) or run
+/// through Engine::Prepare / Engine::Execute.
+Result<PreparedQuery> ParsePreparedQuery(const std::string& text);
 
 /// Query only; fails with InvalidArgument when a bounds clause is present
 /// (callers that cannot honor bounds must not silently drop them).

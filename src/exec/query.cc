@@ -53,6 +53,110 @@ std::string RenderSql(const AggregateQuery& query, const QueryBounds& bounds) {
   return out;
 }
 
+std::string_view ParamKindToString(ParamKind kind) {
+  switch (kind) {
+    case ParamKind::kCompareLiteral:
+      return "comparison literal";
+    case ParamKind::kWithinMs:
+      return "WITHIN budget";
+    case ParamKind::kErrorPct:
+      return "ERROR bound";
+  }
+  return "unknown";
+}
+
+PreparedQuery PreparedQuery::Clone() const {
+  PreparedQuery out;
+  out.query = query.Clone();
+  out.bounds = bounds;
+  out.slots = slots;
+  out.time_budget_slot = time_budget_slot;
+  out.error_slot = error_slot;
+  return out;
+}
+
+std::string PreparedQuery::ToString() const {
+  std::string out = query.ToString();
+  std::vector<std::string> terms;
+  if (time_budget_slot >= 0) {
+    terms.push_back("WITHIN ? MS");
+  } else if (bounds.time_budget_ms >= 0.0) {
+    terms.push_back(StrFormat("WITHIN %g MS", bounds.time_budget_ms));
+  }
+  if (error_slot >= 0) {
+    terms.push_back("ERROR ?%");
+  } else if (bounds.max_relative_error >= 0.0) {
+    terms.push_back(
+        StrFormat("ERROR %g%%", bounds.max_relative_error * 100.0));
+  }
+  if (bounds.confidence >= 0.0) {
+    terms.push_back(StrFormat("CONFIDENCE %g%%", bounds.confidence * 100.0));
+  }
+  if (bounds.exact) terms.push_back("EXACT");
+  const std::string clause = Join(terms, " ");
+  if (!clause.empty()) out += " " + clause;
+  return out;
+}
+
+namespace {
+
+/// Numeric view of one bound parameter, rejecting strings and NULLs with a
+/// message naming the slot and its role.
+Result<double> NumericParam(const std::vector<Value>& params, int slot,
+                            ParamKind kind) {
+  const Value& v = params[static_cast<size_t>(slot)];
+  if (!v.is_int64() && !v.is_double()) {
+    return Status::InvalidArgument(StrFormat(
+        "parameter %d (%s) must be numeric, got %s", slot,
+        std::string(ParamKindToString(kind)).c_str(),
+        v.is_null() ? "NULL" : ("'" + v.ToString() + "'").c_str()));
+  }
+  return v.AsDouble();
+}
+
+}  // namespace
+
+Result<BoundedQuery> BindParams(const PreparedQuery& prepared,
+                                const std::vector<Value>& params) {
+  if (params.size() != prepared.slots.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "statement expects %zu parameter(s), got %zu", prepared.slots.size(),
+        params.size()));
+  }
+  BoundedQuery bound;
+  bound.bounds = prepared.bounds;
+  if (prepared.time_budget_slot >= 0) {
+    SCIBORQ_ASSIGN_OR_RETURN(
+        const double ms, NumericParam(params, prepared.time_budget_slot,
+                                      ParamKind::kWithinMs));
+    if (ms <= 0.0) {
+      return Status::InvalidArgument(StrFormat(
+          "parameter %d: WITHIN budget must be positive, got %g ms",
+          prepared.time_budget_slot, ms));
+    }
+    bound.bounds.time_budget_ms = ms;
+  }
+  if (prepared.error_slot >= 0) {
+    SCIBORQ_ASSIGN_OR_RETURN(
+        const double pct,
+        NumericParam(params, prepared.error_slot, ParamKind::kErrorPct));
+    if (pct < 0.0) {
+      return Status::InvalidArgument(StrFormat(
+          "parameter %d: ERROR bound must be non-negative, got %g%%",
+          prepared.error_slot, pct));
+    }
+    bound.bounds.max_relative_error = pct / 100.0;
+  }
+  bound.query.aggregates = prepared.query.aggregates;
+  bound.query.table = prepared.query.table;
+  bound.query.group_by = prepared.query.group_by;
+  if (prepared.query.filter) {
+    SCIBORQ_ASSIGN_OR_RETURN(bound.query.filter,
+                             prepared.query.filter->BindParams(params));
+  }
+  return bound;
+}
+
 std::vector<PredicatePoint> AggregateQuery::PredicatePoints() const {
   std::vector<PredicatePoint> points;
   if (filter) filter->CollectPredicatePoints(&points);

@@ -103,6 +103,56 @@ struct BoundedQuery {
 /// guarantee has a single source of truth.
 std::string RenderSql(const AggregateQuery& query, const QueryBounds& bounds);
 
+/// Where one `?` placeholder is allowed to sit in a prepared statement.
+enum class ParamKind : uint8_t {
+  kCompareLiteral,  ///< RHS of `ident op ?` — any non-null literal
+  kWithinMs,        ///< `WITHIN ? MS` — positive number (milliseconds)
+  kErrorPct,        ///< `ERROR ? %` — non-negative number (percent)
+};
+std::string_view ParamKindToString(ParamKind kind);
+
+/// One recorded `?` slot of a prepared statement, in text order (slot i is
+/// the i-th `?`), with enough context for arity/type error messages.
+struct ParamSlot {
+  ParamKind kind = ParamKind::kCompareLiteral;
+  std::string column;  ///< kCompareLiteral: the compared column; else empty
+  size_t offset = 0;   ///< byte offset of the `?` in the prepared SQL
+};
+
+/// A parse-once / bind-many statement template — what ParsePreparedQuery
+/// produces and Engine::Prepare caches. `query.filter` holds Param()
+/// placeholder nodes; bounds terms taken by a `?` stay unspecified here and
+/// are filled at bind time. BindParams() turns template + parameters into an
+/// ordinary BoundedQuery with no parsing involved.
+struct PreparedQuery {
+  AggregateQuery query;
+  QueryBounds bounds;
+  std::vector<ParamSlot> slots;  ///< every `?`, left to right
+  int time_budget_slot = -1;     ///< slot index of `WITHIN ? MS`, or -1
+  int error_slot = -1;           ///< slot index of `ERROR ? %`, or -1
+
+  PreparedQuery() = default;
+  PreparedQuery(PreparedQuery&&) = default;
+  PreparedQuery& operator=(PreparedQuery&&) = default;
+
+  PreparedQuery Clone() const;
+
+  size_t num_params() const { return slots.size(); }
+
+  /// The template SQL with `?` placeholders. Round-trips through
+  /// ParsePreparedQuery (tested in tests/parser_test.cc).
+  std::string ToString() const;
+};
+
+/// Deep-clones `prepared` with every `?` replaced by its parameter
+/// (params[i] binds slot i). InvalidArgument on arity mismatch, a NULL
+/// parameter, a non-numeric value for WITHIN/ERROR, or a bound value that
+/// violates the clause's validation rule (WITHIN must stay positive, ERROR
+/// non-negative). The result executes exactly like the equivalent
+/// fully-bound SQL.
+Result<BoundedQuery> BindParams(const PreparedQuery& prepared,
+                                const std::vector<Value>& params);
+
 /// One result row: the group key (null Value for ungrouped queries) plus one
 /// value per aggregate, and the number of input rows that fed the group.
 struct QueryResultRow {

@@ -163,6 +163,50 @@ std::string SciborqServer::HandleRequest(const RequestFrame& request,
       }
       return EncodeResponse(request.opcode, Status::OK(), "");
     }
+    case Opcode::kPrepare: {
+      Result<std::string> sql = payload.ReadString();
+      if (!sql.ok()) return EncodeResponse(request.opcode, sql.status(), "");
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "");
+      }
+      Result<StatementInfo> info = session->Prepare(*sql);
+      if (!info.ok()) {
+        return EncodeResponse(request.opcode, info.status(), "");
+      }
+      statements_prepared_.fetch_add(1, std::memory_order_relaxed);
+      WireWriter w;
+      EncodeStatementInfo(*info, &w);
+      return EncodeResponse(request.opcode, Status::OK(), w.buffer());
+    }
+    case Opcode::kExecute: {
+      Result<int64_t> id = payload.ReadI64();
+      if (!id.ok()) return EncodeResponse(request.opcode, id.status(), "");
+      Result<std::vector<Value>> params = DecodeParams(&payload);
+      if (!params.ok()) {
+        return EncodeResponse(request.opcode, params.status(), "");
+      }
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "");
+      }
+      queries_served_.fetch_add(1, std::memory_order_relaxed);
+      Result<QueryOutcome> outcome =
+          session->Execute(StatementHandle{*id}, *params);
+      if (!outcome.ok()) {
+        return EncodeResponse(request.opcode, outcome.status(), "");
+      }
+      WireWriter w;
+      EncodeOutcome(*outcome, &w);
+      return EncodeResponse(request.opcode, Status::OK(), w.buffer());
+    }
+    case Opcode::kCloseStmt: {
+      Result<int64_t> id = payload.ReadI64();
+      if (!id.ok()) return EncodeResponse(request.opcode, id.status(), "");
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "");
+      }
+      return EncodeResponse(request.opcode,
+                            session->CloseStatement(StatementHandle{*id}), "");
+    }
     case Opcode::kInvalid:
       break;  // DecodeRequest never produces it
   }

@@ -44,20 +44,31 @@ uint8_t DataTypeToWire(DataType type) {
   return 0;  // unreachable: enum is exhaustive
 }
 
-Result<Opcode> OpcodeFromWire(uint8_t op) {
-  if (op < static_cast<uint8_t>(Opcode::kQuery) ||
-      op > static_cast<uint8_t>(Opcode::kPing)) {
+/// Validates an opcode against the envelope's version: v1 frames may only
+/// carry the original opcode set, v2 frames also the prepared-statement
+/// ones.
+Result<Opcode> OpcodeFromWire(uint8_t op, uint8_t version) {
+  const uint8_t max_op = version >= kWireVersionV2
+                             ? static_cast<uint8_t>(Opcode::kCloseStmt)
+                             : static_cast<uint8_t>(Opcode::kPing);
+  if (op < static_cast<uint8_t>(Opcode::kQuery) || op > max_op) {
+    if (op > static_cast<uint8_t>(Opcode::kPing) &&
+        op <= static_cast<uint8_t>(Opcode::kCloseStmt)) {
+      return Status::InvalidArgument(StrFormat(
+          "wire: opcode %u requires protocol v%u, frame is v%u", op,
+          kWireVersionV2, version));
+    }
     return Status::InvalidArgument(StrFormat("wire: unknown opcode %u", op));
   }
   return static_cast<Opcode>(op);
 }
 
 Status CheckVersion(uint8_t version) {
-  if (version != kWireVersion) {
+  if (version < kWireVersionV1 || version > kWireVersion) {
     return Status::InvalidArgument(
         StrFormat("wire: protocol version %u not supported (this side speaks "
-                  "v%u)",
-                  version, kWireVersion));
+                  "v%u..v%u)",
+                  version, kWireVersionV1, kWireVersion));
   }
   return Status::OK();
 }
@@ -78,8 +89,25 @@ std::string_view OpcodeToString(Opcode op) {
       return "catalog";
     case Opcode::kPing:
       return "ping";
+    case Opcode::kPrepare:
+      return "prepare";
+    case Opcode::kExecute:
+      return "execute";
+    case Opcode::kCloseStmt:
+      return "close_stmt";
   }
   return "unknown";
+}
+
+uint8_t WireVersionFor(Opcode op) {
+  switch (op) {
+    case Opcode::kPrepare:
+    case Opcode::kExecute:
+    case Opcode::kCloseStmt:
+      return kWireVersionV2;
+    default:
+      return kWireVersionV1;
+  }
 }
 
 // -- WireWriter -------------------------------------------------------------
@@ -456,11 +484,55 @@ Result<TableInfo> DecodeTableInfo(WireReader* r) {
   return info;
 }
 
+// -- Params -----------------------------------------------------------------
+
+void EncodeParams(const std::vector<Value>& params, WireWriter* w) {
+  w->PutU32(static_cast<uint32_t>(params.size()));
+  for (const Value& v : params) EncodeValue(v, w);
+}
+
+Result<std::vector<Value>> DecodeParams(WireReader* r) {
+  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t n, r->ReadU32());
+  // Every encoded Value is at least its 1-byte tag, so a count beyond the
+  // remaining bytes is a hostile length — reject before allocating.
+  if (static_cast<int64_t>(n) > r->remaining()) {
+    return Status::InvalidArgument(
+        StrFormat("wire: parameter count %u exceeds the %lld remaining bytes",
+                  n, static_cast<long long>(r->remaining())));
+  }
+  std::vector<Value> params;
+  params.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SCIBORQ_ASSIGN_OR_RETURN(Value v, DecodeValue(r));
+    params.push_back(std::move(v));
+  }
+  return params;
+}
+
+// -- StatementInfo ----------------------------------------------------------
+
+void EncodeStatementInfo(const StatementInfo& info, WireWriter* w) {
+  w->PutI64(info.handle.id);
+  w->PutString(info.table);
+  w->PutString(info.sql);
+  w->PutU32(static_cast<uint32_t>(info.num_params));
+}
+
+Result<StatementInfo> DecodeStatementInfo(WireReader* r) {
+  StatementInfo info;
+  SCIBORQ_ASSIGN_OR_RETURN(info.handle.id, r->ReadI64());
+  SCIBORQ_ASSIGN_OR_RETURN(info.table, r->ReadString());
+  SCIBORQ_ASSIGN_OR_RETURN(info.sql, r->ReadString());
+  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t n, r->ReadU32());
+  info.num_params = n;
+  return info;
+}
+
 // -- Envelopes --------------------------------------------------------------
 
 std::string EncodeRequest(Opcode op, std::string_view payload) {
   WireWriter w;
-  w.PutU8(kWireVersion);
+  w.PutU8(WireVersionFor(op));
   w.PutU8(static_cast<uint8_t>(op));
   std::string body = w.Take();
   body.append(payload.data(), payload.size());
@@ -473,7 +545,7 @@ Result<RequestFrame> DecodeRequest(std::string_view body) {
   SCIBORQ_RETURN_NOT_OK(CheckVersion(version));
   SCIBORQ_ASSIGN_OR_RETURN(const uint8_t op, r.ReadU8());
   RequestFrame frame;
-  SCIBORQ_ASSIGN_OR_RETURN(frame.opcode, OpcodeFromWire(op));
+  SCIBORQ_ASSIGN_OR_RETURN(frame.opcode, OpcodeFromWire(op, version));
   frame.payload = std::string(body.substr(2));
   return frame;
 }
@@ -481,7 +553,7 @@ Result<RequestFrame> DecodeRequest(std::string_view body) {
 std::string EncodeResponse(Opcode op, const Status& status,
                            std::string_view payload) {
   WireWriter w;
-  w.PutU8(kWireVersion);
+  w.PutU8(WireVersionFor(op));
   w.PutU8(static_cast<uint8_t>(op));
   EncodeStatus(status, &w);
   std::string body = w.Take();
@@ -496,7 +568,7 @@ Result<ResponseFrame> DecodeResponse(std::string_view body) {
   SCIBORQ_ASSIGN_OR_RETURN(const uint8_t op, r.ReadU8());
   ResponseFrame frame;
   if (op != static_cast<uint8_t>(Opcode::kInvalid)) {
-    SCIBORQ_ASSIGN_OR_RETURN(frame.opcode, OpcodeFromWire(op));
+    SCIBORQ_ASSIGN_OR_RETURN(frame.opcode, OpcodeFromWire(op, version));
   }
   SCIBORQ_RETURN_NOT_OK(DecodeStatus(&r, &frame.status));
   const size_t consumed = body.size() - static_cast<size_t>(r.remaining());

@@ -14,27 +14,35 @@
 namespace sciborq {
 
 // ---------------------------------------------------------------------------
-// SciBORQ wire protocol v1 — the network face of the bounded-query contract.
+// SciBORQ wire protocol — the network face of the bounded-query contract.
 //
 // Every message travels in one *frame*:
 //
 //   u32 length (little-endian) | body (`length` bytes)
 //
-// where body = u8 version (kWireVersion) | u8 opcode | payload. Frames larger
-// than the receiver's max_frame_bytes are rejected without being read.
+// where body = u8 version | u8 opcode | payload. Frames larger than the
+// receiver's max_frame_bytes are rejected without being read.
 //
-// Requests (client -> server):
+// v1 requests (client -> server), encoded with version byte 1 — byte
+// identical to every older build:
 //   kQuery     payload = string sql         (session table/bounds fill gaps)
 //   kUse       payload = string table       (sets the session default table)
 //   kSetBounds payload = QueryBounds        (session defaults for bare SQL)
 //   kCatalog   payload = (empty)            (list tables + metadata)
 //   kPing      payload = (empty)
 //
+// v2 adds prepared statements (parse once, bind, execute many), encoded
+// with version byte 2; a peer that only speaks v1 rejects them cleanly:
+//   kPrepare   payload = string sql          (`?` placeholder template)
+//   kExecute   payload = i64 id | params     (params = u32 n + n Value)
+//   kCloseStmt payload = i64 id
+//
 // Responses (server -> client) echo the request opcode and carry
 //   u8 status_code | string status_message | payload-if-OK
-// with payload: kQuery -> QueryOutcome, kCatalog -> u32 n + n TableInfo,
-// others empty. Frame-level failures (oversized/undecodable request) are
-// reported with opcode kInvalid and the connection is closed.
+// with payload: kQuery/kExecute -> QueryOutcome, kCatalog -> u32 n +
+// n TableInfo, kPrepare -> StatementInfo, others empty. Frame-level
+// failures (oversized/undecodable request) are reported with opcode
+// kInvalid and the connection is closed.
 //
 // All integers are little-endian and fixed-width; doubles are IEEE-754 bit
 // patterns (NaN/Inf round-trip exactly); strings are u32 length + raw bytes.
@@ -42,7 +50,13 @@ namespace sciborq {
 // the wire tests assert byte-for-byte.
 // ---------------------------------------------------------------------------
 
-inline constexpr uint8_t kWireVersion = 1;
+/// The original opcode set. Frames carrying v1 opcodes are still encoded
+/// with this version byte, so v1 request/response encodings never change.
+inline constexpr uint8_t kWireVersionV1 = 1;
+/// Adds kPrepare/kExecute/kCloseStmt.
+inline constexpr uint8_t kWireVersionV2 = 2;
+/// Highest protocol version this build speaks.
+inline constexpr uint8_t kWireVersion = kWireVersionV2;
 
 /// Default ceiling for one frame. Generous for result batches (a row of
 /// doubles is tens of bytes) while bounding a malicious length prefix.
@@ -55,9 +69,17 @@ enum class Opcode : uint8_t {
   kSetBounds = 3,
   kCatalog = 4,
   kPing = 5,
+  // -- v2: prepared statements --
+  kPrepare = 6,
+  kExecute = 7,
+  kCloseStmt = 8,
 };
 
 std::string_view OpcodeToString(Opcode op);
+
+/// The version byte a frame carrying `op` is encoded with: v1 opcodes stay
+/// v1 (byte-identical to older builds), v2 opcodes are stamped v2.
+uint8_t WireVersionFor(Opcode op);
 
 /// Appends primitive values to a growing byte buffer.
 class WireWriter {
@@ -135,6 +157,17 @@ Result<QueryOutcome> DecodeOutcome(WireReader* r);
 
 void EncodeTableInfo(const TableInfo& info, WireWriter* w);
 Result<TableInfo> DecodeTableInfo(WireReader* r);
+
+/// Parameter lists for kExecute: u32 count + count Values. Decode rejects a
+/// count larger than the bytes that could possibly back it before
+/// allocating (hostile-length defense, like ReadString).
+void EncodeParams(const std::vector<Value>& params, WireWriter* w);
+Result<std::vector<Value>> DecodeParams(WireReader* r);
+
+/// kPrepare response payload: handle id, target table, normalized template
+/// SQL, parameter count.
+void EncodeStatementInfo(const StatementInfo& info, WireWriter* w);
+Result<StatementInfo> DecodeStatementInfo(WireReader* r);
 
 // -- Message envelopes ------------------------------------------------------
 

@@ -13,6 +13,7 @@
 #include "column/csv.h"
 #include "exec/parser.h"
 #include "skyserver/catalog.h"
+#include "util/string_util.h"
 
 namespace sciborq {
 namespace {
@@ -391,6 +392,228 @@ TEST(EngineTest, IngestWhileQueryingIsSafe) {
   const QueryOutcome exact =
       engine.Query("SELECT COUNT(*) FROM sky EXACT").value();
   EXPECT_DOUBLE_EQ(exact.rows[0].values[0], 25'000.0);
+}
+
+// ------------------------------------------------ prepared statements -----
+
+constexpr char kBoxTemplate[] =
+    "SELECT COUNT(*), AVG(r) FROM sky "
+    "WHERE ra >= ? AND ra <= ? AND dec >= ? AND dec <= ? ERROR 25%";
+
+std::vector<Value> BoxParams(int i) {
+  const double ra = 150.0 + 3.0 * (i % 7);
+  const double dec = 20.0 + 2.0 * (i % 5);
+  return {Value(ra - 15.0), Value(ra + 15.0), Value(dec - 15.0),
+          Value(dec + 15.0)};
+}
+
+std::string BoxSql(int i) {
+  const double ra = 150.0 + 3.0 * (i % 7);
+  const double dec = 20.0 + 2.0 * (i % 5);
+  return StrFormat(
+      "SELECT COUNT(*), AVG(r) FROM sky "
+      "WHERE ra >= %.17g AND ra <= %.17g AND dec >= %.17g AND dec <= %.17g "
+      "ERROR 25%%",
+      ra - 15.0, ra + 15.0, dec - 15.0, dec + 15.0);
+}
+
+TEST(PreparedStatementTest, PrepareExecuteCloseLifecycle) {
+  Engine engine;
+  LoadSky(&engine, "sky", 20'000, 5);
+  EXPECT_EQ(engine.open_statements(), 0);
+
+  const StatementHandle handle = engine.Prepare(kBoxTemplate).value();
+  EXPECT_TRUE(handle.valid());
+  EXPECT_EQ(engine.open_statements(), 1);
+
+  const StatementInfo info = engine.GetStatement(handle).value();
+  EXPECT_EQ(info.table, "sky");
+  EXPECT_EQ(info.num_params, 4u);
+  EXPECT_NE(info.sql.find("ra >= ?"), std::string::npos) << info.sql;
+
+  // The acceptance bar: Execute(handle, params) is EquivalentAnswers-equal
+  // to Query() of the equivalent fully-bound SQL.
+  for (int i = 0; i < 10; ++i) {
+    const QueryOutcome bound = engine.Execute(handle, BoxParams(i)).value();
+    const QueryOutcome rendered = engine.Query(BoxSql(i)).value();
+    EXPECT_TRUE(EquivalentAnswers(bound, rendered))
+        << "i=" << i << "\nbound:    " << bound.ToString()
+        << "\nrendered: " << rendered.ToString();
+  }
+
+  ASSERT_TRUE(engine.CloseStatement(handle).ok());
+  EXPECT_EQ(engine.open_statements(), 0);
+  EXPECT_EQ(engine.Execute(handle, BoxParams(0)).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine.CloseStatement(handle).code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.GetStatement(handle).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PreparedStatementTest, PrepareErrors) {
+  Engine engine;
+  LoadSky(&engine, "sky", 5'000, 6);
+
+  // Unknown table fails at prepare time, not on the Nth execute.
+  EXPECT_EQ(engine.Prepare("SELECT COUNT(*) FROM nope WHERE x = ?")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // Missing FROM clause.
+  EXPECT_EQ(engine.Prepare("SELECT COUNT(*) WHERE x = ?").status().code(),
+            StatusCode::kInvalidArgument);
+  // Unparsable template (with the caret diagnostics).
+  const auto bad = engine.Prepare("SELECT COUNT(* FROM sky");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("offset"), std::string::npos);
+  EXPECT_EQ(engine.open_statements(), 0);
+}
+
+TEST(PreparedStatementTest, ArityAndTypeMismatchErrors) {
+  Engine engine;
+  LoadSky(&engine, "sky", 5'000, 7);
+
+  const StatementHandle handle =
+      engine.Prepare("SELECT COUNT(*) FROM sky WHERE ra > ? AND obj_class = ?")
+          .value();
+
+  // Arity: too few / too many.
+  const auto too_few = engine.Execute(handle, {Value(150.0)});
+  ASSERT_FALSE(too_few.ok());
+  EXPECT_EQ(too_few.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(too_few.status().message().find("expects 2 parameter(s), got 1"),
+            std::string::npos)
+      << too_few.status().message();
+  EXPECT_FALSE(
+      engine.Execute(handle, {Value(1.0), Value("G"), Value(2.0)}).ok());
+
+  // Type: a string bound where the column is numeric, and vice versa.
+  const auto str_for_num =
+      engine.Execute(handle, {Value("oops"), Value("GALAXY")});
+  ASSERT_FALSE(str_for_num.ok());
+  EXPECT_EQ(str_for_num.status().code(), StatusCode::kInvalidArgument);
+  const auto num_for_str =
+      engine.Execute(handle, {Value(150.0), Value(int64_t{3})});
+  ASSERT_FALSE(num_for_str.ok());
+  EXPECT_EQ(num_for_str.status().code(), StatusCode::kInvalidArgument);
+
+  // NULL binds are rejected before execution.
+  EXPECT_FALSE(engine.Execute(handle, {Value::Null(), Value("GALAXY")}).ok());
+
+  // The statement survives failed binds and still answers good ones.
+  EXPECT_TRUE(engine.Execute(handle, {Value(150.0), Value("GALAXY")}).ok());
+}
+
+TEST(PreparedStatementTest, ExecuteFeedsWorkloadLogWithBoundSql) {
+  Engine engine;
+  LoadSky(&engine, "sky", 5'000, 9);
+
+  const StatementHandle handle =
+      engine.Prepare("SELECT COUNT(*) FROM sky WHERE ra > ? ERROR ?%")
+          .value();
+  const QueryOutcome outcome =
+      engine.Execute(handle, {Value(170.25), Value(int64_t{30})}).value();
+
+  // The log holds the *bound* statement — replayable SQL with true focal
+  // points, not the `?` template (workload-biased sampling depends on it).
+  const std::vector<std::string> logged = engine.LoggedSql("sky").value();
+  ASSERT_FALSE(logged.empty());
+  EXPECT_EQ(logged.back(),
+            "SELECT COUNT(*) FROM sky WHERE ra > 170.25 ERROR 30%");
+  EXPECT_EQ(outcome.sql, logged.back());
+}
+
+TEST(PreparedStatementTest, ConcurrentExecutesBitIdenticalToSerial) {
+  Engine engine;
+  LoadSky(&engine, "sky", 20'000, 10);
+  const StatementHandle handle = engine.Prepare(kBoxTemplate).value();
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 12;
+  // Serial baseline first (the table is static, so order cannot matter).
+  std::vector<QueryOutcome> baseline;
+  baseline.reserve(kPerThread);
+  for (int i = 0; i < kPerThread; ++i) {
+    baseline.push_back(engine.Execute(handle, BoxParams(i)).value());
+  }
+
+  std::vector<std::vector<QueryOutcome>> per_thread(kThreads);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&engine, handle, &per_thread, &failures, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Result<QueryOutcome> outcome = engine.Execute(handle, BoxParams(i));
+        if (!outcome.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        per_thread[t].push_back(std::move(outcome).value());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(per_thread[t].size(), static_cast<size_t>(kPerThread));
+    for (int i = 0; i < kPerThread; ++i) {
+      EXPECT_TRUE(EquivalentAnswers(per_thread[t][i], baseline[i]))
+          << "thread " << t << ", query " << i;
+    }
+  }
+}
+
+TEST(PreparedStatementTest, SessionScopesAndCleansUpHandles) {
+  Engine engine;
+  LoadSky(&engine, "sky", 5'000, 11);
+
+  {
+    Session session(&engine);
+    ASSERT_TRUE(session.Use("sky").ok());
+    QueryBounds bounds;
+    bounds.exact = true;
+    session.set_default_bounds(bounds);
+
+    // FROM-less template: the session's default table fills in; a bare
+    // template also inherits the session's default bounds.
+    const StatementInfo info =
+        session.Prepare("SELECT COUNT(*) WHERE ra > ?").value();
+    EXPECT_EQ(info.table, "sky");
+    EXPECT_EQ(info.num_params, 1u);
+    const QueryOutcome outcome =
+        session.Execute(info.handle, {Value(150.0)}).value();
+    EXPECT_TRUE(outcome.exact);  // session default bounds applied
+
+    // A template that carries its own bounds (even via `?`) does not.
+    const StatementInfo bounded =
+        session.Prepare("SELECT COUNT(*) WHERE ra > ? ERROR ?%").value();
+    const QueryOutcome approx =
+        session.Execute(bounded.handle, {Value(150.0), Value(60.0)}).value();
+    EXPECT_FALSE(approx.exact);
+
+    // Another session cannot see this session's handles...
+    Session other(&engine);
+    EXPECT_EQ(other.Execute(info.handle, {Value(150.0)}).status().code(),
+              StatusCode::kNotFound);
+    EXPECT_EQ(other.CloseStatement(info.handle).code(), StatusCode::kNotFound);
+    // ...but the engine-level registry holds both.
+    EXPECT_EQ(engine.open_statements(), 2);
+    EXPECT_EQ(session.open_statements(), 2);
+
+    ASSERT_TRUE(session.CloseStatement(bounded.handle).ok());
+    EXPECT_EQ(engine.open_statements(), 1);
+  }
+  // Session destruction closes what was left open.
+  EXPECT_EQ(engine.open_statements(), 0);
+}
+
+TEST(PreparedStatementTest, SessionWithoutTableRejectsFromlessTemplate) {
+  Engine engine;
+  LoadSky(&engine, "sky", 2'000, 12);
+  Session session(&engine);
+  const auto r = session.Prepare("SELECT COUNT(*) WHERE x = ?");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

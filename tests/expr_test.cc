@@ -176,5 +176,32 @@ TEST(ExprTest, SelectRespectsCandidateSubset) {
   EXPECT_EQ(out, (SelectionVector{0}));
 }
 
+TEST(ExprTest, ParamPlaceholderRefusesToExecuteUntilBound) {
+  const Table t = ObjTable();
+  const PredicatePtr unbound = Param("ra", CompareOp::kGt, 0);
+  EXPECT_TRUE(unbound->HasUnboundParams());
+  EXPECT_EQ(unbound->ToString(), "ra > ?");
+  EXPECT_EQ(unbound->Validate(t.schema()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(SelectAll(t, *unbound).ok());
+  // Clone preserves the placeholder; a composite tree reports it too.
+  EXPECT_TRUE(unbound->Clone()->HasUnboundParams());
+  const PredicatePtr tree =
+      And(Eq("cls", Value("GALAXY")), Param("ra", CompareOp::kGt, 0));
+  EXPECT_TRUE(tree->HasUnboundParams());
+
+  // Binding turns the tree into a plain comparison with the same selection
+  // as a hand-built one — and the bound clone carries no placeholders.
+  const PredicatePtr bound = tree->BindParams({Value(185.5)}).value();
+  EXPECT_FALSE(bound->HasUnboundParams());
+  EXPECT_EQ(Sel(t, *bound),
+            Sel(t, *And(Eq("cls", Value("GALAXY")),
+                        Gt("ra", Value(185.5)))));
+
+  // Bad binds: missing slot, NULL value.
+  EXPECT_FALSE(tree->BindParams({}).ok());
+  EXPECT_FALSE(tree->BindParams({Value::Null()}).ok());
+}
+
 }  // namespace
 }  // namespace sciborq

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "exec/parser.h"
+#include "util/string_util.h"
 
 namespace sciborq {
 namespace {
@@ -224,6 +225,235 @@ INSTANTIATE_TEST_SUITE_P(
         "WITHIN 100 MS ERROR 1% CONFIDENCE 90%",
         "SELECT COUNT(*) FROM t EXACT",
         "SELECT COUNT(*) FROM t WITHIN 50 MS EXACT"));
+
+// ------------------------------------------------ prepared statements -----
+
+TEST(PreparedParserTest, TemplateRecordsEverySlotKind) {
+  const PreparedQuery p =
+      ParsePreparedQuery(
+          "SELECT COUNT(*), AVG(r) FROM sky WHERE ra >= ? AND cls = ? "
+          "WITHIN ? MS ERROR ?% CONFIDENCE 99%")
+          .value();
+  ASSERT_EQ(p.num_params(), 4u);
+  EXPECT_EQ(p.slots[0].kind, ParamKind::kCompareLiteral);
+  EXPECT_EQ(p.slots[0].column, "ra");
+  EXPECT_EQ(p.slots[1].kind, ParamKind::kCompareLiteral);
+  EXPECT_EQ(p.slots[1].column, "cls");
+  EXPECT_EQ(p.slots[2].kind, ParamKind::kWithinMs);
+  EXPECT_EQ(p.slots[3].kind, ParamKind::kErrorPct);
+  EXPECT_EQ(p.time_budget_slot, 2);
+  EXPECT_EQ(p.error_slot, 3);
+  // Slots record where the `?` sits in the text.
+  EXPECT_EQ(p.slots[0].offset,
+            std::string("SELECT COUNT(*), AVG(r) FROM sky WHERE ra >= ")
+                .size());
+  // Placeholder-taken terms stay unspecified in the template bounds; the
+  // literal CONFIDENCE term is parsed as usual.
+  EXPECT_LT(p.bounds.time_budget_ms, 0.0);
+  EXPECT_LT(p.bounds.max_relative_error, 0.0);
+  EXPECT_DOUBLE_EQ(p.bounds.confidence, 0.99);
+  // The filter holds unbound placeholders and refuses to execute.
+  ASSERT_NE(p.query.filter, nullptr);
+  EXPECT_TRUE(p.query.filter->HasUnboundParams());
+}
+
+TEST(PreparedParserTest, ZeroPlaceholderTemplatesParse) {
+  const PreparedQuery p =
+      ParsePreparedQuery("SELECT COUNT(*) FROM t WHERE x = 5 ERROR 5%")
+          .value();
+  EXPECT_EQ(p.num_params(), 0u);
+  EXPECT_EQ(p.time_budget_slot, -1);
+  EXPECT_EQ(p.error_slot, -1);
+  EXPECT_FALSE(p.query.filter->HasUnboundParams());
+}
+
+// The round-trip guarantee extends to templates: rendering a PreparedQuery
+// and reparsing it reproduces the same template.
+class PreparedRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PreparedRoundTrip, ToStringIsStable) {
+  const PreparedQuery original = ParsePreparedQuery(GetParam()).value();
+  const std::string rendered = original.ToString();
+  const PreparedQuery reparsed = ParsePreparedQuery(rendered).value();
+  EXPECT_EQ(reparsed.ToString(), rendered);
+  EXPECT_EQ(reparsed.num_params(), original.num_params());
+  EXPECT_EQ(reparsed.time_budget_slot, original.time_budget_slot);
+  EXPECT_EQ(reparsed.error_slot, original.error_slot);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Templates, PreparedRoundTrip,
+    ::testing::Values(
+        "SELECT COUNT(*) FROM t WHERE x = ?",
+        "SELECT COUNT(*), AVG(r) FROM sky WHERE (ra >= ?) AND (cls = ?) "
+        "WITHIN ? MS ERROR ?% CONFIDENCE 99%",
+        "SELECT SUM(r) FROM t WHERE NOT (x < ?) GROUP BY g ERROR ?%",
+        "SELECT COUNT(*) FROM t WHERE (a = ?) OR (b > 2.5) WITHIN ? MS",
+        "SELECT COUNT(*) FROM t WITHIN 50 MS ERROR ?% EXACT"));
+
+TEST(PreparedParserTest, PlaceholdersRejectedOutsidePreparedMode) {
+  for (const char* sql :
+       {"SELECT COUNT(*) WHERE x = ?", "SELECT COUNT(*) WITHIN ? MS",
+        "SELECT COUNT(*) ERROR ?%"}) {
+    const auto bounded = ParseBoundedQuery(sql);
+    ASSERT_FALSE(bounded.ok()) << sql;
+    EXPECT_EQ(bounded.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(bounded.status().message().find("prepared"), std::string::npos)
+        << "rejection should point at prepared statements: "
+        << bounded.status().message();
+  }
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) WHERE x = ?").ok());
+  EXPECT_FALSE(ParsePredicate("x = ?").ok());
+}
+
+TEST(PreparedParserTest, PlaceholdersOnlyInComparisonAndBoundsPositions) {
+  // BETWEEN bounds, cone geometry, CONFIDENCE, and the column side are all
+  // literal-only positions.
+  EXPECT_FALSE(ParsePreparedQuery("SELECT COUNT(*) WHERE x BETWEEN ? AND 5")
+                   .ok());
+  EXPECT_FALSE(
+      ParsePreparedQuery("SELECT COUNT(*) WHERE cone(ra, dec; ?, 0; 3)").ok());
+  EXPECT_FALSE(ParsePreparedQuery("SELECT COUNT(*) CONFIDENCE ?%").ok());
+  EXPECT_FALSE(ParsePreparedQuery("SELECT COUNT(*) WHERE ? = 5").ok());
+}
+
+TEST(BindParamsTest, BindingEqualsFullyBoundSql) {
+  const PreparedQuery p =
+      ParsePreparedQuery(
+          "SELECT COUNT(*) FROM sky WHERE (ra > ?) AND (cls = ?) "
+          "WITHIN ? MS ERROR ?%")
+          .value();
+  const BoundedQuery bound =
+      BindParams(p, {Value(185.5), Value("GALAXY"), Value(int64_t{50}),
+                     Value(5.0)})
+          .value();
+  EXPECT_EQ(bound.ToString(),
+            "SELECT COUNT(*) FROM sky WHERE (ra > 185.5) AND "
+            "(cls = 'GALAXY') WITHIN 50 MS ERROR 5%");
+  // The bound rendering is itself parseable SQL with the same meaning —
+  // exactly what Engine::Query would run for the equivalent text.
+  const BoundedQuery reparsed = ParseBoundedQuery(bound.ToString()).value();
+  EXPECT_EQ(reparsed.ToString(), bound.ToString());
+  EXPECT_DOUBLE_EQ(bound.bounds.time_budget_ms, 50.0);
+  EXPECT_DOUBLE_EQ(bound.bounds.max_relative_error, 0.05);
+  EXPECT_FALSE(bound.query.filter->HasUnboundParams());
+}
+
+TEST(BindParamsTest, TemplateSurvivesBinding) {
+  const PreparedQuery p =
+      ParsePreparedQuery("SELECT COUNT(*) FROM t WHERE x = ?").value();
+  const std::string before = p.ToString();
+  ASSERT_TRUE(BindParams(p, {Value(int64_t{1})}).ok());
+  ASSERT_TRUE(BindParams(p, {Value(int64_t{2})}).ok());
+  EXPECT_EQ(p.ToString(), before);  // bind clones, never mutates
+}
+
+TEST(BindParamsTest, ArityMismatchRejected) {
+  const PreparedQuery p =
+      ParsePreparedQuery("SELECT COUNT(*) FROM t WHERE x = ? AND y = ?")
+          .value();
+  for (const auto& params :
+       std::vector<std::vector<Value>>{{}, {Value(1.0)},
+                                       {Value(1.0), Value(2.0), Value(3.0)}}) {
+    const auto bound = BindParams(p, params);
+    ASSERT_FALSE(bound.ok()) << params.size() << " params";
+    EXPECT_EQ(bound.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(bound.status().message().find("expects 2 parameter(s)"),
+              std::string::npos)
+        << bound.status().message();
+  }
+}
+
+TEST(BindParamsTest, TypeAndRangeViolationsRejected) {
+  // NULL into a comparison.
+  const PreparedQuery cmp =
+      ParsePreparedQuery("SELECT COUNT(*) FROM t WHERE x = ?").value();
+  EXPECT_FALSE(BindParams(cmp, {Value::Null()}).ok());
+
+  // A string into WITHIN, and a non-positive budget.
+  const PreparedQuery within =
+      ParsePreparedQuery("SELECT COUNT(*) FROM t WITHIN ? MS").value();
+  const auto bad_type = BindParams(within, {Value("fast")});
+  ASSERT_FALSE(bad_type.ok());
+  EXPECT_EQ(bad_type.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_type.status().message().find("must be numeric"),
+            std::string::npos);
+  EXPECT_FALSE(BindParams(within, {Value(0.0)}).ok());
+  EXPECT_FALSE(BindParams(within, {Value(-5.0)}).ok());
+  EXPECT_TRUE(BindParams(within, {Value(10.0)}).ok());
+
+  // A negative ERROR bound.
+  const PreparedQuery err =
+      ParsePreparedQuery("SELECT COUNT(*) FROM t ERROR ?%").value();
+  EXPECT_FALSE(BindParams(err, {Value(-1.0)}).ok());
+  EXPECT_TRUE(BindParams(err, {Value(int64_t{0})}).ok());
+  const BoundedQuery bound = BindParams(err, {Value(5.0)}).value();
+  EXPECT_DOUBLE_EQ(bound.bounds.max_relative_error, 0.05);
+}
+
+// ----------------------------------------------- error diagnostics -----
+
+/// Satellite requirement: parser errors name the byte offset and carry a
+/// caret excerpt pointing at the offending token — for plain SQL and for
+/// bounds-clause failures alike.
+TEST(ParserErrorTest, PlainSqlErrorsCarryOffsetAndCaret) {
+  const auto r = ParseQuery("SELECT COUNT(*) FRM sky");
+  ASSERT_FALSE(r.ok());
+  const std::string msg = r.status().message();
+  EXPECT_NE(msg.find("at offset 16"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("FRM sky"), std::string::npos) << msg;  // the excerpt
+  EXPECT_NE(msg.find('^'), std::string::npos) << msg;        // the caret
+  // The caret column matches the offset within the excerpt line.
+  const size_t caret_line = msg.rfind('\n');
+  ASSERT_NE(caret_line, std::string::npos);
+  EXPECT_EQ(msg.substr(caret_line), "\n  " + std::string(16, ' ') + "^");
+}
+
+TEST(ParserErrorTest, BoundsClauseErrorsCarryOffsetAndCaret) {
+  const std::string sql = "SELECT COUNT(*) WITHIN 50 SEC";
+  const auto r = ParseBoundedQuery(sql);
+  ASSERT_FALSE(r.ok());
+  const std::string msg = r.status().message();
+  EXPECT_NE(msg.find("expected 'ms'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(StrFormat("at offset %zu", sql.find("SEC"))),
+            std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find('^'), std::string::npos) << msg;
+
+  // Validation failures point back at the offending number.
+  const auto neg = ParseBoundedQuery("SELECT COUNT(*) ERROR -5%");
+  ASSERT_FALSE(neg.ok());
+  EXPECT_NE(neg.status().message().find("at offset 22"), std::string::npos)
+      << neg.status().message();
+  EXPECT_NE(neg.status().message().find('^'), std::string::npos);
+}
+
+TEST(ParserErrorTest, LongInputsGetElidedExcerpts) {
+  // The error sits past the context window: the excerpt is elided on the
+  // left, and the caret still lands on the offending token.
+  const std::string padding(120, ' ');
+  const auto r = ParseQuery("SELECT" + padding + "COUNT(*) FRM x");
+  ASSERT_FALSE(r.ok());
+  const std::string msg = r.status().message();
+  EXPECT_NE(msg.find("..."), std::string::npos) << msg;
+  EXPECT_NE(msg.find('^'), std::string::npos) << msg;
+}
+
+TEST(ParserErrorTest, LexerErrorsCarryOffsetAndCaret) {
+  const auto bad_char = ParseQuery("SELECT COUNT(*) WHERE x @ 5");
+  ASSERT_FALSE(bad_char.ok());
+  EXPECT_NE(bad_char.status().message().find("unexpected character '@' at "
+                                             "offset 24"),
+            std::string::npos)
+      << bad_char.status().message();
+  const auto unterminated = ParseQuery("SELECT COUNT(*) WHERE x = 'oops");
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_NE(unterminated.status().message().find(
+                "unterminated string literal at offset 26"),
+            std::string::npos)
+      << unterminated.status().message();
+  EXPECT_NE(unterminated.status().message().find('^'), std::string::npos);
+}
 
 }  // namespace
 }  // namespace sciborq

@@ -253,6 +253,180 @@ TEST_F(ServerTest, GarbageEnvelopeAnsweredThenClosed) {
   EXPECT_FALSE(eof->has_value());
 }
 
+// ------------------------------------------------ prepared statements -----
+
+constexpr char kBoxTemplate[] =
+    "SELECT COUNT(*), AVG(r) FROM photo_obj_all "
+    "WHERE ra >= ? AND ra <= ? AND dec >= ? AND dec <= ? ERROR 25%";
+
+std::vector<Value> BoxParams(int i) {
+  const double ra = 150.0 + 4.0 * (i % 6);
+  const double dec = 15.0 + 3.0 * (i % 4);
+  return {Value(ra - 18.0), Value(ra + 18.0), Value(dec - 18.0),
+          Value(dec + 18.0)};
+}
+
+std::string BoxSql(int i) {
+  const double ra = 150.0 + 4.0 * (i % 6);
+  const double dec = 15.0 + 3.0 * (i % 4);
+  return StrFormat(
+      "SELECT COUNT(*), AVG(r) FROM photo_obj_all "
+      "WHERE ra >= %.17g AND ra <= %.17g AND dec >= %.17g AND dec <= %.17g "
+      "ERROR 25%%",
+      ra - 18.0, ra + 18.0, dec - 18.0, dec + 18.0);
+}
+
+TEST_F(ServerTest, PreparedRoundTripMatchesInProcess) {
+  Result<SciborqClient> client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  const Result<StatementInfo> stmt = client->Prepare(kBoxTemplate);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_TRUE(stmt->handle.valid());
+  EXPECT_EQ("photo_obj_all", stmt->table);
+  EXPECT_EQ(4u, stmt->num_params);
+  EXPECT_NE(stmt->sql.find("ra >= ?"), std::string::npos) << stmt->sql;
+
+  // Acceptance bar, over the wire: the remote bound execution equals the
+  // in-process query of the equivalent fully-bound SQL.
+  for (int i = 0; i < 6; ++i) {
+    const Result<QueryOutcome> remote =
+        client->Execute(stmt->handle, BoxParams(i));
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    const Result<QueryOutcome> local = engine_.Query(BoxSql(i));
+    ASSERT_TRUE(local.ok());
+    EXPECT_TRUE(EquivalentAnswers(*remote, *local))
+        << "i=" << i << "\nremote: " << remote->ToString()
+        << "\nlocal:  " << local->ToString();
+  }
+  EXPECT_EQ(1, server_->statements_prepared());
+
+  ASSERT_TRUE(client->CloseStatement(stmt->handle).ok());
+  const Result<QueryOutcome> closed =
+      client->Execute(stmt->handle, BoxParams(0));
+  ASSERT_FALSE(closed.ok());
+  EXPECT_EQ(StatusCode::kNotFound, closed.status().code());
+  // The connection survives statement-level errors.
+  EXPECT_TRUE(client->Ping().ok());
+  EXPECT_EQ(0, server_->protocol_errors());
+}
+
+TEST_F(ServerTest, RemoteBindErrorsComeBackCodeIntact) {
+  Result<SciborqClient> client = Connect();
+  ASSERT_TRUE(client.ok());
+  const Result<StatementInfo> stmt =
+      client->Prepare("SELECT COUNT(*) FROM photo_obj_all WHERE ra > ?");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+
+  // Arity mismatch: InvalidArgument with the counts named.
+  const Result<QueryOutcome> wrong_arity =
+      client->Execute(stmt->handle, {Value(1.0), Value(2.0)});
+  ASSERT_FALSE(wrong_arity.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, wrong_arity.status().code());
+  EXPECT_NE(wrong_arity.status().message().find("expects 1 parameter(s)"),
+            std::string::npos)
+      << wrong_arity.status().message();
+
+  // Type mismatch: a string bound against the numeric column.
+  const Result<QueryOutcome> wrong_type =
+      client->Execute(stmt->handle, {Value("oops")});
+  ASSERT_FALSE(wrong_type.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, wrong_type.status().code());
+
+  // Unparsable templates report the caret diagnostics across the wire.
+  const Result<StatementInfo> bad =
+      client->Prepare("SELECT COUNT(* FROM photo_obj_all");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, bad.status().code());
+  EXPECT_NE(bad.status().message().find("offset"), std::string::npos);
+
+  // The connection is still healthy and the statement still works.
+  EXPECT_TRUE(client->Execute(stmt->handle, {Value(150.0)}).ok());
+  EXPECT_EQ(0, server_->protocol_errors());
+}
+
+TEST_F(ServerTest, StatementHandlesAreScopedPerConnection) {
+  Result<SciborqClient> owner = Connect();
+  Result<SciborqClient> intruder = Connect();
+  ASSERT_TRUE(owner.ok());
+  ASSERT_TRUE(intruder.ok());
+
+  const Result<StatementInfo> stmt =
+      owner->Prepare("SELECT COUNT(*) FROM photo_obj_all WHERE ra > ?");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(owner->Execute(stmt->handle, {Value(150.0)}).ok());
+
+  // Another connection can neither execute nor close the handle.
+  const Result<QueryOutcome> stolen =
+      intruder->Execute(stmt->handle, {Value(150.0)});
+  ASSERT_FALSE(stolen.ok());
+  EXPECT_EQ(StatusCode::kNotFound, stolen.status().code());
+  EXPECT_EQ(StatusCode::kNotFound,
+            intruder->CloseStatement(stmt->handle).code());
+  // The owner still can.
+  EXPECT_TRUE(owner->Execute(stmt->handle, {Value(160.0)}).ok());
+}
+
+TEST_F(ServerTest, DisconnectFreesPreparedStatements) {
+  {
+    Result<SciborqClient> client = Connect();
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(
+        client->Prepare("SELECT COUNT(*) FROM photo_obj_all WHERE ra > ?")
+            .ok());
+    ASSERT_TRUE(
+        client->Prepare("SELECT COUNT(*) FROM photo_obj_all WHERE dec > ?")
+            .ok());
+    EXPECT_EQ(2, engine_.open_statements());
+  }  // client hangs up
+  // The handler notices the EOF and destroys the session, which closes the
+  // registry entries — poll briefly for the race.
+  for (int i = 0; i < 100 && engine_.open_statements() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(0, engine_.open_statements());
+}
+
+TEST_F(ServerTest, FourConcurrentClientsExecuteBitIdenticallyToRendered) {
+  // Satellite requirement: Execute(handle, params) vs Query(rendered_sql)
+  // bit-identity on 4 concurrent clients. The table is static, so every
+  // outcome is deterministic no matter the interleaving.
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 10;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([this, &mismatches, &failures] {
+      Result<SciborqClient> client = Connect();
+      if (!client.ok()) {
+        failures.fetch_add(kPerClient);
+        return;
+      }
+      const Result<StatementInfo> stmt = client->Prepare(kBoxTemplate);
+      if (!stmt.ok()) {
+        failures.fetch_add(kPerClient);
+        return;
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        const Result<QueryOutcome> remote =
+            client->Execute(stmt->handle, BoxParams(i));
+        const Result<QueryOutcome> rendered = client->Query(BoxSql(i));
+        if (!remote.ok() || !rendered.ok()) {
+          failures.fetch_add(1);
+        } else if (!EquivalentAnswers(*remote, *rendered)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(0, failures.load());
+  EXPECT_EQ(0, mismatches.load());
+  EXPECT_EQ(0, server_->protocol_errors());
+  EXPECT_EQ(kClients, server_->statements_prepared());
+}
+
 TEST_F(ServerTest, GracefulStopDrainsAndRefusesNewConnections) {
   Result<SciborqClient> client = Connect();
   ASSERT_TRUE(client.ok());

@@ -387,6 +387,54 @@ TEST(WireEnvelopeTest, WrongVersionRejected) {
   EXPECT_FALSE(DecodeResponse(resp).ok());
 }
 
+TEST(WireEnvelopeTest, V1OpcodesStayByteIdenticalV1) {
+  // The acceptance bar for protocol v2: frames carrying v1 opcodes must not
+  // change a single byte, version prefix included.
+  for (const Opcode op : {Opcode::kQuery, Opcode::kUse, Opcode::kSetBounds,
+                          Opcode::kCatalog, Opcode::kPing}) {
+    const std::string req = EncodeRequest(op, "payload");
+    EXPECT_EQ(kWireVersionV1, static_cast<uint8_t>(req[0]))
+        << OpcodeToString(op);
+    EXPECT_EQ(static_cast<uint8_t>(op), static_cast<uint8_t>(req[1]));
+    const std::string resp = EncodeResponse(op, Status::OK(), "");
+    EXPECT_EQ(kWireVersionV1, static_cast<uint8_t>(resp[0]))
+        << OpcodeToString(op);
+  }
+  // And the new opcodes are stamped v2, so a v1-only peer rejects them
+  // cleanly instead of misreading them.
+  for (const Opcode op :
+       {Opcode::kPrepare, Opcode::kExecute, Opcode::kCloseStmt}) {
+    EXPECT_EQ(kWireVersionV2,
+              static_cast<uint8_t>(EncodeRequest(op, "")[0]))
+        << OpcodeToString(op);
+  }
+}
+
+TEST(WireEnvelopeTest, V2OpcodesRoundTripAndRequireV2) {
+  for (const Opcode op :
+       {Opcode::kPrepare, Opcode::kExecute, Opcode::kCloseStmt}) {
+    const std::string body = EncodeRequest(op, "xyz");
+    const Result<RequestFrame> decoded = DecodeRequest(body);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(op, decoded->opcode);
+    EXPECT_EQ("xyz", decoded->payload);
+
+    // The same opcode under a v1 version byte is rejected with a version
+    // hint, not treated as garbage.
+    std::string v1_body = body;
+    v1_body[0] = static_cast<char>(kWireVersionV1);
+    const Result<RequestFrame> rejected = DecodeRequest(v1_body);
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_NE(rejected.status().message().find("requires protocol v2"),
+              std::string::npos)
+        << rejected.status().message();
+  }
+  // A v2 envelope may still carry v1 opcodes (v2 is a superset).
+  std::string query = EncodeRequest(Opcode::kQuery, "");
+  query[0] = static_cast<char>(kWireVersionV2);
+  EXPECT_TRUE(DecodeRequest(query).ok());
+}
+
 TEST(WireEnvelopeTest, UnknownOpcodeRejected) {
   std::string body = EncodeRequest(Opcode::kPing, "");
   body[1] = 99;
@@ -414,6 +462,120 @@ TEST(WireEnvelopeTest, OkResponseCarriesPayload) {
   EXPECT_TRUE(decoded->status.ok());
   WireReader r(decoded->payload);
   EXPECT_EQ(4u, *r.ReadU32());
+}
+
+// ----------------------------------------- prepared-statement envelopes ---
+
+std::string EncodedParams(const std::vector<Value>& params) {
+  WireWriter w;
+  EncodeParams(params, &w);
+  return w.Take();
+}
+
+TEST(WireParamsTest, RoundTripsBitIdentically) {
+  const std::vector<Value> params = {
+      Value(int64_t{-42}),
+      Value(3.14159),
+      Value(-0.0),
+      Value(std::numeric_limits<double>::quiet_NaN()),
+      Value("GALAXY"),
+      Value(std::string("nul\0byte", 8)),
+      Value::Null(),
+      Value(""),
+  };
+  const std::string bytes = EncodedParams(params);
+  WireReader r(bytes);
+  const Result<std::vector<Value>> decoded = DecodeParams(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(r.ExpectEnd().ok());
+  EXPECT_EQ(bytes, EncodedParams(*decoded));
+  ASSERT_EQ(params.size(), decoded->size());
+  EXPECT_TRUE((*decoded)[3].is_double());  // NaN survives as a double
+  EXPECT_TRUE((*decoded)[6].is_null());
+
+  // Empty parameter lists are legal (zero-placeholder templates).
+  const std::string empty_bytes = EncodedParams({});
+  WireReader empty(empty_bytes);
+  EXPECT_TRUE(DecodeParams(&empty)->empty());
+}
+
+TEST(WireParamsTest, EveryTruncationFailsCleanly) {
+  const std::string bytes = EncodedParams(
+      {Value(int64_t{7}), Value(2.5), Value("str"), Value::Null()});
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WireReader r(std::string_view(bytes.data(), len));
+    const Result<std::vector<Value>> decoded = DecodeParams(&r);
+    EXPECT_FALSE(decoded.ok() && r.ExpectEnd().ok())
+        << "truncation to " << len << " bytes decoded successfully";
+  }
+}
+
+TEST(WireParamsTest, HostileCountRejectedBeforeAllocation) {
+  // Claims 2^31 parameters backed by 3 bytes.
+  WireWriter w;
+  w.PutU32(1u << 31);
+  const std::string bytes = w.Take() + "abc";
+  WireReader r(bytes);
+  const Result<std::vector<Value>> decoded = DecodeParams(&r);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, decoded.status().code());
+}
+
+std::string EncodedStatementInfo(const StatementInfo& info) {
+  WireWriter w;
+  EncodeStatementInfo(info, &w);
+  return w.Take();
+}
+
+TEST(WireStatementInfoTest, RoundTripsBitIdentically) {
+  StatementInfo info;
+  info.handle.id = 0x1234567890ll;
+  info.table = "photo_obj_all";
+  info.sql = "SELECT COUNT(*) FROM photo_obj_all WHERE ra > ? ERROR ?%";
+  info.num_params = 2;
+  const std::string bytes = EncodedStatementInfo(info);
+  WireReader r(bytes);
+  const Result<StatementInfo> decoded = DecodeStatementInfo(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(r.ExpectEnd().ok());
+  EXPECT_EQ(bytes, EncodedStatementInfo(*decoded));
+  EXPECT_EQ(info.handle.id, decoded->handle.id);
+  EXPECT_EQ(info.table, decoded->table);
+  EXPECT_EQ(info.sql, decoded->sql);
+  EXPECT_EQ(info.num_params, decoded->num_params);
+}
+
+TEST(WireStatementInfoTest, EveryTruncationFailsCleanly) {
+  StatementInfo info;
+  info.handle.id = 7;
+  info.table = "t";
+  info.sql = "SELECT COUNT(*) FROM t WHERE x = ?";
+  info.num_params = 1;
+  const std::string bytes = EncodedStatementInfo(info);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WireReader r(std::string_view(bytes.data(), len));
+    const Result<StatementInfo> decoded = DecodeStatementInfo(&r);
+    EXPECT_FALSE(decoded.ok() && r.ExpectEnd().ok())
+        << "truncation to " << len << " bytes decoded successfully";
+  }
+}
+
+/// The kExecute request payload (i64 handle + params) survives every
+/// truncation — the third new envelope, exercised exactly as the server
+/// decodes it.
+TEST(WireParamsTest, ExecuteRequestPayloadTruncationsFailCleanly) {
+  WireWriter w;
+  w.PutI64(42);
+  EncodeParams({Value(1.5), Value("x")}, &w);
+  const std::string bytes = w.Take();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WireReader r(std::string_view(bytes.data(), len));
+    const Result<int64_t> id = r.ReadI64();
+    if (!id.ok()) continue;
+    const Result<std::vector<Value>> params = DecodeParams(&r);
+    EXPECT_FALSE(params.ok() && r.ExpectEnd().ok())
+        << "truncation to " << len << " bytes decoded successfully";
+  }
 }
 
 TEST(WireEnvelopeTest, ResponseTruncationsFailCleanly) {

@@ -2,21 +2,34 @@
 //
 //   sciborq_cli [--host 127.0.0.1] [--port 4242]            # REPL
 //   sciborq_cli --port 4242 -e "SELECT COUNT(*) FROM sky ERROR 5%"
+//   sciborq_cli --port 4242 -e "\prepare SELECT COUNT(*) FROM sky
+//       WHERE r > ? ERROR 10%" -e "\exec 1 17.5"
 //
 // REPL commands (everything else is shipped as SQL):
-//   \tables        catalog listing (schema + impression layers)
-//   \use TABLE     default table for FROM-less SQL
-//   \ping          round-trip liveness check
-//   \q             quit
+//   \tables             catalog listing (schema + impression layers)
+//   \describe TABLE     one table: schema + per-layer fill
+//   \use TABLE          default table for FROM-less SQL
+//   \prepare SQL        prepare a '?' template; prints the handle id
+//   \exec ID ARGS...    bind + run: numbers stay numeric, 'quoted' or bare
+//                       words become strings; ID may be `last` (the most
+//                       recent \prepare of this process)
+//   \close ID           free a prepared statement
+//   \ping               round-trip liveness check
+//   \q                  quit
 //
-// One-shot mode (-e) prints the outcome and exits non-zero if the
-// connection or the query failed — scriptable for smoke tests.
+// One-shot mode: every -e runs in order (REPL commands included), and the
+// exit code is non-zero as soon as one fails — scriptable for smoke tests,
+// including a \prepare/\exec round trip and wrong-arity \exec failures.
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "client/client.h"
 #include "util/string_util.h"
@@ -27,15 +40,91 @@ namespace {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--host HOST] [--port N] [-e \"SQL\"]\n"
+               "usage: %s [--host HOST] [--port N] [-e \"SQL\"]...\n"
                "  --host HOST  server host (default 127.0.0.1)\n"
                "  --port N     server port (default 4242)\n"
-               "  -e SQL       run one statement, print the outcome, exit\n",
+               "  -e SQL       run one statement (repeatable, in order; also\n"
+               "               accepts REPL commands like \\prepare, \\exec),\n"
+               "               print the outcome, exit non-zero on failure\n",
                argv0);
 }
 
-/// Executes one REPL line; returns false when the session should end.
-bool HandleLine(SciborqClient* client, const std::string& line) {
+/// One bound parameter from a \exec argument: integer-looking tokens become
+/// int64, other numbers double, everything else (incl. 'quoted') a string.
+Value ParseParamToken(const std::string& token) {
+  if (token.size() >= 2 && token.front() == '\'' && token.back() == '\'') {
+    return Value(token.substr(1, token.size() - 2));
+  }
+  // Integers go through strtoll, not a double cast (which would be UB and
+  // lossy past 2^53); out-of-range integers fall through to double.
+  if (token.find_first_of(".eE") == std::string::npos) {
+    errno = 0;
+    char* end = nullptr;
+    const long long i = std::strtoll(token.c_str(), &end, 10);
+    if (end != token.c_str() && *end == '\0' && errno != ERANGE) {
+      return Value(static_cast<int64_t>(i));
+    }
+  }
+  char* end = nullptr;
+  const double num = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() && *end == '\0') return Value(num);
+  return Value(token);
+}
+
+/// Splits "\exec 3 17.5 'GALAXY GX'" arguments on whitespace, keeping
+/// 'quoted strings' (which may contain spaces) as one token.
+std::vector<std::string> SplitParamTokens(std::string_view text) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i >= text.size()) break;
+    std::string token;
+    if (text[i] == '\'') {
+      token += text[i++];
+      while (i < text.size() && text[i] != '\'') token += text[i++];
+      if (i < text.size()) token += text[i++];  // closing quote
+    } else {
+      while (i < text.size() &&
+             !std::isspace(static_cast<unsigned char>(text[i]))) {
+        token += text[i++];
+      }
+    }
+    out.push_back(std::move(token));
+  }
+  return out;
+}
+
+struct Cli {
+  SciborqClient* client;
+  /// Prepared handles live on the server session; this map only remembers
+  /// the template text for friendlier output.
+  std::map<int64_t, StatementInfo> statements;
+  /// Id of the most recent \prepare — the target of `\exec last`.
+  int64_t last_prepared = -1;
+};
+
+/// The word after a command, e.g. "\use sky" -> "sky"; empty when absent.
+std::string ArgAfter(std::string_view trimmed, size_t command_len) {
+  if (trimmed.size() <= command_len) return "";
+  return std::string(StripWhitespace(trimmed.substr(command_len)));
+}
+
+bool IsCommand(std::string_view trimmed, std::string_view word) {
+  if (trimmed == word) return true;
+  return trimmed.size() > word.size() &&
+         trimmed.substr(0, word.size()) == word &&
+         (trimmed[word.size()] == ' ' || trimmed[word.size()] == '\t');
+}
+
+/// Executes one line (REPL or -e). Returns false when the session should
+/// end; *ok reports whether the line succeeded.
+bool HandleLine(Cli* cli, const std::string& line, bool* ok) {
+  *ok = true;
+  SciborqClient* client = cli->client;
   const std::string_view trimmed = StripWhitespace(line);
   if (trimmed.empty()) return true;
   if (trimmed == "\\q" || trimmed == "\\quit" || trimmed == "exit") {
@@ -43,12 +132,14 @@ bool HandleLine(SciborqClient* client, const std::string& line) {
   }
   if (trimmed == "\\ping") {
     const Status st = client->Ping();
+    *ok = st.ok();
     std::printf("%s\n", st.ok() ? "pong" : st.ToString().c_str());
     return true;
   }
   if (trimmed == "\\tables") {
     const Result<std::vector<TableInfo>> tables = client->ListTables();
     if (!tables.ok()) {
+      *ok = false;
       std::printf("error: %s\n", tables.status().ToString().c_str());
       return true;
     }
@@ -58,22 +149,129 @@ bool HandleLine(SciborqClient* client, const std::string& line) {
     }
     return true;
   }
-  if (trimmed == "\\use" ||
-      (trimmed.rfind("\\use", 0) == 0 && trimmed.size() > 4 &&
-       (trimmed[4] == ' ' || trimmed[4] == '\t'))) {
-    const std::string table(
-        trimmed == "\\use" ? "" : StripWhitespace(trimmed.substr(4)));
+  if (IsCommand(trimmed, "\\describe")) {
+    const std::string table = ArgAfter(trimmed, 9);
     if (table.empty()) {
+      *ok = false;
+      std::printf("usage: \\describe TABLE\n");
+      return true;
+    }
+    const Result<std::vector<TableInfo>> tables = client->ListTables();
+    if (!tables.ok()) {
+      *ok = false;
+      std::printf("error: %s\n", tables.status().ToString().c_str());
+      return true;
+    }
+    for (const TableInfo& info : *tables) {
+      if (info.name == table) {
+        std::printf("%s\n", info.ToString().c_str());
+        return true;
+      }
+    }
+    *ok = false;
+    std::printf("error: unknown table '%s' (try \\tables)\n", table.c_str());
+    return true;
+  }
+  if (IsCommand(trimmed, "\\use")) {
+    const std::string table = ArgAfter(trimmed, 4);
+    if (table.empty()) {
+      *ok = false;
       std::printf("usage: \\use TABLE\n");
       return true;
     }
     const Status st = client->Use(table);
+    *ok = st.ok();
     std::printf("%s\n", st.ok() ? StrFormat("using '%s'", table.c_str()).c_str()
                                 : st.ToString().c_str());
     return true;
   }
+  if (IsCommand(trimmed, "\\prepare")) {
+    const std::string sql = ArgAfter(trimmed, 8);
+    if (sql.empty()) {
+      *ok = false;
+      std::printf("usage: \\prepare SQL (with ? placeholders)\n");
+      return true;
+    }
+    const Result<StatementInfo> info = client->Prepare(sql);
+    if (!info.ok()) {
+      *ok = false;
+      std::printf("error: %s\n", info.status().ToString().c_str());
+      return true;
+    }
+    cli->statements[info->handle.id] = *info;
+    cli->last_prepared = info->handle.id;
+    std::printf("%s\n", info->ToString().c_str());
+    std::printf("run it: \\exec %lld%s\n",
+                static_cast<long long>(info->handle.id),
+                info->num_params > 0 ? " PARAM..." : "");
+    return true;
+  }
+  if (IsCommand(trimmed, "\\exec")) {
+    std::vector<std::string> tokens = SplitParamTokens(trimmed.substr(5));
+    if (tokens.empty()) {
+      *ok = false;
+      std::printf("usage: \\exec ID [PARAM...]\n");
+      return true;
+    }
+    long long id;
+    if (tokens[0] == "last") {
+      // `last` targets the most recent \prepare of this process — scripts
+      // (and the CI smoke) stay correct without tracking server-wide ids.
+      if (cli->last_prepared < 0) {
+        *ok = false;
+        std::printf("error: no statement prepared yet (usage: \\exec last "
+                    "[PARAM...])\n");
+        return true;
+      }
+      id = cli->last_prepared;
+    } else {
+      char* end = nullptr;
+      id = std::strtoll(tokens[0].c_str(), &end, 10);
+      if (end == tokens[0].c_str() || *end != '\0') {
+        *ok = false;
+        std::printf("error: '%s' is not a statement id (usage: \\exec "
+                    "ID|last [PARAM...])\n",
+                    tokens[0].c_str());
+        return true;
+      }
+    }
+    std::vector<Value> params;
+    params.reserve(tokens.size() - 1);
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      params.push_back(ParseParamToken(tokens[i]));
+    }
+    const Result<QueryOutcome> outcome =
+        client->Execute(StatementHandle{id}, params);
+    if (!outcome.ok()) {
+      *ok = false;
+      std::printf("error: %s\n", outcome.status().ToString().c_str());
+      return true;
+    }
+    std::printf("%s\n", outcome->ToString().c_str());
+    return true;
+  }
+  if (IsCommand(trimmed, "\\close")) {
+    const std::string arg = ArgAfter(trimmed, 6);
+    char* end = nullptr;
+    const long long id = std::strtoll(arg.c_str(), &end, 10);
+    if (arg.empty() || end == arg.c_str() || *end != '\0') {
+      *ok = false;
+      std::printf("usage: \\close ID\n");
+      return true;
+    }
+    const Status st = client->CloseStatement(StatementHandle{id});
+    *ok = st.ok();
+    if (st.ok()) {
+      cli->statements.erase(id);
+      std::printf("closed statement #%lld\n", id);
+    } else {
+      std::printf("error: %s\n", st.ToString().c_str());
+    }
+    return true;
+  }
   const Result<QueryOutcome> outcome = client->Query(trimmed);
   if (!outcome.ok()) {
+    *ok = false;
     std::printf("error: %s\n", outcome.status().ToString().c_str());
     return true;
   }
@@ -86,8 +284,7 @@ bool HandleLine(SciborqClient* client, const std::string& line) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 4242;
-  std::string one_shot;
-  bool has_one_shot = false;
+  std::vector<std::string> one_shots;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -97,8 +294,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--port" && has_value) {
       port = std::atoi(argv[++i]);
     } else if (arg == "-e" && has_value) {
-      one_shot = argv[++i];
-      has_one_shot = true;
+      one_shots.push_back(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -115,18 +311,20 @@ int main(int argc, char** argv) {
                  client.status().ToString().c_str());
     return 1;
   }
+  Cli cli{&*client, {}};
 
-  if (has_one_shot) {
-    const Result<QueryOutcome> outcome = client->Query(one_shot);
-    if (!outcome.ok()) {
-      std::fprintf(stderr, "error: %s\n", outcome.status().ToString().c_str());
-      return 1;
+  if (!one_shots.empty()) {
+    for (const std::string& statement : one_shots) {
+      bool ok = true;
+      const bool keep_going = HandleLine(&cli, statement, &ok);
+      if (!ok) return 1;
+      if (!keep_going) break;  // \q ends the batch, like it ends the REPL
     }
-    std::printf("%s\n", outcome->ToString().c_str());
     return 0;
   }
 
-  std::printf("connected to %s:%d — \\tables, \\use TABLE, \\ping, \\q; "
+  std::printf("connected to %s:%d — \\tables, \\describe TABLE, \\use TABLE, "
+              "\\prepare SQL, \\exec ID PARAM..., \\close ID, \\ping, \\q; "
               "anything else is SQL\n",
               host.c_str(), port);
   std::string line;
@@ -134,7 +332,8 @@ int main(int argc, char** argv) {
     std::printf("sciborq> ");
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
-    if (!HandleLine(&*client, line)) break;
+    bool ok = true;
+    if (!HandleLine(&cli, line, &ok)) break;
   }
   return 0;
 }
