@@ -1,11 +1,13 @@
 #include "api/engine.h"
 
 #include <algorithm>
+#include <deque>
 #include <optional>
 #include <utility>
 
 #include "column/csv.h"
 #include "exec/parser.h"
+#include "storage/table_store.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -61,10 +63,18 @@ struct Engine::TableEntry {
   explicit TableEntry(int64_t log_window) : log(log_window) {}
 
   std::string name;
+  /// The creation options with layers resolved (what a checkpoint persists
+  /// and recovery rebuilds from).
+  TableOptions options;
   mutable std::shared_mutex data_mu;
   Table base;
   std::optional<InterestTracker> tracker;
   std::optional<ImpressionHierarchy> hierarchy;
+  /// Sequence number the next WAL ingest record will carry (persistent
+  /// engines; guarded by data_mu).
+  int64_t next_seq = 1;
+  /// Serializes checkpoints of this table (they share one WAL file).
+  mutable std::mutex checkpoint_mu;
   mutable std::mutex workload_mu;
   QueryLog log;
 };
@@ -78,22 +88,24 @@ Engine::~Engine() = default;
 
 Status Engine::CreateTable(const std::string& name, const Schema& schema,
                            TableOptions options) {
+  SCIBORQ_ASSIGN_OR_RETURN(std::unique_ptr<TableEntry> entry,
+                           BuildTableEntry(name, schema, std::move(options)));
+  return PublishTable(std::move(entry), /*initial_batch=*/nullptr);
+}
+
+Result<std::unique_ptr<Engine::TableEntry>> Engine::BuildTableEntry(
+    const std::string& name, const Schema& schema, TableOptions options) {
   if (name.empty()) {
     return Status::InvalidArgument("table name must be non-empty");
   }
-  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
-  if (tables_.find(name) != tables_.end()) {
-    return Status::AlreadyExists(
-        StrFormat("table '%s' is already registered", name.c_str()));
+  if (store_) {
+    // Persisted names become file names; reject the others up front.
+    SCIBORQ_RETURN_NOT_OK(TableStore::ValidateTableName(name));
   }
-  return CreateTableLocked(name, schema, std::move(options));
-}
-
-Status Engine::CreateTableLocked(const std::string& name, const Schema& schema,
-                                 TableOptions options) {
   auto entry = std::make_unique<TableEntry>(options_.query_log_window);
   entry->name = name;
   entry->base = Table(schema);
+  if (options.layers.empty()) options.layers = DefaultLayers();
 
   ImpressionSpec spec;
   spec.seed = options.seed;
@@ -111,13 +123,64 @@ Status Engine::CreateTableLocked(const std::string& name, const Schema& schema,
   hierarchy_options.load_shards = options_.load_shards;
   SCIBORQ_ASSIGN_OR_RETURN(
       ImpressionHierarchy hierarchy,
-      ImpressionHierarchy::Make(
-          schema,
-          options.layers.empty() ? DefaultLayers() : std::move(options.layers),
-          spec, hierarchy_options));
+      ImpressionHierarchy::Make(schema, options.layers, spec,
+                                hierarchy_options));
   entry->hierarchy.emplace(std::move(hierarchy));
+  entry->options = std::move(options);
+  return entry;
+}
 
-  tables_.emplace(name, std::move(entry));
+Status Engine::IngestIntoEntry(TableEntry* entry, const Table& batch) {
+  if (!batch.schema().Equals(entry->base.schema())) {
+    return Status::InvalidArgument(StrFormat(
+        "batch schema %s does not match table '%s' schema %s",
+        batch.schema().ToString().c_str(), entry->name.c_str(),
+        entry->base.schema().ToString().c_str()));
+  }
+  SCIBORQ_RETURN_NOT_OK(entry->hierarchy->IngestBatch(batch));
+  entry->base.Reserve(entry->base.num_rows() + batch.num_rows());
+  for (int64_t row = 0; row < batch.num_rows(); ++row) {
+    entry->base.AppendRowFrom(batch, row);
+  }
+  return Status::OK();
+}
+
+Status Engine::PublishTable(std::unique_ptr<TableEntry> entry,
+                            const Table* initial_batch) {
+  TableEntry* raw = entry.get();
+  std::unique_lock<std::shared_mutex> data_lock(raw->data_mu);
+  std::unique_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+  if (tables_.find(raw->name) != tables_.end()) {
+    return Status::AlreadyExists(
+        StrFormat("table '%s' is already registered", raw->name.c_str()));
+  }
+  if (store_) {
+    // All durable state — the create record AND the initial batch — lands
+    // before the catalog insert, so a WAL failure leaves the catalog
+    // untouched (atomic registration) and nothing ever resurrects a table
+    // the caller was told failed. Registration is rare (boot time), so
+    // holding the catalog lock across the fsyncs is acceptable; it also
+    // serializes duplicate-name races on the WAL file itself.
+    PersistedTableConfig config;
+    config.layers = raw->options.layers;
+    config.tracked_attributes = raw->options.tracked_attributes;
+    config.seed = raw->options.seed;
+    config.refresh_interval = raw->options.refresh_interval;
+    SCIBORQ_RETURN_NOT_OK(
+        store_->LogCreate(raw->name, raw->base.schema(), config));
+    if (initial_batch != nullptr && initial_batch->num_rows() > 0) {
+      const Result<int64_t> logged =
+          store_->LogBatch(raw->name, *initial_batch, raw->next_seq);
+      if (!logged.ok()) {
+        // Undo the create record: a WAL holding create-but-no-batch would
+        // bring the table back *empty* at the next boot.
+        store_->DropWal(raw->name);
+        return logged.status();
+      }
+      ++raw->next_seq;
+    }
+  }
+  tables_.emplace(raw->name, std::move(entry));
   return Status::OK();
 }
 
@@ -125,9 +188,16 @@ Result<int64_t> Engine::RegisterCsv(const std::string& name,
                                     const std::string& path,
                                     TableOptions options) {
   SCIBORQ_ASSIGN_OR_RETURN(Table data, ReadCsv(path));
-  SCIBORQ_RETURN_NOT_OK(CreateTable(name, data.schema(), std::move(options)));
-  SCIBORQ_RETURN_NOT_OK(IngestBatch(name, data));
-  return data.num_rows();
+  // Atomic registration: build the complete table — columns, hierarchy,
+  // samples — off to the side, and only then publish. A malformed CSV (or
+  // any later failure) leaves the catalog untouched.
+  SCIBORQ_ASSIGN_OR_RETURN(
+      std::unique_ptr<TableEntry> entry,
+      BuildTableEntry(name, data.schema(), std::move(options)));
+  SCIBORQ_RETURN_NOT_OK(IngestIntoEntry(entry.get(), data));
+  const int64_t rows = data.num_rows();
+  SCIBORQ_RETURN_NOT_OK(PublishTable(std::move(entry), &data));
+  return rows;
 }
 
 Result<Engine::TableEntry*> Engine::FindTable(const std::string& name) const {
@@ -154,12 +224,182 @@ Status Engine::IngestBatch(const std::string& table, const Table& batch) {
         batch.schema().ToString().c_str(), table.c_str(),
         entry->base.schema().ToString().c_str()));
   }
-  SCIBORQ_RETURN_NOT_OK(entry->hierarchy->IngestBatch(batch));
-  entry->base.Reserve(entry->base.num_rows() + batch.num_rows());
-  for (int64_t row = 0; row < batch.num_rows(); ++row) {
-    entry->base.AppendRowFrom(batch, row);
+  if (store_) {
+    // WAL first: the batch is durable before it is acknowledged.
+    SCIBORQ_ASSIGN_OR_RETURN(const int64_t wal_offset,
+                             store_->LogBatch(table, batch, entry->next_seq));
+    ++entry->next_seq;
+    if (Status st = IngestIntoEntry(entry, batch); !st.ok()) {
+      // The apply failed after the record became durable: unlog it, or the
+      // caller would be told the ingest failed while the next boot
+      // resurrects the rows. The sequence is released only when the unlog
+      // actually removed the record — otherwise a later ingest would reuse
+      // the number and recovery would replay two different batches under
+      // one sequence.
+      if (store_->UnlogBatch(table, wal_offset).ok()) --entry->next_seq;
+      return st;
+    }
+    return Status::OK();
   }
+  return IngestIntoEntry(entry, batch);
+}
+
+// -- Persistence -------------------------------------------------------------
+
+Result<std::unique_ptr<Engine>> Engine::Open(const std::string& db_dir,
+                                             EngineOptions options) {
+  auto engine = std::make_unique<Engine>(options);
+  SCIBORQ_ASSIGN_OR_RETURN(engine->store_, TableStore::Open(db_dir));
+  SCIBORQ_ASSIGN_OR_RETURN(std::vector<RecoveredTable> recovered,
+                           engine->store_->Recover());
+  for (RecoveredTable& table : recovered) {
+    SCIBORQ_RETURN_NOT_OK(engine->RestoreTable(std::move(table)));
+  }
+  return engine;
+}
+
+const std::string& Engine::db_dir() const {
+  static const std::string kEphemeral;
+  return store_ ? store_->dir() : kEphemeral;
+}
+
+Status Engine::RestoreTable(RecoveredTable recovered) {
+  if (recovered.wal_tail_dropped) {
+    recovery_warnings_.push_back(StrFormat(
+        "table '%s': dropped a torn WAL tail (%s) — the in-flight record a "
+        "crash mid-append leaves; no acknowledged ingest was lost",
+        recovered.name.c_str(), recovered.wal_tail_error.c_str()));
+  }
+  std::unique_ptr<TableEntry> entry;
+  if (recovered.snapshot) {
+    TableSnapshot& snap = *recovered.snapshot;
+    entry = std::make_unique<TableEntry>(options_.query_log_window);
+    entry->name = recovered.name;
+    entry->options.layers = snap.config.layers;
+    entry->options.tracked_attributes = snap.config.tracked_attributes;
+    entry->options.seed = snap.config.seed;
+    entry->options.refresh_interval = snap.config.refresh_interval;
+    if (snap.tracker) {
+      SCIBORQ_ASSIGN_OR_RETURN(InterestTracker tracker,
+                               InterestTracker::Restore(std::move(*snap.tracker)));
+      entry->tracker.emplace(std::move(tracker));
+    }
+    ImpressionSpec spec;
+    spec.seed = entry->options.seed;
+    if (entry->tracker) {
+      spec.policy = SamplingPolicy::kBiased;
+      spec.tracker = &*entry->tracker;
+    }
+    SCIBORQ_ASSIGN_OR_RETURN(
+        ImpressionHierarchy hierarchy,
+        ImpressionHierarchy::Restore(snap.base.schema(), spec,
+                                     std::move(snap.hierarchy)));
+    entry->hierarchy.emplace(std::move(hierarchy));
+    entry->base = std::move(snap.base);
+    entry->next_seq = snap.last_seq + 1;
+    // The log window round-trips as SQL (LoggedQuery::Sql() is
+    // ParseBoundedQuery's inverse, tested in engine_test).
+    std::deque<LoggedQuery> logged;
+    for (auto& persisted : snap.log.entries) {
+      Result<BoundedQuery> parsed = ParseBoundedQuery(persisted.sql);
+      if (!parsed.ok()) {
+        return Status::InvalidArgument(StrFormat(
+            "table '%s': recovered query log entry %lld does not parse: %s",
+            recovered.name.c_str(),
+            static_cast<long long>(persisted.sequence),
+            parsed.status().message().c_str()));
+      }
+      BoundedQuery bounded = std::move(parsed).value();
+      LoggedQuery q;
+      q.sequence = persisted.sequence;
+      q.query = std::move(bounded.query);
+      q.bounds = bounded.bounds;
+      logged.push_back(std::move(q));
+    }
+    entry->log.RestoreState(snap.log.total_recorded, std::move(logged));
+  } else {
+    // Created after the last checkpoint (or never checkpointed): rebuild
+    // from the WAL's create record and replay from scratch.
+    TableOptions opts;
+    opts.layers = recovered.created_config->layers;
+    opts.tracked_attributes = recovered.created_config->tracked_attributes;
+    opts.seed = recovered.created_config->seed;
+    opts.refresh_interval = recovered.created_config->refresh_interval;
+    SCIBORQ_ASSIGN_OR_RETURN(
+        entry, BuildTableEntry(recovered.name, *recovered.created_schema,
+                               std::move(opts)));
+  }
+
+  for (PendingBatch& pending : recovered.batches) {
+    SCIBORQ_RETURN_NOT_OK(IngestIntoEntry(entry.get(), pending.batch));
+    entry->next_seq = pending.seq + 1;
+  }
+
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  if (tables_.find(recovered.name) != tables_.end()) {
+    return Status::Internal(StrFormat("table '%s' recovered twice",
+                                      recovered.name.c_str()));
+  }
+  tables_.emplace(recovered.name, std::move(entry));
   return Status::OK();
+}
+
+TableSnapshot Engine::BuildSnapshot(const TableEntry& entry) const {
+  TableSnapshot snap;
+  snap.table = entry.name;
+  snap.config.layers = entry.options.layers;
+  snap.config.tracked_attributes = entry.options.tracked_attributes;
+  snap.config.seed = entry.options.seed;
+  snap.config.refresh_interval = entry.options.refresh_interval;
+  snap.last_seq = entry.next_seq - 1;
+  snap.base = entry.base;
+  snap.hierarchy = entry.hierarchy->SaveState();
+  {
+    // Queries mutate the tracker and log under workload_mu while holding
+    // only the shared data lock, so a shared-lock checkpoint must take it
+    // too for a consistent workload cut.
+    std::lock_guard<std::mutex> workload_lock(entry.workload_mu);
+    if (entry.tracker) snap.tracker = entry.tracker->SaveState();
+    snap.log.total_recorded = entry.log.total_recorded();
+    for (const auto& logged : entry.log.entries()) {
+      snap.log.entries.push_back(
+          PersistedQueryLog::Entry{logged.sequence, logged.Sql()});
+    }
+  }
+  return snap;
+}
+
+Status Engine::Checkpoint(const std::string& table) {
+  if (!store_) {
+    return Status::FailedPrecondition(
+        "engine is ephemeral (no db directory): open it with "
+        "Engine::Open(db_dir) to checkpoint");
+  }
+  SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
+  // checkpoint_mu serializes concurrent checkpoints of one table (shared
+  // WAL file). The *shared* data lock is enough for everything else: it
+  // excludes ingest (which needs the exclusive lock) for the whole
+  // snapshot-write + WAL-reset window — so no acknowledged batch can land
+  // between the cut and the truncation and be dropped — while queries keep
+  // flowing through the file I/O and fsyncs.
+  std::lock_guard<std::mutex> checkpoint_lock(entry->checkpoint_mu);
+  std::shared_lock<std::shared_mutex> lock(entry->data_mu);
+  const TableSnapshot snap = BuildSnapshot(*entry);
+  return store_->WriteCheckpoint(snap);
+}
+
+Result<int64_t> Engine::CheckpointAll() {
+  if (!store_) {
+    return Status::FailedPrecondition(
+        "engine is ephemeral (no db directory): open it with "
+        "Engine::Open(db_dir) to checkpoint");
+  }
+  int64_t count = 0;
+  for (const std::string& name : TableNames()) {
+    SCIBORQ_RETURN_NOT_OK(Checkpoint(name));
+    ++count;
+  }
+  return count;
 }
 
 Result<QueryOutcome> Engine::Query(std::string_view sql) {

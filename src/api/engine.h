@@ -19,6 +19,10 @@
 
 namespace sciborq {
 
+class TableStore;
+struct RecoveredTable;
+struct TableSnapshot;
+
 /// Per-table configuration supplied at registration time. The defaults give
 /// a three-layer uniform hierarchy; naming attributes of interest switches
 /// the table to workload-biased sampling steered by a per-table
@@ -152,13 +156,59 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  // -- Persistence -----------------------------------------------------------
+  //
+  // An engine constructed directly is ephemeral (all state dies with the
+  // process). Engine::Open attaches a database directory instead: tables and
+  // their impression hierarchies are recovered from the newest snapshot plus
+  // a WAL replay, every acknowledged IngestBatch/RegisterCsv is durable
+  // (CRC-framed, fsync'd WAL record) before the call returns, and
+  // Checkpoint() folds the WAL into a fresh atomic snapshot. Recovery is
+  // bit-exact: the reopened engine answers queries (exact and bounded,
+  // biased impressions included) bit-identically to the engine that wrote
+  // the files, and replayed batches continue every sampler's RNG stream
+  // exactly where the snapshot froze it. See storage/ and the README's
+  // "Persistence" section for the on-disk formats.
+
+  /// Opens (creating if needed) a database directory and recovers every
+  /// table in it. IOError on filesystem problems; InvalidArgument when a
+  /// snapshot or WAL is corrupt beyond its torn tail (refusing to boot beats
+  /// silent data loss).
+  static Result<std::unique_ptr<Engine>> Open(
+      const std::string& db_dir, EngineOptions options = EngineOptions());
+
+  /// Writes `table`'s snapshot atomically (temp file + rename + dir fsync)
+  /// and truncates its WAL. Ingest on that table waits for the duration;
+  /// queries keep flowing. FailedPrecondition on an ephemeral engine.
+  Status Checkpoint(const std::string& table);
+
+  /// Checkpoints every registered table; returns how many.
+  Result<int64_t> CheckpointAll();
+
+  /// True when this engine persists to a db directory.
+  bool persistent() const { return store_ != nullptr; }
+
+  /// The attached db directory ("" when ephemeral).
+  const std::string& db_dir() const;
+
+  /// Human-readable anomalies recovery tolerated (e.g. a torn WAL tail
+  /// dropped, losing the one unacknowledged record). Empty on a clean boot;
+  /// a server should surface these to its operator. Immutable after Open.
+  const std::vector<std::string>& recovery_warnings() const {
+    return recovery_warnings_;
+  }
+
   /// Registers an empty table under `name`. AlreadyExists on duplicates;
-  /// InvalidArgument on bad layer/tracker geometry.
+  /// InvalidArgument on bad layer/tracker geometry (and, on a persistent
+  /// engine, on names that cannot become file names).
   Status CreateTable(const std::string& name, const Schema& schema,
                      TableOptions options = TableOptions());
 
   /// Reads a CSV (column/csv.h format) and registers it as `name`, ingesting
-  /// every row. Returns the number of rows loaded.
+  /// every row. Returns the number of rows loaded. Registration is atomic:
+  /// the table (columns, hierarchy, samples) is built completely off to the
+  /// side and only published into the catalog once everything succeeded, so
+  /// a malformed file never leaves a half-built table behind.
   Result<int64_t> RegisterCsv(const std::string& name, const std::string& path,
                               TableOptions options = TableOptions());
 
@@ -261,8 +311,31 @@ class Engine {
   /// for the engine's lifetime (entries are heap-allocated and never erased).
   Result<TableEntry*> FindTable(const std::string& name) const;
 
-  Status CreateTableLocked(const std::string& name, const Schema& schema,
-                           TableOptions options);
+  /// Builds a complete, unpublished table entry (columns + hierarchy +
+  /// tracker). No catalog mutation — the atomic-registration first half.
+  Result<std::unique_ptr<TableEntry>> BuildTableEntry(const std::string& name,
+                                                      const Schema& schema,
+                                                      TableOptions options);
+
+  /// Streams one batch into an entry's hierarchy and base columns. Caller
+  /// holds the entry exclusively (publish path, WAL replay, or data_mu).
+  static Status IngestIntoEntry(TableEntry* entry, const Table& batch);
+
+  /// Publishes a fully built entry into the catalog (AlreadyExists on a
+  /// name collision) and, on a persistent engine, logs the create record
+  /// plus the optional initial batch to the WAL before any other thread can
+  /// touch the table.
+  Status PublishTable(std::unique_ptr<TableEntry> entry,
+                      const Table* initial_batch);
+
+  /// Rebuilds one table from recovered storage state (Engine::Open).
+  Status RestoreTable(RecoveredTable recovered);
+
+  /// Captures a consistent snapshot of an entry. Caller holds data_mu at
+  /// least shared (excluding ingest); the workload side (tracker + log),
+  /// which concurrent queries mutate under only the shared data lock, is
+  /// cut under workload_mu inside.
+  TableSnapshot BuildSnapshot(const TableEntry& entry) const;
 
   /// Registry lookup; the shared_ptr keeps the statement alive across a
   /// concurrent CloseStatement.
@@ -270,6 +343,10 @@ class Engine {
       StatementHandle handle) const;
 
   EngineOptions options_;
+  /// Persistence backend; null for ephemeral engines.
+  std::unique_ptr<TableStore> store_;
+  /// Filled during Open (single-threaded); read-only afterwards.
+  std::vector<std::string> recovery_warnings_;
   /// Scan pool shared by all queries; null when query_threads resolves to 1.
   std::unique_ptr<ThreadPool> query_pool_;
   mutable std::shared_mutex catalog_mu_;

@@ -125,6 +125,17 @@ Result<std::vector<TableInfo>> SciborqClient::ListTables() {
   return tables;
 }
 
+Result<int64_t> SciborqClient::Checkpoint(const std::string& table) {
+  WireWriter w;
+  w.PutString(table);
+  SCIBORQ_ASSIGN_OR_RETURN(const std::string payload,
+                           RoundTrip(Opcode::kCheckpoint, w.buffer()));
+  WireReader r(payload);
+  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t count, r.ReadU32());
+  SCIBORQ_RETURN_NOT_OK(r.ExpectEnd());
+  return static_cast<int64_t>(count);
+}
+
 Status SciborqClient::Ping() { return RoundTrip(Opcode::kPing, "").status(); }
 
 }  // namespace sciborq

@@ -67,6 +67,11 @@ class SciborqClient {
   /// impression-layer summary.
   Result<std::vector<TableInfo>> ListTables();
 
+  /// Asks the server to checkpoint `table` ("" = every table) into its db
+  /// directory; returns how many tables were checkpointed. Servers running
+  /// without --db-dir answer FailedPrecondition.
+  Result<int64_t> Checkpoint(const std::string& table = "");
+
   /// Round-trip liveness check.
   Status Ping();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "util/check.h"
 #include "util/string_util.h"
@@ -162,6 +163,20 @@ Column Column::Take(const SelectionVector& rows) const {
   out.Reserve(static_cast<int64_t>(rows.size()));
   for (const int64_t row : rows) out.AppendFrom(*this, row);
   return out;
+}
+
+Column Column::FromInt64Vector(std::vector<int64_t> values) {
+  Column col(DataType::kInt64);
+  col.size_ = static_cast<int64_t>(values.size());
+  col.ints_ = std::move(values);
+  return col;
+}
+
+Column Column::FromDoubleVector(std::vector<double> values) {
+  Column col(DataType::kDouble);
+  col.size_ = static_cast<int64_t>(values.size());
+  col.doubles_ = std::move(values);
+  return col;
 }
 
 int64_t Column::null_count() const {

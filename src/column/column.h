@@ -73,6 +73,12 @@ class Column {
   /// Gathers the given rows into a new column (impression extraction path).
   Column Take(const SelectionVector& rows) const;
 
+  /// Bulk adoption of pre-built null-free storage — the deserialization fast
+  /// path (column/serde.h decodes whole numeric columns with one memcpy
+  /// instead of per-element appends).
+  static Column FromInt64Vector(std::vector<int64_t> values);
+  static Column FromDoubleVector(std::vector<double> values);
+
   /// Number of null entries.
   int64_t null_count() const;
 

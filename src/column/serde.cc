@@ -1,0 +1,278 @@
+#include "column/serde.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace sciborq {
+
+namespace {
+
+constexpr uint8_t kValueTagNull = 0;
+constexpr uint8_t kValueTagInt64 = 1;
+constexpr uint8_t kValueTagDouble = 2;
+constexpr uint8_t kValueTagString = 3;
+
+Result<DataType> DataTypeFromWire(uint8_t tag) {
+  switch (tag) {
+    case 0:
+      return DataType::kInt64;
+    case 1:
+      return DataType::kDouble;
+    case 2:
+      return DataType::kString;
+    default:
+      return Status::InvalidArgument(
+          StrFormat("wire: unknown data type tag %u", tag));
+  }
+}
+
+uint8_t DataTypeToWire(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return 0;
+    case DataType::kDouble:
+      return 1;
+    case DataType::kString:
+      return 2;
+  }
+  return 0;  // unreachable: enum is exhaustive
+}
+
+}  // namespace
+
+Status CheckDecodeCount(int64_t count, int64_t min_bytes_each,
+                        const BinaryReader& r, const char* what) {
+  if (count < 0) {
+    return Status::InvalidArgument(
+        StrFormat("serde: negative %s count %lld", what,
+                  static_cast<long long>(count)));
+  }
+  if (min_bytes_each > 0 && count > r.remaining() / min_bytes_each) {
+    return Status::InvalidArgument(StrFormat(
+        "serde: %s count %lld exceeds what the %lld remaining bytes could "
+        "hold",
+        what, static_cast<long long>(count),
+        static_cast<long long>(r.remaining())));
+  }
+  return Status::OK();
+}
+
+// -- Value ------------------------------------------------------------------
+
+void EncodeValue(const Value& v, BinaryWriter* w) {
+  if (v.is_null()) {
+    w->PutU8(kValueTagNull);
+  } else if (v.is_int64()) {
+    w->PutU8(kValueTagInt64);
+    w->PutI64(v.int64());
+  } else if (v.is_double()) {
+    w->PutU8(kValueTagDouble);
+    w->PutF64(v.dbl());
+  } else {
+    w->PutU8(kValueTagString);
+    w->PutString(v.str());
+  }
+}
+
+// GCC 12 (-O2 with sanitizers) reports a spurious maybe-uninitialized on the
+// string alternative inside Result<Value>'s variant when the string was
+// produced by a ReadString defined in another TU; the value is always
+// initialized before use (guarded by ok()).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+Result<Value> DecodeValue(BinaryReader* r) {
+  SCIBORQ_ASSIGN_OR_RETURN(const uint8_t tag, r->ReadU8());
+  switch (tag) {
+    case kValueTagNull:
+      return Value::Null();
+    case kValueTagInt64: {
+      SCIBORQ_ASSIGN_OR_RETURN(const int64_t v, r->ReadI64());
+      return Value(v);
+    }
+    case kValueTagDouble: {
+      SCIBORQ_ASSIGN_OR_RETURN(const double v, r->ReadF64());
+      return Value(v);
+    }
+    case kValueTagString: {
+      SCIBORQ_ASSIGN_OR_RETURN(std::string v, r->ReadString());
+      return Value(std::move(v));
+    }
+    default:
+      return Status::InvalidArgument(
+          StrFormat("wire: unknown value tag %u", tag));
+  }
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+// -- Schema -----------------------------------------------------------------
+
+void EncodeSchema(const Schema& schema, BinaryWriter* w) {
+  w->PutU32(static_cast<uint32_t>(schema.num_fields()));
+  for (const Field& field : schema.fields()) {
+    w->PutString(field.name);
+    w->PutU8(DataTypeToWire(field.type));
+    w->PutBool(field.nullable);
+  }
+}
+
+Result<Schema> DecodeSchema(BinaryReader* r) {
+  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t n, r->ReadU32());
+  // Each field needs at least a 4-byte name length + type + nullable.
+  SCIBORQ_RETURN_NOT_OK(CheckDecodeCount(n, 6, *r, "schema field"));
+  std::vector<Field> fields;
+  fields.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Field field;
+    SCIBORQ_ASSIGN_OR_RETURN(field.name, r->ReadString());
+    SCIBORQ_ASSIGN_OR_RETURN(const uint8_t tag, r->ReadU8());
+    SCIBORQ_ASSIGN_OR_RETURN(field.type, DataTypeFromWire(tag));
+    SCIBORQ_ASSIGN_OR_RETURN(field.nullable, r->ReadBool());
+    fields.push_back(std::move(field));
+  }
+  return Schema(std::move(fields));
+}
+
+// -- Column -----------------------------------------------------------------
+
+void EncodeColumn(const Column& col, BinaryWriter* w) {
+  w->PutU8(DataTypeToWire(col.type()));
+  w->PutI64(col.size());
+  const bool has_nulls = col.has_nulls();
+  w->PutBool(has_nulls);
+  if (has_nulls) {
+    for (int64_t row = 0; row < col.size(); ++row) {
+      w->PutBool(!col.IsNull(row));
+    }
+  }
+  // Null-free numeric columns (the common science-data shape) are written
+  // with one bulk copy on little-endian hosts — byte-identical to the
+  // element loop, an order of magnitude faster for checkpoint throughput.
+  if (kHostLittleEndian && !has_nulls && col.type() == DataType::kInt64) {
+    w->PutRaw(col.data_int64().data(),
+              static_cast<size_t>(col.size()) * sizeof(int64_t));
+    return;
+  }
+  if (kHostLittleEndian && !has_nulls && col.type() == DataType::kDouble) {
+    w->PutRaw(col.data_double().data(),
+              static_cast<size_t>(col.size()) * sizeof(double));
+    return;
+  }
+  for (int64_t row = 0; row < col.size(); ++row) {
+    if (col.IsNull(row)) continue;
+    switch (col.type()) {
+      case DataType::kInt64:
+        w->PutI64(col.GetInt64(row));
+        break;
+      case DataType::kDouble:
+        w->PutF64(col.GetDouble(row));
+        break;
+      case DataType::kString:
+        w->PutString(col.GetString(row));
+        break;
+    }
+  }
+}
+
+Result<Column> DecodeColumn(BinaryReader* r) {
+  SCIBORQ_ASSIGN_OR_RETURN(const uint8_t tag, r->ReadU8());
+  SCIBORQ_ASSIGN_OR_RETURN(const DataType type, DataTypeFromWire(tag));
+  SCIBORQ_ASSIGN_OR_RETURN(const int64_t size, r->ReadI64());
+  SCIBORQ_ASSIGN_OR_RETURN(const bool has_nulls, r->ReadBool());
+  // Minimum bytes per row: 1 validity byte when nulls are present, else the
+  // smallest possible value (a 4-byte string length).
+  SCIBORQ_RETURN_NOT_OK(CheckDecodeCount(size, has_nulls ? 1 : 4, *r, "column row"));
+  // Bulk fast path, mirroring EncodeColumn: a null-free numeric column is
+  // one contiguous LE array.
+  if (kHostLittleEndian && !has_nulls && type != DataType::kString) {
+    SCIBORQ_ASSIGN_OR_RETURN(
+        const std::string_view raw,
+        r->ReadRaw(static_cast<size_t>(size) * sizeof(int64_t)));
+    if (type == DataType::kInt64) {
+      std::vector<int64_t> values(static_cast<size_t>(size));
+      if (!raw.empty()) std::memcpy(values.data(), raw.data(), raw.size());
+      return Column::FromInt64Vector(std::move(values));
+    }
+    std::vector<double> values(static_cast<size_t>(size));
+    if (!raw.empty()) std::memcpy(values.data(), raw.data(), raw.size());
+    return Column::FromDoubleVector(std::move(values));
+  }
+  Column col(type);
+  col.Reserve(size);
+  std::vector<uint8_t> valid;
+  if (has_nulls) {
+    valid.resize(static_cast<size_t>(size));
+    for (int64_t row = 0; row < size; ++row) {
+      SCIBORQ_ASSIGN_OR_RETURN(const bool v, r->ReadBool());
+      valid[static_cast<size_t>(row)] = v ? 1 : 0;
+    }
+  }
+  for (int64_t row = 0; row < size; ++row) {
+    if (has_nulls && valid[static_cast<size_t>(row)] == 0) {
+      col.AppendNull();
+      continue;
+    }
+    switch (type) {
+      case DataType::kInt64: {
+        SCIBORQ_ASSIGN_OR_RETURN(const int64_t v, r->ReadI64());
+        col.AppendInt64(v);
+        break;
+      }
+      case DataType::kDouble: {
+        SCIBORQ_ASSIGN_OR_RETURN(const double v, r->ReadF64());
+        col.AppendDouble(v);
+        break;
+      }
+      case DataType::kString: {
+        SCIBORQ_ASSIGN_OR_RETURN(std::string v, r->ReadString());
+        col.AppendString(std::move(v));
+        break;
+      }
+    }
+  }
+  return col;
+}
+
+// -- Table ------------------------------------------------------------------
+
+void EncodeTable(const Table& table, BinaryWriter* w) {
+  EncodeSchema(table.schema(), w);
+  w->PutI64(table.num_rows());
+  for (int i = 0; i < table.num_columns(); ++i) {
+    EncodeColumn(table.column(i), w);
+  }
+}
+
+Result<Table> DecodeTable(BinaryReader* r) {
+  SCIBORQ_ASSIGN_OR_RETURN(Schema schema, DecodeSchema(r));
+  SCIBORQ_ASSIGN_OR_RETURN(const int64_t rows, r->ReadI64());
+  if (rows < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "serde: negative table row count %lld", static_cast<long long>(rows)));
+  }
+  std::vector<Column> columns;
+  columns.reserve(static_cast<size_t>(schema.num_fields()));
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    SCIBORQ_ASSIGN_OR_RETURN(Column col, DecodeColumn(r));
+    if (col.type() != schema.field(i).type) {
+      return Status::InvalidArgument(StrFormat(
+          "serde: column %d type does not match its schema field", i));
+    }
+    if (col.size() != rows) {
+      return Status::InvalidArgument(StrFormat(
+          "serde: column %d has %lld rows, table declares %lld", i,
+          static_cast<long long>(col.size()), static_cast<long long>(rows)));
+    }
+    columns.push_back(std::move(col));
+  }
+  return Table::FromColumns(std::move(schema), std::move(columns));
+}
+
+}  // namespace sciborq

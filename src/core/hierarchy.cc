@@ -9,9 +9,10 @@
 
 namespace sciborq {
 
-Result<ImpressionHierarchy> ImpressionHierarchy::Make(
-    const Schema& schema, std::vector<LayerSpec> layers,
-    ImpressionSpec top_spec, Options options) {
+namespace {
+
+Status ValidateLayerSpecs(
+    const std::vector<ImpressionHierarchy::LayerSpec>& layers) {
   if (layers.empty()) {
     return Status::InvalidArgument("hierarchy needs at least one layer");
   }
@@ -38,6 +39,15 @@ Result<ImpressionHierarchy> ImpressionHierarchy::Make(
           layer.name.c_str()));
     }
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ImpressionHierarchy> ImpressionHierarchy::Make(
+    const Schema& schema, std::vector<LayerSpec> layers,
+    ImpressionSpec top_spec, Options options) {
+  SCIBORQ_RETURN_NOT_OK(ValidateLayerSpecs(layers));
   top_spec.name = layers[0].name;
   top_spec.capacity = layers[0].capacity;
   const uint64_t derive_seed = top_spec.seed ^ 0xDE51BEDULL;
@@ -59,6 +69,82 @@ Result<ImpressionHierarchy> ImpressionHierarchy::Make(
     hierarchy.top_builder_.emplace(std::move(top));
   }
   SCIBORQ_RETURN_NOT_OK(hierarchy.RefreshDerivedLayers());
+  return hierarchy;
+}
+
+HierarchyState ImpressionHierarchy::SaveState() const {
+  HierarchyState state;
+  state.derive_rng = derive_rng_.SaveState();
+  state.ingested_since_refresh = ingested_since_refresh_;
+  state.refresh_interval = options_.refresh_interval;
+  if (sharded_top_) {
+    state.top.reserve(static_cast<size_t>(sharded_top_->num_shards()));
+    for (int i = 0; i < sharded_top_->num_shards(); ++i) {
+      state.top.push_back(sharded_top_->shard(i).SaveState());
+    }
+    state.merged_top = merged_top_->SaveState();
+  } else {
+    state.top.push_back(top_builder_->SaveState());
+  }
+  state.derived.reserve(derived_.size());
+  for (const Impression& layer : derived_) {
+    state.derived.push_back(layer.SaveState());
+  }
+  return state;
+}
+
+Result<ImpressionHierarchy> ImpressionHierarchy::Restore(
+    const Schema& schema, ImpressionSpec top_spec, HierarchyState state) {
+  if (state.top.empty()) {
+    return Status::InvalidArgument("hierarchy state: no top builder");
+  }
+  const bool sharded = state.top.size() > 1;
+  if (sharded && !state.merged_top) {
+    return Status::InvalidArgument(
+        "hierarchy state: sharded top without a merged impression");
+  }
+  // The layer geometry is implied by the saved impressions.
+  const ImpressionState& top_impression =
+      sharded ? *state.merged_top : state.top[0].impression;
+  std::vector<LayerSpec> layers;
+  layers.push_back({top_impression.name, top_impression.capacity});
+  for (const auto& layer : state.derived) {
+    layers.push_back({layer.name, layer.capacity});
+  }
+  SCIBORQ_RETURN_NOT_OK(ValidateLayerSpecs(layers));
+  top_spec.name = layers[0].name;
+  top_spec.capacity = layers[0].capacity;
+  Options options;
+  options.refresh_interval = state.refresh_interval;
+  options.load_shards = static_cast<int>(state.top.size());
+  ImpressionHierarchy hierarchy(std::move(layers), options, /*derive_seed=*/0);
+  hierarchy.derive_rng_ = Rng::FromState(state.derive_rng);
+  hierarchy.ingested_since_refresh_ = state.ingested_since_refresh;
+  if (sharded) {
+    SCIBORQ_ASSIGN_OR_RETURN(
+        ShardedImpressionBuilder top,
+        ShardedImpressionBuilder::Make(schema, top_spec,
+                                       static_cast<int>(state.top.size())));
+    for (size_t i = 0; i < state.top.size(); ++i) {
+      SCIBORQ_RETURN_NOT_OK(
+          top.shard(static_cast<int>(i)).RestoreState(std::move(state.top[i])));
+    }
+    hierarchy.sharded_top_.emplace(std::move(top));
+    SCIBORQ_ASSIGN_OR_RETURN(Impression merged,
+                             Impression::FromState(std::move(*state.merged_top)));
+    hierarchy.merged_top_.emplace(std::move(merged));
+  } else {
+    SCIBORQ_ASSIGN_OR_RETURN(ImpressionBuilder top,
+                             ImpressionBuilder::Make(schema, top_spec));
+    SCIBORQ_RETURN_NOT_OK(top.RestoreState(std::move(state.top[0])));
+    hierarchy.top_builder_.emplace(std::move(top));
+  }
+  hierarchy.derived_.reserve(state.derived.size());
+  for (auto& layer : state.derived) {
+    SCIBORQ_ASSIGN_OR_RETURN(Impression restored,
+                             Impression::FromState(std::move(layer)));
+    hierarchy.derived_.push_back(std::move(restored));
+  }
   return hierarchy;
 }
 

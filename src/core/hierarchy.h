@@ -48,6 +48,22 @@ struct HierarchyOptions {
   int load_shards = 1;
 };
 
+/// The complete resumable state of an ImpressionHierarchy, as plain data.
+/// Captured by SaveState(), serialized by storage/snapshot.h, rebuilt by
+/// Restore(). Holds the top builder(s) (one entry = serial, several =
+/// parallel-load shards), the materialized shard merge (sharded mode only),
+/// every derived layer as-is (no re-derivation — that would burn RNG draws),
+/// and the derivation RNG + refresh counter, so both queries *and* future
+/// ingest behave exactly as if the process had never stopped.
+struct HierarchyState {
+  Rng::State derive_rng;
+  int64_t ingested_since_refresh = 0;
+  int64_t refresh_interval = 0;
+  std::vector<ImpressionBuilderState> top;  ///< one per load shard
+  std::optional<ImpressionState> merged_top;  ///< engaged iff top.size() > 1
+  std::vector<ImpressionState> derived;       ///< layers 1..L-1
+};
+
 class ImpressionHierarchy {
  public:
   struct LayerSpec {
@@ -64,6 +80,21 @@ class ImpressionHierarchy {
                                           std::vector<LayerSpec> layers,
                                           ImpressionSpec top_spec,
                                           Options options = HierarchyOptions());
+
+  /// Deep copy of the complete resumable state, for serialization. The layer
+  /// geometry is implied by the contained impressions (top layer first,
+  /// derived layers in order), so the state is self-describing.
+  HierarchyState SaveState() const;
+
+  /// Rebuilds a hierarchy from captured (or deserialized) state.
+  /// `top_spec` supplies the runtime wiring (policy, seed, tracker pointers)
+  /// while name/capacity and all sampler positions come from the state. No
+  /// layer is re-derived and no RNG draw is consumed: queries answer
+  /// bit-identically to the saved hierarchy, and the next IngestBatch
+  /// continues the sampling streams exactly where they stopped.
+  static Result<ImpressionHierarchy> Restore(const Schema& schema,
+                                             ImpressionSpec top_spec,
+                                             HierarchyState state);
 
   /// Feeds one daily-ingest batch to the top layer and refreshes derived
   /// layers when due.

@@ -154,6 +154,59 @@ Impression Impression::Clone(std::string new_name) const {
   return copy;
 }
 
+ImpressionState Impression::SaveState() const {
+  ImpressionState state;
+  state.name = name_;
+  state.capacity = capacity_;
+  state.policy = policy_;
+  state.rows = rows_;
+  state.weights = weights_;
+  state.source_ids = source_ids_;
+  state.explicit_probs = explicit_probs_;
+  state.population_seen = population_seen_;
+  state.population_weight = population_weight_;
+  state.freshness_k = freshness_k_;
+  state.expected_ingest = expected_ingest_;
+  state.acceptance_curve = acceptance_curve_;
+  state.curve_interval = curve_interval_;
+  state.total_accepted = total_accepted_;
+  return state;
+}
+
+Result<Impression> Impression::FromState(ImpressionState state) {
+  if (state.capacity <= 0) {
+    return Status::InvalidArgument("impression state: non-positive capacity");
+  }
+  Impression out(std::move(state.name), state.rows.schema(), state.capacity,
+                 state.policy);
+  out.rows_ = std::move(state.rows);
+  out.weights_ = std::move(state.weights);
+  out.source_ids_ = std::move(state.source_ids);
+  out.explicit_probs_ = std::move(state.explicit_probs);
+  out.population_seen_ = state.population_seen;
+  out.population_weight_ = state.population_weight;
+  out.freshness_k_ = state.freshness_k;
+  out.expected_ingest_ = state.expected_ingest;
+  out.acceptance_curve_ = std::move(state.acceptance_curve);
+  out.curve_interval_ = state.curve_interval;
+  out.total_accepted_ = state.total_accepted;
+  if (Status st = out.Validate(); !st.ok()) {
+    // Validate reports Internal (its in-process contract); state restoration
+    // is an input-validation path, so surface InvalidArgument instead.
+    return Status::InvalidArgument("impression state: " + st.message());
+  }
+  if (!out.explicit_probs_.empty()) {
+    for (const double p : out.explicit_probs_) {
+      if (!(p > 0.0) || p > 1.0) {
+        return Status::InvalidArgument(
+            "impression state: explicit inclusion probabilities must be in "
+            "(0, 1]");
+      }
+    }
+  }
+  return out;
+}
+
 Status Impression::Validate() const {
   SCIBORQ_RETURN_NOT_OK(rows_.Validate());
   if (size() > capacity_) {

@@ -19,6 +19,28 @@ enum class SamplingPolicy {
 
 std::string_view SamplingPolicyToString(SamplingPolicy policy);
 
+/// The complete value state of one Impression, as plain data — what
+/// persistent storage serializes (storage/snapshot.h) and what
+/// Impression::FromState rebuilds bit-identically. Field-for-field mirror of
+/// the Impression privates; every estimator input (weights, provenance,
+/// pinned probabilities, the acceptance model) travels with the rows.
+struct ImpressionState {
+  std::string name;
+  int64_t capacity = 0;
+  SamplingPolicy policy = SamplingPolicy::kUniform;
+  Table rows;
+  std::vector<double> weights;
+  std::vector<int64_t> source_ids;
+  std::vector<double> explicit_probs;  ///< empty unless derived
+  int64_t population_seen = 0;
+  double population_weight = 0.0;
+  int64_t freshness_k = 0;
+  int64_t expected_ingest = 0;
+  std::vector<int64_t> acceptance_curve;
+  int64_t curve_interval = 0;
+  int64_t total_accepted = 0;
+};
+
 /// An impression (§3): a bounded, columnar, workload-aware sample of a base
 /// relation that is itself a query target. Beyond the sampled rows it keeps
 /// exactly the bookkeeping the bounded executor needs to turn raw sample
@@ -64,6 +86,15 @@ class Impression {
 
   /// Deep copy with a new name (layer derivation, snapshotting).
   Impression Clone(std::string new_name) const;
+
+  /// Deep copy of the full value state, for serialization.
+  ImpressionState SaveState() const;
+
+  /// Rebuilds an impression from captured (or deserialized) state.
+  /// InvalidArgument when the state is internally inconsistent (parallel
+  /// array lengths, capacity bounds) — the second line of defense behind the
+  /// storage layer's checksums.
+  static Result<Impression> FromState(ImpressionState state);
 
   /// Checks the parallel arrays and table agree.
   Status Validate() const;

@@ -112,4 +112,70 @@ Impression ImpressionBuilder::Snapshot(const std::string& name) const {
   return impression_.Clone(name);
 }
 
+ImpressionBuilderState ImpressionBuilder::SaveState() const {
+  ImpressionBuilderState state;
+  state.impression = impression_.SaveState();
+  if (uniform_) state.uniform = uniform_->SaveState();
+  if (last_seen_) state.last_seen = last_seen_->SaveState();
+  if (biased_) state.biased = biased_->SaveState();
+  return state;
+}
+
+Status ImpressionBuilder::RestoreState(ImpressionBuilderState state) {
+  if (state.impression.policy != spec_.policy) {
+    return Status::InvalidArgument(
+        "builder state: sampling policy does not match the builder spec");
+  }
+  if (!state.impression.rows.schema().Equals(impression_.rows().schema())) {
+    return Status::InvalidArgument(
+        "builder state: schema does not match the builder schema");
+  }
+  if (state.impression.capacity != spec_.capacity) {
+    return Status::InvalidArgument(
+        "builder state: capacity does not match the builder spec");
+  }
+  SCIBORQ_ASSIGN_OR_RETURN(Impression restored,
+                           Impression::FromState(std::move(state.impression)));
+  switch (spec_.policy) {
+    case SamplingPolicy::kUniform: {
+      if (!state.uniform) {
+        return Status::InvalidArgument(
+            "builder state: uniform policy needs a reservoir sampler state");
+      }
+      SCIBORQ_ASSIGN_OR_RETURN(
+          ReservoirSampler sampler,
+          ReservoirSampler::Restore(spec_.capacity, *state.uniform));
+      uniform_ = std::move(sampler);
+      break;
+    }
+    case SamplingPolicy::kLastSeen: {
+      if (!state.last_seen) {
+        return Status::InvalidArgument(
+            "builder state: last-seen policy needs a last-seen sampler state");
+      }
+      const int64_t k = spec_.freshness_k > 0 ? spec_.freshness_k : spec_.capacity;
+      SCIBORQ_ASSIGN_OR_RETURN(
+          LastSeenSampler sampler,
+          LastSeenSampler::Restore(spec_.capacity, k, spec_.expected_ingest,
+                                   spec_.paper_faithful, *state.last_seen));
+      last_seen_ = std::move(sampler);
+      break;
+    }
+    case SamplingPolicy::kBiased: {
+      if (!state.biased) {
+        return Status::InvalidArgument(
+            "builder state: biased policy needs a biased sampler state");
+      }
+      SCIBORQ_ASSIGN_OR_RETURN(
+          BiasedReservoirSampler sampler,
+          BiasedReservoirSampler::Restore(spec_.capacity, spec_.paper_faithful,
+                                          std::move(*state.biased)));
+      biased_ = std::move(sampler);
+      break;
+    }
+  }
+  impression_ = std::move(restored);
+  return Status::OK();
+}
+
 }  // namespace sciborq

@@ -39,6 +39,19 @@ struct ImpressionSpec {
   bool paper_faithful = false;
 };
 
+/// The resumable state of one ImpressionBuilder: the impression's value
+/// state plus the engaged sampler's counters and RNG. Restoring it makes
+/// subsequent ingest continue the acceptance stream bit-identically — the
+/// property that lets WAL replay after a crash reproduce the exact
+/// impressions a never-crashed process would hold.
+struct ImpressionBuilderState {
+  ImpressionState impression;
+  /// Exactly one engaged, matching the spec's policy.
+  std::optional<ReservoirSampler::State> uniform;
+  std::optional<LastSeenSampler::State> last_seen;
+  std::optional<BiasedReservoirSampler::State> biased;
+};
+
 /// Streaming construction of one impression, "much like a stream, deciding
 /// if [each tuple] should be part of an impression or not" (§3.3). Feed it
 /// the daily ingest batches; the impression stays query-ready throughout.
@@ -61,6 +74,14 @@ class ImpressionBuilder {
 
   /// A consistent deep copy for handing to readers.
   Impression Snapshot(const std::string& name) const;
+
+  /// Deep copy of the builder's resumable state, for serialization.
+  ImpressionBuilderState SaveState() const;
+
+  /// Replaces the live impression and sampler with captured state. The state
+  /// must match this builder's schema and policy (InvalidArgument
+  /// otherwise). On error the builder is left unchanged.
+  Status RestoreState(ImpressionBuilderState state);
 
   const ImpressionSpec& spec() const { return spec_; }
 

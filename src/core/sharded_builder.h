@@ -31,6 +31,9 @@ class ShardedImpressionBuilder {
   /// The shard builders, to be driven from load threads (one thread per
   /// shard; builders are single-writer).
   ImpressionBuilder& shard(int i) { return shards_[static_cast<size_t>(i)]; }
+  const ImpressionBuilder& shard(int i) const {
+    return shards_[static_cast<size_t>(i)];
+  }
 
   /// The parallel-load driver: splits `batch` into num_shards() contiguous
   /// slices and feeds each shard from its own load thread (one thread per

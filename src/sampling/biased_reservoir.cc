@@ -13,6 +13,36 @@ Result<BiasedReservoirSampler> BiasedReservoirSampler::Make(
   return BiasedReservoirSampler(capacity, seed, paper_faithful);
 }
 
+BiasedReservoirSampler::State BiasedReservoirSampler::SaveState() const {
+  State state;
+  state.seen = seen_;
+  state.total_weight = total_weight_;
+  state.accepted_post_fill = accepted_post_fill_;
+  state.curve_interval = curve_interval_;
+  state.curve = curve_;
+  state.rng = rng_.SaveState();
+  return state;
+}
+
+Result<BiasedReservoirSampler> BiasedReservoirSampler::Restore(
+    int64_t capacity, bool paper_faithful, State state) {
+  SCIBORQ_ASSIGN_OR_RETURN(BiasedReservoirSampler sampler,
+                           Make(capacity, 0, paper_faithful));
+  if (state.seen < 0 || state.accepted_post_fill < 0 ||
+      state.curve_interval <= 0) {
+    return Status::InvalidArgument(
+        "biased reservoir state: negative counters or non-positive curve "
+        "interval");
+  }
+  sampler.seen_ = state.seen;
+  sampler.total_weight_ = state.total_weight;
+  sampler.accepted_post_fill_ = state.accepted_post_fill;
+  sampler.curve_interval_ = state.curve_interval;
+  sampler.curve_ = std::move(state.curve);
+  sampler.rng_ = Rng::FromState(state.rng);
+  return sampler;
+}
+
 ReservoirDecision BiasedReservoirSampler::Offer(double weight) {
   if (!(weight > 0.0) || !std::isfinite(weight)) weight = 0.0;
   ++seen_;

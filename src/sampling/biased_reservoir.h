@@ -66,6 +66,21 @@ class BiasedReservoirSampler {
   const std::vector<int64_t>& acceptance_curve() const { return curve_; }
   int64_t curve_interval() const { return curve_interval_; }
 
+  /// Resumable sampler state (persistent storage): stream position, weight
+  /// accounting, the acceptance curve, and the RNG.
+  struct State {
+    int64_t seen = 0;
+    double total_weight = 0.0;
+    int64_t accepted_post_fill = 0;
+    int64_t curve_interval = 0;
+    std::vector<int64_t> curve;
+    Rng::State rng;
+  };
+  State SaveState() const;
+  static Result<BiasedReservoirSampler> Restore(int64_t capacity,
+                                                bool paper_faithful,
+                                                State state);
+
  private:
   BiasedReservoirSampler(int64_t capacity, uint64_t seed, bool paper_faithful)
       : capacity_(capacity), paper_faithful_(paper_faithful), rng_(seed) {}

@@ -20,6 +20,21 @@ Result<LastSeenSampler> LastSeenSampler::Make(int64_t capacity, int64_t k,
   return LastSeenSampler(capacity, k, expected_ingest, seed, paper_faithful);
 }
 
+Result<LastSeenSampler> LastSeenSampler::Restore(int64_t capacity, int64_t k,
+                                                 int64_t expected_ingest,
+                                                 bool paper_faithful,
+                                                 const State& state) {
+  SCIBORQ_ASSIGN_OR_RETURN(
+      LastSeenSampler sampler,
+      Make(capacity, k, expected_ingest, 0, paper_faithful));
+  if (state.seen < 0) {
+    return Status::InvalidArgument("last-seen state: negative seen count");
+  }
+  sampler.seen_ = state.seen;
+  sampler.rng_ = Rng::FromState(state.rng);
+  return sampler;
+}
+
 ReservoirDecision LastSeenSampler::Offer() {
   ++seen_;
   if (seen_ <= capacity_) {

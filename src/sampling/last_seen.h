@@ -41,6 +41,17 @@ class LastSeenSampler {
     return static_cast<double>(k_) / static_cast<double>(expected_ingest_);
   }
 
+  /// Resumable sampler state (persistent storage).
+  struct State {
+    int64_t seen = 0;
+    Rng::State rng;
+  };
+  State SaveState() const { return State{seen_, rng_.SaveState()}; }
+  static Result<LastSeenSampler> Restore(int64_t capacity, int64_t k,
+                                         int64_t expected_ingest,
+                                         bool paper_faithful,
+                                         const State& state);
+
  private:
   LastSeenSampler(int64_t capacity, int64_t k, int64_t expected_ingest,
                   uint64_t seed, bool paper_faithful)

@@ -14,6 +14,17 @@ Result<ReservoirSampler> ReservoirSampler::Make(int64_t capacity,
   return ReservoirSampler(capacity, seed);
 }
 
+Result<ReservoirSampler> ReservoirSampler::Restore(int64_t capacity,
+                                                   const State& state) {
+  SCIBORQ_ASSIGN_OR_RETURN(ReservoirSampler sampler, Make(capacity, 0));
+  if (state.seen < 0) {
+    return Status::InvalidArgument("reservoir state: negative seen count");
+  }
+  sampler.seen_ = state.seen;
+  sampler.rng_ = Rng::FromState(state.rng);
+  return sampler;
+}
+
 ReservoirDecision ReservoirSampler::Offer() {
   ++seen_;
   if (seen_ <= capacity_) {

@@ -46,6 +46,16 @@ class ReservoirSampler {
   /// Uniform inclusion probability n/cnt of any seen tuple (1 while filling).
   double InclusionProbability() const;
 
+  /// Resumable sampler state (persistent storage): the stream position and
+  /// the RNG. Restoring it continues the acceptance sequence bit-identically.
+  struct State {
+    int64_t seen = 0;
+    Rng::State rng;
+  };
+  State SaveState() const { return State{seen_, rng_.SaveState()}; }
+  /// InvalidArgument on a nonsensical state (negative seen count).
+  static Result<ReservoirSampler> Restore(int64_t capacity, const State& state);
+
  private:
   ReservoirSampler(int64_t capacity, uint64_t seed)
       : capacity_(capacity), rng_(seed) {}

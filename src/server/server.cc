@@ -207,6 +207,33 @@ std::string SciborqServer::HandleRequest(const RequestFrame& request,
       return EncodeResponse(request.opcode,
                             session->CloseStatement(StatementHandle{*id}), "");
     }
+    case Opcode::kCheckpoint: {
+      // "" = checkpoint every table. Engine-wide state, not session state,
+      // so this goes straight to the engine; FailedPrecondition travels back
+      // code-intact when the server runs without --db-dir.
+      Result<std::string> table = payload.ReadString();
+      if (!table.ok()) {
+        return EncodeResponse(request.opcode, table.status(), "");
+      }
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "");
+      }
+      int64_t count = 0;
+      if (table->empty()) {
+        Result<int64_t> all = engine_->CheckpointAll();
+        if (!all.ok()) return EncodeResponse(request.opcode, all.status(), "");
+        count = *all;
+      } else {
+        if (Status st = engine_->Checkpoint(*table); !st.ok()) {
+          return EncodeResponse(request.opcode, st, "");
+        }
+        count = 1;
+      }
+      checkpoints_taken_.fetch_add(count, std::memory_order_relaxed);
+      WireWriter w;
+      w.PutU32(static_cast<uint32_t>(count));
+      return EncodeResponse(request.opcode, Status::OK(), w.buffer());
+    }
     case Opcode::kInvalid:
       break;  // DecodeRequest never produces it
   }

@@ -65,6 +65,7 @@ class SciborqServer {
   int64_t connections_accepted() const { return connections_accepted_.load(); }
   int64_t queries_served() const { return queries_served_.load(); }
   int64_t statements_prepared() const { return statements_prepared_.load(); }
+  int64_t checkpoints_taken() const { return checkpoints_taken_.load(); }
   int64_t protocol_errors() const { return protocol_errors_.load(); }
 
  private:
@@ -93,6 +94,7 @@ class SciborqServer {
   std::atomic<int64_t> connections_accepted_{0};
   std::atomic<int64_t> queries_served_{0};
   std::atomic<int64_t> statements_prepared_{0};
+  std::atomic<int64_t> checkpoints_taken_{0};
   std::atomic<int64_t> protocol_errors_{0};
 };
 

@@ -13,47 +13,16 @@ namespace {
 /// with util/status.h (the enum is append-only).
 constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kInternal);
 
-constexpr uint8_t kValueTagNull = 0;
-constexpr uint8_t kValueTagInt64 = 1;
-constexpr uint8_t kValueTagDouble = 2;
-constexpr uint8_t kValueTagString = 3;
-
-Result<DataType> DataTypeFromWire(uint8_t tag) {
-  switch (tag) {
-    case 0:
-      return DataType::kInt64;
-    case 1:
-      return DataType::kDouble;
-    case 2:
-      return DataType::kString;
-    default:
-      return Status::InvalidArgument(
-          StrFormat("wire: unknown data type tag %u", tag));
-  }
-}
-
-uint8_t DataTypeToWire(DataType type) {
-  switch (type) {
-    case DataType::kInt64:
-      return 0;
-    case DataType::kDouble:
-      return 1;
-    case DataType::kString:
-      return 2;
-  }
-  return 0;  // unreachable: enum is exhaustive
-}
-
 /// Validates an opcode against the envelope's version: v1 frames may only
 /// carry the original opcode set, v2 frames also the prepared-statement
 /// ones.
 Result<Opcode> OpcodeFromWire(uint8_t op, uint8_t version) {
   const uint8_t max_op = version >= kWireVersionV2
-                             ? static_cast<uint8_t>(Opcode::kCloseStmt)
+                             ? static_cast<uint8_t>(Opcode::kCheckpoint)
                              : static_cast<uint8_t>(Opcode::kPing);
   if (op < static_cast<uint8_t>(Opcode::kQuery) || op > max_op) {
     if (op > static_cast<uint8_t>(Opcode::kPing) &&
-        op <= static_cast<uint8_t>(Opcode::kCloseStmt)) {
+        op <= static_cast<uint8_t>(Opcode::kCheckpoint)) {
       return Status::InvalidArgument(StrFormat(
           "wire: opcode %u requires protocol v%u, frame is v%u", op,
           kWireVersionV2, version));
@@ -95,6 +64,8 @@ std::string_view OpcodeToString(Opcode op) {
       return "execute";
     case Opcode::kCloseStmt:
       return "close_stmt";
+    case Opcode::kCheckpoint:
+      return "checkpoint";
   }
   return "unknown";
 }
@@ -104,179 +75,11 @@ uint8_t WireVersionFor(Opcode op) {
     case Opcode::kPrepare:
     case Opcode::kExecute:
     case Opcode::kCloseStmt:
+    case Opcode::kCheckpoint:
       return kWireVersionV2;
     default:
       return kWireVersionV1;
   }
-}
-
-// -- WireWriter -------------------------------------------------------------
-
-void WireWriter::PutU32(uint32_t v) {
-  char bytes[4];
-  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
-  buf_.append(bytes, 4);
-}
-
-void WireWriter::PutU64(uint64_t v) {
-  char bytes[8];
-  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
-  buf_.append(bytes, 8);
-}
-
-void WireWriter::PutF64(double v) {
-  uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
-  std::memcpy(&bits, &v, sizeof(bits));
-  PutU64(bits);
-}
-
-void WireWriter::PutString(std::string_view s) {
-  PutU32(static_cast<uint32_t>(s.size()));
-  buf_.append(s.data(), s.size());
-}
-
-// -- WireReader -------------------------------------------------------------
-
-Result<uint8_t> WireReader::ReadU8() {
-  if (remaining() < 1) {
-    return Status::InvalidArgument("wire: truncated message (need 1 byte)");
-  }
-  return static_cast<uint8_t>(data_[pos_++]);
-}
-
-Result<bool> WireReader::ReadBool() {
-  SCIBORQ_ASSIGN_OR_RETURN(const uint8_t b, ReadU8());
-  if (b > 1) {
-    return Status::InvalidArgument(
-        StrFormat("wire: bool byte must be 0/1, got %u", b));
-  }
-  return b == 1;
-}
-
-Result<uint32_t> WireReader::ReadU32() {
-  if (remaining() < 4) {
-    return Status::InvalidArgument("wire: truncated message (need 4 bytes)");
-  }
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
-         << (8 * i);
-  }
-  pos_ += 4;
-  return v;
-}
-
-Result<uint64_t> WireReader::ReadU64() {
-  if (remaining() < 8) {
-    return Status::InvalidArgument("wire: truncated message (need 8 bytes)");
-  }
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
-         << (8 * i);
-  }
-  pos_ += 8;
-  return v;
-}
-
-Result<int64_t> WireReader::ReadI64() {
-  SCIBORQ_ASSIGN_OR_RETURN(const uint64_t v, ReadU64());
-  return static_cast<int64_t>(v);
-}
-
-Result<double> WireReader::ReadF64() {
-  SCIBORQ_ASSIGN_OR_RETURN(const uint64_t bits, ReadU64());
-  double v;
-  std::memcpy(&v, &bits, sizeof(v));
-  return v;
-}
-
-Result<std::string> WireReader::ReadString() {
-  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t len, ReadU32());
-  if (static_cast<int64_t>(len) > remaining()) {
-    return Status::InvalidArgument(
-        StrFormat("wire: string length %u exceeds the %lld remaining bytes",
-                  len, static_cast<long long>(remaining())));
-  }
-  std::string out(data_.substr(pos_, len));
-  pos_ += len;
-  return out;
-}
-
-Status WireReader::ExpectEnd() const {
-  if (remaining() != 0) {
-    return Status::InvalidArgument(
-        StrFormat("wire: %lld trailing byte(s) after message",
-                  static_cast<long long>(remaining())));
-  }
-  return Status::OK();
-}
-
-// -- Value ------------------------------------------------------------------
-
-void EncodeValue(const Value& v, WireWriter* w) {
-  if (v.is_null()) {
-    w->PutU8(kValueTagNull);
-  } else if (v.is_int64()) {
-    w->PutU8(kValueTagInt64);
-    w->PutI64(v.int64());
-  } else if (v.is_double()) {
-    w->PutU8(kValueTagDouble);
-    w->PutF64(v.dbl());
-  } else {
-    w->PutU8(kValueTagString);
-    w->PutString(v.str());
-  }
-}
-
-Result<Value> DecodeValue(WireReader* r) {
-  SCIBORQ_ASSIGN_OR_RETURN(const uint8_t tag, r->ReadU8());
-  switch (tag) {
-    case kValueTagNull:
-      return Value::Null();
-    case kValueTagInt64: {
-      SCIBORQ_ASSIGN_OR_RETURN(const int64_t v, r->ReadI64());
-      return Value(v);
-    }
-    case kValueTagDouble: {
-      SCIBORQ_ASSIGN_OR_RETURN(const double v, r->ReadF64());
-      return Value(v);
-    }
-    case kValueTagString: {
-      SCIBORQ_ASSIGN_OR_RETURN(std::string v, r->ReadString());
-      return Value(std::move(v));
-    }
-    default:
-      return Status::InvalidArgument(
-          StrFormat("wire: unknown value tag %u", tag));
-  }
-}
-
-// -- Schema -----------------------------------------------------------------
-
-void EncodeSchema(const Schema& schema, WireWriter* w) {
-  w->PutU32(static_cast<uint32_t>(schema.num_fields()));
-  for (const Field& field : schema.fields()) {
-    w->PutString(field.name);
-    w->PutU8(DataTypeToWire(field.type));
-    w->PutBool(field.nullable);
-  }
-}
-
-Result<Schema> DecodeSchema(WireReader* r) {
-  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t n, r->ReadU32());
-  std::vector<Field> fields;
-  fields.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    Field field;
-    SCIBORQ_ASSIGN_OR_RETURN(field.name, r->ReadString());
-    SCIBORQ_ASSIGN_OR_RETURN(const uint8_t tag, r->ReadU8());
-    SCIBORQ_ASSIGN_OR_RETURN(field.type, DataTypeFromWire(tag));
-    SCIBORQ_ASSIGN_OR_RETURN(field.nullable, r->ReadBool());
-    fields.push_back(std::move(field));
-  }
-  return Schema(std::move(fields));
 }
 
 // -- QueryBounds ------------------------------------------------------------

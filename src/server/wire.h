@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "column/serde.h"
 #include "column/value.h"
 #include "exec/query.h"
+#include "util/binio.h"
 #include "util/result.h"
 
 namespace sciborq {
@@ -36,6 +38,8 @@ namespace sciborq {
 //   kPrepare   payload = string sql          (`?` placeholder template)
 //   kExecute   payload = i64 id | params     (params = u32 n + n Value)
 //   kCloseStmt payload = i64 id
+//   kCheckpoint payload = string table       ("" = checkpoint every table;
+//                                             response payload = u32 count)
 //
 // Responses (server -> client) echo the request opcode and carry
 //   u8 status_code | string status_message | payload-if-OK
@@ -73,6 +77,8 @@ enum class Opcode : uint8_t {
   kPrepare = 6,
   kExecute = 7,
   kCloseStmt = 8,
+  // -- v2: persistence --
+  kCheckpoint = 9,
 };
 
 std::string_view OpcodeToString(Opcode op);
@@ -81,59 +87,16 @@ std::string_view OpcodeToString(Opcode op);
 /// v1 (byte-identical to older builds), v2 opcodes are stamped v2.
 uint8_t WireVersionFor(Opcode op);
 
-/// Appends primitive values to a growing byte buffer.
-class WireWriter {
- public:
-  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
-  void PutBool(bool v) { PutU8(v ? 1 : 0); }
-  void PutU32(uint32_t v);
-  void PutU64(uint64_t v);
-  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
-  void PutF64(double v);
-  /// u32 length + raw bytes (embedded NULs are fine).
-  void PutString(std::string_view s);
-
-  const std::string& buffer() const { return buf_; }
-  std::string Take() { return std::move(buf_); }
-
- private:
-  std::string buf_;
-};
-
-/// Bounds-checked sequential reads over one decoded frame body. Every read
-/// fails with InvalidArgument instead of walking off the end, so truncated
-/// or hostile frames surface as Status, never as UB.
-class WireReader {
- public:
-  explicit WireReader(std::string_view data) : data_(data) {}
-
-  Result<uint8_t> ReadU8();
-  Result<bool> ReadBool();  ///< rejects bytes other than 0/1
-  Result<uint32_t> ReadU32();
-  Result<uint64_t> ReadU64();
-  Result<int64_t> ReadI64();
-  Result<double> ReadF64();
-  Result<std::string> ReadString();
-
-  int64_t remaining() const {
-    return static_cast<int64_t>(data_.size() - pos_);
-  }
-  /// InvalidArgument unless the whole body was consumed — trailing garbage
-  /// means a framing bug or a tampered message.
-  Status ExpectEnd() const;
-
- private:
-  std::string_view data_;
-  size_t pos_ = 0;
-};
+/// The byte-buffer primitives are shared with the on-disk storage formats;
+/// see util/binio.h. The wire names remain canonical in protocol code.
+using WireWriter = BinaryWriter;
+using WireReader = BinaryReader;
 
 // -- Typed encode/decode pairs ----------------------------------------------
-
-void EncodeValue(const Value& v, WireWriter* w);
-Result<Value> DecodeValue(WireReader* r);
-
-void EncodeSchema(const Schema& schema, WireWriter* w);
-Result<Schema> DecodeSchema(WireReader* r);
+//
+// Value and Schema codecs live in column/serde.h (shared with the storage
+// formats, byte-identical to every older build of this protocol) and are
+// re-exported through this header's includes.
 
 void EncodeBounds(const QueryBounds& bounds, WireWriter* w);
 Result<QueryBounds> DecodeBounds(WireReader* r);

@@ -73,6 +73,32 @@ Status StreamingHistogram::Merge(const StreamingHistogram& other) {
   return Status::OK();
 }
 
+StreamingHistogram::State StreamingHistogram::SaveState() const {
+  State state;
+  state.domain_min = domain_min_;
+  state.bin_width = bin_width_;
+  state.bins = bins_;
+  state.total_count = total_count_;
+  state.clamped_count = clamped_count_;
+  state.weighted_total = weighted_total_;
+  return state;
+}
+
+Result<StreamingHistogram> StreamingHistogram::Restore(State state) {
+  SCIBORQ_ASSIGN_OR_RETURN(
+      StreamingHistogram hist,
+      Make(state.domain_min, state.bin_width,
+           static_cast<int>(state.bins.size())));
+  if (state.total_count < 0 || state.clamped_count < 0) {
+    return Status::InvalidArgument("histogram state: negative counters");
+  }
+  hist.bins_ = std::move(state.bins);
+  hist.total_count_ = state.total_count;
+  hist.clamped_count_ = state.clamped_count;
+  hist.weighted_total_ = state.weighted_total;
+  return hist;
+}
+
 void StreamingHistogram::Reset() {
   for (auto& b : bins_) b = BinStats{};
   total_count_ = 0;

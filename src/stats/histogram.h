@@ -74,6 +74,19 @@ class StreamingHistogram {
   /// Forgets everything; geometry is kept.
   void Reset();
 
+  /// The complete resumable state (persistent storage).
+  struct State {
+    double domain_min = 0.0;
+    double bin_width = 1.0;
+    std::vector<BinStats> bins;
+    int64_t total_count = 0;
+    int64_t clamped_count = 0;
+    double weighted_total = 0.0;
+  };
+  State SaveState() const;
+  /// InvalidArgument on bad geometry or negative counters.
+  static Result<StreamingHistogram> Restore(State state);
+
   /// Empirical density at the center of each bin: count / (N * width).
   /// Returns an empty vector when no values were observed.
   std::vector<double> NormalizedDensities() const;

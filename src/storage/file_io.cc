@@ -1,0 +1,93 @@
+#include "storage/file_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace sciborq {
+
+Status ErrnoStatus(const char* op, const std::string& path) {
+  return Status::IOError(
+      StrFormat("%s %s: %s", op, path.c_str(), std::strerror(errno)));
+}
+
+Status WriteAllToFd(int fd, const char* data, size_t n,
+                    const std::string& path) {
+  size_t written = 0;
+  while (written < n) {
+    const ssize_t rc = ::write(fd, data + written, n - written);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path);
+    }
+    written += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+Status WriteFileDurably(const std::string& path, const std::string& bytes) {
+  return WriteFileDurably(path, {std::string_view(bytes)});
+}
+
+Status WriteFileDurably(const std::string& path,
+                        std::initializer_list<std::string_view> pieces) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open", path);
+  for (const std::string_view piece : pieces) {
+    if (Status st = WriteAllToFd(fd, piece.data(), piece.size(), path);
+        !st.ok()) {
+      ::close(fd);
+      return st;
+    }
+  }
+  if (::fsync(fd) != 0) {
+    const Status st = ErrnoStatus("fsync", path);
+    ::close(fd);
+    return st;
+  }
+  if (::close(fd) != 0) return ErrnoStatus("close", path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open", path);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status st = ErrnoStatus("read", path);
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open dir", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus("fsync dir", dir);
+  return Status::OK();
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace sciborq

@@ -1,0 +1,43 @@
+#ifndef SCIBORQ_STORAGE_FILE_IO_H_
+#define SCIBORQ_STORAGE_FILE_IO_H_
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace sciborq {
+
+/// POSIX file helpers shared by the snapshot and WAL code. All failures come
+/// back as IOError with the errno text; nothing throws.
+
+/// errno rendered as IOError with operation + path context.
+Status ErrnoStatus(const char* op, const std::string& path);
+
+/// EINTR-safe full write to an open fd.
+Status WriteAllToFd(int fd, const char* data, size_t n,
+                    const std::string& path);
+
+/// Writes `bytes` to `path` (create/truncate) and fsyncs the file before
+/// closing — the first half of the atomic temp-file + rename pattern.
+Status WriteFileDurably(const std::string& path, const std::string& bytes);
+
+/// Same, for discontiguous pieces written back to back — callers with a
+/// header + large body + footer avoid concatenating them into one buffer.
+Status WriteFileDurably(const std::string& path,
+                        std::initializer_list<std::string_view> pieces);
+
+/// Reads the whole file. IOError when missing or unreadable.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// fsyncs the directory containing `path`, making a preceding rename or file
+/// creation durable (POSIX requires syncing the directory entry separately).
+Status SyncParentDir(const std::string& path);
+
+/// True when the path exists (any file type).
+bool PathExists(const std::string& path);
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_STORAGE_FILE_IO_H_

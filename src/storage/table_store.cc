@@ -1,0 +1,275 @@
+#include "storage/table_store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <utility>
+
+#include "column/serde.h"
+#include "storage/file_io.h"
+#include "util/string_util.h"
+
+namespace sciborq {
+
+namespace {
+
+constexpr uint8_t kRecordCreateTable = 1;
+constexpr uint8_t kRecordIngestBatch = 2;
+
+constexpr char kSnapshotSuffix[] = ".snapshot";
+constexpr char kWalSuffix[] = ".wal";
+
+}  // namespace
+
+Status TableStore::ValidateTableName(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  if (name == "." || name == "..") {
+    return Status::InvalidArgument("table name must not be '.' or '..'");
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) {
+      return Status::InvalidArgument(StrFormat(
+          "table name '%s' cannot be persisted: names become file names and "
+          "may only contain [A-Za-z0-9_.-]",
+          name.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<TableStore>> TableStore::Open(std::string db_dir) {
+  if (db_dir.empty()) {
+    return Status::InvalidArgument("db directory path must be non-empty");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(db_dir, ec);
+  if (ec) {
+    return Status::IOError(StrFormat("cannot create db directory %s: %s",
+                                     db_dir.c_str(), ec.message().c_str()));
+  }
+  // A checkpoint interrupted before its rename leaves a *.tmp sibling; it
+  // was never the live snapshot, so it is safe to discard.
+  for (const auto& entry : std::filesystem::directory_iterator(db_dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".tmp") {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+  return std::unique_ptr<TableStore>(new TableStore(std::move(db_dir)));
+}
+
+std::string TableStore::SnapshotPath(const std::string& table) const {
+  return dir_ + "/" + table + kSnapshotSuffix;
+}
+
+std::string TableStore::WalPath(const std::string& table) const {
+  return dir_ + "/" + table + kWalSuffix;
+}
+
+Result<std::vector<RecoveredTable>> TableStore::Recover() {
+  // Discover table names from both file kinds (a snapshot can outlive its
+  // WAL and vice versa).
+  std::set<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == kSnapshotSuffix || ext == kWalSuffix) {
+      names.insert(entry.path().stem().string());
+    }
+  }
+  if (ec) {
+    return Status::IOError(StrFormat("cannot scan db directory %s: %s",
+                                     dir_.c_str(), ec.message().c_str()));
+  }
+
+  std::vector<RecoveredTable> out;
+  for (const std::string& name : names) {
+    SCIBORQ_RETURN_NOT_OK(ValidateTableName(name));
+    RecoveredTable recovered;
+    recovered.name = name;
+    int64_t last_seq = 0;
+    const std::string snapshot_path = SnapshotPath(name);
+    if (PathExists(snapshot_path)) {
+      SCIBORQ_ASSIGN_OR_RETURN(TableSnapshot snap,
+                               ReadTableSnapshot(snapshot_path));
+      if (snap.table != name) {
+        return Status::InvalidArgument(StrFormat(
+            "snapshot %s claims to hold table '%s'", snapshot_path.c_str(),
+            snap.table.c_str()));
+      }
+      last_seq = snap.last_seq;
+      recovered.snapshot = std::move(snap);
+    }
+
+    const std::string wal_path = WalPath(name);
+    std::unique_ptr<WalWriter> wal;
+    if (PathExists(wal_path)) {
+      SCIBORQ_ASSIGN_OR_RETURN(const WalScanResult scan, ScanWal(wal_path));
+      if (!recovered.snapshot && scan.records.empty()) {
+        // A WAL with no snapshot behind it and no complete record: a crash
+        // interrupted the very first CreateTable before its create record
+        // became durable. Nothing was ever acknowledged, so drop the stray
+        // file instead of refusing the whole boot.
+        ::unlink(wal_path.c_str());
+        continue;
+      }
+      recovered.wal_tail_dropped = scan.torn_tail;
+      recovered.wal_tail_error = scan.tail_error;
+      for (const std::string& payload : scan.records) {
+        Result<WalRecord> record = DecodeWalRecord(payload);
+        if (!record.ok()) {
+          return Status::InvalidArgument(
+              StrFormat("wal %s: %s", wal_path.c_str(),
+                        record.status().message().c_str()));
+        }
+        if (record->type == WalRecord::Type::kCreateTable) {
+          recovered.created_schema = std::move(record->schema);
+          recovered.created_config = std::move(record->config);
+        } else if (record->seq > last_seq) {
+          // seq <= last_seq means the batch is already folded into the
+          // snapshot (a crash between snapshot rename and WAL reset).
+          recovered.batches.push_back(
+              PendingBatch{record->seq, std::move(*record->batch)});
+        }
+      }
+      // Reopen for appending; this also truncates the torn tail on disk.
+      SCIBORQ_ASSIGN_OR_RETURN(WalWriter writer,
+                               WalWriter::OpenExisting(wal_path,
+                                                       scan.valid_bytes));
+      wal = std::make_unique<WalWriter>(std::move(writer));
+    } else {
+      SCIBORQ_ASSIGN_OR_RETURN(WalWriter writer, WalWriter::Create(wal_path));
+      wal = std::make_unique<WalWriter>(std::move(writer));
+    }
+
+    if (!recovered.snapshot && !recovered.created_schema) {
+      return Status::InvalidArgument(StrFormat(
+          "table '%s' has neither a snapshot nor a create-table WAL record — "
+          "the db directory is damaged",
+          name.c_str()));
+    }
+    std::sort(recovered.batches.begin(), recovered.batches.end(),
+              [](const PendingBatch& a, const PendingBatch& b) {
+                return a.seq < b.seq;
+              });
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      wals_[name] = std::move(wal);
+    }
+    out.push_back(std::move(recovered));
+  }
+  return out;
+}
+
+Result<WalWriter*> TableStore::FindWal(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = wals_.find(name);
+  if (it == wals_.end()) {
+    return Status::NotFound(
+        StrFormat("no WAL open for table '%s'", name.c_str()));
+  }
+  return it->second.get();
+}
+
+Status TableStore::LogCreate(const std::string& name, const Schema& schema,
+                             const PersistedTableConfig& config) {
+  SCIBORQ_RETURN_NOT_OK(ValidateTableName(name));
+  SCIBORQ_ASSIGN_OR_RETURN(WalWriter wal, WalWriter::Create(WalPath(name)));
+  SCIBORQ_RETURN_NOT_OK(wal.Append(EncodeCreateRecord(schema, config)));
+  std::lock_guard<std::mutex> lock(mu_);
+  wals_[name] = std::make_unique<WalWriter>(std::move(wal));
+  return Status::OK();
+}
+
+Result<int64_t> TableStore::LogBatch(const std::string& name,
+                                     const Table& batch, int64_t seq) {
+  SCIBORQ_ASSIGN_OR_RETURN(WalWriter * wal, FindWal(name));
+  const int64_t offset_before = wal->size_bytes();
+  SCIBORQ_RETURN_NOT_OK(wal->Append(EncodeBatchRecord(seq, batch)));
+  return offset_before;
+}
+
+Status TableStore::UnlogBatch(const std::string& name, int64_t offset_before) {
+  SCIBORQ_ASSIGN_OR_RETURN(WalWriter * wal, FindWal(name));
+  return wal->TruncateTo(offset_before);
+}
+
+void TableStore::DropWal(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    wals_.erase(name);  // closes the fd
+  }
+  ::unlink(WalPath(name).c_str());
+}
+
+Status TableStore::WriteCheckpoint(const TableSnapshot& snap) {
+  SCIBORQ_ASSIGN_OR_RETURN(WalWriter * wal, FindWal(snap.table));
+  SCIBORQ_RETURN_NOT_OK(WriteTableSnapshot(snap, SnapshotPath(snap.table)));
+  // The snapshot is durable; dropping the covered batches is now safe. A
+  // crash before this reset is handled by recovery's seq comparison.
+  return wal->Reset();
+}
+
+// -- WAL record codecs ------------------------------------------------------
+
+std::string EncodeCreateRecord(const Schema& schema,
+                               const PersistedTableConfig& config) {
+  BinaryWriter w;
+  w.PutU8(kRecordCreateTable);
+  w.PutI64(0);
+  EncodeSchema(schema, &w);
+  EncodePersistedConfig(config, &w);
+  return std::move(w).Take();
+}
+
+std::string EncodeBatchRecord(int64_t seq, const Table& batch) {
+  BinaryWriter w;
+  w.PutU8(kRecordIngestBatch);
+  w.PutI64(seq);
+  EncodeTable(batch, &w);
+  return std::move(w).Take();
+}
+
+Result<WalRecord> DecodeWalRecord(std::string_view payload) {
+  BinaryReader r(payload);
+  WalRecord record;
+  SCIBORQ_ASSIGN_OR_RETURN(const uint8_t type, r.ReadU8());
+  SCIBORQ_ASSIGN_OR_RETURN(record.seq, r.ReadI64());
+  switch (type) {
+    case kRecordCreateTable: {
+      record.type = WalRecord::Type::kCreateTable;
+      SCIBORQ_ASSIGN_OR_RETURN(Schema schema, DecodeSchema(&r));
+      record.schema = std::move(schema);
+      SCIBORQ_ASSIGN_OR_RETURN(PersistedTableConfig config,
+                               DecodePersistedConfig(&r));
+      record.config = std::move(config);
+      break;
+    }
+    case kRecordIngestBatch: {
+      record.type = WalRecord::Type::kIngestBatch;
+      if (record.seq <= 0) {
+        return Status::InvalidArgument(StrFormat(
+            "ingest record carries non-positive sequence %lld",
+            static_cast<long long>(record.seq)));
+      }
+      SCIBORQ_ASSIGN_OR_RETURN(Table batch, DecodeTable(&r));
+      record.batch = std::move(batch);
+      break;
+    }
+    default:
+      return Status::InvalidArgument(
+          StrFormat("unknown WAL record type %u", type));
+  }
+  SCIBORQ_RETURN_NOT_OK(r.ExpectEnd());
+  return record;
+}
+
+}  // namespace sciborq

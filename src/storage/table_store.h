@@ -1,0 +1,139 @@
+#ifndef SCIBORQ_STORAGE_TABLE_STORE_H_
+#define SCIBORQ_STORAGE_TABLE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "column/table.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+#include "util/result.h"
+
+namespace sciborq {
+
+// ---------------------------------------------------------------------------
+// TableStore — the database directory.
+//
+// Layout (flat, one pair of files per table):
+//
+//   <db_dir>/<table>.snapshot   last checkpoint (storage/snapshot.h format)
+//   <db_dir>/<table>.wal        batches ingested since (storage/wal.h frames)
+//
+// WAL record vocabulary (payload = u8 type | i64 seq | body):
+//
+//   type 1  create-table   seq 0,  body = Schema | PersistedTableConfig
+//   type 2  ingest-batch   seq 1+, body = Table (column/serde.h)
+//
+// A table registered but never checkpointed exists as a WAL alone (its first
+// record is create-table); after the first checkpoint the WAL holds only
+// post-snapshot batches. Checkpoint ordering makes every crash window safe:
+// the snapshot is written atomically (temp + rename + dir fsync) and only
+// then is the WAL reset — a crash between the two leaves batches in the WAL
+// whose sequence numbers the snapshot already covers, and recovery skips
+// them by comparing against TableSnapshot::last_seq.
+// ---------------------------------------------------------------------------
+
+/// One WAL batch awaiting replay.
+struct PendingBatch {
+  int64_t seq = 0;
+  Table batch;
+};
+
+/// Everything recovery found for one table.
+struct RecoveredTable {
+  std::string name;
+  /// The last checkpoint, when one exists.
+  std::optional<TableSnapshot> snapshot;
+  /// From the WAL create-table record (present when the table was created
+  /// after the last checkpoint — in particular for never-checkpointed
+  /// tables).
+  std::optional<Schema> created_schema;
+  std::optional<PersistedTableConfig> created_config;
+  /// Batches with seq > snapshot.last_seq, ascending.
+  std::vector<PendingBatch> batches;
+  /// True when a torn or corrupt WAL tail was dropped during recovery.
+  bool wal_tail_dropped = false;
+  std::string wal_tail_error;
+};
+
+/// Filesystem face of the persistence subsystem: owns the db directory and
+/// one WalWriter per table. Thread-safe; per-table call ordering is the
+/// engine's responsibility (it serializes under the table's data lock).
+class TableStore {
+ public:
+  /// Opens (creating if needed) the directory. Leftover `*.tmp` files from a
+  /// checkpoint interrupted before its rename are deleted.
+  static Result<std::unique_ptr<TableStore>> Open(std::string db_dir);
+
+  /// Scans the directory and reconstructs the durable state of every table:
+  /// reads each snapshot, scans each WAL (truncating torn tails on disk),
+  /// and opens the WAL for appending. Sorted by table name. A corrupt
+  /// snapshot or WAL header fails recovery — silent data loss is worse than
+  /// a refused boot.
+  Result<std::vector<RecoveredTable>> Recover();
+
+  /// Appends the create-table record to a fresh WAL for `name`.
+  Status LogCreate(const std::string& name, const Schema& schema,
+                   const PersistedTableConfig& config);
+
+  /// Appends one ingest-batch record, durable before returning. Returns the
+  /// WAL size *before* the append — an undo cookie for UnlogBatch.
+  Result<int64_t> LogBatch(const std::string& name, const Table& batch,
+                           int64_t seq);
+
+  /// Truncates the table's WAL back to a LogBatch cookie — the undo for a
+  /// batch whose in-memory application failed after it was logged (without
+  /// it, the caller would be told the ingest failed while a restart
+  /// resurrects the rows).
+  Status UnlogBatch(const std::string& name, int64_t offset_before);
+
+  /// Closes and deletes a table's WAL — the undo of LogCreate when a
+  /// registration fails after it (otherwise the create record would
+  /// resurrect an empty table at the next boot). Best-effort unlink.
+  void DropWal(const std::string& name);
+
+  /// Writes the snapshot atomically, then resets the table's WAL.
+  Status WriteCheckpoint(const TableSnapshot& snap);
+
+  /// Storage restricts table names to [A-Za-z0-9_.-] (they become file
+  /// names); InvalidArgument otherwise.
+  static Status ValidateTableName(const std::string& name);
+
+  const std::string& dir() const { return dir_; }
+
+  std::string SnapshotPath(const std::string& table) const;
+  std::string WalPath(const std::string& table) const;
+
+ private:
+  explicit TableStore(std::string dir) : dir_(std::move(dir)) {}
+
+  Result<WalWriter*> FindWal(const std::string& name);
+
+  std::string dir_;
+  std::mutex mu_;  ///< guards wals_ (map structure only)
+  std::unordered_map<std::string, std::unique_ptr<WalWriter>> wals_;
+};
+
+/// WAL payload codecs, exposed for tests.
+std::string EncodeCreateRecord(const Schema& schema,
+                               const PersistedTableConfig& config);
+std::string EncodeBatchRecord(int64_t seq, const Table& batch);
+
+struct WalRecord {
+  enum class Type { kCreateTable, kIngestBatch };
+  Type type = Type::kIngestBatch;
+  int64_t seq = 0;
+  std::optional<Schema> schema;                  ///< create only
+  std::optional<PersistedTableConfig> config;    ///< create only
+  std::optional<Table> batch;                    ///< ingest only
+};
+Result<WalRecord> DecodeWalRecord(std::string_view payload);
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_STORAGE_TABLE_STORE_H_

@@ -1,0 +1,23 @@
+#ifndef SCIBORQ_UTIL_CRC32C_H_
+#define SCIBORQ_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sciborq {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected) — the checksum
+/// used by the storage formats (snapshot bodies, WAL record frames). Chosen
+/// over plain CRC-32 for its better burst-error detection; the same choice
+/// as LevelDB/RocksDB WALs.
+uint32_t Crc32c(const void* data, size_t n);
+inline uint32_t Crc32c(std::string_view s) { return Crc32c(s.data(), s.size()); }
+
+/// Extends a running CRC with more bytes: Crc32cExtend(Crc32c(a), b) ==
+/// Crc32c(a+b).
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_UTIL_CRC32C_H_

@@ -109,4 +109,20 @@ double Rng::Exponential(double lambda) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+Rng::State Rng::SaveState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[static_cast<size_t>(i)] = s_[i];
+  state.cached_gaussian = cached_gaussian_;
+  state.has_cached_gaussian = has_cached_gaussian_;
+  return state;
+}
+
+Rng Rng::FromState(const State& state) {
+  Rng rng(0);
+  for (int i = 0; i < 4; ++i) rng.s_[i] = state.s[static_cast<size_t>(i)];
+  rng.cached_gaussian_ = state.cached_gaussian;
+  rng.has_cached_gaussian_ = state.has_cached_gaussian;
+  return rng;
+}
+
 }  // namespace sciborq

@@ -1,6 +1,7 @@
 #ifndef SCIBORQ_UTIL_RNG_H_
 #define SCIBORQ_UTIL_RNG_H_
 
+#include <array>
 #include <cstdint>
 
 namespace sciborq {
@@ -46,6 +47,17 @@ class Rng {
 
   /// Derives an independent generator; useful for sharded/parallel use.
   Rng Fork();
+
+  /// The complete generator state (the four xoshiro lanes plus the Box-Muller
+  /// cache). Capturing and restoring it lets persistent storage resume a
+  /// sampler's random stream mid-sequence, bit-identically.
+  struct State {
+    std::array<uint64_t, 4> s{};
+    double cached_gaussian = 0.0;
+    bool has_cached_gaussian = false;
+  };
+  State SaveState() const;
+  static Rng FromState(const State& state);
 
  private:
   uint64_t s_[4];

@@ -35,6 +35,47 @@ Result<InterestTracker> InterestTracker::Make(
   return tracker;
 }
 
+InterestTrackerState InterestTracker::SaveState() const {
+  InterestTrackerState state;
+  state.mode = mode_;
+  state.observed_points = observed_points_;
+  state.attributes.reserve(attrs_.size());
+  for (const auto& attr : attrs_) {
+    state.attributes.push_back(
+        InterestTrackerState::Attribute{attr.column, attr.hist.SaveState()});
+  }
+  return state;
+}
+
+Result<InterestTracker> InterestTracker::Restore(InterestTrackerState state) {
+  if (state.observed_points < 0) {
+    return Status::InvalidArgument("tracker state: negative observation count");
+  }
+  std::vector<TrackedAttribute> attrs;
+  attrs.reserve(state.attributes.size());
+  for (auto& attr : state.attributes) {
+    SCIBORQ_ASSIGN_OR_RETURN(StreamingHistogram hist,
+                             StreamingHistogram::Restore(std::move(attr.hist)));
+    attrs.push_back(TrackedAttribute{std::move(attr.column), std::move(hist)});
+  }
+  if (attrs.empty()) {
+    return Status::InvalidArgument("tracker state: no tracked attributes");
+  }
+  InterestTracker tracker(std::move(attrs), state.mode);
+  for (size_t i = 0; i < tracker.attrs_.size(); ++i) {
+    const auto [it, inserted] =
+        tracker.index_.emplace(tracker.attrs_[i].column, static_cast<int>(i));
+    (void)it;
+    if (!inserted) {
+      return Status::InvalidArgument(
+          StrFormat("tracker state: duplicate tracked attribute '%s'",
+                    tracker.attrs_[i].column.c_str()));
+    }
+  }
+  tracker.observed_points_ = state.observed_points;
+  return tracker;
+}
+
 void InterestTracker::ObserveQuery(const AggregateQuery& query) {
   for (const auto& point : query.PredicatePoints()) {
     ObserveValue(point.column, point.value);

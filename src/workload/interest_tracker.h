@@ -24,6 +24,20 @@ enum class CombineMode {
   kMax,            ///< max_a w_a: a tuple interesting on any axis is kept
 };
 
+/// The complete resumable state of an InterestTracker (persistent storage):
+/// the combine mode, the observation count, and every tracked attribute's
+/// histogram. Restoring it resumes workload-biased sampling with the exact
+/// interest profile the saved tracker had.
+struct InterestTrackerState {
+  CombineMode mode = CombineMode::kGeometricMean;
+  int64_t observed_points = 0;
+  struct Attribute {
+    std::string column;
+    StreamingHistogram::State hist;
+  };
+  std::vector<Attribute> attributes;
+};
+
 /// Tracks the focal points of the exploration: one streaming predicate-set
 /// histogram (Fig. 5) per attribute of interest, each exposing the paper's
 /// constant-time binned density estimate f̆ (§4). Impression builders query
@@ -82,6 +96,11 @@ class InterestTracker {
   std::vector<FrozenBinnedKde> FreezeEstimators() const;
 
   CombineMode combine_mode() const { return mode_; }
+
+  /// Deep copy of the complete resumable state, for serialization.
+  InterestTrackerState SaveState() const;
+  /// Rebuilds a tracker from captured (or deserialized) state.
+  static Result<InterestTracker> Restore(InterestTrackerState state);
 
  private:
   struct TrackedAttribute {

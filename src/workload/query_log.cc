@@ -48,4 +48,14 @@ void QueryLog::Clear() {
   next_sequence_ = 0;
 }
 
+void QueryLog::RestoreState(int64_t total_recorded,
+                            std::deque<LoggedQuery> entries) {
+  entries_ = std::move(entries);
+  next_sequence_ = total_recorded;
+  while (window_size_ > 0 &&
+         static_cast<int64_t>(entries_.size()) > window_size_) {
+    entries_.pop_front();
+  }
+}
+
 }  // namespace sciborq

@@ -54,6 +54,12 @@ class QueryLog {
 
   void Clear();
 
+  /// Replaces the log's contents with recovered entries (persistent
+  /// storage). Entries keep their original sequence numbers;
+  /// `total_recorded` continues the global counter. Entries beyond the
+  /// window are trimmed oldest-first, exactly as Record would have.
+  void RestoreState(int64_t total_recorded, std::deque<LoggedQuery> entries);
+
  private:
   int64_t window_size_;
   int64_t next_sequence_ = 0;

@@ -1,0 +1,32 @@
+#ifndef SCIBORQ_TESTS_TEST_TEMP_DIR_H_
+#define SCIBORQ_TESTS_TEST_TEMP_DIR_H_
+
+// Scoped temp directory for storage/persistence tests: mkdtemp on
+// construction, recursive removal on destruction.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace sciborq {
+
+inline std::string MakeTempDir(const char* prefix) {
+  std::string tmpl = std::string("/tmp/") + prefix + "_XXXXXX";
+  const char* dir = mkdtemp(tmpl.data());
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+struct TempDir {
+  std::string path = MakeTempDir("sciborq_test");
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_TESTS_TEST_TEMP_DIR_H_

@@ -14,6 +14,8 @@
 //                       words become strings; ID may be `last` (the most
 //                       recent \prepare of this process)
 //   \close ID           free a prepared statement
+//   \checkpoint [TABLE] persist TABLE (or every table) into the server's
+//                       --db-dir: snapshot written atomically, WAL truncated
 //   \ping               round-trip liveness check
 //   \q                  quit
 //
@@ -250,6 +252,19 @@ bool HandleLine(Cli* cli, const std::string& line, bool* ok) {
     std::printf("%s\n", outcome->ToString().c_str());
     return true;
   }
+  if (IsCommand(trimmed, "\\checkpoint")) {
+    const std::string table = ArgAfter(trimmed, 11);
+    const Result<int64_t> count = client->Checkpoint(table);
+    if (!count.ok()) {
+      *ok = false;
+      std::printf("error: %s\n", count.status().ToString().c_str());
+      return true;
+    }
+    std::printf("checkpointed %lld table(s)%s%s\n",
+                static_cast<long long>(*count), table.empty() ? "" : ": ",
+                table.c_str());
+    return true;
+  }
   if (IsCommand(trimmed, "\\close")) {
     const std::string arg = ArgAfter(trimmed, 6);
     char* end = nullptr;
@@ -324,8 +339,8 @@ int main(int argc, char** argv) {
   }
 
   std::printf("connected to %s:%d — \\tables, \\describe TABLE, \\use TABLE, "
-              "\\prepare SQL, \\exec ID PARAM..., \\close ID, \\ping, \\q; "
-              "anything else is SQL\n",
+              "\\prepare SQL, \\exec ID PARAM..., \\close ID, "
+              "\\checkpoint [TABLE], \\ping, \\q; anything else is SQL\n",
               host.c_str(), port);
   std::string line;
   for (;;) {

@@ -1,14 +1,24 @@
 // sciborq_server — the SciBORQ network daemon.
 //
-//   sciborq_server --data-dir data/ [--port 4242] [--max-connections 8]
-//                  [--query-threads 1]
+//   sciborq_server [--db-dir db/] [--data-dir data/] [--port 4242]
+//                  [--max-connections 8] [--query-threads 1]
+//
+// At least one of --db-dir / --data-dir is required.
+//
+// With --db-dir the engine is persistent: tables (columns AND their whole
+// impression hierarchies) are recovered from the directory's snapshots plus
+// a WAL replay on boot, every acknowledged ingest survives kill -9, and
+// `\checkpoint` from sciborq_cli folds the WAL into fresh snapshots.
+// Without it the engine is ephemeral, as before.
 //
 // Every *.csv under --data-dir is registered as a table named by its file
-// stem (data/sky.csv -> table "sky") with the default impression hierarchy,
-// then the server accepts remote clients speaking the length-prefixed
-// protocol (see src/server/wire.h; `sciborq_cli` is the reference client).
-// SIGINT/SIGTERM shut down gracefully: in-flight queries finish and their
-// responses are delivered before the process exits.
+// stem (data/sky.csv -> table "sky") with the default impression hierarchy;
+// stems already present in the recovered catalog are skipped, so the same
+// command line is restart-safe. The server then accepts remote clients
+// speaking the length-prefixed protocol (see src/server/wire.h;
+// `sciborq_cli` is the reference client). SIGINT/SIGTERM shut down
+// gracefully: in-flight queries finish and their responses are delivered
+// before the process exits.
 
 #include <algorithm>
 #include <chrono>
@@ -17,6 +27,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,13 +46,19 @@ void HandleSignal(int /*signum*/) { g_stop = 1; }
 void Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --data-dir DIR [--port N] [--max-connections N]\n"
-      "          [--query-threads N]\n"
+      "usage: %s [--db-dir DIR] [--data-dir DIR] [--port N]\n"
+      "          [--max-connections N] [--query-threads N]\n"
+      "  --db-dir DIR          persistent database directory: tables and\n"
+      "                        impression hierarchies are recovered from it\n"
+      "                        on boot (snapshot + WAL replay) and ingest is\n"
+      "                        durable; \\checkpoint persists snapshots\n"
       "  --data-dir DIR        register every *.csv in DIR as a table\n"
-      "                        (table name = file stem)\n"
+      "                        (table name = file stem; already-recovered\n"
+      "                        tables are skipped)\n"
       "  --port N              TCP port (default 4242; 0 = pick a free one)\n"
       "  --max-connections N   concurrent connections served (default 8)\n"
-      "  --query-threads N     scan threads per query (default 1 = serial)\n",
+      "  --query-threads N     scan threads per query (default 1 = serial)\n"
+      "at least one of --db-dir / --data-dir is required\n",
       argv0);
 }
 
@@ -57,6 +74,7 @@ bool ParseIntFlag(const char* value, int* out) {
 
 int main(int argc, char** argv) {
   std::string data_dir;
+  std::string db_dir;
   int port = 4242;
   int max_connections = 8;
   int query_threads = 1;
@@ -66,6 +84,8 @@ int main(int argc, char** argv) {
     const bool has_value = i + 1 < argc;
     if (arg == "--data-dir" && has_value) {
       data_dir = argv[++i];
+    } else if (arg == "--db-dir" && has_value) {
+      db_dir = argv[++i];
     } else if (arg == "--port" && has_value) {
       if (!ParseIntFlag(argv[++i], &port)) {
         std::fprintf(stderr, "bad --port value '%s'\n", argv[i]);
@@ -90,50 +110,80 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (data_dir.empty()) {
-    std::fprintf(stderr, "--data-dir is required\n");
+  if (data_dir.empty() && db_dir.empty()) {
+    std::fprintf(stderr, "at least one of --db-dir / --data-dir is required\n");
     Usage(argv[0]);
     return 2;
   }
 
   EngineOptions engine_options;
   engine_options.query_threads = query_threads;
-  Engine engine(engine_options);
-
-  // Register the data directory's CSVs in sorted order (deterministic boot).
-  std::error_code ec;
-  std::vector<std::filesystem::path> csvs;
-  for (const auto& entry : std::filesystem::directory_iterator(data_dir, ec)) {
-    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
-      csvs.push_back(entry.path());
-    }
-  }
-  if (ec) {
-    std::fprintf(stderr, "cannot read --data-dir '%s': %s\n", data_dir.c_str(),
-                 ec.message().c_str());
-    return 1;
-  }
-  std::sort(csvs.begin(), csvs.end());
-  for (const auto& path : csvs) {
-    const std::string table = path.stem().string();
-    const Result<int64_t> rows = engine.RegisterCsv(table, path.string());
-    if (!rows.ok()) {
-      std::fprintf(stderr, "failed to register '%s': %s\n",
-                   path.string().c_str(), rows.status().ToString().c_str());
+  std::unique_ptr<Engine> engine;
+  if (!db_dir.empty()) {
+    // Persistent boot: recover every table (snapshot + WAL replay).
+    Result<std::unique_ptr<Engine>> opened =
+        Engine::Open(db_dir, engine_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open --db-dir '%s': %s\n", db_dir.c_str(),
+                   opened.status().ToString().c_str());
       return 1;
     }
-    std::printf("registered table '%s' (%lld rows) from %s\n", table.c_str(),
-                static_cast<long long>(*rows), path.string().c_str());
+    engine = std::move(opened).value();
+    for (const std::string& table : engine->TableNames()) {
+      const Result<int64_t> rows = engine->TableRows(table);
+      std::printf("recovered table '%s' (%lld rows) from %s\n", table.c_str(),
+                  static_cast<long long>(rows.value_or(0)), db_dir.c_str());
+    }
+    for (const std::string& warning : engine->recovery_warnings()) {
+      std::fprintf(stderr, "recovery warning: %s\n", warning.c_str());
+    }
+  } else {
+    engine = std::make_unique<Engine>(engine_options);
   }
-  if (csvs.empty()) {
-    std::printf("warning: no *.csv files in '%s' — serving an empty catalog\n",
-                data_dir.c_str());
+
+  // Register the data directory's CSVs in sorted order (deterministic boot);
+  // tables already recovered from --db-dir keep their durable state.
+  if (!data_dir.empty()) {
+    std::error_code ec;
+    std::vector<std::filesystem::path> csvs;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(data_dir, ec)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+        csvs.push_back(entry.path());
+      }
+    }
+    if (ec) {
+      std::fprintf(stderr, "cannot read --data-dir '%s': %s\n",
+                   data_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    std::sort(csvs.begin(), csvs.end());
+    for (const auto& path : csvs) {
+      const std::string table = path.stem().string();
+      const std::vector<std::string> names = engine->TableNames();
+      if (std::find(names.begin(), names.end(), table) != names.end()) {
+        std::printf("skipping %s: table '%s' already recovered from db\n",
+                    path.string().c_str(), table.c_str());
+        continue;
+      }
+      const Result<int64_t> rows = engine->RegisterCsv(table, path.string());
+      if (!rows.ok()) {
+        std::fprintf(stderr, "failed to register '%s': %s\n",
+                     path.string().c_str(), rows.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("registered table '%s' (%lld rows) from %s\n", table.c_str(),
+                  static_cast<long long>(*rows), path.string().c_str());
+    }
+  }
+  if (engine->TableNames().empty()) {
+    std::printf("warning: no tables — serving an empty catalog\n");
   }
 
   ServerOptions server_options;
   server_options.port = port;
   server_options.max_connections = max_connections;
-  SciborqServer server(&engine, server_options);
+  SciborqServer server(engine.get(), server_options);
   if (Status st = server.Start(); !st.ok()) {
     std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
     return 1;
