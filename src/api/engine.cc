@@ -52,31 +52,39 @@ std::vector<std::vector<AggregateEstimate>> ExactEstimates(
 
 /// One catalog table: base columns + impression hierarchy + workload state.
 ///
-/// Locking: data_mu is the data plane (shared for Query/introspection,
-/// exclusive for IngestBatch, which both appends to `base` and reads
-/// `tracker` while re-sampling). workload_mu serializes mutation of `log`
-/// and `tracker` by concurrent queries, which hold only the *shared* data
-/// lock; it is always acquired while holding data_mu (shared), so tracker
-/// writers and the ingest-time tracker reader still exclude each other
-/// through data_mu.
+/// Locking (annotated — Clang rejects unguarded access at compile time):
+/// data_mu is the data plane (shared for Query/introspection, exclusive for
+/// IngestBatch, which both appends to `base` and reads `tracker` while
+/// re-sampling). workload_mu serializes mutation of `log` and `tracker` by
+/// concurrent queries, which hold only the *shared* data lock; it is always
+/// acquired while holding data_mu (shared), so tracker writers and the
+/// ingest-time tracker reader (which reaches the tracker through the
+/// hierarchy's ImpressionSpec pointer under the *exclusive* data lock —
+/// an aliased path the static analysis cannot see, covered by the TSan CI
+/// job instead) still exclude each other through data_mu.
 struct Engine::TableEntry {
   explicit TableEntry(int64_t log_window) : log(log_window) {}
 
-  std::string name;
+  std::string name;        ///< immutable after construction
   /// The creation options with layers resolved (what a checkpoint persists
-  /// and recovery rebuilds from).
+  /// and recovery rebuilds from). Immutable once the entry is published.
   TableOptions options;
-  mutable std::shared_mutex data_mu;
-  Table base;
-  std::optional<InterestTracker> tracker;
-  std::optional<ImpressionHierarchy> hierarchy;
+  mutable SharedMutex data_mu;
+  Table base GUARDED_BY(data_mu);
+  /// Mutated under workload_mu (ObserveQuery/Decay); presence
+  /// (has_value) is fixed at build time but reads still take workload_mu —
+  /// the one lock that always suffices.
+  std::optional<InterestTracker> tracker GUARDED_BY(workload_mu);
+  std::optional<ImpressionHierarchy> hierarchy GUARDED_BY(data_mu);
   /// Sequence number the next WAL ingest record will carry (persistent
-  /// engines; guarded by data_mu).
-  int64_t next_seq = 1;
+  /// engines).
+  int64_t next_seq GUARDED_BY(data_mu) = 1;
   /// Serializes checkpoints of this table (they share one WAL file).
-  mutable std::mutex checkpoint_mu;
-  mutable std::mutex workload_mu;
-  QueryLog log;
+  /// Acquired before data_mu — the only lock ordered ahead of it.
+  mutable Mutex checkpoint_mu ACQUIRED_BEFORE(data_mu);
+  /// Always acquired after data_mu when both are held.
+  mutable Mutex workload_mu ACQUIRED_AFTER(data_mu);
+  QueryLog log GUARDED_BY(workload_mu);
 };
 
 Engine::Engine(EngineOptions options) : options_(options) {
@@ -103,8 +111,14 @@ Result<std::unique_ptr<Engine::TableEntry>> Engine::BuildTableEntry(
     SCIBORQ_RETURN_NOT_OK(TableStore::ValidateTableName(name));
   }
   auto entry = std::make_unique<TableEntry>(options_.query_log_window);
-  entry->name = name;
-  entry->base = Table(schema);
+  TableEntry* raw = entry.get();
+  raw->name = name;
+  // The entry is unpublished — no other thread can see it — but the build
+  // still runs under its (uncontended) locks so the guarded-member protocol
+  // holds unconditionally.
+  WriterMutexLock data_lock(&raw->data_mu);
+  MutexLock workload_lock(&raw->workload_mu);
+  raw->base = Table(schema);
   if (options.layers.empty()) options.layers = DefaultLayers();
 
   ImpressionSpec spec;
@@ -113,9 +127,9 @@ Result<std::unique_ptr<Engine::TableEntry>> Engine::BuildTableEntry(
     SCIBORQ_ASSIGN_OR_RETURN(
         InterestTracker tracker,
         InterestTracker::Make(options.tracked_attributes));
-    entry->tracker.emplace(std::move(tracker));
+    raw->tracker.emplace(std::move(tracker));
     spec.policy = SamplingPolicy::kBiased;
-    spec.tracker = &*entry->tracker;  // stable: entry is heap-allocated
+    spec.tracker = &*raw->tracker;  // stable: entry is heap-allocated
   }
 
   HierarchyOptions hierarchy_options;
@@ -125,12 +139,13 @@ Result<std::unique_ptr<Engine::TableEntry>> Engine::BuildTableEntry(
       ImpressionHierarchy hierarchy,
       ImpressionHierarchy::Make(schema, options.layers, spec,
                                 hierarchy_options));
-  entry->hierarchy.emplace(std::move(hierarchy));
-  entry->options = std::move(options);
+  raw->hierarchy.emplace(std::move(hierarchy));
+  raw->options = std::move(options);
   return entry;
 }
 
-Status Engine::IngestIntoEntry(TableEntry* entry, const Table& batch) {
+Status Engine::IngestIntoEntry(TableEntry* entry, const Table& batch)
+    REQUIRES(entry->data_mu) {
   if (!batch.schema().Equals(entry->base.schema())) {
     return Status::InvalidArgument(StrFormat(
         "batch schema %s does not match table '%s' schema %s",
@@ -148,8 +163,13 @@ Status Engine::IngestIntoEntry(TableEntry* entry, const Table& batch) {
 Status Engine::PublishTable(std::unique_ptr<TableEntry> entry,
                             const Table* initial_batch) {
   TableEntry* raw = entry.get();
-  std::unique_lock<std::shared_mutex> data_lock(raw->data_mu);
-  std::unique_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+  // The fresh entry's data_mu is taken before catalog_mu_ — the only place
+  // both are ever held at once. The entry is unpublished, so its lock is
+  // uncontended and no path can form a cycle against the usual
+  // catalog-then-data sequence (FindTable releases catalog_mu_ before any
+  // data lock is taken).
+  WriterMutexLock data_lock(&raw->data_mu);
+  WriterMutexLock catalog_lock(&catalog_mu_);
   if (tables_.find(raw->name) != tables_.end()) {
     return Status::AlreadyExists(
         StrFormat("table '%s' is already registered", raw->name.c_str()));
@@ -194,14 +214,18 @@ Result<int64_t> Engine::RegisterCsv(const std::string& name,
   SCIBORQ_ASSIGN_OR_RETURN(
       std::unique_ptr<TableEntry> entry,
       BuildTableEntry(name, data.schema(), std::move(options)));
-  SCIBORQ_RETURN_NOT_OK(IngestIntoEntry(entry.get(), data));
+  {
+    TableEntry* raw = entry.get();
+    WriterMutexLock data_lock(&raw->data_mu);  // unpublished: uncontended
+    SCIBORQ_RETURN_NOT_OK(IngestIntoEntry(raw, data));
+  }
   const int64_t rows = data.num_rows();
   SCIBORQ_RETURN_NOT_OK(PublishTable(std::move(entry), &data));
   return rows;
 }
 
 Result<Engine::TableEntry*> Engine::FindTable(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  ReaderMutexLock lock(&catalog_mu_);
   const auto it = tables_.find(name);
   if (it == tables_.end()) {
     std::vector<std::string> names;
@@ -217,7 +241,7 @@ Result<Engine::TableEntry*> Engine::FindTable(const std::string& name) const {
 
 Status Engine::IngestBatch(const std::string& table, const Table& batch) {
   SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
-  std::unique_lock<std::shared_mutex> lock(entry->data_mu);
+  WriterMutexLock lock(&entry->data_mu);
   if (!batch.schema().Equals(entry->base.schema())) {
     return Status::InvalidArgument(StrFormat(
         "batch schema %s does not match table '%s' schema %s",
@@ -274,29 +298,34 @@ Status Engine::RestoreTable(RecoveredTable recovered) {
   if (recovered.snapshot) {
     TableSnapshot& snap = *recovered.snapshot;
     entry = std::make_unique<TableEntry>(options_.query_log_window);
-    entry->name = recovered.name;
-    entry->options.layers = snap.config.layers;
-    entry->options.tracked_attributes = snap.config.tracked_attributes;
-    entry->options.seed = snap.config.seed;
-    entry->options.refresh_interval = snap.config.refresh_interval;
+    TableEntry* raw = entry.get();
+    raw->name = recovered.name;
+    raw->options.layers = snap.config.layers;
+    raw->options.tracked_attributes = snap.config.tracked_attributes;
+    raw->options.seed = snap.config.seed;
+    raw->options.refresh_interval = snap.config.refresh_interval;
+    // Unpublished entry: the locks are uncontended but keep the guarded
+    // state protocol unconditional (see BuildTableEntry).
+    WriterMutexLock data_lock(&raw->data_mu);
+    MutexLock workload_lock(&raw->workload_mu);
     if (snap.tracker) {
       SCIBORQ_ASSIGN_OR_RETURN(InterestTracker tracker,
                                InterestTracker::Restore(std::move(*snap.tracker)));
-      entry->tracker.emplace(std::move(tracker));
+      raw->tracker.emplace(std::move(tracker));
     }
     ImpressionSpec spec;
-    spec.seed = entry->options.seed;
-    if (entry->tracker) {
+    spec.seed = raw->options.seed;
+    if (raw->tracker) {
       spec.policy = SamplingPolicy::kBiased;
-      spec.tracker = &*entry->tracker;
+      spec.tracker = &*raw->tracker;
     }
     SCIBORQ_ASSIGN_OR_RETURN(
         ImpressionHierarchy hierarchy,
         ImpressionHierarchy::Restore(snap.base.schema(), spec,
                                      std::move(snap.hierarchy)));
-    entry->hierarchy.emplace(std::move(hierarchy));
-    entry->base = std::move(snap.base);
-    entry->next_seq = snap.last_seq + 1;
+    raw->hierarchy.emplace(std::move(hierarchy));
+    raw->base = std::move(snap.base);
+    raw->next_seq = snap.last_seq + 1;
     // The log window round-trips as SQL (LoggedQuery::Sql() is
     // ParseBoundedQuery's inverse, tested in engine_test).
     std::deque<LoggedQuery> logged;
@@ -316,7 +345,7 @@ Status Engine::RestoreTable(RecoveredTable recovered) {
       q.bounds = bounded.bounds;
       logged.push_back(std::move(q));
     }
-    entry->log.RestoreState(snap.log.total_recorded, std::move(logged));
+    raw->log.RestoreState(snap.log.total_recorded, std::move(logged));
   } else {
     // Created after the last checkpoint (or never checkpointed): rebuild
     // from the WAL's create record and replay from scratch.
@@ -330,12 +359,16 @@ Status Engine::RestoreTable(RecoveredTable recovered) {
                                std::move(opts)));
   }
 
-  for (PendingBatch& pending : recovered.batches) {
-    SCIBORQ_RETURN_NOT_OK(IngestIntoEntry(entry.get(), pending.batch));
-    entry->next_seq = pending.seq + 1;
+  {
+    TableEntry* raw = entry.get();
+    WriterMutexLock data_lock(&raw->data_mu);  // unpublished: uncontended
+    for (PendingBatch& pending : recovered.batches) {
+      SCIBORQ_RETURN_NOT_OK(IngestIntoEntry(raw, pending.batch));
+      raw->next_seq = pending.seq + 1;
+    }
   }
 
-  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  WriterMutexLock lock(&catalog_mu_);
   if (tables_.find(recovered.name) != tables_.end()) {
     return Status::Internal(StrFormat("table '%s' recovered twice",
                                       recovered.name.c_str()));
@@ -344,7 +377,8 @@ Status Engine::RestoreTable(RecoveredTable recovered) {
   return Status::OK();
 }
 
-TableSnapshot Engine::BuildSnapshot(const TableEntry& entry) const {
+TableSnapshot Engine::BuildSnapshot(const TableEntry& entry) const
+    REQUIRES_SHARED(entry.data_mu) {
   TableSnapshot snap;
   snap.table = entry.name;
   snap.config.layers = entry.options.layers;
@@ -358,7 +392,7 @@ TableSnapshot Engine::BuildSnapshot(const TableEntry& entry) const {
     // Queries mutate the tracker and log under workload_mu while holding
     // only the shared data lock, so a shared-lock checkpoint must take it
     // too for a consistent workload cut.
-    std::lock_guard<std::mutex> workload_lock(entry.workload_mu);
+    MutexLock workload_lock(&entry.workload_mu);
     if (entry.tracker) snap.tracker = entry.tracker->SaveState();
     snap.log.total_recorded = entry.log.total_recorded();
     for (const auto& logged : entry.log.entries()) {
@@ -382,8 +416,8 @@ Status Engine::Checkpoint(const std::string& table) {
   // snapshot-write + WAL-reset window — so no acknowledged batch can land
   // between the cut and the truncation and be dropped — while queries keep
   // flowing through the file I/O and fsyncs.
-  std::lock_guard<std::mutex> checkpoint_lock(entry->checkpoint_mu);
-  std::shared_lock<std::shared_mutex> lock(entry->data_mu);
+  MutexLock checkpoint_lock(&entry->checkpoint_mu);
+  ReaderMutexLock lock(&entry->data_mu);
   const TableSnapshot snap = BuildSnapshot(*entry);
   return store_->WriteCheckpoint(snap);
 }
@@ -424,7 +458,7 @@ Result<QueryOutcome> Engine::Query(const BoundedQuery& bounded) {
   outcome.sql = bounded.ToString();
 
   {
-    std::shared_lock<std::shared_mutex> data_lock(entry->data_mu);
+    ReaderMutexLock data_lock(&entry->data_mu);
     BoundedAnswer answer;
     if (bounded.bounds.exact) {
       // EXACT short-circuits the escalation walk: no sample can serve the
@@ -461,7 +495,7 @@ Result<QueryOutcome> Engine::Query(const BoundedQuery& bounded) {
     // above. Deliberately after execution so a query never observes its own
     // interest update.
     {
-      std::lock_guard<std::mutex> workload_lock(entry->workload_mu);
+      MutexLock workload_lock(&entry->workload_mu);
       entry->log.Record(bounded);
       if (entry->tracker) entry->tracker->ObserveQuery(query);
     }
@@ -509,7 +543,7 @@ Result<StatementHandle> Engine::Prepare(PreparedQuery prepared) {
   auto statement = std::make_shared<PreparedStatement>();
   statement->sql = prepared.ToString();
   statement->prepared = std::move(prepared);
-  std::lock_guard<std::mutex> lock(statements_mu_);
+  MutexLock lock(&statements_mu_);
   statement->handle.id = next_statement_id_++;
   statements_.emplace(statement->handle.id, statement);
   return statement->handle;
@@ -517,7 +551,7 @@ Result<StatementHandle> Engine::Prepare(PreparedQuery prepared) {
 
 Result<std::shared_ptr<const Engine::PreparedStatement>>
 Engine::FindStatement(StatementHandle handle) const {
-  std::lock_guard<std::mutex> lock(statements_mu_);
+  MutexLock lock(&statements_mu_);
   const auto it = statements_.find(handle.id);
   if (it == statements_.end()) {
     return Status::NotFound(StrFormat(
@@ -542,7 +576,7 @@ Result<QueryOutcome> Engine::Execute(StatementHandle handle,
 }
 
 Status Engine::CloseStatement(StatementHandle handle) {
-  std::lock_guard<std::mutex> lock(statements_mu_);
+  MutexLock lock(&statements_mu_);
   if (statements_.erase(handle.id) == 0) {
     return Status::NotFound(StrFormat(
         "unknown statement handle %lld (never prepared, or already closed)",
@@ -564,7 +598,7 @@ Result<StatementInfo> Engine::GetStatement(StatementHandle handle) const {
 }
 
 int64_t Engine::open_statements() const {
-  std::lock_guard<std::mutex> lock(statements_mu_);
+  MutexLock lock(&statements_mu_);
   return static_cast<int64_t>(statements_.size());
 }
 
@@ -577,8 +611,8 @@ std::string StatementInfo::ToString() const {
 Status Engine::RecordWorkload(const std::string& table,
                               const AggregateQuery& query) {
   SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
-  std::shared_lock<std::shared_mutex> data_lock(entry->data_mu);
-  std::lock_guard<std::mutex> workload_lock(entry->workload_mu);
+  ReaderMutexLock data_lock(&entry->data_mu);
+  MutexLock workload_lock(&entry->workload_mu);
   entry->log.Record(query);
   if (entry->tracker) entry->tracker->ObserveQuery(query);
   return Status::OK();
@@ -586,8 +620,8 @@ Status Engine::RecordWorkload(const std::string& table,
 
 Status Engine::DecayInterest(const std::string& table, double factor) {
   SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
-  std::shared_lock<std::shared_mutex> data_lock(entry->data_mu);
-  std::lock_guard<std::mutex> workload_lock(entry->workload_mu);
+  ReaderMutexLock data_lock(&entry->data_mu);
+  MutexLock workload_lock(&entry->workload_mu);
   if (!entry->tracker) {
     return Status::FailedPrecondition(StrFormat(
         "table '%s' has no interest tracker (no tracked_attributes)",
@@ -598,7 +632,7 @@ Status Engine::DecayInterest(const std::string& table, double factor) {
 }
 
 std::vector<std::string> Engine::TableNames() const {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  ReaderMutexLock lock(&catalog_mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, entry] : tables_) names.push_back(name);
@@ -618,13 +652,12 @@ std::vector<TableInfo> Engine::ListTables() const {
 
 Result<TableInfo> Engine::GetTableInfo(const std::string& table) const {
   SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
-  std::shared_lock<std::shared_mutex> lock(entry->data_mu);
+  ReaderMutexLock lock(&entry->data_mu);
   TableInfo info;
   info.name = table;
   info.rows = entry->base.num_rows();
   info.schema = entry->base.schema();
   info.population_seen = entry->hierarchy->population_seen();
-  info.biased = entry->tracker.has_value();
   info.layers.reserve(static_cast<size_t>(entry->hierarchy->num_layers()));
   for (int i = 0; i < entry->hierarchy->num_layers(); ++i) {
     const Impression& layer = entry->hierarchy->layer(i);
@@ -636,7 +669,8 @@ Result<TableInfo> Engine::GetTableInfo(const std::string& table) const {
     info.layers.push_back(std::move(summary));
   }
   {
-    std::lock_guard<std::mutex> workload_lock(entry->workload_mu);
+    MutexLock workload_lock(&entry->workload_mu);
+    info.biased = entry->tracker.has_value();
     info.logged_queries = entry->log.size();
   }
   return info;
@@ -644,20 +678,20 @@ Result<TableInfo> Engine::GetTableInfo(const std::string& table) const {
 
 Result<int64_t> Engine::TableRows(const std::string& table) const {
   SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
-  std::shared_lock<std::shared_mutex> lock(entry->data_mu);
+  ReaderMutexLock lock(&entry->data_mu);
   return entry->base.num_rows();
 }
 
 Result<std::string> Engine::DescribeTable(const std::string& table) const {
   SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
-  std::shared_lock<std::shared_mutex> lock(entry->data_mu);
+  ReaderMutexLock lock(&entry->data_mu);
   std::string out = StrFormat(
       "table '%s': %lld rows, schema %s\n%s", table.c_str(),
       static_cast<long long>(entry->base.num_rows()),
       entry->base.schema().ToString().c_str(),
       entry->hierarchy->ToString().c_str());
   {
-    std::lock_guard<std::mutex> workload_lock(entry->workload_mu);
+    MutexLock workload_lock(&entry->workload_mu);
     out += StrFormat("\n  query log: %lld recorded, window of %lld held",
                      static_cast<long long>(entry->log.total_recorded()),
                      static_cast<long long>(entry->log.size()));
@@ -668,7 +702,7 @@ Result<std::string> Engine::DescribeTable(const std::string& table) const {
 Result<Table> Engine::LayerSnapshot(const std::string& table,
                                     int layer) const {
   SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
-  std::shared_lock<std::shared_mutex> lock(entry->data_mu);
+  ReaderMutexLock lock(&entry->data_mu);
   if (layer < 0 || layer >= entry->hierarchy->num_layers()) {
     return Status::OutOfRange(StrFormat(
         "layer %d out of range: table '%s' has %d layers", layer,
@@ -680,7 +714,7 @@ Result<Table> Engine::LayerSnapshot(const std::string& table,
 Result<std::vector<std::string>> Engine::LoggedSql(
     const std::string& table) const {
   SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
-  std::lock_guard<std::mutex> workload_lock(entry->workload_mu);
+  MutexLock workload_lock(&entry->workload_mu);
   std::vector<std::string> out;
   out.reserve(static_cast<size_t>(entry->log.size()));
   for (const auto& logged : entry->log.entries()) out.push_back(logged.Sql());

@@ -2,8 +2,6 @@
 #define SCIBORQ_API_ENGINE_H_
 
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -13,6 +11,7 @@
 #include "core/hierarchy.h"
 #include "exec/query.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "workload/interest_tracker.h"
 #include "workload/query_log.h"
@@ -307,9 +306,29 @@ class Engine {
   struct TableEntry;
   struct PreparedStatement;
 
+  // Lock protocol (machine-checked by Clang Thread Safety Analysis; the
+  // per-entry annotations live on TableEntry in engine.cc, where the struct
+  // is complete):
+  //
+  //   catalog_mu_      guards the tables_ map structure. Entries themselves
+  //                    are heap-allocated and never erased, so a TableEntry*
+  //                    outlives any lock on the map.
+  //   entry->checkpoint_mu  serializes checkpoints of one table; acquired
+  //                    BEFORE the table's data_mu.
+  //   entry->data_mu   the per-table data plane: shared for queries and
+  //                    introspection, exclusive for ingest.
+  //   entry->workload_mu  serializes log/tracker mutation by concurrent
+  //                    queries; always acquired AFTER data_mu.
+  //   statements_mu_   guards the prepared-statement registry; leaf lock,
+  //                    never held while acquiring any other.
+  //
+  // Ordering: checkpoint_mu -> data_mu -> workload_mu; catalog_mu_ is only
+  // ever held alone or before a fresh (unpublished) entry's locks.
+
   /// Catalog lookup under a shared lock; the returned pointer stays valid
   /// for the engine's lifetime (entries are heap-allocated and never erased).
-  Result<TableEntry*> FindTable(const std::string& name) const;
+  Result<TableEntry*> FindTable(const std::string& name) const
+      EXCLUDES(catalog_mu_);
 
   /// Builds a complete, unpublished table entry (columns + hierarchy +
   /// tracker). No catalog mutation — the atomic-registration first half.
@@ -326,7 +345,7 @@ class Engine {
   /// plus the optional initial batch to the WAL before any other thread can
   /// touch the table.
   Status PublishTable(std::unique_ptr<TableEntry> entry,
-                      const Table* initial_batch);
+                      const Table* initial_batch) EXCLUDES(catalog_mu_);
 
   /// Rebuilds one table from recovered storage state (Engine::Open).
   Status RestoreTable(RecoveredTable recovered);
@@ -340,7 +359,7 @@ class Engine {
   /// Registry lookup; the shared_ptr keeps the statement alive across a
   /// concurrent CloseStatement.
   Result<std::shared_ptr<const PreparedStatement>> FindStatement(
-      StatementHandle handle) const;
+      StatementHandle handle) const EXCLUDES(statements_mu_);
 
   EngineOptions options_;
   /// Persistence backend; null for ephemeral engines.
@@ -349,16 +368,17 @@ class Engine {
   std::vector<std::string> recovery_warnings_;
   /// Scan pool shared by all queries; null when query_threads resolves to 1.
   std::unique_ptr<ThreadPool> query_pool_;
-  mutable std::shared_mutex catalog_mu_;
-  std::unordered_map<std::string, std::unique_ptr<TableEntry>> tables_;
+  mutable SharedMutex catalog_mu_;
+  std::unordered_map<std::string, std::unique_ptr<TableEntry>> tables_
+      GUARDED_BY(catalog_mu_);
 
   /// Prepared-statement registry: id-keyed, mutex-guarded. Statements are
   /// immutable after registration, so Execute only holds the mutex for the
   /// lookup.
-  mutable std::mutex statements_mu_;
-  int64_t next_statement_id_ = 1;
+  mutable Mutex statements_mu_;
+  int64_t next_statement_id_ GUARDED_BY(statements_mu_) = 1;
   std::unordered_map<int64_t, std::shared_ptr<const PreparedStatement>>
-      statements_;
+      statements_ GUARDED_BY(statements_mu_);
 };
 
 }  // namespace sciborq

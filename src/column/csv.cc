@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/errno_string.h"
 #include "util/string_util.h"
 
 namespace sciborq {
@@ -91,7 +92,7 @@ Status WriteCsv(const Table& table, const std::string& path) {
   std::ofstream out(path);
   if (!out) {
     return Status::IOError(StrFormat("cannot open '%s' for writing: %s",
-                                     path.c_str(), std::strerror(errno)));
+                                     path.c_str(), ErrnoString(errno).c_str()));
   }
   const Schema& schema = table.schema();
   for (int i = 0; i < schema.num_fields(); ++i) {
@@ -119,7 +120,7 @@ Result<Table> ReadCsv(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     return Status::IOError(StrFormat("cannot open '%s' for reading: %s",
-                                     path.c_str(), std::strerror(errno)));
+                                     path.c_str(), ErrnoString(errno).c_str()));
   }
   std::string line;
   if (!std::getline(in, line)) {

@@ -40,7 +40,7 @@ void SciborqServer::Stop() {
   //    write side, then reads a clean EOF and exits; idle and queued
   //    connections see the EOF immediately.
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(&conns_mu_);
     for (auto& [id, conn] : active_conns_) conn->ShutdownRead();
   }
   // 3. Join the handlers.
@@ -65,13 +65,13 @@ void SciborqServer::AcceptLoop() {
     auto conn = std::make_shared<TcpConn>(std::move(accepted).value());
     int64_t id;
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(&conns_mu_);
       id = next_conn_id_++;
       active_conns_.emplace(id, conn.get());
     }
     handler_pool_->Submit([this, id, conn]() mutable {
       HandleConnection(conn);
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(&conns_mu_);
       active_conns_.erase(id);
     });
   }

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <unordered_map>
@@ -12,6 +11,7 @@
 #include "api/engine.h"
 #include "server/socket.h"
 #include "server/wire.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace sciborq {
@@ -87,9 +87,9 @@ class SciborqServer {
 
   /// Live connections, for Stop() to half-close. Handlers register on entry
   /// and deregister (under the same lock) before destroying the conn.
-  std::mutex conns_mu_;
-  std::unordered_map<int64_t, TcpConn*> active_conns_;
-  int64_t next_conn_id_ = 0;
+  Mutex conns_mu_;
+  std::unordered_map<int64_t, TcpConn*> active_conns_ GUARDED_BY(conns_mu_);
+  int64_t next_conn_id_ GUARDED_BY(conns_mu_) = 0;
 
   std::atomic<int64_t> connections_accepted_{0};
   std::atomic<int64_t> queries_served_{0};

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <utility>
 
+#include "util/errno_string.h"
 #include "util/string_util.h"
 
 namespace sciborq {
@@ -19,7 +20,7 @@ namespace sciborq {
 namespace {
 
 Status Errno(const char* what) {
-  return Status::IOError(StrFormat("%s: %s", what, std::strerror(errno)));
+  return Status::IOError(StrFormat("%s: %s", what, ErrnoString(errno).c_str()));
 }
 
 void SetNoDelay(int fd) {

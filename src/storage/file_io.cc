@@ -7,13 +7,14 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/errno_string.h"
 #include "util/string_util.h"
 
 namespace sciborq {
 
 Status ErrnoStatus(const char* op, const std::string& path) {
   return Status::IOError(
-      StrFormat("%s %s: %s", op, path.c_str(), std::strerror(errno)));
+      StrFormat("%s %s: %s", op, path.c_str(), ErrnoString(errno).c_str()));
 }
 
 Status WriteAllToFd(int fd, const char* data, size_t n,

@@ -9,6 +9,7 @@
 
 #include "column/serde.h"
 #include "storage/file_io.h"
+#include "util/errno_string.h"
 #include "util/crc32c.h"
 #include "util/string_util.h"
 
@@ -434,7 +435,7 @@ Status WriteTableSnapshot(const TableSnapshot& snap, const std::string& path) {
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     const Status st = Status::IOError(StrFormat(
         "rename %s -> %s: %s", tmp.c_str(), path.c_str(),
-        std::strerror(errno)));
+        ErrnoString(errno).c_str()));
     ::unlink(tmp.c_str());
     return st;
   }

@@ -161,7 +161,7 @@ Result<std::vector<RecoveredTable>> TableStore::Recover() {
                 return a.seq < b.seq;
               });
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       wals_[name] = std::move(wal);
     }
     out.push_back(std::move(recovered));
@@ -170,7 +170,7 @@ Result<std::vector<RecoveredTable>> TableStore::Recover() {
 }
 
 Result<WalWriter*> TableStore::FindWal(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = wals_.find(name);
   if (it == wals_.end()) {
     return Status::NotFound(
@@ -184,7 +184,7 @@ Status TableStore::LogCreate(const std::string& name, const Schema& schema,
   SCIBORQ_RETURN_NOT_OK(ValidateTableName(name));
   SCIBORQ_ASSIGN_OR_RETURN(WalWriter wal, WalWriter::Create(WalPath(name)));
   SCIBORQ_RETURN_NOT_OK(wal.Append(EncodeCreateRecord(schema, config)));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   wals_[name] = std::make_unique<WalWriter>(std::move(wal));
   return Status::OK();
 }
@@ -204,7 +204,7 @@ Status TableStore::UnlogBatch(const std::string& name, int64_t offset_before) {
 
 void TableStore::DropWal(const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     wals_.erase(name);  // closes the fd
   }
   ::unlink(WalPath(name).c_str());

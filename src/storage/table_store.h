@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -13,6 +12,7 @@
 #include "storage/snapshot.h"
 #include "storage/wal.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace sciborq {
 
@@ -115,8 +115,12 @@ class TableStore {
   Result<WalWriter*> FindWal(const std::string& name);
 
   std::string dir_;
-  std::mutex mu_;  ///< guards wals_ (map structure only)
-  std::unordered_map<std::string, std::unique_ptr<WalWriter>> wals_;
+  Mutex mu_;
+  /// Guards the map structure only: each WalWriter is owned by one table's
+  /// ingest path (serialized by the engine's per-table locks), so writes to
+  /// an already-registered WAL happen outside mu_.
+  std::unordered_map<std::string, std::unique_ptr<WalWriter>> wals_
+      GUARDED_BY(mu_);
 };
 
 /// WAL payload codecs, exposed for tests.

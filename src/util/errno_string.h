@@ -1,0 +1,29 @@
+#ifndef SCIBORQ_UTIL_ERRNO_STRING_H_
+#define SCIBORQ_UTIL_ERRNO_STRING_H_
+
+#include <cstring>
+#include <string>
+
+namespace sciborq {
+
+/// Thread-safe replacement for std::strerror, whose shared static buffer
+/// makes it unusable from concurrent error paths (clang-tidy's
+/// concurrency-mt-unsafe). Every errno formatted into a Status message goes
+/// through here.
+inline std::string ErrnoString(int err) {
+  char buf[256] = {};
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // GNU strerror_r returns the message pointer (buf or a static string).
+  return strerror_r(err, buf, sizeof(buf));
+#else
+  // XSI strerror_r fills buf and returns 0 on success.
+  if (strerror_r(err, buf, sizeof(buf)) != 0) {
+    return "errno " + std::to_string(err);
+  }
+  return buf;
+#endif
+}
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_UTIL_ERRNO_STRING_H_

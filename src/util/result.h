@@ -20,8 +20,10 @@ namespace sciborq {
 ///
 /// or with the macro:
 ///   SCIBORQ_ASSIGN_OR_RETURN(Table t, LoadTable(path));
+/// [[nodiscard]] at the class level, like Status: discarding a Result drops
+/// both the value and the error it might carry.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a success value.
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)

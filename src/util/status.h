@@ -30,7 +30,10 @@ std::string_view StatusCodeToString(StatusCode code);
 
 /// A cheap, copyable success-or-error value. The OK status carries no
 /// allocation; error statuses carry a code and a human-readable message.
-class Status {
+///
+/// [[nodiscard]] at the class level: a dropped Status is a swallowed error,
+/// so every compiler (not just Clang) rejects call sites that ignore one.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

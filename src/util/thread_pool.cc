@@ -21,7 +21,7 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
   task_ready_.notify_all();
@@ -30,7 +30,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -38,23 +38,23 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (in_flight_ != 0) all_done_.wait(lock);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && tasks_.empty()) task_ready_.wait(lock);
       if (tasks_.empty()) return;  // shutdown with a drained queue
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }
@@ -84,14 +84,19 @@ void ParallelFor(ThreadPool* pool, int64_t total, int64_t morsel_rows,
   // calls on one pool do not wait on each other's tasks.
   struct SharedState {
     std::atomic<int64_t> next{0};
-    std::mutex mu;
-    std::condition_variable done;
-    int64_t live_tasks = 0;
+    Mutex mu;
+    std::condition_variable_any done;
+    int64_t live_tasks GUARDED_BY(mu) = 0;
   };
   auto state = std::make_shared<SharedState>();
   const int64_t num_tasks =
       std::min<int64_t>(pool->num_threads(), num_morsels);
-  state->live_tasks = num_tasks;
+  {
+    // Uncontended (no worker has seen `state` yet) but the annotation makes
+    // the guard unconditional.
+    MutexLock lock(&state->mu);
+    state->live_tasks = num_tasks;
+  }
   for (int64_t t = 0; t < num_tasks; ++t) {
     pool->Submit([state, total, morsel_rows, num_morsels, &body] {
       for (;;) {
@@ -100,12 +105,12 @@ void ParallelFor(ThreadPool* pool, int64_t total, int64_t morsel_rows,
         if (m >= num_morsels) break;
         body(m, m * morsel_rows, std::min(total, (m + 1) * morsel_rows));
       }
-      std::unique_lock<std::mutex> lock(state->mu);
+      MutexLock lock(&state->mu);
       if (--state->live_tasks == 0) state->done.notify_all();
     });
   }
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done.wait(lock, [&state] { return state->live_tasks == 0; });
+  MutexLock lock(&state->mu);
+  while (state->live_tasks != 0) state->done.wait(lock);
 }
 
 }  // namespace sciborq

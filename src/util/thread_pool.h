@@ -5,11 +5,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace sciborq {
 
@@ -35,22 +36,24 @@ class ThreadPool {
   int num_threads() const { return num_threads_; }
 
   /// Enqueues one task for execution on some worker.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until every task submitted so far has finished.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
   int num_threads_ = 1;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::queue<std::function<void()>> tasks_;
-  int64_t in_flight_ = 0;  ///< queued + currently running
-  bool shutdown_ = false;
+  /// Guards the queue and its bookkeeping; the condition variables pair
+  /// with it (waits run under a MutexLock on mu_).
+  Mutex mu_;
+  std::condition_variable_any task_ready_;
+  std::condition_variable_any all_done_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  int64_t in_flight_ GUARDED_BY(mu_) = 0;  ///< queued + currently running
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 /// Default morsel granularity for parallel scans: big enough to amortize

@@ -43,6 +43,13 @@ struct InterestTrackerState {
 /// constant-time binned density estimate f̆ (§4). Impression builders query
 /// TupleWeight() for each ingested tuple; the bounded executor calls
 /// ObserveQuery() after every execution, closing the adaptive loop of §3.1.
+///
+/// Not internally synchronized: the tracker carries no mutex of its own.
+/// The engine declares its instance GUARDED_BY the per-table workload_mu;
+/// the ingest path additionally reaches it through ImpressionSpec::tracker
+/// while holding the table's data lock exclusively, which excludes every
+/// workload_mu holder (they all hold the data lock shared) — see the
+/// locking note on Engine::TableEntry.
 class InterestTracker {
  public:
   /// Geometry of one tracked attribute's histogram.

@@ -28,6 +28,11 @@ struct LoggedQuery {
 /// memory and how far back the "interest" definition reaches — the paper
 /// defines the predicate set "over a period of time or over a predefined
 /// number of queries" (§4); the window is that predefined number.
+///
+/// Not internally synchronized: the log carries no mutex of its own. Every
+/// instance is a guarded member of its owner (Engine::TableEntry::log is
+/// GUARDED_BY(workload_mu)), so the thread-safety analysis enforces the
+/// protocol at the owner's access sites.
 class QueryLog {
  public:
   /// window_size <= 0 means unbounded.

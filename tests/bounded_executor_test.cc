@@ -26,7 +26,7 @@ class BoundedExecutorTest : public ::testing::Test {
                                   {{"L0", 20'000}, {"L1", 2'000}, {"L2", 200}},
                                   spec)
             .value());
-    hierarchy_->IngestBatch(catalog_->photo_obj_all);
+    ASSERT_TRUE(hierarchy_->IngestBatch(catalog_->photo_obj_all).ok());
   }
   static void TearDownTestSuite() {
     delete hierarchy_;

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the library, tools, benches,
+# and tests, using the compile database the CMake build exports.
+#
+# Usage:
+#   tools/run_lint.sh [build_dir]
+#
+# build_dir defaults to ./build and must contain compile_commands.json
+# (every configure writes one: CMAKE_EXPORT_COMPILE_COMMANDS is ON in
+# CMakeLists.txt). Exits non-zero on any finding — the same contract the
+# clang-tidy CI job enforces.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "error: ${build_dir}/compile_commands.json not found." >&2
+  echo "Configure first: cmake -B ${build_dir} -S ." >&2
+  exit 2
+fi
+
+tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${tidy}" >/dev/null 2>&1; then
+  echo "error: ${tidy} not found (set CLANG_TIDY to the binary to use)." >&2
+  exit 2
+fi
+
+# Every translation unit in the compile database that belongs to the repo
+# (excludes external sources like GTest's main).
+mapfile -t files < <(python3 - "${build_dir}" <<'EOF'
+import json, os, sys
+root = os.getcwd()
+seen = []
+for entry in json.load(open(os.path.join(sys.argv[1], "compile_commands.json"))):
+    path = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+    if path.startswith(root + os.sep) and path not in seen:
+        seen.append(path)
+print("\n".join(seen))
+EOF
+)
+
+echo "clang-tidy (${#files[@]} files, config .clang-tidy)..."
+"${tidy}" -p "${build_dir}" --quiet "${files[@]}"
+echo "clang-tidy: clean"
