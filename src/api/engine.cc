@@ -443,6 +443,11 @@ Result<QueryOutcome> Engine::Query(std::string_view sql) {
 }
 
 Result<QueryOutcome> Engine::Query(const BoundedQuery& bounded) {
+  return Query(bounded, QueryExecOptions());
+}
+
+Result<QueryOutcome> Engine::Query(const BoundedQuery& bounded,
+                                   const QueryExecOptions& exec) {
   const AggregateQuery& query = bounded.query;
   if (query.table.empty()) {
     return Status::InvalidArgument(
@@ -462,10 +467,16 @@ Result<QueryOutcome> Engine::Query(const BoundedQuery& bounded) {
     BoundedAnswer answer;
     if (bounded.bounds.exact) {
       // EXACT short-circuits the escalation walk: no sample can serve the
-      // zero-error contract, so go straight to the base columns.
+      // zero-error contract, so go straight to the base columns. A mergeable
+      // caller (shard side of a fan-out) also gets the Welford state behind
+      // each value, and an empty slice answers NaN instead of failing.
       Stopwatch base_watch;
-      SCIBORQ_ASSIGN_OR_RETURN(answer.rows,
-                               RunExact(entry->base, query, query_pool_.get()));
+      ExactRunOptions run_options;
+      run_options.lenient = exec.mergeable;
+      run_options.moments = exec.mergeable ? &outcome.partials : nullptr;
+      SCIBORQ_ASSIGN_OR_RETURN(
+          answer.rows,
+          RunExact(entry->base, query, query_pool_.get(), run_options));
       answer.estimates = ExactEstimates(answer.rows, bound.confidence);
       answer.answered_by = "base";
       answer.error_bound_met = true;
@@ -727,6 +738,7 @@ std::string TableInfo::ToString() const {
       name.c_str(), static_cast<long long>(rows),
       static_cast<long long>(population_seen), schema.ToString().c_str(),
       biased ? "biased" : "uniform", static_cast<long long>(logged_queries));
+  if (shards > 0) out += StrFormat(", %d shard(s)", shards);
   for (const auto& layer : layers) {
     out += StrFormat("\n  layer %s [%s]: %lld / %lld rows", layer.name.c_str(),
                      layer.policy.c_str(), static_cast<long long>(layer.rows),
@@ -735,14 +747,13 @@ std::string TableInfo::ToString() const {
   return out;
 }
 
-bool EquivalentAnswers(const QueryOutcome& a, const QueryOutcome& b) {
-  if (a.table != b.table || a.sql != b.sql || a.answered_by != b.answered_by ||
-      a.exact != b.exact || a.error_bound_met != b.error_bound_met) {
+bool EquivalentAnswerData(const QueryOutcome& a, const QueryOutcome& b) {
+  if (a.table != b.table || a.sql != b.sql || a.exact != b.exact ||
+      a.error_bound_met != b.error_bound_met) {
     return false;
   }
   if (a.rows.size() != b.rows.size() ||
-      a.estimates.size() != b.estimates.size() ||
-      a.attempts.size() != b.attempts.size()) {
+      a.estimates.size() != b.estimates.size()) {
     return false;
   }
   for (size_t r = 0; r < a.rows.size(); ++r) {
@@ -753,6 +764,14 @@ bool EquivalentAnswers(const QueryOutcome& a, const QueryOutcome& b) {
     for (size_t e = 0; e < a.estimates[r].size(); ++e) {
       if (!(a.estimates[r][e] == b.estimates[r][e])) return false;
     }
+  }
+  return true;
+}
+
+bool EquivalentAnswers(const QueryOutcome& a, const QueryOutcome& b) {
+  if (!EquivalentAnswerData(a, b) || a.answered_by != b.answered_by ||
+      a.attempts.size() != b.attempts.size()) {
+    return false;
   }
   for (size_t i = 0; i < a.attempts.size(); ++i) {
     const LayerAttempt& x = a.attempts[i];
@@ -769,12 +788,18 @@ bool EquivalentAnswers(const QueryOutcome& a, const QueryOutcome& b) {
 }
 
 std::string QueryOutcome::ToString() const {
+  std::string distributed;
+  if (shards_total > 0) {
+    distributed = partial ? StrFormat(", PARTIAL %d/%d shards",
+                                      shards_responded, shards_total)
+                          : StrFormat(", %d shards", shards_total);
+  }
   std::string out = StrFormat(
-      "QueryOutcome(table=%s, by=%s%s, error_bound_met=%s, "
+      "QueryOutcome(table=%s, by=%s%s%s, error_bound_met=%s, "
       "deadline_exceeded=%s, %.3fms, %zu row(s))",
       table.c_str(), answered_by.c_str(), exact ? " [exact]" : "",
-      error_bound_met ? "yes" : "no", deadline_exceeded ? "yes" : "no",
-      elapsed_seconds * 1e3, rows.size());
+      distributed.c_str(), error_bound_met ? "yes" : "no",
+      deadline_exceeded ? "yes" : "no", elapsed_seconds * 1e3, rows.size());
   out += "\n  sql: " + sql;
   for (size_t r = 0; r < rows.size(); ++r) {
     if (!rows[r].group_key.is_null()) {

@@ -68,14 +68,35 @@ struct QueryOutcome {
   /// One AggregateEstimate per row per aggregate. Exact answers carry
   /// zero-width intervals with exact=true.
   std::vector<std::vector<AggregateEstimate>> estimates;
-  std::string answered_by;  ///< layer name or "base"
+  std::string answered_by;  ///< layer name or "base" ("mixed" when merged
+                            ///< shards disagree)
   bool exact = false;       ///< answered from the base data (zero error)
   bool error_bound_met = false;
   bool deadline_exceeded = false;
   double elapsed_seconds = 0.0;
   std::vector<LayerAttempt> attempts;  ///< the escalation trace
 
+  // -- Distributed execution (coordinator) fields. Single-node answers keep
+  // the defaults: shards_total == 0 means "not a fan-out answer". --
+  bool partial = false;      ///< degraded: not every shard contributed
+  int shards_responded = 0;  ///< shards whose answer made it into the merge
+  int shards_total = 0;      ///< shards the query fanned out to
+  /// Mergeable per-row per-aggregate Welford state; filled only when the
+  /// caller asked for a mergeable answer (QueryExecOptions::mergeable — the
+  /// shard side of a coordinator fan-out).
+  std::vector<std::vector<AggregateMoments>> partials;
+
   std::string ToString() const;
+};
+
+/// Per-call execution knobs beyond the SQL's own bounds clause.
+struct QueryExecOptions {
+  /// Produce a shard-mergeable answer: exact evaluation also returns the
+  /// Welford partial state per aggregate (QueryOutcome::partials), and
+  /// degenerate aggregates on an empty slice (AVG over zero rows) yield NaN
+  /// instead of failing, so a coordinator can merge sibling states into the
+  /// global answer.
+  bool mergeable = false;
 };
 
 /// One impression layer as seen through the catalog: its geometry plus how
@@ -97,6 +118,7 @@ struct TableInfo {
   int64_t population_seen = 0;  ///< tuples streamed past the top sampler
   bool biased = false;          ///< interest-tracked (workload-biased) sampling
   int64_t logged_queries = 0;   ///< log entries currently held in the window
+  int shards = 0;  ///< shard servers behind a coordinator (0 = local table)
 
   std::string ToString() const;
 };
@@ -126,6 +148,13 @@ struct StatementInfo {
 /// deterministic for a fixed table state, so any drift is a bug (this is what
 /// lets tests assert that a remote query equals the in-process one).
 bool EquivalentAnswers(const QueryOutcome& a, const QueryOutcome& b);
+
+/// The answer-only core of EquivalentAnswers: rows, estimates, and the
+/// contract flags — but not answered_by or the escalation trace. This is the
+/// equivalence a coordinator's merged answer can promise against a
+/// single-node run: the values agree bit-for-bit while the merged trace
+/// necessarily lists per-shard attempts instead of one escalation walk.
+bool EquivalentAnswerData(const QueryOutcome& a, const QueryOutcome& b);
 
 /// The one thread-safe front door to SciBORQ (§1: the user states a
 /// runtime/quality contract, the system does the rest). An Engine owns a
@@ -224,6 +253,11 @@ class Engine {
 
   /// Same, for an already-parsed query (the Session / replay path).
   Result<QueryOutcome> Query(const BoundedQuery& query);
+
+  /// Same, with per-call execution options (the shard side of a coordinator
+  /// fan-out asks for a mergeable answer here).
+  Result<QueryOutcome> Query(const BoundedQuery& query,
+                             const QueryExecOptions& exec);
 
   // -- Prepared statements ---------------------------------------------------
   //

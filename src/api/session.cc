@@ -32,6 +32,11 @@ Status Session::Use(const std::string& table) {
 }
 
 Result<QueryOutcome> Session::Query(std::string_view sql) {
+  return Query(sql, QueryExecOptions());
+}
+
+Result<QueryOutcome> Session::Query(std::string_view sql,
+                                    const QueryExecOptions& exec) {
   CheckOwningThread();
   SCIBORQ_ASSIGN_OR_RETURN(BoundedQuery bounded,
                            ParseBoundedQuery(std::string(sql)));
@@ -44,7 +49,7 @@ Result<QueryOutcome> Session::Query(std::string_view sql) {
     bounded.query.table = table_;
   }
   if (!bounded.bounds.any()) bounded.bounds = bounds_;
-  SCIBORQ_ASSIGN_OR_RETURN(QueryOutcome outcome, engine_->Query(bounded));
+  SCIBORQ_ASSIGN_OR_RETURN(QueryOutcome outcome, engine_->Query(bounded, exec));
   ++queries_run_;
   total_seconds_ += outcome.elapsed_seconds;
   return outcome;

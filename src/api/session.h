@@ -54,6 +54,11 @@ class Session {
   /// where the text leaves them out.
   Result<QueryOutcome> Query(std::string_view sql);
 
+  /// Same, with per-call execution options (the server's v3 kQuery path
+  /// passes the peer's mergeable flag through here).
+  Result<QueryOutcome> Query(std::string_view sql,
+                             const QueryExecOptions& exec);
+
   // -- Prepared statements ---------------------------------------------------
 
   /// Parses a `?` template and registers it with the engine, filling in the

@@ -8,16 +8,23 @@ namespace sciborq {
 
 Result<SciborqClient> SciborqClient::Connect(const std::string& host, int port,
                                              ClientOptions options) {
-  SCIBORQ_ASSIGN_OR_RETURN(TcpConn conn, TcpConn::Connect(host, port));
+  SCIBORQ_ASSIGN_OR_RETURN(
+      TcpConn conn, TcpConn::Connect(host, port, options.connect_timeout_ms));
+  if (options.recv_timeout_ms > 0) {
+    SCIBORQ_RETURN_NOT_OK(conn.SetRecvTimeout(options.recv_timeout_ms));
+  }
   return SciborqClient(std::move(conn), options);
 }
 
 Result<std::string> SciborqClient::RoundTrip(Opcode op,
-                                             std::string_view payload) {
+                                             std::string_view payload,
+                                             uint8_t version,
+                                             uint8_t* response_version) {
   if (!conn_.valid()) {
     return Status::FailedPrecondition("client is not connected");
   }
-  if (Status st = conn_.SendFrame(EncodeRequest(op, payload)); !st.ok()) {
+  if (Status st = conn_.SendFrame(EncodeRequest(op, payload, version));
+      !st.ok()) {
     conn_.Close();
     return st;
   }
@@ -54,18 +61,31 @@ Result<std::string> SciborqClient::RoundTrip(Opcode op,
         static_cast<unsigned>(response.opcode), static_cast<unsigned>(op)));
   }
   if (!response.status.ok()) return response.status;
+  if (response_version != nullptr) *response_version = response.version;
   return std::move(response.payload);
 }
 
-Result<QueryOutcome> SciborqClient::Query(std::string_view sql) {
+Result<QueryOutcome> SciborqClient::QueryWithFlags(std::string_view sql,
+                                                   uint8_t flags) {
   WireWriter w;
   w.PutString(sql);
-  SCIBORQ_ASSIGN_OR_RETURN(const std::string payload,
-                           RoundTrip(Opcode::kQuery, w.buffer()));
+  w.PutU8(flags);
+  uint8_t version = kWireVersionV1;
+  SCIBORQ_ASSIGN_OR_RETURN(
+      const std::string payload,
+      RoundTrip(Opcode::kQuery, w.buffer(), kWireVersionV3, &version));
   WireReader r(payload);
-  SCIBORQ_ASSIGN_OR_RETURN(QueryOutcome outcome, DecodeOutcome(&r));
+  SCIBORQ_ASSIGN_OR_RETURN(QueryOutcome outcome, DecodeOutcome(&r, version));
   SCIBORQ_RETURN_NOT_OK(r.ExpectEnd());
   return outcome;
+}
+
+Result<QueryOutcome> SciborqClient::Query(std::string_view sql) {
+  return QueryWithFlags(sql, 0);
+}
+
+Result<QueryOutcome> SciborqClient::QueryMergeable(std::string_view sql) {
+  return QueryWithFlags(sql, 0x1);
 }
 
 Result<StatementInfo> SciborqClient::Prepare(std::string_view sql) {
@@ -84,10 +104,12 @@ Result<QueryOutcome> SciborqClient::Execute(StatementHandle handle,
   WireWriter w;
   w.PutI64(handle.id);
   EncodeParams(params, &w);
-  SCIBORQ_ASSIGN_OR_RETURN(const std::string payload,
-                           RoundTrip(Opcode::kExecute, w.buffer()));
+  uint8_t version = kWireVersionV1;
+  SCIBORQ_ASSIGN_OR_RETURN(
+      const std::string payload,
+      RoundTrip(Opcode::kExecute, w.buffer(), kWireVersionV3, &version));
   WireReader r(payload);
-  SCIBORQ_ASSIGN_OR_RETURN(QueryOutcome outcome, DecodeOutcome(&r));
+  SCIBORQ_ASSIGN_OR_RETURN(QueryOutcome outcome, DecodeOutcome(&r, version));
   SCIBORQ_RETURN_NOT_OK(r.ExpectEnd());
   return outcome;
 }
@@ -111,18 +133,42 @@ Status SciborqClient::SetDefaultBounds(const QueryBounds& bounds) {
 }
 
 Result<std::vector<TableInfo>> SciborqClient::ListTables() {
-  SCIBORQ_ASSIGN_OR_RETURN(const std::string payload,
-                           RoundTrip(Opcode::kCatalog, ""));
+  uint8_t version = kWireVersionV1;
+  SCIBORQ_ASSIGN_OR_RETURN(
+      const std::string payload,
+      RoundTrip(Opcode::kCatalog, "", kWireVersionV3, &version));
   WireReader r(payload);
   SCIBORQ_ASSIGN_OR_RETURN(const uint32_t n, r.ReadU32());
   std::vector<TableInfo> tables;
   tables.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
-    SCIBORQ_ASSIGN_OR_RETURN(TableInfo info, DecodeTableInfo(&r));
+    SCIBORQ_ASSIGN_OR_RETURN(TableInfo info, DecodeTableInfo(&r, version));
     tables.push_back(std::move(info));
   }
   SCIBORQ_RETURN_NOT_OK(r.ExpectEnd());
   return tables;
+}
+
+Status SciborqClient::CreateTable(const std::string& name, const Schema& schema,
+                                  uint64_t seed) {
+  WireWriter w;
+  w.PutString(name);
+  EncodeSchema(schema, &w);
+  w.PutU64(seed);
+  return RoundTrip(Opcode::kCreateTable, w.buffer()).status();
+}
+
+Result<int64_t> SciborqClient::Ingest(const std::string& table,
+                                      const Table& batch) {
+  WireWriter w;
+  w.PutString(table);
+  EncodeTable(batch, &w);
+  SCIBORQ_ASSIGN_OR_RETURN(const std::string payload,
+                           RoundTrip(Opcode::kIngest, w.buffer()));
+  WireReader r(payload);
+  SCIBORQ_ASSIGN_OR_RETURN(const int64_t rows, r.ReadI64());
+  SCIBORQ_RETURN_NOT_OK(r.ExpectEnd());
+  return rows;
 }
 
 Result<int64_t> SciborqClient::Checkpoint(const std::string& table) {

@@ -16,6 +16,12 @@ struct ClientOptions {
   /// Ceiling for one response frame (a hostile or buggy server cannot make
   /// the client allocate more than this).
   int64_t max_frame_bytes = kMaxFrameBytes;
+  /// Bounds the TCP connect (0 = OS default). DeadlineExceeded on expiry.
+  int connect_timeout_ms = 0;
+  /// Bounds every response wait (0 = block forever). A stalled server then
+  /// surfaces as DeadlineExceeded instead of a hang — the coordinator's
+  /// degraded-mode trigger.
+  int recv_timeout_ms = 0;
 };
 
 /// Synchronous client for a SciborqServer: one TCP connection, one
@@ -41,6 +47,11 @@ class SciborqClient {
   /// outcome. Engine-side errors (unknown table, parse errors) come back as
   /// the original Status code and message.
   Result<QueryOutcome> Query(std::string_view sql);
+
+  /// Like Query, but asks the server to ship the Welford partials behind an
+  /// exact answer (v3 mergeable flag) so the caller can compose this
+  /// shard's outcome with others bit-exactly. Coordinator fan-out path.
+  Result<QueryOutcome> QueryMergeable(std::string_view sql);
 
   /// Prepares a `?` template on the server (parsed once, server-side). The
   /// returned info carries the handle id, the normalized template SQL, and
@@ -72,8 +83,22 @@ class SciborqClient {
   /// without --db-dir answer FailedPrecondition.
   Result<int64_t> Checkpoint(const std::string& table = "");
 
+  /// Registers an empty table on the server with the given sampler seed
+  /// (v3; the coordinator derives a distinct seed per shard).
+  Status CreateTable(const std::string& name, const Schema& schema,
+                     uint64_t seed = 42);
+
+  /// Ships one batch into `table` (v3); returns the rows the server
+  /// ingested.
+  Result<int64_t> Ingest(const std::string& table, const Table& batch);
+
   /// Round-trip liveness check.
   Status Ping();
+
+  /// Re-arms the response deadline on the live connection (0 = no deadline).
+  Status SetRecvTimeout(int timeout_ms) {
+    return conn_.SetRecvTimeout(timeout_ms);
+  }
 
   bool connected() const { return conn_.valid(); }
   void Close() { conn_.Close(); }
@@ -84,8 +109,15 @@ class SciborqClient {
 
   /// Sends one request frame and decodes the response envelope: checks the
   /// version, the echoed opcode, and the embedded status; returns the
-  /// payload bytes on success.
-  Result<std::string> RoundTrip(Opcode op, std::string_view payload);
+  /// payload bytes on success. `version` 0 = the opcode's default stamp;
+  /// `response_version`, when non-null, receives the version the server
+  /// stamped (drives version-gated payload decoding).
+  Result<std::string> RoundTrip(Opcode op, std::string_view payload,
+                                uint8_t version = 0,
+                                uint8_t* response_version = nullptr);
+
+  /// Query with an explicit v3 flags byte (bit 0 = mergeable).
+  Result<QueryOutcome> QueryWithFlags(std::string_view sql, uint8_t flags);
 
   TcpConn conn_;
   ClientOptions options_;

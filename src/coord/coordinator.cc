@@ -1,0 +1,651 @@
+#include "coord/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "column/csv.h"
+#include "exec/parser.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace sciborq {
+
+SciborqCoordinator::SciborqCoordinator(ShardMap shards,
+                                       CoordinatorOptions options)
+    : shards_(std::move(shards)), options_(options) {
+  // Size the fan-out pool to the widest shard list so every round trip of
+  // one query runs concurrently (waiting serially would burn the budget
+  // margin shard by shard).
+  size_t widest = shards_.default_shards().size();
+  for (const std::string& table : shards_.MappedTables()) {
+    widest = std::max(widest, shards_.ShardsFor(table).size());
+  }
+  fanout_pool_ =
+      std::make_unique<ThreadPool>(static_cast<int>(std::max<size_t>(1, widest)));
+}
+
+SciborqCoordinator::~SciborqCoordinator() { Stop(); }
+
+Status SciborqCoordinator::Start() {
+  if (started_.load()) {
+    return Status::FailedPrecondition("coordinator already started");
+  }
+  SCIBORQ_ASSIGN_OR_RETURN(TcpListener listener,
+                           TcpListener::Bind(options_.port));
+  port_ = listener.port();
+  listener_.emplace(std::move(listener));
+  handler_pool_ =
+      std::make_unique<ThreadPool>(std::max(1, options_.max_connections));
+  started_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void SciborqCoordinator::Stop() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+  listener_->Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    MutexLock lock(&conns_mu_);
+    for (auto& [id, conn] : active_conns_) conn->ShutdownRead();
+  }
+  if (handler_pool_) {
+    handler_pool_->Wait();
+    handler_pool_.reset();
+  }
+  listener_->Close();
+}
+
+void SciborqCoordinator::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Result<TcpConn> accepted = listener_->Accept();
+    if (!accepted.ok()) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<TcpConn>(std::move(accepted).value());
+    int64_t id;
+    {
+      MutexLock lock(&conns_mu_);
+      id = next_conn_id_++;
+      active_conns_.emplace(id, conn.get());
+    }
+    handler_pool_->Submit([this, id, conn]() mutable {
+      HandleConnection(conn);
+      MutexLock lock(&conns_mu_);
+      active_conns_.erase(id);
+    });
+  }
+}
+
+void SciborqCoordinator::HandleConnection(std::shared_ptr<TcpConn> conn) {
+  CoordSession session;
+  session.bounds = QueryBounds();
+  for (;;) {
+    Result<std::optional<std::string>> frame =
+        conn->RecvFrame(options_.max_frame_bytes);
+    if (!frame.ok()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      (void)conn->SendFrame(
+          EncodeResponse(Opcode::kInvalid, frame.status(), ""));
+      break;
+    }
+    if (!frame->has_value()) break;
+    Result<RequestFrame> request = DecodeRequest(**frame);
+    if (!request.ok()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      (void)conn->SendFrame(
+          EncodeResponse(Opcode::kInvalid, request.status(), ""));
+      break;
+    }
+    const std::string response = HandleRequest(*request, &session);
+    if (!conn->SendFrame(response).ok()) break;
+  }
+}
+
+SciborqCoordinator::BudgetSplit SciborqCoordinator::SplitBudget(
+    double client_budget_ms) const {
+  BudgetSplit split;
+  if (client_budget_ms > 0.0) {
+    const double margin =
+        std::max(options_.min_margin_ms,
+                 options_.budget_margin_fraction * client_budget_ms);
+    split.shard_budget_ms = std::max(1.0, client_budget_ms - margin);
+    // The socket deadline sits between the shard budget and the client
+    // budget: a shard that overruns its share a little still answers, one
+    // that hangs is cut before the client's clock runs out.
+    split.recv_timeout_ms = std::max(
+        1, static_cast<int>(client_budget_ms - margin * 0.5));
+  } else {
+    split.shard_budget_ms = 0.0;  // unlimited, like the client asked
+    split.recv_timeout_ms = options_.default_shard_timeout_ms;
+  }
+  return split;
+}
+
+SciborqCoordinator::ClientSlot* SciborqCoordinator::SlotFor(
+    CoordSession* session, const ShardEndpoint& endpoint) {
+  const std::string key = endpoint.ToString();
+  auto it = session->clients.find(key);
+  if (it == session->clients.end()) {
+    it = session->clients.emplace(key, std::make_unique<ClientSlot>()).first;
+  }
+  return it->second.get();
+}
+
+Status SciborqCoordinator::EnsureConnected(ClientSlot* slot,
+                                           const ShardEndpoint& endpoint,
+                                           int recv_timeout_ms) {
+  if (!slot->client.has_value() || !slot->client->connected()) {
+    ClientOptions client_options;
+    client_options.max_frame_bytes = options_.max_frame_bytes;
+    client_options.connect_timeout_ms = options_.connect_timeout_ms;
+    client_options.recv_timeout_ms = recv_timeout_ms;
+    SCIBORQ_ASSIGN_OR_RETURN(
+        SciborqClient client,
+        SciborqClient::Connect(endpoint.host, endpoint.port, client_options));
+    slot->client.emplace(std::move(client));
+    return Status::OK();
+  }
+  return slot->client->SetRecvTimeout(recv_timeout_ms);
+}
+
+Status SciborqCoordinator::FillSessionDefaults(const CoordSession& session,
+                                               BoundedQuery* bounded) const {
+  if (bounded->query.table.empty()) {
+    if (session.table.empty()) {
+      return Status::InvalidArgument(
+          "SQL has no FROM clause and the session has no default table: "
+          "call Use() first");
+    }
+    bounded->query.table = session.table;
+  }
+  if (!bounded->bounds.any()) bounded->bounds = session.bounds;
+  return Status::OK();
+}
+
+Result<QueryOutcome> SciborqCoordinator::DistributedQuery(
+    CoordSession* session, const BoundedQuery& bounded) {
+  const std::vector<ShardEndpoint>& endpoints =
+      shards_.ShardsFor(bounded.query.table);
+  if (endpoints.empty()) {
+    return Status::FailedPrecondition(StrFormat(
+        "no shards mapped for table '%s'", bounded.query.table.c_str()));
+  }
+
+  Stopwatch wall;
+  const BudgetSplit split = SplitBudget(bounded.bounds.time_budget_ms);
+  QueryBounds shard_bounds = bounded.bounds;
+  if (bounded.bounds.time_budget_ms > 0.0) {
+    shard_bounds.time_budget_ms = split.shard_budget_ms;
+  }
+  const std::string shard_sql = RenderSql(bounded.query, shard_bounds);
+
+  // Pre-create every slot serially: the fan-out tasks then touch disjoint
+  // slots and never mutate the session map concurrently.
+  std::vector<ClientSlot*> slots;
+  slots.reserve(endpoints.size());
+  for (const ShardEndpoint& endpoint : endpoints) {
+    slots.push_back(SlotFor(session, endpoint));
+  }
+
+  std::vector<ShardAnswer> answers(endpoints.size());
+  ParallelFor(fanout_pool_.get(), static_cast<int64_t>(endpoints.size()), 1,
+              [&](int64_t i, int64_t, int64_t) {
+                const size_t s = static_cast<size_t>(i);
+                ShardAnswer& answer = answers[s];
+                answer.label = StrFormat("shard%d", static_cast<int>(s));
+                Stopwatch timer;
+                Status st = EnsureConnected(slots[s], endpoints[s],
+                                            split.recv_timeout_ms);
+                if (st.ok()) {
+                  Result<QueryOutcome> outcome =
+                      slots[s]->client->QueryMergeable(shard_sql);
+                  if (outcome.ok()) {
+                    answer.outcome = std::move(outcome).value();
+                  } else {
+                    st = outcome.status();
+                  }
+                }
+                if (!st.ok()) {
+                  answer.status = std::move(st);
+                  // A timed-out or broken connection cannot be reused — the
+                  // late response would desync the stream. Reconnect lazily
+                  // on the next query.
+                  slots[s]->client.reset();
+                }
+                answer.elapsed_seconds = timer.ElapsedSeconds();
+              });
+
+  MergeOptions merge_options;
+  for (const AggregateSpec& spec : bounded.query.aggregates) {
+    merge_options.aggregates.push_back(spec);
+  }
+  merge_options.confidence = bounded.bounds.confidence >= 0.0
+                                 ? bounded.bounds.confidence
+                                 : options_.default_bound.confidence;
+  merge_options.shards_total = static_cast<int>(endpoints.size());
+  SCIBORQ_ASSIGN_OR_RETURN(QueryOutcome merged,
+                           MergeShardOutcomes(answers, merge_options));
+  merged.table = bounded.query.table;
+  merged.sql = RenderSql(bounded.query, bounded.bounds);
+  merged.elapsed_seconds = wall.ElapsedSeconds();
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return merged;
+}
+
+Result<std::vector<TableInfo>> SciborqCoordinator::FanOutCatalog(
+    CoordSession* session) {
+  const std::vector<ShardEndpoint> endpoints = shards_.AllEndpoints();
+  if (endpoints.empty()) {
+    return Status::FailedPrecondition("coordinator has no shards configured");
+  }
+  std::vector<ClientSlot*> slots;
+  slots.reserve(endpoints.size());
+  for (const ShardEndpoint& endpoint : endpoints) {
+    slots.push_back(SlotFor(session, endpoint));
+  }
+  std::vector<std::vector<TableInfo>> per_shard(endpoints.size());
+  std::vector<Status> statuses(endpoints.size(), Status::OK());
+  ParallelFor(fanout_pool_.get(), static_cast<int64_t>(endpoints.size()), 1,
+              [&](int64_t i, int64_t, int64_t) {
+                const size_t s = static_cast<size_t>(i);
+                Status st = EnsureConnected(slots[s], endpoints[s],
+                                            options_.default_shard_timeout_ms);
+                if (st.ok()) {
+                  Result<std::vector<TableInfo>> tables =
+                      slots[s]->client->ListTables();
+                  if (tables.ok()) {
+                    per_shard[s] = std::move(tables).value();
+                  } else {
+                    st = tables.status();
+                  }
+                }
+                if (!st.ok()) {
+                  statuses[s] = std::move(st);
+                  slots[s]->client.reset();
+                }
+              });
+  // Catalog listing tolerates down shards (their tables just report fewer
+  // shards) but not a total outage.
+  bool any_ok = false;
+  for (const Status& st : statuses) any_ok = any_ok || st.ok();
+  if (!any_ok) {
+    return Status::IOError(StrFormat("no shard reachable: %s",
+                                     statuses.front().message().c_str()));
+  }
+  return MergeTableInfos(per_shard);
+}
+
+Status SciborqCoordinator::CreateTableOn(CoordSession* session,
+                                         const std::string& name,
+                                         const Schema& schema, uint64_t seed) {
+  const std::vector<ShardEndpoint>& endpoints = shards_.ShardsFor(name);
+  if (endpoints.empty()) {
+    return Status::FailedPrecondition(
+        StrFormat("no shards mapped for table '%s'", name.c_str()));
+  }
+  // Derived per-shard seeds, like ShardedImpressionBuilder: one seeder
+  // stream, one draw per shard, so shard samples are mutually independent
+  // yet fully reproducible from the table seed.
+  Rng seeder(seed);
+  for (const ShardEndpoint& endpoint : endpoints) {
+    const uint64_t shard_seed = seeder.NextUint64();
+    ClientSlot* slot = SlotFor(session, endpoint);
+    SCIBORQ_RETURN_NOT_OK(EnsureConnected(slot, endpoint,
+                                          options_.default_shard_timeout_ms));
+    if (Status st = slot->client->CreateTable(name, schema, shard_seed);
+        !st.ok()) {
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+Result<int64_t> SciborqCoordinator::IngestOn(CoordSession* session,
+                                             const std::string& table,
+                                             const Table& batch) {
+  const std::vector<ShardEndpoint>& endpoints = shards_.ShardsFor(table);
+  if (endpoints.empty()) {
+    return Status::FailedPrecondition(
+        StrFormat("no shards mapped for table '%s'", table.c_str()));
+  }
+  // Contiguous routing: shard s gets rows [offset, offset + per (+1)), the
+  // same deterministic split ShardedImpressionBuilder uses, so a sharded
+  // load concatenates back to the single-node row order.
+  const int64_t n = batch.num_rows();
+  const int64_t num_shards = static_cast<int64_t>(endpoints.size());
+  const int64_t per = n / num_shards;
+  const int64_t rem = n % num_shards;
+  int64_t offset = 0;
+  int64_t total = 0;
+  for (int64_t s = 0; s < num_shards; ++s) {
+    const int64_t rows = per + (s < rem ? 1 : 0);
+    Table slice(batch.schema());
+    slice.Reserve(rows);
+    for (int64_t r = 0; r < rows; ++r) {
+      slice.AppendRowFrom(batch, offset + r);
+    }
+    offset += rows;
+    if (rows == 0) continue;
+    ClientSlot* slot = SlotFor(session, endpoints[static_cast<size_t>(s)]);
+    SCIBORQ_RETURN_NOT_OK(EnsureConnected(
+        slot, endpoints[static_cast<size_t>(s)],
+        options_.default_shard_timeout_ms));
+    Result<int64_t> ingested =
+        slot->client->Ingest(table, slice);
+    if (!ingested.ok()) {
+      slot->client.reset();
+      return ingested.status();
+    }
+    total += *ingested;
+  }
+  return total;
+}
+
+// -- In-process admin face ---------------------------------------------------
+
+Result<QueryOutcome> SciborqCoordinator::Query(std::string_view sql) {
+  SCIBORQ_ASSIGN_OR_RETURN(BoundedQuery bounded,
+                           ParseBoundedQuery(std::string(sql)));
+  MutexLock lock(&admin_mu_);
+  SCIBORQ_RETURN_NOT_OK(FillSessionDefaults(admin_session_, &bounded));
+  return DistributedQuery(&admin_session_, bounded);
+}
+
+Result<int64_t> SciborqCoordinator::RegisterCsv(const std::string& name,
+                                                const std::string& path,
+                                                uint64_t seed) {
+  SCIBORQ_ASSIGN_OR_RETURN(const Table table, ReadCsv(path));
+  MutexLock lock(&admin_mu_);
+  SCIBORQ_RETURN_NOT_OK(
+      CreateTableOn(&admin_session_, name, table.schema(), seed));
+  return IngestOn(&admin_session_, name, table);
+}
+
+Status SciborqCoordinator::CreateTable(const std::string& name,
+                                       const Schema& schema, uint64_t seed) {
+  MutexLock lock(&admin_mu_);
+  return CreateTableOn(&admin_session_, name, schema, seed);
+}
+
+Result<int64_t> SciborqCoordinator::IngestBatch(const std::string& table,
+                                                const Table& batch) {
+  MutexLock lock(&admin_mu_);
+  return IngestOn(&admin_session_, table, batch);
+}
+
+Result<std::vector<TableInfo>> SciborqCoordinator::ListTables() {
+  MutexLock lock(&admin_mu_);
+  return FanOutCatalog(&admin_session_);
+}
+
+// -- Wire face ---------------------------------------------------------------
+
+std::string SciborqCoordinator::HandleRequest(const RequestFrame& request,
+                                              CoordSession* session) {
+  WireReader payload(request.payload);
+  const uint8_t version = request.version;
+  switch (request.opcode) {
+    case Opcode::kQuery: {
+      Result<std::string> sql = payload.ReadString();
+      if (!sql.ok()) {
+        return EncodeResponse(request.opcode, sql.status(), "", version);
+      }
+      if (version >= kWireVersionV3) {
+        // The coordinator merges for itself; a client's mergeable flag is
+        // accepted and ignored (re-sharding a merged answer is not
+        // supported).
+        Result<uint8_t> flags = payload.ReadU8();
+        if (!flags.ok()) {
+          return EncodeResponse(request.opcode, flags.status(), "", version);
+        }
+      }
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      Result<BoundedQuery> bounded = ParseBoundedQuery(*sql);
+      if (!bounded.ok()) {
+        return EncodeResponse(request.opcode, bounded.status(), "", version);
+      }
+      if (Status st = FillSessionDefaults(*session, &*bounded); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      Result<QueryOutcome> outcome = DistributedQuery(session, *bounded);
+      if (!outcome.ok()) {
+        return EncodeResponse(request.opcode, outcome.status(), "", version);
+      }
+      WireWriter w;
+      EncodeOutcome(*outcome, &w, version);
+      return EncodeResponse(request.opcode, Status::OK(), w.buffer(), version);
+    }
+    case Opcode::kUse: {
+      Result<std::string> table = payload.ReadString();
+      if (!table.ok()) {
+        return EncodeResponse(request.opcode, table.status(), "", version);
+      }
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      // USE validates existence like api/Session: the merged catalog must
+      // list the table.
+      Result<std::vector<TableInfo>> tables = FanOutCatalog(session);
+      if (!tables.ok()) {
+        return EncodeResponse(request.opcode, tables.status(), "", version);
+      }
+      const bool known =
+          std::any_of(tables->begin(), tables->end(),
+                      [&](const TableInfo& t) { return t.name == *table; });
+      if (!known) {
+        return EncodeResponse(
+            request.opcode,
+            Status::NotFound(StrFormat("table '%s' is not registered on any "
+                                       "shard",
+                                       table->c_str())),
+            "", version);
+      }
+      session->table = *table;
+      return EncodeResponse(request.opcode, Status::OK(), "", version);
+    }
+    case Opcode::kSetBounds: {
+      Result<QueryBounds> bounds = DecodeBounds(&payload);
+      if (!bounds.ok()) {
+        return EncodeResponse(request.opcode, bounds.status(), "", version);
+      }
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      session->bounds = *bounds;
+      return EncodeResponse(request.opcode, Status::OK(), "", version);
+    }
+    case Opcode::kCatalog: {
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      Result<std::vector<TableInfo>> tables = FanOutCatalog(session);
+      if (!tables.ok()) {
+        return EncodeResponse(request.opcode, tables.status(), "", version);
+      }
+      WireWriter w;
+      w.PutU32(static_cast<uint32_t>(tables->size()));
+      for (const TableInfo& info : *tables) EncodeTableInfo(info, &w, version);
+      return EncodeResponse(request.opcode, Status::OK(), w.buffer(), version);
+    }
+    case Opcode::kPing: {
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      return EncodeResponse(request.opcode, Status::OK(), "", version);
+    }
+    case Opcode::kPrepare: {
+      Result<std::string> sql = payload.ReadString();
+      if (!sql.ok()) {
+        return EncodeResponse(request.opcode, sql.status(), "", version);
+      }
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      // Parse-once happens on the coordinator; Execute binds locally and
+      // fans the bound SQL out, so shards stay stateless for statements.
+      Result<PreparedQuery> prepared = ParsePreparedQuery(*sql);
+      if (!prepared.ok()) {
+        return EncodeResponse(request.opcode, prepared.status(), "", version);
+      }
+      if (prepared->query.table.empty()) {
+        if (session->table.empty()) {
+          return EncodeResponse(
+              request.opcode,
+              Status::InvalidArgument(
+                  "SQL has no FROM clause and the session has no default "
+                  "table: call Use() first"),
+              "", version);
+        }
+        prepared->query.table = session->table;
+      }
+      const bool has_bounds = prepared->bounds.any() ||
+                              prepared->time_budget_slot >= 0 ||
+                              prepared->error_slot >= 0;
+      if (!has_bounds) prepared->bounds = session->bounds;
+      StatementInfo info;
+      info.handle = StatementHandle{session->next_stmt++};
+      info.table = prepared->query.table;
+      info.sql = prepared->ToString();
+      info.num_params = prepared->num_params();
+      session->statements.emplace(info.handle.id, std::move(*prepared));
+      WireWriter w;
+      EncodeStatementInfo(info, &w);
+      return EncodeResponse(request.opcode, Status::OK(), w.buffer(), version);
+    }
+    case Opcode::kExecute: {
+      Result<int64_t> id = payload.ReadI64();
+      if (!id.ok()) {
+        return EncodeResponse(request.opcode, id.status(), "", version);
+      }
+      Result<std::vector<Value>> params = DecodeParams(&payload);
+      if (!params.ok()) {
+        return EncodeResponse(request.opcode, params.status(), "", version);
+      }
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      const auto it = session->statements.find(*id);
+      if (it == session->statements.end()) {
+        return EncodeResponse(
+            request.opcode,
+            Status::NotFound(StrFormat(
+                "statement handle %lld was not prepared on this session",
+                static_cast<long long>(*id))),
+            "", version);
+      }
+      Result<BoundedQuery> bound = BindParams(it->second, *params);
+      if (!bound.ok()) {
+        return EncodeResponse(request.opcode, bound.status(), "", version);
+      }
+      Result<QueryOutcome> outcome = DistributedQuery(session, *bound);
+      if (!outcome.ok()) {
+        return EncodeResponse(request.opcode, outcome.status(), "", version);
+      }
+      WireWriter w;
+      EncodeOutcome(*outcome, &w, version);
+      return EncodeResponse(request.opcode, Status::OK(), w.buffer(), version);
+    }
+    case Opcode::kCloseStmt: {
+      Result<int64_t> id = payload.ReadI64();
+      if (!id.ok()) {
+        return EncodeResponse(request.opcode, id.status(), "", version);
+      }
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      if (session->statements.erase(*id) == 0) {
+        return EncodeResponse(
+            request.opcode,
+            Status::NotFound(StrFormat(
+                "statement handle %lld was not prepared on this session",
+                static_cast<long long>(*id))),
+            "", version);
+      }
+      return EncodeResponse(request.opcode, Status::OK(), "", version);
+    }
+    case Opcode::kCheckpoint: {
+      Result<std::string> table = payload.ReadString();
+      if (!table.ok()) {
+        return EncodeResponse(request.opcode, table.status(), "", version);
+      }
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      // Fan the checkpoint to every shard and sum how many tables were
+      // written; any shard failing fails the call (durability is all or
+      // nothing per request).
+      int64_t count = 0;
+      for (const ShardEndpoint& endpoint : shards_.AllEndpoints()) {
+        ClientSlot* slot = SlotFor(session, endpoint);
+        if (Status st = EnsureConnected(slot, endpoint,
+                                       options_.default_shard_timeout_ms);
+            !st.ok()) {
+          return EncodeResponse(request.opcode, st, "", version);
+        }
+        Result<int64_t> n = slot->client->Checkpoint(*table);
+        if (!n.ok()) {
+          return EncodeResponse(request.opcode, n.status(), "", version);
+        }
+        count += *n;
+      }
+      WireWriter w;
+      w.PutU32(static_cast<uint32_t>(count));
+      return EncodeResponse(request.opcode, Status::OK(), w.buffer(), version);
+    }
+    case Opcode::kCreateTable: {
+      Result<std::string> name = payload.ReadString();
+      if (!name.ok()) {
+        return EncodeResponse(request.opcode, name.status(), "", version);
+      }
+      Result<Schema> schema = DecodeSchema(&payload);
+      if (!schema.ok()) {
+        return EncodeResponse(request.opcode, schema.status(), "", version);
+      }
+      Result<uint64_t> seed = payload.ReadU64();
+      if (!seed.ok()) {
+        return EncodeResponse(request.opcode, seed.status(), "", version);
+      }
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      return EncodeResponse(request.opcode,
+                            CreateTableOn(session, *name, *schema, *seed), "",
+                            version);
+    }
+    case Opcode::kIngest: {
+      Result<std::string> table = payload.ReadString();
+      if (!table.ok()) {
+        return EncodeResponse(request.opcode, table.status(), "", version);
+      }
+      Result<Table> batch = DecodeTable(&payload);
+      if (!batch.ok()) {
+        return EncodeResponse(request.opcode, batch.status(), "", version);
+      }
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      Result<int64_t> rows = IngestOn(session, *table, *batch);
+      if (!rows.ok()) {
+        return EncodeResponse(request.opcode, rows.status(), "", version);
+      }
+      WireWriter w;
+      w.PutI64(*rows);
+      return EncodeResponse(request.opcode, Status::OK(), w.buffer(), version);
+    }
+    case Opcode::kInvalid:
+      break;
+  }
+  return EncodeResponse(Opcode::kInvalid,
+                        Status::Internal("unhandled opcode"), "");
+}
+
+}  // namespace sciborq

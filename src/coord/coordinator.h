@@ -1,0 +1,192 @@
+#ifndef SCIBORQ_COORD_COORDINATOR_H_
+#define SCIBORQ_COORD_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "client/client.h"
+#include "coord/merge.h"
+#include "coord/shard_map.h"
+#include "exec/query.h"
+#include "server/socket.h"
+#include "server/wire.h"
+#include "util/thread_annotations.h"
+#include "util/thread_pool.h"
+
+namespace sciborq {
+
+struct CoordinatorOptions {
+  /// TCP port the coordinator itself listens on; 0 picks a free one.
+  int port = 0;
+  /// Concurrent client connections (one blocking handler each).
+  int max_connections = 8;
+  int64_t max_frame_bytes = kMaxFrameBytes;
+  /// Fan-out budget split: a query's WITHIN budget is passed to shards minus
+  /// a margin covering network + merge overhead — margin =
+  /// max(min_margin_ms, budget_margin_fraction * budget).
+  double budget_margin_fraction = 0.10;
+  double min_margin_ms = 5.0;
+  /// Response deadline for shard round trips of unbounded queries; keeps a
+  /// hung shard from wedging the coordinator forever.
+  int default_shard_timeout_ms = 30000;
+  /// Deadline for (re)connecting to a shard.
+  int connect_timeout_ms = 2000;
+  /// Default bounds for SQL with no bounds clause (what a single node's
+  /// EngineOptions::default_bound provides).
+  QualityBound default_bound;
+};
+
+/// The distributed front door: speaks the sciborq wire protocol to clients
+/// — sciborq_cli / SciborqClient work against it unchanged — and fans every
+/// query out over the shard servers of a ShardMap, merging the partial
+/// answers with composed bounds (coord/merge.h).
+///
+/// Fan-out is concurrent (one shard round trip per ThreadPool task) with a
+/// split time budget, so a bounded query's wall clock stays within the
+/// client's WITHIN term even when shards are slow; a shard that is down or
+/// misses its deadline degrades the answer (partial flag, widened bounds)
+/// instead of failing or hanging it. Ingest routes rows contiguously across
+/// a table's shards with per-shard derived sampler seeds.
+///
+/// The same operations are callable in-process (Query, RegisterCsv, ...) —
+/// the admin face the coordinator tool and benches use. These are
+/// serialized internally; wire connections each get their own state.
+class SciborqCoordinator {
+ public:
+  SciborqCoordinator(ShardMap shards,
+                     CoordinatorOptions options = CoordinatorOptions());
+  ~SciborqCoordinator();
+
+  SciborqCoordinator(const SciborqCoordinator&) = delete;
+  SciborqCoordinator& operator=(const SciborqCoordinator&) = delete;
+
+  /// Binds the listener and starts accepting clients. FailedPrecondition if
+  /// already started. A coordinator is usable in-process without Start().
+  Status Start();
+
+  /// Graceful shutdown, mirroring SciborqServer::Stop(). Idempotent.
+  void Stop();
+
+  int port() const { return port_; }
+  bool running() const { return started_.load() && !stopping_.load(); }
+
+  const ShardMap& shard_map() const { return shards_; }
+
+  // -- In-process admin face -------------------------------------------------
+
+  /// Parses and answers one SQL statement by fanning out over the table's
+  /// shards and merging.
+  Result<QueryOutcome> Query(std::string_view sql);
+
+  /// Loads a CSV and distributes it: the table is created on every shard
+  /// (with per-shard derived sampler seeds) and the rows are routed in
+  /// contiguous slices. Returns total rows ingested.
+  Result<int64_t> RegisterCsv(const std::string& name, const std::string& path,
+                              uint64_t seed = 42);
+
+  /// Creates an empty table on every shard of the table's shard list.
+  Status CreateTable(const std::string& name, const Schema& schema,
+                     uint64_t seed = 42);
+
+  /// Routes one batch across the table's shards in contiguous slices.
+  Result<int64_t> IngestBatch(const std::string& table, const Table& batch);
+
+  /// Merged catalog: per-table totals with the shard count.
+  Result<std::vector<TableInfo>> ListTables();
+
+  int64_t connections_accepted() const { return connections_accepted_.load(); }
+  int64_t queries_served() const { return queries_served_.load(); }
+  int64_t protocol_errors() const { return protocol_errors_.load(); }
+
+ private:
+  /// One shard client slot; owned by a session, touched by exactly one
+  /// fan-out task at a time.
+  struct ClientSlot {
+    std::optional<SciborqClient> client;
+  };
+
+  /// Per-connection (or admin) state: default table/bounds, lazily
+  /// connected per-shard clients, locally prepared statements.
+  struct CoordSession {
+    std::string table;
+    QueryBounds bounds;
+    std::unordered_map<std::string, std::unique_ptr<ClientSlot>> clients;
+    std::map<int64_t, PreparedQuery> statements;
+    int64_t next_stmt = 1;
+  };
+
+  /// The split budget for one fan-out.
+  struct BudgetSplit {
+    double shard_budget_ms = 0.0;  ///< <= 0: unlimited (WITHIN not given)
+    int recv_timeout_ms = 0;       ///< response deadline per round trip
+  };
+  BudgetSplit SplitBudget(double client_budget_ms) const;
+
+  void AcceptLoop();
+  void HandleConnection(std::shared_ptr<TcpConn> conn);
+  std::string HandleRequest(const RequestFrame& request,
+                            CoordSession* session);
+
+  /// The session's client slot for `endpoint`, created (disconnected) on
+  /// first use.
+  ClientSlot* SlotFor(CoordSession* session, const ShardEndpoint& endpoint);
+
+  /// Connects the slot if needed and re-arms its response deadline.
+  Status EnsureConnected(ClientSlot* slot, const ShardEndpoint& endpoint,
+                         int recv_timeout_ms);
+
+  /// Fans `bounded` out over its table's shards and merges. The session
+  /// provides the per-shard connections.
+  Result<QueryOutcome> DistributedQuery(CoordSession* session,
+                                        const BoundedQuery& bounded);
+
+  /// Fills the session's default table/bounds into a parsed query, exactly
+  /// like api/Session does for a single node.
+  Status FillSessionDefaults(const CoordSession& session,
+                             BoundedQuery* bounded) const;
+
+  /// Fans ListTables over every endpoint the session can reach.
+  Result<std::vector<TableInfo>> FanOutCatalog(CoordSession* session);
+
+  Status CreateTableOn(CoordSession* session, const std::string& name,
+                       const Schema& schema, uint64_t seed);
+  Result<int64_t> IngestOn(CoordSession* session, const std::string& table,
+                           const Table& batch);
+
+  ShardMap shards_;
+  CoordinatorOptions options_;
+  int port_ = -1;
+
+  /// Fan-out workers: sized to the widest shard list so one query's round
+  /// trips all run concurrently.
+  std::unique_ptr<ThreadPool> fanout_pool_;
+
+  /// The admin face's session (in-process Query/ingest calls), serialized.
+  Mutex admin_mu_;
+  CoordSession admin_session_ GUARDED_BY(admin_mu_);
+
+  std::optional<TcpListener> listener_;
+  std::unique_ptr<ThreadPool> handler_pool_;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  Mutex conns_mu_;
+  std::unordered_map<int64_t, TcpConn*> active_conns_ GUARDED_BY(conns_mu_);
+  int64_t next_conn_id_ GUARDED_BY(conns_mu_) = 0;
+
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> queries_served_{0};
+  std::atomic<int64_t> protocol_errors_{0};
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_COORD_COORDINATOR_H_

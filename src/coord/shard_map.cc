@@ -1,0 +1,115 @@
+#include "coord/shard_map.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace sciborq {
+
+std::string ShardEndpoint::ToString() const {
+  return StrFormat("%s:%d", host.c_str(), port);
+}
+
+bool operator==(const ShardEndpoint& a, const ShardEndpoint& b) {
+  return a.host == b.host && a.port == b.port;
+}
+
+Result<ShardEndpoint> ParseShardEndpoint(const std::string& spec) {
+  const std::string_view stripped = StripWhitespace(spec);
+  const size_t colon = stripped.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == stripped.size()) {
+    return Status::InvalidArgument(
+        StrFormat("bad shard endpoint '%s': expected host:port",
+                  std::string(stripped).c_str()));
+  }
+  const std::string host(stripped.substr(0, colon));
+  const std::string port_str(stripped.substr(colon + 1));
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port <= 0 || port > 65535) {
+    return Status::InvalidArgument(
+        StrFormat("bad shard endpoint '%s': port '%s' is not in 1..65535",
+                  std::string(stripped).c_str(), port_str.c_str()));
+  }
+  ShardEndpoint endpoint;
+  endpoint.host = host;
+  endpoint.port = static_cast<int>(port);
+  return endpoint;
+}
+
+Status ShardMap::LoadTableMapFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError(StrFormat("cannot open table map '%s'",
+                                     path.c_str()));
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    const size_t colon = stripped.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: expected 'table: host:port, ...'", path.c_str(),
+                    line_no));
+    }
+    const std::string table(StripWhitespace(stripped.substr(0, colon)));
+    if (table.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: empty table name", path.c_str(), line_no));
+    }
+    std::vector<ShardEndpoint> shards;
+    for (const std::string& part :
+         Split(stripped.substr(colon + 1), ',')) {
+      if (StripWhitespace(part).empty()) continue;
+      Result<ShardEndpoint> endpoint = ParseShardEndpoint(part);
+      if (!endpoint.ok()) {
+        return Status::InvalidArgument(StrFormat(
+            "%s:%d: %s", path.c_str(), line_no,
+            endpoint.status().message().c_str()));
+      }
+      shards.push_back(std::move(endpoint).value());
+    }
+    if (shards.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: table '%s' lists no shards", path.c_str(),
+                    line_no, table.c_str()));
+    }
+    by_table_[table] = std::move(shards);
+  }
+  return Status::OK();
+}
+
+const std::vector<ShardEndpoint>& ShardMap::ShardsFor(
+    const std::string& table) const {
+  const auto it = by_table_.find(table);
+  return it != by_table_.end() ? it->second : default_shards_;
+}
+
+std::vector<std::string> ShardMap::MappedTables() const {
+  std::vector<std::string> tables;
+  tables.reserve(by_table_.size());
+  for (const auto& [table, shards] : by_table_) tables.push_back(table);
+  return tables;
+}
+
+std::vector<ShardEndpoint> ShardMap::AllEndpoints() const {
+  std::vector<ShardEndpoint> all = default_shards_;
+  for (const auto& [table, shards] : by_table_) {
+    for (const ShardEndpoint& endpoint : shards) {
+      if (std::find(all.begin(), all.end(), endpoint) == all.end()) {
+        all.push_back(endpoint);
+      }
+    }
+  }
+  return all;
+}
+
+}  // namespace sciborq

@@ -1,0 +1,73 @@
+#ifndef SCIBORQ_COORD_SHARD_MAP_H_
+#define SCIBORQ_COORD_SHARD_MAP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sciborq {
+
+/// One shard server's address.
+struct ShardEndpoint {
+  std::string host;
+  int port = 0;
+
+  std::string ToString() const;
+};
+
+bool operator==(const ShardEndpoint& a, const ShardEndpoint& b);
+
+/// Parses "host:port" (the last ':' splits, so IPv6 literals with a port
+/// suffix work). InvalidArgument on a missing/garbage port.
+Result<ShardEndpoint> ParseShardEndpoint(const std::string& spec);
+
+/// The coordinator's routing table: which shard servers hold (a slice of)
+/// each table. Tables without an explicit entry use the default shard list
+/// — the homogeneous deployment where every shard holds every table.
+///
+/// Plain data, built once before the coordinator starts; not synchronized.
+class ShardMap {
+ public:
+  ShardMap() = default;
+
+  /// The shards used for tables without an explicit mapping.
+  void SetDefaultShards(std::vector<ShardEndpoint> shards) {
+    default_shards_ = std::move(shards);
+  }
+  const std::vector<ShardEndpoint>& default_shards() const {
+    return default_shards_;
+  }
+
+  /// Pins `table` to an explicit shard list (overrides the default).
+  void SetTableShards(const std::string& table,
+                      std::vector<ShardEndpoint> shards) {
+    by_table_[table] = std::move(shards);
+  }
+
+  /// Loads a table-map file: one `table: host:port, host:port` line per
+  /// table; '#' starts a comment; blank lines are skipped. InvalidArgument
+  /// names the offending line.
+  Status LoadTableMapFile(const std::string& path);
+
+  /// The shard list answering for `table` (explicit entry or the default).
+  /// Empty only when the map has no default and no entry.
+  const std::vector<ShardEndpoint>& ShardsFor(const std::string& table) const;
+
+  /// Tables with an explicit entry, sorted (the map is ordered).
+  std::vector<std::string> MappedTables() const;
+
+  /// Every distinct endpoint that appears anywhere in the map.
+  std::vector<ShardEndpoint> AllEndpoints() const;
+
+  bool empty() const { return default_shards_.empty() && by_table_.empty(); }
+
+ private:
+  std::vector<ShardEndpoint> default_shards_;
+  std::map<std::string, std::vector<ShardEndpoint>> by_table_;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_COORD_SHARD_MAP_H_

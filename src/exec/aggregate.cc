@@ -44,74 +44,61 @@ Result<const Column*> NumericColumn(const Table& table,
   return col;
 }
 
-/// Accumulates one aggregate over a stream of values.
-class AggAccumulator {
- public:
-  explicit AggAccumulator(AggKind kind) : kind_(kind) {}
-
-  void Add(double v) {
-    moments_.Add(v);
-  }
-  void AddRowOnly() { ++count_only_; }
-
-  /// Folds another accumulator's state in (parallel partial aggregates).
-  void Merge(const AggAccumulator& other) {
-    moments_.Merge(other.moments_);
-    count_only_ += other.count_only_;
-  }
-
-  Result<double> Finish() const {
-    switch (kind_) {
-      case AggKind::kCount:
-        return static_cast<double>(count_only_ + moments_.count());
-      case AggKind::kSum:
-        return moments_.mean() * static_cast<double>(moments_.count());
-      case AggKind::kAvg:
-        if (moments_.count() == 0) {
-          return Status::InvalidArgument("AVG over zero rows");
-        }
-        return moments_.mean();
-      case AggKind::kMin:
-        if (moments_.count() == 0) {
-          return Status::InvalidArgument("MIN over zero rows");
-        }
-        return moments_.min();
-      case AggKind::kMax:
-        if (moments_.count() == 0) {
-          return Status::InvalidArgument("MAX over zero rows");
-        }
-        return moments_.max();
-      case AggKind::kVariance:
-        if (moments_.count() < 2) {
-          return Status::InvalidArgument("VAR needs at least two rows");
-        }
-        return moments_.variance();
-    }
-    return Status::Internal("unreachable aggregate kind");
-  }
-
- private:
-  AggKind kind_;
-  RunningMoments moments_;
-  int64_t count_only_ = 0;
-};
-
 }  // namespace
 
-Result<double> ComputeAggregate(const Table& table, const SelectionVector& rows,
-                                const AggregateSpec& spec, ThreadPool* pool) {
+Result<double> AggregateMoments::Finish(AggKind kind) const {
+  switch (kind) {
+    case AggKind::kCount:
+      return static_cast<double>(count_only + moments.count());
+    case AggKind::kSum:
+      return moments.mean() * static_cast<double>(moments.count());
+    case AggKind::kAvg:
+      if (moments.count() == 0) {
+        return Status::InvalidArgument("AVG over zero rows");
+      }
+      return moments.mean();
+    case AggKind::kMin:
+      if (moments.count() == 0) {
+        return Status::InvalidArgument("MIN over zero rows");
+      }
+      return moments.min();
+    case AggKind::kMax:
+      if (moments.count() == 0) {
+        return Status::InvalidArgument("MAX over zero rows");
+      }
+      return moments.max();
+    case AggKind::kVariance:
+      if (moments.count() < 2) {
+        return Status::InvalidArgument("VAR needs at least two rows");
+      }
+      return moments.variance();
+  }
+  return Status::Internal("unreachable aggregate kind");
+}
+
+double AggregateMoments::FinishLenient(AggKind kind) const {
+  Result<double> v = Finish(kind);
+  if (v.ok()) return *v;
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+Result<AggregateMoments> AccumulateAggregate(const Table& table,
+                                             const SelectionVector& rows,
+                                             const AggregateSpec& spec,
+                                             ThreadPool* pool) {
+  AggregateMoments acc;
   if (spec.kind == AggKind::kCount && spec.column.empty()) {
-    return static_cast<double>(rows.size());
+    acc.count_only = static_cast<int64_t>(rows.size());
+    return acc;
   }
   SCIBORQ_ASSIGN_OR_RETURN(const Column* col, NumericColumn(table, spec.column));
   // Morsel-parallel scan: per-morsel partial accumulators merged in morsel
   // order. The serial path folds the identical sequence, so results match
   // bit-for-bit at any thread count.
-  AggAccumulator acc(spec.kind);
-  ParallelMorselReduce<AggAccumulator>(
+  ParallelMorselReduce<AggregateMoments>(
       pool, static_cast<int64_t>(rows.size()), kDefaultMorselRows,
-      [&rows, col, &spec](int64_t begin, int64_t end) {
-        AggAccumulator partial(spec.kind);
+      [&rows, col](int64_t begin, int64_t end) {
+        AggregateMoments partial;
         for (int64_t i = begin; i < end; ++i) {
           const int64_t row = rows[static_cast<size_t>(i)];
           if (col->IsNull(row)) continue;
@@ -119,8 +106,18 @@ Result<double> ComputeAggregate(const Table& table, const SelectionVector& rows,
         }
         return partial;
       },
-      [&acc](AggAccumulator&& partial) { acc.Merge(partial); });
-  return acc.Finish();
+      [&acc](AggregateMoments&& partial) { acc.Merge(partial); });
+  return acc;
+}
+
+Result<double> ComputeAggregate(const Table& table, const SelectionVector& rows,
+                                const AggregateSpec& spec, ThreadPool* pool) {
+  if (spec.kind == AggKind::kCount && spec.column.empty()) {
+    return static_cast<double>(rows.size());
+  }
+  SCIBORQ_ASSIGN_OR_RETURN(const AggregateMoments acc,
+                           AccumulateAggregate(table, rows, spec, pool));
+  return acc.Finish(spec.kind);
 }
 
 Result<std::vector<double>> GatherNumeric(const Table& table,
@@ -149,16 +146,13 @@ struct GroupSet {
 
   std::vector<Value> keys;
   std::vector<int64_t> group_rows;
-  std::vector<std::vector<AggAccumulator>> accs;
+  std::vector<std::vector<AggregateMoments>> accs;
   std::unordered_map<int64_t, size_t> int_groups;
   std::unordered_map<std::string, size_t> str_groups;
 
   size_t AppendGroup(Value key) {
     keys.push_back(std::move(key));
-    std::vector<AggAccumulator> group_accs;
-    group_accs.reserve(specs->size());
-    for (const auto& spec : *specs) group_accs.emplace_back(spec.kind);
-    accs.push_back(std::move(group_accs));
+    accs.emplace_back(specs->size());
     group_rows.push_back(0);
     return accs.size() - 1;
   }
@@ -214,7 +208,7 @@ struct GroupSet {
 Result<std::vector<GroupRow>> ComputeGroupedAggregates(
     const Table& table, const SelectionVector& rows,
     const std::string& group_column, const std::vector<AggregateSpec>& specs,
-    ThreadPool* pool) {
+    ThreadPool* pool, const GroupedAggOptions& options) {
   SCIBORQ_ASSIGN_OR_RETURN(const Column* key_col,
                            table.ColumnByName(group_column));
   if (key_col->type() == DataType::kDouble) {
@@ -250,12 +244,19 @@ Result<std::vector<GroupRow>> ComputeGroupedAggregates(
   std::vector<GroupRow> out;
   out.reserve(global.keys.size());
   for (size_t g = 0; g < global.keys.size(); ++g) {
-    GroupRow group_row{std::move(global.keys[g]), {}, global.group_rows[g]};
+    GroupRow group_row;
+    group_row.key = std::move(global.keys[g]);
+    group_row.group_rows = global.group_rows[g];
     group_row.aggregates.reserve(specs.size());
     for (size_t s = 0; s < specs.size(); ++s) {
-      SCIBORQ_ASSIGN_OR_RETURN(double v, global.accs[g][s].Finish());
-      group_row.aggregates.push_back(v);
+      if (options.lenient) {
+        group_row.aggregates.push_back(global.accs[g][s].FinishLenient(specs[s].kind));
+      } else {
+        SCIBORQ_ASSIGN_OR_RETURN(double v, global.accs[g][s].Finish(specs[s].kind));
+        group_row.aggregates.push_back(v);
+      }
     }
+    if (options.collect_moments) group_row.moments = std::move(global.accs[g]);
     out.push_back(std::move(group_row));
   }
   return out;

@@ -6,6 +6,7 @@
 
 #include "column/table.h"
 #include "column/types.h"
+#include "stats/descriptive.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 
@@ -25,6 +26,46 @@ struct AggregateSpec {
   std::string ToString() const;
 };
 
+/// The mergeable state behind one aggregate value: the Welford moments of
+/// the non-null column values plus the COUNT(*)-only row tally that never
+/// touches a column. This is what a shard ships to a coordinator — merging
+/// two states and finishing equals finishing the concatenated stream, and is
+/// bit-identical to the single-node fold whenever the merge order matches
+/// the morsel fold order (see ParallelMorselReduce).
+struct AggregateMoments {
+  int64_t count_only = 0;  ///< COUNT(*) rows counted without a column value
+  RunningMoments moments;  ///< moments of the non-null column values
+
+  void Add(double v) { moments.Add(v); }
+  void AddRowOnly() { ++count_only; }
+
+  /// Folds another state in (parallel partials, sibling shards).
+  void Merge(const AggregateMoments& other) {
+    moments.Merge(other.moments);
+    count_only += other.count_only;
+  }
+
+  /// The aggregate's value. InvalidArgument for AVG/MIN/MAX over zero rows
+  /// and VAR under two — the strict single-node contract.
+  Result<double> Finish(AggKind kind) const;
+
+  /// Like Finish, but degenerate inputs yield NaN instead of an error — the
+  /// shard contract: an empty shard slice must still answer so its
+  /// (identity) state can merge with its siblings'.
+  double FinishLenient(AggKind kind) const;
+};
+
+/// Bit-for-bit equality (doubles via BitIdentical, so NaN == NaN) — the wire
+/// round-trip guarantee for transported partials.
+inline bool operator==(const AggregateMoments& a, const AggregateMoments& b) {
+  return a.count_only == b.count_only &&
+         a.moments.count() == b.moments.count() &&
+         BitIdentical(a.moments.mean(), b.moments.mean()) &&
+         BitIdentical(a.moments.m2(), b.moments.m2()) &&
+         BitIdentical(a.moments.min(), b.moments.min()) &&
+         BitIdentical(a.moments.max(), b.moments.max());
+}
+
 /// Exact aggregate over the selected rows of a table. This is both the
 /// base-data truth path and the per-impression raw statistic (the bounded
 /// executor scales raw sample statistics into population estimates).
@@ -37,6 +78,16 @@ Result<double> ComputeAggregate(const Table& table,
                                 const AggregateSpec& spec,
                                 ThreadPool* pool = nullptr);
 
+/// The accumulation half of ComputeAggregate: scans the selected rows into a
+/// mergeable AggregateMoments without finishing it. ComputeAggregate is
+/// exactly AccumulateAggregate + Finish, so a shard that ships the state and
+/// a coordinator that finishes the merged state reproduce the single-node
+/// value.
+Result<AggregateMoments> AccumulateAggregate(const Table& table,
+                                             const SelectionVector& rows,
+                                             const AggregateSpec& spec,
+                                             ThreadPool* pool = nullptr);
+
 /// Gathers the non-null numeric values of `column` at `rows` — the sample
 /// vector handed to the statistical estimators.
 Result<std::vector<double>> GatherNumeric(const Table& table,
@@ -48,6 +99,15 @@ struct GroupRow {
   Value key;
   std::vector<double> aggregates;  ///< one per spec, in input order
   int64_t group_rows = 0;          ///< selected rows in this group
+  /// Mergeable state behind each aggregate; filled only when
+  /// GroupedAggOptions::collect_moments is set.
+  std::vector<AggregateMoments> moments;
+};
+
+/// Knobs for the grouped scan beyond the default single-node behavior.
+struct GroupedAggOptions {
+  bool lenient = false;          ///< FinishLenient instead of Finish
+  bool collect_moments = false;  ///< fill GroupRow::moments
 };
 
 /// Exact hash group-by over the selected rows: groups on `group_column`
@@ -58,7 +118,7 @@ struct GroupRow {
 Result<std::vector<GroupRow>> ComputeGroupedAggregates(
     const Table& table, const SelectionVector& rows,
     const std::string& group_column, const std::vector<AggregateSpec>& specs,
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr, const GroupedAggOptions& options = {});
 
 }  // namespace sciborq
 

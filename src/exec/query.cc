@@ -183,9 +183,17 @@ std::string AggregateQuery::ToString() const {
 Result<std::vector<QueryResultRow>> RunExact(const Table& table,
                                              const AggregateQuery& query,
                                              ThreadPool* pool) {
+  return RunExact(table, query, pool, ExactRunOptions());
+}
+
+Result<std::vector<QueryResultRow>> RunExact(const Table& table,
+                                             const AggregateQuery& query,
+                                             ThreadPool* pool,
+                                             const ExactRunOptions& options) {
   if (query.aggregates.empty()) {
     return Status::InvalidArgument("query has no aggregates");
   }
+  if (options.moments) options.moments->clear();
   SelectionVector rows;
   if (query.filter) {
     SCIBORQ_ASSIGN_OR_RETURN(rows, SelectAll(table, *query.filter, pool));
@@ -202,25 +210,39 @@ Result<std::vector<QueryResultRow>> RunExact(const Table& table,
     row.group_key = Value::Null();
     row.input_rows = static_cast<int64_t>(rows.size());
     row.values.reserve(query.aggregates.size());
+    std::vector<AggregateMoments> row_moments;
     for (const auto& spec : query.aggregates) {
-      SCIBORQ_ASSIGN_OR_RETURN(double v,
-                               ComputeAggregate(table, rows, spec, pool));
-      row.values.push_back(v);
+      // Accumulate-then-finish equals ComputeAggregate exactly; it just also
+      // exposes the mergeable state when a shard needs to ship it.
+      SCIBORQ_ASSIGN_OR_RETURN(AggregateMoments acc,
+                               AccumulateAggregate(table, rows, spec, pool));
+      if (options.lenient) {
+        row.values.push_back(acc.FinishLenient(spec.kind));
+      } else {
+        SCIBORQ_ASSIGN_OR_RETURN(double v, acc.Finish(spec.kind));
+        row.values.push_back(v);
+      }
+      if (options.moments) row_moments.push_back(std::move(acc));
     }
+    if (options.moments) options.moments->push_back(std::move(row_moments));
     out.push_back(std::move(row));
     return out;
   }
 
+  GroupedAggOptions group_options;
+  group_options.lenient = options.lenient;
+  group_options.collect_moments = options.moments != nullptr;
   SCIBORQ_ASSIGN_OR_RETURN(
       std::vector<GroupRow> groups,
       ComputeGroupedAggregates(table, rows, query.group_by, query.aggregates,
-                               pool));
+                               pool, group_options));
   out.reserve(groups.size());
   for (auto& g : groups) {
     QueryResultRow row;
     row.group_key = std::move(g.key);
     row.values = std::move(g.aggregates);
     row.input_rows = g.group_rows;
+    if (options.moments) options.moments->push_back(std::move(g.moments));
     out.push_back(std::move(row));
   }
   return out;

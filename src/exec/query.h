@@ -183,6 +183,24 @@ Result<std::vector<QueryResultRow>> RunExact(const Table& table,
                                              const AggregateQuery& query,
                                              ThreadPool* pool = nullptr);
 
+/// Knobs for the shard-mergeable variant of RunExact.
+struct ExactRunOptions {
+  /// Empty aggregates (AVG/MIN/MAX over zero rows, VAR under two) finish as
+  /// NaN instead of failing — an empty shard slice must still answer.
+  bool lenient = false;
+  /// When non-null, receives one AggregateMoments per output row per
+  /// aggregate — the mergeable Welford state behind each value, in the same
+  /// row/aggregate order as the result rows.
+  std::vector<std::vector<AggregateMoments>>* moments = nullptr;
+};
+
+/// RunExact with shard-side options. With default options this is exactly
+/// the plain overload (same values, bit-for-bit).
+Result<std::vector<QueryResultRow>> RunExact(const Table& table,
+                                             const AggregateQuery& query,
+                                             ThreadPool* pool,
+                                             const ExactRunOptions& options);
+
 }  // namespace sciborq
 
 #endif  // SCIBORQ_EXEC_QUERY_H_

@@ -110,21 +110,37 @@ void SciborqServer::HandleConnection(std::shared_ptr<TcpConn> conn) {
 std::string SciborqServer::HandleRequest(const RequestFrame& request,
                                          Session* session) {
   WireReader payload(request.payload);
+  // Version negotiation: the response is stamped (and its payload encoded)
+  // with the version the peer's request carried, so v1/v2 peers keep
+  // byte-identical responses while v3 peers get the distributed fields.
+  const uint8_t version = request.version;
   switch (request.opcode) {
     case Opcode::kQuery: {
       Result<std::string> sql = payload.ReadString();
-      if (!sql.ok()) return EncodeResponse(request.opcode, sql.status(), "");
+      if (!sql.ok()) {
+        return EncodeResponse(request.opcode, sql.status(), "", version);
+      }
+      QueryExecOptions exec;
+      if (version >= kWireVersionV3) {
+        // v3 kQuery appends a flags byte: bit 0 = mergeable (ship the
+        // Welford partials behind an exact answer).
+        Result<uint8_t> flags = payload.ReadU8();
+        if (!flags.ok()) {
+          return EncodeResponse(request.opcode, flags.status(), "", version);
+        }
+        exec.mergeable = (*flags & 0x1) != 0;
+      }
       if (Status st = payload.ExpectEnd(); !st.ok()) {
-        return EncodeResponse(request.opcode, st, "");
+        return EncodeResponse(request.opcode, st, "", version);
       }
       queries_served_.fetch_add(1, std::memory_order_relaxed);
-      Result<QueryOutcome> outcome = session->Query(*sql);
+      Result<QueryOutcome> outcome = session->Query(*sql, exec);
       if (!outcome.ok()) {
-        return EncodeResponse(request.opcode, outcome.status(), "");
+        return EncodeResponse(request.opcode, outcome.status(), "", version);
       }
       WireWriter w;
-      EncodeOutcome(*outcome, &w);
-      return EncodeResponse(request.opcode, Status::OK(), w.buffer());
+      EncodeOutcome(*outcome, &w, version);
+      return EncodeResponse(request.opcode, Status::OK(), w.buffer(), version);
     }
     case Opcode::kUse: {
       Result<std::string> table = payload.ReadString();
@@ -154,8 +170,8 @@ std::string SciborqServer::HandleRequest(const RequestFrame& request,
       const std::vector<TableInfo> tables = engine_->ListTables();
       WireWriter w;
       w.PutU32(static_cast<uint32_t>(tables.size()));
-      for (const TableInfo& info : tables) EncodeTableInfo(info, &w);
-      return EncodeResponse(request.opcode, Status::OK(), w.buffer());
+      for (const TableInfo& info : tables) EncodeTableInfo(info, &w, version);
+      return EncodeResponse(request.opcode, Status::OK(), w.buffer(), version);
     }
     case Opcode::kPing: {
       if (Status st = payload.ExpectEnd(); !st.ok()) {
@@ -192,11 +208,11 @@ std::string SciborqServer::HandleRequest(const RequestFrame& request,
       Result<QueryOutcome> outcome =
           session->Execute(StatementHandle{*id}, *params);
       if (!outcome.ok()) {
-        return EncodeResponse(request.opcode, outcome.status(), "");
+        return EncodeResponse(request.opcode, outcome.status(), "", version);
       }
       WireWriter w;
-      EncodeOutcome(*outcome, &w);
-      return EncodeResponse(request.opcode, Status::OK(), w.buffer());
+      EncodeOutcome(*outcome, &w, version);
+      return EncodeResponse(request.opcode, Status::OK(), w.buffer(), version);
     }
     case Opcode::kCloseStmt: {
       Result<int64_t> id = payload.ReadI64();
@@ -233,6 +249,52 @@ std::string SciborqServer::HandleRequest(const RequestFrame& request,
       WireWriter w;
       w.PutU32(static_cast<uint32_t>(count));
       return EncodeResponse(request.opcode, Status::OK(), w.buffer());
+    }
+    case Opcode::kCreateTable: {
+      // v3, coordinator ingest routing: register an empty table so a
+      // subsequent kIngest stream has somewhere to land. The seed travels
+      // explicitly so a coordinator can hand each shard a distinct sampler
+      // stream (derived like ShardedImpressionBuilder's).
+      Result<std::string> name = payload.ReadString();
+      if (!name.ok()) {
+        return EncodeResponse(request.opcode, name.status(), "", version);
+      }
+      Result<Schema> schema = DecodeSchema(&payload);
+      if (!schema.ok()) {
+        return EncodeResponse(request.opcode, schema.status(), "", version);
+      }
+      Result<uint64_t> seed = payload.ReadU64();
+      if (!seed.ok()) {
+        return EncodeResponse(request.opcode, seed.status(), "", version);
+      }
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      TableOptions table_options;
+      table_options.seed = *seed;
+      return EncodeResponse(request.opcode,
+                            engine_->CreateTable(*name, *schema, table_options),
+                            "", version);
+    }
+    case Opcode::kIngest: {
+      Result<std::string> table = payload.ReadString();
+      if (!table.ok()) {
+        return EncodeResponse(request.opcode, table.status(), "", version);
+      }
+      Result<Table> batch = DecodeTable(&payload);
+      if (!batch.ok()) {
+        return EncodeResponse(request.opcode, batch.status(), "", version);
+      }
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      const int64_t rows = batch->num_rows();
+      if (Status st = engine_->IngestBatch(*table, *batch); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      WireWriter w;
+      w.PutI64(rows);
+      return EncodeResponse(request.opcode, Status::OK(), w.buffer(), version);
     }
     case Opcode::kInvalid:
       break;  // DecodeRequest never produces it

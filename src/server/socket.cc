@@ -1,10 +1,13 @@
 #include "server/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/types.h>
 #include <unistd.h>
 
@@ -28,6 +31,53 @@ void SetNoDelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+/// Bounded connect: flip the socket non-blocking, start the connect, poll
+/// for writability with the deadline, then read SO_ERROR for the real
+/// outcome and restore blocking mode. DeadlineExceeded when the poll
+/// expires first.
+Status ConnectWithTimeout(int fd, const struct sockaddr* addr,
+                          socklen_t addr_len, int timeout_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  Status status = Status::OK();
+  if (::connect(fd, addr, addr_len) != 0) {
+    if (errno != EINPROGRESS) {
+      status = Errno("connect");
+    } else {
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, timeout_ms);
+      } while (rc < 0 && errno == EINTR);
+      if (rc < 0) {
+        status = Errno("poll");
+      } else if (rc == 0) {
+        status = Status::DeadlineExceeded(
+            StrFormat("connect timed out after %dms", timeout_ms));
+      } else {
+        int err = 0;
+        socklen_t err_len = sizeof(err);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+          status = Errno("getsockopt(SO_ERROR)");
+        } else if (err != 0) {
+          status = Status::IOError(
+              StrFormat("connect: %s", ErrnoString(err).c_str()));
+        }
+      }
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0 && status.ok()) {
+    status = Errno("fcntl(restore flags)");
+  }
+  return status;
+}
+
 }  // namespace
 
 // -- TcpConn ----------------------------------------------------------------
@@ -41,7 +91,8 @@ TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
   return *this;
 }
 
-Result<TcpConn> TcpConn::Connect(const std::string& host, int port) {
+Result<TcpConn> TcpConn::Connect(const std::string& host, int port,
+                                 int timeout_ms) {
   if (port <= 0 || port > 65535) {
     return Status::InvalidArgument(StrFormat("bad port %d", port));
   }
@@ -63,7 +114,15 @@ Result<TcpConn> TcpConn::Connect(const std::string& host, int port) {
       last = Errno("socket");
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+    if (timeout_ms > 0) {
+      if (Status st = ConnectWithTimeout(fd, ai->ai_addr, ai->ai_addrlen,
+                                         timeout_ms);
+          !st.ok()) {
+        last = std::move(st);
+        ::close(fd);
+        continue;
+      }
+    } else if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
       last = Errno("connect");
       ::close(fd);
       continue;
@@ -79,6 +138,22 @@ Result<TcpConn> TcpConn::Connect(const std::string& host, int port) {
 TcpConn TcpConn::Adopt(int fd) {
   SetNoDelay(fd);
   return TcpConn(fd);
+}
+
+Status TcpConn::SetRecvTimeout(int timeout_ms) {
+  if (!valid()) {
+    return Status::FailedPrecondition("timeout on closed connection");
+  }
+  if (timeout_ms < 0) {
+    return Status::InvalidArgument(StrFormat("bad timeout %dms", timeout_ms));
+  }
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
 }
 
 Status TcpConn::SendAll(const char* data, size_t len) {
@@ -103,6 +178,11 @@ Status TcpConn::RecvAll(char* data, size_t len, bool* clean_eof) {
     const ssize_t n = ::recv(fd_, data + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired (SetRecvTimeout): report the deadline, not a
+        // generic I/O failure, so callers can distinguish a slow peer.
+        return Status::DeadlineExceeded("recv timed out waiting for the peer");
+      }
       return Errno("recv");
     }
     if (n == 0) {

@@ -30,8 +30,16 @@ class TcpConn {
   TcpConn& operator=(const TcpConn&) = delete;
 
   /// Connects to host:port (numeric IP or hostname) with TCP_NODELAY set —
-  /// request/response frames are small and latency-bound.
-  static Result<TcpConn> Connect(const std::string& host, int port);
+  /// request/response frames are small and latency-bound. `timeout_ms` > 0
+  /// bounds each address's connect attempt (poll-based, the socket ends up
+  /// blocking again); 0 keeps the OS default. DeadlineExceeded on timeout.
+  static Result<TcpConn> Connect(const std::string& host, int port,
+                                 int timeout_ms = 0);
+
+  /// Bounds every subsequent recv by `timeout_ms` (SO_RCVTIMEO); a blocked
+  /// RecvFrame then fails with DeadlineExceeded instead of hanging on a
+  /// stalled peer. 0 clears the deadline (block forever again).
+  Status SetRecvTimeout(int timeout_ms);
 
   /// Adopts an already-connected fd (the accept path).
   static TcpConn Adopt(int fd);

@@ -15,17 +15,22 @@ constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kInternal);
 
 /// Validates an opcode against the envelope's version: v1 frames may only
 /// carry the original opcode set, v2 frames also the prepared-statement
-/// ones.
+/// ones, v3 frames also the distributed ingest ones.
 Result<Opcode> OpcodeFromWire(uint8_t op, uint8_t version) {
-  const uint8_t max_op = version >= kWireVersionV2
-                             ? static_cast<uint8_t>(Opcode::kCheckpoint)
-                             : static_cast<uint8_t>(Opcode::kPing);
+  uint8_t max_op = static_cast<uint8_t>(Opcode::kPing);
+  if (version >= kWireVersionV3) {
+    max_op = static_cast<uint8_t>(Opcode::kIngest);
+  } else if (version == kWireVersionV2) {
+    max_op = static_cast<uint8_t>(Opcode::kCheckpoint);
+  }
   if (op < static_cast<uint8_t>(Opcode::kQuery) || op > max_op) {
-    if (op > static_cast<uint8_t>(Opcode::kPing) &&
-        op <= static_cast<uint8_t>(Opcode::kCheckpoint)) {
+    if (op > max_op && op <= static_cast<uint8_t>(Opcode::kIngest)) {
+      const uint8_t required = op > static_cast<uint8_t>(Opcode::kCheckpoint)
+                                   ? kWireVersionV3
+                                   : kWireVersionV2;
       return Status::InvalidArgument(StrFormat(
           "wire: opcode %u requires protocol v%u, frame is v%u", op,
-          kWireVersionV2, version));
+          required, version));
     }
     return Status::InvalidArgument(StrFormat("wire: unknown opcode %u", op));
   }
@@ -66,6 +71,10 @@ std::string_view OpcodeToString(Opcode op) {
       return "close_stmt";
     case Opcode::kCheckpoint:
       return "checkpoint";
+    case Opcode::kCreateTable:
+      return "create_table";
+    case Opcode::kIngest:
+      return "ingest";
   }
   return "unknown";
 }
@@ -77,6 +86,9 @@ uint8_t WireVersionFor(Opcode op) {
     case Opcode::kCloseStmt:
     case Opcode::kCheckpoint:
       return kWireVersionV2;
+    case Opcode::kCreateTable:
+    case Opcode::kIngest:
+      return kWireVersionV3;
     default:
       return kWireVersionV1;
   }
@@ -191,9 +203,33 @@ Result<QueryResultRow> DecodeResultRow(WireReader* r) {
   return row;
 }
 
+// -- AggregateMoments -------------------------------------------------------
+
+void EncodeMoments(const AggregateMoments& m, WireWriter* w) {
+  w->PutI64(m.count_only);
+  w->PutI64(m.moments.count());
+  w->PutF64(m.moments.mean());
+  w->PutF64(m.moments.m2());
+  w->PutF64(m.moments.min());
+  w->PutF64(m.moments.max());
+}
+
+Result<AggregateMoments> DecodeMoments(WireReader* r) {
+  AggregateMoments m;
+  SCIBORQ_ASSIGN_OR_RETURN(m.count_only, r->ReadI64());
+  SCIBORQ_ASSIGN_OR_RETURN(const int64_t count, r->ReadI64());
+  SCIBORQ_ASSIGN_OR_RETURN(const double mean, r->ReadF64());
+  SCIBORQ_ASSIGN_OR_RETURN(const double m2, r->ReadF64());
+  SCIBORQ_ASSIGN_OR_RETURN(const double min, r->ReadF64());
+  SCIBORQ_ASSIGN_OR_RETURN(const double max, r->ReadF64());
+  m.moments = RunningMoments::FromState(count, mean, m2, min, max);
+  return m;
+}
+
 // -- QueryOutcome -----------------------------------------------------------
 
-void EncodeOutcome(const QueryOutcome& outcome, WireWriter* w) {
+void EncodeOutcome(const QueryOutcome& outcome, WireWriter* w,
+                   uint8_t version) {
   w->PutString(outcome.table);
   w->PutString(outcome.sql);
   w->PutString(outcome.answered_by);
@@ -210,9 +246,18 @@ void EncodeOutcome(const QueryOutcome& outcome, WireWriter* w) {
   }
   w->PutU32(static_cast<uint32_t>(outcome.attempts.size()));
   for (const LayerAttempt& attempt : outcome.attempts) EncodeAttempt(attempt, w);
+  if (version < kWireVersionV3) return;  // v1/v2 stay byte-identical
+  w->PutBool(outcome.partial);
+  w->PutU32(static_cast<uint32_t>(outcome.shards_responded));
+  w->PutU32(static_cast<uint32_t>(outcome.shards_total));
+  w->PutU32(static_cast<uint32_t>(outcome.partials.size()));
+  for (const auto& row_moments : outcome.partials) {
+    w->PutU32(static_cast<uint32_t>(row_moments.size()));
+    for (const AggregateMoments& m : row_moments) EncodeMoments(m, w);
+  }
 }
 
-Result<QueryOutcome> DecodeOutcome(WireReader* r) {
+Result<QueryOutcome> DecodeOutcome(WireReader* r, uint8_t version) {
   QueryOutcome outcome;
   SCIBORQ_ASSIGN_OR_RETURN(outcome.table, r->ReadString());
   SCIBORQ_ASSIGN_OR_RETURN(outcome.sql, r->ReadString());
@@ -245,12 +290,43 @@ Result<QueryOutcome> DecodeOutcome(WireReader* r) {
     SCIBORQ_ASSIGN_OR_RETURN(LayerAttempt attempt, DecodeAttempt(r));
     outcome.attempts.push_back(std::move(attempt));
   }
+  if (version < kWireVersionV3) return outcome;
+  SCIBORQ_ASSIGN_OR_RETURN(outcome.partial, r->ReadBool());
+  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t responded, r->ReadU32());
+  outcome.shards_responded = static_cast<int>(responded);
+  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t total, r->ReadU32());
+  outcome.shards_total = static_cast<int>(total);
+  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t num_partial_rows, r->ReadU32());
+  // Every row is at least its u32 count; reject hostile lengths before
+  // allocating, like DecodeParams.
+  if (static_cast<int64_t>(num_partial_rows) > r->remaining()) {
+    return Status::InvalidArgument(
+        StrFormat("wire: partials row count %u exceeds the %lld remaining "
+                  "bytes",
+                  num_partial_rows, static_cast<long long>(r->remaining())));
+  }
+  outcome.partials.reserve(num_partial_rows);
+  for (uint32_t i = 0; i < num_partial_rows; ++i) {
+    SCIBORQ_ASSIGN_OR_RETURN(const uint32_t n, r->ReadU32());
+    if (static_cast<int64_t>(n) > r->remaining()) {
+      return Status::InvalidArgument(
+          StrFormat("wire: partials count %u exceeds the %lld remaining bytes",
+                    n, static_cast<long long>(r->remaining())));
+    }
+    std::vector<AggregateMoments> row_moments;
+    row_moments.reserve(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      SCIBORQ_ASSIGN_OR_RETURN(AggregateMoments m, DecodeMoments(r));
+      row_moments.push_back(m);
+    }
+    outcome.partials.push_back(std::move(row_moments));
+  }
   return outcome;
 }
 
 // -- TableInfo --------------------------------------------------------------
 
-void EncodeTableInfo(const TableInfo& info, WireWriter* w) {
+void EncodeTableInfo(const TableInfo& info, WireWriter* w, uint8_t version) {
   w->PutString(info.name);
   w->PutI64(info.rows);
   EncodeSchema(info.schema, w);
@@ -264,9 +340,12 @@ void EncodeTableInfo(const TableInfo& info, WireWriter* w) {
   w->PutI64(info.population_seen);
   w->PutBool(info.biased);
   w->PutI64(info.logged_queries);
+  if (version >= kWireVersionV3) {
+    w->PutU32(static_cast<uint32_t>(info.shards));
+  }
 }
 
-Result<TableInfo> DecodeTableInfo(WireReader* r) {
+Result<TableInfo> DecodeTableInfo(WireReader* r, uint8_t version) {
   TableInfo info;
   SCIBORQ_ASSIGN_OR_RETURN(info.name, r->ReadString());
   SCIBORQ_ASSIGN_OR_RETURN(info.rows, r->ReadI64());
@@ -284,6 +363,10 @@ Result<TableInfo> DecodeTableInfo(WireReader* r) {
   SCIBORQ_ASSIGN_OR_RETURN(info.population_seen, r->ReadI64());
   SCIBORQ_ASSIGN_OR_RETURN(info.biased, r->ReadBool());
   SCIBORQ_ASSIGN_OR_RETURN(info.logged_queries, r->ReadI64());
+  if (version >= kWireVersionV3) {
+    SCIBORQ_ASSIGN_OR_RETURN(const uint32_t shards, r->ReadU32());
+    info.shards = static_cast<int>(shards);
+  }
   return info;
 }
 
@@ -333,9 +416,10 @@ Result<StatementInfo> DecodeStatementInfo(WireReader* r) {
 
 // -- Envelopes --------------------------------------------------------------
 
-std::string EncodeRequest(Opcode op, std::string_view payload) {
+std::string EncodeRequest(Opcode op, std::string_view payload,
+                          uint8_t version) {
   WireWriter w;
-  w.PutU8(WireVersionFor(op));
+  w.PutU8(version == 0 ? WireVersionFor(op) : version);
   w.PutU8(static_cast<uint8_t>(op));
   std::string body = w.Take();
   body.append(payload.data(), payload.size());
@@ -348,15 +432,16 @@ Result<RequestFrame> DecodeRequest(std::string_view body) {
   SCIBORQ_RETURN_NOT_OK(CheckVersion(version));
   SCIBORQ_ASSIGN_OR_RETURN(const uint8_t op, r.ReadU8());
   RequestFrame frame;
+  frame.version = version;
   SCIBORQ_ASSIGN_OR_RETURN(frame.opcode, OpcodeFromWire(op, version));
   frame.payload = std::string(body.substr(2));
   return frame;
 }
 
 std::string EncodeResponse(Opcode op, const Status& status,
-                           std::string_view payload) {
+                           std::string_view payload, uint8_t version) {
   WireWriter w;
-  w.PutU8(WireVersionFor(op));
+  w.PutU8(version == 0 ? WireVersionFor(op) : version);
   w.PutU8(static_cast<uint8_t>(op));
   EncodeStatus(status, &w);
   std::string body = w.Take();
@@ -370,6 +455,7 @@ Result<ResponseFrame> DecodeResponse(std::string_view body) {
   SCIBORQ_RETURN_NOT_OK(CheckVersion(version));
   SCIBORQ_ASSIGN_OR_RETURN(const uint8_t op, r.ReadU8());
   ResponseFrame frame;
+  frame.version = version;
   if (op != static_cast<uint8_t>(Opcode::kInvalid)) {
     SCIBORQ_ASSIGN_OR_RETURN(frame.opcode, OpcodeFromWire(op, version));
   }

@@ -41,6 +41,17 @@ namespace sciborq {
 //   kCheckpoint payload = string table       ("" = checkpoint every table;
 //                                             response payload = u32 count)
 //
+// v3 is the distributed protocol (coordinator <-> shard). Two new opcodes:
+//   kCreateTable payload = string name | Schema | u64 seed
+//   kIngest      payload = string table | Table   (column/serde.h encoding;
+//                                                  response payload = i64 rows)
+// and version negotiation on existing opcodes: a request *stamped* v3 gets a
+// v3-encoded response. A v3 kQuery request appends `u8 flags` after the SQL
+// (bit 0 = mergeable: the shard also ships its Welford partials); v3
+// QueryOutcome/TableInfo encodings append the distributed fields (partial
+// flag, shard counts, partials matrix; shard count). Requests stamped v1/v2
+// get byte-identical v1/v2 responses, so every older peer is untouched.
+//
 // Responses (server -> client) echo the request opcode and carry
 //   u8 status_code | string status_message | payload-if-OK
 // with payload: kQuery/kExecute -> QueryOutcome, kCatalog -> u32 n +
@@ -59,8 +70,11 @@ namespace sciborq {
 inline constexpr uint8_t kWireVersionV1 = 1;
 /// Adds kPrepare/kExecute/kCloseStmt.
 inline constexpr uint8_t kWireVersionV2 = 2;
+/// Adds kCreateTable/kIngest and the distributed QueryOutcome/TableInfo
+/// fields (partial flag, shard counts, mergeable Welford partials).
+inline constexpr uint8_t kWireVersionV3 = 3;
 /// Highest protocol version this build speaks.
-inline constexpr uint8_t kWireVersion = kWireVersionV2;
+inline constexpr uint8_t kWireVersion = kWireVersionV3;
 
 /// Default ceiling for one frame. Generous for result batches (a row of
 /// doubles is tens of bytes) while bounding a malicious length prefix.
@@ -79,6 +93,9 @@ enum class Opcode : uint8_t {
   kCloseStmt = 8,
   // -- v2: persistence --
   kCheckpoint = 9,
+  // -- v3: distributed (coordinator -> shard ingest routing) --
+  kCreateTable = 10,
+  kIngest = 11,
 };
 
 std::string_view OpcodeToString(Opcode op);
@@ -115,11 +132,23 @@ Result<LayerAttempt> DecodeAttempt(WireReader* r);
 void EncodeResultRow(const QueryResultRow& row, WireWriter* w);
 Result<QueryResultRow> DecodeResultRow(WireReader* r);
 
-void EncodeOutcome(const QueryOutcome& outcome, WireWriter* w);
-Result<QueryOutcome> DecodeOutcome(WireReader* r);
+/// Mergeable Welford state of one aggregate (v3): i64 count_only |
+/// i64 count | f64 mean | f64 m2 | f64 min | f64 max. Bit-exact round trip,
+/// so merging a decoded state equals merging the original.
+void EncodeMoments(const AggregateMoments& m, WireWriter* w);
+Result<AggregateMoments> DecodeMoments(WireReader* r);
 
-void EncodeTableInfo(const TableInfo& info, WireWriter* w);
-Result<TableInfo> DecodeTableInfo(WireReader* r);
+/// Outcome/TableInfo codecs are version-gated: v1/v2 encodings are
+/// byte-identical to every older build; v3 appends the distributed fields.
+void EncodeOutcome(const QueryOutcome& outcome, WireWriter* w,
+                   uint8_t version = kWireVersionV1);
+Result<QueryOutcome> DecodeOutcome(WireReader* r,
+                                   uint8_t version = kWireVersionV1);
+
+void EncodeTableInfo(const TableInfo& info, WireWriter* w,
+                     uint8_t version = kWireVersionV1);
+Result<TableInfo> DecodeTableInfo(WireReader* r,
+                                  uint8_t version = kWireVersionV1);
 
 /// Parameter lists for kExecute: u32 count + count Values. Decode rejects a
 /// count larger than the bytes that could possibly back it before
@@ -135,23 +164,31 @@ Result<StatementInfo> DecodeStatementInfo(WireReader* r);
 // -- Message envelopes ------------------------------------------------------
 
 /// A decoded request: opcode plus its payload reader (positioned after the
-/// envelope; the handler decodes the op-specific payload).
+/// envelope; the handler decodes the op-specific payload). The version the
+/// peer stamped drives version negotiation: the response is encoded with the
+/// same version, so v1/v2 peers keep byte-identical responses.
 struct RequestFrame {
   Opcode opcode = Opcode::kInvalid;
-  std::string payload;  ///< op-specific bytes
+  uint8_t version = kWireVersionV1;  ///< version byte the peer stamped
+  std::string payload;               ///< op-specific bytes
 };
 
-/// version | opcode | payload.
-std::string EncodeRequest(Opcode op, std::string_view payload);
+/// version | opcode | payload. `version` 0 = the opcode's default stamp
+/// (WireVersionFor — byte-identical to older builds); a caller opting into
+/// v3 passes kWireVersionV3 explicitly.
+std::string EncodeRequest(Opcode op, std::string_view payload,
+                          uint8_t version = 0);
 /// Rejects unknown versions and opcodes.
 Result<RequestFrame> DecodeRequest(std::string_view body);
 
 /// version | opcode | status | payload (payload only meaningful when OK).
+/// `version` 0 = the opcode's default stamp, as in EncodeRequest.
 std::string EncodeResponse(Opcode op, const Status& status,
-                           std::string_view payload);
+                           std::string_view payload, uint8_t version = 0);
 
 struct ResponseFrame {
   Opcode opcode = Opcode::kInvalid;
+  uint8_t version = kWireVersionV1;  ///< version byte the server stamped
   Status status;
   std::string payload;  ///< empty unless status.ok()
 };

@@ -37,6 +37,17 @@ void RunningMoments::Merge(const RunningMoments& other) {
   max_ = std::max(max_, other.max_);
 }
 
+RunningMoments RunningMoments::FromState(int64_t count, double mean, double m2,
+                                         double min, double max) {
+  RunningMoments m;
+  m.count_ = count;
+  m.mean_ = mean;
+  m.m2_ = m2;
+  m.min_ = min;
+  m.max_ = max;
+  return m;
+}
+
 double RunningMoments::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);

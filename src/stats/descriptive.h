@@ -20,6 +20,16 @@ class RunningMoments {
   double stddev() const;
   double min() const { return min_; }
   double max() const { return max_; }
+  /// Raw sum of squared deviations (the Welford M2 partial). Exposed so the
+  /// state can travel between processes and Merge on the far side exactly as
+  /// it would have in-process — reconstructing M2 from variance() is not
+  /// bit-exact.
+  double m2() const { return m2_; }
+
+  /// Rebuilds an accumulator from transported state (the wire decode path).
+  /// Merging a FromState copy behaves identically to merging the original.
+  static RunningMoments FromState(int64_t count, double mean, double m2,
+                                  double min, double max);
 
  private:
   int64_t count_ = 0;

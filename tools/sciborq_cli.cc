@@ -100,6 +100,25 @@ std::vector<std::string> SplitParamTokens(std::string_view text) {
   return out;
 }
 
+/// Prints a query outcome; answers merged by a coordinator additionally get
+/// an explicit partial-answer warning and one row per shard attempt.
+void PrintOutcome(const QueryOutcome& outcome) {
+  std::printf("%s\n", outcome.ToString().c_str());
+  if (outcome.shards_total == 0) return;
+  if (outcome.partial) {
+    std::printf(
+        "warning: PARTIAL answer — %d of %d shards responded; error bounds "
+        "widened to cover the missing slice\n",
+        outcome.shards_responded, outcome.shards_total);
+  }
+  for (const LayerAttempt& attempt : outcome.attempts) {
+    std::printf("  shard attempt: %s (err=%.4f, met=%s, %.2fms)\n",
+                attempt.layer_name.c_str(), attempt.worst_relative_error,
+                attempt.met_error_bound ? "yes" : "no",
+                attempt.elapsed_seconds * 1e3);
+  }
+}
+
 struct Cli {
   SciborqClient* client;
   /// Prepared handles live on the server session; this map only remembers
@@ -249,7 +268,7 @@ bool HandleLine(Cli* cli, const std::string& line, bool* ok) {
       std::printf("error: %s\n", outcome.status().ToString().c_str());
       return true;
     }
-    std::printf("%s\n", outcome->ToString().c_str());
+    PrintOutcome(*outcome);
     return true;
   }
   if (IsCommand(trimmed, "\\checkpoint")) {
@@ -290,7 +309,7 @@ bool HandleLine(Cli* cli, const std::string& line, bool* ok) {
     std::printf("error: %s\n", outcome.status().ToString().c_str());
     return true;
   }
-  std::printf("%s\n", outcome->ToString().c_str());
+  PrintOutcome(*outcome);
   return true;
 }
 
