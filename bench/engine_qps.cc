@@ -7,6 +7,7 @@
 // multicore hardware. Text-parsing cost is included deliberately: QPS here
 // is what a network front end would see.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <string>
@@ -15,6 +16,7 @@
 
 #include "api/engine.h"
 #include "bench/bench_util.h"
+#include "obs/metrics.h"
 #include "skyserver/catalog.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -221,5 +223,58 @@ int main() {
       .Int("failures", failures)
       .Int("base_rows_final", *engine.TableRows("photo_obj_all"))
       .Emit();
+
+  // Metrics overhead gate: the observability layer (counters, histograms,
+  // spans) must cost the query hot path under 3% QPS. obs::SetEnabled(false)
+  // reduces every metric update to one relaxed load + branch — the baseline.
+  Header("metrics overhead: instrumented vs baseline (obs disabled)");
+  {
+    constexpr int kIters = 2000;
+    const auto run_once = [&engine](int salt) -> double {
+      Stopwatch watch;
+      for (int i = 0; i < kIters; ++i) {
+        if (!engine.Query(MakeSql(salt + i)).ok()) return -1.0;
+      }
+      return kIters / watch.ElapsedSeconds();
+    };
+    // Interleave modes, best-of-3 each: back-to-back alternation cancels
+    // drift (thermal, page cache) that one A/B pair would misread as
+    // instrumentation cost.
+    double baseline_qps = 0.0;
+    double instrumented_qps = 0.0;
+    bool failed_run = false;
+    for (int round = 0; round < 3 && !failed_run; ++round) {
+      obs::SetEnabled(false);
+      const double base = run_once(round * kIters);
+      obs::SetEnabled(true);
+      const double inst = run_once(round * kIters);
+      failed_run = base < 0.0 || inst < 0.0;
+      baseline_qps = std::max(baseline_qps, base);
+      instrumented_qps = std::max(instrumented_qps, inst);
+    }
+    obs::SetEnabled(true);
+    if (failed_run) {
+      std::fprintf(stderr, "metrics overhead run failed\n");
+      return 1;
+    }
+    const double overhead_ratio = instrumented_qps / baseline_qps;
+    std::printf("baseline (obs off): %10.0f qps\n"
+                "instrumented:       %10.0f qps\n"
+                "ratio:              %10.3f\n",
+                baseline_qps, instrumented_qps, overhead_ratio);
+    sciborq::bench::JsonLine("engine_metrics_overhead")
+        .Num("instrumented_qps", instrumented_qps)
+        .Num("baseline_qps", baseline_qps)
+        .Num("ratio", overhead_ratio)
+        .Int("iters", kIters)
+        .Emit();
+    if (overhead_ratio < 0.97) {
+      std::fprintf(stderr,
+                   "metrics overhead gate FAILED: instrumented %.0f qps is "
+                   "under 97%% of baseline %.0f qps (ratio %.3f)\n",
+                   instrumented_qps, baseline_qps, overhead_ratio);
+      return 1;
+    }
+  }
   return 0;
 }

@@ -9,6 +9,7 @@
 // protocol error or a remote/in-process answer mismatch, so CI can run it
 // as a correctness smoke as well as a perf probe.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <string>
@@ -18,6 +19,7 @@
 #include "api/engine.h"
 #include "bench/bench_util.h"
 #include "client/client.h"
+#include "obs/metrics.h"
 #include "server/server.h"
 #include "skyserver/catalog.h"
 #include "util/stopwatch.h"
@@ -269,6 +271,62 @@ int main() {
         .Emit();
     if (Status st = client->CloseStatement(stmt->handle); !st.ok()) {
       std::fprintf(stderr, "close: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Metrics overhead gate over the full wire path (per-opcode histograms,
+  // byte counters, engine metrics, spans on every outcome). One remote
+  // client; obs::SetEnabled(false) is the baseline.
+  Header("metrics overhead: instrumented vs baseline (obs disabled)");
+  {
+    constexpr int kIters = 1000;
+    Result<SciborqClient> client =
+        SciborqClient::Connect("127.0.0.1", server.port());
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+      return 1;
+    }
+    const auto run_once = [&client](int salt) -> double {
+      Stopwatch watch;
+      for (int i = 0; i < kIters; ++i) {
+        if (!client->Query(MakeSql(salt + i)).ok()) return -1.0;
+      }
+      return kIters / watch.ElapsedSeconds();
+    };
+    double baseline_qps = 0.0;
+    double instrumented_qps = 0.0;
+    bool failed_run = false;
+    for (int round = 0; round < 3 && !failed_run; ++round) {
+      obs::SetEnabled(false);
+      const double base = run_once(round * kIters);
+      obs::SetEnabled(true);
+      const double inst = run_once(round * kIters);
+      failed_run = base < 0.0 || inst < 0.0;
+      baseline_qps = std::max(baseline_qps, base);
+      instrumented_qps = std::max(instrumented_qps, inst);
+    }
+    obs::SetEnabled(true);
+    if (failed_run) {
+      std::fprintf(stderr, "metrics overhead run failed\n");
+      return 1;
+    }
+    const double overhead_ratio = instrumented_qps / baseline_qps;
+    std::printf("baseline (obs off): %10.0f qps\n"
+                "instrumented:       %10.0f qps\n"
+                "ratio:              %10.3f\n",
+                baseline_qps, instrumented_qps, overhead_ratio);
+    JsonLine("server_metrics_overhead")
+        .Num("instrumented_qps", instrumented_qps)
+        .Num("baseline_qps", baseline_qps)
+        .Num("ratio", overhead_ratio)
+        .Int("iters", kIters)
+        .Emit();
+    if (overhead_ratio < 0.97) {
+      std::fprintf(stderr,
+                   "metrics overhead gate FAILED: instrumented %.0f qps is "
+                   "under 97%% of baseline %.0f qps (ratio %.3f)\n",
+                   instrumented_qps, baseline_qps, overhead_ratio);
       return 1;
     }
   }

@@ -1,12 +1,15 @@
 #include "api/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <deque>
 #include <optional>
 #include <utility>
 
 #include "column/csv.h"
 #include "exec/parser.h"
+#include "obs/metrics.h"
 #include "storage/table_store.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
@@ -48,7 +51,36 @@ std::vector<std::vector<AggregateEstimate>> ExactEstimates(
   return out;
 }
 
+/// Process-wide query-id source. Monotonic, not random: ids only need to be
+/// unique within a trace-stitching window, and determinism keeps tests
+/// simple.
+std::string NextQueryId() {
+  static std::atomic<int64_t> next{1};
+  return StrFormat("q-%lld", static_cast<long long>(
+                                 next.fetch_add(1, std::memory_order_relaxed)));
+}
+
 }  // namespace
+
+/// The escalation walk plus phase timing, rendered for the slow-query ring
+/// and the coordinator's merged traces (one line per attempt / span).
+std::string RenderTrace(const QueryOutcome& outcome) {
+  std::string out;
+  for (const LayerAttempt& a : outcome.attempts) {
+    out += StrFormat(
+        "attempt %s%s: rows=%lld matched=%lld worst_err=%.4f met=%s "
+        "(%.3f ms)\n",
+        a.layer_name.c_str(), a.is_base ? " [base]" : "",
+        static_cast<long long>(a.layer_rows),
+        static_cast<long long>(a.matching_rows), a.worst_relative_error,
+        a.met_error_bound ? "yes" : "no", a.elapsed_seconds * 1e3);
+  }
+  for (const PhaseSpan& s : outcome.spans) {
+    out += StrFormat("span %s: start=%.3f ms dur=%.3f ms\n", s.name.c_str(),
+                     s.start_seconds * 1e3, s.duration_seconds * 1e3);
+  }
+  return out;
+}
 
 /// One catalog table: base columns + impression hierarchy + workload state.
 ///
@@ -64,6 +96,82 @@ std::vector<std::vector<AggregateEstimate>> ExactEstimates(
 /// job instead) still exclude each other through data_mu.
 struct Engine::TableEntry {
   explicit TableEntry(int64_t log_window) : log(log_window) {}
+
+  /// Cached pointers into the process metrics registry (obs/metrics.h) —
+  /// resolved once at build time so the query hot path never touches the
+  /// registry lock. The pointees are internally atomic; the pointers are
+  /// immutable after InitMetrics.
+  struct Metrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* bound_met = nullptr;
+    obs::Counter* bound_missed = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
+    obs::Counter* ingest_rows = nullptr;
+    obs::Histogram* latency = nullptr;
+    obs::Histogram* budget_utilization = nullptr;
+    obs::Histogram* error_margin = nullptr;
+    obs::Histogram* checkpoint_seconds = nullptr;
+    /// Per-layer answer distribution, keyed by answered_by ("base" and
+    /// every impression layer pre-registered; stray names resolve lazily).
+    std::unordered_map<std::string, obs::Counter*> answers;
+  };
+
+  /// Resolves the metric pointers for this table. Called once, after the
+  /// layer geometry is known and before the entry is published.
+  void InitMetrics() {
+    obs::Registry* reg = obs::DefaultRegistry();
+    const obs::Labels by_table = {{"table", name}};
+    metrics.queries = reg->GetCounter(
+        "sciborq_queries_total", "Queries answered, by table.", by_table);
+    metrics.bound_met = reg->GetCounter(
+        "sciborq_query_bound_met_total",
+        "Queries whose error bound was met.", by_table);
+    metrics.bound_missed = reg->GetCounter(
+        "sciborq_query_bound_missed_total",
+        "Queries whose error bound was NOT met.", by_table);
+    metrics.deadline_exceeded = reg->GetCounter(
+        "sciborq_query_deadline_exceeded_total",
+        "Queries that blew their WITHIN time budget.", by_table);
+    metrics.ingest_rows = reg->GetCounter(
+        "sciborq_ingest_rows_total", "Rows ingested, by table.", by_table);
+    metrics.latency = reg->GetHistogram(
+        "sciborq_query_seconds", "Query latency (engine-side).",
+        obs::DefaultLatencyBounds(), by_table);
+    metrics.budget_utilization = reg->GetHistogram(
+        "sciborq_query_budget_utilization",
+        "elapsed / WITHIN budget for time-bounded queries (>1 = blown).",
+        obs::RatioBounds(), by_table);
+    metrics.error_margin = reg->GetHistogram(
+        "sciborq_query_error_margin",
+        "Worst relative error of the answering layer attempt.",
+        obs::RatioBounds(), by_table);
+    metrics.checkpoint_seconds = reg->GetHistogram(
+        "sciborq_checkpoint_seconds", "Checkpoint duration, by table.",
+        obs::DefaultLatencyBounds(), by_table);
+    auto answer_counter = [&](const std::string& layer) {
+      return reg->GetCounter(
+          "sciborq_query_answers_total",
+          "Which layer answered (escalation landing spot).",
+          {{"table", name}, {"layer", layer}});
+    };
+    metrics.answers["base"] = answer_counter("base");
+    for (const auto& layer : options.layers) {
+      metrics.answers[layer.name] = answer_counter(layer.name);
+    }
+  }
+
+  /// The answer-distribution counter for `answered_by` (lazy fallback for
+  /// names outside the pre-registered set).
+  obs::Counter* AnswerCounter(const std::string& answered_by) {
+    const auto it = metrics.answers.find(answered_by);
+    if (it != metrics.answers.end()) return it->second;
+    return obs::DefaultRegistry()->GetCounter(
+        "sciborq_query_answers_total",
+        "Which layer answered (escalation landing spot).",
+        {{"table", name}, {"layer", answered_by}});
+  }
+
+  Metrics metrics;
 
   std::string name;        ///< immutable after construction
   /// The creation options with layers resolved (what a checkpoint persists
@@ -87,7 +195,10 @@ struct Engine::TableEntry {
   QueryLog log GUARDED_BY(workload_mu);
 };
 
-Engine::Engine(EngineOptions options) : options_(options) {
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      slow_log_(static_cast<size_t>(
+          std::max<int64_t>(0, options.slow_log_capacity))) {
   const int threads = ThreadPool::ResolveThreadCount(options_.query_threads);
   if (threads > 1) query_pool_ = std::make_unique<ThreadPool>(threads);
 }
@@ -141,6 +252,7 @@ Result<std::unique_ptr<Engine::TableEntry>> Engine::BuildTableEntry(
                                 hierarchy_options));
   raw->hierarchy.emplace(std::move(hierarchy));
   raw->options = std::move(options);
+  raw->InitMetrics();
   return entry;
 }
 
@@ -263,9 +375,12 @@ Status Engine::IngestBatch(const std::string& table, const Table& batch) {
       if (store_->UnlogBatch(table, wal_offset).ok()) --entry->next_seq;
       return st;
     }
+    entry->metrics.ingest_rows->Inc(batch.num_rows());
     return Status::OK();
   }
-  return IngestIntoEntry(entry, batch);
+  SCIBORQ_RETURN_NOT_OK(IngestIntoEntry(entry, batch));
+  entry->metrics.ingest_rows->Inc(batch.num_rows());
+  return Status::OK();
 }
 
 // -- Persistence -------------------------------------------------------------
@@ -279,6 +394,13 @@ Result<std::unique_ptr<Engine>> Engine::Open(const std::string& db_dir,
   for (RecoveredTable& table : recovered) {
     SCIBORQ_RETURN_NOT_OK(engine->RestoreTable(std::move(table)));
   }
+  // Surface what recovery had to tolerate: operators alert on this gauge
+  // being nonzero after a boot.
+  obs::DefaultRegistry()
+      ->GetGauge("sciborq_recovery_warnings",
+                 "Anomalies the last Engine::Open tolerated (torn WAL "
+                 "tails etc.).")
+      ->Set(static_cast<double>(engine->recovery_warnings_.size()));
   return engine;
 }
 
@@ -304,6 +426,7 @@ Status Engine::RestoreTable(RecoveredTable recovered) {
     raw->options.tracked_attributes = snap.config.tracked_attributes;
     raw->options.seed = snap.config.seed;
     raw->options.refresh_interval = snap.config.refresh_interval;
+    raw->InitMetrics();
     // Unpublished entry: the locks are uncontended but keep the guarded
     // state protocol unconditional (see BuildTableEntry).
     WriterMutexLock data_lock(&raw->data_mu);
@@ -418,8 +541,11 @@ Status Engine::Checkpoint(const std::string& table) {
   // flowing through the file I/O and fsyncs.
   MutexLock checkpoint_lock(&entry->checkpoint_mu);
   ReaderMutexLock lock(&entry->data_mu);
+  Stopwatch watch;
   const TableSnapshot snap = BuildSnapshot(*entry);
-  return store_->WriteCheckpoint(snap);
+  SCIBORQ_RETURN_NOT_OK(store_->WriteCheckpoint(snap));
+  entry->metrics.checkpoint_seconds->Observe(watch.ElapsedSeconds());
+  return Status::OK();
 }
 
 Result<int64_t> Engine::CheckpointAll() {
@@ -437,9 +563,21 @@ Result<int64_t> Engine::CheckpointAll() {
 }
 
 Result<QueryOutcome> Engine::Query(std::string_view sql) {
+  Stopwatch parse_watch;
   SCIBORQ_ASSIGN_OR_RETURN(BoundedQuery bounded,
                            ParseBoundedQuery(std::string(sql)));
-  return Query(bounded);
+  const double parse_seconds = parse_watch.ElapsedSeconds();
+  Result<QueryOutcome> result = Query(bounded);
+  if (result.ok()) {
+    // Stitch the parse phase in front: the inner spans' epoch becomes the
+    // start of this call, so the trace covers the full text-in path.
+    // elapsed_seconds deliberately stays execution-only.
+    QueryOutcome& outcome = result.value();
+    for (PhaseSpan& span : outcome.spans) span.start_seconds += parse_seconds;
+    outcome.spans.insert(outcome.spans.begin(),
+                         PhaseSpan{"parse", 0.0, parse_seconds});
+  }
+  return result;
 }
 
 Result<QueryOutcome> Engine::Query(const BoundedQuery& bounded) {
@@ -454,6 +592,8 @@ Result<QueryOutcome> Engine::Query(const BoundedQuery& bounded,
         "query names no table: add a FROM clause (or route through a Session "
         "with a default table)");
   }
+  obs::PhaseTracer tracer;
+  tracer.Begin("plan");
   SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(query.table));
   const QualityBound bound = bounded.bounds.Resolve(options_.default_bound);
 
@@ -461,9 +601,11 @@ Result<QueryOutcome> Engine::Query(const BoundedQuery& bounded,
   QueryOutcome outcome;
   outcome.table = query.table;
   outcome.sql = bounded.ToString();
+  outcome.query_id = exec.query_id.empty() ? NextQueryId() : exec.query_id;
 
   {
     ReaderMutexLock data_lock(&entry->data_mu);
+    tracer.Begin("execute");
     BoundedAnswer answer;
     if (bounded.bounds.exact) {
       // EXACT short-circuits the escalation walk: no sample can serve the
@@ -505,11 +647,13 @@ Result<QueryOutcome> Engine::Query(const BoundedQuery& bounded,
     // workload_mu, against ingest's tracker reads via the data lock held
     // above. Deliberately after execution so a query never observes its own
     // interest update.
+    tracer.Begin("workload");
     {
       MutexLock workload_lock(&entry->workload_mu);
       entry->log.Record(bounded);
       if (entry->tracker) entry->tracker->ObserveQuery(query);
     }
+    tracer.End();
 
     outcome.rows = std::move(answer.rows);
     outcome.estimates = std::move(answer.estimates);
@@ -520,6 +664,41 @@ Result<QueryOutcome> Engine::Query(const BoundedQuery& bounded,
   }
   outcome.exact = outcome.answered_by == "base";
   outcome.elapsed_seconds = watch.ElapsedSeconds();
+  outcome.spans = tracer.Take();
+
+  // Contract accounting: the telemetry the bounded-quality promise is
+  // audited by (bound-miss rate, budget utilization, answer distribution).
+  TableEntry::Metrics& m = entry->metrics;
+  m.queries->Inc();
+  (outcome.error_bound_met ? m.bound_met : m.bound_missed)->Inc();
+  if (outcome.deadline_exceeded) m.deadline_exceeded->Inc();
+  m.latency->Observe(outcome.elapsed_seconds);
+  if (bound.time_budget_seconds > 0.0) {
+    m.budget_utilization->Observe(outcome.elapsed_seconds /
+                                  bound.time_budget_seconds);
+  }
+  if (!outcome.attempts.empty()) {
+    const double worst = outcome.attempts.back().worst_relative_error;
+    if (worst >= 0.0 && std::isfinite(worst)) m.error_margin->Observe(worst);
+  }
+  entry->AnswerCounter(outcome.answered_by)->Inc();
+
+  if (!outcome.error_bound_met || outcome.deadline_exceeded) {
+    obs::SlowQueryEntry slow;
+    slow.query_id = outcome.query_id;
+    slow.table = outcome.table;
+    slow.sql = outcome.sql;
+    slow.asked_max_ms = bound.time_budget_seconds * 1e3;
+    slow.asked_max_error = bound.max_relative_error;
+    slow.asked_confidence = bound.confidence;
+    slow.asked_exact = bounded.bounds.exact;
+    slow.error_bound_met = outcome.error_bound_met;
+    slow.deadline_exceeded = outcome.deadline_exceeded;
+    slow.elapsed_seconds = outcome.elapsed_seconds;
+    slow.answered_by = outcome.answered_by;
+    slow.trace = RenderTrace(outcome);
+    slow_log_.Record(std::move(slow));
+  }
   return outcome;
 }
 

@@ -10,6 +10,8 @@
 #include "core/bounded_executor.h"
 #include "core/hierarchy.h"
 #include "exec/query.h"
+#include "obs/slowlog.h"
+#include "obs/trace.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
@@ -55,6 +57,8 @@ struct EngineOptions {
   int query_threads = 1;
   /// Parallel-load shards per table (HierarchyOptions::load_shards).
   int load_shards = 1;
+  /// Entries held by the bound-miss / slow-query ring (0 disables it).
+  int64_t slow_log_capacity = 128;
 };
 
 /// The answer to one SQL query — the union of what BoundedExecutor::Answer
@@ -86,8 +90,22 @@ struct QueryOutcome {
   /// shard side of a coordinator fan-out).
   std::vector<std::vector<AggregateMoments>> partials;
 
+  // -- Trace fields. Identity and timing, not answer content: like
+  // elapsed_seconds they are ignored by EquivalentAnswers. --
+  /// Engine-assigned unless the caller propagated one
+  /// (QueryExecOptions::query_id — how a coordinator stitches shard traces).
+  std::string query_id;
+  /// Phase spans (parse, plan, execute, workload; a coordinator adds
+  /// fan-out/merge and the shards' spans under `shardN/` prefixes).
+  std::vector<PhaseSpan> spans;
+
   std::string ToString() const;
 };
+
+/// Renders an outcome's escalation attempts and phase spans as text, one
+/// line each — the trace field of slow-query ring entries (engine and
+/// coordinator alike).
+std::string RenderTrace(const QueryOutcome& outcome);
 
 /// Per-call execution knobs beyond the SQL's own bounds clause.
 struct QueryExecOptions {
@@ -97,6 +115,9 @@ struct QueryExecOptions {
   /// instead of failing, so a coordinator can merge sibling states into the
   /// global answer.
   bool mergeable = false;
+  /// Query id to carry through the outcome (trace stitching). Empty = the
+  /// engine assigns one.
+  std::string query_id;
 };
 
 /// One impression layer as seen through the catalog: its geometry plus how
@@ -334,6 +355,13 @@ class Engine {
   /// oldest first within the log window.
   Result<std::vector<std::string>> LoggedSql(const std::string& table) const;
 
+  /// The bound-miss / slow-query ring: every query whose quality or time
+  /// contract was not met, oldest first. Capacity is
+  /// EngineOptions::slow_log_capacity.
+  std::vector<obs::SlowQueryEntry> SlowQueries() const {
+    return slow_log_.Snapshot();
+  }
+
   const EngineOptions& options() const { return options_; }
 
  private:
@@ -396,6 +424,8 @@ class Engine {
       StatementHandle handle) const EXCLUDES(statements_mu_);
 
   EngineOptions options_;
+  /// Bound-miss ring (internally synchronized).
+  obs::SlowQueryLog slow_log_;
   /// Persistence backend; null for ephemeral engines.
   std::unique_ptr<TableStore> store_;
   /// Filled during Open (single-threaded); read-only afterwards.

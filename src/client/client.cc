@@ -66,14 +66,16 @@ Result<std::string> SciborqClient::RoundTrip(Opcode op,
 }
 
 Result<QueryOutcome> SciborqClient::QueryWithFlags(std::string_view sql,
-                                                   uint8_t flags) {
+                                                   uint8_t flags,
+                                                   std::string_view query_id) {
   WireWriter w;
   w.PutString(sql);
   w.PutU8(flags);
+  w.PutString(query_id);
   uint8_t version = kWireVersionV1;
   SCIBORQ_ASSIGN_OR_RETURN(
       const std::string payload,
-      RoundTrip(Opcode::kQuery, w.buffer(), kWireVersionV3, &version));
+      RoundTrip(Opcode::kQuery, w.buffer(), kWireVersionV4, &version));
   WireReader r(payload);
   SCIBORQ_ASSIGN_OR_RETURN(QueryOutcome outcome, DecodeOutcome(&r, version));
   SCIBORQ_RETURN_NOT_OK(r.ExpectEnd());
@@ -81,11 +83,12 @@ Result<QueryOutcome> SciborqClient::QueryWithFlags(std::string_view sql,
 }
 
 Result<QueryOutcome> SciborqClient::Query(std::string_view sql) {
-  return QueryWithFlags(sql, 0);
+  return QueryWithFlags(sql, 0, {});
 }
 
-Result<QueryOutcome> SciborqClient::QueryMergeable(std::string_view sql) {
-  return QueryWithFlags(sql, 0x1);
+Result<QueryOutcome> SciborqClient::QueryMergeable(std::string_view sql,
+                                                   std::string_view query_id) {
+  return QueryWithFlags(sql, 0x1, query_id);
 }
 
 Result<StatementInfo> SciborqClient::Prepare(std::string_view sql) {
@@ -183,5 +186,25 @@ Result<int64_t> SciborqClient::Checkpoint(const std::string& table) {
 }
 
 Status SciborqClient::Ping() { return RoundTrip(Opcode::kPing, "").status(); }
+
+Result<std::vector<obs::StatSample>> SciborqClient::ServerStats() {
+  SCIBORQ_ASSIGN_OR_RETURN(const std::string payload,
+                           RoundTrip(Opcode::kStats, ""));
+  WireReader r(payload);
+  SCIBORQ_ASSIGN_OR_RETURN(std::vector<obs::StatSample> samples,
+                           DecodeStatSamples(&r));
+  SCIBORQ_RETURN_NOT_OK(r.ExpectEnd());
+  return samples;
+}
+
+Result<std::vector<obs::SlowQueryEntry>> SciborqClient::SlowQueries() {
+  SCIBORQ_ASSIGN_OR_RETURN(const std::string payload,
+                           RoundTrip(Opcode::kSlowLog, ""));
+  WireReader r(payload);
+  SCIBORQ_ASSIGN_OR_RETURN(std::vector<obs::SlowQueryEntry> entries,
+                           DecodeSlowQueries(&r));
+  SCIBORQ_RETURN_NOT_OK(r.ExpectEnd());
+  return entries;
+}
 
 }  // namespace sciborq

@@ -51,7 +51,10 @@ class SciborqClient {
   /// Like Query, but asks the server to ship the Welford partials behind an
   /// exact answer (v3 mergeable flag) so the caller can compose this
   /// shard's outcome with others bit-exactly. Coordinator fan-out path.
-  Result<QueryOutcome> QueryMergeable(std::string_view sql);
+  /// `query_id`, when given, is carried into the shard's outcome (v4) so a
+  /// coordinator can stitch per-shard traces under one id.
+  Result<QueryOutcome> QueryMergeable(std::string_view sql,
+                                      std::string_view query_id = {});
 
   /// Prepares a `?` template on the server (parsed once, server-side). The
   /// returned info carries the handle id, the normalized template SQL, and
@@ -95,6 +98,15 @@ class SciborqClient {
   /// Round-trip liveness check.
   Status Ping();
 
+  /// Snapshot of the server's metrics registry (v4 stats opcode): every
+  /// counter/gauge/histogram series flattened into named samples — what
+  /// `sciborq_cli \stats` renders.
+  Result<std::vector<obs::StatSample>> ServerStats();
+
+  /// The server's bound-miss/slow-query ring buffer, oldest first (v4
+  /// slow_log opcode) — what `sciborq_cli \slow` renders.
+  Result<std::vector<obs::SlowQueryEntry>> SlowQueries();
+
   /// Re-arms the response deadline on the live connection (0 = no deadline).
   Status SetRecvTimeout(int timeout_ms) {
     return conn_.SetRecvTimeout(timeout_ms);
@@ -116,8 +128,10 @@ class SciborqClient {
                                 uint8_t version = 0,
                                 uint8_t* response_version = nullptr);
 
-  /// Query with an explicit v3 flags byte (bit 0 = mergeable).
-  Result<QueryOutcome> QueryWithFlags(std::string_view sql, uint8_t flags);
+  /// Query with an explicit v3 flags byte (bit 0 = mergeable) and a v4
+  /// query id (empty = server assigns).
+  Result<QueryOutcome> QueryWithFlags(std::string_view sql, uint8_t flags,
+                                      std::string_view query_id);
 
   TcpConn conn_;
   ClientOptions options_;

@@ -7,11 +7,33 @@
 
 #include "column/csv.h"
 #include "exec/parser.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace sciborq {
+
+namespace {
+
+/// Distinct `instance` label per coordinator object (mirrors the server's
+/// scheme) so tests running several coordinators keep exact per-instance
+/// counters.
+std::string NextCoordInstance() {
+  static std::atomic<int64_t> next{0};
+  return StrFormat("coord-%lld", static_cast<long long>(next.fetch_add(
+                                     1, std::memory_order_relaxed)));
+}
+
+/// Coordinator-side query-id source; the `qc-` prefix keeps coordinator ids
+/// from colliding with engine-assigned `q-` ids in mixed traces.
+std::string NextCoordQueryId() {
+  static std::atomic<int64_t> next{1};
+  return StrFormat("qc-%lld", static_cast<long long>(next.fetch_add(
+                                  1, std::memory_order_relaxed)));
+}
+
+}  // namespace
 
 SciborqCoordinator::SciborqCoordinator(ShardMap shards,
                                        CoordinatorOptions options)
@@ -25,6 +47,42 @@ SciborqCoordinator::SciborqCoordinator(ShardMap shards,
   }
   fanout_pool_ =
       std::make_unique<ThreadPool>(static_cast<int>(std::max<size_t>(1, widest)));
+
+  obs::Registry* reg = obs::DefaultRegistry();
+  const std::string instance = NextCoordInstance();
+  const obs::Labels by_instance = {{"instance", instance}};
+  metrics_.connections_accepted =
+      reg->GetCounter("sciborq_coord_connections_total",
+                      "TCP connections accepted.", by_instance);
+  metrics_.queries_served =
+      reg->GetCounter("sciborq_coord_queries_total",
+                      "Distributed queries merged and answered.", by_instance);
+  metrics_.protocol_errors =
+      reg->GetCounter("sciborq_coord_protocol_errors_total",
+                      "Undecodable or misframed requests.", by_instance);
+  metrics_.partial_answers = reg->GetCounter(
+      "sciborq_coord_partial_answers_total",
+      "Merged answers missing at least one shard (PARTIAL).", by_instance);
+  metrics_.deadline_exceeded = reg->GetCounter(
+      "sciborq_coord_deadline_exceeded_total",
+      "Merged answers that blew the client's time budget.", by_instance);
+  metrics_.shard_errors = reg->GetCounter(
+      "sciborq_coord_shard_errors_total",
+      "Shard round trips that failed (timeout, refusal, error).", by_instance);
+  metrics_.query_seconds = reg->GetHistogram(
+      "sciborq_coord_query_seconds",
+      "Distributed query wall clock (fan-out + merge).",
+      obs::DefaultLatencyBounds(), by_instance);
+  // The shard set is fixed at construction, so per-shard series pre-register
+  // here and fan-out tasks read the map without locks.
+  for (const ShardEndpoint& endpoint : shards_.AllEndpoints()) {
+    const std::string key = endpoint.ToString();
+    metrics_.shard_rtt.emplace(
+        key, reg->GetHistogram("sciborq_coord_shard_rtt_seconds",
+                               "Per-shard query round-trip latency.",
+                               obs::DefaultLatencyBounds(),
+                               {{"instance", instance}, {"shard", key}}));
+  }
 }
 
 SciborqCoordinator::~SciborqCoordinator() { Stop(); }
@@ -67,7 +125,7 @@ void SciborqCoordinator::AcceptLoop() {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.connections_accepted->Inc();
     auto conn = std::make_shared<TcpConn>(std::move(accepted).value());
     int64_t id;
     {
@@ -90,7 +148,7 @@ void SciborqCoordinator::HandleConnection(std::shared_ptr<TcpConn> conn) {
     Result<std::optional<std::string>> frame =
         conn->RecvFrame(options_.max_frame_bytes);
     if (!frame.ok()) {
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.protocol_errors->Inc();
       (void)conn->SendFrame(
           EncodeResponse(Opcode::kInvalid, frame.status(), ""));
       break;
@@ -98,7 +156,7 @@ void SciborqCoordinator::HandleConnection(std::shared_ptr<TcpConn> conn) {
     if (!frame->has_value()) break;
     Result<RequestFrame> request = DecodeRequest(**frame);
     if (!request.ok()) {
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.protocol_errors->Inc();
       (void)conn->SendFrame(
           EncodeResponse(Opcode::kInvalid, request.status(), ""));
       break;
@@ -170,7 +228,8 @@ Status SciborqCoordinator::FillSessionDefaults(const CoordSession& session,
 }
 
 Result<QueryOutcome> SciborqCoordinator::DistributedQuery(
-    CoordSession* session, const BoundedQuery& bounded) {
+    CoordSession* session, const BoundedQuery& bounded,
+    std::string query_id) {
   const std::vector<ShardEndpoint>& endpoints =
       shards_.ShardsFor(bounded.query.table);
   if (endpoints.empty()) {
@@ -178,7 +237,12 @@ Result<QueryOutcome> SciborqCoordinator::DistributedQuery(
         "no shards mapped for table '%s'", bounded.query.table.c_str()));
   }
 
+  if (query_id.empty()) query_id = NextCoordQueryId();
+  // The wall clock starts before the tracer's origin, so every span's end
+  // stays <= the reported elapsed_seconds.
   Stopwatch wall;
+  obs::PhaseTracer tracer;
+  tracer.Begin("plan");
   const BudgetSplit split = SplitBudget(bounded.bounds.time_budget_ms);
   QueryBounds shard_bounds = bounded.bounds;
   if (bounded.bounds.time_budget_ms > 0.0) {
@@ -194,6 +258,8 @@ Result<QueryOutcome> SciborqCoordinator::DistributedQuery(
     slots.push_back(SlotFor(session, endpoint));
   }
 
+  tracer.Begin("fanout");
+  const double fanout_start = tracer.ElapsedSeconds();
   std::vector<ShardAnswer> answers(endpoints.size());
   ParallelFor(fanout_pool_.get(), static_cast<int64_t>(endpoints.size()), 1,
               [&](int64_t i, int64_t, int64_t) {
@@ -205,7 +271,7 @@ Result<QueryOutcome> SciborqCoordinator::DistributedQuery(
                                             split.recv_timeout_ms);
                 if (st.ok()) {
                   Result<QueryOutcome> outcome =
-                      slots[s]->client->QueryMergeable(shard_sql);
+                      slots[s]->client->QueryMergeable(shard_sql, query_id);
                   if (outcome.ok()) {
                     answer.outcome = std::move(outcome).value();
                   } else {
@@ -214,14 +280,21 @@ Result<QueryOutcome> SciborqCoordinator::DistributedQuery(
                 }
                 if (!st.ok()) {
                   answer.status = std::move(st);
+                  metrics_.shard_errors->Inc();
                   // A timed-out or broken connection cannot be reused — the
                   // late response would desync the stream. Reconnect lazily
                   // on the next query.
                   slots[s]->client.reset();
                 }
                 answer.elapsed_seconds = timer.ElapsedSeconds();
+                const auto rtt =
+                    metrics_.shard_rtt.find(endpoints[s].ToString());
+                if (rtt != metrics_.shard_rtt.end()) {
+                  rtt->second->Observe(answer.elapsed_seconds);
+                }
               });
 
+  tracer.Begin("merge");
   MergeOptions merge_options;
   for (const AggregateSpec& spec : bounded.query.aggregates) {
     merge_options.aggregates.push_back(spec);
@@ -235,7 +308,40 @@ Result<QueryOutcome> SciborqCoordinator::DistributedQuery(
   merged.table = bounded.query.table;
   merged.sql = RenderSql(bounded.query, bounded.bounds);
   merged.elapsed_seconds = wall.ElapsedSeconds();
-  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  merged.query_id = query_id;
+  merged.spans = tracer.Take();
+  // Stitch the shards' traces into the coordinator's timeline: each shard's
+  // spans ride under a `shardN/` prefix, starts offset by the moment the
+  // fan-out began (shard-local zero = coordinator's fan-out start).
+  for (const ShardAnswer& answer : answers) {
+    if (!answer.status.ok()) continue;
+    for (const PhaseSpan& span : answer.outcome.spans) {
+      merged.spans.push_back({answer.label + "/" + span.name,
+                              fanout_start + span.start_seconds,
+                              span.duration_seconds});
+    }
+  }
+
+  metrics_.queries_served->Inc();
+  metrics_.query_seconds->Observe(merged.elapsed_seconds);
+  if (merged.partial) metrics_.partial_answers->Inc();
+  if (merged.deadline_exceeded) metrics_.deadline_exceeded->Inc();
+  if (!merged.error_bound_met || merged.deadline_exceeded || merged.partial) {
+    obs::SlowQueryEntry slow;
+    slow.query_id = merged.query_id;
+    slow.table = merged.table;
+    slow.sql = merged.sql;
+    slow.asked_max_ms = bounded.bounds.time_budget_ms;
+    slow.asked_max_error = bounded.bounds.max_relative_error;
+    slow.asked_confidence = bounded.bounds.confidence;
+    slow.asked_exact = bounded.bounds.exact;
+    slow.error_bound_met = merged.error_bound_met;
+    slow.deadline_exceeded = merged.deadline_exceeded;
+    slow.elapsed_seconds = merged.elapsed_seconds;
+    slow.answered_by = merged.answered_by;
+    slow.trace = RenderTrace(merged);
+    slow_log_.Record(std::move(slow));
+  }
   return merged;
 }
 
@@ -406,6 +512,14 @@ std::string SciborqCoordinator::HandleRequest(const RequestFrame& request,
           return EncodeResponse(request.opcode, flags.status(), "", version);
         }
       }
+      std::string query_id;
+      if (version >= kWireVersionV4) {
+        Result<std::string> id = payload.ReadString();
+        if (!id.ok()) {
+          return EncodeResponse(request.opcode, id.status(), "", version);
+        }
+        query_id = std::move(*id);
+      }
       if (Status st = payload.ExpectEnd(); !st.ok()) {
         return EncodeResponse(request.opcode, st, "", version);
       }
@@ -416,7 +530,8 @@ std::string SciborqCoordinator::HandleRequest(const RequestFrame& request,
       if (Status st = FillSessionDefaults(*session, &*bounded); !st.ok()) {
         return EncodeResponse(request.opcode, st, "", version);
       }
-      Result<QueryOutcome> outcome = DistributedQuery(session, *bounded);
+      Result<QueryOutcome> outcome =
+          DistributedQuery(session, *bounded, std::move(query_id));
       if (!outcome.ok()) {
         return EncodeResponse(request.opcode, outcome.status(), "", version);
       }
@@ -639,6 +754,24 @@ std::string SciborqCoordinator::HandleRequest(const RequestFrame& request,
       }
       WireWriter w;
       w.PutI64(*rows);
+      return EncodeResponse(request.opcode, Status::OK(), w.buffer(), version);
+    }
+    case Opcode::kStats: {
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      // The whole process registry: this coordinator's own series plus any
+      // in-process shard engines' (the test topology).
+      WireWriter w;
+      EncodeStatSamples(obs::DefaultRegistry()->Samples(), &w);
+      return EncodeResponse(request.opcode, Status::OK(), w.buffer(), version);
+    }
+    case Opcode::kSlowLog: {
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      WireWriter w;
+      EncodeSlowQueries(SlowQueries(), &w);
       return EncodeResponse(request.opcode, Status::OK(), w.buffer(), version);
     }
     case Opcode::kInvalid:

@@ -15,6 +15,8 @@
 #include "coord/merge.h"
 #include "coord/shard_map.h"
 #include "exec/query.h"
+#include "obs/metrics.h"
+#include "obs/slowlog.h"
 #include "server/socket.h"
 #include "server/wire.h"
 #include "util/thread_annotations.h"
@@ -101,9 +103,23 @@ class SciborqCoordinator {
   /// Merged catalog: per-table totals with the shard count.
   Result<std::vector<TableInfo>> ListTables();
 
-  int64_t connections_accepted() const { return connections_accepted_.load(); }
-  int64_t queries_served() const { return queries_served_.load(); }
-  int64_t protocol_errors() const { return protocol_errors_.load(); }
+  // Thin reads of this instance's registry counters (each coordinator gets
+  // its own `instance`-labeled series; see obs/metrics.h).
+  int64_t connections_accepted() const {
+    return metrics_.connections_accepted->Value();
+  }
+  int64_t queries_served() const { return metrics_.queries_served->Value(); }
+  int64_t protocol_errors() const { return metrics_.protocol_errors->Value(); }
+  int64_t partial_answers() const { return metrics_.partial_answers->Value(); }
+  int64_t deadlines_exceeded() const {
+    return metrics_.deadline_exceeded->Value();
+  }
+
+  /// The coordinator's own bound-miss/degraded-answer ring (merged
+  /// outcomes), oldest first — served over the wire via the slow_log opcode.
+  std::vector<obs::SlowQueryEntry> SlowQueries() const {
+    return slow_log_.Snapshot();
+  }
 
  private:
   /// One shard client slot; owned by a session, touched by exactly one
@@ -143,9 +159,13 @@ class SciborqCoordinator {
                          int recv_timeout_ms);
 
   /// Fans `bounded` out over its table's shards and merges. The session
-  /// provides the per-shard connections.
+  /// provides the per-shard connections. `query_id` (empty = the
+  /// coordinator assigns one) is propagated to every shard and stamped on
+  /// the merged outcome, whose spans stitch the coordinator's own phases
+  /// (plan/fanout/merge) with each shard's spans under `shardN/` prefixes.
   Result<QueryOutcome> DistributedQuery(CoordSession* session,
-                                        const BoundedQuery& bounded);
+                                        const BoundedQuery& bounded,
+                                        std::string query_id = {});
 
   /// Fills the session's default table/bounds into a parsed query, exactly
   /// like api/Session does for a single node.
@@ -182,9 +202,24 @@ class SciborqCoordinator {
   std::unordered_map<int64_t, TcpConn*> active_conns_ GUARDED_BY(conns_mu_);
   int64_t next_conn_id_ GUARDED_BY(conns_mu_) = 0;
 
-  std::atomic<int64_t> connections_accepted_{0};
-  std::atomic<int64_t> queries_served_{0};
-  std::atomic<int64_t> protocol_errors_{0};
+  /// This instance's series in the process registry (obs/metrics.h),
+  /// resolved once in the constructor. Pointees are internally atomic;
+  /// shard_rtt is keyed by endpoint ("host:port") and immutable after
+  /// construction, so fan-out tasks read it lock-free.
+  struct Metrics {
+    obs::Counter* connections_accepted = nullptr;
+    obs::Counter* queries_served = nullptr;
+    obs::Counter* protocol_errors = nullptr;
+    obs::Counter* partial_answers = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
+    obs::Counter* shard_errors = nullptr;
+    obs::Histogram* query_seconds = nullptr;
+    std::unordered_map<std::string, obs::Histogram*> shard_rtt;
+  };
+  Metrics metrics_;
+
+  /// Merged outcomes that missed a bound or degraded (PARTIAL / deadline).
+  obs::SlowQueryLog slow_log_;
 };
 
 }  // namespace sciborq

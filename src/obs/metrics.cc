@@ -1,0 +1,296 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace sciborq {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// Adds `delta` to an atomic double (no fetch_add for doubles in C++17).
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+/// Prometheus label values escape backslash, double-quote, and newline.
+std::string EscapeLabelValue(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders a sample value: integers without a decimal point (what
+/// Prometheus emits for counters), full precision otherwise.
+std::string RenderValue(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Splices `extra` (e.g. `le="0.005"`) into an already-rendered label set.
+std::string LabelsWith(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  std::string out = labels;
+  out.insert(out.size() - 1, "," + extra);
+  return out;
+}
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Gauge::Add(double delta) {
+  if (Enabled()) AtomicAddDouble(&value_, delta);
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    SCIBORQ_DCHECK(bounds_[i] > bounds_[i - 1]);
+  }
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  if (!Enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t idx = static_cast<size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, v);
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::vector<double> DefaultLatencyBounds() {
+  return {1e-4,   2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+          1e-1,   2.5e-1, 5e-1, 1.0,  2.5,    5.0,  10.0, 30.0};
+}
+
+std::vector<double> RatioBounds() {
+  return {0.01, 0.025, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5,
+          0.6,  0.7,   0.8,  0.9, 1.0, 1.5, 2.0};
+}
+
+std::vector<double> ExponentialBounds(double start, double factor, int count) {
+  SCIBORQ_DCHECK(start > 0 && factor > 1 && count > 0);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i) out += ",";
+    out += sorted[i].first + "=\"" + EscapeLabelValue(sorted[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+Registry::Family* Registry::GetFamily(const std::string& name, Kind kind,
+                                      const std::string& help) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.kind = kind;
+    family.help = help;
+    it = families_.emplace(name, std::move(family)).first;
+  }
+  SCIBORQ_DCHECK(it->second.kind == kind);
+  return &it->second;
+}
+
+Counter* Registry::GetCounter(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  MutexLock lock(&mu_);
+  Family* family = GetFamily(name, Kind::kCounter, help);
+  const std::string key = RenderLabels(labels);
+  Series& series = family->series[key];
+  if (!series.counter) {
+    series.labels = key;
+    series.counter = std::make_unique<Counter>();
+  }
+  return series.counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& help,
+                          const Labels& labels) {
+  MutexLock lock(&mu_);
+  Family* family = GetFamily(name, Kind::kGauge, help);
+  const std::string key = RenderLabels(labels);
+  Series& series = family->series[key];
+  if (!series.gauge) {
+    series.labels = key;
+    series.gauge = std::make_unique<Gauge>();
+  }
+  return series.gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& help,
+                                  std::vector<double> bounds,
+                                  const Labels& labels) {
+  MutexLock lock(&mu_);
+  Family* family = GetFamily(name, Kind::kHistogram, help);
+  if (family->bounds.empty()) family->bounds = bounds;
+  const std::string key = RenderLabels(labels);
+  Series& series = family->series[key];
+  if (!series.histogram) {
+    series.labels = key;
+    // The family's first-registered bounds win so every series in the
+    // family shares a bucket layout (a Prometheus requirement).
+    series.histogram = std::make_unique<Histogram>(family->bounds);
+  }
+  return series.histogram.get();
+}
+
+std::string Registry::RenderPrometheus() const {
+  MutexLock lock(&mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name + " ";
+    switch (family.kind) {
+      case Kind::kCounter:
+        out += "counter\n";
+        break;
+      case Kind::kGauge:
+        out += "gauge\n";
+        break;
+      case Kind::kHistogram:
+        out += "histogram\n";
+        break;
+    }
+    for (const auto& [labels, series] : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          out += name + labels + " " +
+                 RenderValue(static_cast<double>(series.counter->Value())) +
+                 "\n";
+          break;
+        case Kind::kGauge:
+          out += name + labels + " " + RenderValue(series.gauge->Value()) +
+                 "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          const std::vector<int64_t> counts = h.BucketCounts();
+          int64_t cumulative = 0;
+          for (size_t i = 0; i < h.bounds().size(); ++i) {
+            cumulative += counts[i];
+            out += name + "_bucket" +
+                   LabelsWith(labels,
+                              "le=\"" + RenderValue(h.bounds()[i]) + "\"") +
+                   " " + RenderValue(static_cast<double>(cumulative)) + "\n";
+          }
+          cumulative += counts[h.bounds().size()];
+          out += name + "_bucket" + LabelsWith(labels, "le=\"+Inf\"") + " " +
+                 RenderValue(static_cast<double>(cumulative)) + "\n";
+          out += name + "_sum" + labels + " " + RenderValue(h.Sum()) + "\n";
+          out += name + "_count" + labels + " " +
+                 RenderValue(static_cast<double>(h.Count())) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<StatSample> Registry::Samples() const {
+  MutexLock lock(&mu_);
+  std::vector<StatSample> samples;
+  for (const auto& [name, family] : families_) {
+    for (const auto& [labels, series] : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          samples.push_back(
+              {name, labels, static_cast<double>(series.counter->Value())});
+          break;
+        case Kind::kGauge:
+          samples.push_back({name, labels, series.gauge->Value()});
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          const std::vector<int64_t> counts = h.BucketCounts();
+          int64_t cumulative = 0;
+          for (size_t i = 0; i < h.bounds().size(); ++i) {
+            cumulative += counts[i];
+            samples.push_back(
+                {name + "_bucket",
+                 LabelsWith(labels,
+                            "le=\"" + RenderValue(h.bounds()[i]) + "\""),
+                 static_cast<double>(cumulative)});
+          }
+          cumulative += counts[h.bounds().size()];
+          samples.push_back({name + "_bucket",
+                             LabelsWith(labels, "le=\"+Inf\""),
+                             static_cast<double>(cumulative)});
+          samples.push_back({name + "_sum", labels, h.Sum()});
+          samples.push_back(
+              {name + "_count", labels, static_cast<double>(h.Count())});
+          break;
+        }
+      }
+    }
+  }
+  return samples;
+}
+
+Registry* DefaultRegistry() {
+  static Registry* const registry = new Registry();
+  return registry;
+}
+
+}  // namespace obs
+}  // namespace sciborq

@@ -1,0 +1,168 @@
+#ifndef SCIBORQ_OBS_METRICS_H_
+#define SCIBORQ_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace sciborq {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// A small Prometheus-flavored metrics registry. Hot-path updates (Inc,
+// Observe, Set) are single relaxed atomic ops on pointers the caller cached
+// at registration time — no lock, no map lookup, no allocation. The registry
+// mutex is only taken on registration (GetOrCreate of a new labeled series)
+// and on scrape (RenderPrometheus / Samples), both cold paths.
+//
+// Instruments are identified by (name, sorted label set). Registered series
+// are never destroyed until the registry dies, so the pointers handed out
+// are stable for the process lifetime — the same contract Engine gives for
+// TableEntry pointers.
+// ---------------------------------------------------------------------------
+
+/// Process-wide instrumentation switch. When disabled, Inc/Add/Set/Observe
+/// become a single relaxed load + branch — the baseline the bench overhead
+/// gate compares against. Scrapes still work (they read whatever was
+/// recorded while enabled). Defaults to enabled.
+void SetEnabled(bool enabled);
+bool Enabled();
+
+/// One `key="value"` pair; a series is keyed by its sorted list of these.
+using Label = std::pair<std::string, std::string>;
+using Labels = std::vector<Label>;
+
+/// Monotonically increasing 64-bit counter.
+class Counter {
+ public:
+  void Inc(int64_t n = 1) {
+    if (Enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A double that can go up and down (queue depths, warning counts, ratios).
+class Gauge {
+ public:
+  void Set(double v) {
+    if (Enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with cumulative-on-scrape semantics (Prometheus
+/// `le` buckets). Observe is lock-free: one atomic increment on the bucket
+/// whose upper bound first contains the value, one on the total count, and a
+/// CAS-add on the running sum.
+class Histogram {
+ public:
+  /// `bounds` are the finite upper bucket bounds, strictly increasing; an
+  /// implicit +Inf bucket is always appended.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts, one per bound plus the +Inf bucket.
+  std::vector<int64_t> BucketCounts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Log-spaced latency bounds from 100us to 30s — the default for every
+/// *_seconds histogram in the system.
+std::vector<double> DefaultLatencyBounds();
+/// Linear [0, 1] ratio bounds for utilization / error-margin histograms.
+std::vector<double> RatioBounds();
+/// `count` bounds starting at `start`, each `factor` times the previous.
+std::vector<double> ExponentialBounds(double start, double factor, int count);
+
+/// One flattened sample, the unit the wire `stats` opcode ships. Histograms
+/// flatten Prometheus-style into `<name>_bucket{le=...}`, `<name>_sum`, and
+/// `<name>_count` samples.
+struct StatSample {
+  std::string name;    ///< e.g. "sciborq_queries_total"
+  std::string labels;  ///< rendered, e.g. `{table="sky"}`; empty when none
+  double value = 0.0;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create the series for (name, labels). The help string and (for
+  /// histograms) bucket bounds are fixed by the first registration of a
+  /// name; later calls with the same name reuse them. Returned pointers are
+  /// valid for the registry's lifetime — cache them on hot paths.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const Labels& labels = {}) EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const Labels& labels = {}) EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds,
+                          const Labels& labels = {}) EXCLUDES(mu_);
+
+  /// Prometheus text exposition format 0.0.4: HELP/TYPE per family, series
+  /// sorted by (name, labels) so output is deterministic and golden-testable.
+  std::string RenderPrometheus() const EXCLUDES(mu_);
+
+  /// Every series flattened to StatSamples, sorted like RenderPrometheus.
+  std::vector<StatSample> Samples() const EXCLUDES(mu_);
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    std::string labels;  // rendered `{k="v",...}` or empty
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    Kind kind;
+    std::string help;
+    std::vector<double> bounds;            // histograms only
+    std::map<std::string, Series> series;  // keyed by rendered labels
+  };
+
+  Family* GetFamily(const std::string& name, Kind kind,
+                    const std::string& help) REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::string, Family> families_ GUARDED_BY(mu_);
+};
+
+/// The process-wide registry every subsystem registers into. The `stats`
+/// wire opcode and the `/metrics` HTTP endpoint both scrape this one.
+Registry* DefaultRegistry();
+
+/// Renders a label set the way the registry keys series: sorted by key,
+/// values escaped, `{k="v",k2="v2"}` (empty string for no labels).
+std::string RenderLabels(const Labels& labels);
+
+}  // namespace obs
+}  // namespace sciborq
+
+#endif  // SCIBORQ_OBS_METRICS_H_

@@ -1,0 +1,108 @@
+#include "obs/metrics_http.h"
+
+#include <string>
+
+#include "util/string_util.h"
+
+namespace sciborq {
+namespace obs {
+
+namespace {
+
+/// Parses "GET /path ..." out of a raw request head; empty on anything else.
+std::string RequestPath(std::string_view head) {
+  if (head.substr(0, 4) != "GET ") return "";
+  head.remove_prefix(4);
+  const size_t end = head.find_first_of(" \r\n");
+  if (end == std::string_view::npos) return "";
+  return std::string(head.substr(0, end));
+}
+
+std::string HttpResponse(int code, std::string_view reason,
+                         std::string_view content_type,
+                         std::string_view body) {
+  std::string out = StrFormat(
+      "HTTP/1.1 %d %.*s\r\n"
+      "Content-Type: %.*s\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n"
+      "\r\n",
+      code, static_cast<int>(reason.size()), reason.data(),
+      static_cast<int>(content_type.size()), content_type.data(), body.size());
+  out.append(body.data(), body.size());
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(Registry* registry, int port)
+    : registry_(registry), requested_port_(port) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+Status MetricsHttpServer::Start() {
+  if (started_.load()) {
+    return Status::FailedPrecondition("metrics server already started");
+  }
+  auto listener = TcpListener::Bind(requested_port_);
+  if (!listener.ok()) return listener.status();
+  listener_.emplace(std::move(listener).value());
+  port_ = listener_->port();
+  started_.store(true);
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  if (!started_.load() || stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  listener_->Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.reset();
+  started_.store(false);
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto conn = listener_->Accept();
+    if (!conn.ok()) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    // Scrapes are rare and cheap; handling inline keeps the server one
+    // thread. A stalled scraper can't wedge us forever: 2s receive budget.
+    HandleConnection(std::move(conn).value());
+  }
+}
+
+void MetricsHttpServer::HandleConnection(TcpConn conn) {
+  (void)conn.SetRecvTimeout(2000);
+  std::string head;
+  char buf[1024];
+  // Read until the end of the request head; the request body (none for GET)
+  // is irrelevant, so stop at the blank line or a sane size cap.
+  while (head.find("\r\n\r\n") == std::string::npos && head.size() < 8192) {
+    auto n = conn.RecvSome(buf, sizeof(buf));
+    if (!n.ok() || n.value() == 0) break;
+    head.append(buf, static_cast<size_t>(n.value()));
+  }
+  if (head.empty()) return;
+  const std::string path = RequestPath(head);
+  std::string response;
+  if (path == "/metrics") {
+    response = HttpResponse(200, "OK",
+                            "text/plain; version=0.0.4; charset=utf-8",
+                            registry_->RenderPrometheus());
+  } else {
+    response = HttpResponse(404, "Not Found", "text/plain",
+                            "only /metrics lives here\n");
+  }
+  (void)conn.SendRaw(response);
+  conn.Shutdown();
+}
+
+}  // namespace obs
+}  // namespace sciborq

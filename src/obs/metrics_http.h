@@ -1,0 +1,51 @@
+#ifndef SCIBORQ_OBS_METRICS_HTTP_H_
+#define SCIBORQ_OBS_METRICS_HTTP_H_
+
+#include <atomic>
+#include <optional>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "server/socket.h"
+#include "util/status.h"
+
+namespace sciborq {
+namespace obs {
+
+/// A deliberately tiny HTTP/1.0-style server that serves exactly one
+/// resource: `GET /metrics` → the registry's Prometheus text exposition.
+/// Anything else gets a 404. Every response closes the connection, so no
+/// keep-alive bookkeeping exists. One accept thread, requests handled
+/// inline — a scrape every few seconds is the design load, not a web tier.
+class MetricsHttpServer {
+ public:
+  /// `registry` is non-owning and must outlive the server. Port 0 picks a
+  /// free ephemeral port (port() reports the bound one).
+  explicit MetricsHttpServer(Registry* registry, int port = 0);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(TcpConn conn);
+
+  Registry* registry_;
+  int requested_port_;
+  int port_ = -1;
+  std::optional<TcpListener> listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace obs
+}  // namespace sciborq
+
+#endif  // SCIBORQ_OBS_METRICS_HTTP_H_

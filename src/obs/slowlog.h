@@ -1,0 +1,89 @@
+#ifndef SCIBORQ_OBS_SLOWLOG_H_
+#define SCIBORQ_OBS_SLOWLOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace sciborq {
+namespace obs {
+
+/// One bound-miss / slow-query record: what was asked, what was delivered,
+/// and the full escalation trace — the forensic unit the `\slow` CLI command
+/// dumps. `trace` is pre-rendered text (one line per layer attempt and
+/// phase span) so the record survives the wire without dragging the full
+/// QueryOutcome along.
+struct SlowQueryEntry {
+  std::string query_id;
+  std::string table;
+  std::string sql;
+  /// Bounds asked: the resolved query bound (<=0 means unbounded / unset).
+  double asked_max_ms = 0.0;
+  double asked_max_error = 0.0;
+  double asked_confidence = 0.0;
+  bool asked_exact = false;
+  /// Bounds delivered.
+  bool error_bound_met = false;
+  bool deadline_exceeded = false;
+  double elapsed_seconds = 0.0;
+  std::string answered_by;
+  std::string trace;
+};
+
+/// Fixed-capacity ring of SlowQueryEntry, newest overwriting oldest. Writes
+/// are off the happy path (only bound misses / deadline blows record), so a
+/// plain mutex is the right tool — no lock-free heroics for a cold buffer.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity = 128) : capacity_(capacity) {}
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  void Record(SlowQueryEntry entry) EXCLUDES(mu_) {
+    if (capacity_ == 0) return;
+    MutexLock lock(&mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(entry));
+    } else {
+      ring_[next_] = std::move(entry);
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++recorded_;
+  }
+
+  /// Entries oldest-first (the order they were recorded).
+  std::vector<SlowQueryEntry> Snapshot() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    std::vector<SlowQueryEntry> out;
+    out.reserve(ring_.size());
+    if (ring_.size() < capacity_) {
+      out = ring_;
+    } else {
+      for (size_t i = 0; i < ring_.size(); ++i) {
+        out.push_back(ring_[(next_ + i) % capacity_]);
+      }
+    }
+    return out;
+  }
+
+  /// Total entries ever recorded (>= Snapshot().size() once the ring wraps).
+  int64_t recorded() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return recorded_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mu_;
+  std::vector<SlowQueryEntry> ring_ GUARDED_BY(mu_);
+  size_t next_ GUARDED_BY(mu_) = 0;
+  int64_t recorded_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace obs
+}  // namespace sciborq
+
+#endif  // SCIBORQ_OBS_SLOWLOG_H_

@@ -1,0 +1,70 @@
+#ifndef SCIBORQ_OBS_TRACE_H_
+#define SCIBORQ_OBS_TRACE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace sciborq {
+
+/// One monotonic phase of a query's life (parse, plan, execute, merge, ...).
+/// `start_seconds` is relative to the query's own start on the process that
+/// ran the phase; durations are wall-clock. The coordinator stitches shard
+/// spans into its own timeline under `shardN/` prefixes, offsetting their
+/// starts by the moment the fan-out began.
+struct PhaseSpan {
+  std::string name;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
+namespace obs {
+
+/// Records sequential, non-overlapping PhaseSpans against one monotonic
+/// clock. Single-threaded by design — each query owns one tracer on its own
+/// stack. Begin() closes any open span, so straight-line instrumentation is
+/// just Begin("parse") ... Begin("plan") ... Begin("execute") ... Take().
+class PhaseTracer {
+ public:
+  PhaseTracer() = default;
+
+  void Begin(std::string name) {
+    End();
+    open_ = true;
+    open_name_ = std::move(name);
+    open_start_ = clock_.ElapsedSeconds();
+  }
+
+  void End() {
+    if (!open_) return;
+    open_ = false;
+    spans_.push_back(
+        {std::move(open_name_), open_start_,
+         clock_.ElapsedSeconds() - open_start_});
+  }
+
+  /// Appends an externally-measured span (the stitching path).
+  void Add(PhaseSpan span) { spans_.push_back(std::move(span)); }
+
+  double ElapsedSeconds() const { return clock_.ElapsedSeconds(); }
+
+  /// Closes the open span (if any) and surrenders the recorded list.
+  std::vector<PhaseSpan> Take() {
+    End();
+    return std::move(spans_);
+  }
+
+ private:
+  Stopwatch clock_;
+  std::vector<PhaseSpan> spans_;
+  bool open_ = false;
+  std::string open_name_;
+  double open_start_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace sciborq
+
+#endif  // SCIBORQ_OBS_TRACE_H_

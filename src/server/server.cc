@@ -5,12 +5,56 @@
 #include <utility>
 
 #include "api/session.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
 
 namespace sciborq {
+
+namespace {
+
+/// Distinct `instance` label per server object, so several servers in one
+/// process (the test and coordinator shapes) keep exact per-instance series.
+std::string NextServerInstance() {
+  static std::atomic<int64_t> next{0};
+  return StrFormat("server-%lld", static_cast<long long>(next.fetch_add(
+                                      1, std::memory_order_relaxed)));
+}
+
+}  // namespace
 
 SciborqServer::SciborqServer(Engine* engine, ServerOptions options)
     : engine_(engine), options_(options) {
   SCIBORQ_CHECK(engine_ != nullptr);
+  obs::Registry* reg = obs::DefaultRegistry();
+  const obs::Labels by_instance = {{"instance", NextServerInstance()}};
+  metrics_.connections_accepted =
+      reg->GetCounter("sciborq_server_connections_total",
+                      "TCP connections accepted.", by_instance);
+  metrics_.queries_served = reg->GetCounter(
+      "sciborq_server_queries_total",
+      "Query/Execute requests received (before execution).", by_instance);
+  metrics_.statements_prepared =
+      reg->GetCounter("sciborq_server_statements_prepared_total",
+                      "Statements successfully prepared.", by_instance);
+  metrics_.checkpoints_taken =
+      reg->GetCounter("sciborq_server_checkpoints_total",
+                      "Tables checkpointed on request.", by_instance);
+  metrics_.protocol_errors =
+      reg->GetCounter("sciborq_server_protocol_errors_total",
+                      "Undecodable or misframed requests.", by_instance);
+  metrics_.bytes_in = reg->GetCounter(
+      "sciborq_server_bytes_in_total",
+      "Request bytes received (frame prefix included).", by_instance);
+  metrics_.bytes_out = reg->GetCounter(
+      "sciborq_server_bytes_out_total",
+      "Response bytes sent (frame prefix included).", by_instance);
+  for (uint8_t op = 0; op <= static_cast<uint8_t>(Opcode::kSlowLog); ++op) {
+    metrics_.request_seconds[op] = reg->GetHistogram(
+        "sciborq_server_request_seconds", "Request handling latency.",
+        obs::DefaultLatencyBounds(),
+        {{"instance", by_instance[0].second},
+         {"opcode", std::string(OpcodeToString(static_cast<Opcode>(op)))}});
+  }
 }
 
 SciborqServer::~SciborqServer() { Stop(); }
@@ -61,7 +105,7 @@ void SciborqServer::AcceptLoop() {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.connections_accepted->Inc();
     auto conn = std::make_shared<TcpConn>(std::move(accepted).value());
     int64_t id;
     {
@@ -87,22 +131,27 @@ void SciborqServer::HandleConnection(std::shared_ptr<TcpConn> conn) {
     if (!frame.ok()) {
       // Framing is broken (oversized/truncated prefix): report best-effort
       // and close — the stream can't be resynchronized.
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.protocol_errors->Inc();
       (void)conn->SendFrame(
           EncodeResponse(Opcode::kInvalid, frame.status(), ""));
       break;
     }
     if (!frame->has_value()) break;  // peer closed cleanly between frames
+    metrics_.bytes_in->Inc(static_cast<int64_t>((*frame)->size()) + 4);
     Result<RequestFrame> request = DecodeRequest(**frame);
     if (!request.ok()) {
       // Bad version or opcode: the peer speaks something else; answer once
       // and hang up.
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.protocol_errors->Inc();
       (void)conn->SendFrame(
           EncodeResponse(Opcode::kInvalid, request.status(), ""));
       break;
     }
+    Stopwatch request_watch;
     const std::string response = HandleRequest(*request, &session);
+    metrics_.request_seconds[static_cast<uint8_t>(request->opcode)]->Observe(
+        request_watch.ElapsedSeconds());
+    metrics_.bytes_out->Inc(static_cast<int64_t>(response.size()) + 4);
     if (!conn->SendFrame(response).ok()) break;
   }
 }
@@ -130,10 +179,20 @@ std::string SciborqServer::HandleRequest(const RequestFrame& request,
         }
         exec.mergeable = (*flags & 0x1) != 0;
       }
+      if (version >= kWireVersionV4) {
+        // v4 kQuery appends the caller's query id ("" = assign one) — how a
+        // coordinator threads one id through every shard's trace.
+        Result<std::string> query_id = payload.ReadString();
+        if (!query_id.ok()) {
+          return EncodeResponse(request.opcode, query_id.status(), "",
+                                version);
+        }
+        exec.query_id = std::move(*query_id);
+      }
       if (Status st = payload.ExpectEnd(); !st.ok()) {
         return EncodeResponse(request.opcode, st, "", version);
       }
-      queries_served_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.queries_served->Inc();
       Result<QueryOutcome> outcome = session->Query(*sql, exec);
       if (!outcome.ok()) {
         return EncodeResponse(request.opcode, outcome.status(), "", version);
@@ -189,7 +248,7 @@ std::string SciborqServer::HandleRequest(const RequestFrame& request,
       if (!info.ok()) {
         return EncodeResponse(request.opcode, info.status(), "");
       }
-      statements_prepared_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.statements_prepared->Inc();
       WireWriter w;
       EncodeStatementInfo(*info, &w);
       return EncodeResponse(request.opcode, Status::OK(), w.buffer());
@@ -204,7 +263,7 @@ std::string SciborqServer::HandleRequest(const RequestFrame& request,
       if (Status st = payload.ExpectEnd(); !st.ok()) {
         return EncodeResponse(request.opcode, st, "");
       }
-      queries_served_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.queries_served->Inc();
       Result<QueryOutcome> outcome =
           session->Execute(StatementHandle{*id}, *params);
       if (!outcome.ok()) {
@@ -245,7 +304,7 @@ std::string SciborqServer::HandleRequest(const RequestFrame& request,
         }
         count = 1;
       }
-      checkpoints_taken_.fetch_add(count, std::memory_order_relaxed);
+      metrics_.checkpoints_taken->Inc(count);
       WireWriter w;
       w.PutU32(static_cast<uint32_t>(count));
       return EncodeResponse(request.opcode, Status::OK(), w.buffer());
@@ -294,6 +353,24 @@ std::string SciborqServer::HandleRequest(const RequestFrame& request,
       }
       WireWriter w;
       w.PutI64(rows);
+      return EncodeResponse(request.opcode, Status::OK(), w.buffer(), version);
+    }
+    case Opcode::kStats: {
+      // v4: the whole process registry, flattened — engine-, WAL-, and
+      // server-level series alike (one process, one scrape).
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      WireWriter w;
+      EncodeStatSamples(obs::DefaultRegistry()->Samples(), &w);
+      return EncodeResponse(request.opcode, Status::OK(), w.buffer(), version);
+    }
+    case Opcode::kSlowLog: {
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      WireWriter w;
+      EncodeSlowQueries(engine_->SlowQueries(), &w);
       return EncodeResponse(request.opcode, Status::OK(), w.buffer(), version);
     }
     case Opcode::kInvalid:

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "api/engine.h"
+#include "obs/metrics.h"
 #include "server/socket.h"
 #include "server/wire.h"
 #include "util/thread_annotations.h"
@@ -62,11 +63,22 @@ class SciborqServer {
   int port() const { return port_; }
   bool running() const { return started_.load() && !stopping_.load(); }
 
-  int64_t connections_accepted() const { return connections_accepted_.load(); }
-  int64_t queries_served() const { return queries_served_.load(); }
-  int64_t statements_prepared() const { return statements_prepared_.load(); }
-  int64_t checkpoints_taken() const { return checkpoints_taken_.load(); }
-  int64_t protocol_errors() const { return protocol_errors_.load(); }
+  // Thin reads of this instance's registry counters (each server gets its
+  // own `instance`-labeled series, so the values stay exact per instance
+  // even with several servers in one process).
+  int64_t connections_accepted() const {
+    return metrics_.connections_accepted->Value();
+  }
+  int64_t queries_served() const { return metrics_.queries_served->Value(); }
+  int64_t statements_prepared() const {
+    return metrics_.statements_prepared->Value();
+  }
+  int64_t checkpoints_taken() const {
+    return metrics_.checkpoints_taken->Value();
+  }
+  int64_t protocol_errors() const { return metrics_.protocol_errors->Value(); }
+  int64_t bytes_received() const { return metrics_.bytes_in->Value(); }
+  int64_t bytes_sent() const { return metrics_.bytes_out->Value(); }
 
  private:
   void AcceptLoop();
@@ -91,11 +103,20 @@ class SciborqServer {
   std::unordered_map<int64_t, TcpConn*> active_conns_ GUARDED_BY(conns_mu_);
   int64_t next_conn_id_ GUARDED_BY(conns_mu_) = 0;
 
-  std::atomic<int64_t> connections_accepted_{0};
-  std::atomic<int64_t> queries_served_{0};
-  std::atomic<int64_t> statements_prepared_{0};
-  std::atomic<int64_t> checkpoints_taken_{0};
-  std::atomic<int64_t> protocol_errors_{0};
+  /// This instance's series in the process registry (obs/metrics.h),
+  /// resolved once in the constructor. Pointees are internally atomic.
+  struct Metrics {
+    obs::Counter* connections_accepted = nullptr;
+    obs::Counter* queries_served = nullptr;
+    obs::Counter* statements_prepared = nullptr;
+    obs::Counter* checkpoints_taken = nullptr;
+    obs::Counter* protocol_errors = nullptr;
+    obs::Counter* bytes_in = nullptr;
+    obs::Counter* bytes_out = nullptr;
+    /// Per-opcode request latency, indexed by the opcode byte.
+    obs::Histogram* request_seconds[16] = {};
+  };
+  Metrics metrics_;
 };
 
 }  // namespace sciborq

@@ -202,6 +202,21 @@ Status TcpConn::SendRaw(std::string_view bytes) {
   return SendAll(bytes.data(), bytes.size());
 }
 
+Result<int64_t> TcpConn::RecvSome(char* data, size_t len) {
+  if (!valid()) return Status::FailedPrecondition("recv on closed connection");
+  while (true) {
+    const ssize_t n = ::recv(fd_, data, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("recv timed out waiting for the peer");
+      }
+      return Errno("recv");
+    }
+    return static_cast<int64_t>(n);
+  }
+}
+
 Status TcpConn::SendFrame(std::string_view body) {
   char prefix[4];
   const uint32_t len = static_cast<uint32_t>(body.size());

@@ -54,6 +54,11 @@ class TcpConn {
   /// truncations). Production code always goes through SendFrame.
   Status SendRaw(std::string_view bytes);
 
+  /// Receives up to `len` unframed bytes (a single recv); returns the byte
+  /// count, 0 at EOF. For the non-frame protocols a conn can carry — the
+  /// `/metrics` HTTP endpoint reads its request line this way.
+  Result<int64_t> RecvSome(char* data, size_t len);
+
   /// Receives one frame body. nullopt = the peer closed cleanly between
   /// frames; IOError on mid-frame EOF; InvalidArgument on a zero-length or
   /// over-limit length prefix (the body is never read in that case).

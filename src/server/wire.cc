@@ -15,19 +15,25 @@ constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kInternal);
 
 /// Validates an opcode against the envelope's version: v1 frames may only
 /// carry the original opcode set, v2 frames also the prepared-statement
-/// ones, v3 frames also the distributed ingest ones.
+/// ones, v3 frames also the distributed ingest ones, v4 frames also the
+/// observability ones.
 Result<Opcode> OpcodeFromWire(uint8_t op, uint8_t version) {
   uint8_t max_op = static_cast<uint8_t>(Opcode::kPing);
-  if (version >= kWireVersionV3) {
+  if (version >= kWireVersionV4) {
+    max_op = static_cast<uint8_t>(Opcode::kSlowLog);
+  } else if (version == kWireVersionV3) {
     max_op = static_cast<uint8_t>(Opcode::kIngest);
   } else if (version == kWireVersionV2) {
     max_op = static_cast<uint8_t>(Opcode::kCheckpoint);
   }
   if (op < static_cast<uint8_t>(Opcode::kQuery) || op > max_op) {
-    if (op > max_op && op <= static_cast<uint8_t>(Opcode::kIngest)) {
-      const uint8_t required = op > static_cast<uint8_t>(Opcode::kCheckpoint)
-                                   ? kWireVersionV3
-                                   : kWireVersionV2;
+    if (op > max_op && op <= static_cast<uint8_t>(Opcode::kSlowLog)) {
+      uint8_t required = kWireVersionV2;
+      if (op > static_cast<uint8_t>(Opcode::kIngest)) {
+        required = kWireVersionV4;
+      } else if (op > static_cast<uint8_t>(Opcode::kCheckpoint)) {
+        required = kWireVersionV3;
+      }
       return Status::InvalidArgument(StrFormat(
           "wire: opcode %u requires protocol v%u, frame is v%u", op,
           required, version));
@@ -75,6 +81,10 @@ std::string_view OpcodeToString(Opcode op) {
       return "create_table";
     case Opcode::kIngest:
       return "ingest";
+    case Opcode::kStats:
+      return "stats";
+    case Opcode::kSlowLog:
+      return "slow_log";
   }
   return "unknown";
 }
@@ -89,6 +99,9 @@ uint8_t WireVersionFor(Opcode op) {
     case Opcode::kCreateTable:
     case Opcode::kIngest:
       return kWireVersionV3;
+    case Opcode::kStats:
+    case Opcode::kSlowLog:
+      return kWireVersionV4;
     default:
       return kWireVersionV1;
   }
@@ -255,6 +268,10 @@ void EncodeOutcome(const QueryOutcome& outcome, WireWriter* w,
     w->PutU32(static_cast<uint32_t>(row_moments.size()));
     for (const AggregateMoments& m : row_moments) EncodeMoments(m, w);
   }
+  if (version < kWireVersionV4) return;  // v3 stays byte-identical
+  w->PutString(outcome.query_id);
+  w->PutU32(static_cast<uint32_t>(outcome.spans.size()));
+  for (const PhaseSpan& span : outcome.spans) EncodeSpan(span, w);
 }
 
 Result<QueryOutcome> DecodeOutcome(WireReader* r, uint8_t version) {
@@ -320,6 +337,21 @@ Result<QueryOutcome> DecodeOutcome(WireReader* r, uint8_t version) {
       row_moments.push_back(m);
     }
     outcome.partials.push_back(std::move(row_moments));
+  }
+  if (version < kWireVersionV4) return outcome;
+  SCIBORQ_ASSIGN_OR_RETURN(outcome.query_id, r->ReadString());
+  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t num_spans, r->ReadU32());
+  // Every span is at least its name's u32 length; reject hostile counts
+  // before allocating, like DecodeParams.
+  if (static_cast<int64_t>(num_spans) > r->remaining()) {
+    return Status::InvalidArgument(
+        StrFormat("wire: span count %u exceeds the %lld remaining bytes",
+                  num_spans, static_cast<long long>(r->remaining())));
+  }
+  outcome.spans.reserve(num_spans);
+  for (uint32_t i = 0; i < num_spans; ++i) {
+    SCIBORQ_ASSIGN_OR_RETURN(PhaseSpan span, DecodeSpan(r));
+    outcome.spans.push_back(std::move(span));
   }
   return outcome;
 }
@@ -412,6 +444,104 @@ Result<StatementInfo> DecodeStatementInfo(WireReader* r) {
   SCIBORQ_ASSIGN_OR_RETURN(const uint32_t n, r->ReadU32());
   info.num_params = n;
   return info;
+}
+
+// -- PhaseSpan --------------------------------------------------------------
+
+void EncodeSpan(const PhaseSpan& span, WireWriter* w) {
+  w->PutString(span.name);
+  w->PutF64(span.start_seconds);
+  w->PutF64(span.duration_seconds);
+}
+
+Result<PhaseSpan> DecodeSpan(WireReader* r) {
+  PhaseSpan span;
+  SCIBORQ_ASSIGN_OR_RETURN(span.name, r->ReadString());
+  SCIBORQ_ASSIGN_OR_RETURN(span.start_seconds, r->ReadF64());
+  SCIBORQ_ASSIGN_OR_RETURN(span.duration_seconds, r->ReadF64());
+  return span;
+}
+
+// -- StatSample -------------------------------------------------------------
+
+void EncodeStatSamples(const std::vector<obs::StatSample>& samples,
+                       WireWriter* w) {
+  w->PutU32(static_cast<uint32_t>(samples.size()));
+  for (const obs::StatSample& s : samples) {
+    w->PutString(s.name);
+    w->PutString(s.labels);
+    w->PutF64(s.value);
+  }
+}
+
+Result<std::vector<obs::StatSample>> DecodeStatSamples(WireReader* r) {
+  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t n, r->ReadU32());
+  // Every sample is at least its name's u32 length; reject hostile counts
+  // before allocating, like DecodeParams.
+  if (static_cast<int64_t>(n) > r->remaining()) {
+    return Status::InvalidArgument(
+        StrFormat("wire: sample count %u exceeds the %lld remaining bytes", n,
+                  static_cast<long long>(r->remaining())));
+  }
+  std::vector<obs::StatSample> samples;
+  samples.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    obs::StatSample s;
+    SCIBORQ_ASSIGN_OR_RETURN(s.name, r->ReadString());
+    SCIBORQ_ASSIGN_OR_RETURN(s.labels, r->ReadString());
+    SCIBORQ_ASSIGN_OR_RETURN(s.value, r->ReadF64());
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+// -- SlowQueryEntry ---------------------------------------------------------
+
+void EncodeSlowQueries(const std::vector<obs::SlowQueryEntry>& entries,
+                       WireWriter* w) {
+  w->PutU32(static_cast<uint32_t>(entries.size()));
+  for (const obs::SlowQueryEntry& e : entries) {
+    w->PutString(e.query_id);
+    w->PutString(e.table);
+    w->PutString(e.sql);
+    w->PutF64(e.asked_max_ms);
+    w->PutF64(e.asked_max_error);
+    w->PutF64(e.asked_confidence);
+    w->PutBool(e.asked_exact);
+    w->PutBool(e.error_bound_met);
+    w->PutBool(e.deadline_exceeded);
+    w->PutF64(e.elapsed_seconds);
+    w->PutString(e.answered_by);
+    w->PutString(e.trace);
+  }
+}
+
+Result<std::vector<obs::SlowQueryEntry>> DecodeSlowQueries(WireReader* r) {
+  SCIBORQ_ASSIGN_OR_RETURN(const uint32_t n, r->ReadU32());
+  if (static_cast<int64_t>(n) > r->remaining()) {
+    return Status::InvalidArgument(
+        StrFormat("wire: slow-log count %u exceeds the %lld remaining bytes",
+                  n, static_cast<long long>(r->remaining())));
+  }
+  std::vector<obs::SlowQueryEntry> entries;
+  entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    obs::SlowQueryEntry e;
+    SCIBORQ_ASSIGN_OR_RETURN(e.query_id, r->ReadString());
+    SCIBORQ_ASSIGN_OR_RETURN(e.table, r->ReadString());
+    SCIBORQ_ASSIGN_OR_RETURN(e.sql, r->ReadString());
+    SCIBORQ_ASSIGN_OR_RETURN(e.asked_max_ms, r->ReadF64());
+    SCIBORQ_ASSIGN_OR_RETURN(e.asked_max_error, r->ReadF64());
+    SCIBORQ_ASSIGN_OR_RETURN(e.asked_confidence, r->ReadF64());
+    SCIBORQ_ASSIGN_OR_RETURN(e.asked_exact, r->ReadBool());
+    SCIBORQ_ASSIGN_OR_RETURN(e.error_bound_met, r->ReadBool());
+    SCIBORQ_ASSIGN_OR_RETURN(e.deadline_exceeded, r->ReadBool());
+    SCIBORQ_ASSIGN_OR_RETURN(e.elapsed_seconds, r->ReadF64());
+    SCIBORQ_ASSIGN_OR_RETURN(e.answered_by, r->ReadString());
+    SCIBORQ_ASSIGN_OR_RETURN(e.trace, r->ReadString());
+    entries.push_back(std::move(e));
+  }
+  return entries;
 }
 
 // -- Envelopes --------------------------------------------------------------

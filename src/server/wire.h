@@ -10,6 +10,8 @@
 #include "column/serde.h"
 #include "column/value.h"
 #include "exec/query.h"
+#include "obs/metrics.h"
+#include "obs/slowlog.h"
 #include "util/binio.h"
 #include "util/result.h"
 
@@ -52,6 +54,17 @@ namespace sciborq {
 // flag, shard counts, partials matrix; shard count). Requests stamped v1/v2
 // get byte-identical v1/v2 responses, so every older peer is untouched.
 //
+// v4 is the observability protocol. Two new opcodes:
+//   kStats    payload = (empty)        (response = u32 n + n StatSample:
+//                                       flattened metrics registry scrape)
+//   kSlowLog  payload = (empty)        (response = u32 n + n SlowQueryEntry:
+//                                       the bound-miss ring, oldest first)
+// and, under the same negotiation rule as v3: a v4 kQuery request appends
+// `string query_id` after the flags byte (the coordinator propagates its id
+// so shard traces stitch into one); v4 QueryOutcome encodings append the
+// trace fields (query id, phase spans). Requests stamped v1-v3 get
+// byte-identical v1-v3 responses.
+//
 // Responses (server -> client) echo the request opcode and carry
 //   u8 status_code | string status_message | payload-if-OK
 // with payload: kQuery/kExecute -> QueryOutcome, kCatalog -> u32 n +
@@ -73,8 +86,11 @@ inline constexpr uint8_t kWireVersionV2 = 2;
 /// Adds kCreateTable/kIngest and the distributed QueryOutcome/TableInfo
 /// fields (partial flag, shard counts, mergeable Welford partials).
 inline constexpr uint8_t kWireVersionV3 = 3;
+/// Adds kStats/kSlowLog and the trace QueryOutcome fields (query id, phase
+/// spans) plus the kQuery query-id propagation field.
+inline constexpr uint8_t kWireVersionV4 = 4;
 /// Highest protocol version this build speaks.
-inline constexpr uint8_t kWireVersion = kWireVersionV3;
+inline constexpr uint8_t kWireVersion = kWireVersionV4;
 
 /// Default ceiling for one frame. Generous for result batches (a row of
 /// doubles is tens of bytes) while bounding a malicious length prefix.
@@ -96,6 +112,9 @@ enum class Opcode : uint8_t {
   // -- v3: distributed (coordinator -> shard ingest routing) --
   kCreateTable = 10,
   kIngest = 11,
+  // -- v4: observability --
+  kStats = 12,
+  kSlowLog = 13,
 };
 
 std::string_view OpcodeToString(Opcode op);
@@ -160,6 +179,21 @@ Result<std::vector<Value>> DecodeParams(WireReader* r);
 /// SQL, parameter count.
 void EncodeStatementInfo(const StatementInfo& info, WireWriter* w);
 Result<StatementInfo> DecodeStatementInfo(WireReader* r);
+
+/// One phase span of a query trace (v4 QueryOutcome field).
+void EncodeSpan(const PhaseSpan& span, WireWriter* w);
+Result<PhaseSpan> DecodeSpan(WireReader* r);
+
+/// kStats response payload: u32 count + count samples. Decode rejects a
+/// count larger than the bytes that could back it, like DecodeParams.
+void EncodeStatSamples(const std::vector<obs::StatSample>& samples,
+                       WireWriter* w);
+Result<std::vector<obs::StatSample>> DecodeStatSamples(WireReader* r);
+
+/// kSlowLog response payload: u32 count + count entries, oldest first.
+void EncodeSlowQueries(const std::vector<obs::SlowQueryEntry>& entries,
+                       WireWriter* w);
+Result<std::vector<obs::SlowQueryEntry>> DecodeSlowQueries(WireReader* r);
 
 // -- Message envelopes ------------------------------------------------------
 

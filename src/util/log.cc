@@ -1,0 +1,85 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <ctime>
+
+#include <chrono>
+
+namespace sciborq {
+
+namespace {
+
+std::atomic<int> g_floor{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+
+void LogV(LogLevel level, const char* fmt, va_list args) {
+  if (static_cast<int>(level) < g_floor.load(std::memory_order_relaxed)) {
+    return;
+  }
+  char message[2048];
+  std::vsnprintf(message, sizeof(message), fmt, args);
+  // One fprintf per line keeps concurrent loggers' lines whole (stdio locks
+  // the stream per call).
+  std::fprintf(stderr, "[%s] %s %s\n", LogTimestamp().c_str(),
+               LevelName(level), message);
+  std::fflush(stderr);
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel floor) {
+  g_floor.store(static_cast<int>(floor), std::memory_order_relaxed);
+}
+
+std::string LogTimestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                static_cast<int>(millis));
+  return buf;
+}
+
+void LogInfo(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  LogV(LogLevel::kInfo, fmt, args);
+  va_end(args);
+}
+
+void LogWarn(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  LogV(LogLevel::kWarn, fmt, args);
+  va_end(args);
+}
+
+void LogError(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  LogV(LogLevel::kError, fmt, args);
+  va_end(args);
+}
+
+}  // namespace sciborq

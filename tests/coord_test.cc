@@ -296,6 +296,104 @@ TEST(ClientDeadlineTest, RecvTimeoutSurfacesAsDeadlineExceeded) {
   EXPECT_EQ(StatusCode::kDeadlineExceeded, st.code()) << st.ToString();
 }
 
+TEST_F(CoordTest, StitchedTraceCoversBothShards) {
+  SciborqCoordinator coordinator(BothShards());
+  Distribute(&coordinator);
+
+  Result<QueryOutcome> merged =
+      coordinator.Query("SELECT COUNT(*), AVG(r) FROM photo_obj_all EXACT");
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_FALSE(merged->query_id.empty());
+
+  // One stitched trace: the coordinator's own phases plus each shard's
+  // spans re-homed under shardN/ prefixes.
+  auto has_phase = [&merged](std::string_view name) {
+    for (const PhaseSpan& span : merged->spans) {
+      if (span.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_phase("plan"));
+  EXPECT_TRUE(has_phase("fanout"));
+  EXPECT_TRUE(has_phase("merge"));
+
+  double shard_sums[2] = {0.0, 0.0};
+  int shard_spans[2] = {0, 0};
+  for (const PhaseSpan& span : merged->spans) {
+    EXPECT_GE(span.start_seconds, 0.0) << span.name;
+    EXPECT_GE(span.duration_seconds, 0.0) << span.name;
+    // Every span — coordinator or stitched shard — lives inside the query's
+    // reported wall clock (shard spans are offset by the fan-out start, and
+    // each shard finished before the merge did).
+    EXPECT_LE(span.start_seconds + span.duration_seconds,
+              merged->elapsed_seconds + 5e-3)
+        << span.name;
+    for (int s = 0; s < 2; ++s) {
+      const std::string prefix = "shard" + std::to_string(s) + "/";
+      if (span.name.rfind(prefix, 0) == 0) {
+        ++shard_spans[s];
+        shard_sums[s] += span.duration_seconds;
+      }
+    }
+  }
+  for (int s = 0; s < 2; ++s) {
+    // Both shards contributed spans, and each shard's sequential phase
+    // durations sum to no more than the whole distributed query took.
+    EXPECT_GT(shard_spans[s], 0) << "shard " << s;
+    EXPECT_LE(shard_sums[s], merged->elapsed_seconds + 5e-3) << "shard " << s;
+  }
+}
+
+TEST_F(CoordTest, QueryIdPropagatesOverTheWire) {
+  // The propagation mechanism itself, without the coordinator's budget
+  // rewriting: a v4 mergeable query carries an explicit id to the shard
+  // server, whose engine records it in the outcome AND — after a
+  // deterministic bound miss (1-microsecond budget, near-zero error: the
+  // first layer answers, misses, and the blown deadline forbids
+  // escalation) — in its slow-query ring.
+  LoadHalfIntoShard0();
+  Result<SciborqClient> client =
+      SciborqClient::Connect("127.0.0.1", shard_servers_[0]->port());
+  ASSERT_TRUE(client.ok());
+  Result<QueryOutcome> outcome = client->QueryMergeable(
+      "SELECT AVG(r) FROM photo_obj_all WITHIN 0.001 MS ERROR 0.0001%",
+      "qc-propagated-7");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ("qc-propagated-7", outcome->query_id);
+  EXPECT_FALSE(outcome->error_bound_met);
+
+  const std::vector<obs::SlowQueryEntry> slow =
+      shard_engines_[0]->SlowQueries();
+  ASSERT_FALSE(slow.empty());
+  EXPECT_EQ("qc-propagated-7", slow.back().query_id);
+}
+
+TEST_F(CoordTest, DegradedAnswerLandsInCoordinatorSlowLog) {
+  // A partial answer (one shard dead) must be recorded in the coordinator's
+  // own ring under the merged query's id, with the full stitched trace.
+  LoadHalfIntoShard0();
+  ShardMap map;
+  map.SetDefaultShards(
+      {{"127.0.0.1", shard_servers_[0]->port()}, {"127.0.0.1", 1}});
+  CoordinatorOptions options;
+  options.connect_timeout_ms = 500;
+  SciborqCoordinator coordinator(std::move(map), options);
+
+  Result<QueryOutcome> merged =
+      coordinator.Query("SELECT COUNT(*) FROM photo_obj_all EXACT");
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ASSERT_TRUE(merged->partial);
+  ASSERT_FALSE(merged->query_id.empty());
+
+  const std::vector<obs::SlowQueryEntry> slow = coordinator.SlowQueries();
+  ASSERT_FALSE(slow.empty());
+  const obs::SlowQueryEntry& entry = slow.back();
+  EXPECT_EQ(merged->query_id, entry.query_id);
+  EXPECT_EQ("photo_obj_all", entry.table);
+  EXPECT_TRUE(entry.asked_exact);
+  EXPECT_FALSE(entry.trace.empty());
+}
+
 TEST(ClientDeadlineTest, ConnectTimeoutDoesNotHang) {
   // RFC 5737 TEST-NET-1 address: on a normal network the packets go
   // nowhere and connect would hang for minutes without the deadline. Some

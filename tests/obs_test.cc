@@ -1,0 +1,262 @@
+// The observability core: registry concurrency (this test is in the TSan CI
+// matrix — hot-path updates must be race-free), the Prometheus text
+// exposition golden format, the enable switch, histogram bucket placement,
+// the phase tracer, and the slow-query ring.
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/slowlog.h"
+#include "obs/trace.h"
+
+namespace sciborq {
+namespace obs {
+namespace {
+
+TEST(ObsRegistryTest, ConcurrentUpdatesAndScrapesAreRaceFree) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("test_total", "shared counter");
+  Gauge* gauge = registry.GetGauge("test_gauge", "shared gauge");
+  Histogram* hist = registry.GetHistogram("test_seconds", "shared histogram",
+                                          DefaultLatencyBounds());
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 10'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, counter, gauge, hist, t] {
+      // Every thread hammers the shared series AND registers its own labeled
+      // sibling — registration racing updates racing scrapes is the real
+      // production shape (connections arrive while Prometheus scrapes).
+      Counter* own = registry.GetCounter(
+          "test_total", "shared counter", {{"thread", std::to_string(t)}});
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        counter->Inc();
+        own->Inc();
+        gauge->Add(1.0);
+        hist->Observe(1e-4 * (i % 50));
+      }
+    });
+  }
+  // A scraper races the writers.
+  workers.emplace_back([&registry] {
+    for (int i = 0; i < 50; ++i) {
+      (void)registry.RenderPrometheus();
+      (void)registry.Samples();
+    }
+  });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(kThreads * kOpsPerThread, counter->Value());
+  EXPECT_DOUBLE_EQ(kThreads * kOpsPerThread, gauge->Value());
+  EXPECT_EQ(kThreads * kOpsPerThread, hist->Count());
+  for (int t = 0; t < kThreads; ++t) {
+    Counter* own = registry.GetCounter("test_total", "shared counter",
+                                       {{"thread", std::to_string(t)}});
+    EXPECT_EQ(kOpsPerThread, own->Value());
+  }
+}
+
+TEST(ObsRegistryTest, PrometheusExpositionGolden) {
+  Registry registry;
+  registry.GetCounter("test_queries_total", "queries", {{"shard", "a"}})
+      ->Inc(3);
+  registry.GetCounter("test_queries_total", "queries", {{"shard", "b"}})
+      ->Inc(5);
+  registry.GetGauge("test_warnings", "warnings")->Set(2.5);
+  Histogram* hist =
+      registry.GetHistogram("test_hist", "latency", {0.5, 2.0});
+  hist->Observe(0.25);
+  hist->Observe(1.0);
+  hist->Observe(5.0);
+  const std::string expected =
+      "# HELP test_hist latency\n"
+      "# TYPE test_hist histogram\n"
+      "test_hist_bucket{le=\"0.5\"} 1\n"
+      "test_hist_bucket{le=\"2\"} 2\n"
+      "test_hist_bucket{le=\"+Inf\"} 3\n"
+      "test_hist_sum 6.25\n"
+      "test_hist_count 3\n"
+      "# HELP test_queries_total queries\n"
+      "# TYPE test_queries_total counter\n"
+      "test_queries_total{shard=\"a\"} 3\n"
+      "test_queries_total{shard=\"b\"} 5\n"
+      "# HELP test_warnings warnings\n"
+      "# TYPE test_warnings gauge\n"
+      "test_warnings 2.5\n";
+  EXPECT_EQ(expected, registry.RenderPrometheus());
+}
+
+TEST(ObsRegistryTest, SamplesMatchExposition) {
+  Registry registry;
+  registry.GetCounter("test_total", "c", {{"k", "v"}})->Inc(7);
+  Histogram* hist = registry.GetHistogram("test_seconds", "h", {1.0});
+  hist->Observe(0.5);
+  hist->Observe(3.0);
+  const std::vector<StatSample> samples = registry.Samples();
+  // histogram: 2 buckets + sum + count, then the counter.
+  ASSERT_EQ(5u, samples.size());
+  EXPECT_EQ("test_seconds_bucket", samples[0].name);
+  EXPECT_EQ("{le=\"1\"}", samples[0].labels);
+  EXPECT_EQ(1.0, samples[0].value);
+  EXPECT_EQ("{le=\"+Inf\"}", samples[1].labels);
+  EXPECT_EQ(2.0, samples[1].value);  // cumulative
+  EXPECT_EQ("test_seconds_sum", samples[2].name);
+  EXPECT_EQ(3.5, samples[2].value);
+  EXPECT_EQ("test_seconds_count", samples[3].name);
+  EXPECT_EQ(2.0, samples[3].value);
+  EXPECT_EQ("test_total", samples[4].name);
+  EXPECT_EQ("{k=\"v\"}", samples[4].labels);
+  EXPECT_EQ(7.0, samples[4].value);
+}
+
+TEST(ObsRegistryTest, SameNameAndLabelsReturnsSameSeries) {
+  Registry registry;
+  Counter* a = registry.GetCounter("test_total", "help", {{"x", "1"}});
+  Counter* b = registry.GetCounter("test_total", "help", {{"x", "1"}});
+  Counter* c = registry.GetCounter("test_total", "help", {{"x", "2"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  a->Inc();
+  EXPECT_EQ(1, b->Value());
+  EXPECT_EQ(0, c->Value());
+}
+
+TEST(ObsRegistryTest, RenderLabelsSortsAndEscapes) {
+  EXPECT_EQ("", RenderLabels({}));
+  EXPECT_EQ("{a=\"1\",b=\"2\"}", RenderLabels({{"b", "2"}, {"a", "1"}}));
+  EXPECT_EQ("{k=\"a\\\"b\\\\c\\nd\"}", RenderLabels({{"k", "a\"b\\c\nd"}}));
+}
+
+TEST(ObsRegistryTest, DisabledDropsEveryUpdate) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("test_total", "c");
+  Gauge* gauge = registry.GetGauge("test_gauge", "g");
+  Histogram* hist = registry.GetHistogram("test_seconds", "h", {1.0});
+  SetEnabled(false);
+  counter->Inc(5);
+  gauge->Set(3.0);
+  gauge->Add(2.0);
+  hist->Observe(0.5);
+  SetEnabled(true);
+  EXPECT_EQ(0, counter->Value());
+  EXPECT_EQ(0.0, gauge->Value());
+  EXPECT_EQ(0, hist->Count());
+  // Re-enabled updates land again.
+  counter->Inc();
+  EXPECT_EQ(1, counter->Value());
+}
+
+TEST(ObsHistogramTest, BucketPlacementIsInclusiveUpperBound) {
+  Histogram hist({1.0, 10.0});
+  hist.Observe(0.5);   // le="1"
+  hist.Observe(1.0);   // le="1" (le is inclusive)
+  hist.Observe(1.001);  // le="10"
+  hist.Observe(10.0);  // le="10"
+  hist.Observe(11.0);  // +Inf
+  const std::vector<int64_t> counts = hist.BucketCounts();
+  ASSERT_EQ(3u, counts.size());
+  EXPECT_EQ(2, counts[0]);
+  EXPECT_EQ(2, counts[1]);
+  EXPECT_EQ(1, counts[2]);
+  EXPECT_EQ(5, hist.Count());
+  EXPECT_DOUBLE_EQ(0.5 + 1.0 + 1.001 + 10.0 + 11.0, hist.Sum());
+}
+
+TEST(ObsTracerTest, SpansAreSequentialAndNonOverlapping) {
+  PhaseTracer tracer;
+  tracer.Begin("parse");
+  tracer.Begin("plan");  // closes parse
+  tracer.Begin("execute");
+  std::vector<PhaseSpan> spans = tracer.Take();  // closes execute
+  ASSERT_EQ(3u, spans.size());
+  EXPECT_EQ("parse", spans[0].name);
+  EXPECT_EQ("plan", spans[1].name);
+  EXPECT_EQ("execute", spans[2].name);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_GE(spans[i].start_seconds, 0.0);
+    EXPECT_GE(spans[i].duration_seconds, 0.0);
+    if (i > 0) {
+      // Each span begins where (or after) the previous one ended.
+      EXPECT_GE(spans[i].start_seconds,
+                spans[i - 1].start_seconds + spans[i - 1].duration_seconds -
+                    1e-9);
+    }
+  }
+  // Take() surrendered the list; the tracer is reusable and empty.
+  EXPECT_TRUE(tracer.Take().empty());
+}
+
+TEST(ObsTracerTest, AddStitchesExternalSpans) {
+  PhaseTracer tracer;
+  tracer.Begin("fanout");
+  // Add() records immediately; the open "fanout" span closes at Take().
+  tracer.Add({"shard0/execute", 0.010, 0.005});
+  std::vector<PhaseSpan> spans = tracer.Take();
+  ASSERT_EQ(2u, spans.size());
+  EXPECT_EQ("shard0/execute", spans[0].name);
+  EXPECT_DOUBLE_EQ(0.010, spans[0].start_seconds);
+  EXPECT_DOUBLE_EQ(0.005, spans[0].duration_seconds);
+  EXPECT_EQ("fanout", spans[1].name);
+}
+
+SlowQueryEntry Entry(int i) {
+  SlowQueryEntry e;
+  e.query_id = "q-" + std::to_string(i);
+  e.sql = "SELECT " + std::to_string(i);
+  e.error_bound_met = false;
+  return e;
+}
+
+TEST(ObsSlowLogTest, RingKeepsNewestOldestFirst) {
+  SlowQueryLog log(3);
+  for (int i = 0; i < 5; ++i) log.Record(Entry(i));
+  EXPECT_EQ(5, log.recorded());
+  const std::vector<SlowQueryEntry> snap = log.Snapshot();
+  ASSERT_EQ(3u, snap.size());
+  EXPECT_EQ("q-2", snap[0].query_id);
+  EXPECT_EQ("q-3", snap[1].query_id);
+  EXPECT_EQ("q-4", snap[2].query_id);
+}
+
+TEST(ObsSlowLogTest, UnderCapacityPreservesOrder) {
+  SlowQueryLog log(8);
+  for (int i = 0; i < 3; ++i) log.Record(Entry(i));
+  const std::vector<SlowQueryEntry> snap = log.Snapshot();
+  ASSERT_EQ(3u, snap.size());
+  EXPECT_EQ("q-0", snap[0].query_id);
+  EXPECT_EQ("q-2", snap[2].query_id);
+}
+
+TEST(ObsSlowLogTest, ZeroCapacityDropsEverything) {
+  SlowQueryLog log(0);
+  log.Record(Entry(0));
+  EXPECT_EQ(0, log.recorded());
+  EXPECT_TRUE(log.Snapshot().empty());
+}
+
+TEST(ObsSlowLogTest, ConcurrentRecordsAllLand) {
+  SlowQueryLog log(1024);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Record(Entry(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(kThreads * kPerThread, log.recorded());
+  EXPECT_EQ(static_cast<size_t>(kThreads * kPerThread),
+            log.Snapshot().size());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sciborq

@@ -427,6 +427,52 @@ TEST_F(ServerTest, FourConcurrentClientsExecuteBitIdenticallyToRendered) {
   EXPECT_EQ(kClients, server_->statements_prepared());
 }
 
+TEST_F(ServerTest, StatsOpcodeScrapesTheRegistry) {
+  Result<SciborqClient> client = Connect();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Query(kBoundedSql).ok());
+
+  Result<std::vector<obs::StatSample>> stats = client->ServerStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // The scrape carries both the server-side and engine-side families, and
+  // the query we just ran moved the counters.
+  double server_queries = 0.0;
+  double engine_queries = 0.0;
+  for (const obs::StatSample& sample : *stats) {
+    if (sample.name == "sciborq_server_queries_total") {
+      server_queries += sample.value;
+    }
+    if (sample.name == "sciborq_queries_total") {
+      engine_queries += sample.value;
+    }
+  }
+  EXPECT_GE(server_queries, 1.0);
+  EXPECT_GE(engine_queries, 1.0);
+}
+
+TEST_F(ServerTest, SlowLogTravelsOverTheWire) {
+  Result<SciborqClient> client = Connect();
+  ASSERT_TRUE(client.ok());
+  // A 1-microsecond budget with a near-zero error bound: the first layer
+  // answers but cannot meet the error, and the blown deadline forbids
+  // escalating — a deterministic bound miss that must land in the ring.
+  const std::string sql =
+      "SELECT AVG(r) FROM photo_obj_all WITHIN 0.001 MS ERROR 0.0001%";
+  Result<QueryOutcome> outcome = client->Query(sql);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_FALSE(outcome->error_bound_met);
+
+  Result<std::vector<obs::SlowQueryEntry>> slow = client->SlowQueries();
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+  ASSERT_FALSE(slow->empty());
+  const obs::SlowQueryEntry& entry = slow->back();
+  EXPECT_EQ("photo_obj_all", entry.table);
+  EXPECT_EQ(outcome->query_id, entry.query_id);
+  EXPECT_FALSE(entry.error_bound_met);
+  EXPECT_DOUBLE_EQ(0.001, entry.asked_max_ms);
+  EXPECT_FALSE(entry.trace.empty());
+}
+
 TEST_F(ServerTest, GracefulStopDrainsAndRefusesNewConnections) {
   Result<SciborqClient> client = Connect();
   ASSERT_TRUE(client.ok());

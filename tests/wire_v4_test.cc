@@ -1,0 +1,283 @@
+// Version gating of the v4 (observability) wire codec: v1-v3 encodings must
+// stay byte-identical to older builds no matter what trace fields an outcome
+// carries, v4 encodings must round-trip the query id and phase spans
+// bit-exactly, and the kStats/kSlowLog payload codecs must survive hostile
+// counts and truncation at every byte offset.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "obs/metrics.h"
+#include "obs/slowlog.h"
+#include "server/wire.h"
+
+namespace sciborq {
+namespace {
+
+std::string EncodedOutcome(const QueryOutcome& outcome, uint8_t version) {
+  WireWriter w;
+  EncodeOutcome(outcome, &w, version);
+  return w.Take();
+}
+
+QueryOutcome MakeTracedOutcome() {
+  QueryOutcome outcome;
+  outcome.table = "sky";
+  outcome.sql = "SELECT COUNT(*) FROM sky ERROR 5%";
+  QueryResultRow row;
+  row.group_key = Value::Null();
+  row.values = {512.0};
+  row.input_rows = 64;
+  outcome.rows.push_back(row);
+  AggregateEstimate est;
+  est.estimate = 512.0;
+  est.ci_lo = 500.0;
+  est.ci_hi = 524.0;
+  est.sample_rows = 64;
+  outcome.estimates.push_back({est});
+  outcome.answered_by = "l1";
+  outcome.error_bound_met = true;
+  outcome.elapsed_seconds = 0.0042;
+  LayerAttempt attempt;
+  attempt.layer_name = "l1";
+  attempt.met_error_bound = true;
+  outcome.attempts.push_back(attempt);
+  // The trace fields under test.
+  outcome.query_id = "qc-17";
+  outcome.spans = {{"parse", 0.0, 0.0001},
+                   {"plan", 0.0001, 0.0002},
+                   {"shard0/execute", 0.0005, 0.0031}};
+  return outcome;
+}
+
+std::vector<obs::StatSample> MakeSamples() {
+  return {{"sciborq_queries_total", "{instance=\"server-1\"}", 42.0},
+          {"sciborq_query_seconds_bucket",
+           "{instance=\"server-1\",le=\"0.001\"}", 17.0},
+          {"sciborq_recovery_warnings", "", 0.0}};
+}
+
+std::vector<obs::SlowQueryEntry> MakeSlowEntries() {
+  obs::SlowQueryEntry e;
+  e.query_id = "q-9";
+  e.table = "sky";
+  e.sql = "SELECT AVG(r) FROM sky WITHIN 1 MS ERROR 0.001%";
+  e.asked_max_ms = 1.0;
+  e.asked_max_error = 0.00001;
+  e.asked_confidence = 0.95;
+  e.asked_exact = false;
+  e.error_bound_met = false;
+  e.deadline_exceeded = true;
+  e.elapsed_seconds = 0.00112;
+  e.answered_by = "l0";
+  e.trace = "attempt l0: ...\nspan parse: start=0.000ms dur=0.010ms";
+  obs::SlowQueryEntry e2;
+  e2.query_id = "qc-3";
+  e2.sql = "SELECT COUNT(*) FROM sky EXACT";
+  e2.asked_exact = true;
+  e2.error_bound_met = true;
+  return {e, e2};
+}
+
+TEST(WireV4Test, V1ThroughV3EncodingsIgnoreTraceFields) {
+  QueryOutcome with = MakeTracedOutcome();
+  QueryOutcome without = MakeTracedOutcome();
+  without.query_id.clear();
+  without.spans.clear();
+  // A v1/v2/v3 peer must receive the exact bytes an older build would have
+  // produced, whatever trace state the outcome carries.
+  EXPECT_EQ(EncodedOutcome(with, kWireVersionV1),
+            EncodedOutcome(without, kWireVersionV1));
+  EXPECT_EQ(EncodedOutcome(with, kWireVersionV2),
+            EncodedOutcome(without, kWireVersionV2));
+  EXPECT_EQ(EncodedOutcome(with, kWireVersionV3),
+            EncodedOutcome(without, kWireVersionV3));
+  // And the v4 encodings differ (the fields really travel).
+  EXPECT_NE(EncodedOutcome(with, kWireVersionV4),
+            EncodedOutcome(without, kWireVersionV4));
+}
+
+TEST(WireV4Test, V4OutcomeRoundTripsTraceFields) {
+  const QueryOutcome outcome = MakeTracedOutcome();
+  const std::string bytes = EncodedOutcome(outcome, kWireVersionV4);
+  WireReader r(bytes);
+  Result<QueryOutcome> decoded = DecodeOutcome(&r, kWireVersionV4);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(r.ExpectEnd().ok());
+  EXPECT_EQ("qc-17", decoded->query_id);
+  ASSERT_EQ(3u, decoded->spans.size());
+  EXPECT_EQ("parse", decoded->spans[0].name);
+  EXPECT_EQ("shard0/execute", decoded->spans[2].name);
+  EXPECT_EQ(outcome.spans[2].start_seconds, decoded->spans[2].start_seconds);
+  EXPECT_EQ(outcome.spans[2].duration_seconds,
+            decoded->spans[2].duration_seconds);
+  // Bijective at v4 too.
+  EXPECT_EQ(bytes, EncodedOutcome(*decoded, kWireVersionV4));
+}
+
+TEST(WireV4Test, V3DecodeLeavesTraceDefaults) {
+  const QueryOutcome outcome = MakeTracedOutcome();
+  const std::string bytes = EncodedOutcome(outcome, kWireVersionV3);
+  WireReader r(bytes);
+  Result<QueryOutcome> decoded = DecodeOutcome(&r, kWireVersionV3);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(r.ExpectEnd().ok());
+  EXPECT_TRUE(decoded->query_id.empty());
+  EXPECT_TRUE(decoded->spans.empty());
+}
+
+TEST(WireV4Test, StatSamplesRoundTrip) {
+  const std::vector<obs::StatSample> samples = MakeSamples();
+  WireWriter w;
+  EncodeStatSamples(samples, &w);
+  const std::string bytes = w.Take();
+  WireReader r(bytes);
+  Result<std::vector<obs::StatSample>> decoded = DecodeStatSamples(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(r.ExpectEnd().ok());
+  ASSERT_EQ(samples.size(), decoded->size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].name, (*decoded)[i].name);
+    EXPECT_EQ(samples[i].labels, (*decoded)[i].labels);
+    EXPECT_EQ(samples[i].value, (*decoded)[i].value);
+  }
+  // Bijective.
+  WireWriter again;
+  EncodeStatSamples(*decoded, &again);
+  EXPECT_EQ(bytes, again.Take());
+}
+
+TEST(WireV4Test, SlowQueriesRoundTrip) {
+  const std::vector<obs::SlowQueryEntry> entries = MakeSlowEntries();
+  WireWriter w;
+  EncodeSlowQueries(entries, &w);
+  const std::string bytes = w.Take();
+  WireReader r(bytes);
+  Result<std::vector<obs::SlowQueryEntry>> decoded = DecodeSlowQueries(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(r.ExpectEnd().ok());
+  ASSERT_EQ(entries.size(), decoded->size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].query_id, (*decoded)[i].query_id);
+    EXPECT_EQ(entries[i].table, (*decoded)[i].table);
+    EXPECT_EQ(entries[i].sql, (*decoded)[i].sql);
+    EXPECT_EQ(entries[i].asked_max_ms, (*decoded)[i].asked_max_ms);
+    EXPECT_EQ(entries[i].asked_max_error, (*decoded)[i].asked_max_error);
+    EXPECT_EQ(entries[i].asked_confidence, (*decoded)[i].asked_confidence);
+    EXPECT_EQ(entries[i].asked_exact, (*decoded)[i].asked_exact);
+    EXPECT_EQ(entries[i].error_bound_met, (*decoded)[i].error_bound_met);
+    EXPECT_EQ(entries[i].deadline_exceeded, (*decoded)[i].deadline_exceeded);
+    EXPECT_EQ(entries[i].elapsed_seconds, (*decoded)[i].elapsed_seconds);
+    EXPECT_EQ(entries[i].answered_by, (*decoded)[i].answered_by);
+    EXPECT_EQ(entries[i].trace, (*decoded)[i].trace);
+  }
+  // Bijective.
+  WireWriter again;
+  EncodeSlowQueries(*decoded, &again);
+  EXPECT_EQ(bytes, again.Take());
+}
+
+TEST(WireV4Test, HostileStatCountRejected) {
+  // A count claiming more samples than the buffer could possibly back must
+  // fail before allocating.
+  WireWriter w;
+  w.PutU32(0x7fffffff);
+  WireReader r(w.buffer());
+  Result<std::vector<obs::StatSample>> decoded = DecodeStatSamples(&r);
+  EXPECT_FALSE(decoded.ok());
+
+  WireWriter w2;
+  w2.PutU32(0x7fffffff);
+  WireReader r2(w2.buffer());
+  Result<std::vector<obs::SlowQueryEntry>> slow = DecodeSlowQueries(&r2);
+  EXPECT_FALSE(slow.ok());
+}
+
+TEST(WireV4Test, TruncationFuzzNeverCrashes) {
+  // Every strict prefix of a valid payload must decode to a clean error (or,
+  // for a lucky prefix, a shorter valid parse) — never a crash or over-read.
+  {
+    WireWriter w;
+    EncodeStatSamples(MakeSamples(), &w);
+    const std::string bytes = w.Take();
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      WireReader r(std::string_view(bytes).substr(0, cut));
+      Result<std::vector<obs::StatSample>> decoded = DecodeStatSamples(&r);
+      if (decoded.ok()) {
+        EXPECT_TRUE(r.remaining() >= 0);
+      }
+    }
+  }
+  {
+    WireWriter w;
+    EncodeSlowQueries(MakeSlowEntries(), &w);
+    const std::string bytes = w.Take();
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      WireReader r(std::string_view(bytes).substr(0, cut));
+      Result<std::vector<obs::SlowQueryEntry>> decoded = DecodeSlowQueries(&r);
+      if (decoded.ok()) {
+        EXPECT_TRUE(r.remaining() >= 0);
+      }
+    }
+  }
+  {
+    const std::string bytes =
+        EncodedOutcome(MakeTracedOutcome(), kWireVersionV4);
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      WireReader r(std::string_view(bytes).substr(0, cut));
+      Result<QueryOutcome> decoded = DecodeOutcome(&r, kWireVersionV4);
+      if (decoded.ok()) {
+        EXPECT_TRUE(r.remaining() >= 0);
+      }
+    }
+  }
+  SUCCEED();
+}
+
+TEST(WireV4Test, V4OpcodesRejectOlderVersionStamps) {
+  // kStats/kSlowLog are v4 opcodes: a frame stamping them v3 is a protocol
+  // error.
+  EXPECT_FALSE(
+      DecodeRequest(EncodeRequest(Opcode::kStats, "", kWireVersionV3)).ok());
+  EXPECT_FALSE(
+      DecodeRequest(EncodeRequest(Opcode::kSlowLog, "", kWireVersionV3)).ok());
+
+  // Stamped with their own version they decode fine.
+  Result<RequestFrame> stats = DecodeRequest(EncodeRequest(Opcode::kStats, ""));
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(Opcode::kStats, stats->opcode);
+  EXPECT_EQ(kWireVersionV4, stats->version);
+
+  Result<RequestFrame> slow = DecodeRequest(EncodeRequest(Opcode::kSlowLog, ""));
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+  EXPECT_EQ(Opcode::kSlowLog, slow->opcode);
+  EXPECT_EQ(kWireVersionV4, slow->version);
+}
+
+TEST(WireV4Test, V4QueryStampTravelsThrough) {
+  // A v4-stamped kQuery (sql + flags + query id) keeps its version byte so
+  // the server knows to read the trailing query id and answer in v4.
+  WireWriter w;
+  w.PutString("SELECT COUNT(*) FROM sky");
+  w.PutU8(0x1);
+  w.PutString("qc-99");
+  Result<RequestFrame> req =
+      DecodeRequest(EncodeRequest(Opcode::kQuery, w.buffer(), kWireVersionV4));
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(kWireVersionV4, req->version);
+  WireReader payload(req->payload);
+  Result<std::string> sql = payload.ReadString();
+  ASSERT_TRUE(sql.ok());
+  Result<uint8_t> flags = payload.ReadU8();
+  ASSERT_TRUE(flags.ok());
+  Result<std::string> query_id = payload.ReadString();
+  ASSERT_TRUE(query_id.ok());
+  EXPECT_EQ("qc-99", *query_id);
+  EXPECT_TRUE(payload.ExpectEnd().ok());
+}
+
+}  // namespace
+}  // namespace sciborq

@@ -16,8 +16,15 @@
 //   \close ID           free a prepared statement
 //   \checkpoint [TABLE] persist TABLE (or every table) into the server's
 //                       --db-dir: snapshot written atomically, WAL truncated
+//   \stats [PREFIX]     server metrics snapshot (optionally filtered to
+//                       names starting with PREFIX)
+//   \slow               the server's bound-miss/slow-query ring, oldest
+//                       first, with each query's escalation + phase trace
 //   \ping               round-trip liveness check
 //   \q                  quit
+//
+// Every query additionally prints the client-observed round-trip time next
+// to the server-reported execution time, so wire overhead is visible.
 //
 // One-shot mode: every -e runs in order (REPL commands included), and the
 // exit code is non-zero as soon as one fails — scriptable for smoke tests,
@@ -34,6 +41,7 @@
 #include <vector>
 
 #include "client/client.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 using namespace sciborq;
@@ -102,8 +110,12 @@ std::vector<std::string> SplitParamTokens(std::string_view text) {
 
 /// Prints a query outcome; answers merged by a coordinator additionally get
 /// an explicit partial-answer warning and one row per shard attempt.
-void PrintOutcome(const QueryOutcome& outcome) {
+/// `rtt_seconds` is the client-observed round trip (includes the wire),
+/// printed beside the server-reported execution time.
+void PrintOutcome(const QueryOutcome& outcome, double rtt_seconds) {
   std::printf("%s\n", outcome.ToString().c_str());
+  std::printf("rtt: %.2fms client-observed (server reported %.2fms)\n",
+              rtt_seconds * 1e3, outcome.elapsed_seconds * 1e3);
   if (outcome.shards_total == 0) return;
   if (outcome.partial) {
     std::printf(
@@ -261,6 +273,7 @@ bool HandleLine(Cli* cli, const std::string& line, bool* ok) {
     for (size_t i = 1; i < tokens.size(); ++i) {
       params.push_back(ParseParamToken(tokens[i]));
     }
+    Stopwatch rtt;
     const Result<QueryOutcome> outcome =
         client->Execute(StatementHandle{id}, params);
     if (!outcome.ok()) {
@@ -268,7 +281,67 @@ bool HandleLine(Cli* cli, const std::string& line, bool* ok) {
       std::printf("error: %s\n", outcome.status().ToString().c_str());
       return true;
     }
-    PrintOutcome(*outcome);
+    PrintOutcome(*outcome, rtt.ElapsedSeconds());
+    return true;
+  }
+  if (IsCommand(trimmed, "\\stats")) {
+    const std::string prefix = ArgAfter(trimmed, 6);
+    const Result<std::vector<obs::StatSample>> samples = client->ServerStats();
+    if (!samples.ok()) {
+      *ok = false;
+      std::printf("error: %s\n", samples.status().ToString().c_str());
+      return true;
+    }
+    int printed = 0;
+    for (const obs::StatSample& sample : *samples) {
+      if (!prefix.empty() &&
+          sample.name.compare(0, prefix.size(), prefix) != 0) {
+        continue;
+      }
+      std::printf("%s%s %.17g\n", sample.name.c_str(), sample.labels.c_str(),
+                  sample.value);
+      ++printed;
+    }
+    if (printed == 0) {
+      std::printf(prefix.empty() ? "(no metrics recorded)\n"
+                                 : "(no metrics match that prefix)\n");
+    }
+    return true;
+  }
+  if (trimmed == "\\slow") {
+    const Result<std::vector<obs::SlowQueryEntry>> entries =
+        client->SlowQueries();
+    if (!entries.ok()) {
+      *ok = false;
+      std::printf("error: %s\n", entries.status().ToString().c_str());
+      return true;
+    }
+    if (entries->empty()) {
+      std::printf("(slow-query log is empty — every bound was met)\n");
+      return true;
+    }
+    for (const obs::SlowQueryEntry& e : *entries) {
+      std::printf("%s on '%s': %s\n", e.query_id.c_str(), e.table.c_str(),
+                  e.sql.c_str());
+      std::printf(
+          "  asked: max_ms=%g max_error=%g confidence=%.2f exact=%s\n",
+          e.asked_max_ms, e.asked_max_error, e.asked_confidence,
+          e.asked_exact ? "yes" : "no");
+      std::printf(
+          "  delivered: error_bound_met=%s deadline_exceeded=%s "
+          "elapsed=%.2fms answered_by=%s\n",
+          e.error_bound_met ? "yes" : "no", e.deadline_exceeded ? "yes" : "no",
+          e.elapsed_seconds * 1e3, e.answered_by.c_str());
+      // The pre-rendered escalation + span trace, indented one level.
+      size_t start = 0;
+      while (start < e.trace.size()) {
+        size_t nl = e.trace.find('\n', start);
+        if (nl == std::string::npos) nl = e.trace.size();
+        std::printf("  %.*s\n", static_cast<int>(nl - start),
+                    e.trace.c_str() + start);
+        start = nl + 1;
+      }
+    }
     return true;
   }
   if (IsCommand(trimmed, "\\checkpoint")) {
@@ -303,13 +376,14 @@ bool HandleLine(Cli* cli, const std::string& line, bool* ok) {
     }
     return true;
   }
+  Stopwatch rtt;
   const Result<QueryOutcome> outcome = client->Query(trimmed);
   if (!outcome.ok()) {
     *ok = false;
     std::printf("error: %s\n", outcome.status().ToString().c_str());
     return true;
   }
-  PrintOutcome(*outcome);
+  PrintOutcome(*outcome, rtt.ElapsedSeconds());
   return true;
 }
 
@@ -359,7 +433,8 @@ int main(int argc, char** argv) {
 
   std::printf("connected to %s:%d — \\tables, \\describe TABLE, \\use TABLE, "
               "\\prepare SQL, \\exec ID PARAM..., \\close ID, "
-              "\\checkpoint [TABLE], \\ping, \\q; anything else is SQL\n",
+              "\\checkpoint [TABLE], \\stats [PREFIX], \\slow, \\ping, "
+              "\\q; anything else is SQL\n",
               host.c_str(), port);
   std::string line;
   for (;;) {

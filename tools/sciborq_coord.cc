@@ -3,7 +3,7 @@
 //   sciborq_coord --shard host:port [--shard host:port ...]
 //                 [--table-map FILE] [--port 4243]
 //                 [--register name=path.csv ...] [--seed N]
-//                 [--max-connections N]
+//                 [--max-connections N] [--metrics-port N]
 //
 // Speaks the same wire protocol as sciborq_server, so sciborq_cli and
 // SciborqClient work against it unchanged — but every query fans out over
@@ -22,11 +22,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "coord/coordinator.h"
+#include "obs/metrics.h"
+#include "obs/metrics_http.h"
+#include "util/log.h"
 
 using namespace sciborq;
 
@@ -41,7 +45,7 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s --shard HOST:PORT [--shard HOST:PORT ...]\n"
       "          [--table-map FILE] [--port N] [--register NAME=CSV ...]\n"
-      "          [--seed N] [--max-connections N]\n"
+      "          [--seed N] [--max-connections N] [--metrics-port N]\n"
       "  --shard HOST:PORT     a shard server (repeat; the default shard\n"
       "                        set for every table)\n"
       "  --table-map FILE      per-table shard lists, one\n"
@@ -50,6 +54,9 @@ void Usage(const char* argv0) {
       "  --register NAME=CSV   load CSV as table NAME across the shards\n"
       "  --seed N              table seed for --register (default 42)\n"
       "  --max-connections N   concurrent client connections (default 8)\n"
+      "  --metrics-port N      serve Prometheus text exposition on\n"
+      "                        http://0.0.0.0:N/metrics (0 = pick a free\n"
+      "                        port; omit to disable)\n"
       "at least one of --shard / --table-map is required\n",
       argv0);
 }
@@ -71,6 +78,7 @@ int main(int argc, char** argv) {
   int port = 4243;
   int max_connections = 8;
   int seed = 42;
+  int metrics_port = -1;  // -1 = no metrics endpoint
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -101,6 +109,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--seed" && has_value) {
       if (!ParseIntFlag(argv[++i], &seed)) {
         std::fprintf(stderr, "bad --seed value '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--metrics-port" && has_value) {
+      if (!ParseIntFlag(argv[++i], &metrics_port)) {
+        std::fprintf(stderr, "bad --metrics-port value '%s'\n", argv[i]);
         return 2;
       }
     } else if (arg == "--help" || arg == "-h") {
@@ -145,28 +158,36 @@ int main(int argc, char** argv) {
     Result<int64_t> rows =
         coordinator.RegisterCsv(name, csv, static_cast<uint64_t>(seed));
     if (!rows.ok()) {
-      std::fprintf(stderr, "failed to register '%s' from %s: %s\n",
-                   name.c_str(), csv.c_str(),
-                   rows.status().ToString().c_str());
+      LogError("failed to register '%s' from %s: %s", name.c_str(),
+               csv.c_str(), rows.status().ToString().c_str());
       return 1;
     }
-    std::printf("registered table '%s' (%lld rows) across %d shard(s)\n",
-                name.c_str(), static_cast<long long>(*rows),
-                static_cast<int>(
-                    coordinator.shard_map().ShardsFor(name).size()));
+    LogInfo("registered table '%s' (%lld rows) across %d shard(s)",
+            name.c_str(), static_cast<long long>(*rows),
+            static_cast<int>(
+                coordinator.shard_map().ShardsFor(name).size()));
   }
 
   if (Status st = coordinator.Start(); !st.ok()) {
-    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    LogError("start failed: %s", st.ToString().c_str());
     return 1;
   }
-  std::printf(
+  std::optional<obs::MetricsHttpServer> metrics_server;
+  if (metrics_port >= 0) {
+    metrics_server.emplace(obs::DefaultRegistry(), metrics_port);
+    if (Status st = metrics_server->Start(); !st.ok()) {
+      LogError("metrics endpoint failed to start: %s", st.ToString().c_str());
+      return 1;
+    }
+    LogInfo("metrics endpoint on http://0.0.0.0:%d/metrics",
+            metrics_server->port());
+  }
+  LogInfo(
       "sciborq_coord listening on port %d (%d shard endpoint(s), %d "
-      "connection slots)\n",
+      "connection slots)",
       coordinator.port(),
       static_cast<int>(coordinator.shard_map().AllEndpoints().size()),
       max_connections);
-  std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
@@ -174,12 +195,12 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
-  std::printf("shutting down: draining in-flight queries...\n");
-  std::fflush(stdout);
+  LogInfo("shutting down: draining in-flight queries...");
+  if (metrics_server.has_value()) metrics_server->Stop();
   coordinator.Stop();
-  std::printf(
+  LogInfo(
       "served %lld queries over %lld connections (%lld protocol errors); "
-      "bye\n",
+      "bye",
       static_cast<long long>(coordinator.queries_served()),
       static_cast<long long>(coordinator.connections_accepted()),
       static_cast<long long>(coordinator.protocol_errors()));

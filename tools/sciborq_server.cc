@@ -2,6 +2,7 @@
 //
 //   sciborq_server [--db-dir db/] [--data-dir data/] [--port 4242]
 //                  [--max-connections 8] [--query-threads 1]
+//                  [--metrics-port 9464]
 //
 // At least one of --db-dir / --data-dir is required.
 //
@@ -28,12 +29,16 @@
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/engine.h"
+#include "obs/metrics.h"
+#include "obs/metrics_http.h"
 #include "server/server.h"
+#include "util/log.h"
 
 using namespace sciborq;
 
@@ -48,6 +53,7 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s [--db-dir DIR] [--data-dir DIR] [--port N]\n"
       "          [--max-connections N] [--query-threads N]\n"
+      "          [--metrics-port N]\n"
       "  --db-dir DIR          persistent database directory: tables and\n"
       "                        impression hierarchies are recovered from it\n"
       "                        on boot (snapshot + WAL replay) and ingest is\n"
@@ -58,6 +64,9 @@ void Usage(const char* argv0) {
       "  --port N              TCP port (default 4242; 0 = pick a free one)\n"
       "  --max-connections N   concurrent connections served (default 8)\n"
       "  --query-threads N     scan threads per query (default 1 = serial)\n"
+      "  --metrics-port N      serve Prometheus text exposition on\n"
+      "                        http://0.0.0.0:N/metrics (0 = pick a free\n"
+      "                        port; omit to disable)\n"
       "at least one of --db-dir / --data-dir is required\n",
       argv0);
 }
@@ -78,6 +87,7 @@ int main(int argc, char** argv) {
   int port = 4242;
   int max_connections = 8;
   int query_threads = 1;
+  int metrics_port = -1;  // -1 = no metrics endpoint
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -99,6 +109,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--query-threads" && has_value) {
       if (!ParseIntFlag(argv[++i], &query_threads)) {
         std::fprintf(stderr, "bad --query-threads value '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--metrics-port" && has_value) {
+      if (!ParseIntFlag(argv[++i], &metrics_port)) {
+        std::fprintf(stderr, "bad --metrics-port value '%s'\n", argv[i]);
         return 2;
       }
     } else if (arg == "--help" || arg == "-h") {
@@ -124,18 +139,18 @@ int main(int argc, char** argv) {
     Result<std::unique_ptr<Engine>> opened =
         Engine::Open(db_dir, engine_options);
     if (!opened.ok()) {
-      std::fprintf(stderr, "cannot open --db-dir '%s': %s\n", db_dir.c_str(),
-                   opened.status().ToString().c_str());
+      LogError("cannot open --db-dir '%s': %s", db_dir.c_str(),
+               opened.status().ToString().c_str());
       return 1;
     }
     engine = std::move(opened).value();
     for (const std::string& table : engine->TableNames()) {
       const Result<int64_t> rows = engine->TableRows(table);
-      std::printf("recovered table '%s' (%lld rows) from %s\n", table.c_str(),
-                  static_cast<long long>(rows.value_or(0)), db_dir.c_str());
+      LogInfo("recovered table '%s' (%lld rows) from %s", table.c_str(),
+              static_cast<long long>(rows.value_or(0)), db_dir.c_str());
     }
     for (const std::string& warning : engine->recovery_warnings()) {
-      std::fprintf(stderr, "recovery warning: %s\n", warning.c_str());
+      LogWarn("recovery warning: %s", warning.c_str());
     }
   } else {
     engine = std::make_unique<Engine>(engine_options);
@@ -153,8 +168,8 @@ int main(int argc, char** argv) {
       }
     }
     if (ec) {
-      std::fprintf(stderr, "cannot read --data-dir '%s': %s\n",
-                   data_dir.c_str(), ec.message().c_str());
+      LogError("cannot read --data-dir '%s': %s", data_dir.c_str(),
+               ec.message().c_str());
       return 1;
     }
     std::sort(csvs.begin(), csvs.end());
@@ -162,22 +177,22 @@ int main(int argc, char** argv) {
       const std::string table = path.stem().string();
       const std::vector<std::string> names = engine->TableNames();
       if (std::find(names.begin(), names.end(), table) != names.end()) {
-        std::printf("skipping %s: table '%s' already recovered from db\n",
-                    path.string().c_str(), table.c_str());
+        LogInfo("skipping %s: table '%s' already recovered from db",
+                path.string().c_str(), table.c_str());
         continue;
       }
       const Result<int64_t> rows = engine->RegisterCsv(table, path.string());
       if (!rows.ok()) {
-        std::fprintf(stderr, "failed to register '%s': %s\n",
-                     path.string().c_str(), rows.status().ToString().c_str());
+        LogError("failed to register '%s': %s", path.string().c_str(),
+                 rows.status().ToString().c_str());
         return 1;
       }
-      std::printf("registered table '%s' (%lld rows) from %s\n", table.c_str(),
-                  static_cast<long long>(*rows), path.string().c_str());
+      LogInfo("registered table '%s' (%lld rows) from %s", table.c_str(),
+              static_cast<long long>(*rows), path.string().c_str());
     }
   }
   if (engine->TableNames().empty()) {
-    std::printf("warning: no tables — serving an empty catalog\n");
+    LogWarn("no tables — serving an empty catalog");
   }
 
   ServerOptions server_options;
@@ -185,12 +200,21 @@ int main(int argc, char** argv) {
   server_options.max_connections = max_connections;
   SciborqServer server(engine.get(), server_options);
   if (Status st = server.Start(); !st.ok()) {
-    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    LogError("start failed: %s", st.ToString().c_str());
     return 1;
   }
-  std::printf("sciborq_server listening on port %d (%d connection slots)\n",
-              server.port(), max_connections);
-  std::fflush(stdout);
+  std::optional<obs::MetricsHttpServer> metrics_server;
+  if (metrics_port >= 0) {
+    metrics_server.emplace(obs::DefaultRegistry(), metrics_port);
+    if (Status st = metrics_server->Start(); !st.ok()) {
+      LogError("metrics endpoint failed to start: %s", st.ToString().c_str());
+      return 1;
+    }
+    LogInfo("metrics endpoint on http://0.0.0.0:%d/metrics",
+            metrics_server->port());
+  }
+  LogInfo("sciborq_server listening on port %d (%d connection slots)",
+          server.port(), max_connections);
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
@@ -198,13 +222,13 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
-  std::printf("shutting down: draining in-flight queries...\n");
-  std::fflush(stdout);
+  LogInfo("shutting down: draining in-flight queries...");
+  if (metrics_server.has_value()) metrics_server->Stop();
   server.Stop();
-  std::printf("served %lld queries over %lld connections (%lld protocol "
-              "errors); bye\n",
-              static_cast<long long>(server.queries_served()),
-              static_cast<long long>(server.connections_accepted()),
-              static_cast<long long>(server.protocol_errors()));
+  LogInfo("served %lld queries over %lld connections (%lld protocol "
+          "errors); bye",
+          static_cast<long long>(server.queries_served()),
+          static_cast<long long>(server.connections_accepted()),
+          static_cast<long long>(server.protocol_errors()));
   return 0;
 }
