@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "column/csv.h"
+#include "column/encoding/encoding.h"
 #include "exec/parser.h"
 #include "obs/metrics.h"
 #include "storage/table_store.h"
@@ -60,6 +61,30 @@ std::string NextQueryId() {
                                  next.fetch_add(1, std::memory_order_relaxed)));
 }
 
+/// Number of ColumnEncoding variants — sized for per-encoding byte buckets.
+constexpr int kNumEncodings = 4;
+
+/// Raw data bytes of rows [begin, end) of a column, the serde v1 accounting:
+/// 8 bytes per numeric row, 4 (length prefix) + payload per string row.
+int64_t PlainBytesInRange(const Column& col, int64_t begin, int64_t end) {
+  if (col.type() != DataType::kString) return (end - begin) * 8;
+  int64_t bytes = 0;
+  for (int64_t row = begin; row < end; ++row) {
+    bytes += 4 + static_cast<int64_t>(col.GetString(row).size());
+  }
+  return bytes;
+}
+
+/// Per-column running storage accounting over the sidecar's covered prefix.
+/// Incremental on purpose: each refresh folds in only newly encoded morsels,
+/// so repeated ingests stay O(batch), not O(table).
+struct ColumnStorageAccum {
+  int64_t covered_morsels = 0;
+  int64_t covered_plain_bytes = 0;  ///< raw bytes of the covered prefix
+  int64_t bucket_bytes[kNumEncodings] = {};   ///< covered bytes by encoding
+  int64_t morsel_counts[kNumEncodings] = {};  ///< covered morsels by encoding
+};
+
 }  // namespace
 
 /// The escalation walk plus phase timing, rendered for the slow-query ring
@@ -111,6 +136,9 @@ struct Engine::TableEntry {
     obs::Histogram* budget_utilization = nullptr;
     obs::Histogram* error_margin = nullptr;
     obs::Histogram* checkpoint_seconds = nullptr;
+    /// Base-table data bytes by physical encoding, indexed by
+    /// ColumnEncoding. Refreshed after every ingest/restore.
+    obs::Gauge* table_bytes[kNumEncodings] = {};
     /// Per-layer answer distribution, keyed by answered_by ("base" and
     /// every impression layer pre-registered; stray names resolve lazily).
     std::unordered_map<std::string, obs::Counter*> answers;
@@ -148,6 +176,14 @@ struct Engine::TableEntry {
     metrics.checkpoint_seconds = reg->GetHistogram(
         "sciborq_checkpoint_seconds", "Checkpoint duration, by table.",
         obs::DefaultLatencyBounds(), by_table);
+    for (int e = 0; e < kNumEncodings; ++e) {
+      metrics.table_bytes[e] = reg->GetGauge(
+          "sciborq_table_bytes", "Base-table data bytes by physical encoding.",
+          {{"table", name},
+           {"encoding",
+            std::string(ColumnEncodingToString(
+                static_cast<ColumnEncoding>(e)))}});
+    }
     auto answer_counter = [&](const std::string& layer) {
       return reg->GetCounter(
           "sciborq_query_answers_total",
@@ -158,6 +194,84 @@ struct Engine::TableEntry {
     for (const auto& layer : options.layers) {
       metrics.answers[layer.name] = answer_counter(layer.name);
     }
+  }
+
+  /// Recomputes the per-encoding byte gauges from the base table's encoding
+  /// sidecar. Incremental: folds in only morsels encoded since the last
+  /// refresh, then re-walks the (sub-morsel) plain tail — O(batch) per
+  /// ingest, not O(table).
+  void RefreshStorageMetrics() REQUIRES(data_mu) {
+    storage_accum.resize(static_cast<size_t>(base.num_columns()));
+    int64_t totals[kNumEncodings] = {};
+    for (int c = 0; c < base.num_columns(); ++c) {
+      const Column& col = base.column(c);
+      ColumnStorageAccum& acc = storage_accum[static_cast<size_t>(c)];
+      const EncodedColumn* enc = col.encoding();
+      const int64_t morsels =
+          enc ? static_cast<int64_t>(enc->morsels.size()) : 0;
+      // A shrunken sidecar means the column was rebuilt; start over.
+      if (morsels < acc.covered_morsels) acc = ColumnStorageAccum();
+      for (int64_t m = acc.covered_morsels; m < morsels; ++m) {
+        const EncodedMorsel& em = enc->morsels[static_cast<size_t>(m)];
+        const int64_t mb = em.zone.row_begin;
+        const int64_t me = mb + em.zone.row_count;
+        const int64_t plain = PlainBytesInRange(col, mb, me);
+        const int e = static_cast<int>(em.encoding);
+        acc.covered_plain_bytes += plain;
+        acc.bucket_bytes[e] +=
+            em.encoding == ColumnEncoding::kPlain ? plain : em.PayloadBytes();
+        ++acc.morsel_counts[e];
+      }
+      acc.covered_morsels = morsels;
+      const int64_t covered = enc ? enc->covered_rows() : 0;
+      totals[0] +=
+          acc.bucket_bytes[0] + PlainBytesInRange(col, covered, col.size());
+      for (int e = 1; e < kNumEncodings; ++e) totals[e] += acc.bucket_bytes[e];
+    }
+    for (int e = 0; e < kNumEncodings; ++e) {
+      metrics.table_bytes[e]->Set(static_cast<double>(totals[e]));
+    }
+  }
+
+  /// Per-column storage summary for the catalog. Reads the incrementally
+  /// maintained accumulators plus a fresh pass over the unencoded tail
+  /// (always shorter than one morsel per column).
+  std::vector<ColumnStorageInfo> ColumnStorage() const
+      REQUIRES_SHARED(data_mu) {
+    std::vector<ColumnStorageInfo> out;
+    out.reserve(static_cast<size_t>(base.num_columns()));
+    for (int c = 0; c < base.num_columns(); ++c) {
+      const Column& col = base.column(c);
+      const ColumnStorageAccum acc =
+          c < static_cast<int>(storage_accum.size())
+              ? storage_accum[static_cast<size_t>(c)]
+              : ColumnStorageAccum();
+      const EncodedColumn* enc = col.encoding();
+      const int64_t covered = enc ? enc->covered_rows() : 0;
+      const int64_t tail = PlainBytesInRange(col, covered, col.size());
+      ColumnStorageInfo info;
+      info.column = base.schema().field(c).name;
+      info.plain_bytes = acc.covered_plain_bytes + tail;
+      info.encoded_bytes = tail;
+      for (int e = 0; e < kNumEncodings; ++e) {
+        info.encoded_bytes += acc.bucket_bytes[e];
+      }
+      // Dominant = the encoding covering the most morsels; the tail counts
+      // as one plain morsel, and ties go to plain.
+      int best = 0;
+      int64_t best_count =
+          acc.morsel_counts[0] + (covered < col.size() ? 1 : 0);
+      for (int e = 1; e < kNumEncodings; ++e) {
+        if (acc.morsel_counts[e] > best_count) {
+          best = e;
+          best_count = acc.morsel_counts[e];
+        }
+      }
+      info.encoding = std::string(
+          ColumnEncodingToString(static_cast<ColumnEncoding>(best)));
+      out.push_back(std::move(info));
+    }
+    return out;
   }
 
   /// The answer-distribution counter for `answered_by` (lazy fallback for
@@ -179,6 +293,9 @@ struct Engine::TableEntry {
   TableOptions options;
   mutable SharedMutex data_mu;
   Table base GUARDED_BY(data_mu);
+  /// Incremental per-column storage accounting over base's encoding sidecar
+  /// (see RefreshStorageMetrics / ColumnStorage).
+  std::vector<ColumnStorageAccum> storage_accum GUARDED_BY(data_mu);
   /// Mutated under workload_mu (ObserveQuery/Decay); presence
   /// (has_value) is fixed at build time but reads still take workload_mu —
   /// the one lock that always suffices.
@@ -269,6 +386,10 @@ Status Engine::IngestIntoEntry(TableEntry* entry, const Table& batch)
   for (int64_t row = 0; row < batch.num_rows(); ++row) {
     entry->base.AppendRowFrom(batch, row);
   }
+  // Extend the compression/zone-map sidecar over the newly completed
+  // morsels, then fold the new coverage into the byte gauges.
+  entry->base.BuildEncoding();
+  entry->RefreshStorageMetrics();
   return Status::OK();
 }
 
@@ -448,6 +569,10 @@ Status Engine::RestoreTable(RecoveredTable recovered) {
                                      std::move(snap.hierarchy)));
     raw->hierarchy.emplace(std::move(hierarchy));
     raw->base = std::move(snap.base);
+    // Snapshot decode yields plain columns; rebuild the sidecar so restored
+    // tables scan (and meter) exactly like the engine that wrote the file.
+    raw->base.BuildEncoding();
+    raw->RefreshStorageMetrics();
     raw->next_seq = snap.last_seq + 1;
     // The log window round-trips as SQL (LoggedQuery::Sql() is
     // ParseBoundedQuery's inverse, tested in engine_test).
@@ -848,6 +973,7 @@ Result<TableInfo> Engine::GetTableInfo(const std::string& table) const {
   info.rows = entry->base.num_rows();
   info.schema = entry->base.schema();
   info.population_seen = entry->hierarchy->population_seen();
+  info.storage = entry->ColumnStorage();
   info.layers.reserve(static_cast<size_t>(entry->hierarchy->num_layers()));
   for (int i = 0; i < entry->hierarchy->num_layers(); ++i) {
     const Impression& layer = entry->hierarchy->layer(i);

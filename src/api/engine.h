@@ -129,6 +129,16 @@ struct LayerSummary {
   std::string policy;   ///< "uniform", "last-seen", or "biased"
 };
 
+/// Physical-storage summary for one base-table column: which encoding its
+/// morsels predominantly carry and how the encoded footprint compares to the
+/// raw one (column/encoding/encoding.h).
+struct ColumnStorageInfo {
+  std::string column;
+  std::string encoding;       ///< dominant morsel encoding: plain/rle/for/dict
+  int64_t plain_bytes = 0;    ///< raw data bytes (8/row numeric, 4+len string)
+  int64_t encoded_bytes = 0;  ///< data bytes with per-morsel encodings applied
+};
+
 /// Structured metadata for one registered table — what the network catalog
 /// opcode ships to remote clients and `sciborq_cli \tables` renders.
 struct TableInfo {
@@ -140,6 +150,9 @@ struct TableInfo {
   bool biased = false;          ///< interest-tracked (workload-biased) sampling
   int64_t logged_queries = 0;   ///< log entries currently held in the window
   int shards = 0;  ///< shard servers behind a coordinator (0 = local table)
+  /// Per-column physical storage, one entry per schema field (v5 catalog;
+  /// empty when reported by a pre-v5 peer).
+  std::vector<ColumnStorageInfo> storage;
 
   std::string ToString() const;
 };

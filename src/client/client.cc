@@ -139,7 +139,7 @@ Result<std::vector<TableInfo>> SciborqClient::ListTables() {
   uint8_t version = kWireVersionV1;
   SCIBORQ_ASSIGN_OR_RETURN(
       const std::string payload,
-      RoundTrip(Opcode::kCatalog, "", kWireVersionV3, &version));
+      RoundTrip(Opcode::kCatalog, "", kWireVersionV5, &version));
   WireReader r(payload);
   SCIBORQ_ASSIGN_OR_RETURN(const uint32_t n, r.ReadU32());
   std::vector<TableInfo> tables;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <utility>
 
+#include "column/encoding/encoding.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
@@ -118,6 +120,7 @@ void Column::AppendFrom(const Column& src, int64_t row) {
 }
 
 void Column::SetFrom(const Column& src, int64_t src_row, int64_t dst_row) {
+  InvalidateEncoding();  // in-place overwrite: the covered prefix may change
   SCIBORQ_DCHECK(src.type_ == type_);
   SCIBORQ_DCHECK(src_row >= 0 && src_row < src.size_);
   SCIBORQ_DCHECK(dst_row >= 0 && dst_row < size_);
@@ -213,6 +216,17 @@ Result<double> Column::Max() const {
   }
   if (!any) return Status::InvalidArgument("Max: no non-null values");
   return best;
+}
+
+void Column::BuildEncoding() {
+  if (encoded_ == nullptr) {
+    encoded_ = std::make_shared<EncodedColumn>();
+  } else if (encoded_.use_count() > 1) {
+    // Shared with another Column copy (checkpoint snapshot, impression
+    // extraction): never mutate under a reader — clone, then extend.
+    encoded_ = std::make_shared<EncodedColumn>(*encoded_);
+  }
+  AppendEncodedMorsels(*this, encoded_.get());
 }
 
 int64_t Column::MemoryUsageBytes() const {

@@ -2,6 +2,7 @@
 #define SCIBORQ_COLUMN_COLUMN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,8 @@
 #include "util/status.h"
 
 namespace sciborq {
+
+struct EncodedColumn;
 
 /// A typed, nullable, append-only column. Storage is a dense std::vector of
 /// the physical type plus a validity vector that is only allocated once the
@@ -89,6 +92,23 @@ class Column {
   /// Approximate heap footprint in bytes (used by the impression size policy).
   int64_t MemoryUsageBytes() const;
 
+  // -- Encoding sidecar (column/encoding/encoding.h). --
+
+  /// The per-morsel zone-map + compression sidecar, or nullptr when none has
+  /// been built. Covers only the complete-morsel prefix of the column; the
+  /// tail is always scanned off the raw storage.
+  const EncodedColumn* encoding() const { return encoded_.get(); }
+
+  /// Builds (or incrementally extends) the sidecar over the complete morsels
+  /// appended since the last build. Copies-on-write when the sidecar is
+  /// shared with another Column copy (e.g. a checkpoint's table snapshot),
+  /// so concurrent readers of that copy never observe mutation.
+  void BuildEncoding();
+
+  /// Drops the sidecar. Called by in-place mutation (SetFrom) — appends
+  /// don't invalidate, since the covered prefix is untouched.
+  void InvalidateEncoding() { encoded_.reset(); }
+
  private:
   void MaterializeValidity();
 
@@ -99,6 +119,9 @@ class Column {
   std::vector<std::string> strings_;
   /// Empty means "all valid". 1 = valid, 0 = null.
   std::vector<uint8_t> validity_;
+  /// Shared between copies of the same column data (copying a Column copies
+  /// the pointer, not the sidecar); BuildEncoding copies-on-write.
+  std::shared_ptr<EncodedColumn> encoded_;
 };
 
 }  // namespace sciborq

@@ -1,0 +1,304 @@
+#include "column/encoding/encoding.h"
+
+#include <cmath>
+#include <string_view>
+#include <unordered_map>
+
+#include "column/column.h"
+#include "util/check.h"
+
+namespace sciborq {
+
+namespace {
+
+/// Bits needed to represent `v` (0 for v == 0).
+uint8_t BitsFor(uint64_t v) {
+  uint8_t bits = 0;
+  while (v != 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+int64_t PackedWordCount(int64_t rows, uint8_t bits) {
+  const int64_t total_bits = rows * static_cast<int64_t>(bits);
+  return (total_bits + 63) / 64;
+}
+
+/// Zone-map accumulation shared by the per-type analyzers.
+void AbsorbNumeric(ZoneMap* zone, double v) {
+  if (std::isnan(v)) {
+    zone->has_nan = true;
+    return;
+  }
+  if (!zone->has_min_max) {
+    zone->min = v;
+    zone->max = v;
+    zone->has_min_max = true;
+    return;
+  }
+  if (v < zone->min) zone->min = v;
+  if (v > zone->max) zone->max = v;
+}
+
+EncodedMorsel EncodeInt64Morsel(const Column& col, int64_t begin,
+                                int64_t end) {
+  EncodedMorsel m;
+  const int64_t rows = end - begin;
+  const int64_t* data = col.data_int64().data();
+
+  // One analysis pass: zone stats over non-null values (through the double
+  // cast the scan compares with), storage min/max and run count over all
+  // slots (null slots hold 0 and compress like any other value).
+  int64_t smin = data[begin];
+  int64_t smax = data[begin];
+  int64_t runs = 1;
+  for (int64_t row = begin; row < end; ++row) {
+    const int64_t v = data[row];
+    if (v < smin) smin = v;
+    if (v > smax) smax = v;
+    if (row > begin && v != data[row - 1]) ++runs;
+    if (col.IsNull(row)) {
+      ++m.zone.null_count;
+    } else {
+      AbsorbNumeric(&m.zone, static_cast<double>(v));
+    }
+  }
+
+  const int64_t plain_bytes = rows * 8;
+  const int64_t rle_bytes = runs * (8 + 4);
+  const uint8_t bits =
+      BitsFor(static_cast<uint64_t>(smax) - static_cast<uint64_t>(smin));
+  const int64_t for_bytes =
+      bits >= 64 ? plain_bytes : 8 + 1 + PackedWordCount(rows, bits) * 8;
+
+  if (rle_bytes < plain_bytes && rle_bytes <= for_bytes) {
+    m.encoding = ColumnEncoding::kRle;
+    m.rle_values.reserve(static_cast<size_t>(runs));
+    m.rle_lengths.reserve(static_cast<size_t>(runs));
+    int64_t run_start = begin;
+    for (int64_t row = begin + 1; row <= end; ++row) {
+      if (row == end || data[row] != data[run_start]) {
+        m.rle_values.push_back(data[run_start]);
+        m.rle_lengths.push_back(static_cast<int32_t>(row - run_start));
+        run_start = row;
+      }
+    }
+    return m;
+  }
+  if (for_bytes < plain_bytes) {
+    m.encoding = ColumnEncoding::kFor;
+    m.for_reference = smin;
+    m.for_bits = bits;
+    std::vector<uint64_t> deltas(static_cast<size_t>(rows));
+    for (int64_t row = begin; row < end; ++row) {
+      deltas[static_cast<size_t>(row - begin)] =
+          static_cast<uint64_t>(data[row]) - static_cast<uint64_t>(smin);
+    }
+    PackBits(deltas.data(), rows, bits, &m.for_words);
+    return m;
+  }
+  return m;  // kPlain
+}
+
+EncodedMorsel EncodeDoubleMorsel(const Column& col, int64_t begin,
+                                 int64_t end) {
+  EncodedMorsel m;
+  const double* data = col.data_double().data();
+  for (int64_t row = begin; row < end; ++row) {
+    if (col.IsNull(row)) {
+      ++m.zone.null_count;
+    } else {
+      AbsorbNumeric(&m.zone, data[row]);
+    }
+  }
+  return m;  // doubles stay kPlain; the zone map alone earns its keep
+}
+
+EncodedMorsel EncodeStringMorsel(const Column& col, int64_t begin,
+                                 int64_t end) {
+  EncodedMorsel m;
+  const int64_t rows = end - begin;
+  const std::vector<std::string>& data = col.data_string();
+
+  std::unordered_map<std::string_view, uint32_t> codes;
+  std::vector<uint32_t> row_codes(static_cast<size_t>(rows));
+  int64_t plain_bytes = 0;
+  int64_t dict_value_bytes = 0;
+  bool too_many = false;
+  for (int64_t row = begin; row < end; ++row) {
+    if (col.IsNull(row)) ++m.zone.null_count;
+    const std::string& s = data[static_cast<size_t>(row)];
+    plain_bytes += 4 + static_cast<int64_t>(s.size());
+    if (too_many) continue;
+    const auto [it, inserted] =
+        codes.emplace(std::string_view(s), static_cast<uint32_t>(codes.size()));
+    if (inserted) {
+      dict_value_bytes += 4 + static_cast<int64_t>(s.size());
+      if (codes.size() > kMaxDictValues) {
+        too_many = true;
+        continue;
+      }
+    }
+    row_codes[static_cast<size_t>(row - begin)] = it->second;
+  }
+  const int64_t dict_bytes = dict_value_bytes + rows * 4;
+  if (too_many || dict_bytes >= plain_bytes) return m;  // kPlain
+
+  m.encoding = ColumnEncoding::kDict;
+  m.dict_values.resize(codes.size());
+  for (const auto& [value, code] : codes) {
+    m.dict_values[code] = std::string(value);
+  }
+  m.dict_codes = std::move(row_codes);
+  return m;
+}
+
+}  // namespace
+
+std::string_view ColumnEncodingToString(ColumnEncoding e) {
+  switch (e) {
+    case ColumnEncoding::kPlain:
+      return "plain";
+    case ColumnEncoding::kRle:
+      return "rle";
+    case ColumnEncoding::kFor:
+      return "for";
+    case ColumnEncoding::kDict:
+      return "dict";
+  }
+  return "unknown";
+}
+
+int64_t EncodedMorsel::PayloadBytes() const {
+  switch (encoding) {
+    case ColumnEncoding::kPlain:
+      return 0;
+    case ColumnEncoding::kRle:
+      return static_cast<int64_t>(rle_values.size() * sizeof(int64_t) +
+                                  rle_lengths.size() * sizeof(int32_t));
+    case ColumnEncoding::kFor:
+      return static_cast<int64_t>(sizeof(int64_t) + 1 +
+                                  for_words.size() * sizeof(uint64_t));
+    case ColumnEncoding::kDict: {
+      int64_t bytes =
+          static_cast<int64_t>(dict_codes.size() * sizeof(uint32_t));
+      for (const std::string& s : dict_values) {
+        bytes += 4 + static_cast<int64_t>(s.size());
+      }
+      return bytes;
+    }
+  }
+  return 0;
+}
+
+int64_t EncodedColumn::PayloadBytes() const {
+  int64_t bytes = 0;
+  for (const EncodedMorsel& m : morsels) bytes += m.PayloadBytes();
+  return bytes;
+}
+
+void PackBits(const uint64_t* values, int64_t n, uint8_t bits,
+              std::vector<uint64_t>* words) {
+  words->assign(static_cast<size_t>(PackedWordCount(n, bits)), 0);
+  if (bits == 0) return;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t bit_pos = i * bits;
+    const size_t word = static_cast<size_t>(bit_pos >> 6);
+    const int shift = static_cast<int>(bit_pos & 63);
+    (*words)[word] |= values[i] << shift;
+    if (shift + bits > 64) {
+      (*words)[word + 1] |= values[i] >> (64 - shift);
+    }
+  }
+}
+
+uint64_t UnpackBit(const std::vector<uint64_t>& words, int64_t i,
+                   uint8_t bits) {
+  if (bits == 0) return 0;
+  const uint64_t mask =
+      bits >= 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+  const int64_t bit_pos = i * bits;
+  const size_t word = static_cast<size_t>(bit_pos >> 6);
+  const int shift = static_cast<int>(bit_pos & 63);
+  uint64_t v = words[word] >> shift;
+  if (shift + bits > 64) {
+    v |= words[word + 1] << (64 - shift);
+  }
+  return v & mask;
+}
+
+EncodedMorsel EncodeMorsel(const Column& col, int64_t begin, int64_t end) {
+  SCIBORQ_DCHECK(begin >= 0 && begin <= end && end <= col.size());
+  EncodedMorsel m;
+  if (begin == end) {
+    m.zone.row_begin = begin;
+    return m;
+  }
+  switch (col.type()) {
+    case DataType::kInt64:
+      m = EncodeInt64Morsel(col, begin, end);
+      break;
+    case DataType::kDouble:
+      m = EncodeDoubleMorsel(col, begin, end);
+      break;
+    case DataType::kString:
+      m = EncodeStringMorsel(col, begin, end);
+      break;
+  }
+  m.zone.row_begin = begin;
+  m.zone.row_count = end - begin;
+  return m;
+}
+
+void AppendEncodedMorsels(const Column& col, EncodedColumn* enc) {
+  const int64_t morsel_rows = enc->morsel_rows;
+  SCIBORQ_DCHECK(morsel_rows > 0);
+  int64_t begin = enc->covered_rows();
+  while (begin + morsel_rows <= col.size()) {
+    enc->morsels.push_back(EncodeMorsel(col, begin, begin + morsel_rows));
+    begin += morsel_rows;
+  }
+}
+
+void DecodeInt64Morsel(const EncodedMorsel& m, int64_t* out) {
+  switch (m.encoding) {
+    case ColumnEncoding::kRle: {
+      int64_t pos = 0;
+      for (size_t run = 0; run < m.rle_values.size(); ++run) {
+        const int64_t v = m.rle_values[run];
+        const int64_t len = m.rle_lengths[run];
+        for (int64_t i = 0; i < len; ++i) out[pos + i] = v;
+        pos += len;
+      }
+      return;
+    }
+    case ColumnEncoding::kFor: {
+      const uint64_t ref = static_cast<uint64_t>(m.for_reference);
+      for (int64_t i = 0; i < m.zone.row_count; ++i) {
+        out[i] =
+            static_cast<int64_t>(ref + UnpackBit(m.for_words, i, m.for_bits));
+      }
+      return;
+    }
+    case ColumnEncoding::kPlain:
+    case ColumnEncoding::kDict:
+      SCIBORQ_DCHECK(false && "DecodeInt64Morsel requires kRle or kFor");
+      return;
+  }
+}
+
+const EncodedMorsel* FindEncodedMorsel(const Column& col, int64_t begin,
+                                       int64_t end) {
+  const EncodedColumn* enc = col.encoding();
+  if (enc == nullptr || enc->morsel_rows <= 0) return nullptr;
+  if (begin % enc->morsel_rows != 0 || end - begin != enc->morsel_rows) {
+    return nullptr;
+  }
+  const int64_t index = begin / enc->morsel_rows;
+  if (index >= static_cast<int64_t>(enc->morsels.size())) return nullptr;
+  return &enc->morsels[static_cast<size_t>(index)];
+}
+
+}  // namespace sciborq

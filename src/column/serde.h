@@ -46,6 +46,26 @@ Result<Column> DecodeColumn(BinaryReader* r);
 void EncodeTable(const Table& table, BinaryWriter* w);
 Result<Table> DecodeTable(BinaryReader* r);
 
+// ---------------------------------------------------------------------------
+// v2 "encoded page" codecs — the compressed snapshot format. Columns are
+// written in kEncodingMorselRows-row chunks, each chunk carrying the payload
+// the per-morsel cost model picked (column/encoding/encoding.h): RLE or
+// frame-of-reference bit-packing for int64, a dictionary for strings, raw
+// values otherwise. Null slots are written with their storage defaults and
+// restored through the validity prefix, so a decoded column is
+// value-identical to the source (doubles bit-for-bit), exactly like v1.
+//
+// Layout: u8 type | i64 size | bool has_nulls | [validity bools] |
+// u32 chunk count | chunks, where each chunk is u8 encoding tag + payload
+// (see serde.cc). Decoding is hostile-input safe on the same terms as v1.
+// ---------------------------------------------------------------------------
+
+void EncodeColumnEncoded(const Column& col, BinaryWriter* w);
+Result<Column> DecodeColumnEncoded(BinaryReader* r);
+
+void EncodeTableEncoded(const Table& table, BinaryWriter* w);
+Result<Table> DecodeTableEncoded(BinaryReader* r);
+
 }  // namespace sciborq
 
 #endif  // SCIBORQ_COLUMN_SERDE_H_

@@ -108,6 +108,10 @@ Result<Value> Table::GetCell(int64_t row, const std::string& column_name) const 
   return col->GetValue(row);
 }
 
+void Table::BuildEncoding() {
+  for (Column& col : columns_) col.BuildEncoding();
+}
+
 Status Table::Validate() const {
   if (static_cast<int>(columns_.size()) != schema_.num_fields()) {
     return Status::Internal("column count does not match schema");

@@ -65,6 +65,12 @@ class Table {
   /// Boxed cell access for API boundaries and tests.
   Result<Value> GetCell(int64_t row, const std::string& column_name) const;
 
+  /// Builds (or incrementally extends) every column's encoding sidecar —
+  /// zone maps + per-morsel compression (column/encoding/encoding.h). Called
+  /// by the engine after ingest under its exclusive data lock; scans consult
+  /// the sidecars through the Column::encoding() accessor.
+  void BuildEncoding();
+
   /// Checks internal consistency (all columns the declared length/type).
   Status Validate() const;
 

@@ -99,6 +99,37 @@ Result<AggregateMoments> AccumulateAggregate(const Table& table,
       pool, static_cast<int64_t>(rows.size()), kDefaultMorselRows,
       [&rows, col](int64_t begin, int64_t end) {
         AggregateMoments partial;
+        // Dense fast path: when this slice of the selection is a contiguous
+        // ascending row range (the common case after zone-map blanket
+        // matches) over a null-free column, stream the raw storage with no
+        // per-row gather. The Add sequence is exactly the general loop's,
+        // so the result stays bit-identical.
+        const int64_t n = end - begin;
+        if (n > 0 && !col->has_nulls()) {
+          const int64_t first = rows[static_cast<size_t>(begin)];
+          const int64_t last = rows[static_cast<size_t>(end - 1)];
+          if (last - first + 1 == n) {
+            bool dense = true;
+            for (int64_t i = begin; i < end; ++i) {
+              if (rows[static_cast<size_t>(i)] != first + (i - begin)) {
+                dense = false;
+                break;
+              }
+            }
+            if (dense) {
+              if (col->type() == DataType::kDouble) {
+                const double* v = col->data_double().data();
+                for (int64_t r = first; r <= last; ++r) partial.Add(v[r]);
+              } else {
+                const int64_t* v = col->data_int64().data();
+                for (int64_t r = first; r <= last; ++r) {
+                  partial.Add(static_cast<double>(v[r]));
+                }
+              }
+              return partial;
+            }
+          }
+        }
         for (int64_t i = begin; i < end; ++i) {
           const int64_t row = rows[static_cast<size_t>(i)];
           if (col->IsNull(row)) continue;

@@ -1,11 +1,39 @@
 #include "exec/expr.h"
 
 #include <cmath>
+#include <numeric>
 
+#include "column/encoding/encoding.h"
+#include "exec/kernels.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
 namespace sciborq {
+
+// A scan morsel maps 1:1 onto an encoded morsel, so FindEncodedMorsel can
+// resolve every aligned scan range to its zone map.
+static_assert(kEncodingMorselRows == kDefaultMorselRows,
+              "scan morsels must align with the encoding sidecar");
+
+namespace {
+
+/// Morsels dismissed wholesale by zone-map pruning, across all tables.
+/// Function-local static: registered once, then a cached pointer — safe to
+/// Inc from pool workers (magic-static init + atomic counter).
+obs::Counter* MorselsSkippedCounter() {
+  static obs::Counter* counter = obs::DefaultRegistry()->GetCounter(
+      "sciborq_morsels_skipped_total",
+      "Scan morsels skipped entirely by zone-map pruning");
+  return counter;
+}
+
+void FillDense(int64_t begin, int64_t end, SelectionVector* out) {
+  out->resize(static_cast<size_t>(end - begin));
+  std::iota(out->begin(), out->end(), begin);
+}
+
+}  // namespace
 
 Result<SelectionVector> SelectAll(const Table& table, const Predicate& pred,
                                   ThreadPool* pool) {
@@ -13,18 +41,25 @@ Result<SelectionVector> SelectAll(const Table& table, const Predicate& pred,
   // Morsel-driven scan: each morsel filters its contiguous row range into a
   // private selection, and the partials concatenate in morsel order — the
   // result is the exact selection the one-shot serial scan produces,
-  // regardless of thread count.
+  // regardless of thread count. Zone maps rule first: a morsel whose verdict
+  // is decided never touches column data.
   SelectionVector out;
   Status first_error = Status::OK();
   ParallelMorselReduce<Result<SelectionVector>>(
       pool, table.num_rows(), kDefaultMorselRows,
       [&table, &pred](int64_t begin, int64_t end) -> Result<SelectionVector> {
-        SelectionVector candidates(static_cast<size_t>(end - begin));
-        for (int64_t i = begin; i < end; ++i) {
-          candidates[static_cast<size_t>(i - begin)] = i;
-        }
         SelectionVector selected;
-        SCIBORQ_RETURN_NOT_OK(pred.Select(table, candidates, &selected));
+        switch (pred.TestMorsel(table, begin, end)) {
+          case MorselVerdict::kSkipAll:
+            MorselsSkippedCounter()->Inc();
+            return selected;
+          case MorselVerdict::kMatchAll:
+            FillDense(begin, end, &selected);
+            return selected;
+          case MorselVerdict::kScanRows:
+            break;
+        }
+        SCIBORQ_RETURN_NOT_OK(pred.SelectRange(table, begin, end, &selected));
         return selected;
       },
       [&out, &first_error](Result<SelectionVector>&& partial) {
@@ -43,6 +78,13 @@ Result<std::unique_ptr<Predicate>> Predicate::BindParams(
     const std::vector<Value>& params) const {
   (void)params;
   return Clone();
+}
+
+Status Predicate::SelectRange(const Table& table, int64_t begin, int64_t end,
+                              SelectionVector* out) const {
+  SelectionVector candidates;
+  FillDense(begin, end, &candidates);
+  return Select(table, candidates, out);
 }
 
 std::string_view CompareOpToString(CompareOp op) {
@@ -120,6 +162,86 @@ class ComparePredicate final : public Predicate {
     return MatchesValue(col->NumericAt(row), literal_.AsDouble());
   }
 
+  MorselVerdict TestMorsel(const Table& table, int64_t begin,
+                           int64_t end) const override {
+    const Column* col = table.ColumnByName(column_).value_or(nullptr);
+    if (col == nullptr) return MorselVerdict::kScanRows;
+    const EncodedMorsel* m = FindEncodedMorsel(*col, begin, end);
+    if (m == nullptr) return MorselVerdict::kScanRows;
+    if (col->type() == DataType::kString || literal_.is_string()) {
+      if (col->type() != DataType::kString || !literal_.is_string()) {
+        return MorselVerdict::kScanRows;  // mistyped; Validate rejects it
+      }
+      return TestStringMorsel(*m);
+    }
+    if (literal_.is_null()) return MorselVerdict::kScanRows;
+    return TestNumericMorsel(m->zone);
+  }
+
+  Status SelectRange(const Table& table, int64_t begin, int64_t end,
+                     SelectionVector* out) const override {
+    out->clear();
+    SCIBORQ_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column_));
+    const EncodedMorsel* m = FindEncodedMorsel(*col, begin, end);
+    if (col->type() == DataType::kString) {
+      const std::string& want = literal_.str();
+      if (m != nullptr && m->encoding == ColumnEncoding::kDict) {
+        // Compressed-domain scan: one comparison per distinct value, then a
+        // code-indexed mask lookup per row instead of a string compare.
+        std::vector<uint8_t> code_matches(m->dict_values.size());
+        for (size_t c = 0; c < m->dict_values.size(); ++c) {
+          code_matches[c] = MatchesOrdering(m->dict_values[c].compare(want));
+        }
+        for (int64_t row = begin; row < end; ++row) {
+          if (col->IsNull(row)) continue;
+          if (code_matches[m->dict_codes[static_cast<size_t>(row - begin)]]) {
+            out->push_back(row);
+          }
+        }
+        return Status::OK();
+      }
+      for (int64_t row = begin; row < end; ++row) {
+        if (col->IsNull(row)) continue;
+        if (MatchesOrdering(col->GetString(row).compare(want))) {
+          out->push_back(row);
+        }
+      }
+      return Status::OK();
+    }
+    const double want = literal_.AsDouble();
+    if (m != nullptr && m->encoding == ColumnEncoding::kRle) {
+      // Compressed-domain scan: one comparison per run.
+      const bool no_nulls = m->zone.null_count == 0;
+      int64_t row = begin;
+      for (size_t r = 0; r < m->rle_values.size(); ++r) {
+        const int64_t len = m->rle_lengths[r];
+        if (MatchesValue(static_cast<double>(m->rle_values[r]), want)) {
+          for (int64_t j = 0; j < len; ++j) {
+            if (no_nulls || !col->IsNull(row + j)) out->push_back(row + j);
+          }
+        }
+        row += len;
+      }
+      return Status::OK();
+    }
+    if (!col->has_nulls()) {
+      out->resize(static_cast<size_t>(end - begin));
+      const int64_t k =
+          col->type() == DataType::kDouble
+              ? FilterDoubleCompare(col->data_double().data(), begin, end, op_,
+                                    want, out->data())
+              : FilterInt64Compare(col->data_int64().data(), begin, end, op_,
+                                   want, out->data());
+      out->resize(static_cast<size_t>(k));
+      return Status::OK();
+    }
+    for (int64_t row = begin; row < end; ++row) {
+      if (col->IsNull(row)) continue;
+      if (MatchesValue(col->NumericAt(row), want)) out->push_back(row);
+    }
+    return Status::OK();
+  }
+
   void CollectPredicatePoints(
       std::vector<PredicatePoint>* points) const override {
     if (!literal_.is_string() && !literal_.is_null()) {
@@ -175,6 +297,101 @@ class ComparePredicate final : public Predicate {
     return false;
   }
 
+  /// Zone verdict for a numeric morsel. The invariants that make each branch
+  /// sound: null rows never match any comparison; NaN values fail every op
+  /// except kNe (which they always pass when `want` is not NaN); zone
+  /// min/max bound exactly the non-null, non-NaN values as doubles — the
+  /// same cast the scan compares with.
+  MorselVerdict TestNumericMorsel(const ZoneMap& z) const {
+    if (z.row_count == 0) return MorselVerdict::kScanRows;
+    if (z.null_count == z.row_count) return MorselVerdict::kSkipAll;
+    const double want = literal_.AsDouble();
+    if (std::isnan(want)) {
+      // v <op> NaN is false for every ordered op and true for kNe.
+      if (op_ != CompareOp::kNe) return MorselVerdict::kSkipAll;
+      return z.null_count == 0 ? MorselVerdict::kMatchAll
+                               : MorselVerdict::kScanRows;
+    }
+    if (!z.has_min_max) {
+      // Every non-null value is NaN.
+      if (op_ != CompareOp::kNe) return MorselVerdict::kSkipAll;
+      return z.null_count == 0 ? MorselVerdict::kMatchAll
+                               : MorselVerdict::kScanRows;
+    }
+    // `clean` = every row is a non-null, non-NaN value inside [min, max] —
+    // the precondition for blanket-matching.
+    const bool clean = z.null_count == 0 && !z.has_nan;
+    switch (op_) {
+      case CompareOp::kEq:
+        if (want < z.min || want > z.max) return MorselVerdict::kSkipAll;
+        if (clean && z.min == z.max && z.min == want) {
+          return MorselVerdict::kMatchAll;
+        }
+        break;
+      case CompareOp::kNe:
+        if (z.min == z.max && z.min == want && !z.has_nan) {
+          return MorselVerdict::kSkipAll;
+        }
+        if (z.null_count == 0 && (want < z.min || want > z.max)) {
+          return MorselVerdict::kMatchAll;  // NaN values also pass kNe
+        }
+        break;
+      case CompareOp::kLt:
+        if (z.min >= want) return MorselVerdict::kSkipAll;
+        if (clean && z.max < want) return MorselVerdict::kMatchAll;
+        break;
+      case CompareOp::kLe:
+        if (z.min > want) return MorselVerdict::kSkipAll;
+        if (clean && z.max <= want) return MorselVerdict::kMatchAll;
+        break;
+      case CompareOp::kGt:
+        if (z.max <= want) return MorselVerdict::kSkipAll;
+        if (clean && z.min > want) return MorselVerdict::kMatchAll;
+        break;
+      case CompareOp::kGe:
+        if (z.max < want) return MorselVerdict::kSkipAll;
+        if (clean && z.min >= want) return MorselVerdict::kMatchAll;
+        break;
+    }
+    return MorselVerdict::kScanRows;
+  }
+
+  /// Zone verdict for a dictionary-encoded string morsel: the dictionary
+  /// lists every distinct *storage* value (null slots contribute ""), so
+  /// membership answers equality questions for the whole morsel. Only
+  /// kEq/kNe prune; ordered string comparisons stay scan.
+  MorselVerdict TestStringMorsel(const EncodedMorsel& m) const {
+    if (m.zone.row_count == 0) return MorselVerdict::kScanRows;
+    if (m.zone.null_count == m.zone.row_count) return MorselVerdict::kSkipAll;
+    if (m.encoding != ColumnEncoding::kDict ||
+        (op_ != CompareOp::kEq && op_ != CompareOp::kNe)) {
+      return MorselVerdict::kScanRows;
+    }
+    const std::string& want = literal_.str();
+    bool in_dict = false;
+    for (const std::string& v : m.dict_values) {
+      if (v == want) {
+        in_dict = true;
+        break;
+      }
+    }
+    if (op_ == CompareOp::kEq) {
+      // Not in the dictionary → no storage slot holds `want`. (The converse
+      // is unreliable: a "" entry may be backed only by null slots.)
+      if (!in_dict) return MorselVerdict::kSkipAll;
+      if (m.zone.null_count == 0 && m.dict_values.size() == 1 && in_dict) {
+        return MorselVerdict::kMatchAll;
+      }
+      return MorselVerdict::kScanRows;
+    }
+    // kNe
+    if (m.zone.null_count == 0) {
+      if (!in_dict) return MorselVerdict::kMatchAll;
+      if (m.dict_values.size() == 1) return MorselVerdict::kSkipAll;
+    }
+    return MorselVerdict::kScanRows;
+  }
+
   std::string column_;
   CompareOp op_;
   Value literal_;
@@ -214,6 +431,71 @@ class BetweenPredicate final : public Predicate {
     if (col == nullptr || col->IsNull(row)) return false;
     const double v = col->NumericAt(row);
     return v >= lo_ && v <= hi_;
+  }
+
+  MorselVerdict TestMorsel(const Table& table, int64_t begin,
+                           int64_t end) const override {
+    const Column* col = table.ColumnByName(column_).value_or(nullptr);
+    if (col == nullptr || col->type() == DataType::kString) {
+      return MorselVerdict::kScanRows;
+    }
+    const EncodedMorsel* m = FindEncodedMorsel(*col, begin, end);
+    if (m == nullptr || m->zone.row_count == 0) return MorselVerdict::kScanRows;
+    const ZoneMap& z = m->zone;
+    if (z.null_count == z.row_count) return MorselVerdict::kSkipAll;
+    if (std::isnan(lo_) || std::isnan(hi_)) return MorselVerdict::kSkipAll;
+    // NaN values fail both bounds, so !has_min_max (all-NaN) always skips.
+    if (!z.has_min_max || z.max < lo_ || z.min > hi_) {
+      return MorselVerdict::kSkipAll;
+    }
+    if (z.null_count == 0 && !z.has_nan && z.min >= lo_ && z.max <= hi_) {
+      return MorselVerdict::kMatchAll;
+    }
+    return MorselVerdict::kScanRows;
+  }
+
+  Status SelectRange(const Table& table, int64_t begin, int64_t end,
+                     SelectionVector* out) const override {
+    out->clear();
+    SCIBORQ_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column_));
+    if (col->type() == DataType::kString) {
+      return Status::InvalidArgument(
+          StrFormat("BETWEEN requires numeric column, got '%s'",
+                    column_.c_str()));
+    }
+    const EncodedMorsel* m = FindEncodedMorsel(*col, begin, end);
+    if (m != nullptr && m->encoding == ColumnEncoding::kRle) {
+      const bool no_nulls = m->zone.null_count == 0;
+      int64_t row = begin;
+      for (size_t r = 0; r < m->rle_values.size(); ++r) {
+        const int64_t len = m->rle_lengths[r];
+        const double v = static_cast<double>(m->rle_values[r]);
+        if (v >= lo_ && v <= hi_) {
+          for (int64_t j = 0; j < len; ++j) {
+            if (no_nulls || !col->IsNull(row + j)) out->push_back(row + j);
+          }
+        }
+        row += len;
+      }
+      return Status::OK();
+    }
+    if (!col->has_nulls()) {
+      out->resize(static_cast<size_t>(end - begin));
+      const int64_t k =
+          col->type() == DataType::kDouble
+              ? FilterDoubleBetween(col->data_double().data(), begin, end, lo_,
+                                    hi_, out->data())
+              : FilterInt64Between(col->data_int64().data(), begin, end, lo_,
+                                   hi_, out->data());
+      out->resize(static_cast<size_t>(k));
+      return Status::OK();
+    }
+    for (int64_t row = begin; row < end; ++row) {
+      if (col->IsNull(row)) continue;
+      const double v = col->NumericAt(row);
+      if (v >= lo_ && v <= hi_) out->push_back(row);
+    }
+    return Status::OK();
   }
 
   void CollectPredicatePoints(
@@ -281,6 +563,55 @@ class ConePredicate final : public Predicate {
     return dx * dx + dy * dy <= r_ * r_;
   }
 
+  MorselVerdict TestMorsel(const Table& table, int64_t begin,
+                           int64_t end) const override {
+    const Column* colx = table.ColumnByName(cx_).value_or(nullptr);
+    const Column* coly = table.ColumnByName(cy_).value_or(nullptr);
+    if (colx == nullptr || coly == nullptr) return MorselVerdict::kScanRows;
+    if (colx->type() == DataType::kString ||
+        coly->type() == DataType::kString) {
+      return MorselVerdict::kScanRows;
+    }
+    const EncodedMorsel* mx = FindEncodedMorsel(*colx, begin, end);
+    const EncodedMorsel* my = FindEncodedMorsel(*coly, begin, end);
+    if (mx == nullptr || my == nullptr || mx->zone.row_count == 0) {
+      return MorselVerdict::kScanRows;
+    }
+    const ZoneMap& zx = mx->zone;
+    const ZoneMap& zy = my->zone;
+    // A match needs both coordinates non-null and non-NaN.
+    if (zx.null_count == zx.row_count || zy.null_count == zy.row_count) {
+      return MorselVerdict::kSkipAll;
+    }
+    if (!zx.has_min_max || !zy.has_min_max) return MorselVerdict::kSkipAll;
+    if (std::isnan(x0_) || std::isnan(y0_) || std::isnan(r_)) {
+      return MorselVerdict::kSkipAll;
+    }
+    const double r2 = r_ * r_;
+    // Skip: the closest point of the zone bounding box to the center. Every
+    // rounding step (subtract, square, add) is monotonic, so a row's
+    // computed distance² can never round below this box distance².
+    const double dx_near = NearestDelta(x0_, zx.min, zx.max);
+    const double dy_near = NearestDelta(y0_, zy.min, zy.max);
+    if (dx_near * dx_near + dy_near * dy_near > r2) {
+      return MorselVerdict::kSkipAll;
+    }
+    // Match-all: the farthest corner of the box, same monotonicity argument
+    // in the other direction — but only when every row is a clean value.
+    const bool clean_x =
+        zx.null_count == 0 && !zx.has_nan && zx.has_min_max;
+    const bool clean_y =
+        zy.null_count == 0 && !zy.has_nan && zy.has_min_max;
+    if (clean_x && clean_y) {
+      const double dx_far = FarthestDelta(x0_, zx.min, zx.max);
+      const double dy_far = FarthestDelta(y0_, zy.min, zy.max);
+      if (dx_far * dx_far + dy_far * dy_far <= r2) {
+        return MorselVerdict::kMatchAll;
+      }
+    }
+    return MorselVerdict::kScanRows;
+  }
+
   void CollectPredicatePoints(
       std::vector<PredicatePoint>* points) const override {
     // fGetNearbyObjEq(ra, dec, r): the center is the focal point (§4).
@@ -303,6 +634,20 @@ class ConePredicate final : public Predicate {
   }
 
  private:
+  /// The zone-box delta with the smallest magnitude, computed with the
+  /// exact expression shape of the row path (`value - center`) so floating
+  /// rounding stays comparable.
+  static double NearestDelta(double center, double lo, double hi) {
+    if (center < lo) return lo - center;
+    if (center > hi) return hi - center;
+    return 0.0;
+  }
+  static double FarthestDelta(double center, double lo, double hi) {
+    const double a = lo - center;
+    const double b = hi - center;
+    return std::fabs(a) >= std::fabs(b) ? a : b;
+  }
+
   std::string cx_;
   std::string cy_;
   double x0_;
@@ -402,6 +747,38 @@ class NotPredicate final : public Predicate {
     return !child_->Matches(table, row);
   }
 
+  MorselVerdict TestMorsel(const Table& table, int64_t begin,
+                           int64_t end) const override {
+    // NOT is an exact complement over the morsel (null rows fail the child,
+    // so NOT matches them), so decided child verdicts invert.
+    switch (child_->TestMorsel(table, begin, end)) {
+      case MorselVerdict::kSkipAll:
+        return MorselVerdict::kMatchAll;
+      case MorselVerdict::kMatchAll:
+        return MorselVerdict::kSkipAll;
+      case MorselVerdict::kScanRows:
+        break;
+    }
+    return MorselVerdict::kScanRows;
+  }
+
+  Status SelectRange(const Table& table, int64_t begin, int64_t end,
+                     SelectionVector* out) const override {
+    out->clear();
+    SelectionVector matched;
+    SCIBORQ_RETURN_NOT_OK(child_->SelectRange(table, begin, end, &matched));
+    // matched is ascending within [begin, end); emit the complement.
+    size_t m = 0;
+    for (int64_t row = begin; row < end; ++row) {
+      if (m < matched.size() && matched[m] == row) {
+        ++m;
+      } else {
+        out->push_back(row);
+      }
+    }
+    return Status::OK();
+  }
+
   void CollectPredicatePoints(
       std::vector<PredicatePoint>* points) const override {
     child_->CollectPredicatePoints(points);
@@ -462,6 +839,52 @@ class AndPredicate final : public Predicate {
       if (!c->Matches(table, row)) return false;
     }
     return true;
+  }
+
+  MorselVerdict TestMorsel(const Table& table, int64_t begin,
+                           int64_t end) const override {
+    bool all_match = true;
+    for (const auto& c : children_) {
+      switch (c->TestMorsel(table, begin, end)) {
+        case MorselVerdict::kSkipAll:
+          return MorselVerdict::kSkipAll;  // one empty conjunct empties all
+        case MorselVerdict::kScanRows:
+          all_match = false;
+          break;
+        case MorselVerdict::kMatchAll:
+          break;
+      }
+    }
+    return all_match ? MorselVerdict::kMatchAll : MorselVerdict::kScanRows;
+  }
+
+  Status SelectRange(const Table& table, int64_t begin, int64_t end,
+                     SelectionVector* out) const override {
+    out->clear();
+    // Per-conjunct zone verdicts first: a skipping child empties the morsel
+    // outright, a blanket-matching child cannot narrow it and is elided.
+    bool first = true;
+    SelectionVector next;
+    for (const auto& c : children_) {
+      switch (c->TestMorsel(table, begin, end)) {
+        case MorselVerdict::kSkipAll:
+          out->clear();
+          return Status::OK();
+        case MorselVerdict::kMatchAll:
+          continue;
+        case MorselVerdict::kScanRows:
+          break;
+      }
+      if (first) {
+        SCIBORQ_RETURN_NOT_OK(c->SelectRange(table, begin, end, out));
+        first = false;
+      } else {
+        SCIBORQ_RETURN_NOT_OK(c->Select(table, *out, &next));
+        out->swap(next);
+      }
+    }
+    if (first) FillDense(begin, end, out);  // every conjunct blanket-matched
+    return Status::OK();
   }
 
   void CollectPredicatePoints(
@@ -535,6 +958,51 @@ class OrPredicate final : public Predicate {
       if (c->Matches(table, row)) return true;
     }
     return false;
+  }
+
+  MorselVerdict TestMorsel(const Table& table, int64_t begin,
+                           int64_t end) const override {
+    bool all_skip = !children_.empty();
+    for (const auto& c : children_) {
+      switch (c->TestMorsel(table, begin, end)) {
+        case MorselVerdict::kMatchAll:
+          return MorselVerdict::kMatchAll;  // one full disjunct fills all
+        case MorselVerdict::kScanRows:
+          all_skip = false;
+          break;
+        case MorselVerdict::kSkipAll:
+          break;
+      }
+    }
+    return all_skip ? MorselVerdict::kSkipAll : MorselVerdict::kScanRows;
+  }
+
+  Status SelectRange(const Table& table, int64_t begin, int64_t end,
+                     SelectionVector* out) const override {
+    out->clear();
+    // Union of the disjuncts' selections via a morsel-local bitmap —
+    // replaces the row-at-a-time Matches loop with each child's vectorized
+    // range scan. Skipping children contribute nothing; a blanket-matching
+    // child short-circuits to the dense range.
+    std::vector<uint8_t> hit(static_cast<size_t>(end - begin), 0);
+    SelectionVector sel;
+    for (const auto& c : children_) {
+      switch (c->TestMorsel(table, begin, end)) {
+        case MorselVerdict::kSkipAll:
+          continue;
+        case MorselVerdict::kMatchAll:
+          FillDense(begin, end, out);
+          return Status::OK();
+        case MorselVerdict::kScanRows:
+          break;
+      }
+      SCIBORQ_RETURN_NOT_OK(c->SelectRange(table, begin, end, &sel));
+      for (const int64_t row : sel) hit[static_cast<size_t>(row - begin)] = 1;
+    }
+    for (int64_t row = begin; row < end; ++row) {
+      if (hit[static_cast<size_t>(row - begin)]) out->push_back(row);
+    }
+    return Status::OK();
   }
 
   void CollectPredicatePoints(

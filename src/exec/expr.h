@@ -32,6 +32,14 @@ struct PredicatePair {
   double y;
 };
 
+/// What a predicate can conclude about one contiguous row range from its
+/// zone maps alone (column/encoding/encoding.h), without touching data.
+enum class MorselVerdict {
+  kScanRows,  ///< undecided — evaluate the rows
+  kSkipAll,   ///< no row in the range can match
+  kMatchAll,  ///< every row in the range matches (nulls included)
+};
+
 /// A boolean filter over table rows. Implementations are vectorized: Select()
 /// intersects a candidate list in one pass, MonetDB-style. Predicates are
 /// immutable after construction and shared between base tables and
@@ -49,6 +57,26 @@ class Predicate {
   /// Row-at-a-time evaluation for streaming paths. Precondition: the schema
   /// was validated by a prior Select or Validate call.
   virtual bool Matches(const Table& table, int64_t row) const = 0;
+
+  /// Zone-map verdict for rows [begin, end). Sound but not complete: a
+  /// kSkipAll/kMatchAll answer is a guarantee, kScanRows just means the zone
+  /// maps could not decide (no sidecar, unaligned range, or genuinely mixed
+  /// rows). The default — and any predicate without pruning support —
+  /// returns kScanRows, which is always correct.
+  virtual MorselVerdict TestMorsel(const Table& table, int64_t begin,
+                                   int64_t end) const {
+    (void)table, (void)begin, (void)end;
+    return MorselVerdict::kScanRows;
+  }
+
+  /// Selects the matching rows of the contiguous range [begin, end) into
+  /// `out` (cleared first, emitted ascending) — the morsel scan path.
+  /// Equivalent to Select() over the dense candidate list, but overrides
+  /// run vectorized kernels (exec/kernels.h) or compressed-domain scans
+  /// instead of materializing candidates. Precondition: the schema was
+  /// validated (SelectAll validates once before fanning out).
+  virtual Status SelectRange(const Table& table, int64_t begin, int64_t end,
+                             SelectionVector* out) const;
 
   /// Checks column references/types against a schema without running.
   virtual Status Validate(const Schema& schema) const = 0;
@@ -82,11 +110,13 @@ class Predicate {
 
 using PredicatePtr = std::unique_ptr<Predicate>;
 
-/// Runs a predicate against all rows of a table (convenience wrapper that
-/// builds the full candidate list). With a pool, the scan is morsel-parallel:
-/// contiguous morsels filter on the pool's workers and the per-morsel
-/// selections concatenate in morsel order, so the result is identical to the
-/// serial scan. A null or single-threaded pool runs serially.
+/// Runs a predicate against all rows of a table. With a pool, the scan is
+/// morsel-parallel: contiguous morsels filter on the pool's workers and the
+/// per-morsel selections concatenate in morsel order, so the result is
+/// identical to the serial scan. Each morsel first consults the predicate's
+/// zone-map verdict (TestMorsel): skipped morsels never touch data (counted
+/// in sciborq_morsels_skipped_total), blanket-matching morsels emit their
+/// dense row range, and only undecided morsels run SelectRange.
 Result<SelectionVector> SelectAll(const Table& table, const Predicate& pred,
                                   ThreadPool* pool = nullptr);
 

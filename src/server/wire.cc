@@ -11,7 +11,7 @@ namespace {
 
 /// Highest StatusCode value, for validating codes off the wire. Keep in sync
 /// with util/status.h (the enum is append-only).
-constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kInternal);
+constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kDataLoss);
 
 /// Validates an opcode against the envelope's version: v1 frames may only
 /// carry the original opcode set, v2 frames also the prepared-statement
@@ -375,6 +375,15 @@ void EncodeTableInfo(const TableInfo& info, WireWriter* w, uint8_t version) {
   if (version >= kWireVersionV3) {
     w->PutU32(static_cast<uint32_t>(info.shards));
   }
+  if (version >= kWireVersionV5) {
+    w->PutU32(static_cast<uint32_t>(info.storage.size()));
+    for (const ColumnStorageInfo& col : info.storage) {
+      w->PutString(col.column);
+      w->PutString(col.encoding);
+      w->PutI64(col.plain_bytes);
+      w->PutI64(col.encoded_bytes);
+    }
+  }
 }
 
 Result<TableInfo> DecodeTableInfo(WireReader* r, uint8_t version) {
@@ -398,6 +407,17 @@ Result<TableInfo> DecodeTableInfo(WireReader* r, uint8_t version) {
   if (version >= kWireVersionV3) {
     SCIBORQ_ASSIGN_OR_RETURN(const uint32_t shards, r->ReadU32());
     info.shards = static_cast<int>(shards);
+  }
+  if (version >= kWireVersionV5) {
+    SCIBORQ_ASSIGN_OR_RETURN(const uint32_t num_columns, r->ReadU32());
+    for (uint32_t i = 0; i < num_columns; ++i) {
+      ColumnStorageInfo col;
+      SCIBORQ_ASSIGN_OR_RETURN(col.column, r->ReadString());
+      SCIBORQ_ASSIGN_OR_RETURN(col.encoding, r->ReadString());
+      SCIBORQ_ASSIGN_OR_RETURN(col.plain_bytes, r->ReadI64());
+      SCIBORQ_ASSIGN_OR_RETURN(col.encoded_bytes, r->ReadI64());
+      info.storage.push_back(std::move(col));
+    }
   }
   return info;
 }

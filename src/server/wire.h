@@ -89,8 +89,11 @@ inline constexpr uint8_t kWireVersionV3 = 3;
 /// Adds kStats/kSlowLog and the trace QueryOutcome fields (query id, phase
 /// spans) plus the kQuery query-id propagation field.
 inline constexpr uint8_t kWireVersionV4 = 4;
+/// Adds the TableInfo per-column storage block (dominant encoding and
+/// plain/encoded byte footprints) to kCatalog responses.
+inline constexpr uint8_t kWireVersionV5 = 5;
 /// Highest protocol version this build speaks.
-inline constexpr uint8_t kWireVersion = kWireVersionV4;
+inline constexpr uint8_t kWireVersion = kWireVersionV5;
 
 /// Default ceiling for one frame. Generous for result batches (a row of
 /// doubles is tens of bytes) while bounding a malicious length prefix.

@@ -109,11 +109,26 @@ Result<SamplingPolicy> PolicyFromTag(uint8_t tag) {
   }
 }
 
-void EncodeImpressionState(const ImpressionState& s, BinaryWriter* w) {
+/// Page-format dispatch: v2 snapshots store tables as encoded pages.
+void EncodeTableVersioned(const Table& t, BinaryWriter* w, uint32_t version) {
+  if (version >= 2) {
+    EncodeTableEncoded(t, w);
+  } else {
+    EncodeTable(t, w);
+  }
+}
+
+Result<Table> DecodeTableVersioned(BinaryReader* r, uint32_t version) {
+  if (version >= 2) return DecodeTableEncoded(r);
+  return DecodeTable(r);
+}
+
+void EncodeImpressionState(const ImpressionState& s, BinaryWriter* w,
+                           uint32_t version) {
   w->PutString(s.name);
   w->PutI64(s.capacity);
   w->PutU8(static_cast<uint8_t>(s.policy));
-  EncodeTable(s.rows, w);
+  EncodeTableVersioned(s.rows, w, version);
   EncodeF64Vector(s.weights, w);
   EncodeI64Vector(s.source_ids, w);
   EncodeF64Vector(s.explicit_probs, w);
@@ -126,13 +141,14 @@ void EncodeImpressionState(const ImpressionState& s, BinaryWriter* w) {
   w->PutI64(s.total_accepted);
 }
 
-Result<ImpressionState> DecodeImpressionState(BinaryReader* r) {
+Result<ImpressionState> DecodeImpressionState(BinaryReader* r,
+                                              uint32_t version) {
   ImpressionState s;
   SCIBORQ_ASSIGN_OR_RETURN(s.name, r->ReadString());
   SCIBORQ_ASSIGN_OR_RETURN(s.capacity, r->ReadI64());
   SCIBORQ_ASSIGN_OR_RETURN(const uint8_t policy_tag, r->ReadU8());
   SCIBORQ_ASSIGN_OR_RETURN(s.policy, PolicyFromTag(policy_tag));
-  SCIBORQ_ASSIGN_OR_RETURN(s.rows, DecodeTable(r));
+  SCIBORQ_ASSIGN_OR_RETURN(s.rows, DecodeTableVersioned(r, version));
   SCIBORQ_ASSIGN_OR_RETURN(s.weights, DecodeF64Vector(r, "weight"));
   SCIBORQ_ASSIGN_OR_RETURN(s.source_ids, DecodeI64Vector(r, "source id"));
   SCIBORQ_ASSIGN_OR_RETURN(s.explicit_probs,
@@ -153,8 +169,9 @@ constexpr uint8_t kSamplerUniform = 0;
 constexpr uint8_t kSamplerLastSeen = 1;
 constexpr uint8_t kSamplerBiased = 2;
 
-void EncodeBuilderState(const ImpressionBuilderState& s, BinaryWriter* w) {
-  EncodeImpressionState(s.impression, w);
+void EncodeBuilderState(const ImpressionBuilderState& s, BinaryWriter* w,
+                        uint32_t version) {
+  EncodeImpressionState(s.impression, w, version);
   if (s.uniform) {
     w->PutU8(kSamplerUniform);
     w->PutI64(s.uniform->seen);
@@ -179,9 +196,10 @@ void EncodeBuilderState(const ImpressionBuilderState& s, BinaryWriter* w) {
   }
 }
 
-Result<ImpressionBuilderState> DecodeBuilderState(BinaryReader* r) {
+Result<ImpressionBuilderState> DecodeBuilderState(BinaryReader* r,
+                                                  uint32_t version) {
   ImpressionBuilderState s;
-  SCIBORQ_ASSIGN_OR_RETURN(s.impression, DecodeImpressionState(r));
+  SCIBORQ_ASSIGN_OR_RETURN(s.impression, DecodeImpressionState(r, version));
   SCIBORQ_ASSIGN_OR_RETURN(const uint8_t tag, r->ReadU8());
   switch (tag) {
     case kSamplerUniform: {
@@ -217,19 +235,23 @@ Result<ImpressionBuilderState> DecodeBuilderState(BinaryReader* r) {
   return s;
 }
 
-void EncodeHierarchyState(const HierarchyState& s, BinaryWriter* w) {
+void EncodeHierarchyState(const HierarchyState& s, BinaryWriter* w,
+                          uint32_t version) {
   EncodeRng(s.derive_rng, w);
   w->PutI64(s.ingested_since_refresh);
   w->PutI64(s.refresh_interval);
   w->PutU32(static_cast<uint32_t>(s.top.size()));
-  for (const auto& shard : s.top) EncodeBuilderState(shard, w);
+  for (const auto& shard : s.top) EncodeBuilderState(shard, w, version);
   w->PutBool(s.merged_top.has_value());
-  if (s.merged_top) EncodeImpressionState(*s.merged_top, w);
+  if (s.merged_top) EncodeImpressionState(*s.merged_top, w, version);
   w->PutU32(static_cast<uint32_t>(s.derived.size()));
-  for (const auto& layer : s.derived) EncodeImpressionState(layer, w);
+  for (const auto& layer : s.derived) {
+    EncodeImpressionState(layer, w, version);
+  }
 }
 
-Result<HierarchyState> DecodeHierarchyState(BinaryReader* r) {
+Result<HierarchyState> DecodeHierarchyState(BinaryReader* r,
+                                            uint32_t version) {
   HierarchyState s;
   SCIBORQ_ASSIGN_OR_RETURN(s.derive_rng, DecodeRng(r));
   SCIBORQ_ASSIGN_OR_RETURN(s.ingested_since_refresh, r->ReadI64());
@@ -241,19 +263,21 @@ Result<HierarchyState> DecodeHierarchyState(BinaryReader* r) {
   s.top.reserve(shards);
   for (uint32_t i = 0; i < shards; ++i) {
     SCIBORQ_ASSIGN_OR_RETURN(ImpressionBuilderState shard,
-                             DecodeBuilderState(r));
+                             DecodeBuilderState(r, version));
     s.top.push_back(std::move(shard));
   }
   SCIBORQ_ASSIGN_OR_RETURN(const bool has_merged, r->ReadBool());
   if (has_merged) {
-    SCIBORQ_ASSIGN_OR_RETURN(ImpressionState merged, DecodeImpressionState(r));
+    SCIBORQ_ASSIGN_OR_RETURN(ImpressionState merged,
+                             DecodeImpressionState(r, version));
     s.merged_top = std::move(merged);
   }
   SCIBORQ_ASSIGN_OR_RETURN(const uint32_t derived, r->ReadU32());
   SCIBORQ_RETURN_NOT_OK(CheckDecodeCount(derived, 8, *r, "derived layer"));
   s.derived.reserve(derived);
   for (uint32_t i = 0; i < derived; ++i) {
-    SCIBORQ_ASSIGN_OR_RETURN(ImpressionState layer, DecodeImpressionState(r));
+    SCIBORQ_ASSIGN_OR_RETURN(ImpressionState layer,
+                             DecodeImpressionState(r, version));
     s.derived.push_back(std::move(layer));
   }
   return s;
@@ -372,12 +396,13 @@ Result<PersistedTableConfig> DecodePersistedConfig(BinaryReader* r) {
   return c;
 }
 
-void EncodeTableSnapshot(const TableSnapshot& snap, BinaryWriter* w) {
+void EncodeTableSnapshot(const TableSnapshot& snap, BinaryWriter* w,
+                         uint32_t version) {
   w->PutString(snap.table);
   EncodePersistedConfig(snap.config, w);
   w->PutI64(snap.last_seq);
-  EncodeTable(snap.base, w);
-  EncodeHierarchyState(snap.hierarchy, w);
+  EncodeTableVersioned(snap.base, w, version);
+  EncodeHierarchyState(snap.hierarchy, w, version);
   w->PutBool(snap.tracker.has_value());
   if (snap.tracker) EncodeTrackerState(*snap.tracker, w);
   w->PutI64(snap.log.total_recorded);
@@ -388,13 +413,14 @@ void EncodeTableSnapshot(const TableSnapshot& snap, BinaryWriter* w) {
   }
 }
 
-Result<TableSnapshot> DecodeTableSnapshot(BinaryReader* r) {
+Result<TableSnapshot> DecodeTableSnapshot(BinaryReader* r,
+                                          uint32_t version) {
   TableSnapshot snap;
   SCIBORQ_ASSIGN_OR_RETURN(snap.table, r->ReadString());
   SCIBORQ_ASSIGN_OR_RETURN(snap.config, DecodePersistedConfig(r));
   SCIBORQ_ASSIGN_OR_RETURN(snap.last_seq, r->ReadI64());
-  SCIBORQ_ASSIGN_OR_RETURN(snap.base, DecodeTable(r));
-  SCIBORQ_ASSIGN_OR_RETURN(snap.hierarchy, DecodeHierarchyState(r));
+  SCIBORQ_ASSIGN_OR_RETURN(snap.base, DecodeTableVersioned(r, version));
+  SCIBORQ_ASSIGN_OR_RETURN(snap.hierarchy, DecodeHierarchyState(r, version));
   SCIBORQ_ASSIGN_OR_RETURN(const bool has_tracker, r->ReadBool());
   if (has_tracker) {
     SCIBORQ_ASSIGN_OR_RETURN(InterestTrackerState tracker,
@@ -415,13 +441,20 @@ Result<TableSnapshot> DecodeTableSnapshot(BinaryReader* r) {
   return snap;
 }
 
-Status WriteTableSnapshot(const TableSnapshot& snap, const std::string& path) {
+Status WriteTableSnapshot(const TableSnapshot& snap, const std::string& path,
+                          uint32_t version) {
+  if (version < kMinSnapshotFormatVersion ||
+      version > kSnapshotFormatVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot: cannot write format version %u (this build writes v%u-v%u)",
+        version, kMinSnapshotFormatVersion, kSnapshotFormatVersion));
+  }
   BinaryWriter body;
-  EncodeTableSnapshot(snap, &body);
+  EncodeTableSnapshot(snap, &body, version);
 
   BinaryWriter header;
   header.PutU32(kSnapshotMagic);
-  header.PutU32(kSnapshotFormatVersion);
+  header.PutU32(version);
   header.PutU64(body.buffer().size());
   BinaryWriter footer;
   footer.PutU32(Crc32c(body.buffer()));
@@ -451,10 +484,16 @@ Result<TableSnapshot> ReadTableSnapshot(const std::string& path) {
         StrFormat("snapshot %s: bad magic 0x%08x", path.c_str(), magic));
   }
   SCIBORQ_ASSIGN_OR_RETURN(const uint32_t version, header.ReadU32());
-  if (version != kSnapshotFormatVersion) {
-    return Status::InvalidArgument(StrFormat(
-        "snapshot %s: format version %u not supported (this build reads v%u)",
-        path.c_str(), version, kSnapshotFormatVersion));
+  if (version < kMinSnapshotFormatVersion ||
+      version > kSnapshotFormatVersion) {
+    // The file may be perfectly intact — just written by a build with a
+    // newer (or ancient) page format. DataLoss, not a crash or a silent
+    // skip, so the operator knows to upgrade instead of re-ingesting.
+    return Status::DataLoss(StrFormat(
+        "snapshot %s: page-format version %u not supported (this build reads "
+        "v%u-v%u); upgrade the binary to read this file",
+        path.c_str(), version, kMinSnapshotFormatVersion,
+        kSnapshotFormatVersion));
   }
   SCIBORQ_ASSIGN_OR_RETURN(const uint64_t body_len, header.ReadU64());
   if (header.remaining() < 4 ||
@@ -476,7 +515,7 @@ Result<TableSnapshot> ReadTableSnapshot(const std::string& path) {
         path.c_str(), expected_crc, actual_crc));
   }
   BinaryReader reader(body);
-  Result<TableSnapshot> snap = DecodeTableSnapshot(&reader);
+  Result<TableSnapshot> snap = DecodeTableSnapshot(&reader, version);
   if (!snap.ok()) {
     return Status::InvalidArgument(StrFormat(
         "snapshot %s: %s", path.c_str(), snap.status().message().c_str()));

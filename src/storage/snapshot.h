@@ -45,7 +45,13 @@ namespace sciborq {
 // ---------------------------------------------------------------------------
 
 inline constexpr uint32_t kSnapshotMagic = 0x4E534253u;  // "SBSN"
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// Current page format: v2 writes every table (base data and impression
+/// rows) through the encoded-page codec (column/serde.h, EncodeTableEncoded)
+/// — RLE / frame-of-reference / dictionary chunks chosen per morsel. v1
+/// files (plain pages) remain fully readable; versions outside
+/// [kMinSnapshotFormatVersion, kSnapshotFormatVersion] fail with DataLoss.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
+inline constexpr uint32_t kMinSnapshotFormatVersion = 1;
 
 /// The table-creation parameters that must survive a restart (the persisted
 /// mirror of api TableOptions, minus runtime-only wiring).
@@ -82,19 +88,26 @@ struct TableSnapshot {
 };
 
 /// Body codec, exposed for tests (byte-level round-trip and fuzzing).
-void EncodeTableSnapshot(const TableSnapshot& snap, BinaryWriter* w);
-Result<TableSnapshot> DecodeTableSnapshot(BinaryReader* r);
+/// `version` selects the page format (1 = plain pages, 2 = encoded pages).
+void EncodeTableSnapshot(const TableSnapshot& snap, BinaryWriter* w,
+                         uint32_t version = kSnapshotFormatVersion);
+Result<TableSnapshot> DecodeTableSnapshot(
+    BinaryReader* r, uint32_t version = kSnapshotFormatVersion);
 
 /// Config codec, shared with the WAL's create-table record.
 void EncodePersistedConfig(const PersistedTableConfig& config, BinaryWriter* w);
 Result<PersistedTableConfig> DecodePersistedConfig(BinaryReader* r);
 
 /// Writes `snap` to `path` atomically (temp file + fsync + rename + dir
-/// fsync). IOError on filesystem failure.
-Status WriteTableSnapshot(const TableSnapshot& snap, const std::string& path);
+/// fsync). IOError on filesystem failure; InvalidArgument for a `version`
+/// this build does not write (only v1 and v2 exist).
+Status WriteTableSnapshot(const TableSnapshot& snap, const std::string& path,
+                          uint32_t version = kSnapshotFormatVersion);
 
 /// Reads and fully validates a snapshot file. IOError on filesystem
-/// failure; InvalidArgument on a corrupt, truncated, or tampered file.
+/// failure; InvalidArgument on a corrupt, truncated, or tampered file;
+/// DataLoss when the header carries a page-format version this build cannot
+/// read (the data is intact but needs a newer build).
 Result<TableSnapshot> ReadTableSnapshot(const std::string& path);
 
 }  // namespace sciborq

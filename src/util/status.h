@@ -23,6 +23,7 @@ enum class StatusCode {
   kNotImplemented,
   kIOError,
   kInternal,
+  kDataLoss,  ///< stored data is unreadable (unknown format, corruption)
 };
 
 /// Returns the canonical name of a status code, e.g. "InvalidArgument".
@@ -78,6 +79,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

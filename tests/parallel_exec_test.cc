@@ -176,6 +176,84 @@ TEST_F(ParallelExecTest, BoundedExecutorParallelMatchesSerial) {
   ExpectIdenticalAnswers(serial, parallel);
 }
 
+// ------------------------------------------- encoded vs scalar oracle -----
+
+/// The compressed-scan determinism contract: with every column carrying its
+/// encoding sidecar (zone maps + RLE/FOR/dict payloads), SelectAll and
+/// RunExact must return answers bit-identical to the sidecar-free scalar
+/// scan, at 1 thread and at 4.
+class EncodedExecTest : public ParallelExecTest {
+ protected:
+  static void SetUpTestSuite() {
+    ParallelExecTest::SetUpTestSuite();
+    encoded_ = new Table(catalog_->photo_obj_all);
+    encoded_->BuildEncoding();
+  }
+  static void TearDownTestSuite() {
+    delete encoded_;
+    encoded_ = nullptr;
+    ParallelExecTest::TearDownTestSuite();
+  }
+  static Table* encoded_;
+};
+
+Table* EncodedExecTest::encoded_ = nullptr;
+
+TEST_F(EncodedExecTest, SelectAllBitIdenticalToScalarAtOneAndFourThreads) {
+  const std::vector<PredicatePtr> preds = [] {
+    std::vector<PredicatePtr> ps;
+    ps.push_back(Between("ra", 140.0, 200.0));
+    ps.push_back(Eq("obj_class", Value("GALAXY")));
+    ps.push_back(And(Ge("dec", Value(10.0)), Ne("obj_class", Value("QSO"))));
+    ps.push_back(Cone("ra", "dec", 150.0, 12.0, 8.0));
+    ps.push_back(Not(Lt("r", Value(15.0))));
+    return ps;
+  }();
+  for (const PredicatePtr& pred : preds) {
+    const SelectionVector scalar =
+        SelectAll(catalog_->photo_obj_all, *pred).value();
+    EXPECT_EQ(SelectAll(*encoded_, *pred).value(), scalar) << pred->ToString();
+    EXPECT_EQ(SelectAll(*encoded_, *pred, pool_).value(), scalar)
+        << pred->ToString();
+  }
+}
+
+TEST_F(EncodedExecTest, RunExactBitIdenticalToScalarAtOneAndFourThreads) {
+  AggregateQuery q;
+  q.aggregates = {{AggKind::kCount, ""},       {AggKind::kSum, "r"},
+                  {AggKind::kAvg, "redshift"}, {AggKind::kMin, "g"},
+                  {AggKind::kMax, "g"},        {AggKind::kVariance, "dec"}};
+  q.filter = Between("ra", 130.0, 220.0);
+  const auto scalar = RunExact(catalog_->photo_obj_all, q).value();
+  for (ThreadPool* pool : {static_cast<ThreadPool*>(nullptr), pool_}) {
+    const auto enc = RunExact(*encoded_, q, pool).value();
+    ASSERT_EQ(enc.size(), scalar.size());
+    for (size_t r = 0; r < scalar.size(); ++r) {
+      EXPECT_EQ(enc[r].input_rows, scalar[r].input_rows);
+      ASSERT_EQ(enc[r].values.size(), scalar[r].values.size());
+      for (size_t v = 0; v < scalar[r].values.size(); ++v) {
+        EXPECT_EQ(enc[r].values[v], scalar[r].values[v]);
+      }
+    }
+  }
+}
+
+TEST_F(EncodedExecTest, GroupedRunExactBitIdenticalOnEncodedTable) {
+  AggregateQuery q;
+  q.aggregates = {{AggKind::kCount, ""}, {AggKind::kAvg, "r"}};
+  q.group_by = "obj_class";
+  const auto scalar = RunExact(catalog_->photo_obj_all, q).value();
+  const auto enc = RunExact(*encoded_, q, pool_).value();
+  ASSERT_EQ(enc.size(), scalar.size());
+  for (size_t r = 0; r < scalar.size(); ++r) {
+    EXPECT_TRUE(enc[r].group_key == scalar[r].group_key);
+    EXPECT_EQ(enc[r].input_rows, scalar[r].input_rows);
+    for (size_t v = 0; v < scalar[r].values.size(); ++v) {
+      EXPECT_EQ(enc[r].values[v], scalar[r].values[v]);
+    }
+  }
+}
+
 // ------------------------------------------------ parallel shard ingest ---
 
 TEST(ShardedIngestTest, ThreadedDriverMatchesSerialDriving) {

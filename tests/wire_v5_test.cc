@@ -1,0 +1,126 @@
+// Version gating of the v5 wire codec: the TableInfo per-column storage
+// block (dominant encoding + plain/encoded byte footprints) must round-trip
+// bit-exactly at v5, stay invisible in v1-v4 encodings (byte-identical to
+// older builds), and decode hostile counts and truncated buffers to clean
+// errors.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "server/wire.h"
+
+namespace sciborq {
+namespace {
+
+std::string EncodedInfo(const TableInfo& info, uint8_t version) {
+  WireWriter w;
+  EncodeTableInfo(info, &w, version);
+  return w.Take();
+}
+
+TableInfo MakeStorageInfo() {
+  TableInfo info;
+  info.name = "sky";
+  info.rows = 3 * 16 * 1024 + 77;
+  info.population_seen = info.rows;
+  info.storage = {
+      {"id", "for", 409'816, 71'724},
+      {"flag", "rle", 409'816, 624},
+      {"ra", "plain", 409'816, 409'816},
+      {"obj_class", "dict", 512'270, 201'144},
+  };
+  return info;
+}
+
+TEST(WireV5Test, V1ThroughV4EncodingsIgnoreStorageBlock) {
+  TableInfo with = MakeStorageInfo();
+  TableInfo without = MakeStorageInfo();
+  without.storage.clear();
+  for (uint8_t version :
+       {kWireVersionV1, kWireVersionV2, kWireVersionV3, kWireVersionV4}) {
+    EXPECT_EQ(EncodedInfo(with, version), EncodedInfo(without, version))
+        << "version " << int{version};
+  }
+  // At v5 the block really travels.
+  EXPECT_NE(EncodedInfo(with, kWireVersionV5),
+            EncodedInfo(without, kWireVersionV5));
+}
+
+TEST(WireV5Test, V5RoundTripsStorageBlock) {
+  const TableInfo info = MakeStorageInfo();
+  const std::string bytes = EncodedInfo(info, kWireVersionV5);
+  WireReader r(bytes);
+  Result<TableInfo> decoded = DecodeTableInfo(&r, kWireVersionV5);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(r.ExpectEnd().ok());
+  ASSERT_EQ(decoded->storage.size(), info.storage.size());
+  for (size_t i = 0; i < info.storage.size(); ++i) {
+    EXPECT_EQ(decoded->storage[i].column, info.storage[i].column);
+    EXPECT_EQ(decoded->storage[i].encoding, info.storage[i].encoding);
+    EXPECT_EQ(decoded->storage[i].plain_bytes, info.storage[i].plain_bytes);
+    EXPECT_EQ(decoded->storage[i].encoded_bytes, info.storage[i].encoded_bytes);
+  }
+  // Bijective at v5.
+  EXPECT_EQ(bytes, EncodedInfo(*decoded, kWireVersionV5));
+}
+
+TEST(WireV5Test, V4DecodeLeavesStorageEmpty) {
+  const std::string bytes = EncodedInfo(MakeStorageInfo(), kWireVersionV4);
+  WireReader r(bytes);
+  Result<TableInfo> decoded = DecodeTableInfo(&r, kWireVersionV4);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(r.ExpectEnd().ok());
+  EXPECT_TRUE(decoded->storage.empty());
+}
+
+TEST(WireV5Test, HostileStorageCountFailsCleanly) {
+  // Take the valid v4 prefix and append a storage-column count with nothing
+  // behind it: the decoder must error out, not allocate 2^31 entries.
+  std::string bytes = EncodedInfo(MakeStorageInfo(), kWireVersionV4);
+  WireWriter tail;
+  tail.PutU32(0x7fffffffu);
+  bytes += tail.buffer();
+  WireReader r(bytes);
+  EXPECT_FALSE(DecodeTableInfo(&r, kWireVersionV5).ok());
+}
+
+TEST(WireV5Test, TruncationFuzzNeverCrashes) {
+  const std::string bytes = EncodedInfo(MakeStorageInfo(), kWireVersionV5);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    WireReader r(std::string_view(bytes).substr(0, cut));
+    Result<TableInfo> decoded = DecodeTableInfo(&r, kWireVersionV5);
+    if (decoded.ok()) {
+      EXPECT_TRUE(r.remaining() >= 0);
+    }
+  }
+  SUCCEED();
+}
+
+TEST(WireV5Test, CatalogRequestAcceptsV5Stamp) {
+  Result<RequestFrame> req =
+      DecodeRequest(EncodeRequest(Opcode::kCatalog, "", kWireVersionV5));
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(Opcode::kCatalog, req->opcode);
+  EXPECT_EQ(kWireVersionV5, req->version);
+  // Versions beyond what this build speaks are rejected at the frame layer.
+  EXPECT_FALSE(
+      DecodeRequest(EncodeRequest(Opcode::kCatalog, "", kWireVersion + 1)).ok());
+}
+
+TEST(WireV5Test, DataLossStatusSurvivesTheWire) {
+  // v5 raised the transportable status ceiling to kDataLoss — the code a
+  // shard reports when asked to recover a future-format snapshot.
+  WireWriter w;
+  EncodeStatus(Status::DataLoss("snapshot needs a newer build"), &w);
+  WireReader r(w.buffer());
+  Status transported;
+  ASSERT_TRUE(DecodeStatus(&r, &transported).ok());
+  EXPECT_EQ(transported.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(transported.message(), "snapshot needs a newer build");
+}
+
+}  // namespace
+}  // namespace sciborq

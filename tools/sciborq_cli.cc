@@ -198,6 +198,15 @@ bool HandleLine(Cli* cli, const std::string& line, bool* ok) {
     for (const TableInfo& info : *tables) {
       if (info.name == table) {
         std::printf("%s\n", info.ToString().c_str());
+        for (const ColumnStorageInfo& col : info.storage) {
+          const double rows = info.rows > 0 ? static_cast<double>(info.rows)
+                                            : 1.0;
+          std::printf(
+              "  column %s [%s]: %.2f bytes/row encoded (%.2f plain)\n",
+              col.column.c_str(), col.encoding.c_str(),
+              static_cast<double>(col.encoded_bytes) / rows,
+              static_cast<double>(col.plain_bytes) / rows);
+        }
         return true;
       }
     }
