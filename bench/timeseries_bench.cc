@@ -1,0 +1,278 @@
+// Time-series retention benchmark: the telemetry workload vertical end to
+// end on one persistent engine.
+//
+//   ingest        — sustained IngestBatch throughput into a windowed table
+//                   (stratified sampling + eviction + checkpoint-on-evict on
+//                   the hot path) while a concurrent client hammers bounded
+//                   LAST(value) BY station_id queries.
+//   staleness     — how far behind the base data the last-seen sample's
+//                   answer runs: avg over stations of exact LAST(ts) minus
+//                   bounded LAST(ts), in event-time ms.
+//   disk plateau  — on-disk bytes at steady state under continuous ingest
+//                   with a 10-bucket window. Retention's whole point: the
+//                   stream is endless, the files are not.
+//
+// Exits non-zero if steady-state disk exceeds 2x the live-window working set
+// (the post-checkpoint snapshot) or if the EXACT LAST answer disagrees with
+// an oracle replay of the identical generator stream.
+//
+// BENCH_JSON keys: timeseries_ingest_rows_per_s, latest_staleness_ms,
+// disk_bytes_steady_state.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "bench/bench_util.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "workload/telemetry.h"
+
+using namespace sciborq;
+using sciborq::bench::Header;
+using sciborq::bench::JsonLine;
+using sciborq::bench::Unwrap;
+
+namespace {
+
+constexpr char kTable[] = "telemetry";
+constexpr int64_t kBucketWidth = 2000;    // ts units (ms) per bucket
+constexpr int64_t kWindowBuckets = 10;
+constexpr int64_t kBatchRows = 1000;
+constexpr int64_t kBatches = 100;         // ~50 buckets -> ~40 evictions
+constexpr int64_t kStations = 64;
+constexpr uint64_t kSeed = 42;
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/sciborq_timeseries_bench_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::exit(1);
+  }
+  return std::string(dir);
+}
+
+int64_t DirBytes(const std::string& dir) {
+  int64_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) {
+      total += static_cast<int64_t>(entry.file_size());
+    }
+  }
+  return total;
+}
+
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+TelemetryConfig StreamConfig() {
+  TelemetryConfig config;
+  config.num_stations = kStations;
+  config.ts_increment_mean = 1;  // ~kBucketWidth rows per bucket
+  return config;
+}
+
+struct OracleRow {
+  int64_t station = 0;
+  int64_t ts = 0;
+  double value = 0.0;
+};
+
+/// Replays the identical generator stream and applies the engine's retention
+/// semantics by hand: cutoff = max bucket - window, survivors are rows in
+/// later buckets, LAST folds in arrival order with later-row-wins ties.
+std::map<int64_t, OracleRow> OracleLast(const std::vector<OracleRow>& rows) {
+  int64_t max_bucket = INT64_MIN;
+  for (const OracleRow& r : rows) {
+    const int64_t b = FloorDiv(r.ts, kBucketWidth);
+    if (b > max_bucket) max_bucket = b;
+  }
+  const int64_t cutoff = max_bucket - kWindowBuckets;
+  std::map<int64_t, OracleRow> last;
+  for (const OracleRow& r : rows) {
+    if (FloorDiv(r.ts, kBucketWidth) <= cutoff) continue;
+    auto it = last.find(r.station);
+    if (it == last.end() || r.ts >= it->second.ts) last[r.station] = r;
+  }
+  return last;
+}
+
+}  // namespace
+
+int main() {
+  Header("timeseries retention: sustained ingest, staleness, disk plateau");
+
+  const std::string dir = MakeTempDir();
+  EngineOptions engine_options;
+  engine_options.wal_segment_bytes = 64 * 1024;  // exercise size rotations
+  std::unique_ptr<Engine> engine = Unwrap(Engine::Open(dir, engine_options));
+
+  TableOptions table_options;
+  table_options.seed = kSeed;
+  table_options.retention.time_column = "ts";
+  table_options.retention.bucket_width = kBucketWidth;
+  table_options.retention.window_buckets = kWindowBuckets;
+  if (Status st = engine->CreateTable(kTable, TelemetryGenerator::TableSchema(),
+                                      table_options);
+      !st.ok()) {
+    std::fprintf(stderr, "create table failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // -- Sustained ingest with a concurrent bounded-query client --------------
+  TelemetryGenerator generator =
+      Unwrap(TelemetryGenerator::Make(StreamConfig(), kSeed));
+  std::vector<OracleRow> all_rows;
+  all_rows.reserve(static_cast<size_t>(kBatches * kBatchRows));
+
+  std::atomic<bool> ingest_done{false};
+  std::atomic<int64_t> queries_ok{0};
+  std::atomic<int64_t> queries_failed{0};
+  std::thread query_client([&engine, &ingest_done, &queries_ok,
+                            &queries_failed] {
+    const std::string sql = StrFormat(
+        "SELECT LAST(value) FROM %s BY station_id WITHIN 50 MS", kTable);
+    while (!ingest_done.load(std::memory_order_relaxed)) {
+      const Result<QueryOutcome> outcome = engine->Query(sql);
+      if (outcome.ok()) {
+        queries_ok.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        queries_failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  Stopwatch ingest_watch;
+  bool ingest_failed = false;
+  for (int64_t b = 0; b < kBatches && !ingest_failed; ++b) {
+    const Table batch = generator.NextBatch(kBatchRows);
+    for (int64_t r = 0; r < batch.num_rows(); ++r) {
+      OracleRow row;
+      row.station = batch.column(0).GetInt64(r);
+      row.ts = batch.column(1).GetInt64(r);
+      row.value = batch.column(2).GetDouble(r);
+      all_rows.push_back(row);
+    }
+    if (Status st = engine->IngestBatch(kTable, batch); !st.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
+      ingest_failed = true;
+    }
+  }
+  const double ingest_seconds = ingest_watch.ElapsedSeconds();
+  ingest_done.store(true);
+  query_client.join();
+  if (ingest_failed) return 1;
+
+  const double rows_per_s =
+      static_cast<double>(kBatches * kBatchRows) / ingest_seconds;
+  std::printf("ingested %lld rows in %.2fs (%.0f rows/s) with %lld bounded "
+              "queries alongside (%lld failed)\n",
+              static_cast<long long>(kBatches * kBatchRows), ingest_seconds,
+              rows_per_s, static_cast<long long>(queries_ok.load()),
+              static_cast<long long>(queries_failed.load()));
+  if (queries_failed.load() > 0) {
+    std::fprintf(stderr, "bounded queries failed during ingest\n");
+    return 1;
+  }
+
+  // -- Steady-state disk, then the working set it should be bounded by ------
+  const int64_t disk_steady = DirBytes(dir);
+  if (Status st = engine->Checkpoint(kTable); !st.ok()) {
+    std::fprintf(stderr, "checkpoint failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const int64_t working_set = DirBytes(dir);
+  std::printf("disk: steady-state %lld bytes, live-window working set %lld "
+              "bytes (%.2fx)\n",
+              static_cast<long long>(disk_steady),
+              static_cast<long long>(working_set),
+              static_cast<double>(disk_steady) /
+                  static_cast<double>(working_set > 0 ? working_set : 1));
+
+  // -- Latest-value staleness: bounded (last-seen sample) vs exact (base) ---
+  const Result<QueryOutcome> bounded_ts = engine->Query(StrFormat(
+      "SELECT LAST(ts) FROM %s BY station_id WITHIN 50 MS", kTable));
+  const Result<QueryOutcome> exact_ts = engine->Query(
+      StrFormat("SELECT LAST(ts) FROM %s BY station_id EXACT", kTable));
+  if (!bounded_ts.ok() || !exact_ts.ok()) {
+    std::fprintf(stderr, "staleness queries failed: %s / %s\n",
+                 bounded_ts.status().ToString().c_str(),
+                 exact_ts.status().ToString().c_str());
+    return 1;
+  }
+  std::map<int64_t, double> bounded_by_station;
+  for (const QueryResultRow& row : bounded_ts->rows) {
+    bounded_by_station[row.group_key.int64()] = row.values[0];
+  }
+  double staleness_sum = 0.0;
+  int64_t staleness_n = 0;
+  for (const QueryResultRow& row : exact_ts->rows) {
+    const auto it = bounded_by_station.find(row.group_key.int64());
+    if (it == bounded_by_station.end()) continue;  // not in the sample yet
+    staleness_sum += row.values[0] - it->second;
+    ++staleness_n;
+  }
+  const double staleness_ms =
+      staleness_n > 0 ? staleness_sum / static_cast<double>(staleness_n) : 0.0;
+  std::printf("latest-value staleness: %.1fms avg over %lld stations "
+              "(answered_by=%s)\n",
+              staleness_ms, static_cast<long long>(staleness_n),
+              bounded_ts->answered_by.c_str());
+
+  // -- Exact-oracle gate ----------------------------------------------------
+  const Result<QueryOutcome> exact_value = engine->Query(
+      StrFormat("SELECT LAST(value) FROM %s BY station_id EXACT", kTable));
+  if (!exact_value.ok()) {
+    std::fprintf(stderr, "exact LAST failed: %s\n",
+                 exact_value.status().ToString().c_str());
+    return 1;
+  }
+  const std::map<int64_t, OracleRow> oracle = OracleLast(all_rows);
+  bool oracle_ok = exact_value->rows.size() == oracle.size();
+  for (const QueryResultRow& row : exact_value->rows) {
+    const auto it = oracle.find(row.group_key.int64());
+    if (it == oracle.end() || row.values[0] != it->second.value) {
+      oracle_ok = false;
+      break;
+    }
+  }
+  std::printf("exact LAST vs oracle replay: %s (%zu stations)\n",
+              oracle_ok ? "MATCH" : "MISMATCH", oracle.size());
+
+  JsonLine("timeseries")
+      .Num("timeseries_ingest_rows_per_s", rows_per_s)
+      .Num("latest_staleness_ms", staleness_ms)
+      .Int("disk_bytes_steady_state", disk_steady)
+      .Int("working_set_bytes", working_set)
+      .Int("bounded_queries_during_ingest", queries_ok.load())
+      .Flag("oracle_match", oracle_ok)
+      .Emit();
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  if (!oracle_ok) {
+    std::fprintf(stderr, "FAIL: exact LAST disagrees with the oracle\n");
+    return 1;
+  }
+  if (disk_steady > 2 * working_set) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state disk %lld bytes exceeds 2x the %lld-byte "
+                 "live-window working set\n",
+                 static_cast<long long>(disk_steady),
+                 static_cast<long long>(working_set));
+    return 1;
+  }
+  return 0;
+}

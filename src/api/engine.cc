@@ -3,14 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <utility>
 
 #include "column/csv.h"
 #include "column/encoding/encoding.h"
+#include "core/impression_builder.h"
 #include "exec/parser.h"
 #include "obs/metrics.h"
+#include "retention/last_query.h"
+#include "retention/retention.h"
 #include "storage/table_store.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
@@ -63,6 +67,41 @@ std::string NextQueryId() {
 
 /// Number of ColumnEncoding variants — sized for per-encoding byte buckets.
 constexpr int kNumEncodings = 4;
+
+/// splitmix64-style seed derivation for post-eviction sampler rebuilds: the
+/// rebuilt hierarchy/last-seen must draw a different (but deterministic)
+/// stream per cutoff, so replaying the same evictions after a crash
+/// reproduces the never-crashed samplers bit-exactly.
+uint64_t MixSeed(uint64_t seed, int64_t salt) {
+  uint64_t x = seed ^ (0x9e3779b97f4a7c15ull + static_cast<uint64_t>(salt));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// The standalone recency-biased sample answering bounded LAST queries
+/// (Fig. 3 sampler, separate from the hierarchy so its k/D acceptance is
+/// tuned for staleness, not for aggregate error).
+ImpressionSpec LastSeenSpec(const RetentionPolicy& policy, uint64_t seed) {
+  ImpressionSpec spec;
+  spec.name = "last-seen";
+  spec.capacity = policy.last_seen_capacity;
+  spec.policy = SamplingPolicy::kLastSeen;
+  spec.seed = seed;
+  spec.expected_ingest = policy.effective_expected_ingest();
+  return spec;
+}
+
+/// All row indices of `t`, in order — the identity selection the stratified
+/// feeders group by bucket.
+SelectionVector AllRows(const Table& t) {
+  SelectionVector rows(static_cast<size_t>(t.num_rows()));
+  for (int64_t i = 0; i < t.num_rows(); ++i) rows[static_cast<size_t>(i)] = i;
+  return rows;
+}
 
 /// Raw data bytes of rows [begin, end) of a column, the serde v1 accounting:
 /// 8 bytes per numeric row, 4 (length prefix) + payload per string row.
@@ -132,6 +171,7 @@ struct Engine::TableEntry {
     obs::Counter* bound_missed = nullptr;
     obs::Counter* deadline_exceeded = nullptr;
     obs::Counter* ingest_rows = nullptr;
+    obs::Counter* rows_evicted = nullptr;
     obs::Histogram* latency = nullptr;
     obs::Histogram* budget_utilization = nullptr;
     obs::Histogram* error_margin = nullptr;
@@ -162,6 +202,9 @@ struct Engine::TableEntry {
         "Queries that blew their WITHIN time budget.", by_table);
     metrics.ingest_rows = reg->GetCounter(
         "sciborq_ingest_rows_total", "Rows ingested, by table.", by_table);
+    metrics.rows_evicted = reg->GetCounter(
+        "sciborq_rows_evicted_total",
+        "Rows aged out by the retention window, by table.", by_table);
     metrics.latency = reg->GetHistogram(
         "sciborq_query_seconds", "Query latency (engine-side).",
         obs::DefaultLatencyBounds(), by_table);
@@ -301,6 +344,17 @@ struct Engine::TableEntry {
   /// the one lock that always suffices.
   std::optional<InterestTracker> tracker GUARDED_BY(workload_mu);
   std::optional<ImpressionHierarchy> hierarchy GUARDED_BY(data_mu);
+  /// Sliding-window bookkeeping (windowed tables only). Derived state:
+  /// never persisted, rebuilt via Reindex on restore.
+  std::optional<RetentionManager> retention GUARDED_BY(data_mu);
+  /// Standalone last-seen impression answering bounded LAST queries
+  /// (windowed tables only). unique_ptr rather than optional so the
+  /// post-eviction rebuild can swap it atomically.
+  std::unique_ptr<ImpressionBuilder> last_seen GUARDED_BY(data_mu);
+  /// The cutoff the last applied eviction used. INT64_MIN until the first
+  /// batch; after every ingest it equals retention->cutoff_bucket(), which
+  /// is how a snapshot restore reconstructs it exactly.
+  int64_t last_cutoff GUARDED_BY(data_mu) = INT64_MIN;
   /// Sequence number the next WAL ingest record will carry (persistent
   /// engines).
   int64_t next_seq GUARDED_BY(data_mu) = 1;
@@ -368,6 +422,16 @@ Result<std::unique_ptr<Engine::TableEntry>> Engine::BuildTableEntry(
       ImpressionHierarchy::Make(schema, options.layers, spec,
                                 hierarchy_options));
   raw->hierarchy.emplace(std::move(hierarchy));
+  if (options.retention.enabled()) {
+    SCIBORQ_ASSIGN_OR_RETURN(RetentionManager retention,
+                             RetentionManager::Make(options.retention, schema));
+    raw->retention.emplace(std::move(retention));
+    SCIBORQ_ASSIGN_OR_RETURN(
+        ImpressionBuilder last_seen,
+        ImpressionBuilder::Make(schema,
+                                LastSeenSpec(options.retention, options.seed)));
+    raw->last_seen = std::make_unique<ImpressionBuilder>(std::move(last_seen));
+  }
   raw->options = std::move(options);
   raw->InitMetrics();
   return entry;
@@ -381,7 +445,30 @@ Status Engine::IngestIntoEntry(TableEntry* entry, const Table& batch)
         batch.schema().ToString().c_str(), entry->name.c_str(),
         entry->base.schema().ToString().c_str()));
   }
-  SCIBORQ_RETURN_NOT_OK(entry->hierarchy->IngestBatch(batch));
+  if (entry->retention && batch.num_rows() > 0) {
+    // ObserveBatch first: it validates the time column (nulls are rejected)
+    // before any in-memory state changes, so a bad batch leaves the entry
+    // untouched and the engine's WAL undo can run cleanly.
+    SCIBORQ_RETURN_NOT_OK(entry->retention->ObserveBatch(batch));
+    // Stratified ingest: rows route into time-bucket strata and each
+    // stratum streams through the samplers as its own batch, ascending by
+    // bucket — the same feed order the post-eviction rebuild uses, so the
+    // two paths stay bit-compatible.
+    const std::vector<SelectionVector> strata =
+        entry->retention->GroupByBucket(batch, AllRows(batch));
+    if (strata.size() == 1) {
+      SCIBORQ_RETURN_NOT_OK(entry->hierarchy->IngestBatch(batch));
+      SCIBORQ_RETURN_NOT_OK(entry->last_seen->IngestBatch(batch));
+    } else {
+      for (const SelectionVector& stratum : strata) {
+        const Table part = batch.TakeRows(stratum);
+        SCIBORQ_RETURN_NOT_OK(entry->hierarchy->IngestBatch(part));
+        SCIBORQ_RETURN_NOT_OK(entry->last_seen->IngestBatch(part));
+      }
+    }
+  } else {
+    SCIBORQ_RETURN_NOT_OK(entry->hierarchy->IngestBatch(batch));
+  }
   entry->base.Reserve(entry->base.num_rows() + batch.num_rows());
   for (int64_t row = 0; row < batch.num_rows(); ++row) {
     entry->base.AppendRowFrom(batch, row);
@@ -391,6 +478,71 @@ Status Engine::IngestIntoEntry(TableEntry* entry, const Table& batch)
   entry->base.BuildEncoding();
   entry->RefreshStorageMetrics();
   return Status::OK();
+}
+
+Result<bool> Engine::ApplyRetention(TableEntry* entry)
+    REQUIRES(entry->data_mu) {
+  if (!entry->retention || !entry->retention->any_rows()) return false;
+  const int64_t cutoff = entry->retention->cutoff_bucket();
+  if (cutoff <= entry->last_cutoff) return false;
+  entry->last_cutoff = cutoff;
+  const SelectionVector survivors =
+      entry->retention->SurvivingRows(entry->base, cutoff);
+  const int64_t total = entry->base.num_rows();
+  const int64_t evicted = total - static_cast<int64_t>(survivors.size());
+  if (evicted == 0) return false;
+
+  Table new_base = entry->base.TakeRows(survivors);
+
+  // Rebuild the hierarchy and the last-seen sample from the survivors,
+  // stratified by bucket (ascending — the same order live ingest uses).
+  // The seed is salted with the cutoff so each rebuild draws a fresh,
+  // deterministic stream: a crash replay re-runs the same evictions at the
+  // same cutoffs and lands on bit-identical samplers.
+  const uint64_t seed = MixSeed(entry->options.seed, cutoff);
+  ImpressionSpec spec;
+  spec.seed = seed;
+  {
+    MutexLock workload_lock(&entry->workload_mu);
+    if (entry->tracker) {
+      spec.policy = SamplingPolicy::kBiased;
+      spec.tracker = &*entry->tracker;
+    }
+  }
+  HierarchyOptions hierarchy_options;
+  hierarchy_options.refresh_interval = entry->options.refresh_interval;
+  hierarchy_options.load_shards = options_.load_shards;
+  SCIBORQ_ASSIGN_OR_RETURN(
+      ImpressionHierarchy hierarchy,
+      ImpressionHierarchy::Make(new_base.schema(), entry->options.layers, spec,
+                                hierarchy_options));
+  SCIBORQ_ASSIGN_OR_RETURN(
+      ImpressionBuilder last_seen,
+      ImpressionBuilder::Make(new_base.schema(),
+                              LastSeenSpec(entry->options.retention, seed)));
+  for (const SelectionVector& stratum :
+       entry->retention->GroupByBucket(new_base, AllRows(new_base))) {
+    const Table part = new_base.TakeRows(stratum);
+    SCIBORQ_RETURN_NOT_OK(hierarchy.IngestBatch(part));
+    SCIBORQ_RETURN_NOT_OK(last_seen.IngestBatch(part));
+  }
+  entry->hierarchy.emplace(std::move(hierarchy));
+  entry->last_seen = std::make_unique<ImpressionBuilder>(std::move(last_seen));
+  entry->base = std::move(new_base);
+  entry->base.BuildEncoding();
+  entry->RefreshStorageMetrics();
+  SCIBORQ_RETURN_NOT_OK(entry->retention->Reindex(entry->base));
+  {
+    // Age the interest histograms by the surviving fraction: the evicted
+    // buckets' contribution to "interest" leaves with their rows.
+    MutexLock workload_lock(&entry->workload_mu);
+    if (entry->tracker && total > 0) {
+      entry->tracker->Decay(static_cast<double>(survivors.size()) /
+                            static_cast<double>(total));
+    }
+  }
+  entry->metrics.rows_evicted->Inc(evicted);
+  return true;
 }
 
 Status Engine::PublishTable(std::unique_ptr<TableEntry> entry,
@@ -419,6 +571,7 @@ Status Engine::PublishTable(std::unique_ptr<TableEntry> entry,
     config.tracked_attributes = raw->options.tracked_attributes;
     config.seed = raw->options.seed;
     config.refresh_interval = raw->options.refresh_interval;
+    config.retention = raw->options.retention;
     SCIBORQ_RETURN_NOT_OK(
         store_->LogCreate(raw->name, raw->base.schema(), config));
     if (initial_batch != nullptr && initial_batch->num_rows() > 0) {
@@ -474,33 +627,84 @@ Result<Engine::TableEntry*> Engine::FindTable(const std::string& name) const {
 
 Status Engine::IngestBatch(const std::string& table, const Table& batch) {
   SCIBORQ_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
-  WriterMutexLock lock(&entry->data_mu);
-  if (!batch.schema().Equals(entry->base.schema())) {
-    return Status::InvalidArgument(StrFormat(
-        "batch schema %s does not match table '%s' schema %s",
-        batch.schema().ToString().c_str(), table.c_str(),
-        entry->base.schema().ToString().c_str()));
-  }
-  if (store_) {
-    // WAL first: the batch is durable before it is acknowledged.
-    SCIBORQ_ASSIGN_OR_RETURN(const int64_t wal_offset,
-                             store_->LogBatch(table, batch, entry->next_seq));
-    ++entry->next_seq;
-    if (Status st = IngestIntoEntry(entry, batch); !st.ok()) {
-      // The apply failed after the record became durable: unlog it, or the
-      // caller would be told the ingest failed while the next boot
-      // resurrects the rows. The sequence is released only when the unlog
-      // actually removed the record — otherwise a later ingest would reuse
-      // the number and recovery would replay two different batches under
-      // one sequence.
-      if (store_->UnlogBatch(table, wal_offset).ok()) --entry->next_seq;
-      return st;
+  bool checkpoint_after = false;
+  {
+    WriterMutexLock lock(&entry->data_mu);
+    if (!batch.schema().Equals(entry->base.schema())) {
+      return Status::InvalidArgument(StrFormat(
+          "batch schema %s does not match table '%s' schema %s",
+          batch.schema().ToString().c_str(), table.c_str(),
+          entry->base.schema().ToString().c_str()));
+    }
+    if (store_ && entry->retention && entry->retention->any_rows() &&
+        batch.num_rows() > 0) {
+      // Bucket-boundary rotation: a batch that advances the maximum bucket
+      // goes into a fresh WAL segment, so the sealed ones hold only older
+      // buckets and retention GC can reclaim them whole.
+      SCIBORQ_ASSIGN_OR_RETURN(const int64_t batch_max,
+                               entry->retention->BatchMaxBucket(batch));
+      if (batch_max > entry->retention->max_bucket()) {
+        SCIBORQ_RETURN_NOT_OK(store_->RotateWal(table));
+      }
+    }
+    if (store_) {
+      // WAL first: the batch is durable before it is acknowledged.
+      SCIBORQ_ASSIGN_OR_RETURN(const int64_t wal_offset,
+                               store_->LogBatch(table, batch, entry->next_seq));
+      ++entry->next_seq;
+      if (Status st = IngestIntoEntry(entry, batch); !st.ok()) {
+        // The apply failed after the record became durable: unlog it, or the
+        // caller would be told the ingest failed while the next boot
+        // resurrects the rows. The sequence is released only when the unlog
+        // actually removed the record — otherwise a later ingest would reuse
+        // the number and recovery would replay two different batches under
+        // one sequence.
+        if (store_->UnlogBatch(table, wal_offset).ok()) --entry->next_seq;
+        return st;
+      }
+    } else {
+      SCIBORQ_RETURN_NOT_OK(IngestIntoEntry(entry, batch));
     }
     entry->metrics.ingest_rows->Inc(batch.num_rows());
-    return Status::OK();
+    SCIBORQ_ASSIGN_OR_RETURN(const bool evicted, ApplyRetention(entry));
+    checkpoint_after = evicted && store_ != nullptr &&
+                       entry->retention->policy().checkpoint_on_evict;
   }
-  SCIBORQ_RETURN_NOT_OK(IngestIntoEntry(entry, batch));
-  entry->metrics.ingest_rows->Inc(batch.num_rows());
+  if (checkpoint_after) {
+    // Outside the exclusive lock: Checkpoint takes checkpoint_mu plus the
+    // *shared* data lock (calling it under the writer lock above would
+    // self-deadlock). The checkpoint folds the post-eviction state into the
+    // snapshot and deletes every sealed WAL segment — this is what keeps
+    // on-disk bytes bounded by the live window.
+    SCIBORQ_RETURN_NOT_OK(Checkpoint(table));
+  }
+  return Status::OK();
+}
+
+Status Engine::DropTable(const std::string& table) {
+  WriterMutexLock catalog_lock(&catalog_mu_);
+  const auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound(
+        StrFormat("unknown table '%s'", table.c_str()));
+  }
+  TableEntry* entry = it->second.get();
+  // Exclude a concurrent checkpoint and any in-flight ingest before the
+  // files go: once both locks are held nothing can write the table's files
+  // again, so a checkpoint can never resurrect the snapshot afterwards
+  // (its later WriteCheckpoint fails on the closed WAL instead). Holding
+  // catalog_mu_ across these entry locks cannot deadlock against
+  // PublishTable's data->catalog order because PublishTable only ever locks
+  // an *unpublished* (uncontended) entry.
+  MutexLock checkpoint_lock(&entry->checkpoint_mu);
+  WriterMutexLock data_lock(&entry->data_mu);
+  if (store_) SCIBORQ_RETURN_NOT_OK(store_->DropTable(table));
+  // The entry moves to the graveyard rather than being destroyed: a
+  // TableEntry* handed out by FindTable before the drop must stay valid for
+  // the engine's lifetime (in-flight queries finish against the final
+  // state).
+  dropped_.push_back(std::move(it->second));
+  tables_.erase(it);
   return Status::OK();
 }
 
@@ -510,6 +714,9 @@ Result<std::unique_ptr<Engine>> Engine::Open(const std::string& db_dir,
                                              EngineOptions options) {
   auto engine = std::make_unique<Engine>(options);
   SCIBORQ_ASSIGN_OR_RETURN(engine->store_, TableStore::Open(db_dir));
+  if (options.wal_segment_bytes > 0) {
+    engine->store_->set_segment_bytes(options.wal_segment_bytes);
+  }
   SCIBORQ_ASSIGN_OR_RETURN(std::vector<RecoveredTable> recovered,
                            engine->store_->Recover());
   for (RecoveredTable& table : recovered) {
@@ -547,6 +754,7 @@ Status Engine::RestoreTable(RecoveredTable recovered) {
     raw->options.tracked_attributes = snap.config.tracked_attributes;
     raw->options.seed = snap.config.seed;
     raw->options.refresh_interval = snap.config.refresh_interval;
+    raw->options.retention = snap.config.retention;
     raw->InitMetrics();
     // Unpublished entry: the locks are uncontended but keep the guarded
     // state protocol unconditional (see BuildTableEntry).
@@ -573,6 +781,37 @@ Status Engine::RestoreTable(RecoveredTable recovered) {
     // tables scan (and meter) exactly like the engine that wrote the file.
     raw->base.BuildEncoding();
     raw->RefreshStorageMetrics();
+    if (raw->options.retention.enabled()) {
+      SCIBORQ_ASSIGN_OR_RETURN(
+          RetentionManager retention,
+          RetentionManager::Make(raw->options.retention,
+                                 raw->base.schema()));
+      raw->retention.emplace(std::move(retention));
+      // Retention bookkeeping is derived: Reindex rebuilds it from the
+      // surviving base rows, and last_cutoff == cutoff_bucket() is an
+      // invariant after every ingest (ApplyRetention updates it whenever
+      // the cutoff advances, whether or not rows left), so the restored
+      // value matches the engine that wrote the snapshot exactly.
+      SCIBORQ_RETURN_NOT_OK(raw->retention->Reindex(raw->base));
+      if (raw->retention->any_rows()) {
+        raw->last_cutoff = raw->retention->cutoff_bucket();
+      }
+      SCIBORQ_ASSIGN_OR_RETURN(
+          ImpressionBuilder last_seen,
+          ImpressionBuilder::Make(
+              raw->base.schema(),
+              LastSeenSpec(raw->options.retention, raw->options.seed)));
+      if (snap.last_seen) {
+        // Bit-exact: re-feeding the surviving rows could not reproduce the
+        // sampler's acceptance history, so the builder state travels in the
+        // snapshot. RestoreState also replaces the sampler RNG, so the
+        // spec-level seed above never reaches the stream.
+        SCIBORQ_RETURN_NOT_OK(
+            last_seen.RestoreState(std::move(*snap.last_seen)));
+      }
+      raw->last_seen =
+          std::make_unique<ImpressionBuilder>(std::move(last_seen));
+    }
     raw->next_seq = snap.last_seq + 1;
     // The log window round-trips as SQL (LoggedQuery::Sql() is
     // ParseBoundedQuery's inverse, tested in engine_test).
@@ -602,6 +841,7 @@ Status Engine::RestoreTable(RecoveredTable recovered) {
     opts.tracked_attributes = recovered.created_config->tracked_attributes;
     opts.seed = recovered.created_config->seed;
     opts.refresh_interval = recovered.created_config->refresh_interval;
+    opts.retention = recovered.created_config->retention;
     SCIBORQ_ASSIGN_OR_RETURN(
         entry, BuildTableEntry(recovered.name, *recovered.created_schema,
                                std::move(opts)));
@@ -613,6 +853,10 @@ Status Engine::RestoreTable(RecoveredTable recovered) {
     for (PendingBatch& pending : recovered.batches) {
       SCIBORQ_RETURN_NOT_OK(IngestIntoEntry(raw, pending.batch));
       raw->next_seq = pending.seq + 1;
+      // Replay evictions exactly where the live ingest applied them — the
+      // window slides during replay just as it did before the crash. No
+      // checkpoint here: recovery never writes.
+      SCIBORQ_RETURN_NOT_OK(ApplyRetention(raw).status());
     }
   }
 
@@ -633,9 +877,11 @@ TableSnapshot Engine::BuildSnapshot(const TableEntry& entry) const
   snap.config.tracked_attributes = entry.options.tracked_attributes;
   snap.config.seed = entry.options.seed;
   snap.config.refresh_interval = entry.options.refresh_interval;
+  snap.config.retention = entry.options.retention;
   snap.last_seq = entry.next_seq - 1;
   snap.base = entry.base;
   snap.hierarchy = entry.hierarchy->SaveState();
+  if (entry.last_seen) snap.last_seen = entry.last_seen->SaveState();
   {
     // Queries mutate the tracker and log under workload_mu while holding
     // only the shared data lock, so a shared-lock checkpoint must take it
@@ -732,7 +978,50 @@ Result<QueryOutcome> Engine::Query(const BoundedQuery& bounded,
     ReaderMutexLock data_lock(&entry->data_mu);
     tracer.Begin("execute");
     BoundedAnswer answer;
-    if (bounded.bounds.exact) {
+    if (IsLastQuery(query)) {
+      // Latest-value path (retention/last_query.h): EXACT scans the base
+      // window, bounded scans the standalone last-seen impression — the
+      // recency-biased sample whose acceptance lag is the only staleness a
+      // bounded answer pays. Not mergeable: per-shard newest rows cannot be
+      // combined without each shard's timestamps.
+      if (exec.mergeable) {
+        return Status::InvalidArgument("LAST is not mergeable across shards");
+      }
+      if (!entry->retention) {
+        return Status::FailedPrecondition(StrFormat(
+            "table '%s' has no retention policy: LAST needs the policy's "
+            "time column to rank rows",
+            query.table.c_str()));
+      }
+      const int time_col = entry->retention->time_col_index();
+      Stopwatch last_watch;
+      const bool from_base = bounded.bounds.exact;
+      const Table& scanned =
+          from_base ? entry->base : entry->last_seen->impression().rows();
+      SCIBORQ_ASSIGN_OR_RETURN(
+          answer.rows, RunLast(scanned, query, time_col, query_pool_.get()));
+      answer.estimates = ExactEstimates(answer.rows, bound.confidence);
+      answer.answered_by = from_base ? "base" : "last-seen";
+      answer.error_bound_met = true;
+      if (!from_base) {
+        // Point estimates from a sample: same value shape, but not exact.
+        for (auto& row_estimates : answer.estimates) {
+          for (AggregateEstimate& est : row_estimates) est.exact = false;
+        }
+      }
+      LayerAttempt trace;
+      trace.layer_name = answer.answered_by;
+      trace.layer_rows = scanned.num_rows();
+      trace.matching_rows =
+          answer.rows.empty() ? 0 : answer.rows[0].input_rows;
+      trace.elapsed_seconds = last_watch.ElapsedSeconds();
+      trace.met_error_bound = true;
+      trace.is_base = from_base;
+      answer.attempts.push_back(std::move(trace));
+      answer.deadline_exceeded =
+          bound.time_budget_seconds > 0.0 &&
+          last_watch.ElapsedSeconds() > bound.time_budget_seconds;
+    } else if (bounded.bounds.exact) {
       // EXACT short-circuits the escalation walk: no sample can serve the
       // zero-error contract, so go straight to the base columns. A mergeable
       // caller (shard side of a fan-out) also gets the Welford state behind

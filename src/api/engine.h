@@ -12,6 +12,7 @@
 #include "exec/query.h"
 #include "obs/slowlog.h"
 #include "obs/trace.h"
+#include "retention/policy.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
@@ -41,6 +42,13 @@ struct TableOptions {
   /// Derived layers refresh after this many ingested tuples (0 = every
   /// batch); see HierarchyOptions::refresh_interval.
   int64_t refresh_interval = 0;
+  /// Sliding-window retention (retention/policy.h). Naming a time column
+  /// turns the table into a windowed one: ingest is stratified by time
+  /// bucket, whole buckets age out of the base data and every sample once
+  /// the window slides past them, and `LAST(col) BY key` queries are
+  /// answered natively (from a standalone last-seen impression under
+  /// bounds, from the base data under EXACT). Disabled by default.
+  RetentionPolicy retention;
 };
 
 /// Engine-wide knobs.
@@ -59,6 +67,10 @@ struct EngineOptions {
   int load_shards = 1;
   /// Entries held by the bound-miss / slow-query ring (0 disables it).
   int64_t slow_log_capacity = 128;
+  /// WAL segment rotation threshold in bytes for persistent engines
+  /// (0 = TableStore::kDefaultSegmentBytes). Smaller segments mean finer
+  /// retention GC granularity at the cost of more files.
+  int64_t wal_segment_bytes = 0;
 };
 
 /// The answer to one SQL query — the union of what BoundedExecutor::Answer
@@ -277,7 +289,19 @@ class Engine {
   /// Appends a batch to `table`'s base data and streams it through the
   /// impression hierarchy (the daily-ingest path, §3.3). Exclusive per
   /// table: concurrent queries on the same table wait, other tables don't.
+  /// On a windowed table (TableOptions::retention) the batch may slide the
+  /// window forward, evicting whole buckets from the base data and every
+  /// sample; with checkpoint_on_evict (the default, persistent engines) the
+  /// eviction is followed by a checkpoint so the covered WAL segments are
+  /// deleted and disk usage stays bounded by the live window.
   Status IngestBatch(const std::string& table, const Table& batch);
+
+  /// Unregisters `table` and, on a persistent engine, permanently deletes
+  /// its snapshot and WAL segments (tombstone-protected: a crash mid-drop is
+  /// finished by the next recovery, never resurrected). NotFound when the
+  /// table does not exist. In-flight queries holding the entry finish
+  /// against its final state; new lookups fail.
+  Status DropTable(const std::string& table);
 
   /// Parses and answers one SQL statement. The FROM clause names the table;
   /// the optional bounds clause (WITHIN/ERROR/CONFIDENCE/EXACT) overrides
@@ -386,8 +410,9 @@ class Engine {
   // is complete):
   //
   //   catalog_mu_      guards the tables_ map structure. Entries themselves
-  //                    are heap-allocated and never erased, so a TableEntry*
-  //                    outlives any lock on the map.
+  //                    are heap-allocated and never destroyed (DropTable
+  //                    moves them to the dropped_ graveyard), so a
+  //                    TableEntry* outlives any lock on the map.
   //   entry->checkpoint_mu  serializes checkpoints of one table; acquired
   //                    BEFORE the table's data_mu.
   //   entry->data_mu   the per-table data plane: shared for queries and
@@ -401,7 +426,8 @@ class Engine {
   // ever held alone or before a fresh (unpublished) entry's locks.
 
   /// Catalog lookup under a shared lock; the returned pointer stays valid
-  /// for the engine's lifetime (entries are heap-allocated and never erased).
+  /// for the engine's lifetime (entries are heap-allocated and never
+  /// destroyed — DropTable moves them to a graveyard).
   Result<TableEntry*> FindTable(const std::string& name) const
       EXCLUDES(catalog_mu_);
 
@@ -414,6 +440,12 @@ class Engine {
   /// Streams one batch into an entry's hierarchy and base columns. Caller
   /// holds the entry exclusively (publish path, WAL replay, or data_mu).
   static Status IngestIntoEntry(TableEntry* entry, const Table& batch);
+
+  /// Slides a windowed entry's retention window after an ingest: when the
+  /// cutoff advanced, rebuilds base/hierarchy/last-seen from the surviving
+  /// buckets. Returns true when rows were evicted. No-op for tables without
+  /// a retention policy. Caller holds the entry exclusively.
+  Result<bool> ApplyRetention(TableEntry* entry);
 
   /// Publishes a fully built entry into the catalog (AlreadyExists on a
   /// name collision) and, on a persistent engine, logs the create record
@@ -448,6 +480,10 @@ class Engine {
   mutable SharedMutex catalog_mu_;
   std::unordered_map<std::string, std::unique_ptr<TableEntry>> tables_
       GUARDED_BY(catalog_mu_);
+  /// Entries removed by DropTable. Kept alive (never destroyed) so that a
+  /// TableEntry* obtained from FindTable before the drop stays valid — the
+  /// same never-erased guarantee the catalog map used to provide alone.
+  std::vector<std::unique_ptr<TableEntry>> dropped_ GUARDED_BY(catalog_mu_);
 
   /// Prepared-statement registry: id-keyed, mutex-guarded. Statements are
   /// immutable after registration, so Execute only holds the mutex for the

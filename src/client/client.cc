@@ -161,6 +161,25 @@ Status SciborqClient::CreateTable(const std::string& name, const Schema& schema,
   return RoundTrip(Opcode::kCreateTable, w.buffer()).status();
 }
 
+Status SciborqClient::CreateTable(const std::string& name, const Schema& schema,
+                                  const RetentionPolicy& retention,
+                                  uint64_t seed) {
+  WireWriter w;
+  w.PutString(name);
+  EncodeSchema(schema, &w);
+  w.PutU64(seed);
+  EncodeRetentionPolicy(retention, &w);
+  // Stamped v6 so the server reads the retention block; the plain overload
+  // keeps its default (v3) stamp and pre-retention byte layout.
+  return RoundTrip(Opcode::kCreateTable, w.buffer(), kWireVersionV6).status();
+}
+
+Status SciborqClient::DropTable(const std::string& table) {
+  WireWriter w;
+  w.PutString(table);
+  return RoundTrip(Opcode::kDropTable, w.buffer()).status();
+}
+
 Result<int64_t> SciborqClient::Ingest(const std::string& table,
                                       const Table& batch) {
   WireWriter w;

@@ -91,6 +91,18 @@ class SciborqClient {
   Status CreateTable(const std::string& name, const Schema& schema,
                      uint64_t seed = 42);
 
+  /// Registers a *windowed* table: the retention policy travels in the v6
+  /// kCreateTable block, so the server builds time-bucket strata, ages rows
+  /// out behind the sliding window, and answers LAST(...) BY ... natively.
+  /// A disabled policy behaves exactly like the plain overload (minus the
+  /// wire stamp). Requires a v6 server.
+  Status CreateTable(const std::string& name, const Schema& schema,
+                     const RetentionPolicy& retention, uint64_t seed = 42);
+
+  /// Permanently removes `table` from the server: catalog entry, snapshot,
+  /// and WAL segments (v6). NotFound when no such table exists.
+  Status DropTable(const std::string& table);
+
   /// Ships one batch into `table` (v3); returns the rows the server
   /// ingested.
   Result<int64_t> Ingest(const std::string& table, const Table& batch);

@@ -774,6 +774,39 @@ std::string SciborqCoordinator::HandleRequest(const RequestFrame& request,
       EncodeSlowQueries(SlowQueries(), &w);
       return EncodeResponse(request.opcode, Status::OK(), w.buffer(), version);
     }
+    case Opcode::kDropTable: {
+      // v6: fan the drop out to every shard the table maps to. Like
+      // checkpointing, removal is all-or-nothing per request — the first
+      // failing shard fails the call (a retry is idempotent: an
+      // already-dropped shard answers NotFound, which the client surfaces).
+      Result<std::string> table = payload.ReadString();
+      if (!table.ok()) {
+        return EncodeResponse(request.opcode, table.status(), "", version);
+      }
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      const std::vector<ShardEndpoint>& endpoints = shards_.ShardsFor(*table);
+      if (endpoints.empty()) {
+        return EncodeResponse(
+            request.opcode,
+            Status::FailedPrecondition(StrFormat(
+                "no shards mapped for table '%s'", table->c_str())),
+            "", version);
+      }
+      for (const ShardEndpoint& endpoint : endpoints) {
+        ClientSlot* slot = SlotFor(session, endpoint);
+        if (Status st = EnsureConnected(slot, endpoint,
+                                        options_.default_shard_timeout_ms);
+            !st.ok()) {
+          return EncodeResponse(request.opcode, st, "", version);
+        }
+        if (Status st = slot->client->DropTable(*table); !st.ok()) {
+          return EncodeResponse(request.opcode, st, "", version);
+        }
+      }
+      return EncodeResponse(request.opcode, Status::OK(), "", version);
+    }
     case Opcode::kInvalid:
       break;
   }

@@ -175,6 +175,9 @@ Result<QueryOutcome> MergeShardOutcomes(const std::vector<ShardAnswer>& shards,
             est = ext_est;
             se = ext_se;
             break;
+          case AggKind::kLast:
+            return Status::InvalidArgument(
+                "LAST is not mergeable across shards");
         }
       }
 

@@ -106,6 +106,10 @@ Result<AggregateEstimate> EstimateOneAggregate(
       est.sample_rows = static_cast<int64_t>(values.size());
       return est;
     }
+    case AggKind::kLast:
+      return Status::InvalidArgument(
+          "LAST is answered by the latest-value path, not the bounded "
+          "executor");
   }
   return Status::Internal("unreachable aggregate kind");
 }

@@ -22,6 +22,8 @@ std::string_view AggKindToString(AggKind kind) {
       return "MAX";
     case AggKind::kVariance:
       return "VAR";
+    case AggKind::kLast:
+      return "LAST";
   }
   return "?";
 }
@@ -72,6 +74,9 @@ Result<double> AggregateMoments::Finish(AggKind kind) const {
         return Status::InvalidArgument("VAR needs at least two rows");
       }
       return moments.variance();
+    case AggKind::kLast:
+      return Status::InvalidArgument(
+          "LAST is answered by the latest-value path, not moment aggregation");
   }
   return Status::Internal("unreachable aggregate kind");
 }

@@ -13,8 +13,11 @@
 namespace sciborq {
 
 /// Aggregate functions supported by the bounded executor. COUNT ignores its
-/// column; the others require a numeric column and skip nulls.
-enum class AggKind { kCount, kSum, kAvg, kMin, kMax, kVariance };
+/// column; the others require a numeric column and skip nulls. kLast —
+/// LAST(col), the newest value by the table's retention time column — is
+/// answered by the latest-value path (retention/last_query.h), never by
+/// moment aggregation, and only on tables with a retention policy.
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax, kVariance, kLast };
 
 std::string_view AggKindToString(AggKind kind);
 

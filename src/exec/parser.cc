@@ -174,6 +174,11 @@ class Parser {
     if (AcceptKeyword("group")) {
       SCIBORQ_RETURN_NOT_OK(ExpectKeyword("by"));
       SCIBORQ_ASSIGN_OR_RETURN(query.group_by, ExpectIdent());
+    } else if (AcceptKeyword("by")) {
+      // Telemetry shorthand: `LAST(value) BY station` == `... GROUP BY
+      // station`. ToString renders the canonical GROUP BY form, so the
+      // round-trip guarantee is unaffected.
+      SCIBORQ_ASSIGN_OR_RETURN(query.group_by, ExpectIdent());
     }
     SCIBORQ_RETURN_NOT_OK(ParseBounds(&bounded.bounds));
     SCIBORQ_RETURN_NOT_OK(ExpectEnd());
@@ -286,6 +291,8 @@ class Parser {
       spec.kind = AggKind::kMax;
     } else if (fn == "var" || fn == "variance") {
       spec.kind = AggKind::kVariance;
+    } else if (fn == "last") {
+      spec.kind = AggKind::kLast;
     } else {
       return ParseErrorAt(text_, name_at,
                           StrFormat("unknown aggregate '%s'", name.c_str()));

@@ -1,0 +1,43 @@
+#ifndef SCIBORQ_RETENTION_LAST_QUERY_H_
+#define SCIBORQ_RETENTION_LAST_QUERY_H_
+
+#include <vector>
+
+#include "column/table.h"
+#include "exec/query.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace sciborq {
+
+/// Latest-value queries: `SELECT LAST(value) [BY station]` — for every group,
+/// the value carried by the newest row, "newest" judged by the table's
+/// retention time column (ties broken toward the later-ingested row).
+///
+/// The same scan runs against two targets:
+///  - under EXACT, the base table — the zero-error answer;
+///  - under bounds, the table's standalone last-seen impression
+///    (Fig. 3 sampler), whose recency bias makes it the natural
+///    bounded-resource answer: per group it reports the newest *sampled*
+///    row, which trails the true latest by the sampler's acceptance lag.
+/// Because both targets are ordinary Tables, the code is shared.
+
+/// True when any aggregate is LAST — such a query must take this path.
+bool IsLastQuery(const AggregateQuery& query);
+
+/// All aggregates must be LAST (no mixing with moment aggregates) and each
+/// must name a numeric column.
+Status ValidateLastQuery(const AggregateQuery& query, const Schema& schema);
+
+/// Runs the latest-value scan over `table`. `time_col` is the index of the
+/// int64 retention time column in the table's schema. Result rows are
+/// ordered by ascending group key (one row with a null key when ungrouped);
+/// `input_rows` counts the scanned rows feeding each group.
+Result<std::vector<QueryResultRow>> RunLast(const Table& table,
+                                            const AggregateQuery& query,
+                                            int time_col,
+                                            ThreadPool* pool = nullptr);
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_RETENTION_LAST_QUERY_H_

@@ -1,0 +1,112 @@
+#include "retention/retention.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace sciborq {
+
+Result<RetentionManager> RetentionManager::Make(RetentionPolicy policy,
+                                                const Schema& schema) {
+  if (!policy.enabled()) {
+    return Status::InvalidArgument("retention policy has no time column");
+  }
+  if (policy.bucket_width <= 0) {
+    return Status::InvalidArgument("retention bucket_width must be positive");
+  }
+  if (policy.window_buckets <= 0) {
+    return Status::InvalidArgument("retention window_buckets must be positive");
+  }
+  if (policy.last_seen_capacity <= 0) {
+    return Status::InvalidArgument(
+        "retention last_seen_capacity must be positive");
+  }
+  if (policy.effective_expected_ingest() < policy.last_seen_capacity) {
+    return Status::InvalidArgument(
+        "retention last_seen_expected_ingest must be >= last_seen_capacity");
+  }
+  Result<int> col = schema.FieldIndex(policy.time_column);
+  if (!col.ok()) {
+    return Status::InvalidArgument("retention time column '" +
+                                   policy.time_column +
+                                   "' is not in the schema");
+  }
+  if (schema.field(*col).type != DataType::kInt64) {
+    return Status::InvalidArgument("retention time column '" +
+                                   policy.time_column + "' must be int64");
+  }
+  return RetentionManager(std::move(policy), *col);
+}
+
+int64_t RetentionManager::BucketOf(int64_t ts) const {
+  const int64_t w = policy_.bucket_width;
+  int64_t q = ts / w;
+  if (ts % w != 0 && ((ts < 0) != (w < 0))) --q;  // floor, not trunc
+  return q;
+}
+
+Result<int64_t> RetentionManager::BatchMaxBucket(const Table& batch) const {
+  if (batch.num_rows() == 0) {
+    return Status::InvalidArgument("empty batch has no buckets");
+  }
+  const Column& ts = batch.column(time_col_);
+  int64_t max_ts = ts.GetInt64(0);
+  for (int64_t i = 1; i < batch.num_rows(); ++i) {
+    max_ts = std::max(max_ts, ts.GetInt64(i));
+  }
+  return BucketOf(max_ts);
+}
+
+Status RetentionManager::ObserveBatch(const Table& batch) {
+  if (batch.num_rows() == 0) return Status();
+  const Column& ts = batch.column(time_col_);
+  if (ts.has_nulls()) {
+    for (int64_t i = 0; i < batch.num_rows(); ++i) {
+      if (ts.IsNull(i)) {
+        return Status::InvalidArgument("retention time column '" +
+                                       policy_.time_column +
+                                       "' must not contain nulls");
+      }
+    }
+  }
+  Result<int64_t> max = BatchMaxBucket(batch);
+  if (!max.ok()) return max.status();
+  if (rows_observed_ == 0 || *max > max_bucket_) max_bucket_ = *max;
+  rows_observed_ += batch.num_rows();
+  return Status();
+}
+
+Status RetentionManager::Reindex(const Table& base) {
+  max_bucket_ = 0;
+  rows_observed_ = 0;
+  return ObserveBatch(base);
+}
+
+SelectionVector RetentionManager::SurvivingRows(const Table& base,
+                                                int64_t cutoff) const {
+  SelectionVector keep;
+  keep.reserve(static_cast<size_t>(base.num_rows()));
+  const Column& ts = base.column(time_col_);
+  for (int64_t i = 0; i < base.num_rows(); ++i) {
+    if (BucketOf(ts.GetInt64(i)) > cutoff) keep.push_back(i);
+  }
+  return keep;
+}
+
+std::vector<SelectionVector> RetentionManager::GroupByBucket(
+    const Table& base, const SelectionVector& rows) const {
+  std::map<int64_t, SelectionVector> by_bucket;  // ordered: ascending buckets
+  const Column& ts = base.column(time_col_);
+  for (int64_t row : rows) {
+    by_bucket[BucketOf(ts.GetInt64(row))].push_back(row);
+  }
+  std::vector<SelectionVector> groups;
+  groups.reserve(by_bucket.size());
+  for (auto& [bucket, group] : by_bucket) {
+    (void)bucket;
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace sciborq

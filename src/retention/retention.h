@@ -1,0 +1,86 @@
+#ifndef SCIBORQ_RETENTION_RETENTION_H_
+#define SCIBORQ_RETENTION_RETENTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "column/table.h"
+#include "retention/policy.h"
+#include "util/result.h"
+
+namespace sciborq {
+
+/// Time-bucket bookkeeping for one windowed table. The manager owns no data
+/// — it tracks the maximum bucket ever ingested and derives the eviction
+/// cutoff from it; the engine owns the actual filtering and rebuilds.
+///
+/// All state here is *derived*: it is never persisted. After a restart the
+/// engine calls Reindex(base) and gets bit-identical bookkeeping back,
+/// because eviction is applied atomically with the ingest that triggered it
+/// (the base table never holds a row at or below the applied cutoff, so the
+/// surviving rows alone determine max_bucket).
+///
+/// Thread safety: none — the engine mutates the manager only under the
+/// owning table's exclusive data lock.
+class RetentionManager {
+ public:
+  /// Validates the policy against the schema: time_column must exist and be
+  /// int64, bucket_width and window_buckets must be positive, and the
+  /// last-seen sampler parameters must satisfy 0 < capacity <= D.
+  static Result<RetentionManager> Make(RetentionPolicy policy,
+                                       const Schema& schema);
+
+  const RetentionPolicy& policy() const { return policy_; }
+  int time_col_index() const { return time_col_; }
+
+  /// Bucket id of a timestamp: floor(ts / bucket_width), correct for
+  /// negative timestamps (floor, not truncation toward zero).
+  int64_t BucketOf(int64_t ts) const;
+
+  /// Largest bucket id in `batch` without updating any state (the engine
+  /// rotates the WAL segment *before* logging a batch that advances the
+  /// maximum). Returns false via has_rows() semantics for empty batches.
+  Result<int64_t> BatchMaxBucket(const Table& batch) const;
+
+  /// Folds a batch into the bookkeeping (max bucket, observed rows).
+  Status ObserveBatch(const Table& batch);
+
+  /// Rebuilds the bookkeeping from a base table (post-recovery, or after an
+  /// eviction replaced the base).
+  Status Reindex(const Table& base);
+
+  /// True once at least one row has been observed; max/cutoff are only
+  /// meaningful then.
+  bool any_rows() const { return rows_observed_ > 0; }
+  int64_t rows_observed() const { return rows_observed_; }
+
+  /// Largest bucket ever observed. Precondition: any_rows().
+  int64_t max_bucket() const { return max_bucket_; }
+
+  /// Eviction cutoff: every bucket <= cutoff is out of the window.
+  /// Precondition: any_rows().
+  int64_t cutoff_bucket() const { return max_bucket_ - policy_.window_buckets; }
+
+  /// Row indices of `base` whose bucket is > `cutoff`, in original order —
+  /// the surviving window after an eviction at that cutoff.
+  SelectionVector SurvivingRows(const Table& base, int64_t cutoff) const;
+
+  /// Groups `rows` (indices into `base`) by bucket, ascending bucket id,
+  /// original order preserved within each bucket — the per-stratum feed
+  /// order for rebuilding samplers after an eviction.
+  std::vector<SelectionVector> GroupByBucket(const Table& base,
+                                             const SelectionVector& rows) const;
+
+ private:
+  RetentionManager(RetentionPolicy policy, int time_col)
+      : policy_(std::move(policy)), time_col_(time_col) {}
+
+  RetentionPolicy policy_;
+  int time_col_ = -1;
+  int64_t max_bucket_ = 0;
+  int64_t rows_observed_ = 0;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_RETENTION_RETENTION_H_

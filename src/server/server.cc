@@ -48,7 +48,7 @@ SciborqServer::SciborqServer(Engine* engine, ServerOptions options)
   metrics_.bytes_out = reg->GetCounter(
       "sciborq_server_bytes_out_total",
       "Response bytes sent (frame prefix included).", by_instance);
-  for (uint8_t op = 0; op <= static_cast<uint8_t>(Opcode::kSlowLog); ++op) {
+  for (uint8_t op = 0; op <= static_cast<uint8_t>(Opcode::kDropTable); ++op) {
     metrics_.request_seconds[op] = reg->GetHistogram(
         "sciborq_server_request_seconds", "Request handling latency.",
         obs::DefaultLatencyBounds(),
@@ -326,11 +326,21 @@ std::string SciborqServer::HandleRequest(const RequestFrame& request,
       if (!seed.ok()) {
         return EncodeResponse(request.opcode, seed.status(), "", version);
       }
+      TableOptions table_options;
+      table_options.seed = *seed;
+      if (version >= kWireVersionV6) {
+        // v6 kCreateTable appends the retention block — how a windowed
+        // (time-series) table is registered over the wire.
+        Result<RetentionPolicy> retention = DecodeRetentionPolicy(&payload);
+        if (!retention.ok()) {
+          return EncodeResponse(request.opcode, retention.status(), "",
+                                version);
+        }
+        table_options.retention = std::move(*retention);
+      }
       if (Status st = payload.ExpectEnd(); !st.ok()) {
         return EncodeResponse(request.opcode, st, "", version);
       }
-      TableOptions table_options;
-      table_options.seed = *seed;
       return EncodeResponse(request.opcode,
                             engine_->CreateTable(*name, *schema, table_options),
                             "", version);
@@ -372,6 +382,20 @@ std::string SciborqServer::HandleRequest(const RequestFrame& request,
       WireWriter w;
       EncodeSlowQueries(engine_->SlowQueries(), &w);
       return EncodeResponse(request.opcode, Status::OK(), w.buffer(), version);
+    }
+    case Opcode::kDropTable: {
+      // v6: permanent removal — catalog entry plus every on-disk file. The
+      // engine serializes against in-flight queries and checkpoints under
+      // the table's own locks, so this is safe to issue at any time.
+      Result<std::string> name = payload.ReadString();
+      if (!name.ok()) {
+        return EncodeResponse(request.opcode, name.status(), "", version);
+      }
+      if (Status st = payload.ExpectEnd(); !st.ok()) {
+        return EncodeResponse(request.opcode, st, "", version);
+      }
+      return EncodeResponse(request.opcode, engine_->DropTable(*name), "",
+                            version);
     }
     case Opcode::kInvalid:
       break;  // DecodeRequest never produces it

@@ -15,11 +15,13 @@ constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kDataLoss);
 
 /// Validates an opcode against the envelope's version: v1 frames may only
 /// carry the original opcode set, v2 frames also the prepared-statement
-/// ones, v3 frames also the distributed ingest ones, v4 frames also the
-/// observability ones.
+/// ones, v3 frames also the distributed ingest ones, v4/v5 frames also the
+/// observability ones, v6 frames also the retention ones.
 Result<Opcode> OpcodeFromWire(uint8_t op, uint8_t version) {
   uint8_t max_op = static_cast<uint8_t>(Opcode::kPing);
-  if (version >= kWireVersionV4) {
+  if (version >= kWireVersionV6) {
+    max_op = static_cast<uint8_t>(Opcode::kDropTable);
+  } else if (version >= kWireVersionV4) {
     max_op = static_cast<uint8_t>(Opcode::kSlowLog);
   } else if (version == kWireVersionV3) {
     max_op = static_cast<uint8_t>(Opcode::kIngest);
@@ -27,9 +29,11 @@ Result<Opcode> OpcodeFromWire(uint8_t op, uint8_t version) {
     max_op = static_cast<uint8_t>(Opcode::kCheckpoint);
   }
   if (op < static_cast<uint8_t>(Opcode::kQuery) || op > max_op) {
-    if (op > max_op && op <= static_cast<uint8_t>(Opcode::kSlowLog)) {
+    if (op > max_op && op <= static_cast<uint8_t>(Opcode::kDropTable)) {
       uint8_t required = kWireVersionV2;
-      if (op > static_cast<uint8_t>(Opcode::kIngest)) {
+      if (op > static_cast<uint8_t>(Opcode::kSlowLog)) {
+        required = kWireVersionV6;
+      } else if (op > static_cast<uint8_t>(Opcode::kIngest)) {
         required = kWireVersionV4;
       } else if (op > static_cast<uint8_t>(Opcode::kCheckpoint)) {
         required = kWireVersionV3;
@@ -85,6 +89,8 @@ std::string_view OpcodeToString(Opcode op) {
       return "stats";
     case Opcode::kSlowLog:
       return "slow_log";
+    case Opcode::kDropTable:
+      return "drop_table";
   }
   return "unknown";
 }
@@ -102,6 +108,8 @@ uint8_t WireVersionFor(Opcode op) {
     case Opcode::kStats:
     case Opcode::kSlowLog:
       return kWireVersionV4;
+    case Opcode::kDropTable:
+      return kWireVersionV6;
     default:
       return kWireVersionV1;
   }
@@ -562,6 +570,41 @@ Result<std::vector<obs::SlowQueryEntry>> DecodeSlowQueries(WireReader* r) {
     entries.push_back(std::move(e));
   }
   return entries;
+}
+
+// -- RetentionPolicy (v6 kCreateTable block) --------------------------------
+
+void EncodeRetentionPolicy(const RetentionPolicy& policy, WireWriter* w) {
+  w->PutBool(policy.enabled());
+  if (!policy.enabled()) return;
+  w->PutString(policy.time_column);
+  w->PutI64(policy.bucket_width);
+  w->PutI64(policy.window_buckets);
+  w->PutBool(policy.checkpoint_on_evict);
+  w->PutI64(policy.last_seen_capacity);
+  w->PutI64(policy.last_seen_expected_ingest);
+}
+
+Result<RetentionPolicy> DecodeRetentionPolicy(WireReader* r) {
+  RetentionPolicy policy;
+  SCIBORQ_ASSIGN_OR_RETURN(const bool has_retention, r->ReadBool());
+  if (!has_retention) return policy;
+  SCIBORQ_ASSIGN_OR_RETURN(policy.time_column, r->ReadString());
+  SCIBORQ_ASSIGN_OR_RETURN(policy.bucket_width, r->ReadI64());
+  SCIBORQ_ASSIGN_OR_RETURN(policy.window_buckets, r->ReadI64());
+  SCIBORQ_ASSIGN_OR_RETURN(policy.checkpoint_on_evict, r->ReadBool());
+  SCIBORQ_ASSIGN_OR_RETURN(policy.last_seen_capacity, r->ReadI64());
+  SCIBORQ_ASSIGN_OR_RETURN(policy.last_seen_expected_ingest, r->ReadI64());
+  if (policy.time_column.empty()) {
+    return Status::InvalidArgument(
+        "wire: retention block claims a policy but names no time column");
+  }
+  if (policy.bucket_width <= 0 || policy.window_buckets <= 0 ||
+      policy.last_seen_capacity <= 0 || policy.last_seen_expected_ingest < 0) {
+    return Status::InvalidArgument(
+        "wire: retention block carries non-positive bucket/window/capacity");
+  }
+  return policy;
 }
 
 // -- Envelopes --------------------------------------------------------------

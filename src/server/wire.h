@@ -65,6 +65,20 @@ namespace sciborq {
 // trace fields (query id, phase spans). Requests stamped v1-v3 get
 // byte-identical v1-v3 responses.
 //
+// v5 adds no opcodes: it extends the kCatalog response's TableInfo with the
+// per-column storage block (dominant encoding, plain/encoded footprints).
+//
+// v6 is the retention protocol. One new opcode:
+//   kDropTable payload = string name     (catalog + disk removal; response
+//                                         payload empty)
+// and, under the usual negotiation rule: a kCreateTable request *stamped* v6
+// appends a retention block after the seed —
+//   u8 has_retention | [string time_column | i64 bucket_width |
+//   i64 window_buckets | u8 checkpoint_on_evict | i64 last_seen_capacity |
+//   i64 last_seen_expected_ingest]
+// (bracketed fields present only when has_retention = 1). Requests stamped
+// v3 stay byte-identical, so pre-retention peers are untouched.
+//
 // Responses (server -> client) echo the request opcode and carry
 //   u8 status_code | string status_message | payload-if-OK
 // with payload: kQuery/kExecute -> QueryOutcome, kCatalog -> u32 n +
@@ -92,8 +106,11 @@ inline constexpr uint8_t kWireVersionV4 = 4;
 /// Adds the TableInfo per-column storage block (dominant encoding and
 /// plain/encoded byte footprints) to kCatalog responses.
 inline constexpr uint8_t kWireVersionV5 = 5;
+/// Adds kDropTable and the optional kCreateTable retention block (windowed
+/// tables over the wire).
+inline constexpr uint8_t kWireVersionV6 = 6;
 /// Highest protocol version this build speaks.
-inline constexpr uint8_t kWireVersion = kWireVersionV5;
+inline constexpr uint8_t kWireVersion = kWireVersionV6;
 
 /// Default ceiling for one frame. Generous for result batches (a row of
 /// doubles is tens of bytes) while bounding a malicious length prefix.
@@ -118,6 +135,8 @@ enum class Opcode : uint8_t {
   // -- v4: observability --
   kStats = 12,
   kSlowLog = 13,
+  // -- v6: retention --
+  kDropTable = 14,
 };
 
 std::string_view OpcodeToString(Opcode op);
@@ -197,6 +216,14 @@ Result<std::vector<obs::StatSample>> DecodeStatSamples(WireReader* r);
 void EncodeSlowQueries(const std::vector<obs::SlowQueryEntry>& entries,
                        WireWriter* w);
 Result<std::vector<obs::SlowQueryEntry>> DecodeSlowQueries(WireReader* r);
+
+/// The v6 kCreateTable retention block: u8 has_retention, then (when set)
+/// the policy fields. An empty/disabled policy encodes as the single 0 byte.
+/// Decode validates that an enabled policy carries positive bucket_width and
+/// window_buckets — a malformed policy is refused at the wire, not at table
+/// build time.
+void EncodeRetentionPolicy(const RetentionPolicy& policy, WireWriter* w);
+Result<RetentionPolicy> DecodeRetentionPolicy(WireReader* r);
 
 // -- Message envelopes ------------------------------------------------------
 

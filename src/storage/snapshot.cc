@@ -351,7 +351,8 @@ Result<InterestTrackerState> DecodeTrackerState(BinaryReader* r) {
 
 }  // namespace
 
-void EncodePersistedConfig(const PersistedTableConfig& c, BinaryWriter* w) {
+void EncodePersistedConfig(const PersistedTableConfig& c, BinaryWriter* w,
+                           bool with_retention) {
   w->PutU32(static_cast<uint32_t>(c.layers.size()));
   for (const auto& layer : c.layers) {
     w->PutString(layer.name);
@@ -366,9 +367,21 @@ void EncodePersistedConfig(const PersistedTableConfig& c, BinaryWriter* w) {
   }
   w->PutU64(c.seed);
   w->PutI64(c.refresh_interval);
+  if (with_retention) {
+    w->PutBool(c.retention.enabled());
+    if (c.retention.enabled()) {
+      w->PutString(c.retention.time_column);
+      w->PutI64(c.retention.bucket_width);
+      w->PutI64(c.retention.window_buckets);
+      w->PutBool(c.retention.checkpoint_on_evict);
+      w->PutI64(c.retention.last_seen_capacity);
+      w->PutI64(c.retention.last_seen_expected_ingest);
+    }
+  }
 }
 
-Result<PersistedTableConfig> DecodePersistedConfig(BinaryReader* r) {
+Result<PersistedTableConfig> DecodePersistedConfig(BinaryReader* r,
+                                                   bool with_retention) {
   PersistedTableConfig c;
   SCIBORQ_ASSIGN_OR_RETURN(const uint32_t layers, r->ReadU32());
   SCIBORQ_RETURN_NOT_OK(CheckDecodeCount(layers, 12, *r, "layer spec"));
@@ -393,13 +406,39 @@ Result<PersistedTableConfig> DecodePersistedConfig(BinaryReader* r) {
   }
   SCIBORQ_ASSIGN_OR_RETURN(c.seed, r->ReadU64());
   SCIBORQ_ASSIGN_OR_RETURN(c.refresh_interval, r->ReadI64());
+  if (with_retention) {
+    SCIBORQ_ASSIGN_OR_RETURN(const bool has_retention, r->ReadBool());
+    if (has_retention) {
+      SCIBORQ_ASSIGN_OR_RETURN(c.retention.time_column, r->ReadString());
+      SCIBORQ_ASSIGN_OR_RETURN(c.retention.bucket_width, r->ReadI64());
+      SCIBORQ_ASSIGN_OR_RETURN(c.retention.window_buckets, r->ReadI64());
+      SCIBORQ_ASSIGN_OR_RETURN(c.retention.checkpoint_on_evict, r->ReadBool());
+      SCIBORQ_ASSIGN_OR_RETURN(c.retention.last_seen_capacity, r->ReadI64());
+      SCIBORQ_ASSIGN_OR_RETURN(c.retention.last_seen_expected_ingest,
+                               r->ReadI64());
+      if (c.retention.time_column.empty()) {
+        return Status::InvalidArgument(
+            "snapshot: retention block without a time column");
+      }
+    }
+  }
   return c;
+}
+
+void EncodeImpressionBuilderState(const ImpressionBuilderState& state,
+                                  BinaryWriter* w, uint32_t version) {
+  EncodeBuilderState(state, w, version);
+}
+
+Result<ImpressionBuilderState> DecodeImpressionBuilderState(BinaryReader* r,
+                                                            uint32_t version) {
+  return DecodeBuilderState(r, version);
 }
 
 void EncodeTableSnapshot(const TableSnapshot& snap, BinaryWriter* w,
                          uint32_t version) {
   w->PutString(snap.table);
-  EncodePersistedConfig(snap.config, w);
+  EncodePersistedConfig(snap.config, w, /*with_retention=*/version >= 3);
   w->PutI64(snap.last_seq);
   EncodeTableVersioned(snap.base, w, version);
   EncodeHierarchyState(snap.hierarchy, w, version);
@@ -411,13 +450,18 @@ void EncodeTableSnapshot(const TableSnapshot& snap, BinaryWriter* w,
     w->PutI64(entry.sequence);
     w->PutString(entry.sql);
   }
+  if (version >= 3) {
+    w->PutBool(snap.last_seen.has_value());
+    if (snap.last_seen) EncodeBuilderState(*snap.last_seen, w, version);
+  }
 }
 
 Result<TableSnapshot> DecodeTableSnapshot(BinaryReader* r,
                                           uint32_t version) {
   TableSnapshot snap;
   SCIBORQ_ASSIGN_OR_RETURN(snap.table, r->ReadString());
-  SCIBORQ_ASSIGN_OR_RETURN(snap.config, DecodePersistedConfig(r));
+  SCIBORQ_ASSIGN_OR_RETURN(
+      snap.config, DecodePersistedConfig(r, /*with_retention=*/version >= 3));
   SCIBORQ_ASSIGN_OR_RETURN(snap.last_seq, r->ReadI64());
   SCIBORQ_ASSIGN_OR_RETURN(snap.base, DecodeTableVersioned(r, version));
   SCIBORQ_ASSIGN_OR_RETURN(snap.hierarchy, DecodeHierarchyState(r, version));
@@ -436,6 +480,14 @@ Result<TableSnapshot> DecodeTableSnapshot(BinaryReader* r,
     SCIBORQ_ASSIGN_OR_RETURN(entry.sequence, r->ReadI64());
     SCIBORQ_ASSIGN_OR_RETURN(entry.sql, r->ReadString());
     snap.log.entries.push_back(std::move(entry));
+  }
+  if (version >= 3) {
+    SCIBORQ_ASSIGN_OR_RETURN(const bool has_last_seen, r->ReadBool());
+    if (has_last_seen) {
+      SCIBORQ_ASSIGN_OR_RETURN(ImpressionBuilderState state,
+                               DecodeBuilderState(r, version));
+      snap.last_seen = std::move(state);
+    }
   }
   SCIBORQ_RETURN_NOT_OK(r->ExpectEnd());
   return snap;

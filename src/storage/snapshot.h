@@ -8,6 +8,7 @@
 
 #include "column/table.h"
 #include "core/hierarchy.h"
+#include "retention/policy.h"
 #include "util/binio.h"
 #include "util/result.h"
 #include "workload/interest_tracker.h"
@@ -45,12 +46,16 @@ namespace sciborq {
 // ---------------------------------------------------------------------------
 
 inline constexpr uint32_t kSnapshotMagic = 0x4E534253u;  // "SBSN"
-/// Current page format: v2 writes every table (base data and impression
-/// rows) through the encoded-page codec (column/serde.h, EncodeTableEncoded)
-/// — RLE / frame-of-reference / dictionary chunks chosen per morsel. v1
-/// files (plain pages) remain fully readable; versions outside
+/// Current format: v2 writes every table (base data and impression rows)
+/// through the encoded-page codec (column/serde.h, EncodeTableEncoded) —
+/// RLE / frame-of-reference / dictionary chunks chosen per morsel. v3 keeps
+/// the v2 pages and appends the retention fields: the config carries the
+/// RetentionPolicy and the snapshot trailer carries the standalone last-seen
+/// builder state (written only for windowed tables; tables without retention
+/// keep being written as byte-identical v2 files). v1 files (plain pages)
+/// remain fully readable; versions outside
 /// [kMinSnapshotFormatVersion, kSnapshotFormatVersion] fail with DataLoss.
-inline constexpr uint32_t kSnapshotFormatVersion = 2;
+inline constexpr uint32_t kSnapshotFormatVersion = 3;
 inline constexpr uint32_t kMinSnapshotFormatVersion = 1;
 
 /// The table-creation parameters that must survive a restart (the persisted
@@ -60,6 +65,9 @@ struct PersistedTableConfig {
   std::vector<InterestTracker::AttributeSpec> tracked_attributes;
   uint64_t seed = 42;
   int64_t refresh_interval = 0;
+  /// Sliding-window retention (v3 config encodings only; disabled when the
+  /// encoding carries no retention block).
+  RetentionPolicy retention;
 };
 
 /// The query-log window, serialized as replayable SQL (LoggedQuery::Sql()
@@ -85,22 +93,40 @@ struct TableSnapshot {
   HierarchyState hierarchy;
   std::optional<InterestTrackerState> tracker;
   PersistedQueryLog log;
+  /// Standalone last-seen builder answering bounded LAST queries (v3,
+  /// windowed tables only). Persisted bit-exactly — re-feeding the surviving
+  /// base rows could not reproduce the sampler's full acceptance history.
+  std::optional<ImpressionBuilderState> last_seen;
 };
 
 /// Body codec, exposed for tests (byte-level round-trip and fuzzing).
-/// `version` selects the page format (1 = plain pages, 2 = encoded pages).
+/// `version` selects the page format (1 = plain pages, 2+ = encoded pages)
+/// and whether the retention fields travel (3).
 void EncodeTableSnapshot(const TableSnapshot& snap, BinaryWriter* w,
                          uint32_t version = kSnapshotFormatVersion);
 Result<TableSnapshot> DecodeTableSnapshot(
     BinaryReader* r, uint32_t version = kSnapshotFormatVersion);
 
-/// Config codec, shared with the WAL's create-table record.
-void EncodePersistedConfig(const PersistedTableConfig& config, BinaryWriter* w);
-Result<PersistedTableConfig> DecodePersistedConfig(BinaryReader* r);
+/// Config codec, shared with the WAL's create-table records. The retention
+/// block travels only when `with_retention` is set (v3 snapshots and
+/// create-with-retention WAL records); the default encoding stays
+/// byte-identical to every pre-retention build.
+void EncodePersistedConfig(const PersistedTableConfig& config, BinaryWriter* w,
+                           bool with_retention = false);
+Result<PersistedTableConfig> DecodePersistedConfig(BinaryReader* r,
+                                                   bool with_retention = false);
+
+/// Builder-state codec (one impression + its sampler position), exposed for
+/// the standalone last-seen sample and its tests.
+void EncodeImpressionBuilderState(const ImpressionBuilderState& state,
+                                  BinaryWriter* w,
+                                  uint32_t version = kSnapshotFormatVersion);
+Result<ImpressionBuilderState> DecodeImpressionBuilderState(
+    BinaryReader* r, uint32_t version = kSnapshotFormatVersion);
 
 /// Writes `snap` to `path` atomically (temp file + fsync + rename + dir
 /// fsync). IOError on filesystem failure; InvalidArgument for a `version`
-/// this build does not write (only v1 and v2 exist).
+/// this build does not write (only v1-v3 exist).
 Status WriteTableSnapshot(const TableSnapshot& snap, const std::string& path,
                           uint32_t version = kSnapshotFormatVersion);
 

@@ -155,7 +155,14 @@ Status WalWriter::Append(std::string_view payload) {
             "fdatasync latency of WAL record appends.",
             obs::DefaultLatencyBounds());
     Stopwatch fsync_watch;
-    if (::fdatasync(fd_) != 0) st = Errno("fdatasync", path_);
+    if (::fdatasync(fd_) != 0) {
+      st = Errno("fdatasync", path_);
+      static obs::Counter* const fsync_errors =
+          obs::DefaultRegistry()->GetCounter(
+              "sciborq_wal_fsync_errors_total",
+              "WAL fdatasync failures (appends, truncations, resets).");
+      fsync_errors->Inc();
+    }
     fsync_seconds->Observe(fsync_watch.ElapsedSeconds());
   }
   if (!st.ok()) {
@@ -187,7 +194,16 @@ Status WalWriter::TruncateTo(int64_t offset) {
     return Errno("ftruncate", path_);
   }
   if (::lseek(fd_, 0, SEEK_END) < 0) return Errno("lseek", path_);
-  if (::fdatasync(fd_) != 0) return Errno("fdatasync", path_);
+  if (::fdatasync(fd_) != 0) {
+    // A truncation that is not durable can resurrect an unlogged batch (or a
+    // checkpoint-covered record) at the next boot — surface it in metrics,
+    // not just in the returned status.
+    static obs::Counter* const fsync_errors = obs::DefaultRegistry()->GetCounter(
+        "sciborq_wal_fsync_errors_total",
+        "WAL fdatasync failures (appends, truncations, resets).");
+    fsync_errors->Inc();
+    return Errno("fdatasync", path_);
+  }
   size_ = offset;
   return Status::OK();
 }

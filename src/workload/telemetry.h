@@ -1,0 +1,74 @@
+#ifndef SCIBORQ_WORKLOAD_TELEMETRY_H_
+#define SCIBORQ_WORKLOAD_TELEMETRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "column/schema.h"
+#include "column/table.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace sciborq {
+
+/// Configuration of a synthetic telemetry stream: a fleet of stations each
+/// reporting a slowly drifting measurement, timestamps advancing monotonely
+/// except for occasional late arrivals — the workload shape the retention
+/// subsystem (sliding-window tables, LAST(...) BY station_id) is built for.
+struct TelemetryConfig {
+  /// Stations reporting; station_id is drawn uniformly per row, so every
+  /// station keeps appearing throughout the stream.
+  int64_t num_stations = 64;
+
+  /// Timestamp of the first row (event-time units are opaque; pick ms).
+  int64_t start_ts = 0;
+
+  /// Mean event-time advance between consecutive rows. With bucket_width W,
+  /// one bucket holds roughly W / ts_increment_mean rows.
+  int64_t ts_increment_mean = 1;
+
+  /// Fraction of rows that arrive late: their timestamp backtracks behind
+  /// the watermark by up to max_lateness units ("monotone-ish" — real
+  /// telemetry is never perfectly ordered).
+  double late_probability = 0.05;
+  int64_t max_lateness = 50;
+
+  /// Per-step standard deviation of each station's random-walk value.
+  double walk_sd = 0.5;
+};
+
+/// Generates an endless telemetry stream in batches. Deterministic given the
+/// seed: the same (config, seed, batch sizes) always produces the same rows,
+/// which is what lets the bench compare a crashed-and-recovered engine
+/// against a never-crashed oracle fed the identical stream.
+class TelemetryGenerator {
+ public:
+  /// InvalidArgument on non-positive stations/increment or a lateness
+  /// probability outside [0, 1].
+  static Result<TelemetryGenerator> Make(TelemetryConfig config, uint64_t seed);
+
+  /// The stream's schema: station_id int64 | ts int64 | value double.
+  static Schema TableSchema();
+
+  /// The next `rows` rows as one batch (the unit Engine::IngestBatch takes).
+  Table NextBatch(int64_t rows);
+
+  const TelemetryConfig& config() const { return config_; }
+  /// High-water mark of event time generated so far (late rows lag it).
+  int64_t watermark() const { return watermark_; }
+  int64_t rows_generated() const { return rows_generated_; }
+
+ private:
+  TelemetryGenerator(TelemetryConfig config, uint64_t seed);
+
+  TelemetryConfig config_;
+  Rng rng_;
+  int64_t watermark_;
+  int64_t rows_generated_ = 0;
+  /// Current random-walk value per station.
+  std::vector<double> station_values_;
+};
+
+}  // namespace sciborq
+
+#endif  // SCIBORQ_WORKLOAD_TELEMETRY_H_

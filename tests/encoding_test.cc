@@ -761,10 +761,10 @@ TableSnapshot SmallSnapshot() {
   return snap;
 }
 
-TEST(SnapshotVersionTest, V1AndV2BothRoundTrip) {
+TEST(SnapshotVersionTest, EveryWritableVersionRoundTrips) {
   TempDir dir;
   const TableSnapshot snap = SmallSnapshot();
-  for (uint32_t version : {1u, 2u}) {
+  for (uint32_t version : {1u, 2u, 3u}) {
     const std::string path =
         dir.path + "/v" + std::to_string(version) + ".snapshot";
     const Status written = WriteTableSnapshot(snap, path, version);
@@ -780,8 +780,8 @@ TEST(SnapshotVersionTest, V1AndV2BothRoundTrip) {
 
 TEST(SnapshotVersionTest, UnwritableVersionIsInvalidArgument) {
   TempDir dir;
-  const Status st =
-      WriteTableSnapshot(SmallSnapshot(), dir.path + "/x.snapshot", 3);
+  const Status st = WriteTableSnapshot(SmallSnapshot(), dir.path + "/x.snapshot",
+                                       kSnapshotFormatVersion + 1);
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
 }

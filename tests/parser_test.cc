@@ -28,6 +28,21 @@ TEST(ParserTest, AllAggregateKinds) {
   EXPECT_EQ(q.aggregates[5].column, "e");
 }
 
+TEST(ParserTest, LastAggregateAndBySugar) {
+  // LAST(col) with the telemetry shorthand: `BY g` == `GROUP BY g`.
+  const AggregateQuery sugar =
+      ParseQuery("SELECT LAST(value) FROM telemetry BY station_id").value();
+  ASSERT_EQ(sugar.aggregates.size(), 1u);
+  EXPECT_EQ(sugar.aggregates[0].kind, AggKind::kLast);
+  EXPECT_EQ(sugar.aggregates[0].column, "value");
+  EXPECT_EQ(sugar.group_by, "station_id");
+  // The canonical rendering is GROUP BY, and both spellings parse to it.
+  const AggregateQuery canonical =
+      ParseQuery("SELECT LAST(value) FROM telemetry GROUP BY station_id")
+          .value();
+  EXPECT_EQ(sugar.ToString(), canonical.ToString());
+}
+
 TEST(ParserTest, CaseInsensitiveKeywords) {
   EXPECT_TRUE(ParseQuery("select count(*) where x = 1 group by g").ok());
   EXPECT_TRUE(ParseQuery("SELECT Count(*) WHERE x = 1 GROUP BY g").ok());
@@ -224,7 +239,10 @@ INSTANTIATE_TEST_SUITE_P(
         "SELECT SUM(r) FROM t WHERE x < 3 GROUP BY g "
         "WITHIN 100 MS ERROR 1% CONFIDENCE 90%",
         "SELECT COUNT(*) FROM t EXACT",
-        "SELECT COUNT(*) FROM t WITHIN 50 MS EXACT"));
+        "SELECT COUNT(*) FROM t WITHIN 50 MS EXACT",
+        "SELECT LAST(value) FROM telemetry GROUP BY station_id WITHIN 50 MS",
+        "SELECT LAST(ts), LAST(value) FROM telemetry GROUP BY station_id "
+        "EXACT"));
 
 // ------------------------------------------------ prepared statements -----
 

@@ -1,0 +1,374 @@
+// Retention subsystem tests: bucket math (negative timestamps included),
+// window eviction through the engine, LAST(...) BY ... queries (exact,
+// bounded, sugar, error shapes), eviction determinism across restart, and
+// DropTable (in-memory, persistent, interrupted-drop tombstones).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "retention/retention.h"
+#include "storage/file_io.h"
+#include "workload/telemetry.h"
+
+#include "test_temp_dir.h"
+
+namespace sciborq {
+namespace {
+
+Schema TelemetrySchema() { return TelemetryGenerator::TableSchema(); }
+
+/// One hand-built batch: rows of {station, ts, value}.
+Table Batch(const std::vector<std::vector<double>>& rows) {
+  Table batch(TelemetrySchema());
+  batch.Reserve(static_cast<int64_t>(rows.size()));
+  for (const std::vector<double>& row : rows) batch.AppendNumericRow(row);
+  return batch;
+}
+
+/// Windowed-table options: bucket width 100, three buckets retained.
+TableOptions Windowed(uint64_t seed = 7) {
+  TableOptions options;
+  options.layers = {{"L0", 1'000}, {"L1", 100}};
+  options.seed = seed;
+  options.retention.time_column = "ts";
+  options.retention.bucket_width = 100;
+  options.retention.window_buckets = 3;
+  options.retention.last_seen_capacity = 256;
+  return options;
+}
+
+int64_t ExactCount(Engine* engine, const std::string& table) {
+  const Result<QueryOutcome> outcome =
+      engine->Query("SELECT COUNT(*) FROM " + table + " EXACT");
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+  return outcome.ok() ? static_cast<int64_t>(outcome->rows[0].values[0]) : -1;
+}
+
+std::map<int64_t, double> LastByStation(Engine* engine,
+                                        const std::string& table,
+                                        const std::string& bounds) {
+  const Result<QueryOutcome> outcome = engine->Query(
+      "SELECT LAST(value) FROM " + table + " BY station_id " + bounds);
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+  std::map<int64_t, double> by_station;
+  if (outcome.ok()) {
+    for (const QueryResultRow& row : outcome->rows) {
+      by_station[row.group_key.int64()] = row.values[0];
+    }
+  }
+  return by_station;
+}
+
+// ------------------------------------------------------- bucket math -----
+
+TEST(RetentionManagerTest, BucketMathFloorsNegativeTimestamps) {
+  RetentionPolicy policy;
+  policy.time_column = "ts";
+  policy.bucket_width = 100;
+  policy.window_buckets = 3;
+  RetentionManager manager =
+      RetentionManager::Make(policy, TelemetrySchema()).value();
+  EXPECT_EQ(manager.BucketOf(0), 0);
+  EXPECT_EQ(manager.BucketOf(99), 0);
+  EXPECT_EQ(manager.BucketOf(100), 1);
+  EXPECT_EQ(manager.BucketOf(-1), -1);    // floor, not truncation
+  EXPECT_EQ(manager.BucketOf(-100), -1);
+  EXPECT_EQ(manager.BucketOf(-101), -2);
+}
+
+TEST(RetentionManagerTest, RejectsBadPolicies) {
+  RetentionPolicy policy;
+  policy.time_column = "nope";
+  policy.bucket_width = 100;
+  policy.window_buckets = 3;
+  EXPECT_FALSE(RetentionManager::Make(policy, TelemetrySchema()).ok());
+  policy.time_column = "value";  // double, not int64
+  EXPECT_FALSE(RetentionManager::Make(policy, TelemetrySchema()).ok());
+  policy.time_column = "ts";
+  policy.bucket_width = 0;
+  EXPECT_FALSE(RetentionManager::Make(policy, TelemetrySchema()).ok());
+}
+
+// --------------------------------------------------- window eviction -----
+
+TEST(RetentionTest, WindowSlidesAndEvictsWholeBuckets) {
+  Engine engine;
+  ASSERT_TRUE(engine.CreateTable("t", TelemetrySchema(), Windowed()).ok());
+  // Buckets 0..3 (window 3 behind max bucket 3 keeps buckets 1..3).
+  ASSERT_TRUE(engine.IngestBatch("t", Batch({{1, 10, 1.0}, {2, 50, 2.0}}))
+                  .ok());
+  ASSERT_TRUE(engine.IngestBatch("t", Batch({{1, 150, 3.0}})).ok());
+  ASSERT_TRUE(engine.IngestBatch("t", Batch({{2, 250, 4.0}})).ok());
+  ASSERT_TRUE(engine.IngestBatch("t", Batch({{1, 350, 5.0}})).ok());
+  EXPECT_EQ(ExactCount(&engine, "t"), 3);  // bucket 0's two rows evicted
+  // Advancing to bucket 5 evicts buckets 1 and 2.
+  ASSERT_TRUE(engine.IngestBatch("t", Batch({{2, 550, 6.0}})).ok());
+  EXPECT_EQ(ExactCount(&engine, "t"), 2);  // buckets 3 and 5 survive
+}
+
+TEST(RetentionTest, FirstBatchWiderThanWindowEvictsImmediately) {
+  Engine engine;
+  ASSERT_TRUE(engine.CreateTable("t", TelemetrySchema(), Windowed()).ok());
+  // One batch spanning buckets 0..5: the window (3 behind max 5) keeps only
+  // buckets 3..5 — retention applies on the very first ingest.
+  ASSERT_TRUE(engine
+                  .IngestBatch("t", Batch({{1, 10, 1.0},
+                                           {2, 150, 2.0},
+                                           {1, 350, 3.0},
+                                           {2, 450, 4.0},
+                                           {1, 550, 5.0}}))
+                  .ok());
+  EXPECT_EQ(ExactCount(&engine, "t"), 3);
+}
+
+TEST(RetentionTest, LateRowsInsideTheWindowAreKept) {
+  Engine engine;
+  ASSERT_TRUE(engine.CreateTable("t", TelemetrySchema(), Windowed()).ok());
+  ASSERT_TRUE(engine.IngestBatch("t", Batch({{1, 350, 1.0}})).ok());
+  // A late arrival in bucket 2 (window is buckets 1..3): kept.
+  ASSERT_TRUE(engine.IngestBatch("t", Batch({{2, 250, 2.0}})).ok());
+  EXPECT_EQ(ExactCount(&engine, "t"), 2);
+  // A late arrival at or below the cutoff bucket: evicted on the next slide.
+  ASSERT_TRUE(engine.IngestBatch("t", Batch({{2, 50, 9.0}, {1, 450, 3.0}}))
+                  .ok());
+  EXPECT_EQ(ExactCount(&engine, "t"), 3);  // ts=50 (bucket 0) never survives
+}
+
+// ----------------------------------------------------- LAST queries ------
+
+TEST(RetentionTest, ExactLastPicksLatestRowPerStation) {
+  Engine engine;
+  ASSERT_TRUE(engine.CreateTable("t", TelemetrySchema(), Windowed()).ok());
+  ASSERT_TRUE(engine
+                  .IngestBatch("t", Batch({{1, 100, 1.0},
+                                           {2, 110, 2.0},
+                                           {1, 200, 3.0},
+                                           {2, 150, 4.0}}))
+                  .ok());
+  const std::map<int64_t, double> last = LastByStation(&engine, "t", "EXACT");
+  ASSERT_EQ(last.size(), 2u);
+  EXPECT_EQ(last.at(1), 3.0);
+  EXPECT_EQ(last.at(2), 4.0);
+}
+
+TEST(RetentionTest, ExactLastTieBreaksToLaterRow) {
+  Engine engine;
+  ASSERT_TRUE(engine.CreateTable("t", TelemetrySchema(), Windowed()).ok());
+  ASSERT_TRUE(engine.IngestBatch("t", Batch({{1, 100, 1.0}, {1, 100, 2.0}}))
+                  .ok());
+  const std::map<int64_t, double> last = LastByStation(&engine, "t", "EXACT");
+  EXPECT_EQ(last.at(1), 2.0);  // same ts: the later-ingested row wins
+}
+
+TEST(RetentionTest, BoundedLastAnswersFromLastSeenSample) {
+  Engine engine;
+  // capacity == expected ingest -> acceptance probability k/D is 1, so the
+  // sample holds the whole (small) stream and must agree with the base.
+  TableOptions options = Windowed();
+  options.retention.last_seen_capacity = 256;
+  options.retention.last_seen_expected_ingest = 256;
+  ASSERT_TRUE(engine.CreateTable("t", TelemetrySchema(), options).ok());
+  std::vector<std::vector<double>> rows;
+  for (int64_t i = 0; i < 200; ++i) {
+    rows.push_back({static_cast<double>(i % 4), static_cast<double>(100 + i),
+                    static_cast<double>(i)});
+  }
+  ASSERT_TRUE(engine.IngestBatch("t", Batch(rows)).ok());
+  const Result<QueryOutcome> outcome =
+      engine.Query("SELECT LAST(value) FROM t BY station_id WITHIN 50 MS");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->answered_by, "last-seen");
+  EXPECT_FALSE(outcome->exact);
+  EXPECT_TRUE(outcome->error_bound_met);
+  // Acceptance probability 1 and capacity above the stream length: the
+  // sample has every row, so the answer matches the exact one.
+  const std::map<int64_t, double> exact = LastByStation(&engine, "t", "EXACT");
+  std::map<int64_t, double> bounded;
+  for (const QueryResultRow& row : outcome->rows) {
+    bounded[row.group_key.int64()] = row.values[0];
+  }
+  EXPECT_EQ(bounded, exact);
+}
+
+TEST(RetentionTest, LastOnPlainTableIsFailedPrecondition) {
+  Engine engine;
+  TableOptions plain;
+  plain.layers = {{"L0", 1'000}};
+  ASSERT_TRUE(engine.CreateTable("t", TelemetrySchema(), plain).ok());
+  ASSERT_TRUE(engine.IngestBatch("t", Batch({{1, 100, 1.0}})).ok());
+  const Result<QueryOutcome> outcome =
+      engine.Query("SELECT LAST(value) FROM t BY station_id EXACT");
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RetentionTest, LastMixedWithOtherAggregatesRejected) {
+  Engine engine;
+  ASSERT_TRUE(engine.CreateTable("t", TelemetrySchema(), Windowed()).ok());
+  ASSERT_TRUE(engine.IngestBatch("t", Batch({{1, 100, 1.0}})).ok());
+  const Result<QueryOutcome> outcome =
+      engine.Query("SELECT LAST(value), COUNT(*) FROM t BY station_id EXACT");
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RetentionTest, UngroupedLastWorks) {
+  Engine engine;
+  ASSERT_TRUE(engine.CreateTable("t", TelemetrySchema(), Windowed()).ok());
+  ASSERT_TRUE(engine
+                  .IngestBatch("t", Batch({{1, 100, 1.0},
+                                           {2, 300, 7.5},
+                                           {1, 200, 3.0}}))
+                  .ok());
+  const Result<QueryOutcome> outcome =
+      engine.Query("SELECT LAST(value) FROM t EXACT");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_EQ(outcome->rows.size(), 1u);
+  EXPECT_EQ(outcome->rows[0].values[0], 7.5);
+}
+
+// ----------------------------------- eviction determinism across boot ----
+
+TEST(RetentionTest, EvictionThenRecoverAnswersLikeNeverCrashed) {
+  TempDir crash_dir, oracle_dir;
+  TelemetryConfig config;
+  config.num_stations = 8;
+  config.ts_increment_mean = 1;
+
+  // Build the batches once; feed both engines identically.
+  TelemetryGenerator generator = TelemetryGenerator::Make(config, 99).value();
+  std::vector<Table> batches;
+  for (int i = 0; i < 12; ++i) batches.push_back(generator.NextBatch(100));
+
+  TableOptions options = Windowed(31);
+  const auto battery = [](Engine* engine) {
+    std::vector<QueryOutcome> out;
+    for (const char* sql :
+         {"SELECT COUNT(*) FROM t EXACT",
+          "SELECT LAST(value) FROM t BY station_id EXACT",
+          "SELECT LAST(ts) FROM t BY station_id WITHIN 1000 MS",
+          "SELECT AVG(value) FROM t WITHIN 1000 MS ERROR 40%"}) {
+      const Result<QueryOutcome> outcome = engine->Query(sql);
+      EXPECT_TRUE(outcome.ok()) << sql << ": "
+                                << outcome.status().ToString();
+      out.push_back(outcome.ok() ? *outcome : QueryOutcome{});
+    }
+    return out;
+  };
+  const auto expect_same = [&battery](Engine* got, Engine* want) {
+    const std::vector<QueryOutcome> a = battery(got);
+    const std::vector<QueryOutcome> b = battery(want);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(EquivalentAnswers(a[i], b[i]))
+          << "answers diverge for: " << a[i].sql;
+    }
+  };
+
+  // Oracle: never crashes.
+  std::unique_ptr<Engine> oracle = Engine::Open(oracle_dir.path).value();
+  ASSERT_TRUE(oracle->CreateTable("t", TelemetrySchema(), options).ok());
+  for (const Table& batch : batches) {
+    ASSERT_TRUE(oracle->IngestBatch("t", batch).ok());
+  }
+
+  // Crash engine: same stream, destroyed without a clean shutdown, reopened.
+  {
+    std::unique_ptr<Engine> engine = Engine::Open(crash_dir.path).value();
+    ASSERT_TRUE(engine->CreateTable("t", TelemetrySchema(), options).ok());
+    for (const Table& batch : batches) {
+      ASSERT_TRUE(engine->IngestBatch("t", batch).ok());
+    }
+    // Destructor without Checkpoint — the kill -9 shape: only what was
+    // already durable (snapshots from checkpoint-on-evict + WAL segments).
+  }
+  std::unique_ptr<Engine> recovered = Engine::Open(crash_dir.path).value();
+  expect_same(recovered.get(), oracle.get());
+
+  // And the recovered engine keeps ingesting identically.
+  const Table next = generator.NextBatch(100);
+  ASSERT_TRUE(oracle->IngestBatch("t", next).ok());
+  ASSERT_TRUE(recovered->IngestBatch("t", next).ok());
+  expect_same(recovered.get(), oracle.get());
+}
+
+// --------------------------------------------------------- DropTable -----
+
+TEST(DropTableTest, InMemoryDropAndRecreate) {
+  Engine engine;
+  ASSERT_TRUE(engine.CreateTable("t", TelemetrySchema(), Windowed()).ok());
+  ASSERT_TRUE(engine.IngestBatch("t", Batch({{1, 100, 1.0}})).ok());
+  ASSERT_TRUE(engine.DropTable("t").ok());
+  EXPECT_EQ(engine.Query("SELECT COUNT(*) FROM t EXACT").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine.DropTable("t").code(), StatusCode::kNotFound);
+  // The name is free again.
+  ASSERT_TRUE(engine.CreateTable("t", TelemetrySchema(), Windowed()).ok());
+  EXPECT_EQ(ExactCount(&engine, "t"), 0);
+}
+
+TEST(DropTableTest, PersistentDropRemovesEveryFile) {
+  TempDir dir;
+  std::unique_ptr<Engine> engine = Engine::Open(dir.path).value();
+  ASSERT_TRUE(engine->CreateTable("t", TelemetrySchema(), Windowed()).ok());
+  ASSERT_TRUE(engine->IngestBatch("t", Batch({{1, 100, 1.0}})).ok());
+  ASSERT_TRUE(engine->Checkpoint("t").ok());
+  ASSERT_TRUE(engine->IngestBatch("t", Batch({{2, 200, 2.0}})).ok());
+  ASSERT_TRUE(engine->DropTable("t").ok());
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path)) {
+    ADD_FAILURE() << "file survived the drop: " << entry.path();
+  }
+  // A reopened engine has no trace of the table.
+  engine.reset();
+  std::unique_ptr<Engine> reopened = Engine::Open(dir.path).value();
+  EXPECT_EQ(reopened->Query("SELECT COUNT(*) FROM t EXACT").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DropTableTest, RecreateAfterDropPersists) {
+  TempDir dir;
+  std::unique_ptr<Engine> engine = Engine::Open(dir.path).value();
+  ASSERT_TRUE(engine->CreateTable("t", TelemetrySchema(), Windowed(1)).ok());
+  ASSERT_TRUE(engine->IngestBatch("t", Batch({{1, 100, 1.0}})).ok());
+  ASSERT_TRUE(engine->DropTable("t").ok());
+  ASSERT_TRUE(engine->CreateTable("t", TelemetrySchema(), Windowed(2)).ok());
+  ASSERT_TRUE(engine->IngestBatch("t", Batch({{2, 200, 2.0}})).ok());
+  engine.reset();
+  std::unique_ptr<Engine> reopened = Engine::Open(dir.path).value();
+  EXPECT_EQ(ExactCount(reopened.get(), "t"), 1);
+  const std::map<int64_t, double> last =
+      LastByStation(reopened.get(), "t", "EXACT");
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last.at(2), 2.0);
+}
+
+TEST(DropTableTest, TombstoneFinishesInterruptedDrop) {
+  TempDir dir;
+  {
+    std::unique_ptr<Engine> engine = Engine::Open(dir.path).value();
+    ASSERT_TRUE(engine->CreateTable("t", TelemetrySchema(), Windowed()).ok());
+    ASSERT_TRUE(engine->IngestBatch("t", Batch({{1, 100, 1.0}})).ok());
+    ASSERT_TRUE(engine->Checkpoint("t").ok());
+  }
+  // Simulate a drop interrupted right after the tombstone became durable:
+  // the decision is on disk, the table files are not yet gone.
+  ASSERT_TRUE(
+      WriteFileDurably(dir.path + "/t.dropped", std::string("dropped\n"))
+          .ok());
+  std::unique_ptr<Engine> reopened = Engine::Open(dir.path).value();
+  EXPECT_EQ(reopened->Query("SELECT COUNT(*) FROM t EXACT").status().code(),
+            StatusCode::kNotFound);
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path)) {
+    ADD_FAILURE() << "file survived tombstone recovery: " << entry.path();
+  }
+}
+
+}  // namespace
+}  // namespace sciborq

@@ -515,8 +515,10 @@ TEST(SnapshotTest, FileRoundTrips) {
   EXPECT_EQ(snap.log.entries.size(), 1u);
 
   // Re-encoding the decoded snapshot reproduces the body byte-for-byte.
+  // "sky" carries no retention policy, so the engine wrote the v2 format
+  // (plain tables keep producing pre-retention snapshot files).
   BinaryWriter again;
-  EncodeTableSnapshot(snap, &again);
+  EncodeTableSnapshot(snap, &again, /*version=*/2);
   const std::string file = ReadAll(path);
   EXPECT_EQ(file.substr(16, file.size() - 20), again.buffer());
 }
@@ -578,6 +580,205 @@ TEST(SnapshotTest, TableStoreRejectsHostileNames) {
   EXPECT_FALSE(TableStore::ValidateTableName("a/b").ok());
   EXPECT_FALSE(TableStore::ValidateTableName("sky table").ok());
   EXPECT_TRUE(TableStore::ValidateTableName("photo_obj-v2.1").ok());
+}
+
+// ------------------------------------------------------ segmented WAL -----
+
+Schema TinySchema() { return Schema({Field{"ts", DataType::kInt64, true}}); }
+
+PersistedTableConfig TinyConfig() {
+  PersistedTableConfig config;
+  config.layers = {{"L0", 100}};
+  return config;
+}
+
+Table TinyBatch(int64_t v) {
+  Table batch(TinySchema());
+  EXPECT_TRUE(batch.AppendRow({Value(v)}).ok());
+  return batch;
+}
+
+std::unique_ptr<TableStore> OpenStore(const std::string& dir) {
+  return TableStore::Open(dir).value();
+}
+
+TEST(SegmentedWalTest, SizeThresholdRotatesBeforeTheAppend) {
+  TempDir dir;
+  std::unique_ptr<TableStore> store = OpenStore(dir.path);
+  store->set_segment_bytes(1);  // every LogBatch finds the active one full
+  ASSERT_TRUE(store->LogCreate("t", TinySchema(), TinyConfig()).ok());
+  for (int64_t seq = 1; seq <= 3; ++seq) {
+    ASSERT_TRUE(store->LogBatch("t", TinyBatch(seq), seq).ok());
+  }
+  const std::vector<WalSegmentInfo> segments =
+      store->WalSegments("t").value();
+  ASSERT_EQ(segments.size(), 4u);  // create | seq1 | seq2 | seq3(active)
+  for (size_t i = 0; i < segments.size(); ++i) {
+    EXPECT_EQ(segments[i].index, static_cast<int64_t>(i));
+    EXPECT_EQ(segments[i].sealed, i + 1 < segments.size());
+    EXPECT_TRUE(
+        std::filesystem::exists(store->SegmentPath("t", segments[i].index)));
+  }
+  EXPECT_EQ(segments[1].last_seq, 1);
+  EXPECT_EQ(segments[2].last_seq, 2);
+  EXPECT_EQ(segments[3].last_seq, 3);
+}
+
+TEST(SegmentedWalTest, RotateIsANoOpOnAnEmptyActiveSegment) {
+  TempDir dir;
+  std::unique_ptr<TableStore> store = OpenStore(dir.path);
+  ASSERT_TRUE(store->LogCreate("t", TinySchema(), TinyConfig()).ok());
+  ASSERT_TRUE(store->RotateWal("t").ok());  // seals the create segment
+  ASSERT_EQ(store->WalSegments("t").value().size(), 2u);
+  // The fresh active segment holds no records: rotating again does nothing
+  // (no header-only segments mid-run).
+  ASSERT_TRUE(store->RotateWal("t").ok());
+  const std::vector<WalSegmentInfo> segments =
+      store->WalSegments("t").value();
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[1].index, 1);
+  EXPECT_FALSE(segments[1].sealed);
+}
+
+TEST(SegmentedWalTest, UnlogBatchUndoesTheAppend) {
+  TempDir dir;
+  {
+    std::unique_ptr<TableStore> store = OpenStore(dir.path);
+    ASSERT_TRUE(store->LogCreate("t", TinySchema(), TinyConfig()).ok());
+    const int64_t cookie = store->LogBatch("t", TinyBatch(111), 1).value();
+    ASSERT_TRUE(store->UnlogBatch("t", cookie).ok());
+    // The engine re-logs under the same sequence after a failed apply.
+    ASSERT_TRUE(store->LogBatch("t", TinyBatch(222), 1).ok());
+  }
+  std::unique_ptr<TableStore> reopened = OpenStore(dir.path);
+  const std::vector<RecoveredTable> tables = reopened->Recover().value();
+  ASSERT_EQ(tables.size(), 1u);
+  ASSERT_EQ(tables[0].batches.size(), 1u);
+  EXPECT_EQ(tables[0].batches[0].seq, 1);
+  EXPECT_EQ(tables[0].batches[0].batch.column(0).GetInt64(0), 222);
+}
+
+TEST(SegmentedWalTest, GcRefusedWithoutASnapshot) {
+  TempDir dir;
+  std::unique_ptr<TableStore> store = OpenStore(dir.path);
+  ASSERT_TRUE(store->LogCreate("t", TinySchema(), TinyConfig()).ok());
+  ASSERT_TRUE(store->LogBatch("t", TinyBatch(1), 1).ok());
+  ASSERT_TRUE(store->RotateWal("t").ok());
+  const Result<int> deleted = store->GcWalSegments("t", 1);
+  ASSERT_FALSE(deleted.ok());
+  EXPECT_EQ(deleted.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SegmentedWalTest, GcDeletesOnlyTheCoveredPrefixAndIsIdempotent) {
+  TempDir dir;
+  std::unique_ptr<TableStore> store = OpenStore(dir.path);
+  ASSERT_TRUE(store->LogCreate("t", TinySchema(), TinyConfig()).ok());
+  ASSERT_TRUE(store->LogBatch("t", TinyBatch(1), 1).ok());
+  ASSERT_TRUE(store->RotateWal("t").ok());
+  ASSERT_TRUE(store->LogBatch("t", TinyBatch(2), 2).ok());
+  ASSERT_TRUE(store->RotateWal("t").ok());
+  ASSERT_TRUE(store->LogBatch("t", TinyBatch(3), 3).ok());
+  // Segments: 0 [create, seq1] sealed | 1 [seq2] sealed | 2 [seq3] active.
+  TableSnapshot snap;
+  snap.table = "t";
+  snap.config = TinyConfig();
+  snap.last_seq = 1;
+  snap.base = Table(TinySchema());
+  ASSERT_TRUE(WriteTableSnapshot(snap, store->SnapshotPath("t")).ok());
+
+  EXPECT_EQ(store->GcWalSegments("t", 1).value(), 1);  // segment 0 only
+  EXPECT_FALSE(std::filesystem::exists(store->SegmentPath("t", 0)));
+  EXPECT_TRUE(std::filesystem::exists(store->SegmentPath("t", 1)));
+  EXPECT_EQ(store->GcWalSegments("t", 1).value(), 0);  // idempotent
+  // Covering everything still never touches the active segment.
+  EXPECT_EQ(store->GcWalSegments("t", 99).value(), 1);
+  const std::vector<WalSegmentInfo> segments =
+      store->WalSegments("t").value();
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].index, 2);
+  EXPECT_FALSE(segments[0].sealed);
+  EXPECT_TRUE(std::filesystem::exists(store->SegmentPath("t", 2)));
+}
+
+TEST(SegmentedWalTest, LegacyWalMigratesToSegmentZero) {
+  TempDir dir;
+  {
+    std::unique_ptr<TableStore> store = OpenStore(dir.path);
+    ASSERT_TRUE(store->LogCreate("t", TinySchema(), TinyConfig()).ok());
+    ASSERT_TRUE(store->LogBatch("t", TinyBatch(7), 1).ok());
+  }
+  // A pre-segmentation database: the same bytes under the old single-file
+  // name.
+  std::unique_ptr<TableStore> store = OpenStore(dir.path);
+  std::filesystem::rename(store->SegmentPath("t", 0),
+                          store->LegacyWalPath("t"));
+  const std::vector<RecoveredTable> tables = store->Recover().value();
+  ASSERT_EQ(tables.size(), 1u);
+  ASSERT_EQ(tables[0].batches.size(), 1u);
+  EXPECT_EQ(tables[0].batches[0].batch.column(0).GetInt64(0), 7);
+  EXPECT_TRUE(std::filesystem::exists(store->SegmentPath("t", 0)));
+  EXPECT_FALSE(std::filesystem::exists(store->LegacyWalPath("t")));
+}
+
+TEST(SegmentedWalTest, LegacyAndSegmentedFormsTogetherRefused) {
+  TempDir dir;
+  {
+    std::unique_ptr<TableStore> store = OpenStore(dir.path);
+    ASSERT_TRUE(store->LogCreate("t", TinySchema(), TinyConfig()).ok());
+    ASSERT_TRUE(store->LogBatch("t", TinyBatch(7), 1).ok());
+  }
+  std::unique_ptr<TableStore> store = OpenStore(dir.path);
+  std::filesystem::copy_file(store->SegmentPath("t", 0),
+                             store->LegacyWalPath("t"));
+  EXPECT_FALSE(store->Recover().ok());
+}
+
+TEST(SegmentedWalTest, MissingMiddleSegmentRefusesRecovery) {
+  TempDir dir;
+  {
+    std::unique_ptr<TableStore> store = OpenStore(dir.path);
+    ASSERT_TRUE(store->LogCreate("t", TinySchema(), TinyConfig()).ok());
+    ASSERT_TRUE(store->LogBatch("t", TinyBatch(1), 1).ok());
+    ASSERT_TRUE(store->RotateWal("t").ok());
+    ASSERT_TRUE(store->LogBatch("t", TinyBatch(2), 2).ok());
+    ASSERT_TRUE(store->RotateWal("t").ok());
+    ASSERT_TRUE(store->LogBatch("t", TinyBatch(3), 3).ok());
+  }
+  std::unique_ptr<TableStore> store = OpenStore(dir.path);
+  ASSERT_EQ(::unlink(store->SegmentPath("t", 1).c_str()), 0);
+  // A gap in the run is lost acknowledged data, not a torn tail.
+  EXPECT_FALSE(store->Recover().ok());
+}
+
+TEST(SegmentedWalTest, TornTailToleratedOnlyInTheHighestSegment) {
+  TempDir dir;
+  {
+    std::unique_ptr<TableStore> store = OpenStore(dir.path);
+    ASSERT_TRUE(store->LogCreate("t", TinySchema(), TinyConfig()).ok());
+    ASSERT_TRUE(store->LogBatch("t", TinyBatch(1), 1).ok());
+    ASSERT_TRUE(store->RotateWal("t").ok());
+    ASSERT_TRUE(store->LogBatch("t", TinyBatch(2), 2).ok());
+  }
+  // Garbage after the last complete record of the *highest* segment is the
+  // shape a mid-append crash leaves: tolerated, reported, records intact.
+  {
+    const std::string active = OpenStore(dir.path)->SegmentPath("t", 1);
+    WriteAll(active, ReadAll(active) + std::string("torn!"));
+    std::unique_ptr<TableStore> store = OpenStore(dir.path);
+    const std::vector<RecoveredTable> tables = store->Recover().value();
+    ASSERT_EQ(tables.size(), 1u);
+    EXPECT_TRUE(tables[0].wal_tail_dropped);
+    ASSERT_EQ(tables[0].batches.size(), 2u);
+    EXPECT_EQ(tables[0].batches[1].seq, 2);
+  }
+  // The same garbage on a sealed (non-highest) segment can only be
+  // corruption — appends never ran there — so recovery refuses.
+  {
+    std::unique_ptr<TableStore> store = OpenStore(dir.path);
+    const std::string sealed = store->SegmentPath("t", 0);
+    WriteAll(sealed, ReadAll(sealed) + std::string("torn!"));
+    EXPECT_FALSE(store->Recover().ok());
+  }
 }
 
 // ----------------------------------------------------------- rng state ----

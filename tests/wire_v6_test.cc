@@ -1,0 +1,183 @@
+// Version gating of the v6 wire additions: the kDropTable opcode and the
+// optional kCreateTable retention block. The block must round-trip bit-exactly
+// at v6, stay invisible in pre-v6 encodings (byte-identical to older builds),
+// and decode hostile or truncated buffers to clean errors — plus one e2e pass
+// driving a windowed table entirely over the wire.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "client/client.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "workload/telemetry.h"
+
+namespace sciborq {
+namespace {
+
+RetentionPolicy WindowPolicy() {
+  RetentionPolicy policy;
+  policy.time_column = "ts";
+  policy.bucket_width = 1'000;
+  policy.window_buckets = 10;
+  policy.checkpoint_on_evict = false;
+  policy.last_seen_capacity = 512;
+  policy.last_seen_expected_ingest = 8'192;
+  return policy;
+}
+
+std::string EncodedPolicy(const RetentionPolicy& policy) {
+  WireWriter w;
+  EncodeRetentionPolicy(policy, &w);
+  return w.Take();
+}
+
+TEST(WireV6Test, RetentionPolicyRoundTrips) {
+  const RetentionPolicy policy = WindowPolicy();
+  const std::string bytes = EncodedPolicy(policy);
+  WireReader r(bytes);
+  Result<RetentionPolicy> decoded = DecodeRetentionPolicy(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(r.ExpectEnd().ok());
+  EXPECT_TRUE(*decoded == policy);
+  // Bijective.
+  EXPECT_EQ(EncodedPolicy(*decoded), bytes);
+}
+
+TEST(WireV6Test, DisabledPolicyIsASingleZeroByte) {
+  const std::string bytes = EncodedPolicy(RetentionPolicy());
+  EXPECT_EQ(bytes, std::string(1, '\0'));
+  WireReader r(bytes);
+  Result<RetentionPolicy> decoded = DecodeRetentionPolicy(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->enabled());
+}
+
+TEST(WireV6Test, HostilePolicyFieldsRejected) {
+  // Flag set but empty time_column.
+  {
+    WireWriter w;
+    w.PutBool(true);
+    w.PutString("");
+    w.PutI64(1'000);
+    w.PutI64(10);
+    w.PutBool(true);
+    w.PutI64(512);
+    w.PutI64(8'192);
+    WireReader r(w.buffer());
+    EXPECT_FALSE(DecodeRetentionPolicy(&r).ok());
+  }
+  // Non-positive geometry and capacities.
+  const auto rejects = [](int64_t width, int64_t window, int64_t capacity,
+                          int64_t expected) {
+    WireWriter w;
+    w.PutBool(true);
+    w.PutString("ts");
+    w.PutI64(width);
+    w.PutI64(window);
+    w.PutBool(true);
+    w.PutI64(capacity);
+    w.PutI64(expected);
+    WireReader r(w.buffer());
+    return !DecodeRetentionPolicy(&r).ok();
+  };
+  EXPECT_TRUE(rejects(0, 10, 512, 8'192));
+  EXPECT_TRUE(rejects(-5, 10, 512, 8'192));
+  EXPECT_TRUE(rejects(1'000, 0, 512, 8'192));
+  EXPECT_TRUE(rejects(1'000, 10, 0, 8'192));
+  EXPECT_TRUE(rejects(1'000, 10, 512, -1));
+  EXPECT_FALSE(rejects(1'000, 10, 512, 0));  // 0 = "use the default D"
+}
+
+TEST(WireV6Test, TruncationFuzzNeverCrashes) {
+  const std::string bytes = EncodedPolicy(WindowPolicy());
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    WireReader r(std::string_view(bytes).substr(0, cut));
+    EXPECT_FALSE(DecodeRetentionPolicy(&r).ok()) << "cut " << cut;
+  }
+}
+
+TEST(WireV6Test, DropTableRequiresV6) {
+  const Result<RequestFrame> v6 =
+      DecodeRequest(EncodeRequest(Opcode::kDropTable, "t"));
+  ASSERT_TRUE(v6.ok()) << v6.status().ToString();
+  EXPECT_EQ(v6->opcode, Opcode::kDropTable);
+  EXPECT_EQ(v6->version, kWireVersionV6);
+  // An older stamp cannot name the new opcode.
+  EXPECT_FALSE(
+      DecodeRequest(EncodeRequest(Opcode::kDropTable, "t", kWireVersionV5))
+          .ok());
+  // And pre-v6 stamps on pre-v6 opcodes still decode (no regression).
+  EXPECT_TRUE(
+      DecodeRequest(EncodeRequest(Opcode::kQuery, "q", kWireVersionV5)).ok());
+}
+
+TEST(WireV6Test, CreateTablePayloadWithoutRetentionIsPreV6Bytes) {
+  // The v6 retention block is strictly additive: a v6 create for a plain
+  // table is the pre-v6 payload plus exactly one has_retention=0 byte.
+  const Schema schema = TelemetryGenerator::TableSchema();
+  WireWriter pre_v6;
+  pre_v6.PutString("t");
+  EncodeSchema(schema, &pre_v6);
+  pre_v6.PutU64(42);
+  WireWriter v6;
+  v6.PutString("t");
+  EncodeSchema(schema, &v6);
+  v6.PutU64(42);
+  EncodeRetentionPolicy(RetentionPolicy(), &v6);
+  EXPECT_EQ(v6.buffer(), pre_v6.buffer() + std::string(1, '\0'));
+}
+
+TEST(WireV6Test, WindowedTableLifecycleOverTheWire) {
+  Engine engine;
+  SciborqServer server(&engine);
+  ASSERT_TRUE(server.Start().ok());
+  SciborqClient client =
+      SciborqClient::Connect("127.0.0.1", server.port()).value();
+
+  RetentionPolicy policy = WindowPolicy();
+  policy.bucket_width = 100;
+  policy.window_buckets = 3;
+  ASSERT_TRUE(client
+                  .CreateTable("telemetry", TelemetryGenerator::TableSchema(),
+                               policy, /*seed=*/7)
+                  .ok());
+
+  Table batch(TelemetryGenerator::TableSchema());
+  batch.AppendNumericRow({1, 50, 1.5});    // bucket 0 — about to age out
+  batch.AppendNumericRow({2, 120, 2.5});
+  batch.AppendNumericRow({1, 380, 3.5});   // advances the window past 0
+  EXPECT_EQ(client.Ingest("telemetry", batch).value(), 3);
+
+  const QueryOutcome exact =
+      client.Query("SELECT LAST(value) FROM telemetry BY station_id EXACT")
+          .value();
+  ASSERT_EQ(exact.rows.size(), 2u);
+  EXPECT_EQ(exact.rows[0].values[0], 3.5);
+  EXPECT_EQ(exact.rows[1].values[0], 2.5);
+  const QueryOutcome count =
+      client.Query("SELECT COUNT(*) FROM telemetry EXACT").value();
+  EXPECT_EQ(count.rows[0].values[0], 2.0);  // the bucket-0 row was evicted
+
+  const QueryOutcome bounded =
+      client
+          .Query(
+              "SELECT LAST(value) FROM telemetry BY station_id WITHIN 50 MS")
+          .value();
+  EXPECT_EQ(bounded.answered_by, "last-seen");
+  EXPECT_FALSE(bounded.exact);
+
+  ASSERT_TRUE(client.DropTable("telemetry").ok());
+  const Result<QueryOutcome> gone =
+      client.Query("SELECT COUNT(*) FROM telemetry EXACT");
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(client.DropTable("telemetry").code(), StatusCode::kNotFound);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace sciborq

@@ -16,6 +16,8 @@
 //   \close ID           free a prepared statement
 //   \checkpoint [TABLE] persist TABLE (or every table) into the server's
 //                       --db-dir: snapshot written atomically, WAL truncated
+//   \drop TABLE         permanently remove TABLE: catalog entry, snapshot,
+//                       and WAL segments (irreversible)
 //   \stats [PREFIX]     server metrics snapshot (optionally filtered to
 //                       names starting with PREFIX)
 //   \slow               the server's bound-miss/slow-query ring, oldest
@@ -366,6 +368,20 @@ bool HandleLine(Cli* cli, const std::string& line, bool* ok) {
                 table.c_str());
     return true;
   }
+  if (IsCommand(trimmed, "\\drop")) {
+    const std::string table = ArgAfter(trimmed, 5);
+    if (table.empty()) {
+      *ok = false;
+      std::printf("usage: \\drop TABLE\n");
+      return true;
+    }
+    const Status st = client->DropTable(table);
+    *ok = st.ok();
+    std::printf("%s\n", st.ok()
+                            ? StrFormat("dropped '%s'", table.c_str()).c_str()
+                            : st.ToString().c_str());
+    return true;
+  }
   if (IsCommand(trimmed, "\\close")) {
     const std::string arg = ArgAfter(trimmed, 6);
     char* end = nullptr;
@@ -442,8 +458,8 @@ int main(int argc, char** argv) {
 
   std::printf("connected to %s:%d — \\tables, \\describe TABLE, \\use TABLE, "
               "\\prepare SQL, \\exec ID PARAM..., \\close ID, "
-              "\\checkpoint [TABLE], \\stats [PREFIX], \\slow, \\ping, "
-              "\\q; anything else is SQL\n",
+              "\\checkpoint [TABLE], \\drop TABLE, \\stats [PREFIX], \\slow, "
+              "\\ping, \\q; anything else is SQL\n",
               host.c_str(), port);
   std::string line;
   for (;;) {
